@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation: CM-Sketch geometry and query pacing (§7.1, §5.1).
+ *
+ * Three sweeps on an mcf_r cache-filtered trace:
+ *  - hash rows H at fixed N = 32K (the paper sweeps H = 2..16 and sees
+ *    only a secondary effect),
+ *  - CAM size K at fixed N,
+ *  - query period (the paper: preciseness increases as the query
+ *    interval decreases).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include <unordered_set>
+
+#include "analysis/ratio.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workloads/trace.hh"
+
+using namespace m5;
+
+namespace {
+
+double
+replayRatio(const TraceBuffer &trace, const TrackerConfig &cfg,
+            Tick query_period)
+{
+    // Same metric as fig07: accumulate each query's report into a
+    // deduplicated list, score against whole-trace exact counts.
+    auto tracker = makeTracker(cfg);
+    ExactCounter exact;
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint64_t> reported;
+    Tick epoch_end = query_period;
+    auto serve_query = [&]() {
+        for (const auto &e : tracker->query()) {
+            if (seen.insert(e.tag).second)
+                reported.push_back(e.tag);
+        }
+        tracker->reset();
+    };
+    for (const auto &rec : trace.records()) {
+        while (rec.time >= epoch_end) {
+            serve_query();
+            epoch_end += query_period;
+        }
+        tracker->access(pfnOf(rec.pa));
+        exact.observe(pfnOf(rec.pa));
+    }
+    serve_query();
+    if (reported.empty())
+        return 0.0;
+    std::uint64_t k_sum = 0;
+    for (std::uint64_t key : reported)
+        k_sum += exact.count(key);
+    const std::uint64_t top_sum = exact.topKSum(reported.size());
+    return top_sum ? static_cast<double>(k_sum) /
+                     static_cast<double>(top_sum) : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = bench::benchScale();
+    printBanner(std::cout, "Ablation: CM-Sketch geometry (mcf_r trace)");
+    std::printf("scale=1/%.0f\n", 1.0 / scale);
+
+    SystemConfig sys_cfg = makeConfig("mcf_r", PolicyKind::None, scale, 1);
+    sys_cfg.enable_pac = false;
+    sys_cfg.record_trace = true;
+    TieredSystem sys(sys_cfg);
+    sys.run(accessBudget("mcf_r", scale) / 2);
+    const TraceBuffer &trace = sys.trace();
+
+    {
+        TextTable table({"H (N=32K, K=5)", "avg ratio"});
+        for (unsigned h : {2u, 4u, 8u, 16u}) {
+            TrackerConfig cfg;
+            cfg.entries = 32 * 1024;
+            cfg.hash_rows = h;
+            cfg.k = 5;
+            table.addRow({std::to_string(h),
+                          TextTable::num(replayRatio(trace, cfg,
+                                                     msToTicks(1.0)))});
+        }
+        table.print(std::cout);
+        std::printf("paper: H has only a secondary effect at fixed N\n");
+    }
+    {
+        TextTable table({"K (N=32K, H=4)", "avg ratio"});
+        for (std::size_t k : {5u, 16u, 64u, 128u}) {
+            TrackerConfig cfg;
+            cfg.entries = 32 * 1024;
+            cfg.k = k;
+            table.addRow({std::to_string(k),
+                          TextTable::num(replayRatio(trace, cfg,
+                                                     msToTicks(1.0)))});
+        }
+        table.print(std::cout);
+    }
+    {
+        TextTable table({"query period", "avg ratio"});
+        const std::pair<const char *, Tick> periods[] = {
+            {"200us", usToTicks(200.0)},
+            {"1ms", msToTicks(1.0)},
+            {"5ms", msToTicks(5.0)},
+            {"20ms", msToTicks(20.0)},
+        };
+        for (const auto &[label, period] : periods) {
+            TrackerConfig cfg;
+            cfg.entries = 32 * 1024;
+            cfg.k = 5;
+            table.addRow({label,
+                          TextTable::num(replayRatio(trace, cfg,
+                                                     period))});
+        }
+        table.print(std::cout);
+        std::printf("paper (Sec 7.1): preciseness increases as the "
+                    "interval decreases.  In this scaled replay of a "
+                    "*static* workload\nthe opposite edge of the "
+                    "trade-off shows: longer epochs reduce per-query "
+                    "top-K noise, while short epochs only pay\noff when "
+                    "the hot set drifts between queries (see "
+                    "EXPERIMENTS.md).\n");
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table harnesses: environment-controlled
+ * scale (M5_BENCH_SCALE, M5_BENCH_SEEDS) and paper reference annotations.
+ */
+
+#ifndef M5_BENCH_BENCH_UTIL_HH
+#define M5_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace m5::bench {
+
+/** System scale for this harness run; M5_BENCH_SCALE overrides (e.g.
+ *  "32" for 1/32 scale). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("M5_BENCH_SCALE")) {
+        const double denom = std::atof(env);
+        if (denom >= 1.0)
+            return 1.0 / denom;
+    }
+    return kDefaultScale;
+}
+
+/** Number of repeated "execution points" (seeds); M5_BENCH_SEEDS
+ *  overrides.  The paper uses 10 for Figure 3; the default here keeps a
+ *  full bench sweep in minutes. */
+inline int
+benchSeeds(int fallback = 3)
+{
+    if (const char *env = std::getenv("M5_BENCH_SEEDS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    return fallback;
+}
+
+/** Short display name matching the paper's axis labels. */
+inline std::string
+shortName(const std::string &bench)
+{
+    if (bench == "liblinear")
+        return "lib.";
+    if (bench == "cactuBSSN_r")
+        return "cactu.";
+    if (bench == "fotonik3d_r")
+        return "foto.";
+    if (bench == "mcf_r")
+        return "mcf";
+    if (bench == "roms_r")
+        return "roms";
+    if (bench == "memcached")
+        return "mcd";
+    if (bench == "cachelib")
+        return "c.-lib";
+    return bench;
+}
+
+} // namespace m5::bench
+
+#endif // M5_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10: CDF of per-4KB-page access counts, collected with PAC over a
+ * full all-CXL run of each benchmark.
+ *
+ * Paper reference: the skew explains Figure 9 — roms_r's p90/p95/p99
+ * pages are ~2x/8x/17x hotter than its p50 page (rewarding precise
+ * migration), while TC's bottom-p50 page sees only ~288 more accesses
+ * than its bottom-p10 page, below the ~318 accesses needed to amortize
+ * one 54us migration (54us / 170ns latency delta).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/cdf.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace m5;
+
+int
+main()
+{
+    const double scale = bench::benchScale();
+    printBanner(std::cout,
+        "Figure 10: CDF of access counts per 4KB page (PAC)");
+    std::printf("scale=1/%.0f; rows are CDF values at log10(count) "
+                "grid points\n", 1.0 / scale);
+
+    TextTable table({"bench", "lg=0.5", "lg=1.0", "lg=1.5", "lg=2.0",
+                     "lg=2.5", "lg=3.0", "p95/p50", "p99/p50"});
+    for (const auto &benchname : benchmarkNames()) {
+        SystemConfig cfg =
+            makeConfig(benchname, PolicyKind::None, scale, 1);
+        TieredSystem sys(cfg);
+        sys.run(accessBudget(benchname, scale));
+
+        // Sample the empirical CDF at fixed log10 thresholds.
+        auto counts = sys.pac().nonZeroCounts();
+        std::sort(counts.begin(), counts.end());
+        auto cdf_at = [&](double lg) {
+            const auto threshold =
+                static_cast<std::uint64_t>(std::pow(10.0, lg));
+            const auto it = std::upper_bound(counts.begin(), counts.end(),
+                                             threshold);
+            return static_cast<double>(it - counts.begin()) /
+                   static_cast<double>(counts.size());
+        };
+        const double p50 = accessCountPercentile(sys.pac(), 50);
+        const double p95 = accessCountPercentile(sys.pac(), 95);
+        const double p99 = accessCountPercentile(sys.pac(), 99);
+        table.addRow({bench::shortName(benchname),
+                      TextTable::num(cdf_at(0.5), 2),
+                      TextTable::num(cdf_at(1.0), 2),
+                      TextTable::num(cdf_at(1.5), 2),
+                      TextTable::num(cdf_at(2.0), 2),
+                      TextTable::num(cdf_at(2.5), 2),
+                      TextTable::num(cdf_at(3.0), 2),
+                      TextTable::num(p95 / p50, 1),
+                      TextTable::num(p99 / p50, 1)});
+        std::fflush(stdout);
+    }
+    table.print(std::cout);
+    std::printf("\npaper: roms_r p90/p95/p99 = 2x/8x/17x of p50; skewed "
+                "apps (roms, liblinear) reward M5's precision,\n"
+                "flat apps (pr, tc) leave little for any migration "
+                "policy\n");
+    return 0;
+}

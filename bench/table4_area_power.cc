@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 4: size and power of the top-5 trackers in 7nm logic, sweeping
+ * the number of count entries N.
+ *
+ * The Space-Saving tracker's stream summary is an N-entry parallel-match
+ * CAM; CM-Sketch keeps counters in banked SRAM plus a constant K-entry
+ * CAM.  Blank CAM rows mark points beyond the 400MHz-feasible N (the
+ * ASIC flow caps Space-Saving at 2K entries; the FPGA at 50).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "hwmodel/area_power.hh"
+
+using namespace m5;
+
+int
+main()
+{
+    printBanner(std::cout,
+        "Table 4: size and power of top-5 trackers (7nm, 400MHz, K=5)");
+
+    const std::uint64_t entries[] = {50, 100, 512, 1024, 2048,
+                                     8192, 32768, 131072};
+    TextTable table({"N", "SS area um2", "CM area um2", "SS power mW",
+                     "CM power mW", "SS feasible", "CM feasible"});
+    for (std::uint64_t n : entries) {
+        const auto ss = estimateTracker(TrackerKind::SpaceSavingTopK, n);
+        const auto cm = estimateTracker(TrackerKind::CmSketchTopK, n);
+        table.addRow({std::to_string(n),
+                      ss.asic_feasible ? TextTable::num(ss.area_um2, 0)
+                                       : "-",
+                      TextTable::num(cm.area_um2, 0),
+                      ss.asic_feasible ? TextTable::num(ss.power_mw, 1)
+                                       : "-",
+                      TextTable::num(cm.power_mw, 1),
+                      ss.asic_feasible ? "yes" : "no",
+                      cm.asic_feasible ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    const auto ss2k = estimateTracker(TrackerKind::SpaceSavingTopK, 2048);
+    const auto cm2k = estimateTracker(TrackerKind::CmSketchTopK, 2048);
+    std::printf("\nat N=2K, Space-Saving costs %.1fx area and %.1fx power "
+                "of CM-Sketch (paper: 33.6x / 7.6x)\n",
+                ss2k.area_um2 / cm2k.area_um2,
+                ss2k.power_mw / cm2k.power_mw);
+    std::printf("FPGA 400MHz limits: Space-Saving N<=%lu, CM-Sketch "
+                "N<=%lu (paper: 50 / 128K)\n",
+                static_cast<unsigned long>(
+                    fpgaMaxEntries(TrackerKind::SpaceSavingTopK)),
+                static_cast<unsigned long>(
+                    fpgaMaxEntries(TrackerKind::CmSketchTopK)));
+    std::printf("paper reference rows (SS area / CM area): N=50 "
+                "3649/1899, N=2K 179625/5346, N=128K -/180530\n");
+    return 0;
+}

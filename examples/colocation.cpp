@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Colocation: two heterogeneous tenants — a batch job (mcf_r) and a
+ * sparse key-value store (memcached) — share one tiered-memory node.
+ *
+ * The interesting question for a datacenter operator: when a skewed
+ * batch tenant and a flat latency-ish tenant compete for the same 3/8
+ * DDR budget, does precise (M5) migration spend the fast memory on the
+ * pages that matter, compared to a CPU-driven policy?
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace m5;
+
+namespace {
+
+RunResult
+runMix(PolicyKind policy, double scale)
+{
+    SystemConfig cfg = makeConfig("mcf_r", policy, scale, 11);
+    cfg.colocated_benchmarks = {"mcf_r", "memcached"};
+    TieredSystem sys(cfg);
+    return sys.run(6'000'000);
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = 1.0 / 64.0; // Two tenants: keep each small.
+    std::printf("Colocation: mcf_r + memcached sharing one tiered node\n"
+                "(DDR budget = 3/8 of the combined footprint)\n\n");
+
+    const RunResult none = runMix(PolicyKind::None, scale);
+    std::printf("%-14s %14s %12s %12s %10s\n", "policy", "steady M/s",
+                "vs none", "promoted", "kernel%");
+    for (PolicyKind policy : {PolicyKind::None, PolicyKind::Anb,
+                              PolicyKind::Damon,
+                              PolicyKind::M5HptDriven}) {
+        const RunResult r = policy == PolicyKind::None
+            ? none : runMix(policy, scale);
+        std::printf("%-14s %14.2f %11.2fx %12lu %9.1f%%\n",
+                    r.policy.c_str(), r.steady_throughput / 1e6,
+                    r.steady_throughput / none.steady_throughput,
+                    static_cast<unsigned long>(r.migration.promoted),
+                    100.0 * r.kernel_time / r.runtime);
+        std::fflush(stdout);
+    }
+    std::printf("\nworkload name reported by the system: %s\n",
+                none.benchmark.c_str());
+    std::printf("the skewed tenant's hot pages should win the DDR "
+                "budget; precise policies find them with less churn.\n");
+    return 0;
+}

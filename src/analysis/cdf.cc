@@ -1,0 +1,61 @@
+#include "analysis/cdf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace m5 {
+
+std::array<double, 5>
+sparsityCdf(const WacUnit &wac, std::uint64_t min_touches)
+{
+    const auto pages = wac.pagesWithUniqueWords(min_touches);
+    std::array<double, 5> out{};
+    if (pages.empty())
+        return out;
+    for (std::size_t t = 0; t < kSparsityThresholds.size(); ++t) {
+        std::size_t n = 0;
+        for (const auto &[pfn, words] : pages) {
+            if (words <= kSparsityThresholds[t])
+                ++n;
+        }
+        out[t] = static_cast<double>(n) /
+                 static_cast<double>(pages.size());
+    }
+    return out;
+}
+
+CdfSeries
+accessCountLogCdf(const PacUnit &pac, std::size_t points)
+{
+    CdfSeries s;
+    auto counts = pac.nonZeroCounts();
+    if (counts.empty() || points < 2)
+        return s;
+    std::sort(counts.begin(), counts.end());
+    const double max_log =
+        std::log10(static_cast<double>(counts.back()));
+    for (std::size_t i = 0; i < points; ++i) {
+        const double lg = max_log * static_cast<double>(i) /
+                          static_cast<double>(points - 1);
+        const auto threshold =
+            static_cast<std::uint64_t>(std::pow(10.0, lg));
+        const auto it = std::upper_bound(counts.begin(), counts.end(),
+                                         threshold);
+        s.xs.push_back(lg);
+        s.ys.push_back(static_cast<double>(it - counts.begin()) /
+                       static_cast<double>(counts.size()));
+    }
+    return s;
+}
+
+double
+accessCountPercentile(const PacUnit &pac, double p)
+{
+    auto counts = pac.nonZeroCounts();
+    std::vector<double> d(counts.begin(), counts.end());
+    return percentileOf(std::move(d), p);
+}
+
+} // namespace m5

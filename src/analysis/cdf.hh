@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Distribution analyses behind Figures 4 and 10.
+ */
+
+#ifndef M5_ANALYSIS_CDF_HH
+#define M5_ANALYSIS_CDF_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "cxl/pac.hh"
+#include "cxl/wac.hh"
+
+namespace m5 {
+
+/** Figure 4 thresholds: at most 4, 8, 16, 32, 48 unique words. */
+inline constexpr std::array<unsigned, 5> kSparsityThresholds = {4, 8, 16,
+                                                                32, 48};
+
+/**
+ * Figure 4 row: P(page has at most N unique 64B words accessed) for each
+ * threshold, over pages WAC observed with at least min_touches
+ * accumulated word touches (0 = every observed page).
+ */
+std::array<double, 5> sparsityCdf(const WacUnit &wac,
+                                  std::uint64_t min_touches = 0);
+
+/** One (x, y) series of an empirical CDF. */
+struct CdfSeries
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/**
+ * Figure 10: CDF of log10(access count) over all touched pages, sampled at
+ * `points` evenly spaced log10 values from 0 to the observed maximum.
+ */
+CdfSeries accessCountLogCdf(const PacUnit &pac, std::size_t points = 32);
+
+/** Access count of the page at percentile p (e.g. the §7.2 p50/p90/p95/p99
+ *  comparison for roms_r). */
+double accessCountPercentile(const PacUnit &pac, double p);
+
+} // namespace m5
+
+#endif // M5_ANALYSIS_CDF_HH

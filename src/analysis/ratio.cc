@@ -1,0 +1,80 @@
+#include "analysis/ratio.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+std::uint64_t
+ExactCounter::count(std::uint64_t key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<TopKEntry>
+ExactCounter::topK(std::size_t k) const
+{
+    std::vector<TopKEntry> all;
+    all.reserve(counts_.size());
+    for (const auto &[key, c] : counts_)
+        all.push_back({key, c});
+    std::sort(all.begin(), all.end(),
+        [](const TopKEntry &a, const TopKEntry &b) {
+            if (a.count != b.count)
+                return a.count > b.count;
+            return a.tag < b.tag;
+        });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+std::uint64_t
+ExactCounter::topKSum(std::size_t k) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : topK(k))
+        sum += e.count;
+    return sum;
+}
+
+double
+ExactCounter::ratioOf(const std::vector<TopKEntry> &reported) const
+{
+    if (reported.empty())
+        return 0.0;
+    std::uint64_t k_sum = 0;
+    for (const auto &e : reported)
+        k_sum += count(e.tag);
+    const std::uint64_t top_sum = topKSum(reported.size());
+    return top_sum ? static_cast<double>(k_sum) /
+                     static_cast<double>(top_sum) : 0.0;
+}
+
+double
+accessCountRatio(const PacUnit &pac, const std::vector<Pfn> &identified)
+{
+    if (identified.empty())
+        return 0.0;
+    std::uint64_t k_sum = 0;
+    for (Pfn pfn : identified)
+        k_sum += pac.count(pfn);
+    const std::uint64_t top_sum = pac.topKAccessSum(identified.size());
+    return top_sum ? static_cast<double>(k_sum) /
+                     static_cast<double>(top_sum) : 0.0;
+}
+
+double
+accessCountRatio(const PacUnit &pac,
+                 const std::vector<TopKEntry> &reported)
+{
+    std::vector<Pfn> pages;
+    pages.reserve(reported.size());
+    for (const auto &e : reported)
+        pages.push_back(e.tag);
+    return accessCountRatio(pac, pages);
+}
+
+} // namespace m5

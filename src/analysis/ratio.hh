@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The average access-count ratio metric (§4.1 S4-S5).
+ *
+ * For a list of identified hot pages, sum their exact access counts
+ * (k_access_count), divide by the summed counts of the same *number* of
+ * top pages (top_k_access_count).  1.0 means the solution found exactly
+ * the hottest pages; Figure 3 shows ANB/DAMON mostly below 0.4.
+ *
+ * ExactCounter is the trace-side ground truth used by the Figure 7 tracker
+ * sweeps (page keys for HPT, word keys for HWT); PacUnit provides the
+ * full-system ground truth (Figures 3 and 8).
+ */
+
+#ifndef M5_ANALYSIS_RATIO_HH
+#define M5_ANALYSIS_RATIO_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "cxl/pac.hh"
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** Exact per-key access counting (unbounded software counterpart of
+ *  PAC/WAC for trace replay). */
+class ExactCounter
+{
+  public:
+    /** Record one access to key. */
+    void observe(std::uint64_t key) { ++counts_[key]; }
+
+    /** Exact count of a key. */
+    std::uint64_t count(std::uint64_t key) const;
+
+    /** Top-k keys by exact count. */
+    std::vector<TopKEntry> topK(std::size_t k) const;
+
+    /** Sum of the top-k counts. */
+    std::uint64_t topKSum(std::size_t k) const;
+
+    /** Access-count ratio of a tracker report against this ground truth. */
+    double ratioOf(const std::vector<TopKEntry> &reported) const;
+
+    /** Number of distinct keys. */
+    std::size_t distinct() const { return counts_.size(); }
+
+    /** Drop everything. */
+    void reset() { counts_.clear(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+/** k_access_count / top_k_access_count against PAC ground truth. */
+double accessCountRatio(const PacUnit &pac,
+                        const std::vector<Pfn> &identified);
+
+/** Same, for a tracker's top-K report. */
+double accessCountRatio(const PacUnit &pac,
+                        const std::vector<TopKEntry> &reported);
+
+} // namespace m5
+
+#endif // M5_ANALYSIS_RATIO_HH

@@ -1,0 +1,39 @@
+#include "analysis/report.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        m5_assert(v > 0.0, "geomean needs positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+normalizedPerformance(double baseline_throughput, double policy_throughput,
+                      double baseline_p99, double policy_p99,
+                      bool latency_sensitive)
+{
+    if (latency_sensitive && baseline_p99 > 0.0 && policy_p99 > 0.0)
+        return baseline_p99 / policy_p99;
+    return baseline_throughput > 0.0
+        ? policy_throughput / baseline_throughput : 0.0;
+}
+
+std::string
+ratioStr(double v, int precision)
+{
+    return TextTable::num(v, precision) + "x";
+}
+
+} // namespace m5

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Report helpers shared by the bench harnesses: normalized-performance
+ * rows, geometric means, and RunResult pretty printing.
+ */
+
+#ifndef M5_ANALYSIS_REPORT_HH
+#define M5_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+
+namespace m5 {
+
+/** Geometric mean of positive values (0 when empty). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Normalized performance (§7.2): throughput ratio for batch workloads,
+ * inverse p99-latency ratio for latency-sensitive ones.
+ */
+double normalizedPerformance(double baseline_throughput,
+                             double policy_throughput,
+                             double baseline_p99, double policy_p99,
+                             bool latency_sensitive);
+
+/** Format a ratio like "1.43x". */
+std::string ratioStr(double v, int precision = 2);
+
+} // namespace m5
+
+#endif // M5_ANALYSIS_REPORT_HH

@@ -1,0 +1,93 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg)
+    : assoc_(cfg.assoc)
+{
+    m5_assert(cfg.assoc > 0, "cache needs positive associativity");
+    const std::uint64_t lines = cfg.size_bytes / kWordBytes;
+    m5_assert(lines >= cfg.assoc, "cache smaller than one set");
+    sets_ = lines / cfg.assoc;
+    // Round sets down to a power of two for cheap indexing.
+    while (!isPow2(sets_))
+        sets_ &= sets_ - 1;
+    lines_.assign(sets_ * assoc_, Line{});
+}
+
+std::uint64_t
+SetAssocCache::setOf(Addr pa) const
+{
+    return (pa >> kWordShift) & (sets_ - 1);
+}
+
+CacheResult
+SetAssocCache::access(Addr pa, bool is_write)
+{
+    const Addr tag = pa >> kWordShift;
+    Line *set = &lines_[setOf(pa) * assoc_];
+    ++tick_;
+
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty |= is_write;
+            ++stats_.hits;
+            return {true, std::nullopt};
+        }
+        if (!victim->valid)
+            continue; // Keep the first invalid way as victim.
+        if (!line.valid || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    ++stats_.misses;
+    CacheResult res;
+    if (victim->valid && victim->dirty) {
+        res.writeback = victim->tag << kWordShift;
+        ++stats_.writebacks;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = tick_;
+    return res;
+}
+
+std::vector<Addr>
+SetAssocCache::invalidatePage(Pfn pfn)
+{
+    std::vector<Addr> dirty;
+    const Addr base = pageBase(pfn);
+    for (unsigned word = 0; word < kWordsPerPage; ++word) {
+        const Addr pa = base + static_cast<Addr>(word) * kWordBytes;
+        const Addr tag = pa >> kWordShift;
+        Line *set = &lines_[setOf(pa) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &line = set[w];
+            if (line.valid && line.tag == tag) {
+                if (line.dirty)
+                    dirty.push_back(pa);
+                line.valid = false;
+                line.dirty = false;
+                ++stats_.invalidated_lines;
+            }
+        }
+    }
+    return dirty;
+}
+
+} // namespace m5

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache model.
+ *
+ * Used as the LLC that filters CPU accesses before they reach DRAM — the
+ * paper's trackers observe *cache-filtered* addresses (§7.1 collects traces
+ * with Pin + Ramulator for the same reason).  Capacity is scaled with the
+ * number of active cores, mirroring the paper's use of Intel CAT (§6).
+ */
+
+#ifndef M5_CACHE_CACHE_HH
+#define M5_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::uint64_t size_bytes = 30ULL << 20; //!< Half of a 60MB Xeon LLC.
+    unsigned assoc = 15;
+    // Line size is fixed at kWordBytes (64B).
+};
+
+/** Result of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    //! Dirty victim line evicted by this fill (physical address), if any.
+    std::optional<Addr> writeback;
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidated_lines = 0;
+
+    double
+    missRatio() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(misses) /
+                       static_cast<double>(total) : 0.0;
+    }
+};
+
+/** LRU set-associative cache over 64B lines, physically indexed. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &cfg);
+
+    /**
+     * Access one 64B line.
+     *
+     * A miss allocates the line (write-allocate) and may evict a dirty
+     * victim that must be written back by the caller.
+     */
+    CacheResult access(Addr pa, bool is_write);
+
+    /**
+     * Invalidate all lines of a 4KB page frame (used when a page is
+     * migrated between tiers).
+     * @return Physical addresses of dirty lines that need writeback.
+     */
+    std::vector<Addr> invalidatePage(Pfn pfn);
+
+    /** Number of sets. */
+    std::uint64_t sets() const { return sets_; }
+
+    /** Associativity. */
+    unsigned assoc() const { return assoc_; }
+
+    /** Statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset statistics (not contents). */
+    void resetStats() { stats_ = {}; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(Addr pa) const;
+
+    std::uint64_t sets_;
+    unsigned assoc_;
+    std::uint64_t tick_ = 0; //!< LRU timestamp source.
+    std::vector<Line> lines_; //!< sets_ x assoc_, row-major.
+    CacheStats stats_;
+};
+
+} // namespace m5
+
+#endif // M5_CACHE_CACHE_HH

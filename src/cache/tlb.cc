@@ -1,0 +1,77 @@
+#include "cache/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+Tlb::Tlb(const TlbConfig &cfg) : assoc_(cfg.assoc)
+{
+    m5_assert(cfg.assoc > 0 && cfg.entries >= cfg.assoc,
+              "bad TLB geometry");
+    sets_ = cfg.entries / cfg.assoc;
+    while (sets_ & (sets_ - 1))
+        sets_ &= sets_ - 1;
+    entries_.assign(sets_ * assoc_, Entry{});
+}
+
+bool
+Tlb::lookup(Vpn vpn, Pfn &pfn)
+{
+    Entry *set = &entries_[setOf(vpn) * assoc_];
+    ++tick_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.vpn == vpn) {
+            e.lru = tick_;
+            pfn = e.pfn;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+Tlb::fill(Vpn vpn, Pfn pfn)
+{
+    Entry *set = &entries_[setOf(vpn) * assoc_];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.vpn == vpn) {
+            e.pfn = pfn;
+            e.lru = tick_;
+            return;
+        }
+        if (!victim->valid)
+            continue;
+        if (!e.valid || e.lru < victim->lru)
+            victim = &e;
+    }
+    *victim = {vpn, pfn, tick_, true};
+}
+
+void
+Tlb::shootdown(Vpn vpn)
+{
+    Entry *set = &entries_[setOf(vpn) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.vpn == vpn) {
+            e.valid = false;
+            ++stats_.shootdowns;
+            return;
+        }
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+    ++stats_.flushes;
+}
+
+} // namespace m5

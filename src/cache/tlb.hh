@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TLB model.
+ *
+ * The TLB matters to the baselines, not to M5: ANB unmaps pages and must
+ * shoot down TLB entries across cores (§2.1 Solution 1), and DAMON's access
+ * bits are only re-set on a page walk, i.e. after a TLB miss (§2.1
+ * Solution 2).  The model is a set-associative VPN->PFN cache with LRU
+ * replacement and shootdown accounting.
+ */
+
+#ifndef M5_CACHE_TLB_HH
+#define M5_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** TLB geometry. */
+struct TlbConfig
+{
+    unsigned entries = 1536; //!< Roughly an STLB's 4KB-page capacity.
+    unsigned assoc = 12;
+};
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t shootdowns = 0;
+    std::uint64_t flushes = 0;
+};
+
+/** Set-associative TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /**
+     * Translate vpn.
+     * @param[out] pfn Filled with the cached translation on a hit.
+     * @return True on hit.  On a miss the caller walks the page table and
+     *         calls fill().
+     */
+    bool lookup(Vpn vpn, Pfn &pfn);
+
+    /** Install a translation after a page walk. */
+    void fill(Vpn vpn, Pfn pfn);
+
+    /** Invalidate one translation (TLB shootdown target). */
+    void shootdown(Vpn vpn);
+
+    /** Invalidate everything (context switch / full flush). */
+    void flushAll();
+
+    /** Statistics. */
+    const TlbStats &stats() const { return stats_; }
+
+    /** Reset statistics. */
+    void resetStats() { stats_ = {}; }
+
+  private:
+    struct Entry
+    {
+        Vpn vpn = 0;
+        Pfn pfn = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setOf(Vpn vpn) const { return vpn & (sets_ - 1); }
+
+    std::uint64_t sets_;
+    unsigned assoc_;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_;
+    TlbStats stats_;
+};
+
+} // namespace m5
+
+#endif // M5_CACHE_TLB_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (a bug in this library);
+ * fatal() is for user configuration errors.  warn()/inform() report
+ * conditions without stopping the simulation.
+ */
+
+#ifndef M5_COMMON_LOGGING_HH
+#define M5_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace m5 {
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+} // namespace detail
+
+/** Abort on an internal invariant violation (library bug). */
+#define m5_panic(...) \
+    ::m5::detail::panicImpl(__FILE__, __LINE__, ::m5::strprintf(__VA_ARGS__))
+
+/** Exit on a user error (bad configuration, invalid arguments). */
+#define m5_fatal(...) \
+    ::m5::detail::fatalImpl(__FILE__, __LINE__, ::m5::strprintf(__VA_ARGS__))
+
+/** Report a suspicious but non-fatal condition. */
+#define m5_warn(...) \
+    ::m5::detail::warnImpl(::m5::strprintf(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define m5_inform(...) \
+    ::m5::detail::informImpl(::m5::strprintf(__VA_ARGS__))
+
+/** Assert a library invariant; cheaper to read than raw assert(). */
+#define m5_assert(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::m5::detail::panicImpl(__FILE__, __LINE__,                 \
+                std::string("assertion '" #cond "' failed: ") +         \
+                ::m5::strprintf(__VA_ARGS__));                          \
+        }                                                               \
+    } while (0)
+
+} // namespace m5
+
+#endif // M5_COMMON_LOGGING_HH

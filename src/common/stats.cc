@@ -1,0 +1,119 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+void
+RunningStats::reset()
+{
+    n_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    m5_assert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const std::size_t n = samples_.size();
+    // Nearest-rank: ceil(p/100 * n), 1-based.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return samples_[rank - 1];
+}
+
+double
+PercentileTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(std::size_t buckets, double width)
+    : counts_(buckets, 0), width_(width)
+{
+    m5_assert(buckets > 0 && width > 0.0, "bad histogram shape");
+}
+
+void
+Histogram::add(double x)
+{
+    std::size_t i = x <= 0.0 ? 0
+        : static_cast<std::size_t>(x / width_);
+    if (i >= counts_.size())
+        i = counts_.size() - 1;
+    ++counts_[i];
+    ++total_;
+}
+
+double
+Histogram::cdfAt(std::size_t i) const
+{
+    m5_assert(i < counts_.size(), "bucket %zu out of range", i);
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j <= i; ++j)
+        acc += counts_[j];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::vector<double>
+empiricalCdf(std::vector<double> samples, const std::vector<double> &thresholds)
+{
+    std::sort(samples.begin(), samples.end());
+    std::vector<double> out;
+    out.reserve(thresholds.size());
+    for (double t : thresholds) {
+        auto it = std::upper_bound(samples.begin(), samples.end(), t);
+        out.push_back(samples.empty() ? 0.0
+            : static_cast<double>(it - samples.begin()) /
+              static_cast<double>(samples.size()));
+    }
+    return out;
+}
+
+double
+percentileOf(std::vector<double> samples, double p)
+{
+    PercentileTracker t;
+    for (double s : samples)
+        t.add(s);
+    return t.percentile(p);
+}
+
+} // namespace m5

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight statistics: running summaries, percentile reservoirs, and
+ * log-bucketed histograms used by the analysis layer and the Redis p99
+ * latency measurement.
+ */
+
+#ifndef M5_COMMON_STATS_HH
+#define M5_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace m5 {
+
+/** Running mean / min / max / count without storing samples. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+    /** Number of samples. */
+    std::uint64_t count() const { return n_; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Stores every sample; exact percentiles on demand.  Suitable for the
+ *  per-request latency distributions (~1e5-1e6 samples). */
+class PercentileTracker
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+    /**
+     * Exact percentile by nearest-rank.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+    /** Drop all samples. */
+    void reset() { samples_.clear(); }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/** Fixed-bucket histogram over [0, buckets*width). Overflow goes to the
+ *  last bucket. */
+class Histogram
+{
+  public:
+    /** @param buckets Number of buckets. @param width Bucket width. */
+    Histogram(std::size_t buckets, double width);
+    /** Add one sample. */
+    void add(double x);
+    /** Count in bucket i. */
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    /** Number of buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+    /** Total samples. */
+    std::uint64_t total() const { return total_; }
+    /** Fraction of samples at or below the upper edge of bucket i. */
+    double cdfAt(std::size_t i) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    double width_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Build an empirical CDF over arbitrary values: given samples, returns for
+ * each requested threshold the fraction of samples <= threshold.
+ */
+std::vector<double> empiricalCdf(std::vector<double> samples,
+                                 const std::vector<double> &thresholds);
+
+/** Nearest-rank percentile of a (copied) sample vector. */
+double percentileOf(std::vector<double> samples, double p);
+
+} // namespace m5
+
+#endif // M5_COMMON_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Column-aligned text tables and CSV emission for the bench harnesses.
+ *
+ * Every figure/table binary in bench/ prints its rows through this so the
+ * output style is uniform and machine-parsable.
+ */
+
+#ifndef M5_COMMON_TABLE_HH
+#define M5_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace m5 {
+
+/** A simple text table: set headers, add rows, print aligned or as CSV. */
+class TextTable
+{
+  public:
+    /** Set the column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner (used between figure panels). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace m5
+
+#endif // M5_COMMON_TABLE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fundamental address and time types shared by every subsystem.
+ *
+ * The simulated machine follows the paper's assumptions (§3): a 48-bit
+ * physical address space, 4KB pages, and 64B words (cache lines).  DRAM is
+ * accessed at word granularity, so a memory access address is PA[47:6]; the
+ * page frame number of a 4KB page is PA[47:12].
+ */
+
+#ifndef M5_COMMON_TYPES_HH
+#define M5_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace m5 {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** CPU clock cycles (the evaluation platform runs at 2.1 GHz). */
+using Cycles = std::uint64_t;
+
+/** Physical address (48-bit space, stored in 64 bits). */
+using Addr = std::uint64_t;
+
+/** Virtual address. */
+using VAddr = std::uint64_t;
+
+/** Page frame number: PA[47:12]. */
+using Pfn = std::uint64_t;
+
+/** Virtual page number: VA[47:12]. */
+using Vpn = std::uint64_t;
+
+/** Word (cache-line) number: PA[47:6]. */
+using WordAddr = std::uint64_t;
+
+/** Memory tier node identifier (0 = DDR, 1 = CXL by convention). */
+using NodeId = std::uint32_t;
+
+/** Log2 of the 4KB page size. */
+inline constexpr unsigned kPageShift = 12;
+/** Page size in bytes. */
+inline constexpr std::uint64_t kPageBytes = 1ULL << kPageShift;
+/** Log2 of the 64B word (cache line) size. */
+inline constexpr unsigned kWordShift = 6;
+/** Word size in bytes. */
+inline constexpr std::uint64_t kWordBytes = 1ULL << kWordShift;
+/** Number of 64B words in a 4KB page. */
+inline constexpr unsigned kWordsPerPage = 1u << (kPageShift - kWordShift);
+
+/** The DDR tier node id. */
+inline constexpr NodeId kNodeDdr = 0;
+/** The CXL tier node id. */
+inline constexpr NodeId kNodeCxl = 1;
+
+/** Extract the page frame number from a physical address. */
+constexpr Pfn
+pfnOf(Addr pa)
+{
+    return pa >> kPageShift;
+}
+
+/** Extract the word address (PA[47:6]) from a physical address. */
+constexpr WordAddr
+wordOf(Addr pa)
+{
+    return pa >> kWordShift;
+}
+
+/** Extract the virtual page number from a virtual address. */
+constexpr Vpn
+vpnOf(VAddr va)
+{
+    return va >> kPageShift;
+}
+
+/** First byte address of a page frame. */
+constexpr Addr
+pageBase(Pfn pfn)
+{
+    return pfn << kPageShift;
+}
+
+/** Index of the 64B word within its 4KB page (0..63). */
+constexpr unsigned
+wordInPage(Addr pa)
+{
+    return static_cast<unsigned>((pa >> kWordShift) &
+                                 (kWordsPerPage - 1));
+}
+
+/** Convert seconds to ticks (nanoseconds). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * 1e9);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * 1e3);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * 1e6);
+}
+
+} // namespace m5
+
+#endif // M5_COMMON_TYPES_HH

@@ -1,0 +1,100 @@
+#include "common/zipf.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+/** Vose's alias method construction. */
+void
+buildAlias(const std::vector<double> &pmf, std::vector<double> &prob,
+           std::vector<std::uint32_t> &alias)
+{
+    const std::size_t n = pmf.size();
+    prob.assign(n, 0.0);
+    alias.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = pmf[i] * static_cast<double>(n);
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(i));
+        else
+            large.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        std::uint32_t s = small.back();
+        small.pop_back();
+        std::uint32_t l = large.back();
+        large.pop_back();
+        prob[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    while (!large.empty()) {
+        prob[large.back()] = 1.0;
+        large.pop_back();
+    }
+    while (!small.empty()) {
+        prob[small.back()] = 1.0;
+        small.pop_back();
+    }
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+{
+    m5_assert(n > 0, "ZipfSampler needs at least one item");
+    mass_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mass_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        sum += mass_[i];
+    }
+    for (double &m : mass_)
+        m /= sum;
+    buildAlias(mass_, prob_, alias_);
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const std::size_t i = rng.below(prob_.size());
+    return rng.real() < prob_[i] ? i : alias_[i];
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+{
+    m5_assert(!weights.empty(), "AliasSampler needs at least one weight");
+    double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    m5_assert(sum > 0.0, "AliasSampler needs positive total weight");
+    std::vector<double> pmf(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        m5_assert(weights[i] >= 0.0, "negative weight at index %zu", i);
+        pmf[i] = weights[i] / sum;
+    }
+    buildAlias(pmf, prob_, alias_);
+}
+
+std::size_t
+AliasSampler::sample(Rng &rng) const
+{
+    const std::size_t i = rng.below(prob_.size());
+    return rng.real() < prob_[i] ? i : alias_[i];
+}
+
+} // namespace m5

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * O(1) Zipf-distributed sampling via an alias table.
+ *
+ * Workload models use Zipf(alpha) page popularity to reproduce the per-page
+ * access-count CDF shapes of Figure 10.  The alias method precomputes two
+ * tables of size n so each sample costs one RNG draw and two loads, which
+ * keeps multi-million-access experiments fast.
+ */
+
+#ifndef M5_COMMON_ZIPF_HH
+#define M5_COMMON_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace m5 {
+
+/** Samples ranks 0..n-1 where rank r has probability proportional to
+ *  1/(r+1)^alpha.  Rank 0 is the most popular item. */
+class ZipfSampler
+{
+  public:
+    /**
+     * Build the alias table.
+     *
+     * @param n Number of items (> 0).
+     * @param alpha Skew parameter; 0 degenerates to uniform.
+     */
+    ZipfSampler(std::size_t n, double alpha);
+
+    /** Draw one rank. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return prob_.size(); }
+
+    /** Probability mass of a given rank (for tests and analysis). */
+    double mass(std::size_t rank) const { return mass_[rank]; }
+
+  private:
+    std::vector<double> prob_;        //!< Alias acceptance probabilities.
+    std::vector<std::uint32_t> alias_; //!< Alias targets.
+    std::vector<double> mass_;        //!< Normalised pmf (kept for mass()).
+};
+
+/** Generic alias-table sampler over an arbitrary discrete distribution. */
+class AliasSampler
+{
+  public:
+    /** Build from (unnormalised) non-negative weights; at least one > 0. */
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw one index. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace m5
+
+#endif // M5_COMMON_ZIPF_HH

@@ -1,0 +1,71 @@
+#include "cxl/controller.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+CxlController::CxlController(const CxlControllerConfig &cfg)
+{
+    if (cfg.pac)
+        pac_ = std::make_unique<PacUnit>(*cfg.pac);
+    if (cfg.wac)
+        wac_ = std::make_unique<WacUnit>(*cfg.wac);
+    if (cfg.hpt)
+        hpt_ = std::make_unique<HptUnit>(*cfg.hpt);
+    if (cfg.hwt)
+        hwt_ = std::make_unique<HwtUnit>(*cfg.hwt);
+}
+
+void
+CxlController::observe(Addr pa, bool is_write, Tick now)
+{
+    (void)is_write;
+    (void)now;
+    ++snooped_;
+    if (pac_)
+        pac_->observe(pa);
+    if (wac_)
+        wac_->observe(pa);
+    if (hpt_)
+        hpt_->observe(pa);
+    if (hwt_)
+        hwt_->observe(pa);
+}
+
+MemObserver
+CxlController::observer()
+{
+    return [this](Addr pa, bool is_write, Tick now) {
+        observe(pa, is_write, now);
+    };
+}
+
+PacUnit &
+CxlController::pac()
+{
+    m5_assert(pac_ != nullptr, "PAC not configured");
+    return *pac_;
+}
+
+WacUnit &
+CxlController::wac()
+{
+    m5_assert(wac_ != nullptr, "WAC not configured");
+    return *wac_;
+}
+
+HptUnit &
+CxlController::hpt()
+{
+    m5_assert(hpt_ != nullptr, "HPT not configured");
+    return *hpt_;
+}
+
+HwtUnit &
+CxlController::hwt()
+{
+    m5_assert(hwt_ != nullptr, "HWT not configured");
+    return *hwt_;
+}
+
+} // namespace m5

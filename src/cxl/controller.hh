@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The CXL controller's near-memory observation point (Figures 1-2).
+ *
+ * The controller sits between the CXL IP and the device memory controllers
+ * and snoops every access address.  It hosts the user-defined AFU blocks:
+ * PAC/WAC (offline profiling) and HPT/HWT (online top-K tracking).  Attach
+ * CxlController::observer() to the CXL tier of a MemorySystem.
+ */
+
+#ifndef M5_CXL_CONTROLLER_HH
+#define M5_CXL_CONTROLLER_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/types.hh"
+#include "cxl/hpt.hh"
+#include "cxl/hwt.hh"
+#include "cxl/pac.hh"
+#include "cxl/wac.hh"
+#include "mem/memsys.hh"
+
+namespace m5 {
+
+/** Which AFU units to instantiate. */
+struct CxlControllerConfig
+{
+    std::optional<PacConfig> pac;
+    std::optional<WacConfig> wac;
+    std::optional<TrackerConfig> hpt;
+    std::optional<TrackerConfig> hwt;
+};
+
+/** The CXL device controller with its profiling / tracking AFUs. */
+class CxlController
+{
+  public:
+    explicit CxlController(const CxlControllerConfig &cfg);
+
+    /** Snoop one access (wire this into the memory system). */
+    void observe(Addr pa, bool is_write, Tick now);
+
+    /** An observer closure suitable for MemorySystem::attachObserver. */
+    MemObserver observer();
+
+    /** @{ Unit accessors; panic if the unit was not configured. */
+    PacUnit &pac();
+    WacUnit &wac();
+    HptUnit &hpt();
+    HwtUnit &hwt();
+    /** @} */
+
+    /** @{ Presence checks. */
+    bool hasPac() const { return pac_ != nullptr; }
+    bool hasWac() const { return wac_ != nullptr; }
+    bool hasHpt() const { return hpt_ != nullptr; }
+    bool hasHwt() const { return hwt_ != nullptr; }
+    /** @} */
+
+    /** Total accesses the controller has snooped. */
+    std::uint64_t snooped() const { return snooped_; }
+
+  private:
+    std::unique_ptr<PacUnit> pac_;
+    std::unique_ptr<WacUnit> wac_;
+    std::unique_ptr<HptUnit> hpt_;
+    std::unique_ptr<HwtUnit> hwt_;
+    std::uint64_t snooped_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_CONTROLLER_HH

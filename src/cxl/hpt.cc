@@ -1,0 +1,19 @@
+#include "cxl/hpt.hh"
+
+namespace m5 {
+
+HptUnit::HptUnit(const TrackerConfig &cfg)
+    : tracker_(makeTracker(cfg))
+{
+}
+
+std::vector<TopKEntry>
+HptUnit::queryAndReset()
+{
+    auto top = tracker_->query();
+    tracker_->reset();
+    observed_ = 0;
+    return top;
+}
+
+} // namespace m5

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hot-Page Tracker (HPT) — §5.1.
+ *
+ * HPT applies a top-K tracker (CM-Sketch + sorted CAM, or Space-Saving) to
+ * the page frame numbers of every post-LLC CXL access.  The M5-manager
+ * queries the top-K over MMIO; both sketch and CAM reset after a query so
+ * each epoch tracks a fresh interval.
+ */
+
+#ifndef M5_CXL_HPT_HH
+#define M5_CXL_HPT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sketch/topk_tracker.hh"
+
+namespace m5 {
+
+/** Top-K hot-page tracking in the CXL controller. */
+class HptUnit
+{
+  public:
+    /** @param cfg Tracker algorithm and geometry. */
+    explicit HptUnit(const TrackerConfig &cfg);
+
+    /** Snoop one access address. */
+    void
+    observe(Addr pa)
+    {
+        tracker_->access(pfnOf(pa));
+        ++observed_;
+    }
+
+    /**
+     * Serve an M5-manager query: return the current top-K hot PFNs and
+     * reset for the next epoch (§5.1, "reset immediately after the query
+     * is served").
+     */
+    std::vector<TopKEntry> queryAndReset();
+
+    /** Peek without resetting (tests). */
+    std::vector<TopKEntry> peek() const { return tracker_->query(); }
+
+    /** Accesses observed since the last reset. */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Underlying tracker (ablations). */
+    const TopKTracker &tracker() const { return *tracker_; }
+
+  private:
+    std::unique_ptr<TopKTracker> tracker_;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_HPT_HH

@@ -1,0 +1,19 @@
+#include "cxl/hwt.hh"
+
+namespace m5 {
+
+HwtUnit::HwtUnit(const TrackerConfig &cfg)
+    : tracker_(makeTracker(cfg))
+{
+}
+
+std::vector<TopKEntry>
+HwtUnit::queryAndReset()
+{
+    auto top = tracker_->query();
+    tracker_->reset();
+    observed_ = 0;
+    return top;
+}
+
+} // namespace m5

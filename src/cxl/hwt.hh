@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hot-Word Tracker (HWT) — §5.1.
+ *
+ * Same architecture as HPT but keyed by 64B word addresses (PA[47:6]); the
+ * hot-word addresses feed the Nominator's _HWA structure, which maps them
+ * back to PFNs and per-page word masks (§5.2).
+ */
+
+#ifndef M5_CXL_HWT_HH
+#define M5_CXL_HWT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sketch/topk_tracker.hh"
+
+namespace m5 {
+
+/** Top-K hot-word tracking in the CXL controller. */
+class HwtUnit
+{
+  public:
+    /** @param cfg Tracker algorithm and geometry. */
+    explicit HwtUnit(const TrackerConfig &cfg);
+
+    /** Snoop one access address. */
+    void
+    observe(Addr pa)
+    {
+        tracker_->access(wordOf(pa));
+        ++observed_;
+    }
+
+    /** Serve a query and reset for the next epoch. */
+    std::vector<TopKEntry> queryAndReset();
+
+    /** Peek without resetting (tests). */
+    std::vector<TopKEntry> peek() const { return tracker_->query(); }
+
+    /** Accesses observed since the last reset. */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Underlying tracker (ablations). */
+    const TopKTracker &tracker() const { return *tracker_; }
+
+  private:
+    std::unique_ptr<TopKTracker> tracker_;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_HWT_HH

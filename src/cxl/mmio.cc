@@ -1,0 +1,46 @@
+#include "cxl/mmio.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+MmioWindow::MmioWindow(const MmioConfig &cfg, std::size_t num_counters,
+                       CounterReader reader)
+    : cfg_(cfg), num_counters_(num_counters),
+      per_window_(cfg.window_bytes / cfg.counter_bytes),
+      reader_(std::move(reader))
+{
+    m5_assert(per_window_ > 0, "MMIO window smaller than one counter");
+    m5_assert(reader_ != nullptr, "MMIO window needs a counter source");
+}
+
+std::uint64_t
+MmioWindow::read(std::size_t i, Tick &elapsed)
+{
+    m5_assert(i < num_counters_, "counter index %zu out of range", i);
+    const std::size_t base = (i / per_window_) * per_window_;
+    if (!window_valid_ || base != window_base_) {
+        // Reprogram the base-address configuration register over CXL.io.
+        window_base_ = base;
+        window_valid_ = true;
+        ++switches_;
+        elapsed += cfg_.config_write_latency;
+    }
+    ++reads_;
+    elapsed += cfg_.read_latency;
+    return reader_(i);
+}
+
+Tick
+MmioWindow::readAll(std::vector<std::uint64_t> &out)
+{
+    out.resize(num_counters_);
+    Tick elapsed = 0;
+    for (std::size_t i = 0; i < num_counters_; ++i)
+        out[i] = read(i, elapsed);
+    return elapsed;
+}
+
+} // namespace m5

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The MMIO window through which PAC/WAC software reads access counts
+ * (§3, Software).
+ *
+ * The device exposes a 2MB MMIO region: 1MB maps a movable window of the
+ * SRAM unit, 1MB maps configuration/control registers.  Because the SRAM
+ * holds 4MB of counters, software programs a base-address configuration
+ * register and reads the counters window by window.  The model charges a
+ * per-read CXL.io cost and counts window switches, so profiling software
+ * overhead (e.g. "hundreds of milliseconds to read 2M counters", §5.1)
+ * is reproducible.
+ */
+
+#ifndef M5_CXL_MMIO_HH
+#define M5_CXL_MMIO_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** MMIO window geometry and access costs. */
+struct MmioConfig
+{
+    std::uint64_t window_bytes = 1ULL << 20; //!< Counter window (1MB).
+    std::uint64_t counter_bytes = 2;         //!< SRAM counter width (L/8).
+    Tick read_latency = 900;   //!< One CXL.io MMIO read round trip.
+    Tick config_write_latency = 1000; //!< Base-register update.
+};
+
+/** Windowed MMIO access to a linear array of device counters. */
+class MmioWindow
+{
+  public:
+    /** Reader callback: fetch the raw counter at linear index i. */
+    using CounterReader = std::function<std::uint64_t(std::size_t)>;
+
+    /**
+     * @param cfg Geometry and costs.
+     * @param num_counters Counters behind the window.
+     * @param reader Backing counter source (e.g. PAC's SRAM).
+     */
+    MmioWindow(const MmioConfig &cfg, std::size_t num_counters,
+               CounterReader reader);
+
+    /**
+     * Read counter i the way software does: program the base register if
+     * i falls outside the current window, then read through the window.
+     *
+     * @param[out] elapsed Accumulates the MMIO time spent.
+     */
+    std::uint64_t read(std::size_t i, Tick &elapsed);
+
+    /**
+     * Read all counters into out (the §5.1 "fetch all access counts"
+     * operation).
+     * @return The total MMIO time.
+     */
+    Tick readAll(std::vector<std::uint64_t> &out);
+
+    /** Counters per window position. */
+    std::size_t countersPerWindow() const { return per_window_; }
+
+    /** Window repositioning operations so far. */
+    std::uint64_t windowSwitches() const { return switches_; }
+
+    /** MMIO reads so far. */
+    std::uint64_t reads() const { return reads_; }
+
+  private:
+    MmioConfig cfg_;
+    std::size_t num_counters_;
+    std::size_t per_window_;
+    CounterReader reader_;
+    std::size_t window_base_ = 0;
+    bool window_valid_ = false;
+    std::uint64_t switches_ = 0;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_MMIO_HH

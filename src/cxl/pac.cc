@@ -1,0 +1,96 @@
+#include "cxl/pac.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+PacUnit::PacUnit(const PacConfig &cfg)
+    : cfg_(cfg),
+      sat_((cfg.counter_bits >= 16 ? 0xffffULL
+                                   : (1ULL << cfg.counter_bits) - 1)),
+      sram_(cfg.frames, 0),
+      table_(cfg.frames, 0)
+{
+    m5_assert(cfg.frames > 0, "PAC needs a non-empty frame range");
+    m5_assert(cfg.counter_bits >= 1 && cfg.counter_bits <= 16,
+              "PAC SRAM counters are 1..16 bits");
+}
+
+void
+PacUnit::observe(Addr pa)
+{
+    const Pfn pfn = pfnOf(pa);
+    if (!inRange(pfn))
+        return;
+    const std::size_t idx = pfn - cfg_.first_pfn;
+    ++total_;
+    if (++sram_[idx] >= sat_) {
+        // D2D accumulate-and-reset into the 64-bit table.
+        table_[idx] += sram_[idx];
+        sram_[idx] = 0;
+        ++spills_;
+    }
+}
+
+std::uint64_t
+PacUnit::count(Pfn pfn) const
+{
+    if (!inRange(pfn))
+        return 0;
+    const std::size_t idx = pfn - cfg_.first_pfn;
+    return table_[idx] + sram_[idx];
+}
+
+std::vector<TopKEntry>
+PacUnit::topK(std::size_t k) const
+{
+    std::vector<TopKEntry> all;
+    for (std::size_t i = 0; i < cfg_.frames; ++i) {
+        const std::uint64_t c = table_[i] + sram_[i];
+        if (c)
+            all.push_back({cfg_.first_pfn + i, c});
+    }
+    std::sort(all.begin(), all.end(),
+        [](const TopKEntry &a, const TopKEntry &b) {
+            if (a.count != b.count)
+                return a.count > b.count;
+            return a.tag < b.tag;
+        });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+std::uint64_t
+PacUnit::topKAccessSum(std::size_t k) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : topK(k))
+        sum += e.count;
+    return sum;
+}
+
+std::vector<std::uint64_t>
+PacUnit::nonZeroCounts() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < cfg_.frames; ++i) {
+        const std::uint64_t c = table_[i] + sram_[i];
+        if (c)
+            out.push_back(c);
+    }
+    return out;
+}
+
+void
+PacUnit::reset()
+{
+    std::fill(sram_.begin(), sram_.end(), 0);
+    std::fill(table_.begin(), table_.end(), 0);
+    total_ = 0;
+    spills_ = 0;
+}
+
+} // namespace m5

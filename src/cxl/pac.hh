@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Page Access Counter (PAC) — §3.
+ *
+ * PAC snoops every post-LLC access address travelling from the CXL IP to
+ * the device memory controllers and counts accesses per 4KB page frame.
+ * The hardware keeps an L-bit saturating SRAM counter per frame; when a
+ * counter saturates it is accumulated into a 64-bit entry of the
+ * access-count table in device memory via a D2D write, then reset.  The
+ * host reads final counts through an MMIO window after the run.
+ *
+ * PAC is the ground-truth profiler: Figures 3, 8 and 10 are computed from
+ * its access-count table.
+ */
+
+#ifndef M5_CXL_PAC_HH
+#define M5_CXL_PAC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** PAC geometry. */
+struct PacConfig
+{
+    Pfn first_pfn = 0;            //!< First monitored frame.
+    std::size_t frames = 0;       //!< Monitored frame count.
+    unsigned counter_bits = 16;   //!< SRAM counter width L.
+};
+
+/** Exact per-page access counting in the CXL controller. */
+class PacUnit
+{
+  public:
+    explicit PacUnit(const PacConfig &cfg);
+
+    /** Snoop one access; addresses outside the range are ignored. */
+    void observe(Addr pa);
+
+    /** Exact access count of a frame (SRAM + spilled table). */
+    std::uint64_t count(Pfn pfn) const;
+
+    /** Total observed accesses. */
+    std::uint64_t totalAccesses() const { return total_; }
+
+    /**
+     * The top-k hottest frames by exact count (the §4.1 S5 query).
+     * Frames with zero accesses are never reported.
+     */
+    std::vector<TopKEntry> topK(std::size_t k) const;
+
+    /** Sum of the counts of the top-k frames (top_k_access_count, §4.1). */
+    std::uint64_t topKAccessSum(std::size_t k) const;
+
+    /** All non-zero counts (for CDFs, Figure 10). */
+    std::vector<std::uint64_t> nonZeroCounts() const;
+
+    /** Number of counters that spilled to the 64-bit table at least once. */
+    std::uint64_t spills() const { return spills_; }
+
+    /** First monitored frame. */
+    Pfn firstPfn() const { return cfg_.first_pfn; }
+
+    /** Monitored frame count. */
+    std::size_t frames() const { return cfg_.frames; }
+
+    /** Zero all counters. */
+    void reset();
+
+  private:
+    bool
+    inRange(Pfn pfn) const
+    {
+        return pfn >= cfg_.first_pfn && pfn < cfg_.first_pfn + cfg_.frames;
+    }
+
+    PacConfig cfg_;
+    std::uint64_t sat_;                  //!< SRAM saturation value.
+    std::vector<std::uint16_t> sram_;    //!< L-bit counters (L <= 16).
+    std::vector<std::uint64_t> table_;   //!< 64-bit access-count table.
+    std::uint64_t total_ = 0;
+    std::uint64_t spills_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_PAC_HH

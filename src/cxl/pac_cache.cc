@@ -1,0 +1,106 @@
+#include "cxl/pac_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+PacCacheUnit::PacCacheUnit(const PacCacheConfig &cfg)
+    : cfg_(cfg), table_(cfg.frames, 0)
+{
+    m5_assert(cfg.frames > 0, "PAC cache needs a frame range");
+    m5_assert(cfg.assoc > 0 && cfg.cache_entries >= cfg.assoc,
+              "bad PAC cache geometry");
+    sets_ = cfg.cache_entries / cfg.assoc;
+    while (sets_ & (sets_ - 1))
+        sets_ &= sets_ - 1;
+    slots_.assign(sets_ * cfg.assoc, Slot{});
+}
+
+void
+PacCacheUnit::observe(Addr pa)
+{
+    const Pfn pfn = pfnOf(pa);
+    if (!inRange(pfn))
+        return;
+    ++total_;
+    ++tick_;
+
+    Slot *set = &slots_[(pfn & (sets_ - 1)) * cfg_.assoc];
+    Slot *victim = &set[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Slot &s = set[w];
+        if (s.valid && s.pfn == pfn) {
+            ++s.count;
+            s.lru = tick_;
+            ++hits_;
+            return;
+        }
+        if (!victim->valid)
+            continue;
+        if (!s.valid || s.lru < victim->lru)
+            victim = &s;
+    }
+
+    ++misses_;
+    if (victim->valid) {
+        // D2D writeback: accumulate into the access-count table.
+        table_[victim->pfn - cfg_.first_pfn] += victim->count;
+        ++evictions_;
+    }
+    victim->pfn = pfn;
+    victim->count = 1;
+    victim->lru = tick_;
+    victim->valid = true;
+}
+
+std::uint64_t
+PacCacheUnit::count(Pfn pfn) const
+{
+    if (!inRange(pfn))
+        return 0;
+    std::uint64_t c = table_[pfn - cfg_.first_pfn];
+    const Slot *set = &slots_[(pfn & (sets_ - 1)) * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (set[w].valid && set[w].pfn == pfn) {
+            c += set[w].count;
+            break;
+        }
+    }
+    return c;
+}
+
+std::vector<TopKEntry>
+PacCacheUnit::topK(std::size_t k) const
+{
+    std::vector<TopKEntry> all;
+    for (std::size_t i = 0; i < cfg_.frames; ++i) {
+        const std::uint64_t c = count(cfg_.first_pfn + i);
+        if (c)
+            all.push_back({cfg_.first_pfn + i, c});
+    }
+    std::sort(all.begin(), all.end(),
+        [](const TopKEntry &a, const TopKEntry &b) {
+            if (a.count != b.count)
+                return a.count > b.count;
+            return a.tag < b.tag;
+        });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+void
+PacCacheUnit::reset()
+{
+    std::fill(table_.begin(), table_.end(), 0);
+    slots_.assign(slots_.size(), Slot{});
+    total_ = 0;
+    evictions_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    tick_ = 0;
+}
+
+} // namespace m5

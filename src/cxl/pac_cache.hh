@@ -1,0 +1,92 @@
+/**
+ * @file
+ * PAC scalability mode 1 (§3, Scalability): when the 4MB SRAM cannot hold
+ * a counter per frame of a large CXL DRAM, the SRAM unit becomes a
+ * set-associative *cache* of counters.  On a miss, a victim counter is
+ * evicted — its value accumulated into the in-memory access-count table
+ * via a D2D write — and the new counter starts at 1.
+ *
+ * Counting stays exact (cache + table always sum to the true count); the
+ * cost is D2D writeback traffic, which this model exposes so the
+ * SRAM-size / traffic trade-off can be swept (bench/abl_pac_cache).
+ */
+
+#ifndef M5_CXL_PAC_CACHE_HH
+#define M5_CXL_PAC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** Counter-cache geometry. */
+struct PacCacheConfig
+{
+    Pfn first_pfn = 0;          //!< First monitored frame.
+    std::size_t frames = 0;     //!< Monitored frame count.
+    std::size_t cache_entries = 64 * 1024; //!< SRAM counter slots.
+    unsigned assoc = 8;
+};
+
+/** Exact page-access counting through an SRAM counter cache. */
+class PacCacheUnit
+{
+  public:
+    explicit PacCacheUnit(const PacCacheConfig &cfg);
+
+    /** Snoop one access; addresses outside the range are ignored. */
+    void observe(Addr pa);
+
+    /** Exact access count (cached + spilled). */
+    std::uint64_t count(Pfn pfn) const;
+
+    /** Total observed accesses. */
+    std::uint64_t totalAccesses() const { return total_; }
+
+    /** The top-k hottest frames by exact count. */
+    std::vector<TopKEntry> topK(std::size_t k) const;
+
+    /** D2D writebacks caused by counter evictions. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Counter-cache hits. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Counter-cache misses. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Zero everything. */
+    void reset();
+
+  private:
+    struct Slot
+    {
+        Pfn pfn = 0;
+        std::uint64_t count = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    bool
+    inRange(Pfn pfn) const
+    {
+        return pfn >= cfg_.first_pfn && pfn < cfg_.first_pfn + cfg_.frames;
+    }
+
+    PacCacheConfig cfg_;
+    std::uint64_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Slot> slots_;            //!< sets_ x assoc.
+    std::vector<std::uint64_t> table_;   //!< Access-count table (memory).
+    std::uint64_t total_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_PAC_CACHE_HH

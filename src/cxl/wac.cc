@@ -1,0 +1,119 @@
+#include "cxl/wac.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+WacUnit::WacUnit(const WacConfig &cfg)
+    : cfg_(cfg),
+      sat_(static_cast<std::uint8_t>((1u << cfg.counter_bits) - 1)),
+      win_base_(cfg.range_base),
+      counters_(std::min(cfg.window_bytes, cfg.range_bytes) / kWordBytes, 0)
+{
+    m5_assert(cfg.range_bytes > 0, "WAC needs a non-empty range");
+    m5_assert(cfg.counter_bits >= 1 && cfg.counter_bits <= 8,
+              "WAC counters are 1..8 bits");
+    m5_assert((cfg.window_bytes % kPageBytes) == 0,
+              "WAC window must be page-aligned");
+}
+
+void
+WacUnit::observe(Addr pa)
+{
+    if (pa < win_base_ || pa >= win_base_ + counters_.size() * kWordBytes)
+        return;
+    std::uint8_t &c = counters_[(pa - win_base_) >> kWordShift];
+    if (c < sat_)
+        ++c;
+}
+
+void
+WacUnit::fold()
+{
+    const std::size_t words = counters_.size();
+    for (std::size_t w = 0; w < words; ++w) {
+        if (!counters_[w])
+            continue;
+        const Addr pa = win_base_ + w * kWordBytes;
+        PageRecord &rec = masks_[pfnOf(pa)];
+        rec.mask |= 1ULL << wordInPage(pa);
+        rec.touches += counters_[w];
+    }
+}
+
+void
+WacUnit::advanceWindow()
+{
+    fold();
+    std::fill(counters_.begin(), counters_.end(), 0);
+    win_base_ += counters_.size() * kWordBytes;
+    if (win_base_ >= cfg_.range_base + cfg_.range_bytes)
+        win_base_ = cfg_.range_base;
+}
+
+unsigned
+WacUnit::uniqueWords(Pfn pfn) const
+{
+    auto it = masks_.find(pfn);
+    return it == masks_.end()
+        ? 0u : static_cast<unsigned>(std::popcount(it->second.mask));
+}
+
+std::uint64_t
+WacUnit::wordMask(Pfn pfn) const
+{
+    auto it = masks_.find(pfn);
+    return it == masks_.end() ? 0 : it->second.mask;
+}
+
+std::uint64_t
+WacUnit::touches(Pfn pfn) const
+{
+    auto it = masks_.find(pfn);
+    return it == masks_.end() ? 0 : it->second.touches;
+}
+
+std::uint64_t
+WacUnit::wordCount(WordAddr word) const
+{
+    const Addr pa = word << kWordShift;
+    if (pa < win_base_ || pa >= win_base_ + counters_.size() * kWordBytes)
+        return 0;
+    return counters_[(pa - win_base_) >> kWordShift];
+}
+
+std::vector<std::pair<Pfn, unsigned>>
+WacUnit::pagesWithUniqueWords(std::uint64_t min_touches) const
+{
+    std::vector<std::pair<Pfn, unsigned>> out;
+    out.reserve(masks_.size());
+    for (const auto &[pfn, rec] : masks_) {
+        // A page counts as well-sampled when it accumulated min_touches,
+        // or when every touched word's 4-bit counter saturated (a sparse
+        // page physically cannot accumulate more).
+        const auto words =
+            static_cast<std::uint64_t>(std::popcount(rec.mask));
+        const std::uint64_t needed =
+            std::min<std::uint64_t>(min_touches,
+                                    words * static_cast<std::uint64_t>(
+                                        sat_));
+        if (rec.touches >= needed) {
+            out.emplace_back(pfn, static_cast<unsigned>(words));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+WacUnit::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 0);
+    masks_.clear();
+    win_base_ = cfg_.range_base;
+}
+
+} // namespace m5

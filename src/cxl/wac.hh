@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Word Access Counter (WAC) — §3.
+ *
+ * WAC counts accesses per 64B word with 4-bit saturating SRAM counters.
+ * Because per-word state is large, the hardware monitors one 128MB region
+ * at a time (§3 Scalability); software sweeps the window over the CXL
+ * range across intervals.  When a window is folded, the per-page set of
+ * touched words is accumulated into a 64-bit mask per frame — the data
+ * behind Figure 4's sparsity analysis and the HWT-driven Nominator.
+ */
+
+#ifndef M5_CXL_WAC_HH
+#define M5_CXL_WAC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** WAC geometry. */
+struct WacConfig
+{
+    Addr range_base = 0;            //!< First byte of the swept CXL range.
+    std::uint64_t range_bytes = 0;  //!< Total range covered by sweeping.
+    std::uint64_t window_bytes = 128ULL << 20; //!< Monitored at a time.
+    unsigned counter_bits = 4;      //!< Per-word SRAM counter width.
+};
+
+/** Word-granularity access counting over a sliding window. */
+class WacUnit
+{
+  public:
+    explicit WacUnit(const WacConfig &cfg);
+
+    /** Snoop one access; addresses outside the window are ignored. */
+    void observe(Addr pa);
+
+    /** Fold the current window into the per-page masks and advance to the
+     *  next window (wrapping around the range). */
+    void advanceWindow();
+
+    /** Fold the current window without advancing (end of run). */
+    void fold();
+
+    /** Number of distinct 64B words ever observed in a frame (0..64). */
+    unsigned uniqueWords(Pfn pfn) const;
+
+    /** Accumulated 64-bit touched-word mask of a frame. */
+    std::uint64_t wordMask(Pfn pfn) const;
+
+    /** Count of a word in the *current* window (0 if outside). */
+    std::uint64_t wordCount(WordAddr word) const;
+
+    /**
+     * All frames with a non-empty mask, with their unique-word counts.
+     *
+     * @param min_touches Only include pages with at least this many
+     *        (saturating) word touches accumulated — at scaled access
+     *        budgets, under-sampled cold pages would otherwise read as
+     *        artificially sparse.
+     */
+    std::vector<std::pair<Pfn, unsigned>>
+    pagesWithUniqueWords(std::uint64_t min_touches = 0) const;
+
+    /** Accumulated (4-bit-saturating) touch count of a frame. */
+    std::uint64_t touches(Pfn pfn) const;
+
+    /** Current window base address. */
+    Addr windowBase() const { return win_base_; }
+
+    /** Clear everything. */
+    void reset();
+
+  private:
+    struct PageRecord
+    {
+        std::uint64_t mask = 0;    //!< Touched-word bits.
+        std::uint64_t touches = 0; //!< Sum of saturating word counts.
+    };
+
+    WacConfig cfg_;
+    std::uint8_t sat_;
+    Addr win_base_;
+    std::vector<std::uint8_t> counters_; //!< One per word in the window.
+    std::unordered_map<Pfn, PageRecord> masks_;
+};
+
+} // namespace m5
+
+#endif // M5_CXL_WAC_HH

@@ -1,0 +1,92 @@
+#include "hwmodel/area_power.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+// Fitted to Table 4 (7nm, H = 4, K = 5, 400MHz):
+//   Space-Saving (CAM):  area = 60.2 * N^1.049,  power = 0.0146 * N
+//   CM-Sketch (SRAM):    area = base + 1.304*N + 22*sqrt(N)
+//                        power = pbase + 5.7e-4*N + 0.02*sqrt(N)
+// where base/pbase include the K-entry sorted CAM at CAM per-entry cost.
+
+constexpr double kCamAreaCoeff = 60.2;
+constexpr double kCamAreaExp = 1.049;
+constexpr double kCamPowerPerEntry = 0.0146;
+
+constexpr double kSramFixedArea = 1313.0;
+constexpr double kSramAreaPerEntry = 1.304;
+constexpr double kSramAreaBankTerm = 22.0;
+constexpr double kSramFixedPower = 1.757;
+constexpr double kSramPowerPerEntry = 5.7e-4;
+constexpr double kSramPowerBankTerm = 0.02;
+
+constexpr double kCamAreaPerEntry = 73.0; // For the K-entry result CAM.
+
+} // namespace
+
+std::uint64_t
+fpgaMaxEntries(TrackerKind kind)
+{
+    // FPGA synthesis at 400MHz (§7.1): parallel CAM match limits
+    // Space-Saving to 50 entries; banked block-RAM CM-Sketch reaches 128K.
+    switch (kind) {
+      case TrackerKind::SpaceSavingTopK:
+        return 50;
+      case TrackerKind::CmSketchTopK:
+        return 128 * 1024;
+    }
+    m5_panic("unknown TrackerKind");
+}
+
+std::uint64_t
+asicMaxEntries(TrackerKind kind)
+{
+    // 7nm logic at 400MHz (Table 4): Space-Saving tops out at N = 2K —
+    // "almost an order of magnitude fewer entries than the FPGA-based
+    // CM-Sketch"; SRAM-based CM-Sketch scales beyond the table.
+    switch (kind) {
+      case TrackerKind::SpaceSavingTopK:
+        return 2 * 1024;
+      case TrackerKind::CmSketchTopK:
+        return 1024 * 1024;
+    }
+    m5_panic("unknown TrackerKind");
+}
+
+SynthesisEstimate
+estimateTracker(TrackerKind kind, std::uint64_t entries, std::size_t k,
+                unsigned counter_bits)
+{
+    m5_assert(entries > 0, "tracker needs entries");
+    SynthesisEstimate est;
+    const double n = static_cast<double>(entries);
+    const double bit_scale = static_cast<double>(counter_bits) / 16.0;
+
+    switch (kind) {
+      case TrackerKind::SpaceSavingTopK:
+        // The N-entry stream-summary CAM *is* the top-K store; K does not
+        // add hardware.
+        est.area_um2 = kCamAreaCoeff * std::pow(n, kCamAreaExp) * bit_scale;
+        est.power_mw = kCamPowerPerEntry * n * bit_scale;
+        break;
+      case TrackerKind::CmSketchTopK: {
+        const double cam_k = static_cast<double>(k);
+        est.area_um2 = kSramFixedArea + kCamAreaPerEntry * cam_k +
+                       kSramAreaPerEntry * n * bit_scale +
+                       kSramAreaBankTerm * std::sqrt(n);
+        est.power_mw = kSramFixedPower + kCamPowerPerEntry * cam_k +
+                       kSramPowerPerEntry * n * bit_scale +
+                       kSramPowerBankTerm * std::sqrt(n);
+        break;
+      }
+    }
+    est.fpga_feasible = entries <= fpgaMaxEntries(kind);
+    est.asic_feasible = entries <= asicMaxEntries(kind);
+    return est;
+}
+
+} // namespace m5

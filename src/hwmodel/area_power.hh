@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytical area / power model of the top-K trackers (Table 4, §7.1).
+ *
+ * The Space-Saving tracker is an N-entry CAM searched in parallel on every
+ * access: area and power grow superlinearly in N (match lines, priority
+ * encoding), which caps the synthesizable N at 50 entries on the Agilex-7
+ * FPGA and ~2K in 7nm ASIC under the 400MHz timing constraint (one access
+ * per tCCD = 2.5ns).  The CM-Sketch tracker stores counts in banked SRAM
+ * with a constant K-entry CAM, so it scales to 128K entries.
+ *
+ * Constants are fitted to the paper's Table 4 (ASAP7-class 7nm numbers).
+ */
+
+#ifndef M5_HWMODEL_AREA_POWER_HH
+#define M5_HWMODEL_AREA_POWER_HH
+
+#include <cstdint>
+
+#include "sketch/topk_tracker.hh"
+
+namespace m5 {
+
+/** Synthesis estimate for one tracker instance. */
+struct SynthesisEstimate
+{
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+    bool fpga_feasible = false;  //!< Meets 400MHz on Agilex-7.
+    bool asic_feasible = false;  //!< Meets 400MHz in 7nm logic.
+};
+
+/** Maximum N meeting 400MHz on the FPGA per algorithm. */
+std::uint64_t fpgaMaxEntries(TrackerKind kind);
+
+/** Maximum N meeting 400MHz in the 7nm ASIC flow per algorithm. */
+std::uint64_t asicMaxEntries(TrackerKind kind);
+
+/**
+ * Estimate size and power of a top-K tracker.
+ *
+ * @param kind Algorithm.
+ * @param entries N (CAM entries or H*W sketch counters).
+ * @param k Top-K CAM size (Table 4 uses K = 5).
+ * @param counter_bits Counter width (Table 4 uses 16).
+ */
+SynthesisEstimate estimateTracker(TrackerKind kind, std::uint64_t entries,
+                                  std::size_t k = 5,
+                                  unsigned counter_bits = 16);
+
+} // namespace m5
+
+#endif // M5_HWMODEL_AREA_POWER_HH

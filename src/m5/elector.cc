@@ -1,0 +1,59 @@
+#include "m5/elector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+Elector::Elector(const ElectorConfig &cfg, FScale fscale)
+    : cfg_(cfg), fscale_(std::move(fscale))
+{
+    m5_assert(cfg.f_default > 0.0, "Elector needs f_default > 0");
+    m5_assert(cfg.min_period > 0 && cfg.min_period <= cfg.max_period,
+              "bad Elector period bounds");
+    if (!fscale_) {
+        const double n = cfg_.fscale_exponent;
+        fscale_ = [n](double x) { return std::pow(x, n); };
+    }
+}
+
+ElectorDecision
+Elector::evaluate(const Monitor &monitor)
+{
+    // Line 2: T = 1 / (fscale(bw_den(CXL)/bw_den(DDR)) * f_default).
+    const double den_ddr = monitor.bwDen(kNodeDdr);
+    const double den_cxl = monitor.bwDen(kNodeCxl);
+    double x = den_ddr > 0.0 ? den_cxl / den_ddr
+                             : (den_cxl > 0.0 ? cfg_.x_max : 1.0);
+    x = std::clamp(x, 0.0, cfg_.x_max);
+    const double scale = std::max(fscale_(x), 1e-9);
+    const double t_seconds = 1.0 / (scale * cfg_.f_default);
+    const Tick period = std::clamp(secondsToTicks(t_seconds),
+                                   cfg_.min_period, cfg_.max_period);
+
+    // Lines 4-8: migrate while rel_bw_den(DDR) keeps increasing.  While
+    // DDR still has free frames, promotion cannot displace anything
+    // hotter, so the bootstrap fill is unconditionally allowed (§7:
+    // migration first uses up the 3GB DDR allowance).
+    const double rel = monitor.relBwDen(kNodeDdr);
+    const bool bootstrap = monitor.freeFrames(kNodeDdr) > 0;
+    const double margin =
+        std::abs(prev_rel_bw_den_ddr_) * cfg_.improvement_margin;
+    const bool migrate =
+        bootstrap || rel - prev_rel_bw_den_ddr_ > margin;
+    prev_rel_bw_den_ddr_ = rel;
+
+    // Guideline 1: while DDR frames sit free, migrate "as soon and as
+    // aggressively as possible" — run the loop at its minimum period.
+    return {bootstrap ? cfg_.min_period : period, migrate, rel};
+}
+
+void
+Elector::reset()
+{
+    prev_rel_bw_den_ddr_ = -1.0;
+}
+
+} // namespace m5

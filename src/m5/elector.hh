@@ -1,0 +1,79 @@
+/**
+ * @file
+ * M5-manager Elector — §5.2 Algorithm 1.
+ *
+ * The Elector paces migration by the bandwidth-density ratio
+ * bw_den(CXL)/bw_den(DDR) (Guideline 1: high CXL density means hot pages
+ * wait there, so migrate soon and aggressively), and gates migration on
+ * rel_bw_den(DDR) still increasing (Guideline 2: keep going while the last
+ * batch helped).  fscale() is pluggable; the paper's sample policy uses
+ * y = x^n with n in 3..6.
+ */
+
+#ifndef M5_M5_ELECTOR_HH
+#define M5_M5_ELECTOR_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "m5/monitor.hh"
+
+namespace m5 {
+
+/** Elector tunables. */
+struct ElectorConfig
+{
+    //! Default migration frequency in events per second of simulated time.
+    double f_default = 1000.0;
+    //! Exponent n of the default fscale(x) = x^n.
+    double fscale_exponent = 4.0;
+    //! Clamp on the fscale argument, guarding div-by-zero bw_den(DDR).
+    double x_max = 8.0;
+    //! Bounds on the resulting period T.
+    Tick min_period = usToTicks(200.0);
+    Tick max_period = msToTicks(20.0);
+    //! Hysteresis: rel_bw_den(DDR) must improve by this relative margin
+    //! before another migration round is approved, suppressing churn on
+    //! workloads already at equilibrium.
+    double improvement_margin = 0.10;
+};
+
+/** One Elector evaluation result. */
+struct ElectorDecision
+{
+    Tick period;       //!< T until the next evaluation.
+    bool migrate;      //!< Invoke Promoter(Nominator()) this round?
+    double rel_bw_den_ddr; //!< Diagnostic: the gating metric.
+};
+
+/** The Algorithm 1 control loop (one evaluation per call). */
+class Elector
+{
+  public:
+    /** fscale signature: maps bw_den(CXL)/bw_den(DDR) to a multiplier. */
+    using FScale = std::function<double(double)>;
+
+    /**
+     * @param cfg Tunables.
+     * @param fscale Optional custom scaling function; default x^n.
+     */
+    explicit Elector(const ElectorConfig &cfg, FScale fscale = nullptr);
+
+    /** Run one iteration of Algorithm 1 against fresh Monitor samples. */
+    ElectorDecision evaluate(const Monitor &monitor);
+
+    /** Reset the previous-round state. */
+    void reset();
+
+    /** The configuration in use. */
+    const ElectorConfig &config() const { return cfg_; }
+
+  private:
+    ElectorConfig cfg_;
+    FScale fscale_;
+    double prev_rel_bw_den_ddr_ = -1.0;
+};
+
+} // namespace m5
+
+#endif // M5_M5_ELECTOR_HH

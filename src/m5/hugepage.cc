@@ -1,0 +1,74 @@
+#include "m5/hugepage.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace m5 {
+
+HugePageAggregator::HugePageAggregator(
+    std::function<bool(std::uint64_t)> os_filter)
+    : os_filter_(std::move(os_filter))
+{
+}
+
+void
+HugePageAggregator::update(const std::vector<TopKEntry> &hot_pages)
+{
+    for (const auto &e : hot_pages) {
+        Entry &region = regions_[hugeFrameOf(e.tag)];
+        region.count += e.count;
+        // 512 constituent pages bucketed 4-per-bit across two words.
+        const unsigned bucket =
+            static_cast<unsigned>(e.tag % kPagesPerHugePage) / 4;
+        if (bucket < 64)
+            region.page_mask_lo |= 1ULL << bucket;
+        else
+            region.page_mask_hi |= 1ULL << (bucket - 64);
+    }
+}
+
+std::vector<TopKEntry>
+HugePageAggregator::topHugePages(std::size_t k) const
+{
+    std::vector<TopKEntry> out;
+    out.reserve(regions_.size());
+    for (const auto &[frame, entry] : regions_) {
+        if (os_filter_ && !os_filter_(frame))
+            continue;
+        out.push_back({frame, entry.count});
+    }
+    std::sort(out.begin(), out.end(),
+        [](const TopKEntry &a, const TopKEntry &b) {
+            if (a.count != b.count)
+                return a.count > b.count;
+            return a.tag < b.tag;
+        });
+    if (out.size() > k)
+        out.resize(k);
+    return out;
+}
+
+std::uint64_t
+HugePageAggregator::count(std::uint64_t huge_frame) const
+{
+    auto it = regions_.find(huge_frame);
+    return it == regions_.end() ? 0 : it->second.count;
+}
+
+unsigned
+HugePageAggregator::constituentPages(std::uint64_t huge_frame) const
+{
+    auto it = regions_.find(huge_frame);
+    if (it == regions_.end())
+        return 0;
+    return static_cast<unsigned>(std::popcount(it->second.page_mask_lo) +
+                                 std::popcount(it->second.page_mask_hi));
+}
+
+void
+HugePageAggregator::reset()
+{
+    regions_.clear();
+}
+
+} // namespace m5

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hot huge-page tracking — the §8 extension.
+ *
+ * Applications using 2MB huge pages need hotness at huge-page
+ * granularity.  The paper proposes two routes: (1) aggregate HPT's hot
+ * 4KB page addresses into their enclosing 2MB regions (like the
+ * Nominator derives 4KB pages from HWT's hot words), or (2) deploy a
+ * second HPT keyed by 2MB frame numbers.  Both are provided here; either
+ * way M5 must consult the OS about which regions actually are allocated
+ * huge pages before migrating, modelled by a caller-supplied filter.
+ */
+
+#ifndef M5_M5_HUGEPAGE_HH
+#define M5_M5_HUGEPAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** 4KB pages per 2MB huge page. */
+inline constexpr unsigned kPagesPerHugePage = 512;
+
+/** 2MB huge-frame number of a 4KB PFN. */
+constexpr std::uint64_t
+hugeFrameOf(Pfn pfn)
+{
+    return pfn / kPagesPerHugePage;
+}
+
+/** Route 1: aggregate hot 4KB PFN reports into 2MB-region hotness. */
+class HugePageAggregator
+{
+  public:
+    /**
+     * @param os_filter Optional predicate: true when the 2MB region is an
+     *        allocated huge page (the §8 "consult the OS" step).  Null
+     *        accepts everything.
+     */
+    explicit HugePageAggregator(
+        std::function<bool(std::uint64_t)> os_filter = nullptr);
+
+    /** Feed one HPT query result (hot 4KB PFNs with counts). */
+    void update(const std::vector<TopKEntry> &hot_pages);
+
+    /** The k hottest 2MB regions by accumulated count, filtered. */
+    std::vector<TopKEntry> topHugePages(std::size_t k) const;
+
+    /** Accumulated count of one 2MB region. */
+    std::uint64_t count(std::uint64_t huge_frame) const;
+
+    /** Distinct 4KB pages observed within a region (density signal:
+     *  a region hot through many constituent pages is uniformly hot). */
+    unsigned constituentPages(std::uint64_t huge_frame) const;
+
+    /** Epoch reset. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint64_t page_mask_lo = 0; //!< Coarse constituent bitmap
+        std::uint64_t page_mask_hi = 0; //!< (512 pages -> 128 x 4-page
+                                        //!< buckets over two words).
+    };
+
+    std::function<bool(std::uint64_t)> os_filter_;
+    std::unordered_map<std::uint64_t, Entry> regions_;
+};
+
+} // namespace m5
+
+#endif // M5_M5_HUGEPAGE_HH

@@ -1,0 +1,75 @@
+#include "m5/manager.hh"
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+M5Manager::M5Manager(const M5Config &cfg, CxlController &ctrl,
+                     Monitor &monitor, const PageTable &pt,
+                     MigrationEngine &engine, KernelLedger &ledger)
+    : cfg_(cfg), ctrl_(ctrl), monitor_(monitor), ledger_(ledger),
+      nominator_(cfg.nominator, pt, cfg.hpa_capacity),
+      elector_(cfg.elector),
+      promoter_(pt, engine),
+      hot_list_(cfg.hot_list_capacity)
+{
+    m5_assert(ctrl.hasHpt() || cfg.nominator == NominatorKind::HwtDriven,
+              "M5Manager needs an HPT unless HWT-driven");
+    m5_assert(ctrl.hasHwt() || cfg.nominator == NominatorKind::HptOnly,
+              "M5Manager needs an HWT unless HPT-only");
+}
+
+std::string
+M5Manager::name() const
+{
+    return "M5(" + nominatorKindName(cfg_.nominator) + ")";
+}
+
+Tick
+M5Manager::wake(Tick now)
+{
+    ++wakeups_;
+    Cycles cycles = cost::kElectorEvaluate;
+
+    monitor_.sample(now);
+
+    // Query the trackers the Nominator flavour needs.
+    if (cfg_.nominator != NominatorKind::HwtDriven && ctrl_.hasHpt()) {
+        auto hot_pages = ctrl_.hpt().queryAndReset();
+        cycles += cost::kTrackerQuery;
+        for (const auto &e : hot_pages)
+            hot_list_.add(e.tag);
+        nominator_.updateFromHpt(hot_pages);
+    }
+    if (cfg_.nominator != NominatorKind::HptOnly && ctrl_.hasHwt()) {
+        auto hot_words = ctrl_.hwt().queryAndReset();
+        cycles += cost::kTrackerQuery;
+        if (cfg_.nominator == NominatorKind::HwtDriven) {
+            for (const auto &e : hot_words)
+                hot_list_.add(pfnOf(e.tag << kWordShift));
+        }
+        nominator_.updateFromHwt(hot_words);
+    }
+
+    ledger_.charge(KernelWork::ManagerUser, cycles);
+    Tick elapsed = cyclesToNs(cycles);
+
+    const ElectorDecision decision = elector_.evaluate(monitor_);
+    if (decision.migrate && cfg_.migrate) {
+        auto candidates = nominator_.nominate(cfg_.migrate_batch);
+        elapsed += promoter_.promote(candidates, now + elapsed);
+    }
+
+    Tick period = decision.period;
+    if (!cfg_.migrate) {
+        // Record-only profiling (Figure 8): without migration, DDR never
+        // fills, so the Elector would stay in its bootstrap fast-path
+        // forever; query at the paper's 1ms profiling rate instead.
+        period = std::max(period, msToTicks(1.0));
+    }
+    next_wake_ = now + period;
+    return elapsed;
+}
+
+} // namespace m5

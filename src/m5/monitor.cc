@@ -1,0 +1,74 @@
+#include "m5/monitor.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+Monitor::Monitor(const MemorySystem &mem, const PageTable &pt)
+    : mem_(mem), pt_(pt),
+      last_read_bytes_(mem.tiers(), 0),
+      bw_(mem.tiers(), 0.0)
+{
+}
+
+void
+Monitor::sample(Tick now)
+{
+    const Tick elapsed = now > last_sample_ ? now - last_sample_ : 0;
+    for (std::size_t n = 0; n < mem_.tiers(); ++n) {
+        const std::uint64_t bytes =
+            mem_.tier(static_cast<NodeId>(n)).counters().read_bytes;
+        if (elapsed > 0) {
+            bw_[n] = static_cast<double>(bytes - last_read_bytes_[n]) /
+                     (static_cast<double>(elapsed) * 1e-9);
+        }
+        last_read_bytes_[n] = bytes;
+    }
+    last_sample_ = now;
+}
+
+std::size_t
+Monitor::nrPages(NodeId node) const
+{
+    return pt_.pagesOnNode(node);
+}
+
+double
+Monitor::bw(NodeId node) const
+{
+    m5_assert(node < bw_.size(), "no node %u", node);
+    return bw_[node];
+}
+
+double
+Monitor::bwDen(NodeId node) const
+{
+    const std::size_t pages = nrPages(node);
+    return pages ? bw(node) / static_cast<double>(pages) : 0.0;
+}
+
+double
+Monitor::bwTot() const
+{
+    double t = 0.0;
+    for (double b : bw_)
+        t += b;
+    return t;
+}
+
+double
+Monitor::relBwDen(NodeId node) const
+{
+    const double tot = bwTot();
+    return tot > 0.0 ? bwDen(node) / tot : 0.0;
+}
+
+std::size_t
+Monitor::freeFrames(NodeId node) const
+{
+    const std::size_t total = mem_.tier(node).framesTotal();
+    const std::size_t used = pt_.pagesOnNode(node);
+    return total > used ? total - used : 0;
+}
+
+} // namespace m5

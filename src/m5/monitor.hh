@@ -1,0 +1,62 @@
+/**
+ * @file
+ * M5-manager Monitor — §5.2, Table 1.
+ *
+ * Monitor samples tiered-memory utilisation the way the real system does
+ * with pcm + /proc/zoneinfo: nr_pages(node) from page residency, bw(node)
+ * as the read-byte delta over the elapsed interval, and bw_den(node) =
+ * bw(node) / nr_pages(node).  Only read bandwidth is reported, because
+ * under write-allocate every LLC write miss first performs a read (§5.2).
+ */
+
+#ifndef M5_M5_MONITOR_HH
+#define M5_M5_MONITOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memsys.hh"
+#include "os/page_table.hh"
+
+namespace m5 {
+
+/** Sampled utilisation statistics for the migration policy. */
+class Monitor
+{
+  public:
+    Monitor(const MemorySystem &mem, const PageTable &pt);
+
+    /** Take a sample; bandwidths cover [previous sample, now]. */
+    void sample(Tick now);
+
+    /** Number of pages resident on a node (pcp-zoneinfo). */
+    std::size_t nrPages(NodeId node) const;
+
+    /** Consumed read bandwidth of a node in bytes/s over the last
+     *  sampling interval (pcm). */
+    double bw(NodeId node) const;
+
+    /** bw(node) per allocated page: the hot-page density metric. */
+    double bwDen(NodeId node) const;
+
+    /** bw(DDR) + bw(CXL): proportional to application performance for a
+     *  given phase (§5.2). */
+    double bwTot() const;
+
+    /** bw_den(node) normalized by bw_tot, robust to phase changes. */
+    double relBwDen(NodeId node) const;
+
+    /** Frames still unused on a node (zoneinfo free counters). */
+    std::size_t freeFrames(NodeId node) const;
+
+  private:
+    const MemorySystem &mem_;
+    const PageTable &pt_;
+    Tick last_sample_ = 0;
+    std::vector<std::uint64_t> last_read_bytes_;
+    std::vector<double> bw_; //!< bytes/s per node over the last interval.
+};
+
+} // namespace m5
+
+#endif // M5_M5_MONITOR_HH

@@ -1,0 +1,156 @@
+#include "m5/nominator.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+std::string
+nominatorKindName(NominatorKind kind)
+{
+    switch (kind) {
+      case NominatorKind::HptOnly:
+        return "HPT";
+      case NominatorKind::HptDriven:
+        return "HPT+HWT";
+      case NominatorKind::HwtDriven:
+        return "HWT";
+    }
+    m5_panic("unknown NominatorKind");
+}
+
+Nominator::Nominator(NominatorKind kind, const PageTable &pt,
+                     std::size_t hpa_capacity)
+    : kind_(kind), pt_(pt), capacity_(hpa_capacity)
+{
+    m5_assert(hpa_capacity > 0, "Nominator needs _HPA capacity");
+}
+
+void
+Nominator::evictColdest()
+{
+    auto coldest = hpa_.begin();
+    for (auto it = hpa_.begin(); it != hpa_.end(); ++it) {
+        if (it->second.count < coldest->second.count)
+            coldest = it;
+    }
+    hpa_.erase(coldest);
+}
+
+void
+Nominator::insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask)
+{
+    auto it = hpa_.find(pfn);
+    if (it != hpa_.end()) {
+        it->second.count = std::max(it->second.count, count);
+        it->second.mask |= mask;
+        return;
+    }
+    if (hpa_.size() >= capacity_)
+        evictColdest();
+    hpa_.emplace(pfn, HpaEntry{pfn, mask, count});
+}
+
+void
+Nominator::updateFromHpt(const std::vector<TopKEntry> &hot_pages)
+{
+    if (kind_ == NominatorKind::HwtDriven)
+        return;
+    for (const auto &e : hot_pages)
+        insertOrUpdate(e.tag, e.count, 0);
+}
+
+void
+Nominator::updateFromHwt(const std::vector<TopKEntry> &hot_words)
+{
+    if (kind_ == NominatorKind::HptOnly)
+        return;
+
+    for (const auto &e : hot_words) {
+        const Addr pa = e.tag << kWordShift;
+        const Pfn pfn = pfnOf(pa);
+        const std::uint64_t bit = 1ULL << wordInPage(pa);
+        if (kind_ == NominatorKind::HptDriven) {
+            // Only annotate pages already nominated by HPT.
+            auto it = hpa_.find(pfn);
+            if (it != hpa_.end())
+                it->second.mask |= bit;
+        } else {
+            // HWT-driven: build _HPA from words alone; the mask's
+            // population count serves as the access count (§5.2).
+            auto it = hpa_.find(pfn);
+            if (it != hpa_.end()) {
+                it->second.mask |= bit;
+                it->second.count =
+                    std::popcount(it->second.mask);
+            } else {
+                if (hpa_.size() >= capacity_)
+                    evictColdest();
+                hpa_.emplace(pfn, HpaEntry{pfn, bit, 1});
+            }
+        }
+    }
+}
+
+std::vector<Vpn>
+Nominator::nominate(std::size_t max_pages)
+{
+    std::vector<HpaEntry> ranked;
+    ranked.reserve(hpa_.size());
+    for (const auto &[pfn, e] : hpa_)
+        ranked.push_back(e);
+
+    // HPT-driven prefers dense hot pages: more set mask bits first, count
+    // as tie-break.  The other flavours rank by count.
+    if (kind_ == NominatorKind::HptDriven) {
+        std::sort(ranked.begin(), ranked.end(),
+            [](const HpaEntry &a, const HpaEntry &b) {
+                const int da = std::popcount(a.mask);
+                const int db = std::popcount(b.mask);
+                if (da != db)
+                    return da > db;
+                return a.count > b.count;
+            });
+    } else {
+        std::sort(ranked.begin(), ranked.end(),
+            [](const HpaEntry &a, const HpaEntry &b) {
+                return a.count > b.count;
+            });
+    }
+
+    std::vector<Vpn> out;
+    for (const auto &e : ranked) {
+        if (out.size() >= max_pages)
+            break;
+        const Vpn vpn = pt_.vpnOfPfn(e.pfn);
+        // Stale frames (the page was migrated away; the copy reads made
+        // the *old* frame look hot to HPT) are dropped, never nominated.
+        hpa_.erase(e.pfn);
+        if (vpn >= pt_.numPages())
+            continue;
+        out.push_back(vpn);
+    }
+    return out;
+}
+
+std::vector<HpaEntry>
+Nominator::hpa() const
+{
+    std::vector<HpaEntry> out;
+    out.reserve(hpa_.size());
+    for (const auto &[pfn, e] : hpa_)
+        out.push_back(e);
+    std::sort(out.begin(), out.end(),
+        [](const HpaEntry &a, const HpaEntry &b) { return a.pfn < b.pfn; });
+    return out;
+}
+
+void
+Nominator::clear()
+{
+    hpa_.clear();
+}
+
+} // namespace m5

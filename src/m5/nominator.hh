@@ -1,0 +1,98 @@
+/**
+ * @file
+ * M5-manager Nominator — §5.2.
+ *
+ * Nominator turns HPT/HWT query results into a ranked list of pages to
+ * migrate.  It keeps two structures: _HPA (hot-page addresses, each with a
+ * 64-bit word mask and an access count) and _HWA (hot-word addresses).
+ *
+ * Three flavours (Figure 9's configurations):
+ *  - HPT-only:   _HPA from HPT; rank purely by page access count.
+ *  - HPT-driven: _HPA from HPT; hot words from _HWA set mask bits of the
+ *                matching PFN, letting the policy prefer *dense* hot pages
+ *                (Guideline 3: mixed dense/sparse apps).
+ *  - HWT-driven: _HPA built only from hot-word addresses; the mask-derived
+ *                counter ranks pages by how many of their words are hot
+ *                (Guideline 4: sparse-only apps such as Redis).
+ */
+
+#ifndef M5_M5_NOMINATOR_HH
+#define M5_M5_NOMINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/page_table.hh"
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** Nominator flavour. */
+enum class NominatorKind
+{
+    HptOnly,
+    HptDriven,
+    HwtDriven,
+};
+
+/** Flavour name for reports. */
+std::string nominatorKindName(NominatorKind kind);
+
+/** One _HPA entry. */
+struct HpaEntry
+{
+    Pfn pfn = 0;
+    std::uint64_t mask = 0;  //!< Hot-word bits within the page.
+    std::uint64_t count = 0; //!< HPT access count / hot-word counter.
+};
+
+/** Builds ranked migration candidates from tracker output. */
+class Nominator
+{
+  public:
+    /**
+     * @param kind Flavour.
+     * @param pt Page table for PFN -> VPN translation.
+     * @param hpa_capacity Bound on _HPA (entries beyond it evict the
+     *        coldest).
+     */
+    Nominator(NominatorKind kind, const PageTable &pt,
+              std::size_t hpa_capacity = 4096);
+
+    /** Feed a fresh HPT query result (ignored by HwtDriven). */
+    void updateFromHpt(const std::vector<TopKEntry> &hot_pages);
+
+    /** Feed a fresh HWT query result (ignored by HptOnly). */
+    void updateFromHwt(const std::vector<TopKEntry> &hot_words);
+
+    /**
+     * Produce up to max_pages nominated VPNs, best candidate first, and
+     * consume the nominated entries.
+     */
+    std::vector<Vpn> nominate(std::size_t max_pages);
+
+    /** Current _HPA contents (tests / inspection). */
+    std::vector<HpaEntry> hpa() const;
+
+    /** Flavour. */
+    NominatorKind kind() const { return kind_; }
+
+    /** Drop all state. */
+    void clear();
+
+  private:
+    void insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask);
+    void evictColdest();
+
+    NominatorKind kind_;
+    const PageTable &pt_;
+    std::size_t capacity_;
+    std::unordered_map<Pfn, HpaEntry> hpa_;
+};
+
+} // namespace m5
+
+#endif // M5_M5_NOMINATOR_HH

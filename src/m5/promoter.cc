@@ -1,0 +1,26 @@
+#include "m5/promoter.hh"
+
+namespace m5 {
+
+Promoter::Promoter(const PageTable &pt, MigrationEngine &engine)
+    : pt_(pt), engine_(engine)
+{
+}
+
+Tick
+Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
+{
+    Tick elapsed = 0;
+    for (Vpn vpn : vpns) {
+        ++stats_.requested;
+        if (!engine_.canPromote(vpn)) {
+            ++stats_.rejected;
+            continue;
+        }
+        ++stats_.accepted;
+        elapsed += engine_.promote(vpn, now + elapsed);
+    }
+    return elapsed;
+}
+
+} // namespace m5

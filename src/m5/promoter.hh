@@ -1,0 +1,56 @@
+/**
+ * @file
+ * M5-manager Promoter — §5.2.
+ *
+ * Promoter is the in-kernel half of M5-manager: it receives hot-page
+ * addresses (via a proc-file write in the real system), validates that
+ * each page may be safely migrated — rejecting DMA-pinned pages and pages
+ * the user explicitly bound to the CXL node — and invokes migrate_pages().
+ */
+
+#ifndef M5_M5_PROMOTER_HH
+#define M5_M5_PROMOTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/migration.hh"
+#include "os/page_table.hh"
+
+namespace m5 {
+
+/** Promoter outcome counters. */
+struct PromoterStats
+{
+    std::uint64_t requested = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+};
+
+/** Validates and launches migrations for Elector-approved pages. */
+class Promoter
+{
+  public:
+    Promoter(const PageTable &pt, MigrationEngine &engine);
+
+    /**
+     * Model a proc-file write of nominated pages followed by
+     * migrate_pages() on the safe subset.
+     *
+     * @return Time consumed by the migrations.
+     */
+    Tick promote(const std::vector<Vpn> &vpns, Tick now);
+
+    /** Statistics. */
+    const PromoterStats &stats() const { return stats_; }
+
+  private:
+    const PageTable &pt_;
+    MigrationEngine &engine_;
+    PromoterStats stats_;
+};
+
+} // namespace m5
+
+#endif // M5_M5_PROMOTER_HH

@@ -1,0 +1,54 @@
+#include "mem/ifmm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+IfmmDirectory::IfmmDirectory(const IfmmConfig &cfg)
+    : cfg_(cfg), tag_(cfg.ddr_words, kEmpty)
+{
+    m5_assert(cfg.ddr_words > 0, "IFMM needs DDR word slots");
+    m5_assert(cfg.cxl_bytes >= kWordBytes, "IFMM needs a CXL range");
+}
+
+double
+IfmmDirectory::aliasRatio()
+ const
+{
+    return static_cast<double>(cfg_.cxl_bytes / kWordBytes) /
+           static_cast<double>(cfg_.ddr_words);
+}
+
+IfmmAccess
+IfmmDirectory::access(Addr pa)
+{
+    m5_assert(covers(pa), "IFMM access outside covered range");
+    const std::uint64_t word = (pa - cfg_.cxl_base) >> kWordShift;
+    const std::size_t slot = word % tag_.size();
+
+    if (tag_[slot] == word) {
+        ++hits_;
+        return {true, cfg_.ddr_latency};
+    }
+
+    // Miss: serve from CXL and swap the word into the slot, sending the
+    // previous resident (if any) back to its CXL home.
+    ++misses_;
+    if (tag_[slot] == kEmpty)
+        ++residents_;
+    tag_[slot] = word;
+    return {false, cfg_.cxl_latency + cfg_.swap_penalty};
+}
+
+void
+IfmmDirectory::reset()
+{
+    std::fill(tag_.begin(), tag_.end(), kEmpty);
+    hits_ = 0;
+    misses_ = 0;
+    residents_ = 0;
+}
+
+} // namespace m5

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Intel Flat Memory Mode (IFMM) model — §9's discussion.
+ *
+ * Under IFMM, DDR acts as an exclusive cache of CXL memory at 64B-word
+ * granularity: each CXL word address is one-to-one (direct) mapped to a
+ * DDR word slot, and on access the memory controller *swaps* the CXL word
+ * with the current resident of its slot.  No TLB shootdowns, no page-table
+ * updates, no 4KB copies — which is exactly what sparse hot pages want.
+ * The constraint is the one-to-one mapping: a DDR capacity smaller than
+ * CXL means aliasing conflicts.
+ *
+ * The paper argues M5 and IFMM are complementary: IFMM serves hot *words*
+ * of sparse pages; M5 migrates dense hot *pages*.  bench/abl_ifmm
+ * replays cache-filtered traces through this model to regenerate that
+ * trade-off.
+ */
+
+#ifndef M5_MEM_IFMM_HH
+#define M5_MEM_IFMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** IFMM directory configuration. */
+struct IfmmConfig
+{
+    Addr cxl_base = 0;             //!< First CXL byte covered.
+    std::uint64_t cxl_bytes = 0;   //!< Covered CXL range.
+    std::uint64_t ddr_words = 0;   //!< DDR word slots backing the range.
+    Tick ddr_latency = 100;
+    Tick cxl_latency = 270;
+    //! Extra latency of a swap beyond the CXL access itself (the
+    //! write-back of the displaced word overlaps, but the swap read-modify
+    //! adds a controller round).
+    Tick swap_penalty = 60;
+};
+
+/** Result of one IFMM-mediated access. */
+struct IfmmAccess
+{
+    bool ddr_hit = false;
+    Tick latency = 0;
+};
+
+/** Direct-mapped word-swap directory. */
+class IfmmDirectory
+{
+  public:
+    explicit IfmmDirectory(const IfmmConfig &cfg);
+
+    /** Mediate one access to a covered CXL physical address. */
+    IfmmAccess access(Addr pa);
+
+    /** True if pa falls in the covered range. */
+    bool
+    covers(Addr pa) const
+    {
+        return pa >= cfg_.cxl_base &&
+               pa < cfg_.cxl_base + cfg_.cxl_bytes;
+    }
+
+    /** DDR hits so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Misses (served from CXL, with a swap). */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Words currently resident in DDR slots. */
+    std::uint64_t residents() const { return residents_; }
+
+    /** Aliasing ratio: covered CXL words per DDR slot. */
+    double aliasRatio() const;
+
+    /** Hit fraction. */
+    double
+    hitRatio() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) /
+                       static_cast<double>(total) : 0.0;
+    }
+
+    /** Forget all residency. */
+    void reset();
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~0ULL;
+
+    IfmmConfig cfg_;
+    //! Per DDR slot: the covered-range word index currently resident.
+    std::vector<std::uint64_t> tag_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t residents_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_MEM_IFMM_HH

@@ -1,0 +1,91 @@
+#include "mem/memsys.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+NodeId
+MemorySystem::addTier(const TierConfig &cfg)
+{
+    for (const auto &t : tiers_) {
+        const auto &other = t->config();
+        const bool disjoint =
+            cfg.base + cfg.capacity_bytes <= other.base ||
+            other.base + other.capacity_bytes <= cfg.base;
+        m5_assert(disjoint, "tier '%s' overlaps tier '%s'",
+                  cfg.name.c_str(), other.name.c_str());
+    }
+    m5_assert(cfg.node == tiers_.size(),
+              "tiers must be added in node-id order");
+    tiers_.push_back(std::make_unique<MemTier>(cfg));
+    observers_.emplace_back();
+    return cfg.node;
+}
+
+void
+MemorySystem::attachObserver(NodeId node, MemObserver obs)
+{
+    m5_assert(node < tiers_.size(), "no tier for node %u", node);
+    observers_[node].push_back(std::move(obs));
+}
+
+Tick
+MemorySystem::access(Addr pa, bool is_write, Tick now)
+{
+    const NodeId node = nodeOf(pa);
+    const Tick lat = tiers_[node]->access(pa, is_write);
+    for (const auto &obs : observers_[node])
+        obs(pa, is_write, now);
+    return lat;
+}
+
+MemTier &
+MemorySystem::tier(NodeId node)
+{
+    m5_assert(node < tiers_.size(), "no tier for node %u", node);
+    return *tiers_[node];
+}
+
+const MemTier &
+MemorySystem::tier(NodeId node) const
+{
+    m5_assert(node < tiers_.size(), "no tier for node %u", node);
+    return *tiers_[node];
+}
+
+NodeId
+MemorySystem::nodeOf(Addr pa) const
+{
+    for (const auto &t : tiers_) {
+        if (t->owns(pa))
+            return t->config().node;
+    }
+    m5_panic("physical address %#lx not owned by any tier",
+             static_cast<unsigned long>(pa));
+}
+
+std::unique_ptr<MemorySystem>
+makeTieredMemory(const TieredMemoryParams &p)
+{
+    auto sys = std::make_unique<MemorySystem>();
+    TierConfig ddr;
+    ddr.name = "ddr";
+    ddr.node = kNodeDdr;
+    ddr.base = 0;
+    ddr.capacity_bytes = p.ddr_bytes;
+    ddr.read_latency = p.ddr_latency;
+    ddr.write_latency = p.ddr_latency;
+    sys->addTier(ddr);
+
+    TierConfig cxl;
+    cxl.name = "cxl";
+    cxl.node = kNodeCxl;
+    cxl.base = p.ddr_bytes;
+    cxl.capacity_bytes = p.cxl_bytes;
+    cxl.read_latency = p.cxl_latency;
+    cxl.write_latency = p.cxl_latency;
+    sys->addTier(cxl);
+    return sys;
+}
+
+} // namespace m5

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The physical memory system: routes each post-cache access to the owning
+ * tier and lets observers (the CXL controller's PAC/WAC/HPT/HWT units)
+ * snoop every access to a tier — the Figure 1/2 observation point between
+ * the CXL IP and the device memory controllers.
+ */
+
+#ifndef M5_MEM_MEMSYS_HH
+#define M5_MEM_MEMSYS_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/tier.hh"
+
+namespace m5 {
+
+/** Snoop callback: (physical address, is_write, now). */
+using MemObserver = std::function<void(Addr, bool, Tick)>;
+
+/** The set of tiers plus per-tier snoopers. */
+class MemorySystem
+{
+  public:
+    /** Add a tier; returns its node id.  Tiers must not overlap. */
+    NodeId addTier(const TierConfig &cfg);
+
+    /** Attach an observer to every access of the given node. */
+    void attachObserver(NodeId node, MemObserver obs);
+
+    /**
+     * Perform one 64B access to pa.
+     * @return The access latency in ns.
+     */
+    Tick access(Addr pa, bool is_write, Tick now);
+
+    /** Tier by node id. */
+    MemTier &tier(NodeId node);
+    const MemTier &tier(NodeId node) const;
+
+    /** Node owning a physical address. */
+    NodeId nodeOf(Addr pa) const;
+
+    /** Number of tiers. */
+    std::size_t tiers() const { return tiers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<MemTier>> tiers_;
+    std::vector<std::vector<MemObserver>> observers_;
+};
+
+/**
+ * Convenience: a two-tier DDR+CXL memory map.
+ *
+ * DDR occupies [0, ddr_bytes); CXL occupies [ddr_bytes, ddr_bytes+cxl_bytes).
+ * Latencies default to the paper's measurements (DDR ~100ns, CXL ~270ns).
+ */
+struct TieredMemoryParams
+{
+    std::uint64_t ddr_bytes = 3ULL << 30;
+    std::uint64_t cxl_bytes = 8ULL << 30;
+    Tick ddr_latency = 100;
+    Tick cxl_latency = 270;
+};
+
+/** Build a DDR+CXL MemorySystem from the params. */
+std::unique_ptr<MemorySystem> makeTieredMemory(const TieredMemoryParams &p);
+
+} // namespace m5
+
+#endif // M5_MEM_MEMSYS_HH

@@ -1,0 +1,31 @@
+#include "mem/tier.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+MemTier::MemTier(const TierConfig &cfg) : cfg_(cfg)
+{
+    m5_assert(cfg.capacity_bytes > 0, "tier '%s' has zero capacity",
+              cfg.name.c_str());
+    m5_assert((cfg.base & (kPageBytes - 1)) == 0,
+              "tier '%s' base not page-aligned", cfg.name.c_str());
+    m5_assert((cfg.capacity_bytes & (kPageBytes - 1)) == 0,
+              "tier '%s' capacity not page-aligned", cfg.name.c_str());
+}
+
+Tick
+MemTier::access(Addr pa, bool is_write)
+{
+    m5_assert(owns(pa), "address %#lx not in tier '%s'",
+              static_cast<unsigned long>(pa), cfg_.name.c_str());
+    ++counters_.accesses;
+    if (is_write) {
+        counters_.write_bytes += kWordBytes;
+        return cfg_.write_latency;
+    }
+    counters_.read_bytes += kWordBytes;
+    return cfg_.read_latency;
+}
+
+} // namespace m5

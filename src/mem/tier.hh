@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A memory tier node: DDR DRAM (fast, local) or CXL DRAM (slow, behind the
+ * serial link).  Models per-access latency and accumulates read/write byte
+ * counters that the M5 Monitor samples pcm-style (snapshot deltas over
+ * elapsed time) to compute bw(node) and bw_den(node) (§5.2, Table 1).
+ */
+
+#ifndef M5_MEM_TIER_HH
+#define M5_MEM_TIER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** Static description of one tier. */
+struct TierConfig
+{
+    std::string name = "ddr";
+    NodeId node = kNodeDdr;
+    Addr base = 0;                 //!< First physical address of the tier.
+    std::uint64_t capacity_bytes = 0;
+    Tick read_latency = 100;       //!< DDR ~100ns; CXL ~270ns (§1: +140-170).
+    Tick write_latency = 100;
+};
+
+/** Byte counters for bandwidth sampling. */
+struct TierCounters
+{
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    std::uint64_t accesses = 0;
+};
+
+/** One tier of the tiered-memory system. */
+class MemTier
+{
+  public:
+    explicit MemTier(const TierConfig &cfg);
+
+    /** True if this tier owns physical address pa. */
+    bool
+    owns(Addr pa) const
+    {
+        return pa >= cfg_.base && pa < cfg_.base + cfg_.capacity_bytes;
+    }
+
+    /**
+     * Perform one 64B access.
+     * @return The access latency in ns.
+     */
+    Tick access(Addr pa, bool is_write);
+
+    /** Static configuration. */
+    const TierConfig &config() const { return cfg_; }
+
+    /** Cumulative counters (Monitor snapshots these). */
+    const TierCounters &counters() const { return counters_; }
+
+    /** Number of 4KB page frames this tier can hold. */
+    std::uint64_t framesTotal() const
+    {
+        return cfg_.capacity_bytes >> kPageShift;
+    }
+
+    /** First page frame number of this tier. */
+    Pfn firstPfn() const { return cfg_.base >> kPageShift; }
+
+    /** Reset counters (between experiment phases). */
+    void resetCounters() { counters_ = {}; }
+
+  private:
+    TierConfig cfg_;
+    TierCounters counters_;
+};
+
+} // namespace m5
+
+#endif // M5_MEM_TIER_HH

@@ -1,0 +1,105 @@
+#include "os/anb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+AnbDaemon::AnbDaemon(const AnbConfig &cfg, PageTable &pt, Tlb &tlb,
+                     KernelLedger &ledger, MigrationEngine &engine)
+    : cfg_(cfg), pt_(pt), tlb_(tlb), ledger_(ledger), engine_(engine),
+      scan_period_(cfg.scan_period_start),
+      fault_count_(pt.numPages(), 0),
+      hot_list_(cfg.hot_list_capacity)
+{
+    next_wake_ = scan_period_;
+}
+
+Tick
+AnbDaemon::wake(Tick now)
+{
+    Cycles cycles = 0;
+    std::size_t unmapped = 0;
+
+    // Unmap one chunk of the address space, wrapping the cursor.  Every
+    // scanned PTE costs cycles; only CXL-resident present pages are
+    // actually unmapped (promotion candidates).
+    const std::size_t total = pt_.numPages();
+    std::size_t scanned = 0;
+    while (scanned < cfg_.scan_chunk_pages && scanned < total) {
+        Pte &e = pt_.pte(cursor_);
+        cycles += cost::kPteUnmap;
+        if (e.valid && e.present && e.node == kNodeCxl) {
+            e.present = false;
+            tlb_.shootdown(cursor_);
+            cycles += cost::kTlbShootdown;
+            ++unmapped;
+        }
+        cursor_ = (cursor_ + 1) % total;
+        ++scanned;
+    }
+    pages_unmapped_ += unmapped;
+    ledger_.charge(KernelWork::PteScan, cycles);
+
+    // Adapt the scan period: few faults since the last pass means the
+    // workload is in equilibrium, so back off; likewise when the promote
+    // rate limit throttled us (scanning faster cannot help).  A fault
+    // storm with available promotion budget speeds scanning up.  This is
+    // why ANB "rarely unmaps pages" once DDR is in equilibrium (§7.2).
+    if (engine_.ddrFreeFrames() == 0) {
+        // DDR is at capacity: every further promotion demotes something,
+        // so additional faults are mostly churn.  Back off hard — the
+        // mechanism behind §7.2's "ANB rarely unmaps pages at this
+        // state".
+        scan_period_ = std::min(cfg_.scan_period_max, scan_period_ * 4);
+    } else if (faults_since_scan_ < cfg_.scan_chunk_pages / 64) {
+        scan_period_ = std::min(cfg_.scan_period_max, scan_period_ * 2);
+    } else if (faults_since_scan_ > cfg_.scan_chunk_pages / 8) {
+        scan_period_ = std::max(cfg_.scan_period_min, scan_period_ / 2);
+    }
+    faults_since_scan_ = 0;
+    rate_limited_since_scan_ = false;
+
+    next_wake_ = now + scan_period_;
+    return cyclesToNs(cycles);
+}
+
+Tick
+AnbDaemon::onHintFault(Vpn vpn, Tick now)
+{
+    ++faults_handled_;
+    ++faults_since_scan_;
+    ledger_.charge(KernelWork::HintFault, cost::kHintFault);
+    Tick elapsed = cyclesToNs(cost::kHintFault);
+
+    auto &count = fault_count_[vpn];
+    if (count < 0xff)
+        ++count;
+    if (count >= cfg_.fault_threshold) {
+        const Pte &e = pt_.pte(vpn);
+        if (e.valid && e.node == kNodeCxl) {
+            hot_list_.add(e.pfn);
+            if (cfg_.migrate) {
+                // Refill the promotion token bucket, then spend one token
+                // per promoted page (the kernel's promote rate limit).
+                tokens_ = std::min(
+                    cfg_.promote_rate_pages_per_s,
+                    tokens_ + static_cast<double>(now - token_time_) *
+                              1e-9 * cfg_.promote_rate_pages_per_s);
+                token_time_ = now;
+                if (tokens_ >= 1.0) {
+                    tokens_ -= 1.0;
+                    elapsed += engine_.promote(vpn, now + elapsed);
+                } else {
+                    rate_limited_since_scan_ = true;
+                }
+            }
+        }
+        count = 0;
+    }
+    return elapsed;
+}
+
+} // namespace m5

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Automatic NUMA Balancing (ANB) model — §2.1 Solution 1.
+ *
+ * Periodically unmaps a chunk of pages (clears PTE present bits and shoots
+ * down TLB entries); subsequent touches raise hinting page faults whose
+ * handler identifies the page as hot and (optionally) promotes it.  The
+ * scan period adapts like the kernel's task_scan_period: quiet scans slow
+ * it down, fault storms speed it up — which is why ANB "rarely unmaps pages"
+ * once migration reaches equilibrium (§7.2).
+ */
+
+#ifndef M5_OS_ANB_HH
+#define M5_OS_ANB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/tlb.hh"
+#include "common/types.hh"
+#include "os/daemon.hh"
+#include "os/kernel_ledger.hh"
+#include "os/migration.hh"
+#include "os/page_table.hh"
+
+namespace m5 {
+
+/** ANB tunables (kernel-parameter analogues, time-scaled). */
+struct AnbConfig
+{
+    Tick scan_period_min = msToTicks(16.0);
+    Tick scan_period_max = msToTicks(2048.0);
+    Tick scan_period_start = msToTicks(64.0);
+    std::size_t scan_chunk_pages = 512; //!< Pages unmapped per pass.
+    unsigned fault_threshold = 1;  //!< Faults before a page is "hot".
+    bool migrate = true;           //!< False = record-only (§4.1 S1).
+    //! Promotion rate limit (the kernel's numa_balancing promote rate
+    //! limit), refilled continuously; prevents promote/demote thrash.
+    double promote_rate_pages_per_s = 24576.0;
+    std::size_t hot_list_capacity = 128 * 1024;
+};
+
+/** The ANB daemon. */
+class AnbDaemon : public PolicyDaemon
+{
+  public:
+    AnbDaemon(const AnbConfig &cfg, PageTable &pt, Tlb &tlb,
+              KernelLedger &ledger, MigrationEngine &engine);
+
+    Tick nextWake() const override { return next_wake_; }
+    Tick wake(Tick now) override;
+    Tick onHintFault(Vpn vpn, Tick now) override;
+    std::string name() const override { return "ANB"; }
+    const HotPageList &hotPages() const override { return hot_list_; }
+
+    /** Current adaptive scan period. */
+    Tick scanPeriod() const { return scan_period_; }
+
+    /** Number of hinting faults handled. */
+    std::uint64_t faultsHandled() const { return faults_handled_; }
+
+    /** Number of pages unmapped across all scans. */
+    std::uint64_t pagesUnmapped() const { return pages_unmapped_; }
+
+  private:
+    AnbConfig cfg_;
+    PageTable &pt_;
+    Tlb &tlb_;
+    KernelLedger &ledger_;
+    MigrationEngine &engine_;
+
+    Tick next_wake_ = 0;
+    Tick scan_period_;
+    Vpn cursor_ = 0;
+    std::vector<std::uint8_t> fault_count_;
+    std::uint64_t faults_handled_ = 0;
+    std::uint64_t pages_unmapped_ = 0;
+    std::uint64_t faults_since_scan_ = 0;
+    bool rate_limited_since_scan_ = false;
+    //! Promotion token bucket.
+    double tokens_ = 0.0;
+    Tick token_time_ = 0;
+    HotPageList hot_list_;
+};
+
+} // namespace m5
+
+#endif // M5_OS_ANB_HH

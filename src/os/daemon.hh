@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Common interface for page-migration daemons (ANB, DAMON, M5-manager).
+ *
+ * The simulation core wakes a daemon at its requested times; the daemon
+ * returns the kernel/user CPU time it consumed, which the core serializes
+ * with application execution on the shared CPU core (the paper pins the
+ * migration processes and a benchmark thread to one core, §6).
+ */
+
+#ifndef M5_OS_DAEMON_HH
+#define M5_OS_DAEMON_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/**
+ * Accumulates identified hot pages in identification order, deduplicated —
+ * the §4.1 (S1) "hot-page list" instrumentation used to evaluate solutions
+ * without migrating.
+ */
+class HotPageList
+{
+  public:
+    /** @param capacity Maximum pages kept (paper: up to 128K). */
+    explicit HotPageList(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Record a page; ignored if already present or at capacity. */
+    void
+    add(Pfn pfn)
+    {
+        if (pages_.size() >= capacity_ || !seen_.insert(pfn).second)
+            return;
+        pages_.push_back(pfn);
+    }
+
+    /** Identified pages in identification order. */
+    const std::vector<Pfn> &pages() const { return pages_; }
+
+    /** True once capacity is reached. */
+    bool full() const { return pages_.size() >= capacity_; }
+
+    /** Number of recorded pages. */
+    std::size_t size() const { return pages_.size(); }
+
+    /** Clear all state. */
+    void
+    reset()
+    {
+        pages_.clear();
+        seen_.clear();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<Pfn> pages_;
+    std::unordered_set<Pfn> seen_;
+};
+
+/** A page-migration solution driven by periodic wakeups. */
+class PolicyDaemon
+{
+  public:
+    virtual ~PolicyDaemon() = default;
+
+    /** Next time this daemon wants to run. */
+    virtual Tick nextWake() const = 0;
+
+    /**
+     * Run the daemon's periodic work.
+     * @param now Current time.
+     * @return CPU time consumed on the shared core.
+     */
+    virtual Tick wake(Tick now) = 0;
+
+    /**
+     * Access-path hook: a non-present page was touched (hinting fault).
+     * @return Extra CPU time consumed handling it.
+     */
+    virtual Tick onHintFault(Vpn vpn, Tick now)
+    {
+        (void)vpn;
+        (void)now;
+        return 0;
+    }
+
+    /** Daemon name for reports. */
+    virtual std::string name() const = 0;
+
+    /** The hot pages identified so far (record-only instrumentation). */
+    virtual const HotPageList &hotPages() const = 0;
+};
+
+} // namespace m5
+
+#endif // M5_OS_DAEMON_HH

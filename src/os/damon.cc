@@ -1,0 +1,221 @@
+#include "os/damon.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+DamonDaemon::DamonDaemon(const DamonConfig &cfg, PageTable &pt,
+                         KernelLedger &ledger, MigrationEngine &engine)
+    : cfg_(cfg), pt_(pt), ledger_(ledger), engine_(engine), rng_(cfg.seed),
+      hot_list_(cfg.hot_list_capacity)
+{
+    m5_assert(cfg.min_regions >= 1 && cfg.max_regions >= cfg.min_regions,
+              "bad DAMON region bounds");
+    // Initial even split of the whole address space.
+    const std::size_t total = pt_.numPages();
+    const std::size_t n =
+        std::min(cfg_.min_regions, total);
+    for (std::size_t i = 0; i < n; ++i) {
+        DamonRegion r;
+        r.start = static_cast<Vpn>(i * total / n);
+        r.end = static_cast<Vpn>((i + 1) * total / n);
+        primeRegion(r);
+        regions_.push_back(r);
+    }
+    next_wake_ = cfg_.sample_interval;
+    next_aggregation_ = cfg_.aggregation_interval;
+}
+
+std::uint64_t
+DamonDaemon::samplesPerAggregation() const
+{
+    return cfg_.aggregation_interval / cfg_.sample_interval;
+}
+
+void
+DamonDaemon::primeRegion(DamonRegion &r)
+{
+    m5_assert(r.end > r.start, "empty DAMON region");
+    r.sample_vpn = r.start + rng_.below(r.end - r.start);
+    Pte &e = pt_.pte(r.sample_vpn);
+    if (e.valid)
+        e.accessed = false;
+}
+
+void
+DamonDaemon::sampleOnce()
+{
+    for (auto &r : regions_) {
+        const Pte &e = pt_.pte(r.sample_vpn);
+        if (e.valid && e.accessed)
+            ++r.nr_accesses;
+        primeRegion(r);
+    }
+    ledger_.charge(KernelWork::PteScan,
+                   cost::kDamonSampleCheck *
+                   static_cast<Cycles>(regions_.size()));
+}
+
+void
+DamonDaemon::mergeRegions()
+{
+    const auto threshold = static_cast<std::uint32_t>(
+        cfg_.merge_threshold_fraction *
+        static_cast<double>(samplesPerAggregation()));
+    std::vector<DamonRegion> merged;
+    merged.reserve(regions_.size());
+    for (const auto &r : regions_) {
+        if (!merged.empty() &&
+            merged.size() > cfg_.min_regions &&
+            merged.back().end == r.start) {
+            auto &prev = merged.back();
+            const std::uint32_t diff = prev.nr_accesses > r.nr_accesses
+                ? prev.nr_accesses - r.nr_accesses
+                : r.nr_accesses - prev.nr_accesses;
+            if (diff <= threshold) {
+                // Weighted-average the access counts, widen the region.
+                const auto w_prev =
+                    static_cast<double>(prev.end - prev.start);
+                const auto w_cur = static_cast<double>(r.end - r.start);
+                prev.nr_accesses = static_cast<std::uint32_t>(
+                    (prev.nr_accesses * w_prev + r.nr_accesses * w_cur) /
+                    (w_prev + w_cur));
+                prev.end = r.end;
+                prev.age = std::min(prev.age, r.age) + 1;
+                continue;
+            }
+        }
+        merged.push_back(r);
+    }
+    regions_ = std::move(merged);
+}
+
+void
+DamonDaemon::splitRegions()
+{
+    if (regions_.size() >= cfg_.max_regions * 3 / 4)
+        return;
+    std::vector<DamonRegion> split;
+    split.reserve(regions_.size() * 2);
+    for (const auto &r : regions_) {
+        const Vpn len = r.end - r.start;
+        if (len < 2 || split.size() + 1 >= cfg_.max_regions) {
+            split.push_back(r);
+            continue;
+        }
+        // Split at a random interior point, like damon_split_region_at().
+        const Vpn cut = r.start + 1 + rng_.below(len - 1);
+        DamonRegion left = r;
+        left.end = cut;
+        left.age = 0;
+        DamonRegion right = r;
+        right.start = cut;
+        right.age = 0;
+        primeRegion(left);
+        primeRegion(right);
+        split.push_back(left);
+        split.push_back(right);
+    }
+    regions_ = std::move(split);
+}
+
+Tick
+DamonDaemon::aggregate(Tick now)
+{
+    (void)now; // Plan application is deferred to applyPlanChunk().
+    const auto hot_min = static_cast<std::uint32_t>(
+        cfg_.hot_access_fraction *
+        static_cast<double>(samplesPerAggregation()));
+
+    // Classify, emit hot pages (record), and promote (migrate mode) from
+    // the hottest regions first under the per-interval quota.
+    std::vector<const DamonRegion *> hot;
+    for (const auto &r : regions_) {
+        if (r.nr_accesses >= std::max<std::uint32_t>(hot_min, 1))
+            hot.push_back(&r);
+    }
+    std::sort(hot.begin(), hot.end(),
+        [](const DamonRegion *a, const DamonRegion *b) {
+            return a->nr_accesses > b->nr_accesses;
+        });
+
+    // Rebuild the deferred DAMOS plan: record hot pages now, but apply
+    // the (cost-bearing) migration attempts in per-sample chunks.
+    Tick elapsed = 0;
+    plan_.clear();
+    plan_cursor_ = 0;
+    // DAMOS quota auto-tuning: once DDR is at capacity, further
+    // migration is churn, so the effective quota collapses.
+    std::size_t quota = engine_.ddrFreeFrames() > 0
+        ? cfg_.promote_quota_pages
+        : cfg_.promote_quota_pages / 8;
+    for (const DamonRegion *r : hot) {
+        for (Vpn vpn = r->start; vpn < r->end && quota > 0; ++vpn) {
+            const Pte &e = pt_.pte(vpn);
+            if (!e.valid)
+                continue;
+            if (e.node == kNodeCxl)
+                hot_list_.add(e.pfn);
+            plan_.push_back(vpn);
+            --quota;
+        }
+        if (quota == 0)
+            break;
+    }
+
+    mergeRegions();
+    splitRegions();
+    for (auto &r : regions_)
+        r.nr_accesses = 0;
+
+    ledger_.charge(KernelWork::DamonAggregate,
+                   cost::kDamonAggregatePerRegion *
+                   static_cast<Cycles>(regions_.size()));
+    elapsed += cyclesToNs(cost::kDamonAggregatePerRegion *
+                          static_cast<Cycles>(regions_.size()));
+    return elapsed;
+}
+
+Tick
+DamonDaemon::applyPlanChunk(Tick now)
+{
+    // The per-page DAMOS validation runs even in record-only mode: the
+    // §4.2 methodology disables only migrate_pages(), not the scheme's
+    // checks.
+    if (plan_cursor_ >= plan_.size())
+        return 0;
+    const std::size_t chunk = std::max<std::size_t>(1,
+        cfg_.promote_quota_pages /
+        std::max<std::uint64_t>(1, samplesPerAggregation()));
+    Tick elapsed = 0;
+    Cycles attempt_cycles = 0;
+    for (std::size_t i = 0; i < chunk && plan_cursor_ < plan_.size();
+         ++i, ++plan_cursor_) {
+        const Vpn vpn = plan_[plan_cursor_];
+        attempt_cycles += cost::kDamosAttempt;
+        if (cfg_.migrate && pt_.pte(vpn).node == kNodeCxl)
+            elapsed += engine_.promote(vpn, now + elapsed);
+    }
+    ledger_.charge(KernelWork::DamonAggregate, attempt_cycles);
+    return elapsed + cyclesToNs(attempt_cycles);
+}
+
+Tick
+DamonDaemon::wake(Tick now)
+{
+    sampleOnce();
+    Tick elapsed = cyclesToNs(cost::kDamonSampleCheck *
+                              static_cast<Cycles>(regions_.size()));
+    elapsed += applyPlanChunk(now + elapsed);
+    if (now >= next_aggregation_) {
+        elapsed += aggregate(now + elapsed);
+        next_aggregation_ = now + cfg_.aggregation_interval;
+    }
+    next_wake_ = now + cfg_.sample_interval;
+    return elapsed;
+}
+
+} // namespace m5

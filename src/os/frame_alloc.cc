@@ -1,0 +1,65 @@
+#include "os/frame_alloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+FrameAllocator::FrameAllocator(const MemorySystem &mem)
+{
+    nodes_.resize(mem.tiers());
+    for (std::size_t n = 0; n < mem.tiers(); ++n) {
+        const MemTier &tier = mem.tier(static_cast<NodeId>(n));
+        NodeState &state = nodes_[n];
+        state.total = tier.framesTotal();
+        state.free_list.reserve(state.total);
+        // Push descending so allocation hands out ascending PFNs.
+        const Pfn first = tier.firstPfn();
+        for (std::size_t i = state.total; i-- > 0;)
+            state.free_list.push_back(first + i);
+    }
+}
+
+std::optional<Pfn>
+FrameAllocator::allocate(NodeId node)
+{
+    m5_assert(node < nodes_.size(), "no node %u", node);
+    auto &fl = nodes_[node].free_list;
+    if (fl.empty())
+        return std::nullopt;
+    Pfn pfn = fl.back();
+    fl.pop_back();
+    return pfn;
+}
+
+void
+FrameAllocator::free(NodeId node, Pfn pfn)
+{
+    m5_assert(node < nodes_.size(), "no node %u", node);
+    nodes_[node].free_list.push_back(pfn);
+    m5_assert(nodes_[node].free_list.size() <= nodes_[node].total,
+              "double free on node %u", node);
+}
+
+std::size_t
+FrameAllocator::freeFrames(NodeId node) const
+{
+    m5_assert(node < nodes_.size(), "no node %u", node);
+    return nodes_[node].free_list.size();
+}
+
+std::size_t
+FrameAllocator::usedFrames(NodeId node) const
+{
+    return totalFrames(node) - freeFrames(node);
+}
+
+std::size_t
+FrameAllocator::totalFrames(NodeId node) const
+{
+    m5_assert(node < nodes_.size(), "no node %u", node);
+    return nodes_[node].total;
+}
+
+} // namespace m5

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-node physical frame allocator.
+ *
+ * The DDR tier's capacity is set to the cgroup limit the paper imposes
+ * (3GB out of an 8GB footprint, §6), so allocator exhaustion on the DDR
+ * node *is* the cgroup bound: promotion beyond it requires demoting a
+ * victim first.
+ */
+
+#ifndef M5_OS_FRAME_ALLOC_HH
+#define M5_OS_FRAME_ALLOC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memsys.hh"
+
+namespace m5 {
+
+/** Free-list frame allocator over every tier of a MemorySystem. */
+class FrameAllocator
+{
+  public:
+    /** Build free lists covering all frames of all tiers. */
+    explicit FrameAllocator(const MemorySystem &mem);
+
+    /** Allocate one frame on a node; nullopt when the node is full. */
+    std::optional<Pfn> allocate(NodeId node);
+
+    /** Return a frame to its node's free list. */
+    void free(NodeId node, Pfn pfn);
+
+    /** Frames still free on a node. */
+    std::size_t freeFrames(NodeId node) const;
+
+    /** Frames in use on a node. */
+    std::size_t usedFrames(NodeId node) const;
+
+    /** Total frames on a node. */
+    std::size_t totalFrames(NodeId node) const;
+
+  private:
+    struct NodeState
+    {
+        std::vector<Pfn> free_list;
+        std::size_t total = 0;
+    };
+
+    std::vector<NodeState> nodes_;
+};
+
+} // namespace m5
+
+#endif // M5_OS_FRAME_ALLOC_HH

@@ -1,0 +1,52 @@
+#include "os/kernel_ledger.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+std::string
+kernelWorkName(KernelWork w)
+{
+    switch (w) {
+      case KernelWork::PteScan:
+        return "pte-scan";
+      case KernelWork::TlbShootdown:
+        return "tlb-shootdown";
+      case KernelWork::HintFault:
+        return "hint-fault";
+      case KernelWork::DamonAggregate:
+        return "damon-aggregate";
+      case KernelWork::Migration:
+        return "migration";
+      case KernelWork::ManagerUser:
+        return "m5-manager";
+      case KernelWork::Baseline:
+        return "baseline";
+      case KernelWork::NumCategories:
+        break;
+    }
+    m5_panic("unknown KernelWork category");
+}
+
+Cycles
+KernelLedger::total() const
+{
+    Cycles t = 0;
+    for (Cycles c : cycles_)
+        t += c;
+    return t;
+}
+
+Cycles
+KernelLedger::totalOverhead() const
+{
+    return total() - category(KernelWork::Baseline);
+}
+
+Cycles
+KernelLedger::identificationCycles() const
+{
+    return totalOverhead() - category(KernelWork::Migration);
+}
+
+} // namespace m5

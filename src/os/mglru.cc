@@ -1,0 +1,156 @@
+#include "os/mglru.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+// Generations live in a ring of G intrusive lists.  youngest_ names the
+// slot receiving touched pages; the slot at circular distance G-1 behind it
+// is the oldest.  Aging rotates the ring: the oldest slot's survivors are
+// folded into the second-oldest, and the vacated slot becomes the new
+// youngest.
+
+MgLru::MgLru(std::size_t num_pages, unsigned num_gens)
+    : num_pages_(num_pages), num_gens_(num_gens),
+      next_(num_pages + num_gens), prev_(num_pages + num_gens),
+      gen_(num_pages, kNotTracked)
+{
+    m5_assert(num_pages > 0, "MgLru needs pages");
+    m5_assert(num_gens >= 2 && num_gens < kNotTracked,
+              "MgLru needs 2..254 generations");
+    for (unsigned g = 0; g < num_gens; ++g) {
+        const std::size_t s = sentinel(g);
+        next_[s] = static_cast<std::uint32_t>(s);
+        prev_[s] = static_cast<std::uint32_t>(s);
+    }
+}
+
+void
+MgLru::unlink(std::size_t node)
+{
+    next_[prev_[node]] = next_[node];
+    prev_[next_[node]] = prev_[node];
+}
+
+void
+MgLru::pushHead(unsigned gen, std::size_t node)
+{
+    const std::size_t s = sentinel(gen);
+    next_[node] = next_[s];
+    prev_[node] = static_cast<std::uint32_t>(s);
+    prev_[next_[s]] = static_cast<std::uint32_t>(node);
+    next_[s] = static_cast<std::uint32_t>(node);
+}
+
+bool
+MgLru::genEmpty(unsigned gen) const
+{
+    const std::size_t s = sentinel(gen);
+    return next_[s] == s;
+}
+
+void
+MgLru::insert(Vpn vpn)
+{
+    m5_assert(vpn < num_pages_, "vpn out of range");
+    m5_assert(gen_[vpn] == kNotTracked, "vpn %lu already tracked",
+              static_cast<unsigned long>(vpn));
+    gen_[vpn] = static_cast<std::uint8_t>(youngest_slot_);
+    pushHead(youngest_slot_, vpn);
+    ++size_;
+}
+
+void
+MgLru::remove(Vpn vpn)
+{
+    m5_assert(vpn < num_pages_, "vpn out of range");
+    m5_assert(gen_[vpn] != kNotTracked, "vpn %lu not tracked",
+              static_cast<unsigned long>(vpn));
+    unlink(vpn);
+    gen_[vpn] = kNotTracked;
+    --size_;
+}
+
+void
+MgLru::touch(Vpn vpn)
+{
+    m5_assert(vpn < num_pages_, "vpn out of range");
+    if (gen_[vpn] == kNotTracked)
+        return; // Not DDR-resident; nothing to refresh.
+    if (gen_[vpn] == youngest_slot_)
+        return;
+    unlink(vpn);
+    gen_[vpn] = static_cast<std::uint8_t>(youngest_slot_);
+    pushHead(youngest_slot_, vpn);
+}
+
+void
+MgLru::age()
+{
+    const unsigned oldest = (youngest_slot_ + 1) % num_gens_;
+    const unsigned second = (youngest_slot_ + 2) % num_gens_;
+    // Fold the oldest slot's survivors into the tail of the second-oldest
+    // (they stay the coldest pages), relabelling as we go.
+    const std::size_t so = sentinel(oldest);
+    const std::size_t ss = sentinel(second);
+    while (next_[so] != so) {
+        const std::size_t node = prev_[so]; // Take from the tail.
+        unlink(node);
+        gen_[node] = static_cast<std::uint8_t>(second);
+        // Push to the *tail* of second so relative order is preserved.
+        next_[node] = static_cast<std::uint32_t>(ss);
+        prev_[node] = prev_[ss];
+        next_[prev_[ss]] = static_cast<std::uint32_t>(node);
+        prev_[ss] = static_cast<std::uint32_t>(node);
+    }
+    youngest_slot_ = oldest;
+}
+
+std::vector<Vpn>
+MgLru::pickVictims(std::size_t n)
+{
+    std::vector<Vpn> out;
+    out.reserve(n);
+    // Walk slots from oldest toward youngest.
+    for (unsigned d = num_gens_ - 1; d >= 1 && out.size() < n; --d) {
+        const unsigned slot = (youngest_slot_ + num_gens_ - d) % num_gens_;
+        const std::size_t s = sentinel(slot);
+        while (out.size() < n && prev_[s] != s) {
+            const std::size_t node = prev_[s]; // Tail = least recent.
+            unlink(node);
+            gen_[node] = kNotTracked;
+            --size_;
+            out.push_back(static_cast<Vpn>(node));
+        }
+        if (d == 1)
+            break;
+    }
+    // Fall back to the youngest generation if everything else is empty.
+    const std::size_t sy = sentinel(youngest_slot_);
+    while (out.size() < n && prev_[sy] != sy) {
+        const std::size_t node = prev_[sy];
+        unlink(node);
+        gen_[node] = kNotTracked;
+        --size_;
+        out.push_back(static_cast<Vpn>(node));
+    }
+    return out;
+}
+
+bool
+MgLru::contains(Vpn vpn) const
+{
+    m5_assert(vpn < num_pages_, "vpn out of range");
+    return gen_[vpn] != kNotTracked;
+}
+
+unsigned
+MgLru::generationOf(Vpn vpn) const
+{
+    m5_assert(contains(vpn), "vpn %lu not tracked",
+              static_cast<unsigned long>(vpn));
+    const unsigned slot = gen_[vpn];
+    return (youngest_slot_ + num_gens_ - slot) % num_gens_;
+}
+
+} // namespace m5

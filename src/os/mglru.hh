@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-Generational LRU model.
+ *
+ * M5 relies on the kernel's MGLRU to pick demotion victims when the DDR
+ * tier is full (§5.2).  This model keeps DDR-resident pages in G
+ * generations: touched pages move to the youngest generation, aging demotes
+ * whole generations in O(1), and victims are taken from the tail of the
+ * oldest populated generation.
+ *
+ * Intrusive doubly-linked lists over the contiguous VPN space make every
+ * operation O(1).
+ */
+
+#ifndef M5_OS_MGLRU_HH
+#define M5_OS_MGLRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** Generational LRU over DDR-resident pages. */
+class MgLru
+{
+  public:
+    /**
+     * @param num_pages Size of the VPN space.
+     * @param num_gens Number of generations (kernel default is 4).
+     */
+    explicit MgLru(std::size_t num_pages, unsigned num_gens = 4);
+
+    /** A page became DDR-resident: insert into the youngest generation. */
+    void insert(Vpn vpn);
+
+    /** A page left DDR (demoted / unmapped). */
+    void remove(Vpn vpn);
+
+    /** A DDR access was observed: refresh to the youngest generation. */
+    void touch(Vpn vpn);
+
+    /** Advance the clock: demote every generation by one (O(gens)). */
+    void age();
+
+    /**
+     * Pop up to n victims from the oldest populated generations.
+     * Victims are removed from the structure.
+     */
+    std::vector<Vpn> pickVictims(std::size_t n);
+
+    /** True if the page is tracked. */
+    bool contains(Vpn vpn) const;
+
+    /** Number of tracked pages. */
+    std::size_t size() const { return size_; }
+
+    /** Number of generations. */
+    unsigned generations() const { return num_gens_; }
+
+    /** Generation index of a tracked page (0 = youngest). */
+    unsigned generationOf(Vpn vpn) const;
+
+  private:
+    static constexpr std::uint8_t kNotTracked = 0xff;
+
+    std::size_t sentinel(unsigned gen) const { return num_pages_ + gen; }
+    void unlink(std::size_t node);
+    void pushHead(unsigned gen, std::size_t node);
+    bool genEmpty(unsigned gen) const;
+
+    std::size_t num_pages_;
+    unsigned num_gens_;
+    unsigned youngest_slot_ = 0; //!< Ring slot receiving touched pages.
+    std::size_t size_ = 0;
+    std::vector<std::uint32_t> next_;
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint8_t> gen_;
+};
+
+} // namespace m5
+
+#endif // M5_OS_MGLRU_HH

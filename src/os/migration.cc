@@ -1,0 +1,132 @@
+#include "os/migration.hh"
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+MigrationEngine::MigrationEngine(PageTable &pt, FrameAllocator &alloc,
+                                 MemorySystem &mem, SetAssocCache &llc,
+                                 Tlb &tlb, KernelLedger &ledger, MgLru &mglru,
+                                 const MigrationCosts &costs)
+    : pt_(pt), alloc_(alloc), mem_(mem), llc_(llc), tlb_(tlb),
+      ledger_(ledger), mglru_(mglru), costs_(costs)
+{
+}
+
+std::size_t
+MigrationEngine::ddrFreeFrames() const
+{
+    return alloc_.freeFrames(kNodeDdr);
+}
+
+bool
+MigrationEngine::canPromote(Vpn vpn) const
+{
+    const Pte &e = pt_.pte(vpn);
+    return e.valid && !e.pinned && e.node == kNodeCxl;
+}
+
+Tick
+MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
+{
+    Pte &e = pt_.pte(vpn);
+    const NodeId src_node = e.node;
+    const Pfn src_pfn = e.pfn;
+
+    auto dst = alloc_.allocate(dst_node);
+    m5_assert(dst.has_value(), "moveTo without a free frame on node %u",
+              dst_node);
+
+    // Flush the page's cached lines; dirty data returns to the source
+    // frame before the copy (posted writes — bandwidth, not latency).
+    Tick elapsed = 0;
+    for (Addr wb : llc_.invalidatePage(src_pfn))
+        mem_.access(wb, true, now);
+
+    // Unmap during the copy: TLB shootdown.
+    tlb_.shootdown(static_cast<Vpn>(vpn));
+    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+
+    // Copy 64 words: reads from the source tier (visible to the CXL
+    // controller when the source is CXL), writes to the destination.  The
+    // traffic is issued per word so counters and observers see it, but the
+    // copy is charged as a pipelined stream, not 128 serialized round
+    // trips — migrate_pages() uses a streaming memcpy.
+    const Addr src_base = pageBase(src_pfn);
+    const Addr dst_base = pageBase(*dst);
+    for (unsigned w = 0; w < kWordsPerPage; ++w) {
+        const Addr off = static_cast<Addr>(w) * kWordBytes;
+        mem_.access(src_base + off, false, now + elapsed);
+        mem_.access(dst_base + off, true, now + elapsed);
+    }
+    elapsed += costs_.copy_latency_floor +
+               static_cast<Tick>(2.0 * kPageBytes /
+                                 costs_.copy_bytes_per_s * 1e9);
+
+    pt_.remap(vpn, *dst, dst_node);
+    alloc_.free(src_node, src_pfn);
+
+    ledger_.charge(KernelWork::Migration, costs_.software_per_page);
+    elapsed += cyclesToNs(costs_.software_per_page);
+    stats_.busy_time += elapsed;
+    return elapsed;
+}
+
+Tick
+MigrationEngine::promote(Vpn vpn, Tick now)
+{
+    const Pte &e = pt_.pte(vpn);
+    if (!e.valid || e.node != kNodeCxl) {
+        ++stats_.rejected_not_cxl;
+        return 0;
+    }
+    if (e.pinned) {
+        ++stats_.rejected_pinned;
+        return 0;
+    }
+
+    Tick elapsed = 0;
+    if (alloc_.freeFrames(kNodeDdr) == 0) {
+        // Demote an MGLRU victim to make room.
+        auto victims = mglru_.pickVictims(1);
+        if (victims.empty()) {
+            ++stats_.failed_capacity;
+            return 0;
+        }
+        elapsed += demote(victims[0], now);
+        if (alloc_.freeFrames(kNodeDdr) == 0) {
+            ++stats_.failed_capacity;
+            return elapsed;
+        }
+    }
+
+    elapsed += moveTo(vpn, kNodeDdr, now + elapsed);
+    mglru_.insert(vpn);
+    ++stats_.promoted;
+    return elapsed;
+}
+
+Tick
+MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
+{
+    Tick elapsed = 0;
+    for (Vpn vpn : vpns)
+        elapsed += promote(vpn, now + elapsed);
+    return elapsed;
+}
+
+Tick
+MigrationEngine::demote(Vpn vpn, Tick now)
+{
+    const Pte &e = pt_.pte(vpn);
+    m5_assert(e.valid && e.node == kNodeDdr,
+              "demote of non-DDR vpn %lu", static_cast<unsigned long>(vpn));
+    if (mglru_.contains(vpn))
+        mglru_.remove(vpn);
+    const Tick elapsed = moveTo(vpn, kNodeCxl, now);
+    ++stats_.demoted;
+    return elapsed;
+}
+
+} // namespace m5

@@ -1,0 +1,91 @@
+#include "os/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+PageTable::PageTable(std::size_t num_pages)
+    : ptes_(num_pages)
+{
+    m5_assert(num_pages > 0, "page table needs at least one page");
+    rmap_.reserve(num_pages);
+}
+
+void
+PageTable::map(Vpn vpn, Pfn pfn, NodeId node)
+{
+    m5_assert(vpn < ptes_.size(), "vpn %lu out of range",
+              static_cast<unsigned long>(vpn));
+    Pte &e = ptes_[vpn];
+    m5_assert(!e.valid, "vpn %lu already mapped",
+              static_cast<unsigned long>(vpn));
+    e.pfn = pfn;
+    e.node = node;
+    e.valid = true;
+    e.present = true;
+    e.accessed = false;
+    rmap_[pfn] = vpn;
+    if (node_pages_.size() <= node)
+        node_pages_.resize(node + 1, 0);
+    ++node_pages_[node];
+}
+
+void
+PageTable::remap(Vpn vpn, Pfn new_pfn, NodeId new_node)
+{
+    m5_assert(vpn < ptes_.size(), "vpn %lu out of range",
+              static_cast<unsigned long>(vpn));
+    Pte &e = ptes_[vpn];
+    m5_assert(e.valid, "remapping unmapped vpn %lu",
+              static_cast<unsigned long>(vpn));
+    rmap_.erase(e.pfn);
+    --node_pages_[e.node];
+    e.pfn = new_pfn;
+    e.node = new_node;
+    e.present = true;
+    rmap_[new_pfn] = vpn;
+    if (node_pages_.size() <= new_node)
+        node_pages_.resize(new_node + 1, 0);
+    ++node_pages_[new_node];
+}
+
+Pte &
+PageTable::pte(Vpn vpn)
+{
+    m5_assert(vpn < ptes_.size(), "vpn %lu out of range",
+              static_cast<unsigned long>(vpn));
+    return ptes_[vpn];
+}
+
+const Pte &
+PageTable::pte(Vpn vpn) const
+{
+    m5_assert(vpn < ptes_.size(), "vpn %lu out of range",
+              static_cast<unsigned long>(vpn));
+    return ptes_[vpn];
+}
+
+Vpn
+PageTable::vpnOfPfn(Pfn pfn) const
+{
+    auto it = rmap_.find(pfn);
+    return it == rmap_.end() ? static_cast<Vpn>(ptes_.size()) : it->second;
+}
+
+Pfn
+PageTable::walk(Vpn vpn)
+{
+    Pte &e = pte(vpn);
+    m5_assert(e.valid && e.present, "walk of non-present vpn %lu",
+              static_cast<unsigned long>(vpn));
+    e.accessed = true;
+    return e.pfn;
+}
+
+std::size_t
+PageTable::pagesOnNode(NodeId node) const
+{
+    return node < node_pages_.size() ? node_pages_[node] : 0;
+}
+
+} // namespace m5

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single-address-space page table for the simulated workload.
+ *
+ * The workload owns a contiguous virtual page range [0, numPages).  Each PTE
+ * carries the bits the migration solutions depend on: `present` (cleared by
+ * ANB to provoke hinting faults), `accessed` (set by page walks, sampled and
+ * cleared by DAMON), `pinned` (Promoter must reject such pages, §5.2), and
+ * the backing frame / tier node.
+ */
+
+#ifndef M5_OS_PAGE_TABLE_HH
+#define M5_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** One page-table entry. */
+struct Pte
+{
+    Pfn pfn = 0;
+    NodeId node = kNodeDdr;
+    bool valid = false;    //!< Mapping exists.
+    bool present = true;   //!< Cleared by ANB's unmap pass.
+    bool accessed = false; //!< Set by page walks; cleared by DAMON.
+    bool pinned = false;   //!< DMA-pinned / node-bound; never migrated.
+};
+
+/** Flat page table over [0, numPages) VPNs with a PFN reverse map. */
+class PageTable
+{
+  public:
+    /** @param num_pages Size of the virtual page range. */
+    explicit PageTable(std::size_t num_pages);
+
+    /** Install a mapping vpn -> pfn on the given node. */
+    void map(Vpn vpn, Pfn pfn, NodeId node);
+
+    /** Move a mapping to a different frame/node (page migration). */
+    void remap(Vpn vpn, Pfn new_pfn, NodeId new_node);
+
+    /** Mutable PTE access. */
+    Pte &pte(Vpn vpn);
+
+    /** Read-only PTE access. */
+    const Pte &pte(Vpn vpn) const;
+
+    /** The VPN mapped to a frame; numPages() if the frame is unmapped. */
+    Vpn vpnOfPfn(Pfn pfn) const;
+
+    /**
+     * Hardware page-table walk: sets the accessed bit and returns the PFN.
+     * The caller charges walk latency and handles non-present faults first.
+     */
+    Pfn walk(Vpn vpn);
+
+    /** Number of virtual pages. */
+    std::size_t numPages() const { return ptes_.size(); }
+
+    /** Count of valid pages currently on the given node. */
+    std::size_t pagesOnNode(NodeId node) const;
+
+  private:
+    std::vector<Pte> ptes_;
+    std::unordered_map<Pfn, Vpn> rmap_;
+    //! Cached per-node residency counts, maintained by map/remap.
+    std::vector<std::size_t> node_pages_;
+};
+
+} // namespace m5
+
+#endif // M5_OS_PAGE_TABLE_HH

@@ -1,0 +1,115 @@
+#include "os/pebs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+MemtisDaemon::MemtisDaemon(const PebsConfig &cfg, PageTable &pt,
+                           KernelLedger &ledger, MigrationEngine &engine)
+    : cfg_(cfg), pt_(pt), ledger_(ledger), engine_(engine),
+      hot_threshold_(cfg.initial_hot_threshold),
+      next_wake_(cfg.cooling_interval),
+      hot_list_(cfg.hot_list_capacity)
+{
+    m5_assert(cfg.sample_period >= 1, "PEBS sample period must be >= 1");
+    m5_assert(cfg.buffer_entries >= 1, "PEBS buffer must hold a record");
+    buffer_.reserve(cfg.buffer_entries);
+}
+
+Tick
+MemtisDaemon::onLlcMiss(Vpn vpn, Tick now)
+{
+    if (++miss_counter_ % cfg_.sample_period != 0)
+        return 0;
+    ++samples_taken_;
+    buffer_.push_back(vpn);
+    if (buffer_.size() < cfg_.buffer_entries)
+        return 0;
+    return drainBuffer(now);
+}
+
+Tick
+MemtisDaemon::drainBuffer(Tick now)
+{
+    ++interrupts_;
+    Cycles cycles = cost::kPebsInterrupt +
+        cost::kPebsSampleProcess * static_cast<Cycles>(buffer_.size());
+    ledger_.charge(KernelWork::HintFault, cycles);
+    Tick elapsed = cyclesToNs(cycles);
+
+    // Refill the promotion token bucket.
+    tokens_ = std::min(cfg_.promote_rate_pages_per_s,
+        tokens_ + static_cast<double>(now - token_time_) * 1e-9 *
+                  cfg_.promote_rate_pages_per_s);
+    token_time_ = now;
+
+    for (Vpn vpn : buffer_) {
+        const std::uint32_t c = ++counts_[vpn];
+        if (c < hot_threshold_)
+            continue;
+        const Pte &e = pt_.pte(vpn);
+        if (!e.valid || e.node != kNodeCxl)
+            continue;
+        hot_list_.add(e.pfn);
+        if (cfg_.migrate && tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            elapsed += engine_.promote(vpn, now + elapsed);
+        }
+    }
+    buffer_.clear();
+    return elapsed;
+}
+
+void
+MemtisDaemon::cool()
+{
+    // Memtis-style cooling: halve every estimate so stale hotness fades.
+    for (auto it = counts_.begin(); it != counts_.end();) {
+        it->second /= 2;
+        if (it->second == 0)
+            it = counts_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+MemtisDaemon::adaptThreshold()
+{
+    // Size the hot set to the fast tier: if more pages exceed the
+    // threshold than DDR can hold, raise it; if far fewer, lower it.
+    const std::size_t ddr_frames =
+        engine_.ddrFreeFrames() + pt_.pagesOnNode(kNodeDdr);
+    std::size_t hot = 0;
+    for (const auto &[vpn, c] : counts_)
+        hot += c >= hot_threshold_;
+    if (hot > ddr_frames) {
+        ++hot_threshold_;
+    } else if (hot < ddr_frames / 2 && hot_threshold_ > 1) {
+        --hot_threshold_;
+    }
+}
+
+Tick
+MemtisDaemon::wake(Tick now)
+{
+    cool();
+    adaptThreshold();
+    const Cycles cycles = cost::kDamonAggregatePerRegion +
+        static_cast<Cycles>(counts_.size() / 8); // Histogram walk.
+    ledger_.charge(KernelWork::DamonAggregate, cycles);
+    next_wake_ = now + cfg_.cooling_interval;
+    return cyclesToNs(cycles);
+}
+
+std::uint32_t
+MemtisDaemon::estimate(Vpn vpn) const
+{
+    auto it = counts_.find(vpn);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+} // namespace m5

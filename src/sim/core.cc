@@ -1,0 +1,51 @@
+#include "sim/core.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+void
+CpuCore::onAccessRetired()
+{
+    if (apr_ == 0)
+        return;
+    if (++in_request_ >= apr_) {
+        // A request spans from the previous request's completion (or the
+        // measurement start) through its last access.
+        const double service = static_cast<double>(now_ - request_start_);
+        requests_.add(service);
+        services_.push_back(service);
+        in_request_ = 0;
+        request_start_ = now_;
+    }
+}
+
+PercentileTracker
+CpuCore::openLoopLatencies(double utilization) const
+{
+    m5_assert(utilization > 0.0 && utilization < 1.0,
+              "utilization must be in (0, 1)");
+    PercentileTracker out;
+    if (services_.empty())
+        return out;
+
+    double mean = 0.0;
+    for (double s : services_)
+        mean += s;
+    mean /= static_cast<double>(services_.size());
+    const double interarrival = mean / utilization;
+
+    // Deterministic-arrival single-server replay: a long service (kernel
+    // burst inside a request) queues every arrival behind it.
+    double arrival = 0.0;
+    double ready = 0.0; // Server free time.
+    for (double s : services_) {
+        const double start = std::max(arrival, ready);
+        ready = start + s;
+        out.add(ready - arrival);
+        arrival += interarrival;
+    }
+    return out;
+}
+
+} // namespace m5

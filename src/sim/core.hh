@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The shared CPU-core time model.
+ *
+ * The paper pins the page-migration processes and a benchmark thread to
+ * one core (§6), so kernel work directly delays the application.  CpuCore
+ * splits elapsed time into application vs kernel busy time, and groups
+ * accesses into requests for latency-sensitive workloads so p99 request
+ * latency can be reported (Figure 9, Redis).
+ */
+
+#ifndef M5_SIM_CORE_HH
+#define M5_SIM_CORE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace m5 {
+
+/** Time accounting for the single simulated core. */
+class CpuCore
+{
+  public:
+    /** @param accesses_per_request 0 disables request tracking. */
+    explicit CpuCore(unsigned accesses_per_request)
+        : apr_(accesses_per_request)
+    {
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Application executed for `t` ns. */
+    void
+    advanceApp(Tick t)
+    {
+        now_ += t;
+        app_time_ += t;
+    }
+
+    /** Kernel / manager work delayed the application by `t` ns. */
+    void
+    advanceKernel(Tick t)
+    {
+        now_ += t;
+        kernel_time_ += t;
+    }
+
+    /** Force the clock to an externally advanced value (event queue). */
+    void
+    syncTo(Tick t, bool kernel)
+    {
+        if (t <= now_)
+            return;
+        const Tick delta = t - now_;
+        if (kernel)
+            kernel_time_ += delta;
+        else
+            app_time_ += delta;
+        now_ = t;
+    }
+
+    /** One application access completed (drives request grouping). */
+    void onAccessRetired();
+
+    /** Start the measurement window: drop warmup request latencies and
+     *  remember the current time (steady-state metrics, §7 equilibrium). */
+    void
+    beginMeasurement()
+    {
+        requests_.reset();
+        services_.clear();
+        in_request_ = 0;
+        request_start_ = now_;
+        measure_start_ = now_;
+    }
+
+    /** Time the measurement window began (0 = start of run). */
+    Tick measureStart() const { return measure_start_; }
+
+    /** Cumulative application busy time. */
+    Tick appTime() const { return app_time_; }
+
+    /** Cumulative kernel/daemon busy time. */
+    Tick kernelTime() const { return kernel_time_; }
+
+    /** Closed-loop request-service distribution (empty when apr == 0). */
+    const PercentileTracker &requestLatencies() const { return requests_; }
+
+    /**
+     * Open-loop request latencies: replay the measured service times
+     * against a fixed-rate arrival process at the given utilization, so
+     * a kernel burst delays every request that queues behind it — the
+     * way a real load generator (YCSB) sees a stalled Redis.
+     */
+    PercentileTracker openLoopLatencies(double utilization) const;
+
+  private:
+    unsigned apr_;
+    Tick now_ = 0;
+    Tick app_time_ = 0;
+    Tick kernel_time_ = 0;
+    unsigned in_request_ = 0;
+    Tick request_start_ = 0;
+    Tick measure_start_ = 0;
+    PercentileTracker requests_;
+    std::vector<double> services_; //!< Service times in arrival order.
+};
+
+} // namespace m5
+
+#endif // M5_SIM_CORE_HH

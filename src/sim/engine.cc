@@ -1,0 +1,34 @@
+#include "sim/engine.hh"
+
+#include <limits>
+
+namespace m5 {
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    heap_.push({when, seq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    return heap_.empty() ? std::numeric_limits<Tick>::max()
+                         : heap_.top().when;
+}
+
+Tick
+EventQueue::runDue(Tick &now)
+{
+    Tick busy_total = 0;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        EventFn fn = heap_.top().fn;
+        heap_.pop();
+        const Tick busy = fn(now);
+        now += busy;
+        busy_total += busy;
+    }
+    return busy_total;
+}
+
+} // namespace m5

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal discrete-event queue for the simulator's periodic activities
+ * (policy-daemon wakeups, MGLRU aging, WAC window rotation).
+ *
+ * Time advances with application progress; whenever it passes an event's
+ * due time, the event runs and returns the CPU time it consumed, which the
+ * caller adds to the clock — the single shared core serializes kernel work
+ * with the application (§6's pinning methodology).
+ */
+
+#ifndef M5_SIM_ENGINE_HH
+#define M5_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** An event callback: runs at `now`, returns consumed CPU time. */
+using EventFn = std::function<Tick(Tick now)>;
+
+/** Time-ordered event queue. */
+class EventQueue
+{
+  public:
+    /** Schedule fn at `when`.  Events may schedule further events. */
+    void schedule(Tick when, EventFn fn);
+
+    /** Earliest pending event time (Tick max when empty). */
+    Tick nextTime() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Run every event due at or before *now, adding each event's busy
+     * time to *now (and to the returned total).
+     */
+    Tick runDue(Tick &now);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_SIM_ENGINE_HH

@@ -1,0 +1,51 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+
+#include "analysis/ratio.hh"
+#include "common/logging.hh"
+
+namespace m5 {
+
+SystemConfig
+makeConfig(const std::string &benchmark, PolicyKind policy, double scale,
+           std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.benchmark = benchmark;
+    cfg.scale = scale;
+    cfg.seed = seed;
+    cfg.policy = policy;
+    return cfg;
+}
+
+std::uint64_t
+accessBudget(const std::string &benchmark, double scale)
+{
+    const SyntheticParams p = benchmarkParams(benchmark, scale);
+    const std::uint64_t want =
+        static_cast<std::uint64_t>(p.footprint_pages) * 96;
+    return std::clamp<std::uint64_t>(want, 4'000'000, 20'000'000);
+}
+
+RunResult
+runPolicy(const std::string &benchmark, PolicyKind policy, double scale,
+          std::uint64_t seed)
+{
+    TieredSystem sys(makeConfig(benchmark, policy, scale, seed));
+    return sys.run(accessBudget(benchmark, scale));
+}
+
+double
+recordOnlyAccessRatio(const std::string &benchmark, PolicyKind policy,
+                      double scale, std::uint64_t seed)
+{
+    SystemConfig cfg = makeConfig(benchmark, policy, scale, seed);
+    cfg.record_only = true;
+    cfg.enable_pac = true;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(accessBudget(benchmark, scale));
+    return accessCountRatio(sys.pac(), r.hot_pages);
+}
+
+} // namespace m5

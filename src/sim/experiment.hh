@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared experiment drivers for the bench/ harnesses.
+ *
+ * Every figure binary builds SystemConfigs through these helpers so the
+ * paper's methodology (§6) is encoded once: all pages start in CXL, the
+ * DDR cgroup cap is 3/8 of the footprint, tracker geometries default to
+ * CM-Sketch 32K, and access budgets scale with the footprint.
+ */
+
+#ifndef M5_SIM_EXPERIMENT_HH
+#define M5_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace m5 {
+
+/** The §6 configuration for one benchmark + policy. */
+SystemConfig makeConfig(const std::string &benchmark, PolicyKind policy,
+                        double scale = kDefaultScale,
+                        std::uint64_t seed = 1);
+
+/**
+ * Post-L2 access budget for a benchmark run: enough for hotness to
+ * develop and migration to reach equilibrium (~96 accesses per page,
+ * clamped to [4M, 20M]).
+ */
+std::uint64_t accessBudget(const std::string &benchmark,
+                           double scale = kDefaultScale);
+
+/** Run one benchmark under one policy with default budget. */
+RunResult runPolicy(const std::string &benchmark, PolicyKind policy,
+                    double scale = kDefaultScale, std::uint64_t seed = 1);
+
+/**
+ * §4.1 S1-S5: run a policy in record-only mode over all-CXL placement and
+ * return the average access-count ratio of its identified hot pages
+ * against PAC's same-size top-K.
+ */
+double recordOnlyAccessRatio(const std::string &benchmark,
+                             PolicyKind policy,
+                             double scale = kDefaultScale,
+                             std::uint64_t seed = 1);
+
+} // namespace m5
+
+#endif // M5_SIM_EXPERIMENT_HH

@@ -1,0 +1,386 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/costs.hh"
+
+namespace m5 {
+
+std::string
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::None:
+        return "none";
+      case PolicyKind::Anb:
+        return "ANB";
+      case PolicyKind::Damon:
+        return "DAMON";
+      case PolicyKind::Memtis:
+        return "Memtis";
+      case PolicyKind::M5HptOnly:
+        return "M5(HPT)";
+      case PolicyKind::M5HwtDriven:
+        return "M5(HWT)";
+      case PolicyKind::M5HptDriven:
+        return "M5(HPT+HWT)";
+    }
+    m5_panic("unknown PolicyKind");
+}
+
+bool
+isM5(PolicyKind kind)
+{
+    return kind == PolicyKind::M5HptOnly ||
+           kind == PolicyKind::M5HwtDriven ||
+           kind == PolicyKind::M5HptDriven;
+}
+
+TieredSystem::TieredSystem(const SystemConfig &cfg)
+    : cfg_(cfg),
+      workload_(cfg.colocated_benchmarks.empty()
+          ? makeMultiWorkload(cfg.benchmark, cfg.instances, cfg.scale,
+                              cfg.seed)
+          : makeMixedWorkload(cfg.colocated_benchmarks, cfg.scale,
+                              cfg.seed)),
+      core_(workload_->accessesPerRequest())
+{
+    buildMemory();
+    placePages();
+    buildController();
+    buildPolicy();
+}
+
+void
+TieredSystem::buildMemory()
+{
+    const std::size_t footprint = workload_->footprintPages();
+
+    TieredMemoryParams params = cfg_.tier_params;
+    const auto ddr_frames = std::max<std::size_t>(1,
+        static_cast<std::size_t>(static_cast<double>(footprint) *
+                                 cfg_.ddr_capacity_fraction));
+    params.ddr_bytes = ddr_frames * kPageBytes;
+    // CXL holds the full footprint plus slack so demotion always finds a
+    // free frame.
+    params.cxl_bytes = (footprint + 64) * kPageBytes;
+    mem_ = makeTieredMemory(params);
+
+    CacheConfig llc_cfg;
+    std::uint64_t llc_bytes =
+        benchmarkLlcBytes(cfg_.benchmark, cfg_.scale);
+    for (const auto &tenant : cfg_.colocated_benchmarks) {
+        llc_bytes = std::max(llc_bytes,
+                             benchmarkLlcBytes(tenant, cfg_.scale));
+    }
+    llc_cfg.size_bytes = cfg_.llc_bytes_override
+        ? *cfg_.llc_bytes_override : llc_bytes;
+    llc_ = std::make_unique<SetAssocCache>(llc_cfg);
+
+    tlb_ = std::make_unique<Tlb>(cfg_.tlb_cfg);
+    pt_ = std::make_unique<PageTable>(footprint);
+    alloc_ = std::make_unique<FrameAllocator>(*mem_);
+    mglru_ = std::make_unique<MgLru>(footprint);
+}
+
+void
+TieredSystem::placePages()
+{
+    const std::size_t footprint = workload_->footprintPages();
+    Rng rng(cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
+    for (Vpn vpn = 0; vpn < footprint; ++vpn) {
+        NodeId node = kNodeCxl;
+        if (cfg_.initial_ddr_fraction > 0.0 &&
+            rng.chance(cfg_.initial_ddr_fraction) &&
+            alloc_->freeFrames(kNodeDdr) > 0) {
+            node = kNodeDdr;
+        }
+        auto pfn = alloc_->allocate(node);
+        m5_assert(pfn.has_value(), "out of frames on node %u", node);
+        pt_->map(vpn, *pfn, node);
+        if (cfg_.pinned_fraction > 0.0 &&
+            rng.chance(cfg_.pinned_fraction)) {
+            pt_->pte(vpn).pinned = true;
+        }
+        if (node == kNodeDdr)
+            mglru_->insert(vpn);
+    }
+}
+
+void
+TieredSystem::buildController()
+{
+    CxlControllerConfig ctrl_cfg;
+    const MemTier &cxl = mem_->tier(kNodeCxl);
+
+    if (cfg_.enable_pac) {
+        PacConfig pac;
+        pac.first_pfn = cxl.firstPfn();
+        pac.frames = cxl.framesTotal();
+        ctrl_cfg.pac = pac;
+    }
+    if (cfg_.enable_wac) {
+        WacConfig wac;
+        wac.range_base = cxl.config().base;
+        wac.range_bytes = cxl.config().capacity_bytes;
+        if (cfg_.wac_window_period == 0) {
+            // Static window covering the whole range (offline profiling
+            // over multiple runs in the paper; a single sweep here).
+            wac.window_bytes = cxl.config().capacity_bytes;
+        }
+        ctrl_cfg.wac = wac;
+    }
+    const bool wants_hpt = cfg_.policy == PolicyKind::M5HptOnly ||
+                           cfg_.policy == PolicyKind::M5HptDriven;
+    const bool wants_hwt = cfg_.policy == PolicyKind::M5HwtDriven ||
+                           cfg_.policy == PolicyKind::M5HptDriven;
+    if (wants_hpt)
+        ctrl_cfg.hpt = cfg_.hpt_cfg;
+    if (wants_hwt)
+        ctrl_cfg.hwt = cfg_.hwt_cfg;
+
+    ctrl_ = std::make_unique<CxlController>(ctrl_cfg);
+    mem_->attachObserver(kNodeCxl, ctrl_->observer());
+}
+
+void
+TieredSystem::buildPolicy()
+{
+    MigrationCosts costs;
+    const double mscale = cfg_.migration_cost_scale > 0.0
+        ? cfg_.migration_cost_scale : cfg_.scale;
+    costs.software_per_page = std::max<Cycles>(2000,
+        static_cast<Cycles>(static_cast<double>(cost::kMigratePageSoftware) *
+                            mscale));
+    engine_ = std::make_unique<MigrationEngine>(*pt_, *alloc_, *mem_, *llc_,
+                                                *tlb_, ledger_, *mglru_,
+                                                costs);
+    monitor_ = std::make_unique<Monitor>(*mem_, *pt_);
+
+    const auto hot_cap = std::max<std::size_t>(512,
+        static_cast<std::size_t>(
+            static_cast<double>(workload_->footprintPages()) *
+            cfg_.hot_list_fraction));
+
+    switch (cfg_.policy) {
+      case PolicyKind::None:
+        break;
+      case PolicyKind::Anb: {
+        AnbConfig c = cfg_.anb_cfg;
+        c.migrate = !cfg_.record_only;
+        c.hot_list_capacity = hot_cap;
+        anb_ = std::make_unique<AnbDaemon>(c, *pt_, *tlb_, ledger_,
+                                           *engine_);
+        daemon_ = anb_.get();
+        break;
+      }
+      case PolicyKind::Damon: {
+        DamonConfig c = cfg_.damon_cfg;
+        c.migrate = !cfg_.record_only;
+        c.hot_list_capacity = hot_cap;
+        damon_ = std::make_unique<DamonDaemon>(c, *pt_, ledger_, *engine_);
+        daemon_ = damon_.get();
+        break;
+      }
+      case PolicyKind::Memtis: {
+        PebsConfig c = cfg_.pebs_cfg;
+        c.migrate = !cfg_.record_only;
+        c.hot_list_capacity = hot_cap;
+        memtis_ = std::make_unique<MemtisDaemon>(c, *pt_, ledger_,
+                                                 *engine_);
+        daemon_ = memtis_.get();
+        break;
+      }
+      case PolicyKind::M5HptOnly:
+      case PolicyKind::M5HwtDriven:
+      case PolicyKind::M5HptDriven: {
+        M5Config c = cfg_.m5_cfg;
+        c.migrate = !cfg_.record_only;
+        c.hot_list_capacity = hot_cap;
+        c.nominator = cfg_.policy == PolicyKind::M5HptOnly
+            ? NominatorKind::HptOnly
+            : cfg_.policy == PolicyKind::M5HwtDriven
+                ? NominatorKind::HwtDriven
+                : NominatorKind::HptDriven;
+        m5_ = std::make_unique<M5Manager>(c, *ctrl_, *monitor_, *pt_,
+                                          *engine_, ledger_);
+        daemon_ = m5_.get();
+        break;
+      }
+    }
+}
+
+Tick
+TieredSystem::daemonTick(Tick now)
+{
+    // Daemon work runs in a kernel thread: it becomes preemptible debt
+    // drained between application accesses, not an atomic time jump.
+    kernel_debt_ += daemon_->wake(now);
+    events_.schedule(std::max(daemon_->nextWake(), now + 1),
+                     [this](Tick t) { return daemonTick(t); });
+    return 0;
+}
+
+void
+TieredSystem::scheduleAging(Tick when)
+{
+    events_.schedule(when, [this](Tick now) -> Tick {
+        mglru_->age();
+        scheduleAging(now + cfg_.mglru_age_period);
+        return 0;
+    });
+}
+
+void
+TieredSystem::scheduleWacRotation(Tick when)
+{
+    events_.schedule(when, [this](Tick now) -> Tick {
+        ctrl_->wac().advanceWindow();
+        scheduleWacRotation(now + cfg_.wac_window_period);
+        return 0;
+    });
+}
+
+Tick
+TieredSystem::issueAccess(const AccessEvent &ev)
+{
+    const Vpn vpn = vpnOf(ev.va);
+    Pfn pfn;
+    if (!tlb_->lookup(vpn, pfn)) {
+        Pte &e = pt_->pte(vpn);
+        if (!e.present) {
+            // NUMA hinting fault: the page was unmapped by ANB's scan.
+            e.present = true;
+            const Tick busy = daemon_
+                ? daemon_->onHintFault(vpn, core_.now())
+                : cyclesToNs(cost::kHintFault);
+            core_.advanceKernel(busy);
+        }
+        pfn = pt_->walk(vpn);
+        tlb_->fill(vpn, pfn);
+        core_.advanceApp(cost::kPageWalkNs);
+    }
+
+    const Addr pa = pageBase(pfn) | (ev.va & (kPageBytes - 1));
+    const CacheResult res = llc_->access(pa, ev.is_write);
+    Tick lat = cfg_.think_per_access;
+    if (!res.hit) {
+        // PEBS samples LLC-miss addresses (Sec 2.1 Solution 3); a full
+        // buffer raises the processing interrupt here, in the app's path.
+        if (memtis_) {
+            const Tick busy = memtis_->onLlcMiss(vpn, core_.now());
+            if (busy)
+                core_.advanceKernel(busy);
+        }
+        // Dirty victim writeback is posted (bandwidth, not latency).
+        if (res.writeback)
+            mem_->access(*res.writeback, true, core_.now());
+        // The fill is a read even on write misses (write-allocate / RFO),
+        // which is why Monitor only needs read bandwidth (§5.2).
+        lat += mem_->access(pa, false, core_.now());
+        if (pt_->pte(vpn).node == kNodeDdr)
+            mglru_->touch(vpn);
+        if (cfg_.record_trace)
+            trace_.push(pa, core_.now(), ev.is_write);
+    }
+    core_.advanceApp(lat);
+    core_.onAccessRetired();
+    return lat;
+}
+
+RunResult
+TieredSystem::run(std::uint64_t num_accesses)
+{
+    monitor_->sample(core_.now());
+
+    // Periodic events: policy daemon, MGLRU aging, WAC window rotation.
+    // Scheduled once; a second run() continues the existing chains.
+    if (!events_armed_) {
+        events_armed_ = true;
+        if (daemon_)
+            events_.schedule(daemon_->nextWake(),
+                             [this](Tick t) { return daemonTick(t); });
+        scheduleAging(core_.now() + cfg_.mglru_age_period);
+        if (cfg_.enable_wac && cfg_.wac_window_period > 0)
+            scheduleWacRotation(core_.now() + cfg_.wac_window_period);
+    }
+
+    const std::uint64_t warmup = static_cast<std::uint64_t>(
+        static_cast<double>(num_accesses) * cfg_.warmup_fraction);
+    std::uint64_t mark_ddr_reads = 0;
+    std::uint64_t mark_cxl_reads = 0;
+
+    for (std::uint64_t i = 0; i < num_accesses; ++i) {
+        Tick now = core_.now();
+        if (events_.nextTime() <= now) {
+            events_.runDue(now);
+            core_.syncTo(now, true);
+        }
+        if (i == warmup) {
+            core_.beginMeasurement();
+            mark_ddr_reads = mem_->tier(kNodeDdr).counters().read_bytes;
+            mark_cxl_reads = mem_->tier(kNodeCxl).counters().read_bytes;
+        }
+        if (kernel_debt_ > 0) {
+            const Tick pay = std::min(kernel_debt_,
+                                      cfg_.kernel_quantum_per_access);
+            core_.advanceKernel(pay);
+            kernel_debt_ -= pay;
+        }
+        issueAccess(workload_->next());
+    }
+
+    if (cfg_.enable_wac)
+        ctrl_->wac().fold();
+
+    // Charge baseline kernel housekeeping over the whole run (§4.2's
+    // inflation reference).
+    const Tick runtime = core_.now();
+    ledger_.charge(KernelWork::Baseline,
+                   static_cast<Cycles>(
+                       static_cast<double>(nsToCycles(runtime)) *
+                       cfg_.baseline_kernel_fraction));
+
+    RunResult r;
+    r.benchmark = cfg_.colocated_benchmarks.empty()
+        ? cfg_.benchmark : workload_->name();
+    r.policy = policyKindName(cfg_.policy);
+    r.accesses = num_accesses;
+    r.runtime = runtime;
+    r.app_time = core_.appTime();
+    r.kernel_time = core_.kernelTime();
+    r.throughput = runtime
+        ? static_cast<double>(num_accesses) /
+          (static_cast<double>(runtime) * 1e-9)
+        : 0.0;
+    const Tick steady_time = runtime - core_.measureStart();
+    r.steady_throughput = steady_time
+        ? static_cast<double>(num_accesses - warmup) /
+          (static_cast<double>(steady_time) * 1e-9)
+        : r.throughput;
+    r.steady_ddr_read_bytes =
+        mem_->tier(kNodeDdr).counters().read_bytes - mark_ddr_reads;
+    r.steady_cxl_read_bytes =
+        mem_->tier(kNodeCxl).counters().read_bytes - mark_cxl_reads;
+    if (core_.requestLatencies().count()) {
+        // Open-loop replay: kernel bursts queue subsequent arrivals.
+        const PercentileTracker open =
+            core_.openLoopLatencies(cfg_.request_utilization);
+        r.p50_request = open.percentile(50.0);
+        r.p99_request = open.percentile(99.0);
+    }
+    r.llc = llc_->stats();
+    r.tlb = tlb_->stats();
+    r.migration = engine_->stats();
+    r.ddr_read_bytes = mem_->tier(kNodeDdr).counters().read_bytes;
+    r.cxl_read_bytes = mem_->tier(kNodeCxl).counters().read_bytes;
+    r.kernel_ident_cycles = ledger_.identificationCycles();
+    r.kernel_total_cycles = ledger_.total();
+    r.baseline_cycles = ledger_.category(KernelWork::Baseline);
+    if (daemon_)
+        r.hot_pages = daemon_->hotPages().pages();
+    return r;
+}
+
+} // namespace m5

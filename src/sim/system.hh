@@ -1,0 +1,224 @@
+/**
+ * @file
+ * TieredSystem: the full simulated machine.
+ *
+ * Wires workload -> TLB/page table -> LLC -> DDR/CXL tiers, attaches the
+ * CXL controller (PAC/WAC/HPT/HWT) to the CXL tier, and runs one of the
+ * page-migration solutions (none / ANB / DAMON / M5 in its three Nominator
+ * flavours) on the shared CPU core.  All experiments in bench/ are thin
+ * drivers over this class.
+ */
+
+#ifndef M5_SIM_SYSTEM_HH
+#define M5_SIM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "cxl/controller.hh"
+#include "m5/manager.hh"
+#include "mem/memsys.hh"
+#include "os/anb.hh"
+#include "os/daemon.hh"
+#include "os/damon.hh"
+#include "os/pebs.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_ledger.hh"
+#include "os/mglru.hh"
+#include "os/migration.hh"
+#include "os/page_table.hh"
+#include "sim/core.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+#include "workloads/trace.hh"
+
+namespace m5 {
+
+/** Page-migration solution selector. */
+enum class PolicyKind
+{
+    None,        //!< No migration (Figure 9's normalization baseline).
+    Anb,
+    Damon,
+    Memtis,      //!< PEBS-sampling baseline (Sec 2.1 Solution 3).
+    M5HptOnly,   //!< Figure 9 "M5(HPT)".
+    M5HwtDriven, //!< Figure 9 "M5(HWT)".
+    M5HptDriven, //!< Figure 9 "M5(HPT+HWT)".
+};
+
+/** Policy name for reports. */
+std::string policyKindName(PolicyKind kind);
+
+/** True for the three M5 flavours. */
+bool isM5(PolicyKind kind);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    std::string benchmark = "mcf_r";
+    //! Non-empty = colocate these benchmarks (round-robin interleaved,
+    //! disjoint address ranges) instead of running `benchmark` alone.
+    std::vector<std::string> colocated_benchmarks;
+    double scale = kDefaultScale;
+    std::size_t instances = 1;
+    std::uint64_t seed = 1;
+
+    PolicyKind policy = PolicyKind::None;
+    bool record_only = false; //!< Identify hot pages but never migrate.
+
+    //! DDR capacity as a fraction of the footprint (paper: 3GB / ~8GB).
+    double ddr_capacity_fraction = 3.0 / 8.0;
+    //! Fraction of pages initially placed (randomly) in DDR; the §6 runs
+    //! start everything in CXL (0.0).
+    double initial_ddr_fraction = 0.0;
+    //! Fraction of pages DMA-pinned / node-bound: Promoter must reject
+    //! them (§5.2), and every policy loses the capacity they occupy.
+    double pinned_fraction = 0.0;
+
+    bool enable_pac = true;
+    bool enable_wac = false;
+    bool record_trace = false;
+
+    //! Tracker geometries (paper defaults: CM-Sketch, N=32K).
+    TrackerConfig hpt_cfg{TrackerKind::CmSketchTopK, 32 * 1024, 64, 4, 32,
+                          0x4871ULL};
+    TrackerConfig hwt_cfg{TrackerKind::CmSketchTopK, 32 * 1024, 128, 4, 32,
+                          0x4872ULL};
+
+    AnbConfig anb_cfg;
+    DamonConfig damon_cfg;
+    PebsConfig pebs_cfg;
+    M5Config m5_cfg;
+
+    //! Scale applied to the per-page migration software cost; 0 means
+    //! "use `scale`", keeping fill-time : runtime proportional to the
+    //! full-size system (see MigrationCosts).
+    double migration_cost_scale = 0.0;
+    //! Hot-page list capacity as a fraction of the footprint (the paper's
+    //! 128K-page cap is ~1/16 of its 8GB footprints, §4.1).
+    double hot_list_fraction = 1.0 / 16.0;
+    //! Fraction of accesses treated as warmup before steady-state
+    //! metrics (throughput, p99, bandwidth split) start accumulating.
+    //! The paper's minutes-long runs amortize the migration fill phase;
+    //! scaled runs must exclude it explicitly.
+    double warmup_fraction = 0.5;
+    //! Non-memory compute per LLC-visible access (ns).
+    Tick think_per_access = 4;
+    //! MGLRU aging period.
+    Tick mglru_age_period = msToTicks(5.0);
+    //! WAC window rotation period (0 = static window, folded at the end).
+    Tick wac_window_period = 0;
+    //! Kernel housekeeping unrelated to migration, as a fraction of
+    //! runtime, charged at the end (the §4.2 inflation baseline).
+    double baseline_kernel_fraction = 0.03;
+    //! Load-generator utilization for the open-loop request-latency
+    //! replay (latency-sensitive workloads only).
+    double request_utilization = 0.6;
+    //! CFS preemption model: daemon (kthread) work accumulates as debt
+    //! and is drained at most this much per application access, so a
+    //! migration burst shares the core ~50/50 with the app instead of
+    //! monopolizing it.  Hinting faults remain synchronous — they occur
+    //! in the application's own context.
+    Tick kernel_quantum_per_access = 100;
+
+    TieredMemoryParams tier_params; //!< Latencies; capacities are derived.
+    std::optional<std::uint64_t> llc_bytes_override;
+    TlbConfig tlb_cfg;
+};
+
+/** Results of one run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string policy;
+    std::uint64_t accesses = 0;
+    Tick runtime = 0;
+    Tick app_time = 0;
+    Tick kernel_time = 0;
+    double throughput = 0.0; //!< Accesses per second over the whole run.
+    //! Steady-state metrics over the post-warmup window.
+    double steady_throughput = 0.0;
+    double p50_request = 0.0; //!< Steady-state request latency (ns).
+    double p99_request = 0.0;
+    std::uint64_t steady_ddr_read_bytes = 0;
+    std::uint64_t steady_cxl_read_bytes = 0;
+    CacheStats llc;
+    TlbStats tlb;
+    MigrationStats migration;
+    std::uint64_t ddr_read_bytes = 0;
+    std::uint64_t cxl_read_bytes = 0;
+    Cycles kernel_ident_cycles = 0;
+    Cycles kernel_total_cycles = 0;
+    Cycles baseline_cycles = 0;
+    std::vector<Pfn> hot_pages; //!< Identified hot pages (record mode).
+};
+
+/** The simulated tiered-memory machine. */
+class TieredSystem
+{
+  public:
+    explicit TieredSystem(const SystemConfig &cfg);
+
+    /** Run the workload for a number of post-L2 accesses. */
+    RunResult run(std::uint64_t num_accesses);
+
+    /** @{ Component access for analysis and tests. */
+    const SystemConfig &config() const { return cfg_; }
+    CxlController &controller() { return *ctrl_; }
+    PacUnit &pac() { return ctrl_->pac(); }
+    WacUnit &wac() { return ctrl_->wac(); }
+    PageTable &pageTable() { return *pt_; }
+    MemorySystem &memory() { return *mem_; }
+    SetAssocCache &llc() { return *llc_; }
+    Monitor &monitor() { return *monitor_; }
+    const KernelLedger &ledger() const { return ledger_; }
+    PolicyDaemon *daemon() { return daemon_; }
+    const TraceBuffer &trace() const { return trace_; }
+    Workload &workload() { return *workload_; }
+    MigrationEngine &migrationEngine() { return *engine_; }
+    CpuCore &core() { return core_; }
+    /** @} */
+
+  private:
+    void buildMemory();
+    void placePages();
+    void buildController();
+    void buildPolicy();
+    Tick issueAccess(const AccessEvent &ev);
+    Tick daemonTick(Tick now);
+    void scheduleAging(Tick when);
+    void scheduleWacRotation(Tick when);
+
+    SystemConfig cfg_;
+    std::unique_ptr<Workload> workload_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<SetAssocCache> llc_;
+    std::unique_ptr<Tlb> tlb_;
+    std::unique_ptr<PageTable> pt_;
+    std::unique_ptr<FrameAllocator> alloc_;
+    std::unique_ptr<MgLru> mglru_;
+    std::unique_ptr<CxlController> ctrl_;
+    std::unique_ptr<MigrationEngine> engine_;
+    std::unique_ptr<Monitor> monitor_;
+
+    std::unique_ptr<AnbDaemon> anb_;
+    std::unique_ptr<DamonDaemon> damon_;
+    std::unique_ptr<MemtisDaemon> memtis_;
+    std::unique_ptr<M5Manager> m5_;
+    PolicyDaemon *daemon_ = nullptr;
+
+    KernelLedger ledger_;
+    EventQueue events_;
+    bool events_armed_ = false; //!< Periodic chains scheduled once.
+    CpuCore core_;
+    TraceBuffer trace_;
+    Tick kernel_debt_ = 0; //!< Outstanding preemptible daemon work.
+};
+
+} // namespace m5
+
+#endif // M5_SIM_SYSTEM_HH

@@ -1,0 +1,53 @@
+#include "sketch/cm_sketch.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+CmSketch::CmSketch(unsigned rows, std::uint64_t cols, std::uint64_t seed,
+                   unsigned counter_bits)
+    : rows_(rows), cols_(cols),
+      counter_max_(counter_bits == 0 || counter_bits >= 64
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : (1ULL << counter_bits) - 1),
+      hash_(rows, cols, seed),
+      table_(static_cast<std::size_t>(rows) * cols, 0)
+{
+    m5_assert(rows > 0 && cols > 0, "CmSketch needs rows > 0 and cols > 0");
+}
+
+std::uint64_t
+CmSketch::update(std::uint64_t key)
+{
+    std::uint64_t min_val = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned r = 0; r < rows_; ++r) {
+        std::uint64_t &c =
+            table_[static_cast<std::size_t>(r) * cols_ + hash_(r, key)];
+        if (c < counter_max_)
+            ++c;
+        min_val = std::min(min_val, c);
+    }
+    return min_val;
+}
+
+std::uint64_t
+CmSketch::estimate(std::uint64_t key) const
+{
+    std::uint64_t min_val = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned r = 0; r < rows_; ++r) {
+        min_val = std::min(min_val,
+            table_[static_cast<std::size_t>(r) * cols_ + hash_(r, key)]);
+    }
+    return min_val;
+}
+
+void
+CmSketch::reset()
+{
+    std::fill(table_.begin(), table_.end(), 0);
+}
+
+} // namespace m5

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CountMin-Sketch access-count estimator (§5.1, Figure 5 left half).
+ *
+ * The hardware unit is an SRAM array of H rows x W columns of counters.  A
+ * memory address is hashed by H functions in parallel; the indexed counter in
+ * each row is incremented, and the minimum of the H incremented values is the
+ * estimated access count.  Counters may saturate at a configurable width, as
+ * a real SRAM counter would.
+ */
+
+#ifndef M5_SKETCH_CM_SKETCH_HH
+#define M5_SKETCH_CM_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/hash.hh"
+
+namespace m5 {
+
+/** CountMin-Sketch with saturating counters. */
+class CmSketch
+{
+  public:
+    /**
+     * @param rows H, number of hash rows.
+     * @param cols W, counters per row (total N = H*W).
+     * @param seed Hash seed.
+     * @param counter_bits Counter width in bits (saturating); 0 = unbounded.
+     */
+    CmSketch(unsigned rows, std::uint64_t cols, std::uint64_t seed,
+             unsigned counter_bits = 32);
+
+    /**
+     * Record one access and return the updated estimate (min over rows).
+     */
+    std::uint64_t update(std::uint64_t key);
+
+    /** Estimate the count of a key without updating. */
+    std::uint64_t estimate(std::uint64_t key) const;
+
+    /** Zero all counters (epoch boundary). */
+    void reset();
+
+    /** Total counters N = H*W. */
+    std::uint64_t entries() const { return rows_ * cols_; }
+
+    /** Number of hash rows H. */
+    unsigned rows() const { return rows_; }
+
+    /** Counters per row W. */
+    std::uint64_t cols() const { return cols_; }
+
+    /** Saturation limit (max representable count). */
+    std::uint64_t counterMax() const { return counter_max_; }
+
+  private:
+    unsigned rows_;
+    std::uint64_t cols_;
+    std::uint64_t counter_max_;
+    HashFamily hash_;
+    std::vector<std::uint64_t> table_; //!< rows_ x cols_, row-major.
+};
+
+} // namespace m5
+
+#endif // M5_SKETCH_CM_SKETCH_HH

@@ -1,0 +1,29 @@
+#include "sketch/hash.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+std::uint64_t
+mix64(std::uint64_t x, std::uint64_t seed)
+{
+    x += seed + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+HashFamily::HashFamily(unsigned rows, std::uint64_t width, std::uint64_t seed)
+    : width_(width)
+{
+    m5_assert(rows > 0, "HashFamily needs at least one row");
+    m5_assert(width > 0, "HashFamily needs positive width");
+    seeds_.reserve(rows);
+    std::uint64_t s = seed;
+    for (unsigned i = 0; i < rows; ++i) {
+        s = mix64(s, 0xd1b54a32d192ed03ULL + i);
+        seeds_.push_back(s);
+    }
+}
+
+} // namespace m5

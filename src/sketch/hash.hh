@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hash functions for the sketch units.
+ *
+ * A hardware CM-Sketch row uses a cheap universal hash of the 42-bit word
+ * address (or 36-bit PFN).  We model that with a splitmix64-style finalizer
+ * seeded per row, which is empirically close to uniform and trivially
+ * synthesizable (xor/shift/multiply).
+ */
+
+#ifndef M5_SKETCH_HASH_HH
+#define M5_SKETCH_HASH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace m5 {
+
+/** One round of splitmix64 finalization mixed with a seed. */
+std::uint64_t mix64(std::uint64_t x, std::uint64_t seed);
+
+/** A family of H independent hash functions onto [0, width). */
+class HashFamily
+{
+  public:
+    /**
+     * @param rows Number of independent functions (H).
+     * @param width Output range (W).
+     * @param seed Base seed; each row derives its own.
+     */
+    HashFamily(unsigned rows, std::uint64_t width, std::uint64_t seed);
+
+    /** Hash key with function `row` onto [0, width). */
+    std::uint64_t
+    operator()(unsigned row, std::uint64_t key) const
+    {
+        return mix64(key, seeds_[row]) % width_;
+    }
+
+    /** Number of functions. */
+    unsigned rows() const { return static_cast<unsigned>(seeds_.size()); }
+
+    /** Output range. */
+    std::uint64_t width() const { return width_; }
+
+  private:
+    std::vector<std::uint64_t> seeds_;
+    std::uint64_t width_;
+};
+
+} // namespace m5
+
+#endif // M5_SKETCH_HASH_HH

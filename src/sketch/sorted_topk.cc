@@ -1,0 +1,97 @@
+#include "sketch/sorted_topk.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+SortedTopK::SortedTopK(std::size_t k) : k_(k)
+{
+    m5_assert(k > 0, "SortedTopK needs K > 0");
+    table_.reserve(k * 2);
+}
+
+void
+SortedTopK::pruneHeap() const
+{
+    while (!min_heap_.empty()) {
+        const HeapItem &top = min_heap_.top();
+        auto it = table_.find(top.tag);
+        if (it != table_.end() && it->second == top.count)
+            return;
+        min_heap_.pop();
+    }
+}
+
+void
+SortedTopK::offer(std::uint64_t tag, std::uint64_t count)
+{
+    // Bound the lazy heap: rebuild from the live table when stale items
+    // dominate (long epochs with many CAM hits).
+    if (min_heap_.size() > std::max<std::size_t>(64, table_.size() * 8)) {
+        while (!min_heap_.empty())
+            min_heap_.pop();
+        for (const auto &[t, c] : table_)
+            min_heap_.push({c, t});
+    }
+
+    auto it = table_.find(tag);
+    if (it != table_.end()) {
+        // CAM hit: refresh the count (counts only grow within an epoch,
+        // so the old heap item goes stale and is lazily pruned).
+        if (it->second != count) {
+            it->second = count;
+            min_heap_.push({count, tag});
+        }
+        return;
+    }
+    if (table_.size() < k_) {
+        table_.emplace(tag, count);
+        min_heap_.push({count, tag});
+        return;
+    }
+    pruneHeap();
+    m5_assert(!min_heap_.empty(), "top-K heap lost its entries");
+    if (count <= min_heap_.top().count)
+        return;
+    table_.erase(min_heap_.top().tag);
+    min_heap_.pop();
+    table_.emplace(tag, count);
+    min_heap_.push({count, tag});
+}
+
+std::vector<TopKEntry>
+SortedTopK::entries() const
+{
+    std::vector<TopKEntry> out;
+    out.reserve(table_.size());
+    for (const auto &[tag, count] : table_)
+        out.push_back({tag, count});
+    std::sort(out.begin(), out.end(),
+        [](const TopKEntry &a, const TopKEntry &b) {
+            if (a.count != b.count)
+                return a.count > b.count;
+            return a.tag < b.tag;
+        });
+    return out;
+}
+
+std::uint64_t
+SortedTopK::minCount() const
+{
+    if (table_.size() < k_)
+        return 0;
+    pruneHeap();
+    return min_heap_.empty() ? 0 : min_heap_.top().count;
+}
+
+void
+SortedTopK::reset()
+{
+    table_.clear();
+    while (!min_heap_.empty())
+        min_heap_.pop();
+}
+
+} // namespace m5

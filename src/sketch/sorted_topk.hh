@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sorted top-K CAM model (§5.1, Figure 5 right half).
+ *
+ * The hardware unit is a K-entry content-addressable memory keeping
+ * (address tag, access count) pairs sorted by count.  On a tag hit the
+ * count is replaced with the sketch estimate; on a miss the estimate is
+ * compared with the table minimum and conditionally evicts it.
+ *
+ * The hardware does all K comparisons in parallel; the software model uses
+ * a hash index plus a lazy min-heap so the per-access cost is O(1)
+ * amortized even for K = 128.
+ */
+
+#ifndef M5_SKETCH_SORTED_TOPK_HH
+#define M5_SKETCH_SORTED_TOPK_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace m5 {
+
+/** A (tag, count) CAM entry. */
+struct TopKEntry
+{
+    std::uint64_t tag;   //!< Page or word address.
+    std::uint64_t count; //!< Estimated access count.
+};
+
+/** Sorted top-K CAM: keeps the K hottest addresses seen this epoch. */
+class SortedTopK
+{
+  public:
+    /** @param k Table capacity (> 0). */
+    explicit SortedTopK(std::size_t k);
+
+    /**
+     * Offer an (address, estimated count) pair.
+     *
+     * Hit: update the matched entry's count.  Miss: if count exceeds the
+     * table minimum (or the table is not full), install the pair,
+     * evicting the minimum entry.
+     */
+    void offer(std::uint64_t tag, std::uint64_t count);
+
+    /** Entries sorted by descending count. */
+    std::vector<TopKEntry> entries() const;
+
+    /** Smallest tracked count (0 when not full). */
+    std::uint64_t minCount() const;
+
+    /** Current occupancy. */
+    std::size_t size() const { return table_.size(); }
+
+    /** Capacity K. */
+    std::size_t capacity() const { return k_; }
+
+    /** Clear for the next epoch. */
+    void reset();
+
+  private:
+    struct HeapItem
+    {
+        std::uint64_t count;
+        std::uint64_t tag;
+        bool
+        operator>(const HeapItem &o) const
+        {
+            return count > o.count;
+        }
+    };
+
+    /** Drop heap entries that no longer match the live table. */
+    void pruneHeap() const;
+
+    std::size_t k_;
+    std::unordered_map<std::uint64_t, std::uint64_t> table_; //!< tag->count
+    //! Lazy min-heap over (count, tag); stale items pruned on access.
+    mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
+                                std::greater<HeapItem>> min_heap_;
+};
+
+} // namespace m5
+
+#endif // M5_SKETCH_SORTED_TOPK_HH

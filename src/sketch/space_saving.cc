@@ -1,0 +1,67 @@
+#include "sketch/space_saving.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+SpaceSaving::SpaceSaving(std::size_t n) : n_(n)
+{
+    m5_assert(n > 0, "SpaceSaving needs N > 0");
+    by_key_.reserve(n);
+}
+
+void
+SpaceSaving::update(std::uint64_t key)
+{
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        Info &info = it->second.first;
+        by_count_.erase(it->second.second);
+        ++info.count;
+        it->second.second = by_count_.emplace(info.count, key);
+        return;
+    }
+    if (by_key_.size() < n_) {
+        auto pos = by_count_.emplace(1, key);
+        by_key_.emplace(key, std::make_pair(Info{1, 0}, pos));
+        return;
+    }
+    // Evict the minimum-count entry; the newcomer inherits min+1 with
+    // overestimation error min (standard Space-Saving).
+    auto min_it = by_count_.begin();
+    const std::uint64_t min_count = min_it->first;
+    by_key_.erase(min_it->second);
+    by_count_.erase(min_it);
+    auto pos = by_count_.emplace(min_count + 1, key);
+    by_key_.emplace(key, std::make_pair(Info{min_count + 1, min_count}, pos));
+}
+
+std::uint64_t
+SpaceSaving::estimate(std::uint64_t key) const
+{
+    auto it = by_key_.find(key);
+    return it == by_key_.end() ? 0 : it->second.first.count;
+}
+
+std::vector<TopKEntry>
+SpaceSaving::topK(std::size_t k) const
+{
+    std::vector<TopKEntry> out;
+    out.reserve(std::min(k, by_key_.size()));
+    for (auto it = by_count_.rbegin();
+         it != by_count_.rend() && out.size() < k; ++it) {
+        out.push_back({it->second, it->first});
+    }
+    return out;
+}
+
+void
+SpaceSaving::reset()
+{
+    by_key_.clear();
+    by_count_.clear();
+}
+
+} // namespace m5

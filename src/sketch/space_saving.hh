@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Space-Saving top-K tracker (Metwally et al.), the Mithril-style
+ * counter-based baseline the paper compares CM-Sketch against (§5.1, §7.1).
+ *
+ * Hardware cost model: the stream summary is an N-entry CAM that must be
+ * matched in parallel on every access, which is why the synthesizable N is
+ * tiny (50 on the FPGA, 2K in 7nm ASIC) compared to CM-Sketch's SRAM.
+ *
+ * The software model keeps a count-ordered index so updates are O(log N);
+ * behaviour is identical to the textbook stream summary.
+ */
+
+#ifndef M5_SKETCH_SPACE_SAVING_HH
+#define M5_SKETCH_SPACE_SAVING_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/sorted_topk.hh"
+
+namespace m5 {
+
+/** Classic Space-Saving stream summary over N counters. */
+class SpaceSaving
+{
+  public:
+    /** @param n Number of monitored counters (CAM entries). */
+    explicit SpaceSaving(std::size_t n);
+
+    /** Record one access to key. */
+    void update(std::uint64_t key);
+
+    /** Estimated count of key (0 if unmonitored). */
+    std::uint64_t estimate(std::uint64_t key) const;
+
+    /** The k hottest monitored entries, descending by count. */
+    std::vector<TopKEntry> topK(std::size_t k) const;
+
+    /** Number of monitored entries right now. */
+    std::size_t size() const { return by_key_.size(); }
+
+    /** Capacity N. */
+    std::size_t capacity() const { return n_; }
+
+    /** Clear for the next epoch. */
+    void reset();
+
+  private:
+    struct Info
+    {
+        std::uint64_t count;
+        std::uint64_t error; //!< Space-Saving overestimation bound.
+    };
+
+    using CountIndex = std::multimap<std::uint64_t, std::uint64_t>;
+
+    std::size_t n_;
+    std::unordered_map<std::uint64_t,
+                       std::pair<Info, CountIndex::iterator>> by_key_;
+    CountIndex by_count_; //!< count -> key, ascending; begin() is the min.
+};
+
+} // namespace m5
+
+#endif // M5_SKETCH_SPACE_SAVING_HH

@@ -1,0 +1,94 @@
+#include "sketch/topk_tracker.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+std::string
+trackerKindName(TrackerKind kind)
+{
+    switch (kind) {
+      case TrackerKind::CmSketchTopK:
+        return "CM-Sketch";
+      case TrackerKind::SpaceSavingTopK:
+        return "Space-Saving";
+    }
+    m5_panic("unknown TrackerKind");
+}
+
+CmSketchTracker::CmSketchTracker(const TrackerConfig &cfg)
+    : sketch_(cfg.hash_rows,
+              std::max<std::uint64_t>(1, cfg.entries / cfg.hash_rows),
+              cfg.seed, cfg.counter_bits),
+      cam_(cfg.k)
+{
+}
+
+void
+CmSketchTracker::access(std::uint64_t key)
+{
+    const std::uint64_t est = sketch_.update(key);
+    cam_.offer(key, est);
+}
+
+std::vector<TopKEntry>
+CmSketchTracker::query() const
+{
+    return cam_.entries();
+}
+
+void
+CmSketchTracker::reset()
+{
+    sketch_.reset();
+    cam_.reset();
+}
+
+std::uint64_t
+CmSketchTracker::estimate(std::uint64_t key) const
+{
+    return sketch_.estimate(key);
+}
+
+SpaceSavingTracker::SpaceSavingTracker(const TrackerConfig &cfg)
+    : ss_(cfg.entries), k_(cfg.k)
+{
+}
+
+void
+SpaceSavingTracker::access(std::uint64_t key)
+{
+    ss_.update(key);
+}
+
+std::vector<TopKEntry>
+SpaceSavingTracker::query() const
+{
+    return ss_.topK(k_);
+}
+
+void
+SpaceSavingTracker::reset()
+{
+    ss_.reset();
+}
+
+std::uint64_t
+SpaceSavingTracker::estimate(std::uint64_t key) const
+{
+    return ss_.estimate(key);
+}
+
+std::unique_ptr<TopKTracker>
+makeTracker(const TrackerConfig &cfg)
+{
+    switch (cfg.kind) {
+      case TrackerKind::CmSketchTopK:
+        return std::make_unique<CmSketchTracker>(cfg);
+      case TrackerKind::SpaceSavingTopK:
+        return std::make_unique<SpaceSavingTracker>(cfg);
+    }
+    m5_panic("unknown TrackerKind");
+}
+
+} // namespace m5

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Uniform interface over the two top-K tracker designs the paper evaluates
+ * (§5.1, §7.1): CM-Sketch + sorted top-K CAM, and Space-Saving.
+ *
+ * HPT and HWT in src/cxl wrap a TopKTracker with page / word address
+ * extraction; the Figure 7 sweep instantiates both kinds standalone.
+ */
+
+#ifndef M5_SKETCH_TOPK_TRACKER_HH
+#define M5_SKETCH_TOPK_TRACKER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sketch/cm_sketch.hh"
+#include "sketch/sorted_topk.hh"
+#include "sketch/space_saving.hh"
+
+namespace m5 {
+
+/** Tracker algorithm selector. */
+enum class TrackerKind
+{
+    CmSketchTopK, //!< SRAM CM-Sketch + K-entry sorted CAM.
+    SpaceSavingTopK, //!< N-entry CAM stream summary.
+};
+
+/** Human-readable name of a tracker kind. */
+std::string trackerKindName(TrackerKind kind);
+
+/** Geometry and seed for a top-K tracker. */
+struct TrackerConfig
+{
+    TrackerKind kind = TrackerKind::CmSketchTopK;
+    std::uint64_t entries = 32 * 1024; //!< N = H*W (CM) or CAM entries (SS).
+    std::size_t k = 5;                 //!< Top-K report size.
+    unsigned hash_rows = 4;            //!< H (CM-Sketch only).
+    unsigned counter_bits = 32;        //!< SRAM counter width (CM only).
+    std::uint64_t seed = 0x5eedULL;
+};
+
+/** Abstract streaming top-K tracker over 64-bit keys. */
+class TopKTracker
+{
+  public:
+    virtual ~TopKTracker() = default;
+
+    /** Observe one access to key. */
+    virtual void access(std::uint64_t key) = 0;
+
+    /** Report the current top-K, descending by estimated count. */
+    virtual std::vector<TopKEntry> query() const = 0;
+
+    /** Reset all state for a fresh epoch. */
+    virtual void reset() = 0;
+
+    /** Estimated count of an arbitrary key. */
+    virtual std::uint64_t estimate(std::uint64_t key) const = 0;
+
+    /** Configured number of count entries N. */
+    virtual std::uint64_t entries() const = 0;
+
+    /** Report size K. */
+    virtual std::size_t k() const = 0;
+
+    /** Algorithm kind. */
+    virtual TrackerKind kind() const = 0;
+};
+
+/** CM-Sketch-backed tracker: Figure 5's architecture. */
+class CmSketchTracker : public TopKTracker
+{
+  public:
+    explicit CmSketchTracker(const TrackerConfig &cfg);
+
+    void access(std::uint64_t key) override;
+    std::vector<TopKEntry> query() const override;
+    void reset() override;
+    std::uint64_t estimate(std::uint64_t key) const override;
+    std::uint64_t entries() const override { return sketch_.entries(); }
+    std::size_t k() const override { return cam_.capacity(); }
+    TrackerKind kind() const override { return TrackerKind::CmSketchTopK; }
+
+    /** Direct access to the sketch (tests, ablations). */
+    const CmSketch &sketch() const { return sketch_; }
+
+  private:
+    CmSketch sketch_;
+    SortedTopK cam_;
+};
+
+/** Space-Saving-backed tracker. */
+class SpaceSavingTracker : public TopKTracker
+{
+  public:
+    explicit SpaceSavingTracker(const TrackerConfig &cfg);
+
+    void access(std::uint64_t key) override;
+    std::vector<TopKEntry> query() const override;
+    void reset() override;
+    std::uint64_t estimate(std::uint64_t key) const override;
+    std::uint64_t entries() const override { return ss_.capacity(); }
+    std::size_t k() const override { return k_; }
+    TrackerKind kind() const override { return TrackerKind::SpaceSavingTopK; }
+
+  private:
+    SpaceSaving ss_;
+    std::size_t k_;
+};
+
+/** Build a tracker from a config. */
+std::unique_ptr<TopKTracker> makeTracker(const TrackerConfig &cfg);
+
+} // namespace m5
+
+#endif // M5_SKETCH_TOPK_TRACKER_HH

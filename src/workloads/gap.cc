@@ -1,0 +1,101 @@
+/**
+ * @file
+ * GAP benchmark suite models: BC, BFS, CC, PR, SSSP, TC on the Twitter /
+ * Google graphs (§6, Table 3).
+ *
+ * Calibration targets:
+ *  - Figure 4: PR and SSSP are dense (>=75% of words touched in 98% / 89%
+ *    of pages); BC/BFS/CC/TC show notable sparsity (P(<=16 words) = 4%,
+ *    17%, 20%, 12%).
+ *  - Figure 10 / §7.2: PR and TC have flat page-hotness distributions
+ *    (migrating precisely buys nothing: Figure 9 shows M5 ~ ANB ~ DAMON
+ *    on PR; TC's bottom-p50 pages take ~288 extra accesses, below the
+ *    ~318 needed to amortize a migration); traversal codes (BFS, SSSP,
+ *    BC) drift phase-by-phase with the frontier.
+ */
+
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+SyntheticParams
+gapParams(const std::string &name)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.read_fraction = 0.82;
+    p.hot_cluster_pages = 32;
+
+    auto mixed = [](double sparse_frac) {
+        // Graph codes: CSR offsets/frontiers are dense, property arrays
+        // over high-degree tails are sparse.
+        const double rest = 1.0 - sparse_frac;
+        return std::vector<SparsityClass>{
+            {sparse_frac, 4, 16, 0.45, false},
+            {rest * 0.28, 17, 32, 0.35, false},
+            {rest * 0.32, 33, 48, 0.25, true},
+            {rest * 0.40, 49, 64, 0.15, true},
+        };
+    };
+
+    if (name == "bc") {
+        p.page_zipf_alpha = 1.10;
+        p.head_alpha = 0.60;
+        p.plateau_fraction = 0.06;
+        p.uniform_fraction = 0.08;
+        p.sparsity = mixed(0.04);
+        p.phase_length = 1'000'000;
+        p.phase_shift_fraction = 0.05;
+    } else if (name == "bfs") {
+        p.page_zipf_alpha = 1.00;
+        p.head_alpha = 0.55;
+        p.plateau_fraction = 0.07;
+        p.uniform_fraction = 0.08;
+        p.sparsity = mixed(0.17);
+        p.phase_length = 500'000;
+        p.phase_shift_fraction = 0.10;
+    } else if (name == "cc") {
+        p.page_zipf_alpha = 1.00;
+        p.head_alpha = 0.55;
+        p.plateau_fraction = 0.07;
+        p.uniform_fraction = 0.10;
+        p.sparsity = mixed(0.20);
+        p.phase_length = 1'000'000;
+        p.phase_shift_fraction = 0.05;
+    } else if (name == "pr") {
+        // Whole-graph sweeps every iteration: flat and stable.
+        p.page_zipf_alpha = 0.60;
+        p.head_alpha = 0.40;
+        p.plateau_fraction = 0.20;
+        p.uniform_fraction = 0.18;
+        p.sparsity = {
+            {0.98, 49, 64, 0.10, true},
+            {0.02, 16, 48, 0.30, false},
+        };
+    } else if (name == "sssp") {
+        p.page_zipf_alpha = 1.10;
+        p.head_alpha = 0.60;
+        p.plateau_fraction = 0.06;
+        p.uniform_fraction = 0.08;
+        p.sparsity = {
+            {0.89, 49, 64, 0.15, true},
+            {0.07, 33, 48, 0.25, true},
+            {0.04, 8, 32, 0.40, false},
+        };
+        p.phase_length = 800'000;
+        p.phase_shift_fraction = 0.08;
+    } else if (name == "tc") {
+        p.page_zipf_alpha = 0.50;
+        p.head_alpha = 0.35;
+        p.plateau_fraction = 0.25;
+        p.uniform_fraction = 0.22;
+        p.sparsity = mixed(0.12);
+    } else {
+        m5_fatal("unknown GAP benchmark '%s'", name.c_str());
+    }
+    return p;
+}
+
+} // namespace m5

@@ -1,0 +1,161 @@
+#include "workloads/registry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+/** Table 3 of the paper. */
+const std::vector<BenchmarkInfo> kBenchmarks = {
+    {"liblinear", 6.0, 20, 10},
+    {"bc", 6.9, 20, 10},
+    {"bfs", 6.9, 20, 10},
+    {"cc", 6.9, 20, 10},
+    {"pr", 6.9, 20, 10},
+    {"sssp", 6.9, 20, 10},
+    {"tc", 5.0, 20, 10},
+    {"cactuBSSN_r", 6.3, 8, 4},
+    {"fotonik3d_r", 6.8, 8, 4},
+    {"mcf_r", 4.9, 8, 4},
+    {"roms_r", 6.7, 8, 4},
+    {"redis", 6.0, 1, 1},
+    // Figure 4 extras (not in Table 3; footprints assumed Redis-like).
+    {"memcached", 6.0, 1, 1},
+    {"cachelib", 6.0, 1, 1},
+};
+
+const std::vector<std::string> kEvaluationOrder = {
+    "liblinear", "bc", "bfs", "cc", "pr", "sssp", "tc",
+    "cactuBSSN_r", "fotonik3d_r", "mcf_r", "roms_r", "redis",
+};
+
+const std::vector<std::string> kSparsityOrder = {
+    "liblinear", "bc", "bfs", "cc", "pr", "sssp", "tc",
+    "cactuBSSN_r", "fotonik3d_r", "mcf_r", "roms_r",
+    "redis", "memcached", "cachelib",
+};
+
+bool
+isSpec(const std::string &name)
+{
+    return name == "mcf_r" || name == "cactuBSSN_r" ||
+           name == "fotonik3d_r" || name == "roms_r";
+}
+
+bool
+isGap(const std::string &name)
+{
+    return name == "bc" || name == "bfs" || name == "cc" ||
+           name == "pr" || name == "sssp" || name == "tc";
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    return kEvaluationOrder;
+}
+
+const std::vector<std::string> &
+sparsityBenchmarkNames()
+{
+    return kSparsityOrder;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const auto &b : kBenchmarks) {
+        if (b.name == name)
+            return b;
+    }
+    m5_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+SyntheticParams
+benchmarkParams(const std::string &name, double scale)
+{
+    m5_assert(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    SyntheticParams p;
+    if (isSpec(name))
+        p = specParams(name);
+    else if (isGap(name))
+        p = gapParams(name);
+    else
+        p = appParams(name);
+
+    const BenchmarkInfo &info = benchmarkInfo(name);
+    const double pages_full = info.footprint_gb * 1024.0 * 1024.0 * 1024.0 /
+                              static_cast<double>(kPageBytes);
+    p.footprint_pages =
+        std::max<std::size_t>(1024,
+                              static_cast<std::size_t>(pages_full * scale));
+    // Phase lengths were expressed at full scale; shrink proportionally so
+    // drift happens at the same *per-page* rate.
+    if (p.phase_length) {
+        p.phase_length = std::max<std::uint64_t>(
+            50'000,
+            static_cast<std::uint64_t>(
+                static_cast<double>(p.phase_length) * scale * 4.0));
+    }
+    return p;
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(const std::string &name, double scale, std::uint64_t seed)
+{
+    return std::make_unique<SyntheticWorkload>(benchmarkParams(name, scale),
+                                               seed);
+}
+
+std::unique_ptr<Workload>
+makeMultiWorkload(const std::string &name, std::size_t instances,
+                  double scale, std::uint64_t seed)
+{
+    m5_assert(instances >= 1, "need at least one instance");
+    std::vector<std::unique_ptr<SyntheticWorkload>> ws;
+    for (std::size_t i = 0; i < instances; ++i) {
+        SyntheticParams p = benchmarkParams(name, scale);
+        p.footprint_pages = std::max<std::size_t>(
+            256, p.footprint_pages / instances);
+        ws.push_back(std::make_unique<SyntheticWorkload>(
+            p, seed + 0x9e37ULL * (i + 1)));
+    }
+    if (instances == 1)
+        return std::move(ws[0]);
+    return std::make_unique<MultiWorkload>(std::move(ws));
+}
+
+std::unique_ptr<Workload>
+makeMixedWorkload(const std::vector<std::string> &names, double scale,
+                  std::uint64_t seed)
+{
+    m5_assert(!names.empty(), "mixed workload needs at least one tenant");
+    std::vector<std::unique_ptr<SyntheticWorkload>> ws;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        ws.push_back(std::make_unique<SyntheticWorkload>(
+            benchmarkParams(names[i], scale),
+            seed + 0x51edULL * (i + 1)));
+    }
+    if (names.size() == 1)
+        return std::move(ws[0]);
+    return std::make_unique<MultiWorkload>(std::move(ws));
+}
+
+std::uint64_t
+benchmarkLlcBytes(const std::string &name, double scale)
+{
+    const BenchmarkInfo &info = benchmarkInfo(name);
+    // 60MB LLC, 15 CAT ways: the benchmark receives cat_ways of them
+    // (§6), then the whole machine is scaled down.
+    const double full = 60.0 * 1024.0 * 1024.0 *
+                        static_cast<double>(info.cat_ways) / 15.0;
+    return std::max<std::uint64_t>(256 * 1024,
+        static_cast<std::uint64_t>(full * scale));
+}
+
+} // namespace m5

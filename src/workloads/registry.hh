@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Benchmark registry: the paper's evaluated workloads (Table 3) plus the
+ * two extra Figure 4 applications (Memcached, CacheLib), each mapped to a
+ * calibrated SyntheticParams set.
+ *
+ * Footprints and cache capacities are expressed at full paper scale and
+ * multiplied by `scale` (default 1/16) so experiments complete in seconds
+ * while preserving the paper's capacity *ratios* (DDR cap = 3/8 of the CXL
+ * footprint, CAT-scaled LLC, etc.).
+ */
+
+#ifndef M5_WORKLOADS_REGISTRY_HH
+#define M5_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace m5 {
+
+/** Default scale factor applied to footprints and capacities. */
+inline constexpr double kDefaultScale = 1.0 / 16.0;
+
+/** Static metadata of a benchmark (Table 3). */
+struct BenchmarkInfo
+{
+    std::string name;
+    double footprint_gb;  //!< Paper-scale memory footprint.
+    unsigned cores;       //!< Cores used in the paper's runs.
+    unsigned cat_ways;    //!< LLC ways granted via Intel CAT (of 15).
+};
+
+/** The twelve benchmarks of Figures 3 and 9, in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** The fourteen benchmarks of Figure 4 (adds Memcached and CacheLib). */
+const std::vector<std::string> &sparsityBenchmarkNames();
+
+/** Table 3 metadata; fatal on unknown names. */
+const BenchmarkInfo &benchmarkInfo(const std::string &name);
+
+/** Calibrated synthetic parameters for a benchmark at the given scale. */
+SyntheticParams benchmarkParams(const std::string &name,
+                                double scale = kDefaultScale);
+
+/** Build a single-instance workload. */
+std::unique_ptr<SyntheticWorkload> makeWorkload(
+    const std::string &name, double scale = kDefaultScale,
+    std::uint64_t seed = 1);
+
+/**
+ * Build an n-instance interleaved workload (Figure 11; SPECrate).  Each
+ * instance gets footprint scale/n and a distinct seed, so the combined
+ * footprint matches the single-instance build while the address
+ * cardinality grows with n.
+ */
+std::unique_ptr<Workload> makeMultiWorkload(
+    const std::string &name, std::size_t instances,
+    double scale = kDefaultScale, std::uint64_t seed = 1);
+
+/**
+ * Build a colocation mix: several *different* benchmarks interleaved
+ * round-robin, each in its own address range at the given scale — the
+ * datacenter scenario of heterogeneous tenants sharing one tiered-memory
+ * node.
+ */
+std::unique_ptr<Workload> makeMixedWorkload(
+    const std::vector<std::string> &names, double scale = kDefaultScale,
+    std::uint64_t seed = 1);
+
+/** LLC bytes for a benchmark at the given scale (CAT-scaled, §6). */
+std::uint64_t benchmarkLlcBytes(const std::string &name,
+                                double scale = kDefaultScale);
+
+/** @{ Parameter tables defined per suite (spec.cc, gap.cc, apps.cc).
+ *  Footprint is filled in by benchmarkParams(); these return the shape
+ *  parameters only.  Fatal on unknown names. */
+SyntheticParams specParams(const std::string &name);
+SyntheticParams gapParams(const std::string &name);
+SyntheticParams appParams(const std::string &name);
+/** @} */
+
+} // namespace m5
+
+#endif // M5_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,59 @@
+#include "workloads/trace.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4d35545243453031ULL; // "M5TRCE01"
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+TraceBuffer::save(const std::string &path) const
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        m5_fatal("cannot open trace file '%s' for writing", path.c_str());
+    const std::uint64_t n = records_.size();
+    if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+        std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+        (n && std::fwrite(records_.data(), sizeof(TraceRecord), n,
+                          f.get()) != n)) {
+        m5_fatal("short write to trace file '%s'", path.c_str());
+    }
+}
+
+TraceBuffer
+TraceBuffer::load(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        m5_fatal("cannot open trace file '%s'", path.c_str());
+    std::uint64_t magic = 0;
+    std::uint64_t n = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        magic != kMagic ||
+        std::fread(&n, sizeof(n), 1, f.get()) != 1) {
+        m5_fatal("'%s' is not an M5 trace file", path.c_str());
+    }
+    TraceBuffer buf;
+    buf.records_.resize(n);
+    if (n && std::fread(buf.records_.data(), sizeof(TraceRecord), n,
+                        f.get()) != n) {
+        m5_fatal("short read from trace file '%s'", path.c_str());
+    }
+    return buf;
+}
+
+} // namespace m5

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache-filtered access traces.
+ *
+ * §7.1 evaluates trackers on Pin + Ramulator traces of cache-filtered,
+ * time-stamped DRAM addresses.  We reproduce the methodology by recording
+ * the post-LLC physical access stream of a simulated run and replaying it
+ * into standalone trackers (Figure 7) — the tracker sees exactly what the
+ * CXL controller would.
+ */
+
+#ifndef M5_WORKLOADS_TRACE_HH
+#define M5_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace m5 {
+
+/** One trace record: a post-LLC DRAM access. */
+struct TraceRecord
+{
+    Addr pa;
+    Tick time;
+    bool is_write;
+};
+
+/** In-memory trace buffer. */
+class TraceBuffer
+{
+  public:
+    /** Append one record. */
+    void
+    push(Addr pa, Tick time, bool is_write)
+    {
+        records_.push_back({pa, time, is_write});
+    }
+
+    /** All records, in arrival order. */
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Number of records. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Drop everything. */
+    void clear() { records_.clear(); }
+
+    /** Reserve capacity up front. */
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    /** Save to a compact binary file. */
+    void save(const std::string &path) const;
+
+    /** Load from a file written by save(). */
+    static TraceBuffer load(const std::string &path);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace m5
+
+#endif // M5_WORKLOADS_TRACE_HH

@@ -1,0 +1,214 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+namespace {
+
+/** Two-slope Zipf weights: w_r = (r+1)^-head_alpha for r < knee, then
+ *  w_knee * ((r+1)/knee)^-tail_alpha, continuous at the knee. */
+std::vector<double>
+plateauZipfWeights(std::size_t n, double tail_alpha, double head_alpha,
+                   double plateau_fraction)
+{
+    const double knee = std::max(1.0,
+        plateau_fraction * static_cast<double>(n));
+    const double w_knee = std::pow(knee, -head_alpha);
+    std::vector<double> w(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double rank = static_cast<double>(r + 1);
+        w[r] = rank < knee
+            ? std::pow(rank, -head_alpha)
+            : w_knee * std::pow(rank / knee, -tail_alpha);
+    }
+    return w;
+}
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params,
+                                     std::uint64_t seed)
+    : params_(params), rng_(seed),
+      page_pop_(plateauZipfWeights(params.footprint_pages,
+                                   params.page_zipf_alpha,
+                                   params.head_alpha,
+                                   params.plateau_fraction))
+{
+    m5_assert(params.footprint_pages > 0, "workload needs pages");
+    m5_assert(!params.sparsity.empty(), "workload needs sparsity classes");
+    double frac = 0.0;
+    for (const auto &c : params.sparsity) {
+        m5_assert(c.words_min >= 1 && c.words_max <= kWordsPerPage &&
+                  c.words_min <= c.words_max,
+                  "bad sparsity class in %s", params.name.c_str());
+        frac += c.page_fraction;
+    }
+    m5_assert(frac > 0.99 && frac < 1.01,
+              "%s sparsity fractions sum to %f", params.name.c_str(), frac);
+
+    // Popularity permutation: rank r maps to page perm_[r].  Blocks of
+    // hot_cluster_pages consecutive pages are kept together and the block
+    // order is shuffled, so hotness is spatially clustered in VA space at
+    // block granularity while the per-page Zipf marginals are unchanged.
+    const std::size_t n = params.footprint_pages;
+    const std::size_t cluster =
+        std::max<std::size_t>(1, params.hot_cluster_pages);
+    const std::size_t nblocks = (n + cluster - 1) / cluster;
+    std::vector<std::uint32_t> block_order(nblocks);
+    std::iota(block_order.begin(), block_order.end(), 0);
+    std::shuffle(block_order.begin(), block_order.end(), rng_.engine());
+    perm_.reserve(n);
+    for (std::uint32_t b : block_order) {
+        const std::size_t begin = static_cast<std::size_t>(b) * cluster;
+        const std::size_t end = std::min(begin + cluster, n);
+        for (std::size_t p = begin; p < end; ++p)
+            perm_.push_back(static_cast<std::uint32_t>(p));
+    }
+
+    for (const auto &c : params.sparsity)
+        word_zipf_.emplace_back(kWordsPerPage, c.word_zipf_alpha);
+
+    sweep_cursor_.assign(n, 0);
+    assignClasses();
+}
+
+void
+SyntheticWorkload::assignClasses()
+{
+    const std::size_t n = params_.footprint_pages;
+    page_class_.resize(n);
+    word_begin_.resize(n + 1);
+
+    std::vector<double> weights;
+    for (const auto &c : params_.sparsity)
+        weights.push_back(c.page_fraction);
+    AliasSampler class_sampler(weights);
+
+    // First pass: pick a class and an active-word count per page.
+    std::vector<std::uint8_t> nwords(n);
+    std::size_t pool_size = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+        const auto cls =
+            static_cast<std::uint8_t>(class_sampler.sample(rng_));
+        page_class_[p] = cls;
+        const auto &c = params_.sparsity[cls];
+        nwords[p] = static_cast<std::uint8_t>(
+            rng_.between(c.words_min, c.words_max));
+        pool_size += nwords[p];
+    }
+
+    // Second pass: fill each page's active-word list with a random subset
+    // of the 64 word slots (partial Fisher-Yates).
+    word_pool_.resize(pool_size);
+    std::uint32_t cursor = 0;
+    std::array<std::uint8_t, kWordsPerPage> slots;
+    for (std::size_t p = 0; p < n; ++p) {
+        word_begin_[p] = cursor;
+        for (unsigned i = 0; i < kWordsPerPage; ++i)
+            slots[i] = static_cast<std::uint8_t>(i);
+        const unsigned take = nwords[p];
+        for (unsigned i = 0; i < take; ++i) {
+            const auto j =
+                static_cast<unsigned>(rng_.between(i, kWordsPerPage - 1));
+            std::swap(slots[i], slots[j]);
+            word_pool_[cursor++] = slots[i];
+        }
+    }
+    word_begin_[n] = cursor;
+}
+
+unsigned
+SyntheticWorkload::activeWords(Vpn vpn) const
+{
+    m5_assert(vpn < params_.footprint_pages, "vpn out of range");
+    return word_begin_[vpn + 1] - word_begin_[vpn];
+}
+
+AccessEvent
+SyntheticWorkload::next()
+{
+    // Phase drift: rotate the popularity permutation.
+    if (params_.phase_length && ++accesses_ % params_.phase_length == 0) {
+        phase_offset_ += static_cast<std::size_t>(
+            params_.phase_shift_fraction *
+            static_cast<double>(params_.footprint_pages));
+    }
+
+    // Page choice: Zipf-popular or uniform background.
+    std::size_t page;
+    if (params_.uniform_fraction > 0.0 &&
+        rng_.chance(params_.uniform_fraction)) {
+        page = rng_.below(params_.footprint_pages);
+    } else {
+        const std::size_t rank =
+            (page_pop_.sample(rng_) + phase_offset_) %
+            params_.footprint_pages;
+        page = perm_[rank];
+    }
+
+    // Word choice: sweep dense pages with a cursor; Zipf-sample sparse
+    // pages so genuinely hot words exist for HWT.
+    const std::uint32_t begin = word_begin_[page];
+    const std::uint32_t count = word_begin_[page + 1] - begin;
+    std::size_t rank;
+    if (params_.sparsity[page_class_[page]].sweep) {
+        rank = sweep_cursor_[page]++ % count;
+    } else {
+        rank = word_zipf_[page_class_[page]].sample(rng_) % count;
+    }
+    const unsigned word = word_pool_[begin + rank];
+
+    const VAddr va = (static_cast<VAddr>(page) << kPageShift) |
+                     (static_cast<VAddr>(word) << kWordShift);
+    return {va, !rng_.chance(params_.read_fraction)};
+}
+
+MultiWorkload::MultiWorkload(
+    std::vector<std::unique_ptr<SyntheticWorkload>> instances)
+    : instances_(std::move(instances))
+{
+    m5_assert(!instances_.empty(), "MultiWorkload needs instances");
+    bool homogeneous = true;
+    for (const auto &w : instances_)
+        homogeneous &= w->name() == instances_[0]->name();
+    if (homogeneous) {
+        name_ = instances_[0]->name() + "x" +
+                std::to_string(instances_.size());
+    } else {
+        name_ = "mix(";
+        for (std::size_t i = 0; i < instances_.size(); ++i) {
+            if (i)
+                name_ += "+";
+            name_ += instances_[i]->name();
+        }
+        name_ += ")";
+    }
+    for (const auto &w : instances_) {
+        base_page_.push_back(total_pages_);
+        total_pages_ += w->footprintPages();
+    }
+}
+
+AccessEvent
+MultiWorkload::next()
+{
+    const std::size_t i = next_instance_;
+    next_instance_ = (next_instance_ + 1) % instances_.size();
+    AccessEvent ev = instances_[i]->next();
+    ev.va += static_cast<VAddr>(base_page_[i]) << kPageShift;
+    return ev;
+}
+
+unsigned
+MultiWorkload::accessesPerRequest() const
+{
+    return instances_[0]->accessesPerRequest();
+}
+
+} // namespace m5

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Synthetic workload models.
+ *
+ * Real SPEC/GAP/Redis binaries are replaced by parameterized access-stream
+ * generators (see DESIGN.md's substitution table).  Page-migration quality
+ * depends on the *statistics* of the stream, which the model controls
+ * directly:
+ *
+ *  - page popularity: Zipf(alpha) over a random page permutation, plus a
+ *    uniform background component, calibrated to Figure 10's per-page
+ *    access-count CDFs;
+ *  - word sparsity: each page belongs to a sparsity class that fixes its
+ *    set of active 64B words, calibrated to Figure 4;
+ *  - word popularity: Zipf within the active words, so sparse pages carry
+ *    genuinely hot words for HWT to find;
+ *  - phase drift: the hot set rotates every phase_length accesses,
+ *    modelling frontier/timestep behaviour in GAP/roms;
+ *  - request grouping: latency-sensitive workloads (Redis) declare
+ *    accesses-per-request so the simulator can report p99 latency.
+ */
+
+#ifndef M5_WORKLOADS_WORKLOAD_HH
+#define M5_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/zipf.hh"
+
+namespace m5 {
+
+/** One generated memory access. */
+struct AccessEvent
+{
+    VAddr va;
+    bool is_write;
+};
+
+/** A class of pages sharing a sparsity profile. */
+struct SparsityClass
+{
+    double page_fraction;   //!< Fraction of pages in this class.
+    unsigned words_min;     //!< Minimum active 64B words per page.
+    unsigned words_max;     //!< Maximum active 64B words per page.
+    double word_zipf_alpha; //!< Skew of word popularity within a page.
+    //! Sweep the active words with a per-page cursor instead of sampling
+    //! them: models dense numeric code streaming through arrays, so a
+    //! page's words are covered as soon as it has ~words accesses.
+    bool sweep = false;
+};
+
+/** Full parameter set of a synthetic benchmark. */
+struct SyntheticParams
+{
+    std::string name;
+    std::size_t footprint_pages = 1 << 18;
+    //! Page popularity is a two-slope Zipf: ranks below
+    //! plateau_fraction * footprint follow a mild head exponent
+    //! (head_alpha), the rest follow page_zipf_alpha, continuous at the
+    //! knee.  The head models an active working set larger than the LLC
+    //! (without it, cache filtering flattens the post-LLC stream and no
+    //! migration policy can help); the head *gradient* keeps "hot" and
+    //! "warm" pages distinguishable, which Figure 3's access-count-ratio
+    //! metric depends on.
+    double page_zipf_alpha = 0.5;  //!< Tail skew (Figure 10).
+    double head_alpha = 0.5;       //!< Head skew (< tail skew).
+    double plateau_fraction = 0.02; //!< Knee position.
+    double uniform_fraction = 0.1; //!< Background uniform accesses.
+    std::vector<SparsityClass> sparsity; //!< Must sum to 1 (Figure 4).
+    double read_fraction = 0.75;
+    //! Spatial clustering of hotness: consecutive popularity ranks map
+    //! into the same VA block of this many pages.  Real applications keep
+    //! hot structures contiguous, which region-based monitors (DAMON)
+    //! exploit; allocator-scattered apps (Redis) use small values.
+    std::size_t hot_cluster_pages = 64;
+    std::uint64_t phase_length = 0; //!< Accesses per phase; 0 = static.
+    double phase_shift_fraction = 0.0; //!< Hot-set rotation per phase.
+    unsigned accesses_per_request = 0; //!< > 0 for latency-sensitive apps.
+};
+
+/** Abstract access-stream source. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Generate the next access. */
+    virtual AccessEvent next() = 0;
+
+    /** Workload name. */
+    virtual const std::string &name() const = 0;
+
+    /** Number of virtual pages the workload touches. */
+    virtual std::size_t footprintPages() const = 0;
+
+    /** Accesses per request (0 = throughput-oriented). */
+    virtual unsigned accessesPerRequest() const = 0;
+};
+
+/** The parameterized synthetic generator. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param params Benchmark parameters.
+     * @param seed Deterministic stream seed.
+     */
+    SyntheticWorkload(const SyntheticParams &params, std::uint64_t seed);
+
+    AccessEvent next() override;
+    const std::string &name() const override { return params_.name; }
+    std::size_t footprintPages() const override
+    {
+        return params_.footprint_pages;
+    }
+    unsigned accessesPerRequest() const override
+    {
+        return params_.accesses_per_request;
+    }
+
+    /** The parameters in use. */
+    const SyntheticParams &params() const { return params_; }
+
+    /** Active-word count of a virtual page (tests, analysis). */
+    unsigned activeWords(Vpn vpn) const;
+
+    /** Sparsity class index of a virtual page. */
+    unsigned classOf(Vpn vpn) const { return page_class_[vpn]; }
+
+  private:
+    void assignClasses();
+
+    SyntheticParams params_;
+    Rng rng_;
+    AliasSampler page_pop_; //!< Plateau-Zipf page popularity over ranks.
+    std::vector<ZipfSampler> word_zipf_; //!< One per sparsity class.
+    std::vector<std::uint32_t> perm_;    //!< Popularity rank -> page.
+    std::vector<std::uint8_t> page_class_;
+    //! Concatenated active-word offsets; per-page slices via word_begin_.
+    std::vector<std::uint8_t> word_pool_;
+    std::vector<std::uint32_t> word_begin_;
+    std::vector<std::uint8_t> sweep_cursor_; //!< Per-page sweep position.
+    std::uint64_t accesses_ = 0;
+    std::size_t phase_offset_ = 0;
+};
+
+/**
+ * Round-robin interleaving of n independent instances, each in its own
+ * address range — the Figure 11 multi-process scaling workload and the
+ * SPECrate "8 instances" setup.
+ */
+class MultiWorkload : public Workload
+{
+  public:
+    explicit MultiWorkload(
+        std::vector<std::unique_ptr<SyntheticWorkload>> instances);
+
+    AccessEvent next() override;
+    const std::string &name() const override { return name_; }
+    std::size_t footprintPages() const override { return total_pages_; }
+    unsigned accessesPerRequest() const override;
+
+    /** Number of instances. */
+    std::size_t instances() const { return instances_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<SyntheticWorkload>> instances_;
+    std::vector<std::size_t> base_page_;
+    std::string name_;
+    std::size_t total_pages_ = 0;
+    std::size_t next_instance_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the analysis layer: access-count ratios, sparsity CDFs,
+ * log-CDFs, and reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cdf.hh"
+#include "analysis/ratio.hh"
+#include "analysis/report.hh"
+
+namespace m5 {
+namespace {
+
+TEST(ExactCounterTest, CountsAndTopK)
+{
+    ExactCounter c;
+    for (int i = 0; i < 5; ++i)
+        c.observe(1);
+    for (int i = 0; i < 3; ++i)
+        c.observe(2);
+    c.observe(3);
+    EXPECT_EQ(c.count(1), 5u);
+    EXPECT_EQ(c.count(99), 0u);
+    EXPECT_EQ(c.distinct(), 3u);
+    auto top = c.topK(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].tag, 1u);
+    EXPECT_EQ(top[1].tag, 2u);
+    EXPECT_EQ(c.topKSum(2), 8u);
+}
+
+TEST(ExactCounterTest, RatioPerfectReportIsOne)
+{
+    ExactCounter c;
+    for (int k = 0; k < 10; ++k)
+        for (int i = 0; i <= k; ++i)
+            c.observe(k);
+    // Report exactly the top 3.
+    const double r = c.ratioOf({{9, 0}, {8, 0}, {7, 0}});
+    EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+TEST(ExactCounterTest, RatioColdReportLessThanOne)
+{
+    ExactCounter c;
+    for (int k = 0; k < 10; ++k)
+        for (int i = 0; i <= k; ++i)
+            c.observe(k);
+    const double r = c.ratioOf({{0, 0}, {1, 0}, {2, 0}});
+    EXPECT_LT(r, 0.3);
+    EXPECT_GT(r, 0.0);
+}
+
+TEST(ExactCounterTest, RatioEmptyReportIsZero)
+{
+    ExactCounter c;
+    c.observe(1);
+    EXPECT_EQ(c.ratioOf({}), 0.0);
+}
+
+TEST(PacRatio, PerfectAndCold)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 16;
+    PacUnit pac(cfg);
+    for (Pfn p = 0; p < 8; ++p)
+        for (Pfn i = 0; i <= p; ++i)
+            pac.observe(pageBase(p));
+    EXPECT_NEAR(accessCountRatio(pac, std::vector<Pfn>{7, 6}), 1.0, 1e-12);
+    EXPECT_LT(accessCountRatio(pac, std::vector<Pfn>{0, 1}), 0.25);
+}
+
+TEST(PacRatio, TopKEntryOverload)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 16;
+    PacUnit pac(cfg);
+    pac.observe(pageBase(1));
+    pac.observe(pageBase(1));
+    pac.observe(pageBase(2));
+    const std::vector<TopKEntry> rep = {{1, 0}};
+    EXPECT_NEAR(accessCountRatio(pac, rep), 1.0, 1e-12);
+}
+
+TEST(SparsityCdfTest, MonotoneAndBounded)
+{
+    WacConfig cfg;
+    cfg.range_base = 0;
+    cfg.range_bytes = 64 * kPageBytes;
+    cfg.window_bytes = cfg.range_bytes;
+    WacUnit wac(cfg);
+    // Page 0: 2 words; page 1: 20 words; page 2: 60 words.
+    for (unsigned w = 0; w < 2; ++w)
+        wac.observe(pageBase(0) + w * kWordBytes);
+    for (unsigned w = 0; w < 20; ++w)
+        wac.observe(pageBase(1) + w * kWordBytes);
+    for (unsigned w = 0; w < 60; ++w)
+        wac.observe(pageBase(2) + w * kWordBytes);
+    wac.fold();
+    const auto cdf = sparsityCdf(wac);
+    // Thresholds 4, 8, 16, 32, 48.
+    EXPECT_NEAR(cdf[0], 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(cdf[2], 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(cdf[3], 2.0 / 3.0, 1e-9);
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(LogCdf, MonotoneZeroToOne)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 256;
+    PacUnit pac(cfg);
+    for (Pfn p = 0; p < 256; ++p)
+        for (Pfn i = 0; i < (p % 16) + 1; ++i)
+            pac.observe(pageBase(p));
+    const auto cdf = accessCountLogCdf(pac, 16);
+    ASSERT_EQ(cdf.xs.size(), 16u);
+    for (std::size_t i = 1; i < cdf.ys.size(); ++i) {
+        EXPECT_GE(cdf.ys[i], cdf.ys[i - 1]);
+        EXPECT_GE(cdf.xs[i], cdf.xs[i - 1]);
+    }
+    EXPECT_NEAR(cdf.ys.back(), 1.0, 1e-12);
+}
+
+TEST(LogCdf, PercentileOfPac)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 128;
+    PacUnit pac(cfg);
+    for (Pfn p = 0; p < 100; ++p)
+        for (Pfn i = 0; i <= p; ++i)
+            pac.observe(pageBase(p));
+    EXPECT_NEAR(accessCountPercentile(pac, 50), 50.0, 1.0);
+    EXPECT_NEAR(accessCountPercentile(pac, 99), 99.0, 1.0);
+}
+
+TEST(Report, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0}), 3.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Report, NormalizedPerformanceThroughput)
+{
+    EXPECT_NEAR(normalizedPerformance(100.0, 150.0, 0, 0, false), 1.5,
+                1e-12);
+}
+
+TEST(Report, NormalizedPerformanceLatency)
+{
+    // Latency-sensitive: inverse p99 ratio (§7.2, Redis).
+    EXPECT_NEAR(normalizedPerformance(0, 0, 200.0, 100.0, true), 2.0,
+                1e-12);
+}
+
+TEST(Report, RatioStr)
+{
+    EXPECT_EQ(ratioStr(1.5), "1.50x");
+    EXPECT_EQ(ratioStr(2.0, 1), "2.0x");
+}
+
+} // namespace
+} // namespace m5

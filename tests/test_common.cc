@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for src/common: types, logging, RNG, Zipf/alias sampling,
+ * statistics, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "common/zipf.hh"
+
+namespace m5 {
+namespace {
+
+TEST(Types, PageAndWordExtraction)
+{
+    const Addr pa = (0x123ULL << kPageShift) | (17u << kWordShift) | 0x2a;
+    EXPECT_EQ(pfnOf(pa), 0x123u);
+    EXPECT_EQ(wordInPage(pa), 17u);
+    EXPECT_EQ(wordOf(pa), (0x123ULL << 6) | 17u);
+    EXPECT_EQ(pageBase(0x123), 0x123ULL << kPageShift);
+}
+
+TEST(Types, WordsPerPage)
+{
+    EXPECT_EQ(kWordsPerPage, 64u);
+    EXPECT_EQ(kPageBytes, 4096u);
+    EXPECT_EQ(kWordBytes, 64u);
+}
+
+TEST(Types, TimeConversions)
+{
+    EXPECT_EQ(secondsToTicks(1.0), 1'000'000'000u);
+    EXPECT_EQ(msToTicks(1.5), 1'500'000u);
+    EXPECT_EQ(usToTicks(2.0), 2'000u);
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+    EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Rng, Determinism)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.below(1000), b.below(1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.below(1'000'000) == b.below(1'000'000);
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.between(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Zipf, MassSumsToOne)
+{
+    ZipfSampler z(100, 0.9);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i)
+        sum += z.mass(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, MassMonotoneDecreasing)
+{
+    ZipfSampler z(50, 1.2);
+    for (std::size_t i = 1; i < z.size(); ++i)
+        EXPECT_LE(z.mass(i), z.mass(i - 1));
+}
+
+TEST(Zipf, UniformWhenAlphaZero)
+{
+    ZipfSampler z(10, 0.0);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        EXPECT_NEAR(z.mass(i), 0.1, 1e-9);
+}
+
+TEST(Zipf, EmpiricalMatchesMass)
+{
+    ZipfSampler z(20, 1.0);
+    Rng rng(11);
+    std::vector<int> counts(20, 0);
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (std::size_t i = 0; i < 20; ++i) {
+        const double emp = static_cast<double>(counts[i]) / n;
+        EXPECT_NEAR(emp, z.mass(i), 0.01) << "rank " << i;
+    }
+}
+
+TEST(Zipf, SingleItem)
+{
+    ZipfSampler z(1, 1.0);
+    Rng rng(1);
+    EXPECT_EQ(z.sample(rng), 0u);
+    EXPECT_NEAR(z.mass(0), 1.0, 1e-12);
+}
+
+TEST(Alias, RespectsWeights)
+{
+    AliasSampler a({1.0, 3.0, 0.0, 6.0});
+    Rng rng(5);
+    std::vector<int> counts(4, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[a.sample(rng)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+}
+
+TEST(RunningStats, Basics)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 15.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_EQ(s.min(), -5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.mean(), 0.0, 1e-12);
+}
+
+TEST(Percentile, NearestRank)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 100; ++i)
+        t.add(i);
+    EXPECT_EQ(t.percentile(50), 50.0);
+    EXPECT_EQ(t.percentile(99), 99.0);
+    EXPECT_EQ(t.percentile(100), 100.0);
+    EXPECT_EQ(t.percentile(0), 1.0);
+}
+
+TEST(Percentile, AddAfterQuery)
+{
+    PercentileTracker t;
+    t.add(10.0);
+    EXPECT_EQ(t.percentile(50), 10.0);
+    t.add(1.0);
+    t.add(2.0);
+    EXPECT_EQ(t.percentile(0), 1.0);
+    EXPECT_EQ(t.percentile(100), 10.0);
+}
+
+TEST(Percentile, EmptyIsZero)
+{
+    PercentileTracker t;
+    EXPECT_EQ(t.percentile(99), 0.0);
+    EXPECT_EQ(t.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0);
+    h.add(-1.0);
+    h.add(5.0);
+    h.add(15.0);
+    h.add(999.0);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_NEAR(h.cdfAt(3), 1.0, 1e-12);
+    EXPECT_NEAR(h.cdfAt(0), 0.5, 1e-12);
+}
+
+TEST(Cdf, EmpiricalCdf)
+{
+    const auto cdf = empiricalCdf({1, 2, 3, 4, 5}, {0.5, 2.0, 4.5, 10.0});
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_NEAR(cdf[0], 0.0, 1e-12);
+    EXPECT_NEAR(cdf[1], 0.4, 1e-12);
+    EXPECT_NEAR(cdf[2], 0.8, 1e-12);
+    EXPECT_NEAR(cdf[3], 1.0, 1e-12);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TextTable t({"a", "bench"});
+    t.addRow({"1", "x"});
+    t.addRow({"22", "yy"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Csv)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace m5

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the CXL controller AFUs: PAC, WAC, HPT, HWT, and the
+ * controller wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cxl/controller.hh"
+
+namespace m5 {
+namespace {
+
+PacConfig
+pacConfig(Pfn first = 100, std::size_t frames = 64)
+{
+    PacConfig c;
+    c.first_pfn = first;
+    c.frames = frames;
+    return c;
+}
+
+TEST(Pac, ExactCounts)
+{
+    PacUnit pac(pacConfig());
+    for (int i = 0; i < 7; ++i)
+        pac.observe(pageBase(105) + 64 * i);
+    EXPECT_EQ(pac.count(105), 7u);
+    EXPECT_EQ(pac.count(106), 0u);
+    EXPECT_EQ(pac.totalAccesses(), 7u);
+}
+
+TEST(Pac, IgnoresOutOfRange)
+{
+    PacUnit pac(pacConfig(100, 64));
+    pac.observe(pageBase(99));
+    pac.observe(pageBase(164));
+    EXPECT_EQ(pac.totalAccesses(), 0u);
+}
+
+TEST(Pac, SaturationSpillsToTable)
+{
+    PacConfig cfg = pacConfig();
+    cfg.counter_bits = 4; // Saturates at 15.
+    PacUnit pac(cfg);
+    for (int i = 0; i < 1000; ++i)
+        pac.observe(pageBase(100));
+    EXPECT_EQ(pac.count(100), 1000u); // Exact despite the narrow SRAM.
+    EXPECT_GT(pac.spills(), 0u);
+}
+
+TEST(Pac, TopKSortedAndSized)
+{
+    PacUnit pac(pacConfig());
+    for (Pfn p = 100; p < 110; ++p)
+        for (Pfn i = 0; i <= p - 100; ++i)
+            pac.observe(pageBase(p));
+    auto top = pac.topK(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].tag, 109u);
+    EXPECT_EQ(top[0].count, 10u);
+    EXPECT_EQ(top[1].tag, 108u);
+    EXPECT_EQ(top[2].tag, 107u);
+}
+
+TEST(Pac, TopKAccessSum)
+{
+    PacUnit pac(pacConfig());
+    pac.observe(pageBase(100));
+    pac.observe(pageBase(100));
+    pac.observe(pageBase(101));
+    EXPECT_EQ(pac.topKAccessSum(1), 2u);
+    EXPECT_EQ(pac.topKAccessSum(2), 3u);
+    EXPECT_EQ(pac.topKAccessSum(10), 3u);
+}
+
+TEST(Pac, NonZeroCounts)
+{
+    PacUnit pac(pacConfig());
+    pac.observe(pageBase(100));
+    pac.observe(pageBase(120));
+    pac.observe(pageBase(120));
+    auto counts = pac.nonZeroCounts();
+    ASSERT_EQ(counts.size(), 2u);
+}
+
+TEST(Pac, Reset)
+{
+    PacUnit pac(pacConfig());
+    pac.observe(pageBase(100));
+    pac.reset();
+    EXPECT_EQ(pac.count(100), 0u);
+    EXPECT_EQ(pac.totalAccesses(), 0u);
+}
+
+WacConfig
+wacConfig(std::uint64_t range = 64 * kPageBytes)
+{
+    WacConfig c;
+    c.range_base = 0;
+    c.range_bytes = range;
+    c.window_bytes = range;
+    return c;
+}
+
+TEST(Wac, TracksUniqueWordsPerPage)
+{
+    WacUnit wac(wacConfig());
+    wac.observe(pageBase(3) + 0 * kWordBytes);
+    wac.observe(pageBase(3) + 5 * kWordBytes);
+    wac.observe(pageBase(3) + 5 * kWordBytes); // Same word again.
+    wac.fold();
+    EXPECT_EQ(wac.uniqueWords(3), 2u);
+    EXPECT_EQ(wac.wordMask(3), (1ULL << 0) | (1ULL << 5));
+}
+
+TEST(Wac, WordCountsSaturateAt4Bits)
+{
+    WacUnit wac(wacConfig());
+    for (int i = 0; i < 100; ++i)
+        wac.observe(pageBase(1));
+    EXPECT_EQ(wac.wordCount(wordOf(pageBase(1))), 15u);
+}
+
+TEST(Wac, WindowedSweepCoversRange)
+{
+    WacConfig cfg;
+    cfg.range_base = 0;
+    cfg.range_bytes = 4 * kPageBytes;
+    cfg.window_bytes = 2 * kPageBytes; // Half the range at a time.
+    WacUnit wac(cfg);
+    wac.observe(pageBase(0));       // In window 1.
+    wac.observe(pageBase(3));       // Outside: ignored.
+    wac.advanceWindow();
+    wac.observe(pageBase(3) + 64);  // Now in window 2.
+    wac.fold();
+    EXPECT_EQ(wac.uniqueWords(0), 1u);
+    EXPECT_EQ(wac.uniqueWords(3), 1u);
+}
+
+TEST(Wac, WindowWrapsAround)
+{
+    WacConfig cfg;
+    cfg.range_base = 0;
+    cfg.range_bytes = 4 * kPageBytes;
+    cfg.window_bytes = 2 * kPageBytes;
+    WacUnit wac(cfg);
+    EXPECT_EQ(wac.windowBase(), 0u);
+    wac.advanceWindow();
+    EXPECT_EQ(wac.windowBase(), 2 * kPageBytes);
+    wac.advanceWindow();
+    EXPECT_EQ(wac.windowBase(), 0u);
+}
+
+TEST(Wac, PagesWithUniqueWords)
+{
+    WacUnit wac(wacConfig());
+    wac.observe(pageBase(1));
+    wac.observe(pageBase(2));
+    wac.observe(pageBase(2) + kWordBytes);
+    wac.fold();
+    auto pages = wac.pagesWithUniqueWords();
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0].first, 1u);
+    EXPECT_EQ(pages[0].second, 1u);
+    EXPECT_EQ(pages[1].second, 2u);
+}
+
+TEST(Wac, Reset)
+{
+    WacUnit wac(wacConfig());
+    wac.observe(pageBase(1));
+    wac.fold();
+    wac.reset();
+    EXPECT_EQ(wac.uniqueWords(1), 0u);
+}
+
+TEST(Hpt, TracksPageGranularity)
+{
+    TrackerConfig cfg;
+    cfg.entries = 1024;
+    cfg.k = 4;
+    HptUnit hpt(cfg);
+    // Two different words of the same page count as one key.
+    hpt.observe(pageBase(7));
+    hpt.observe(pageBase(7) + 9 * kWordBytes);
+    auto top = hpt.queryAndReset();
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].tag, 7u);
+    EXPECT_EQ(top[0].count, 2u);
+}
+
+TEST(Hpt, QueryResetsEpoch)
+{
+    TrackerConfig cfg;
+    cfg.entries = 1024;
+    cfg.k = 4;
+    HptUnit hpt(cfg);
+    hpt.observe(pageBase(7));
+    EXPECT_EQ(hpt.observed(), 1u);
+    hpt.queryAndReset();
+    EXPECT_EQ(hpt.observed(), 0u);
+    EXPECT_TRUE(hpt.peek().empty());
+}
+
+TEST(Hwt, TracksWordGranularity)
+{
+    TrackerConfig cfg;
+    cfg.entries = 1024;
+    cfg.k = 4;
+    HwtUnit hwt(cfg);
+    hwt.observe(pageBase(7));
+    hwt.observe(pageBase(7) + 9 * kWordBytes);
+    auto top = hwt.queryAndReset();
+    ASSERT_EQ(top.size(), 2u); // Distinct words are distinct keys.
+    EXPECT_EQ(top[0].count, 1u);
+}
+
+TEST(Hwt, HotWordSurfaces)
+{
+    TrackerConfig cfg;
+    cfg.entries = 4096;
+    cfg.k = 2;
+    HwtUnit hwt(cfg);
+    Rng rng(9);
+    const Addr hot = pageBase(42) + 13 * kWordBytes;
+    for (int i = 0; i < 5000; ++i) {
+        hwt.observe(rng.chance(0.3)
+            ? hot : pageBase(rng.below(500)) +
+                    rng.below(kWordsPerPage) * kWordBytes);
+    }
+    auto top = hwt.queryAndReset();
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top[0].tag, wordOf(hot));
+}
+
+TEST(Controller, RoutesToConfiguredUnits)
+{
+    CxlControllerConfig cfg;
+    cfg.pac = pacConfig(0, 64);
+    WacConfig wcfg;
+    wcfg.range_base = 0;
+    wcfg.range_bytes = 64 * kPageBytes;
+    wcfg.window_bytes = 64 * kPageBytes;
+    cfg.wac = wcfg;
+    TrackerConfig tcfg;
+    tcfg.entries = 256;
+    tcfg.k = 4;
+    cfg.hpt = tcfg;
+    cfg.hwt = tcfg;
+    CxlController ctrl(cfg);
+    EXPECT_TRUE(ctrl.hasPac());
+    EXPECT_TRUE(ctrl.hasWac());
+    EXPECT_TRUE(ctrl.hasHpt());
+    EXPECT_TRUE(ctrl.hasHwt());
+
+    ctrl.observe(pageBase(3), false, 0);
+    EXPECT_EQ(ctrl.snooped(), 1u);
+    EXPECT_EQ(ctrl.pac().count(3), 1u);
+    EXPECT_EQ(ctrl.hpt().observed(), 1u);
+    EXPECT_EQ(ctrl.hwt().observed(), 1u);
+    ctrl.wac().fold();
+    EXPECT_EQ(ctrl.wac().uniqueWords(3), 1u);
+}
+
+TEST(Controller, UnconfiguredUnitsAbsent)
+{
+    CxlControllerConfig cfg;
+    cfg.pac = pacConfig(0, 16);
+    CxlController ctrl(cfg);
+    EXPECT_TRUE(ctrl.hasPac());
+    EXPECT_FALSE(ctrl.hasWac());
+    EXPECT_FALSE(ctrl.hasHpt());
+    EXPECT_FALSE(ctrl.hasHwt());
+}
+
+TEST(Controller, ObserverClosureWorks)
+{
+    CxlControllerConfig cfg;
+    cfg.pac = pacConfig(0, 16);
+    CxlController ctrl(cfg);
+    auto obs = ctrl.observer();
+    obs(pageBase(5), false, 0);
+    EXPECT_EQ(ctrl.pac().count(5), 1u);
+}
+
+TEST(Controller, AttachedToMemorySystemSeesCxlTraffic)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 16 * kPageBytes;
+    p.cxl_bytes = 16 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    CxlControllerConfig cfg;
+    PacConfig pac;
+    pac.first_pfn = mem->tier(kNodeCxl).firstPfn();
+    pac.frames = mem->tier(kNodeCxl).framesTotal();
+    cfg.pac = pac;
+    CxlController ctrl(cfg);
+    mem->attachObserver(kNodeCxl, ctrl.observer());
+
+    mem->access(0, false, 0); // DDR: not snooped.
+    const Addr cxl_pa = mem->tier(kNodeCxl).config().base;
+    mem->access(cxl_pa, false, 0);
+    mem->access(cxl_pa, true, 0);
+    EXPECT_EQ(ctrl.snooped(), 2u);
+    EXPECT_EQ(ctrl.pac().count(pfnOf(cxl_pa)), 2u);
+}
+
+} // namespace
+} // namespace m5

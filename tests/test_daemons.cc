@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for the CPU-driven page-migration daemons (ANB and DAMON)
+ * against a small hand-built system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "mem/memsys.hh"
+#include "os/anb.hh"
+#include "os/damon.hh"
+#include "os/frame_alloc.hh"
+#include "os/migration.hh"
+
+namespace m5 {
+namespace {
+
+/** A 64-page workload, all pages initially in CXL. */
+class DaemonTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kPages = 64;
+
+    DaemonTest()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 16 * kPageBytes;
+        p.cxl_bytes = 128 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(kPages);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(kPages);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        for (Vpn v = 0; v < kPages; ++v)
+            pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+};
+
+TEST_F(DaemonTest, AnbScanClearsPresentBits)
+{
+    AnbConfig cfg;
+    cfg.scan_chunk_pages = 16;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    const Tick busy = anb.wake(anb.nextWake());
+    EXPECT_GT(busy, 0u);
+    std::size_t cleared = 0;
+    for (Vpn v = 0; v < kPages; ++v)
+        cleared += !pt->pte(v).present;
+    EXPECT_EQ(cleared, 16u);
+    EXPECT_EQ(anb.pagesUnmapped(), 16u);
+    EXPECT_GT(ledger.category(KernelWork::PteScan), 0u);
+}
+
+TEST_F(DaemonTest, AnbScanSkipsDdrPages)
+{
+    engine->promote(0, 0); // vpn 0 now in DDR.
+    AnbConfig cfg;
+    cfg.scan_chunk_pages = kPages;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    anb.wake(anb.nextWake());
+    EXPECT_TRUE(pt->pte(0).present);
+    EXPECT_EQ(anb.pagesUnmapped(), kPages - 1);
+}
+
+TEST_F(DaemonTest, AnbHintFaultIdentifiesAndPromotes)
+{
+    AnbConfig cfg;
+    cfg.fault_threshold = 1;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    anb.wake(anb.nextWake()); // Unmap pass.
+    ASSERT_FALSE(pt->pte(0).present);
+    pt->pte(0).present = true; // The fault handler's remap.
+    const Tick busy = anb.onHintFault(0, msToTicks(1.0));
+    EXPECT_GT(busy, 0u);
+    EXPECT_EQ(anb.faultsHandled(), 1u);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    ASSERT_EQ(anb.hotPages().size(), 1u);
+}
+
+TEST_F(DaemonTest, AnbRecordOnlyDoesNotMigrate)
+{
+    AnbConfig cfg;
+    cfg.fault_threshold = 1;
+    cfg.migrate = false;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    anb.wake(anb.nextWake());
+    pt->pte(0).present = true;
+    anb.onHintFault(0, msToTicks(1.0));
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_EQ(anb.hotPages().size(), 1u);
+    EXPECT_EQ(engine->stats().promoted, 0u);
+}
+
+TEST_F(DaemonTest, AnbFaultThresholdTwoNeedsTwoFaults)
+{
+    AnbConfig cfg;
+    cfg.fault_threshold = 2;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    anb.onHintFault(0, usToTicks(10.0));
+    EXPECT_TRUE(anb.hotPages().pages().empty());
+    anb.onHintFault(0, usToTicks(20.0));
+    EXPECT_EQ(anb.hotPages().size(), 1u);
+}
+
+TEST_F(DaemonTest, AnbTokenBucketLimitsPromotions)
+{
+    AnbConfig cfg;
+    cfg.fault_threshold = 1;
+    cfg.promote_rate_pages_per_s = 1000.0; // 1 page per ms.
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    // 10 faults in the same microsecond: only ~1 token available.
+    for (Vpn v = 0; v < 10; ++v)
+        anb.onHintFault(v, usToTicks(1.0));
+    EXPECT_LE(engine->stats().promoted, 2u);
+}
+
+TEST_F(DaemonTest, AnbPeriodBacksOffWhenQuiet)
+{
+    AnbConfig cfg;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    const Tick before = anb.scanPeriod();
+    anb.wake(anb.nextWake()); // No faults since last scan -> back off.
+    EXPECT_GT(anb.scanPeriod(), before);
+}
+
+TEST_F(DaemonTest, AnbHotListDeduplicates)
+{
+    AnbConfig cfg;
+    cfg.fault_threshold = 1;
+    cfg.migrate = false;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    anb.onHintFault(0, 1);
+    anb.onHintFault(0, 2);
+    EXPECT_EQ(anb.hotPages().size(), 1u);
+}
+
+TEST_F(DaemonTest, DamonInitialRegionsPartitionSpace)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 8;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    const auto &regions = damon.regions();
+    ASSERT_EQ(regions.size(), 8u);
+    EXPECT_EQ(regions.front().start, 0u);
+    EXPECT_EQ(regions.back().end, kPages);
+    for (std::size_t i = 1; i < regions.size(); ++i)
+        EXPECT_EQ(regions[i].start, regions[i - 1].end);
+}
+
+TEST_F(DaemonTest, DamonSamplingCountsAccessedBits)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 4;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    // Set every accessed bit: every region's sample must hit.
+    for (Vpn v = 0; v < kPages; ++v)
+        pt->pte(v).accessed = true;
+    damon.wake(damon.nextWake());
+    std::uint32_t total = 0;
+    for (const auto &r : damon.regions())
+        total += r.nr_accesses;
+    EXPECT_EQ(total, 4u);
+}
+
+TEST_F(DaemonTest, DamonSamplingClearsSampledBit)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 1;
+    cfg.max_regions = 1; // Prevent splitting for determinism.
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    for (Vpn v = 0; v < kPages; ++v)
+        pt->pte(v).accessed = true;
+    damon.wake(damon.nextWake());
+    std::size_t cleared = 0;
+    for (Vpn v = 0; v < kPages; ++v)
+        cleared += !pt->pte(v).accessed;
+    EXPECT_GE(cleared, 1u); // At least the newly primed page.
+}
+
+TEST_F(DaemonTest, DamonRegionsAlwaysPartitionAfterAggregations)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 4;
+    cfg.max_regions = 64;
+    cfg.sample_interval = usToTicks(10.0);
+    cfg.aggregation_interval = usToTicks(50.0);
+    cfg.migrate = false;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    Rng rng(3);
+    Tick now = damon.nextWake();
+    for (int i = 0; i < 500; ++i) {
+        // Random access-bit traffic.
+        for (int j = 0; j < 8; ++j)
+            pt->pte(rng.below(kPages)).accessed = true;
+        damon.wake(now);
+        now = damon.nextWake();
+        // Invariant: regions exactly partition [0, kPages).
+        const auto &regions = damon.regions();
+        ASSERT_GE(regions.size(), 1u);
+        EXPECT_EQ(regions.front().start, 0u);
+        EXPECT_EQ(regions.back().end, kPages);
+        for (std::size_t k = 1; k < regions.size(); ++k) {
+            ASSERT_EQ(regions[k].start, regions[k - 1].end);
+            ASSERT_LT(regions[k].start, regions[k].end);
+        }
+        EXPECT_LE(regions.size(), cfg.max_regions);
+    }
+}
+
+TEST_F(DaemonTest, DamonHotRegionPromotes)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 8;
+    cfg.max_regions = 8;
+    cfg.sample_interval = usToTicks(10.0);
+    cfg.aggregation_interval = usToTicks(100.0);
+    cfg.hot_access_fraction = 0.3;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    Tick now = damon.nextWake();
+    // Keep region 0's pages (vpn 0..7) permanently accessed.
+    for (int i = 0; i < 60; ++i) {
+        for (Vpn v = 0; v < 8; ++v)
+            pt->pte(v).accessed = true;
+        damon.wake(now);
+        now = damon.nextWake();
+    }
+    EXPECT_GT(engine->stats().promoted, 0u);
+    EXPECT_GT(damon.hotPages().size(), 0u);
+    // Promoted pages come from the hot region.
+    std::size_t on_ddr = 0;
+    for (Vpn v = 0; v < 8; ++v)
+        on_ddr += pt->pte(v).node == kNodeDdr;
+    EXPECT_GT(on_ddr, 0u);
+}
+
+TEST_F(DaemonTest, DamonRecordOnlyDoesNotMigrate)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 8;
+    cfg.max_regions = 8;
+    cfg.sample_interval = usToTicks(10.0);
+    cfg.aggregation_interval = usToTicks(100.0);
+    cfg.hot_access_fraction = 0.3;
+    cfg.migrate = false;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    Tick now = damon.nextWake();
+    for (int i = 0; i < 60; ++i) {
+        for (Vpn v = 0; v < 8; ++v)
+            pt->pte(v).accessed = true;
+        damon.wake(now);
+        now = damon.nextWake();
+    }
+    EXPECT_EQ(engine->stats().promoted, 0u);
+    EXPECT_GT(damon.hotPages().size(), 0u);
+}
+
+TEST_F(DaemonTest, DamonChargesSamplingCosts)
+{
+    DamonConfig cfg;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    damon.wake(damon.nextWake());
+    EXPECT_GT(ledger.category(KernelWork::PteScan), 0u);
+}
+
+TEST_F(DaemonTest, DamonSamplesPerAggregation)
+{
+    DamonConfig cfg;
+    cfg.sample_interval = msToTicks(1.0);
+    cfg.aggregation_interval = msToTicks(20.0);
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    EXPECT_EQ(damon.samplesPerAggregation(), 20u);
+}
+
+TEST(HotPageList, CapacityAndDedup)
+{
+    HotPageList list(2);
+    list.add(1);
+    list.add(1);
+    list.add(2);
+    list.add(3); // Over capacity: dropped.
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_TRUE(list.full());
+    EXPECT_EQ(list.pages()[0], 1u);
+    EXPECT_EQ(list.pages()[1], 2u);
+    list.reset();
+    EXPECT_EQ(list.size(), 0u);
+}
+
+} // namespace
+} // namespace m5

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Edge-case and error-path tests across subsystems: empty inputs,
+ * boundary geometries, file-format errors, and the fatal/panic guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/cdf.hh"
+#include "analysis/ratio.hh"
+#include "common/zipf.hh"
+#include "cxl/pac.hh"
+#include "cxl/wac.hh"
+#include "hwmodel/area_power.hh"
+#include "m5/monitor.hh"
+#include "mem/memsys.hh"
+#include "os/page_table.hh"
+#include "sketch/cm_sketch.hh"
+#include "sketch/sorted_topk.hh"
+#include "workloads/trace.hh"
+
+namespace m5 {
+namespace {
+
+TEST(Edges, PacTopKOnEmptyUnit)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 8;
+    PacUnit pac(cfg);
+    EXPECT_TRUE(pac.topK(5).empty());
+    EXPECT_EQ(pac.topKAccessSum(5), 0u);
+    EXPECT_TRUE(pac.nonZeroCounts().empty());
+}
+
+TEST(Edges, RatioOnEmptyPac)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 8;
+    PacUnit pac(cfg);
+    EXPECT_EQ(accessCountRatio(pac, std::vector<Pfn>{1, 2}), 0.0);
+    EXPECT_EQ(accessCountRatio(pac, std::vector<Pfn>{}), 0.0);
+}
+
+TEST(Edges, SparsityCdfOnEmptyWac)
+{
+    WacConfig cfg;
+    cfg.range_base = 0;
+    cfg.range_bytes = 8 * kPageBytes;
+    cfg.window_bytes = 8 * kPageBytes;
+    WacUnit wac(cfg);
+    const auto cdf = sparsityCdf(wac);
+    for (double v : cdf)
+        EXPECT_EQ(v, 0.0);
+}
+
+TEST(Edges, LogCdfOnEmptyPac)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 8;
+    PacUnit pac(cfg);
+    EXPECT_TRUE(accessCountLogCdf(pac).xs.empty());
+}
+
+TEST(Edges, SingleCounterSketch)
+{
+    CmSketch s(1, 1, 7, 32);
+    s.update(1);
+    s.update(2);
+    // Everything collides into the single counter.
+    EXPECT_EQ(s.estimate(1), 2u);
+    EXPECT_EQ(s.estimate(999), 2u);
+}
+
+TEST(Edges, TopKCapacityOne)
+{
+    SortedTopK t(1);
+    t.offer(1, 5);
+    t.offer(2, 3); // Below min: rejected.
+    ASSERT_EQ(t.entries().size(), 1u);
+    EXPECT_EQ(t.entries()[0].tag, 1u);
+    t.offer(3, 9);
+    EXPECT_EQ(t.entries()[0].tag, 3u);
+}
+
+TEST(Edges, ZipfTwoItemsHeavilySkewed)
+{
+    ZipfSampler z(2, 5.0);
+    EXPECT_GT(z.mass(0), 0.95);
+    Rng rng(1);
+    int zero = 0;
+    for (int i = 0; i < 1000; ++i)
+        zero += z.sample(rng) == 0;
+    EXPECT_GT(zero, 900);
+}
+
+TEST(Edges, AliasAllMassOnOneItem)
+{
+    AliasSampler a({0.0, 0.0, 5.0});
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.sample(rng), 2u);
+}
+
+TEST(EdgesDeath, TraceLoadRejectsGarbage)
+{
+    const std::string path = ::testing::TempDir() + "garbage.trace";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "this is not a trace file at all";
+    }
+    EXPECT_EXIT(TraceBuffer::load(path),
+                ::testing::ExitedWithCode(1), "not an M5 trace");
+    std::remove(path.c_str());
+}
+
+TEST(EdgesDeath, TraceLoadMissingFile)
+{
+    EXPECT_EXIT(TraceBuffer::load("/nonexistent/path/x.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Edges, TraceEmptyRoundTrip)
+{
+    TraceBuffer buf;
+    const std::string path = ::testing::TempDir() + "empty.trace";
+    buf.save(path);
+    const TraceBuffer loaded = TraceBuffer::load(path);
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(EdgesDeath, PageTableDoubleMapPanics)
+{
+    PageTable pt(4);
+    pt.map(0, 10, kNodeCxl);
+    EXPECT_DEATH(pt.map(0, 11, kNodeCxl), "already mapped");
+}
+
+TEST(EdgesDeath, PageTableWalkNonPresentPanics)
+{
+    PageTable pt(4);
+    pt.map(0, 10, kNodeCxl);
+    pt.pte(0).present = false;
+    EXPECT_DEATH(pt.walk(0), "non-present");
+}
+
+TEST(EdgesDeath, MemorySystemUnownedAddressPanics)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = kPageBytes;
+    p.cxl_bytes = kPageBytes;
+    auto mem = makeTieredMemory(p);
+    EXPECT_DEATH(mem->access(10 * kPageBytes, false, 0),
+                 "not owned by any tier");
+}
+
+TEST(Edges, MonitorBeforeAnyTraffic)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 4 * kPageBytes;
+    p.cxl_bytes = 4 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor mon(*mem, pt);
+    mon.sample(0);
+    EXPECT_EQ(mon.bw(kNodeDdr), 0.0);
+    EXPECT_EQ(mon.bwTot(), 0.0);
+    EXPECT_EQ(mon.relBwDen(kNodeDdr), 0.0);
+    EXPECT_EQ(mon.bwDen(kNodeCxl), 0.0);
+}
+
+TEST(Edges, MonitorZeroElapsedKeepsLastBandwidth)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 4 * kPageBytes;
+    p.cxl_bytes = 4 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    pt.map(0, mem->tier(kNodeCxl).firstPfn(), kNodeCxl);
+    Monitor mon(*mem, pt);
+    mon.sample(0);
+    mem->access(pageBase(mem->tier(kNodeCxl).firstPfn()), false, 0);
+    mon.sample(secondsToTicks(1.0));
+    const double bw = mon.bw(kNodeCxl);
+    EXPECT_GT(bw, 0.0);
+    mon.sample(secondsToTicks(1.0)); // Same instant: no division by 0.
+    EXPECT_EQ(mon.bw(kNodeCxl), bw);
+}
+
+TEST(Edges, HwModelBitScaling)
+{
+    // Halving the counter width halves the SS CAM's value storage cost.
+    const auto b16 =
+        estimateTracker(TrackerKind::SpaceSavingTopK, 1024, 5, 16);
+    const auto b8 =
+        estimateTracker(TrackerKind::SpaceSavingTopK, 1024, 5, 8);
+    EXPECT_NEAR(b8.area_um2, b16.area_um2 / 2.0, b16.area_um2 * 0.01);
+}
+
+TEST(Edges, WacSinglePageRange)
+{
+    WacConfig cfg;
+    cfg.range_base = 0;
+    cfg.range_bytes = kPageBytes;
+    cfg.window_bytes = kPageBytes;
+    WacUnit wac(cfg);
+    for (unsigned w = 0; w < kWordsPerPage; ++w)
+        wac.observe(w * kWordBytes);
+    wac.fold();
+    EXPECT_EQ(wac.uniqueWords(0), kWordsPerPage);
+    EXPECT_EQ(wac.wordMask(0), ~0ULL);
+}
+
+TEST(Edges, PacExactlyAtSaturationBoundary)
+{
+    PacConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 2;
+    cfg.counter_bits = 4; // Saturates at 15.
+    PacUnit pac(cfg);
+    for (int i = 0; i < 15; ++i)
+        pac.observe(0);
+    EXPECT_EQ(pac.count(0), 15u);
+    EXPECT_EQ(pac.spills(), 1u); // Spilled exactly at the boundary.
+    pac.observe(0);
+    EXPECT_EQ(pac.count(0), 16u);
+}
+
+} // namespace
+} // namespace m5

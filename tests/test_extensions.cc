@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the extension subsystems: the MMIO counter window (§3), the
+ * PAC SRAM-as-cache scalability mode (§3), the PEBS/Memtis sampling
+ * baseline (§2.1 Solution 3), hot huge-page aggregation (§8), and the
+ * IFMM word-swap directory (§9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/rng.hh"
+#include "cxl/mmio.hh"
+#include "cxl/pac_cache.hh"
+#include "m5/hugepage.hh"
+#include "mem/ifmm.hh"
+#include "mem/memsys.hh"
+#include "os/frame_alloc.hh"
+#include "os/migration.hh"
+#include "os/pebs.hh"
+
+namespace m5 {
+namespace {
+
+// ---------------------------------------------------------------- MMIO
+
+TEST(Mmio, ReadsThroughWindow)
+{
+    std::vector<std::uint64_t> counters(100);
+    for (std::size_t i = 0; i < 100; ++i)
+        counters[i] = i * 3;
+    MmioConfig cfg;
+    cfg.window_bytes = 16; // 8 counters per window.
+    MmioWindow win(cfg, 100, [&](std::size_t i) { return counters[i]; });
+    EXPECT_EQ(win.countersPerWindow(), 8u);
+    Tick t = 0;
+    EXPECT_EQ(win.read(3, t), 9u);
+    EXPECT_EQ(win.read(4, t), 12u); // Same window: no switch.
+    EXPECT_EQ(win.windowSwitches(), 1u);
+    EXPECT_EQ(win.read(20, t), 60u); // New window.
+    EXPECT_EQ(win.windowSwitches(), 2u);
+    EXPECT_EQ(win.reads(), 3u);
+}
+
+TEST(Mmio, ChargesLatency)
+{
+    MmioConfig cfg;
+    cfg.window_bytes = 16;
+    cfg.read_latency = 100;
+    cfg.config_write_latency = 500;
+    MmioWindow win(cfg, 64, [](std::size_t) { return 0ULL; });
+    Tick t = 0;
+    win.read(0, t);
+    EXPECT_EQ(t, 600u); // Window program + read.
+    win.read(1, t);
+    EXPECT_EQ(t, 700u); // Read only.
+}
+
+TEST(Mmio, ReadAllCostScalesWithCounters)
+{
+    MmioConfig cfg;
+    cfg.window_bytes = 1 << 20;
+    cfg.counter_bytes = 2;
+    MmioWindow win(cfg, 1 << 16, [](std::size_t i) {
+        return static_cast<std::uint64_t>(i);
+    });
+    std::vector<std::uint64_t> out;
+    const Tick t = win.readAll(out);
+    EXPECT_EQ(out.size(), std::size_t{1} << 16);
+    EXPECT_EQ(out[123], 123u);
+    // 64K reads at ~900ns each: tens of milliseconds — the §5.1 argument
+    // for why PAC cannot serve as an online top-K mechanism.
+    EXPECT_GT(t, msToTicks(10.0));
+}
+
+// ---------------------------------------------------------- PAC cache
+
+TEST(PacCache, ExactCountsUnderEviction)
+{
+    PacCacheConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 4096;
+    cfg.cache_entries = 64; // Tiny: force evictions.
+    cfg.assoc = 4;
+    PacCacheUnit pac(cfg);
+    Rng rng(5);
+    std::vector<std::uint64_t> exact(4096, 0);
+    for (int i = 0; i < 100'000; ++i) {
+        const Pfn p = rng.below(4096);
+        pac.observe(pageBase(p));
+        ++exact[p];
+    }
+    EXPECT_GT(pac.evictions(), 0u);
+    for (Pfn p = 0; p < 4096; p += 37)
+        EXPECT_EQ(pac.count(p), exact[p]) << "pfn " << p;
+    EXPECT_EQ(pac.totalAccesses(), 100'000u);
+}
+
+TEST(PacCache, HitsDominateOnSkewedStreams)
+{
+    PacCacheConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 1 << 16;
+    cfg.cache_entries = 1024;
+    PacCacheUnit pac(cfg);
+    Rng rng(5);
+    for (int i = 0; i < 50'000; ++i) {
+        // 90% of traffic to 256 pages: cacheable.
+        const Pfn p = rng.chance(0.9) ? rng.below(256)
+                                      : rng.below(1 << 16);
+        pac.observe(pageBase(p));
+    }
+    EXPECT_GT(pac.hits(), pac.misses() * 3);
+}
+
+TEST(PacCache, TopKMatchesExact)
+{
+    PacCacheConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 512;
+    cfg.cache_entries = 32;
+    PacCacheUnit pac(cfg);
+    for (Pfn p = 0; p < 10; ++p)
+        for (Pfn i = 0; i <= p * 5; ++i)
+            pac.observe(pageBase(p));
+    auto top = pac.topK(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].tag, 9u);
+    EXPECT_EQ(top[1].tag, 8u);
+}
+
+TEST(PacCache, ResetClears)
+{
+    PacCacheConfig cfg;
+    cfg.first_pfn = 0;
+    cfg.frames = 64;
+    cfg.cache_entries = 8;
+    PacCacheUnit pac(cfg);
+    pac.observe(pageBase(1));
+    pac.reset();
+    EXPECT_EQ(pac.count(1), 0u);
+    EXPECT_EQ(pac.totalAccesses(), 0u);
+}
+
+// --------------------------------------------------------- PEBS/Memtis
+
+class PebsTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kPages = 64;
+
+    PebsTest()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 16 * kPageBytes;
+        p.cxl_bytes = 128 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(kPages);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(kPages);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        for (Vpn v = 0; v < kPages; ++v)
+            pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+};
+
+TEST_F(PebsTest, SamplesOneInN)
+{
+    PebsConfig cfg;
+    cfg.sample_period = 10;
+    cfg.buffer_entries = 1000;
+    MemtisDaemon memtis(cfg, *pt, ledger, *engine);
+    for (int i = 0; i < 100; ++i)
+        memtis.onLlcMiss(0, 0);
+    EXPECT_EQ(memtis.samplesTaken(), 10u);
+    EXPECT_EQ(memtis.interrupts(), 0u); // Buffer not full yet.
+}
+
+TEST_F(PebsTest, BufferFullInterruptCostsAndPromotes)
+{
+    PebsConfig cfg;
+    cfg.sample_period = 1;
+    cfg.buffer_entries = 16;
+    cfg.initial_hot_threshold = 4;
+    MemtisDaemon memtis(cfg, *pt, ledger, *engine);
+    Tick busy_total = 0;
+    for (int i = 0; i < 16; ++i)
+        busy_total += memtis.onLlcMiss(3, usToTicks(100.0));
+    EXPECT_EQ(memtis.interrupts(), 1u);
+    EXPECT_GT(busy_total, 0u);
+    // 16 samples of page 3 cross the threshold: it gets promoted.
+    EXPECT_EQ(pt->pte(3).node, kNodeDdr);
+    EXPECT_GE(memtis.hotPages().size(), 1u);
+}
+
+TEST_F(PebsTest, RecordOnlyDoesNotMigrate)
+{
+    PebsConfig cfg;
+    cfg.sample_period = 1;
+    cfg.buffer_entries = 8;
+    cfg.initial_hot_threshold = 2;
+    cfg.migrate = false;
+    MemtisDaemon memtis(cfg, *pt, ledger, *engine);
+    for (int i = 0; i < 64; ++i)
+        memtis.onLlcMiss(3, usToTicks(100.0));
+    EXPECT_EQ(pt->pte(3).node, kNodeCxl);
+    EXPECT_GE(memtis.hotPages().size(), 1u);
+}
+
+TEST_F(PebsTest, CoolingHalvesEstimates)
+{
+    PebsConfig cfg;
+    cfg.sample_period = 1;
+    cfg.buffer_entries = 8;
+    cfg.initial_hot_threshold = 100; // Never hot: isolate counting.
+    MemtisDaemon memtis(cfg, *pt, ledger, *engine);
+    for (int i = 0; i < 8; ++i)
+        memtis.onLlcMiss(5, 0);
+    EXPECT_EQ(memtis.estimate(5), 8u);
+    memtis.wake(memtis.nextWake());
+    EXPECT_EQ(memtis.estimate(5), 4u);
+}
+
+TEST_F(PebsTest, ThresholdAdaptsDownWhenHotSetSmall)
+{
+    PebsConfig cfg;
+    cfg.initial_hot_threshold = 50;
+    MemtisDaemon memtis(cfg, *pt, ledger, *engine);
+    memtis.wake(memtis.nextWake());
+    EXPECT_LT(memtis.hotThreshold(), 50u);
+}
+
+// ----------------------------------------------------------- hugepage
+
+TEST(HugePage, AggregatesConstituentPages)
+{
+    HugePageAggregator agg;
+    // Two 4KB pages of huge frame 0, one of huge frame 3.
+    agg.update({{10, 100}, {20, 50}, {3 * 512 + 7, 30}});
+    EXPECT_EQ(agg.count(0), 150u);
+    EXPECT_EQ(agg.count(3), 30u);
+    EXPECT_EQ(agg.constituentPages(0), 2u);
+    auto top = agg.topHugePages(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].tag, 0u);
+    EXPECT_EQ(top[0].count, 150u);
+}
+
+TEST(HugePage, OsFilterRejectsNonHugeRegions)
+{
+    HugePageAggregator agg(
+        [](std::uint64_t frame) { return frame == 1; });
+    agg.update({{0, 100}, {512 + 3, 50}});
+    auto top = agg.topHugePages(10);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].tag, 1u);
+}
+
+TEST(HugePage, FrameMath)
+{
+    EXPECT_EQ(hugeFrameOf(0), 0u);
+    EXPECT_EQ(hugeFrameOf(511), 0u);
+    EXPECT_EQ(hugeFrameOf(512), 1u);
+    EXPECT_EQ(kPagesPerHugePage, 512u);
+}
+
+TEST(HugePage, ResetForgets)
+{
+    HugePageAggregator agg;
+    agg.update({{10, 100}});
+    agg.reset();
+    EXPECT_EQ(agg.count(0), 0u);
+    EXPECT_TRUE(agg.topHugePages(5).empty());
+}
+
+// --------------------------------------------------------------- IFMM
+
+IfmmConfig
+ifmmConfig(std::uint64_t cxl_pages = 64, std::uint64_t ddr_words = 256)
+{
+    IfmmConfig cfg;
+    cfg.cxl_base = 0;
+    cfg.cxl_bytes = cxl_pages * kPageBytes;
+    cfg.ddr_words = ddr_words;
+    return cfg;
+}
+
+TEST(Ifmm, MissThenHit)
+{
+    IfmmDirectory dir(ifmmConfig());
+    const auto first = dir.access(0x1000);
+    EXPECT_FALSE(first.ddr_hit);
+    EXPECT_GT(first.latency, 270u); // CXL + swap penalty.
+    const auto second = dir.access(0x1000);
+    EXPECT_TRUE(second.ddr_hit);
+    EXPECT_EQ(second.latency, 100u);
+}
+
+TEST(Ifmm, ConflictingWordsEvictEachOther)
+{
+    IfmmConfig cfg = ifmmConfig(64, 16); // Heavy aliasing.
+    IfmmDirectory dir(cfg);
+    const Addr a = 0;
+    const Addr b = 16 * kWordBytes; // Same slot (word 16 % 16 == 0).
+    dir.access(a);
+    EXPECT_TRUE(dir.access(a).ddr_hit);
+    dir.access(b); // Evicts a.
+    EXPECT_FALSE(dir.access(a).ddr_hit);
+}
+
+TEST(Ifmm, HitRatioHighForHotWords)
+{
+    IfmmDirectory dir(ifmmConfig(64, 4096));
+    Rng rng(3);
+    // 16 hot words take 80% of traffic.
+    std::vector<Addr> hot;
+    for (int i = 0; i < 16; ++i)
+        hot.push_back(rng.below(64 * kPageBytes) & ~(kWordBytes - 1));
+    for (int i = 0; i < 20'000; ++i) {
+        const Addr a = rng.chance(0.8)
+            ? hot[rng.below(16)]
+            : rng.below(64 * kPageBytes) & ~(kWordBytes - 1);
+        dir.access(a);
+    }
+    EXPECT_GT(dir.hitRatio(), 0.6);
+}
+
+TEST(Ifmm, AliasRatio)
+{
+    IfmmDirectory dir(ifmmConfig(64, 1024));
+    EXPECT_NEAR(dir.aliasRatio(), 64.0 * 64.0 / 1024.0, 1e-9);
+}
+
+TEST(Ifmm, ResetForgetsResidency)
+{
+    IfmmDirectory dir(ifmmConfig());
+    dir.access(0);
+    dir.reset();
+    EXPECT_FALSE(dir.access(0).ddr_hit);
+    EXPECT_EQ(dir.hits(), 0u);
+    EXPECT_EQ(dir.misses(), 1u);
+}
+
+} // namespace
+} // namespace m5

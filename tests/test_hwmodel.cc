@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the analytical area/power model: Table 4 reproduction within
+ * tolerance, feasibility rules, and scaling properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/area_power.hh"
+
+namespace m5 {
+namespace {
+
+/** One Table 4 row. */
+struct Table4Row
+{
+    std::uint64_t n;
+    double ss_area;
+    double cm_area;
+    double ss_power;
+    double cm_power;
+};
+
+// The paper's Table 4 (blank Space-Saving cells marked with -1).
+const Table4Row kTable4[] = {
+    {50, 3'649, 1'899, 0.7, 2.0},
+    {100, 7'323, 2'134, 1.3, 2.2},
+    {512, 36'374, 2'878, 6.4, 2.7},
+    {1024, 89'369, 3'714, 15.0, 3.2},
+    {2048, 179'625, 5'346, 29.9, 3.9},
+    {8192, -1, 13'509, -1, 7.9},
+    {32768, -1, 46'930, -1, 23.2},
+    {131072, -1, 180'530, -1, 83.8},
+};
+
+class Table4Fit : public ::testing::TestWithParam<Table4Row>
+{
+};
+
+TEST_P(Table4Fit, SpaceSavingAreaWithin20Pct)
+{
+    const auto &row = GetParam();
+    if (row.ss_area < 0)
+        return;
+    const auto est =
+        estimateTracker(TrackerKind::SpaceSavingTopK, row.n);
+    EXPECT_NEAR(est.area_um2, row.ss_area, row.ss_area * 0.20)
+        << "N=" << row.n;
+}
+
+TEST_P(Table4Fit, SpaceSavingPowerWithin20Pct)
+{
+    const auto &row = GetParam();
+    if (row.ss_power < 0)
+        return;
+    const auto est =
+        estimateTracker(TrackerKind::SpaceSavingTopK, row.n);
+    EXPECT_NEAR(est.power_mw, row.ss_power, row.ss_power * 0.20)
+        << "N=" << row.n;
+}
+
+TEST_P(Table4Fit, CmSketchAreaWithin15Pct)
+{
+    const auto &row = GetParam();
+    const auto est = estimateTracker(TrackerKind::CmSketchTopK, row.n);
+    EXPECT_NEAR(est.area_um2, row.cm_area, row.cm_area * 0.15)
+        << "N=" << row.n;
+}
+
+TEST_P(Table4Fit, CmSketchPowerWithin15Pct)
+{
+    const auto &row = GetParam();
+    const auto est = estimateTracker(TrackerKind::CmSketchTopK, row.n);
+    EXPECT_NEAR(est.power_mw, row.cm_power, row.cm_power * 0.15)
+        << "N=" << row.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, Table4Fit, ::testing::ValuesIn(kTable4),
+    [](const ::testing::TestParamInfo<Table4Row> &info) {
+        return "N" + std::to_string(info.param.n);
+    });
+
+TEST(HwModel, SpaceSavingAt2KCostsRoughly33xAreaOfCmSketch)
+{
+    // §7.1: "the Space-Saving top-K tracker consumes 33.6x and 7.6x more
+    // chip space and power than the CM-Sketch top-K tracker" at N = 2K.
+    const auto ss = estimateTracker(TrackerKind::SpaceSavingTopK, 2048);
+    const auto cm = estimateTracker(TrackerKind::CmSketchTopK, 2048);
+    EXPECT_NEAR(ss.area_um2 / cm.area_um2, 33.6, 33.6 * 0.2);
+    EXPECT_NEAR(ss.power_mw / cm.power_mw, 7.6, 7.6 * 0.2);
+}
+
+TEST(HwModel, FpgaFeasibilityLimits)
+{
+    EXPECT_EQ(fpgaMaxEntries(TrackerKind::SpaceSavingTopK), 50u);
+    EXPECT_EQ(fpgaMaxEntries(TrackerKind::CmSketchTopK), 128u * 1024u);
+    EXPECT_TRUE(
+        estimateTracker(TrackerKind::SpaceSavingTopK, 50).fpga_feasible);
+    EXPECT_FALSE(
+        estimateTracker(TrackerKind::SpaceSavingTopK, 51).fpga_feasible);
+    EXPECT_TRUE(estimateTracker(TrackerKind::CmSketchTopK, 128 * 1024)
+                    .fpga_feasible);
+}
+
+TEST(HwModel, AsicFeasibilityLimits)
+{
+    EXPECT_EQ(asicMaxEntries(TrackerKind::SpaceSavingTopK), 2048u);
+    EXPECT_TRUE(
+        estimateTracker(TrackerKind::SpaceSavingTopK, 2048).asic_feasible);
+    EXPECT_FALSE(
+        estimateTracker(TrackerKind::SpaceSavingTopK, 4096).asic_feasible);
+}
+
+TEST(HwModel, AreaMonotoneInEntries)
+{
+    for (auto kind :
+         {TrackerKind::SpaceSavingTopK, TrackerKind::CmSketchTopK}) {
+        double prev = 0.0;
+        for (std::uint64_t n = 32; n <= 8192; n *= 2) {
+            const auto est = estimateTracker(kind, n);
+            EXPECT_GT(est.area_um2, prev);
+            prev = est.area_um2;
+        }
+    }
+}
+
+TEST(HwModel, LargerKCostsMoreForCmSketch)
+{
+    const auto k5 = estimateTracker(TrackerKind::CmSketchTopK, 1024, 5);
+    const auto k64 = estimateTracker(TrackerKind::CmSketchTopK, 1024, 64);
+    EXPECT_GT(k64.area_um2, k5.area_um2);
+    EXPECT_GT(k64.power_mw, k5.power_mw);
+}
+
+TEST(HwModel, NarrowerCountersShrinkArea)
+{
+    const auto b16 =
+        estimateTracker(TrackerKind::CmSketchTopK, 32768, 5, 16);
+    const auto b8 =
+        estimateTracker(TrackerKind::CmSketchTopK, 32768, 5, 8);
+    EXPECT_LT(b8.area_um2, b16.area_um2);
+}
+
+TEST(HwModel, TrackerChipSpaceTinyVsDram)
+{
+    // §8: 32K entries account for ~0.01% of an 8GB module's die area.
+    // 8GB of DRAM at ~0.002 um^2/bit -> ~1.4e8 um^2 of cell area alone.
+    const auto est = estimateTracker(TrackerKind::CmSketchTopK, 32768);
+    EXPECT_LT(est.area_um2 / 1.4e8, 1e-3);
+}
+
+} // namespace
+} // namespace m5

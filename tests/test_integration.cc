@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end behaviours the paper's
+ * evaluation depends on, run on scaled-down systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cdf.hh"
+#include "analysis/ratio.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+constexpr double kTinyScale = 1.0 / 256.0;
+
+RunResult
+runTiny(const std::string &bench, PolicyKind policy,
+        std::uint64_t accesses = 600'000, bool record_only = false)
+{
+    SystemConfig cfg = makeConfig(bench, policy, kTinyScale, 11);
+    cfg.record_only = record_only;
+    TieredSystem sys(cfg);
+    return sys.run(accesses);
+}
+
+TEST(Integration, M5BeatsNoMigrationOnSkewedWorkload)
+{
+    const RunResult none = runTiny("mcf_r", PolicyKind::None);
+    const RunResult m5 = runTiny("mcf_r", PolicyKind::M5HptDriven);
+    EXPECT_GT(m5.steady_throughput, none.steady_throughput * 1.15);
+}
+
+TEST(Integration, M5RatioBeatsCpuDrivenOnSkewedWorkload)
+{
+    SystemConfig anb_cfg =
+        makeConfig("roms_r", PolicyKind::Anb, kTinyScale, 11);
+    anb_cfg.record_only = true;
+    TieredSystem anb_sys(anb_cfg);
+    const RunResult anb = anb_sys.run(600'000);
+    const double anb_ratio = accessCountRatio(anb_sys.pac(),
+                                              anb.hot_pages);
+
+    SystemConfig m5_cfg =
+        makeConfig("roms_r", PolicyKind::M5HptOnly, kTinyScale, 11);
+    m5_cfg.record_only = true;
+    TieredSystem m5_sys(m5_cfg);
+    const RunResult m5 = m5_sys.run(600'000);
+    const double m5_ratio = accessCountRatio(m5_sys.pac(), m5.hot_pages);
+
+    EXPECT_GT(m5_ratio, anb_ratio);
+    EXPECT_GT(m5_ratio, 0.5); // HPT tracks genuinely hot pages.
+}
+
+TEST(Integration, SparsityOrderingRedisVsMcf)
+{
+    // Figure 4: Redis pages are sparse, mcf pages dense.
+    auto sparsity_of = [](const std::string &bench) {
+        SystemConfig cfg =
+            makeConfig(bench, PolicyKind::None, kTinyScale, 5);
+        cfg.enable_wac = true;
+        TieredSystem sys(cfg);
+        sys.run(400'000);
+        return sparsityCdf(sys.wac());
+    };
+    const auto redis = sparsity_of("redis");
+    const auto mcf = sparsity_of("mcf_r");
+    // P(<= 16 words): high for Redis, low for mcf.
+    EXPECT_GT(redis[2], 0.6);
+    EXPECT_LT(mcf[2], 0.2);
+}
+
+TEST(Integration, MigrationKeepsTierCountsBalanced)
+{
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptDriven, kTinyScale, 3);
+    TieredSystem sys(cfg);
+    sys.run(500'000);
+    const auto &pt = sys.pageTable();
+    const auto ddr_frames = sys.memory().tier(kNodeDdr).framesTotal();
+    EXPECT_LE(pt.pagesOnNode(kNodeDdr), ddr_frames);
+    EXPECT_EQ(pt.pagesOnNode(kNodeDdr) + pt.pagesOnNode(kNodeCxl),
+              pt.numPages());
+}
+
+TEST(Integration, HintFaultPathWorksEndToEnd)
+{
+    const RunResult anb = runTiny("mcf_r", PolicyKind::Anb);
+    EXPECT_GT(anb.tlb.shootdowns, 0u);
+    EXPECT_GT(anb.migration.promoted, 0u);
+    EXPECT_GT(anb.kernel_time, 0u);
+}
+
+TEST(Integration, DamonConvergesAndPromotes)
+{
+    const RunResult damon = runTiny("mcf_r", PolicyKind::Damon, 1'500'000);
+    EXPECT_GT(damon.migration.promoted, 0u);
+    EXPECT_GT(damon.hot_pages.size(), 0u);
+}
+
+TEST(Integration, IdentificationOverheadOrdering)
+{
+    // §4.2: CPU-driven identification costs far more kernel cycles than
+    // M5's manager.
+    const RunResult anb =
+        runTiny("mcf_r", PolicyKind::Anb, 600'000, true);
+    const RunResult m5 =
+        runTiny("mcf_r", PolicyKind::M5HptOnly, 600'000, true);
+    EXPECT_GT(anb.kernel_ident_cycles, m5.kernel_ident_cycles);
+}
+
+TEST(Integration, BandwidthProportionalToPlacementOnUniform)
+{
+    // §5.2 validation: with random placement and no migration, the
+    // bw(DDR)/bw(CXL) ratio tracks nr_pages(DDR)/nr_pages(CXL).
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::None,
+                                  kTinyScale, 13);
+    cfg.initial_ddr_fraction = 1.0 / 3.0; // ratio 1:2.
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(500'000);
+    const double bw_ratio = static_cast<double>(r.steady_ddr_read_bytes) /
+                            static_cast<double>(r.steady_cxl_read_bytes);
+    const double page_ratio =
+        static_cast<double>(sys.pageTable().pagesOnNode(kNodeDdr)) /
+        static_cast<double>(sys.pageTable().pagesOnNode(kNodeCxl));
+    EXPECT_NEAR(bw_ratio, page_ratio, page_ratio * 0.25);
+}
+
+TEST(Integration, DemotionBeginsOnlyWhenDdrFull)
+{
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptOnly, kTinyScale, 17);
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(600'000);
+    if (r.migration.demoted > 0) {
+        // Any demotion implies DDR reached capacity at some point.
+        EXPECT_GE(r.migration.promoted,
+                  sys.memory().tier(kNodeDdr).framesTotal());
+    }
+}
+
+TEST(Integration, StableWorkloadReachesMigrationEquilibrium)
+{
+    // Once DDR holds the hot set of a static workload, churn should be a
+    // small fraction of total migrations.
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptOnly, kTinyScale, 19);
+    TieredSystem sys(cfg);
+    const RunResult half = sys.run(500'000);
+    const auto mid = half.migration.promoted;
+    const RunResult full = sys.run(500'000);
+    const auto late = full.migration.promoted - mid;
+    EXPECT_LT(late, std::max<std::uint64_t>(mid, 1));
+}
+
+TEST(Integration, MultiInstanceScalingDegradesTrackerAccuracy)
+{
+    // Figure 11's mechanism: more co-running processes -> higher address
+    // cardinality -> more CM-Sketch collisions -> lower top-K quality.
+    auto ratio_for = [](std::size_t instances) {
+        SystemConfig cfg =
+            makeConfig("mcf_r", PolicyKind::M5HptOnly, kTinyScale, 23);
+        cfg.instances = instances;
+        cfg.record_only = true;
+        cfg.hpt_cfg.entries = 512; // Small sketch to provoke collisions.
+        TieredSystem sys(cfg);
+        const RunResult r = sys.run(600'000);
+        return accessCountRatio(sys.pac(), r.hot_pages);
+    };
+    const double one = ratio_for(1);
+    const double eight = ratio_for(8);
+    EXPECT_GE(one, eight * 0.95); // Graceful, monotone-ish degradation.
+}
+
+TEST(Integration, RuntimeEqualsAppPlusKernel)
+{
+    for (auto policy : {PolicyKind::None, PolicyKind::Anb,
+                        PolicyKind::Damon, PolicyKind::M5HptDriven}) {
+        const RunResult r = runTiny("mcf_r", policy, 300'000);
+        EXPECT_EQ(r.runtime, r.app_time + r.kernel_time)
+            << policyKindName(policy);
+    }
+}
+
+} // namespace
+} // namespace m5

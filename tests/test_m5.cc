@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the M5-manager components: Monitor, Nominator, Elector,
+ * Promoter, and the assembled M5Manager daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "m5/manager.hh"
+#include "mem/memsys.hh"
+#include "os/frame_alloc.hh"
+#include "os/migration.hh"
+
+namespace m5 {
+namespace {
+
+/** Shared fixture: 8-frame DDR, 32-page footprint in CXL. */
+class M5Test : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kPages = 32;
+
+    M5Test()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 8 * kPageBytes;
+        p.cxl_bytes = 64 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(kPages);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(kPages);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        monitor = std::make_unique<Monitor>(*mem, *pt);
+        for (Vpn v = 0; v < kPages; ++v)
+            pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
+    }
+
+    Addr cxlAddr(Vpn vpn, unsigned word = 0) const
+    {
+        return pageBase(pt->pte(vpn).pfn) + word * kWordBytes;
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+    std::unique_ptr<Monitor> monitor;
+};
+
+TEST_F(M5Test, MonitorNrPages)
+{
+    monitor->sample(0);
+    EXPECT_EQ(monitor->nrPages(kNodeCxl), kPages);
+    EXPECT_EQ(monitor->nrPages(kNodeDdr), 0u);
+}
+
+TEST_F(M5Test, MonitorBandwidthDeltas)
+{
+    monitor->sample(0);
+    for (int i = 0; i < 10; ++i)
+        mem->access(cxlAddr(0), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    EXPECT_NEAR(monitor->bw(kNodeCxl), 10.0 * kWordBytes, 1e-6);
+    EXPECT_EQ(monitor->bw(kNodeDdr), 0.0);
+    EXPECT_NEAR(monitor->bwTot(), 10.0 * kWordBytes, 1e-6);
+}
+
+TEST_F(M5Test, MonitorIgnoresWritesForBandwidth)
+{
+    monitor->sample(0);
+    mem->access(cxlAddr(0), true, 0);
+    monitor->sample(secondsToTicks(1.0));
+    EXPECT_EQ(monitor->bw(kNodeCxl), 0.0);
+}
+
+TEST_F(M5Test, MonitorBwDensityPerPage)
+{
+    monitor->sample(0);
+    for (int i = 0; i < 32; ++i)
+        mem->access(cxlAddr(0), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    EXPECT_NEAR(monitor->bwDen(kNodeCxl),
+                32.0 * kWordBytes / kPages, 1e-6);
+    EXPECT_EQ(monitor->bwDen(kNodeDdr), 0.0); // No pages: density 0.
+}
+
+TEST_F(M5Test, MonitorRelBwDen)
+{
+    monitor->sample(0);
+    for (int i = 0; i < 10; ++i)
+        mem->access(cxlAddr(0), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    EXPECT_NEAR(monitor->relBwDen(kNodeCxl), 1.0 / kPages, 1e-9);
+}
+
+TEST_F(M5Test, MonitorFreeFrames)
+{
+    EXPECT_EQ(monitor->freeFrames(kNodeDdr), 8u);
+    engine->promote(0, 0);
+    EXPECT_EQ(monitor->freeFrames(kNodeDdr), 7u);
+}
+
+TEST_F(M5Test, NominatorHptOnlyRanksByCount)
+{
+    Nominator nom(NominatorKind::HptOnly, *pt);
+    nom.updateFromHpt({{pt->pte(1).pfn, 5},
+                       {pt->pte(2).pfn, 50},
+                       {pt->pte(3).pfn, 20}});
+    auto picks = nom.nominate(2);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 2u);
+    EXPECT_EQ(picks[1], 3u);
+}
+
+TEST_F(M5Test, NominatorHptOnlyIgnoresHwt)
+{
+    Nominator nom(NominatorKind::HptOnly, *pt);
+    nom.updateFromHwt({{wordOf(cxlAddr(1)), 99}});
+    EXPECT_TRUE(nom.nominate(10).empty());
+}
+
+TEST_F(M5Test, NominatorHptDrivenPrefersDense)
+{
+    Nominator nom(NominatorKind::HptDriven, *pt);
+    nom.updateFromHpt({{pt->pte(1).pfn, 100},
+                       {pt->pte(2).pfn, 100}});
+    // Three hot words land in page 2, one in page 1.
+    nom.updateFromHwt({{wordOf(cxlAddr(2, 0)), 9},
+                       {wordOf(cxlAddr(2, 1)), 9},
+                       {wordOf(cxlAddr(2, 2)), 9},
+                       {wordOf(cxlAddr(1, 0)), 9}});
+    auto picks = nom.nominate(2);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 2u); // Denser hot page first (Guideline 3).
+}
+
+TEST_F(M5Test, NominatorHptDrivenIgnoresWordsWithoutHptEntry)
+{
+    Nominator nom(NominatorKind::HptDriven, *pt);
+    nom.updateFromHwt({{wordOf(cxlAddr(5)), 9}});
+    EXPECT_TRUE(nom.nominate(10).empty());
+}
+
+TEST_F(M5Test, NominatorHwtDrivenBuildsFromWords)
+{
+    Nominator nom(NominatorKind::HwtDriven, *pt);
+    nom.updateFromHwt({{wordOf(cxlAddr(4, 0)), 9},
+                       {wordOf(cxlAddr(4, 7)), 9},
+                       {wordOf(cxlAddr(6, 1)), 9}});
+    auto hpa = nom.hpa();
+    ASSERT_EQ(hpa.size(), 2u);
+    auto picks = nom.nominate(2);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 4u); // Two hot words beat one (§5.2 mask count).
+}
+
+TEST_F(M5Test, NominatorHwtDrivenIgnoresHpt)
+{
+    Nominator nom(NominatorKind::HwtDriven, *pt);
+    nom.updateFromHpt({{pt->pte(1).pfn, 100}});
+    EXPECT_TRUE(nom.nominate(10).empty());
+}
+
+TEST_F(M5Test, NominatorMaskBitsMatchWordIndices)
+{
+    Nominator nom(NominatorKind::HwtDriven, *pt);
+    nom.updateFromHwt({{wordOf(cxlAddr(4, 3)), 9},
+                       {wordOf(cxlAddr(4, 63)), 9}});
+    auto hpa = nom.hpa();
+    ASSERT_EQ(hpa.size(), 1u);
+    EXPECT_EQ(hpa[0].mask, (1ULL << 3) | (1ULL << 63));
+}
+
+TEST_F(M5Test, NominatorDropsStaleFrames)
+{
+    Nominator nom(NominatorKind::HptOnly, *pt);
+    const Pfn old_pfn = pt->pte(1).pfn;
+    nom.updateFromHpt({{old_pfn, 100}});
+    engine->promote(1, 0); // Frame 'old_pfn' now unmapped.
+    auto picks = nom.nominate(10);
+    EXPECT_TRUE(picks.empty());
+    EXPECT_TRUE(nom.hpa().empty()); // Stale entry purged, not stuck.
+}
+
+TEST_F(M5Test, NominatorCapacityEvictsColdest)
+{
+    Nominator nom(NominatorKind::HptOnly, *pt, 2);
+    nom.updateFromHpt({{pt->pte(1).pfn, 10}});
+    nom.updateFromHpt({{pt->pte(2).pfn, 30}});
+    nom.updateFromHpt({{pt->pte(3).pfn, 20}}); // Evicts pfn of vpn 1.
+    auto picks = nom.nominate(3);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 2u);
+    EXPECT_EQ(picks[1], 3u);
+}
+
+TEST_F(M5Test, NominatorKindNames)
+{
+    EXPECT_EQ(nominatorKindName(NominatorKind::HptOnly), "HPT");
+    EXPECT_EQ(nominatorKindName(NominatorKind::HwtDriven), "HWT");
+    EXPECT_EQ(nominatorKindName(NominatorKind::HptDriven), "HPT+HWT");
+}
+
+TEST_F(M5Test, ElectorPeriodScalesWithDensityRatio)
+{
+    ElectorConfig cfg;
+    cfg.f_default = 1000.0;
+    cfg.fscale_exponent = 2.0;
+    cfg.min_period = 1;
+    cfg.max_period = secondsToTicks(10.0);
+    Elector elector(cfg);
+
+    // Fill DDR first (vpns 0..7) so the bootstrap path is off, then build
+    // a state where bw_den(CXL)/bw_den(DDR) = 2.
+    for (Vpn v = 0; v < 8; ++v)
+        engine->promote(v, 0);
+    ASSERT_EQ(monitor->freeFrames(kNodeDdr), 0u);
+    monitor->sample(0);
+    // DDR: 8 pages x 16 reads -> den 16 words/page; CXL: 24 pages x 32
+    // reads -> den 32 words/page.
+    for (Vpn v = 0; v < 8; ++v)
+        for (int i = 0; i < 16; ++i)
+            mem->access(pageBase(pt->pte(v).pfn), false, 0);
+    for (Vpn v = 8; v < kPages; ++v)
+        for (int i = 0; i < 32; ++i)
+            mem->access(cxlAddr(v), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    const double x = monitor->bwDen(kNodeCxl) / monitor->bwDen(kNodeDdr);
+    ASSERT_NEAR(x, 2.0, 0.01);
+    const auto d = elector.evaluate(*monitor);
+    // T = 1 / (x^2 * f_default) = 1 / 4000 s = 250us.
+    EXPECT_NEAR(static_cast<double>(d.period), 250e3, 250e3 * 0.05);
+}
+
+TEST_F(M5Test, ElectorBootstrapUsesMinPeriodAndMigrates)
+{
+    ElectorConfig cfg;
+    Elector elector(cfg);
+    monitor->sample(0);
+    monitor->sample(msToTicks(1.0));
+    const auto d = elector.evaluate(*monitor);
+    EXPECT_TRUE(d.migrate); // DDR empty: bootstrap fill.
+    EXPECT_EQ(d.period, cfg.min_period);
+}
+
+TEST_F(M5Test, ElectorGateBlocksWhenDensityShareFalls)
+{
+    ElectorConfig cfg;
+    Elector elector(cfg);
+    // Fill DDR completely so the bootstrap path is off.
+    for (Vpn v = 0; v < 8; ++v)
+        engine->promote(v, 0);
+    monitor->sample(0);
+    for (int i = 0; i < 100; ++i)
+        mem->access(pageBase(pt->pte(0).pfn), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    auto first = elector.evaluate(*monitor); // rel > prev(-1): migrate.
+    EXPECT_TRUE(first.migrate);
+    // Next round: DDR bandwidth share collapses.
+    for (int i = 0; i < 100; ++i)
+        mem->access(cxlAddr(10), false, 0);
+    monitor->sample(secondsToTicks(2.0));
+    auto second = elector.evaluate(*monitor);
+    EXPECT_FALSE(second.migrate);
+}
+
+TEST_F(M5Test, ElectorCustomFscale)
+{
+    ElectorConfig cfg;
+    cfg.f_default = 1.0;
+    cfg.min_period = 1;
+    cfg.max_period = secondsToTicks(100.0);
+    bool called = false;
+    Elector elector(cfg, [&](double) {
+        called = true;
+        return 1.0;
+    });
+    for (Vpn v = 0; v < 8; ++v)
+        engine->promote(v, 0);
+    monitor->sample(0);
+    monitor->sample(secondsToTicks(1.0));
+    const auto d = elector.evaluate(*monitor);
+    EXPECT_TRUE(called);
+    EXPECT_EQ(d.period, secondsToTicks(1.0));
+}
+
+TEST_F(M5Test, PromoterRejectsPinned)
+{
+    Promoter prom(*pt, *engine);
+    pt->pte(0).pinned = true;
+    prom.promote({0, 1}, 0);
+    EXPECT_EQ(prom.stats().requested, 2u);
+    EXPECT_EQ(prom.stats().rejected, 1u);
+    EXPECT_EQ(prom.stats().accepted, 1u);
+    EXPECT_EQ(pt->pte(1).node, kNodeDdr);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+}
+
+TEST_F(M5Test, ManagerWakeQueriesAndResetsTrackers)
+{
+    CxlControllerConfig ccfg;
+    TrackerConfig t;
+    t.entries = 1024;
+    t.k = 8;
+    ccfg.hpt = t;
+    ccfg.hwt = t;
+    CxlController ctrl(ccfg);
+    mem->attachObserver(kNodeCxl, ctrl.observer());
+
+    const Pfn hot_pfn = pt->pte(3).pfn; // Before any migration.
+    for (int i = 0; i < 50; ++i)
+        mem->access(cxlAddr(3), false, 0);
+
+    M5Config mcfg;
+    mcfg.nominator = NominatorKind::HptDriven;
+    mcfg.migrate = false; // Keep the trackers quiet after the query.
+    M5Manager mgr(mcfg, ctrl, *monitor, *pt, *engine, ledger);
+    const Tick busy = mgr.wake(msToTicks(1.0));
+    EXPECT_GT(busy, 0u);
+    EXPECT_EQ(mgr.wakeups(), 1u);
+    EXPECT_EQ(ctrl.hpt().observed(), 0u); // Reset after query.
+    EXPECT_GE(mgr.hotPages().size(), 1u);
+    EXPECT_EQ(mgr.hotPages().pages()[0], hot_pfn);
+    EXPECT_GT(mgr.nextWake(), msToTicks(1.0));
+    EXPECT_GT(ledger.category(KernelWork::ManagerUser), 0u);
+}
+
+TEST_F(M5Test, ManagerMigratesHotPage)
+{
+    CxlControllerConfig ccfg;
+    TrackerConfig t;
+    t.entries = 1024;
+    t.k = 8;
+    ccfg.hpt = t;
+    CxlController ctrl(ccfg);
+    mem->attachObserver(kNodeCxl, ctrl.observer());
+    for (int i = 0; i < 50; ++i)
+        mem->access(cxlAddr(3), false, 0);
+
+    M5Config mcfg;
+    mcfg.nominator = NominatorKind::HptOnly;
+    M5Manager mgr(mcfg, ctrl, *monitor, *pt, *engine, ledger);
+    mgr.wake(msToTicks(1.0));
+    EXPECT_EQ(pt->pte(3).node, kNodeDdr);
+}
+
+TEST_F(M5Test, ManagerRecordOnlyMode)
+{
+    CxlControllerConfig ccfg;
+    TrackerConfig t;
+    t.entries = 1024;
+    t.k = 8;
+    ccfg.hpt = t;
+    CxlController ctrl(ccfg);
+    mem->attachObserver(kNodeCxl, ctrl.observer());
+    for (int i = 0; i < 50; ++i)
+        mem->access(cxlAddr(3), false, 0);
+
+    M5Config mcfg;
+    mcfg.nominator = NominatorKind::HptOnly;
+    mcfg.migrate = false;
+    M5Manager mgr(mcfg, ctrl, *monitor, *pt, *engine, ledger);
+    mgr.wake(msToTicks(1.0));
+    EXPECT_EQ(pt->pte(3).node, kNodeCxl);
+    EXPECT_GE(mgr.hotPages().size(), 1u);
+}
+
+TEST_F(M5Test, ManagerName)
+{
+    CxlControllerConfig ccfg;
+    TrackerConfig t;
+    ccfg.hpt = t;
+    ccfg.hwt = t;
+    CxlController ctrl(ccfg);
+    M5Config mcfg;
+    mcfg.nominator = NominatorKind::HptDriven;
+    M5Manager mgr(mcfg, ctrl, *monitor, *pt, *engine, ledger);
+    EXPECT_EQ(mgr.name(), "M5(HPT+HWT)");
+}
+
+} // namespace
+} // namespace m5

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Unit tests for src/os: page table, frame allocator, kernel ledger,
+ * MGLRU, and the migration engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "mem/memsys.hh"
+#include "os/costs.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_ledger.hh"
+#include "os/mglru.hh"
+#include "os/migration.hh"
+#include "os/page_table.hh"
+
+namespace m5 {
+namespace {
+
+TEST(PageTable, MapAndWalk)
+{
+    PageTable pt(16);
+    pt.map(3, 100, kNodeCxl);
+    const Pte &e = pt.pte(3);
+    EXPECT_TRUE(e.valid);
+    EXPECT_TRUE(e.present);
+    EXPECT_FALSE(e.accessed);
+    EXPECT_EQ(pt.walk(3), 100u);
+    EXPECT_TRUE(pt.pte(3).accessed);
+}
+
+TEST(PageTable, ReverseMap)
+{
+    PageTable pt(16);
+    pt.map(3, 100, kNodeCxl);
+    EXPECT_EQ(pt.vpnOfPfn(100), 3u);
+    EXPECT_EQ(pt.vpnOfPfn(101), 16u); // numPages() sentinel.
+}
+
+TEST(PageTable, RemapMovesNodesAndRmap)
+{
+    PageTable pt(16);
+    pt.map(3, 100, kNodeCxl);
+    pt.remap(3, 7, kNodeDdr);
+    EXPECT_EQ(pt.pte(3).pfn, 7u);
+    EXPECT_EQ(pt.pte(3).node, kNodeDdr);
+    EXPECT_EQ(pt.vpnOfPfn(7), 3u);
+    EXPECT_EQ(pt.vpnOfPfn(100), 16u);
+}
+
+TEST(PageTable, NodeResidencyCounts)
+{
+    PageTable pt(8);
+    pt.map(0, 10, kNodeCxl);
+    pt.map(1, 11, kNodeCxl);
+    pt.map(2, 3, kNodeDdr);
+    EXPECT_EQ(pt.pagesOnNode(kNodeCxl), 2u);
+    EXPECT_EQ(pt.pagesOnNode(kNodeDdr), 1u);
+    pt.remap(0, 4, kNodeDdr);
+    EXPECT_EQ(pt.pagesOnNode(kNodeCxl), 1u);
+    EXPECT_EQ(pt.pagesOnNode(kNodeDdr), 2u);
+}
+
+TEST(FrameAlloc, AllocatesDistinctFrames)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 4 * kPageBytes;
+    p.cxl_bytes = 4 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    FrameAllocator alloc(*mem);
+    EXPECT_EQ(alloc.totalFrames(kNodeDdr), 4u);
+    auto a = alloc.allocate(kNodeDdr);
+    auto b = alloc.allocate(kNodeDdr);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(alloc.usedFrames(kNodeDdr), 2u);
+}
+
+TEST(FrameAlloc, ExhaustionReturnsNullopt)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 2 * kPageBytes;
+    p.cxl_bytes = 2 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    FrameAllocator alloc(*mem);
+    EXPECT_TRUE(alloc.allocate(kNodeDdr).has_value());
+    EXPECT_TRUE(alloc.allocate(kNodeDdr).has_value());
+    EXPECT_FALSE(alloc.allocate(kNodeDdr).has_value());
+}
+
+TEST(FrameAlloc, FreeReturnsCapacity)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 2 * kPageBytes;
+    p.cxl_bytes = 2 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    FrameAllocator alloc(*mem);
+    auto a = alloc.allocate(kNodeCxl);
+    alloc.free(kNodeCxl, *a);
+    EXPECT_EQ(alloc.freeFrames(kNodeCxl), 2u);
+}
+
+TEST(FrameAlloc, CxlFramesInCxlRange)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 4 * kPageBytes;
+    p.cxl_bytes = 4 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    FrameAllocator alloc(*mem);
+    auto f = alloc.allocate(kNodeCxl);
+    ASSERT_TRUE(f);
+    EXPECT_TRUE(mem->tier(kNodeCxl).owns(pageBase(*f)));
+}
+
+TEST(KernelLedger, ChargesByCategory)
+{
+    KernelLedger l;
+    l.charge(KernelWork::PteScan, 100);
+    l.charge(KernelWork::HintFault, 50);
+    l.charge(KernelWork::Migration, 30);
+    l.charge(KernelWork::Baseline, 1000);
+    EXPECT_EQ(l.category(KernelWork::PteScan), 100u);
+    EXPECT_EQ(l.total(), 1180u);
+    EXPECT_EQ(l.totalOverhead(), 180u);
+    EXPECT_EQ(l.identificationCycles(), 150u);
+    l.reset();
+    EXPECT_EQ(l.total(), 0u);
+}
+
+TEST(KernelLedger, CategoryNames)
+{
+    EXPECT_EQ(kernelWorkName(KernelWork::PteScan), "pte-scan");
+    EXPECT_EQ(kernelWorkName(KernelWork::Migration), "migration");
+}
+
+TEST(Costs, CycleConversionRoundTrip)
+{
+    EXPECT_EQ(cyclesToNs(2100), 1000u);
+    EXPECT_EQ(nsToCycles(1000), 2100u);
+}
+
+TEST(MgLru, InsertAndVictim)
+{
+    MgLru lru(16);
+    lru.insert(1);
+    lru.insert(2);
+    lru.insert(3);
+    EXPECT_EQ(lru.size(), 3u);
+    // Without aging all are in the youngest gen; the tail (first
+    // inserted) is picked first.
+    auto v = lru.pickVictims(1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(MgLru, TouchProtects)
+{
+    MgLru lru(16);
+    lru.insert(1);
+    lru.insert(2);
+    lru.age();
+    lru.touch(1); // Page 1 back to the youngest generation.
+    auto v = lru.pickVictims(1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 2u);
+}
+
+TEST(MgLru, AgingDemotesGenerations)
+{
+    MgLru lru(16, 4);
+    lru.insert(5);
+    EXPECT_EQ(lru.generationOf(5), 0u);
+    lru.age();
+    EXPECT_EQ(lru.generationOf(5), 1u);
+    lru.age();
+    EXPECT_EQ(lru.generationOf(5), 2u);
+    lru.age();
+    EXPECT_EQ(lru.generationOf(5), 3u);
+    lru.age(); // Survivors of the oldest fold into the (new) oldest.
+    EXPECT_EQ(lru.generationOf(5), 3u);
+}
+
+TEST(MgLru, VictimOrderOldestFirst)
+{
+    MgLru lru(16, 4);
+    lru.insert(1);
+    lru.age();
+    lru.insert(2); // Younger than 1.
+    auto v = lru.pickVictims(2);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 1u);
+    EXPECT_EQ(v[1], 2u);
+}
+
+TEST(MgLru, RemoveUntracks)
+{
+    MgLru lru(8);
+    lru.insert(3);
+    EXPECT_TRUE(lru.contains(3));
+    lru.remove(3);
+    EXPECT_FALSE(lru.contains(3));
+    EXPECT_TRUE(lru.pickVictims(1).empty());
+}
+
+TEST(MgLru, TouchUntrackedIsNoop)
+{
+    MgLru lru(8);
+    lru.touch(3);
+    EXPECT_FALSE(lru.contains(3));
+}
+
+TEST(MgLru, PickMoreThanSize)
+{
+    MgLru lru(8);
+    lru.insert(1);
+    lru.insert(2);
+    auto v = lru.pickVictims(10);
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(MgLru, ManyOperationsStayConsistent)
+{
+    MgLru lru(256, 4);
+    for (Vpn v = 0; v < 256; ++v)
+        lru.insert(v);
+    for (int round = 0; round < 10; ++round) {
+        lru.age();
+        for (Vpn v = 0; v < 256; v += 3)
+            lru.touch(v);
+    }
+    auto victims = lru.pickVictims(64);
+    EXPECT_EQ(victims.size(), 64u);
+    // Untouched pages (v % 3 != 0) must be evicted before touched ones.
+    for (Vpn v : victims)
+        EXPECT_NE(v % 3, 0u) << "touched page " << v << " evicted early";
+}
+
+/** Migration engine fixture: 4-frame DDR, 16-frame CXL. */
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    MigrationTest()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 4 * kPageBytes;
+        p.cxl_bytes = 16 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(12);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(12);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        // Map 12 pages, all in CXL.
+        for (Vpn v = 0; v < 12; ++v) {
+            auto f = alloc->allocate(kNodeCxl);
+            pt->map(v, *f, kNodeCxl);
+        }
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+};
+
+TEST_F(MigrationTest, PromoteMovesToDdr)
+{
+    const Tick t = engine->promote(0, 0);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_TRUE(mem->tier(kNodeDdr).owns(pageBase(pt->pte(0).pfn)));
+    EXPECT_EQ(engine->stats().promoted, 1u);
+    EXPECT_TRUE(mglru->contains(0));
+}
+
+TEST_F(MigrationTest, PromoteFreesSourceFrame)
+{
+    const std::size_t cxl_used_before = alloc->usedFrames(kNodeCxl);
+    engine->promote(0, 0);
+    EXPECT_EQ(alloc->usedFrames(kNodeCxl), cxl_used_before - 1);
+}
+
+TEST_F(MigrationTest, PromotePinnedRejected)
+{
+    pt->pte(0).pinned = true;
+    EXPECT_EQ(engine->promote(0, 0), 0u);
+    EXPECT_EQ(engine->stats().rejected_pinned, 1u);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+}
+
+TEST_F(MigrationTest, PromoteDdrResidentRejected)
+{
+    engine->promote(0, 0);
+    EXPECT_EQ(engine->promote(0, 0), 0u);
+    EXPECT_EQ(engine->stats().rejected_not_cxl, 1u);
+}
+
+TEST_F(MigrationTest, FullDdrTriggersDemotion)
+{
+    for (Vpn v = 0; v < 4; ++v)
+        engine->promote(v, 0);
+    EXPECT_EQ(alloc->freeFrames(kNodeDdr), 0u);
+    engine->promote(4, 0);
+    EXPECT_EQ(engine->stats().demoted, 1u);
+    EXPECT_EQ(pt->pte(4).node, kNodeDdr);
+    // Victim was the LRU page (vpn 0) and is back in CXL.
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_EQ(pt->pagesOnNode(kNodeDdr), 4u);
+}
+
+TEST_F(MigrationTest, MigrationShootsDownTlb)
+{
+    Pfn pfn;
+    tlb->fill(0, pt->pte(0).pfn);
+    engine->promote(0, 0);
+    EXPECT_FALSE(tlb->lookup(0, pfn));
+}
+
+TEST_F(MigrationTest, MigrationFlushesCachedLines)
+{
+    const Addr line = pageBase(pt->pte(0).pfn);
+    llc->access(line, true);
+    engine->promote(0, 0);
+    EXPECT_FALSE(llc->access(line, false).hit); // Old PA invalidated.
+}
+
+TEST_F(MigrationTest, CopyTrafficVisibleToTiers)
+{
+    const auto cxl_reads_before =
+        mem->tier(kNodeCxl).counters().read_bytes;
+    const auto ddr_writes_before =
+        mem->tier(kNodeDdr).counters().write_bytes;
+    engine->promote(0, 0);
+    EXPECT_EQ(mem->tier(kNodeCxl).counters().read_bytes - cxl_reads_before,
+              kPageBytes);
+    EXPECT_EQ(mem->tier(kNodeDdr).counters().write_bytes -
+              ddr_writes_before, kPageBytes);
+}
+
+TEST_F(MigrationTest, PromoteBatchCounts)
+{
+    const Tick t = engine->promoteBatch({0, 1, 2}, 0);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(engine->stats().promoted, 3u);
+    EXPECT_EQ(pt->pagesOnNode(kNodeDdr), 3u);
+}
+
+TEST_F(MigrationTest, DemoteExplicit)
+{
+    engine->promote(0, 0);
+    const Tick t = engine->demote(0, 0);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_FALSE(mglru->contains(0));
+}
+
+TEST_F(MigrationTest, MigrationChargesLedger)
+{
+    engine->promote(0, 0);
+    EXPECT_GT(ledger.category(KernelWork::Migration), 0u);
+    EXPECT_GT(ledger.category(KernelWork::TlbShootdown), 0u);
+}
+
+TEST_F(MigrationTest, CanPromoteChecks)
+{
+    EXPECT_TRUE(engine->canPromote(0));
+    pt->pte(0).pinned = true;
+    EXPECT_FALSE(engine->canPromote(0));
+    engine->promote(1, 0);
+    EXPECT_FALSE(engine->canPromote(1));
+}
+
+TEST_F(MigrationTest, DdrFreeFramesTracks)
+{
+    EXPECT_EQ(engine->ddrFreeFrames(), 4u);
+    engine->promote(0, 0);
+    EXPECT_EQ(engine->ddrFreeFrames(), 3u);
+}
+
+TEST_F(MigrationTest, CostRoughly54usAtFullScale)
+{
+    // With the unscaled default costs, one migration should take on the
+    // order of the paper's ~54us (§7.2).
+    const Tick t = engine->promote(0, 0);
+    EXPECT_GT(t, usToTicks(20.0));
+    EXPECT_LT(t, usToTicks(100.0));
+}
+
+} // namespace
+} // namespace m5

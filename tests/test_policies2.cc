@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Second round of policy-mechanism tests: the behaviours introduced
+ * during calibration — ANB's equilibrium backoff, DAMON's spread DAMOS
+ * plan and quota damping, the Elector's hysteresis margin, the CFS-style
+ * kernel-debt draining, and the open-loop latency replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "m5/elector.hh"
+#include "mem/memsys.hh"
+#include "os/anb.hh"
+#include "os/damon.hh"
+#include "os/frame_alloc.hh"
+#include "os/migration.hh"
+#include "sim/core.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+class PolicyRig : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kPages = 128;
+
+    PolicyRig()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 16 * kPageBytes;
+        p.cxl_bytes = 256 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(kPages);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(kPages);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        monitor = std::make_unique<Monitor>(*mem, *pt);
+        for (Vpn v = 0; v < kPages; ++v)
+            pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+    std::unique_ptr<Monitor> monitor;
+};
+
+TEST_F(PolicyRig, AnbBacksOffHardOnceDdrFull)
+{
+    // Fill DDR completely.
+    for (Vpn v = 0; v < 16; ++v)
+        engine->promote(v, 0);
+    ASSERT_EQ(engine->ddrFreeFrames(), 0u);
+    AnbConfig cfg;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    const Tick before = anb.scanPeriod();
+    anb.wake(anb.nextWake());
+    EXPECT_GE(anb.scanPeriod(), before * 4);
+}
+
+TEST_F(PolicyRig, AnbScansFastWhileDdrHasRoom)
+{
+    AnbConfig cfg;
+    cfg.scan_chunk_pages = 64;
+    AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
+    // Lots of faults since the last scan, DDR empty: stay fast or speed
+    // up (never the x4 equilibrium backoff).
+    const Tick before = anb.scanPeriod();
+    for (Vpn v = 0; v < 16; ++v)
+        anb.onHintFault(v, usToTicks(5.0));
+    anb.wake(anb.nextWake());
+    EXPECT_LE(anb.scanPeriod(), before);
+}
+
+TEST_F(PolicyRig, DamonPlanAppliedInChunksNotBursts)
+{
+    DamonConfig cfg;
+    cfg.min_regions = 4;
+    cfg.max_regions = 4;
+    cfg.sample_interval = usToTicks(100.0);
+    cfg.aggregation_interval = msToTicks(1.0); // 10 samples/agg.
+    cfg.hot_access_fraction = 0.1;
+    cfg.promote_quota_pages = 40;
+    DamonDaemon damon(cfg, *pt, ledger, *engine);
+    // Make everything look hot so the plan fills.
+    Tick now = damon.nextWake();
+    std::uint64_t max_promos_per_wake = 0;
+    std::uint64_t last = 0;
+    for (int i = 0; i < 60; ++i) {
+        for (Vpn v = 0; v < kPages; ++v)
+            pt->pte(v).accessed = true;
+        damon.wake(now);
+        now = damon.nextWake();
+        const std::uint64_t promoted = engine->stats().promoted;
+        max_promos_per_wake =
+            std::max(max_promos_per_wake, promoted - last);
+        last = promoted;
+    }
+    EXPECT_GT(engine->stats().promoted, 0u);
+    // Chunked application: never more than quota/samples (= 4) + slack.
+    EXPECT_LE(max_promos_per_wake, 8u);
+}
+
+TEST_F(PolicyRig, ElectorHysteresisBlocksSmallImprovements)
+{
+    ElectorConfig cfg;
+    cfg.improvement_margin = 0.10;
+    Elector elector(cfg);
+    // Fill DDR so bootstrap is off.
+    for (Vpn v = 0; v < 16; ++v)
+        engine->promote(v, 0);
+
+    // Round 1: establish a baseline rel_bw_den(DDR).
+    monitor->sample(0);
+    for (int i = 0; i < 1000; ++i)
+        mem->access(pageBase(pt->pte(0).pfn), false, 0);
+    for (int i = 0; i < 1000; ++i)
+        mem->access(pageBase(pt->pte(20).pfn), false, 0);
+    monitor->sample(secondsToTicks(1.0));
+    elector.evaluate(*monitor);
+
+    // Round 2: ~4% better DDR share — below the 10% margin.
+    monitor->sample(secondsToTicks(1.0));
+    for (int i = 0; i < 1040; ++i)
+        mem->access(pageBase(pt->pte(0).pfn), false, 0);
+    for (int i = 0; i < 1000; ++i)
+        mem->access(pageBase(pt->pte(20).pfn), false, 0);
+    monitor->sample(secondsToTicks(2.0));
+    const auto d = elector.evaluate(*monitor);
+    EXPECT_FALSE(d.migrate);
+}
+
+TEST(KernelDebt, DaemonWorkSpreadsAcrossAccesses)
+{
+    // A system with DAMON: kernel time accrues gradually (debt), so the
+    // maximum single-access time jump stays bounded by the quantum plus
+    // one memory access.
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::Damon,
+                                  1.0 / 256.0, 3);
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(200'000);
+    EXPECT_GT(r.kernel_time, 0u);
+    // Daemon work exists but is paid out at <= quantum per access on
+    // average: kernel_time <= accesses * quantum + synchronous faults.
+    const Tick debt_budget =
+        r.accesses * cfg.kernel_quantum_per_access;
+    EXPECT_LE(r.kernel_time, debt_budget + r.runtime / 2);
+}
+
+TEST(OpenLoop, QuietServerMatchesService)
+{
+    CpuCore core(2);
+    for (int i = 0; i < 1000; ++i) {
+        core.advanceApp(50);
+        core.onAccessRetired();
+        core.advanceApp(50);
+        core.onAccessRetired();
+    }
+    // Uniform 100ns services at 50% utilization: no queueing.
+    auto open = core.openLoopLatencies(0.5);
+    EXPECT_NEAR(open.percentile(99), 100.0, 1.0);
+}
+
+TEST(OpenLoop, BurstQueuesFollowers)
+{
+    CpuCore core(1);
+    // 99 fast requests, one 100x slower, then more fast ones.
+    for (int i = 0; i < 200; ++i) {
+        core.advanceApp(i == 100 ? 10'000 : 100);
+        core.onAccessRetired();
+    }
+    auto open = core.openLoopLatencies(0.5);
+    // The burst delays the requests queued behind it: p99 reflects the
+    // queue, far above the fast-path service time.
+    EXPECT_GT(open.percentile(99), 1000.0);
+    // Closed-loop p99 would see only the one slow request.
+    EXPECT_GT(open.percentile(95), 100.0);
+}
+
+TEST(MemtisPolicy, RunsEndToEndInSystem)
+{
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::Memtis,
+                                  1.0 / 256.0, 5);
+    cfg.pebs_cfg.sample_period = 20;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(400'000);
+    EXPECT_EQ(r.policy, "Memtis");
+    EXPECT_GT(r.migration.promoted, 0u);
+    EXPECT_GT(r.kernel_time, 0u);
+}
+
+TEST(MemtisPolicy, HigherSamplingFindsHotterPages)
+{
+    auto ratio_at = [](std::uint64_t period) {
+        SystemConfig cfg = makeConfig("roms_r", PolicyKind::Memtis,
+                                      1.0 / 256.0, 5);
+        cfg.record_only = true;
+        cfg.pebs_cfg.sample_period = period;
+        TieredSystem sys(cfg);
+        const RunResult r = sys.run(600'000);
+        double k_sum = 0.0, top_sum = 0.0;
+        const auto top = sys.pac().topKAccessSum(r.hot_pages.size());
+        for (Pfn p : r.hot_pages)
+            k_sum += static_cast<double>(sys.pac().count(p));
+        top_sum = static_cast<double>(top);
+        return top_sum > 0 ? k_sum / top_sum : 0.0;
+    };
+    // 1-in-10 sampling sees far more than 1-in-1000.
+    EXPECT_GT(ratio_at(10), ratio_at(1000) * 0.9);
+}
+
+} // namespace
+} // namespace m5

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the simulation core: event queue, CPU-core time accounting,
+ * and the assembled TieredSystem (small, fast configurations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(20, [&](Tick) { order.push_back(2); return 0; });
+    q.schedule(10, [&](Tick) { order.push_back(1); return 0; });
+    q.schedule(30, [&](Tick) { order.push_back(3); return 0; });
+    Tick now = 25;
+    q.runDue(now);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(q.nextTime(), 30u);
+}
+
+TEST(EventQueueTest, BusyTimeAdvancesClock)
+{
+    EventQueue q;
+    q.schedule(10, [](Tick) { return Tick{5}; });
+    Tick now = 10;
+    const Tick busy = q.runDue(now);
+    EXPECT_EQ(busy, 5u);
+    EXPECT_EQ(now, 15u);
+}
+
+TEST(EventQueueTest, SelfRescheduling)
+{
+    // A periodic event reschedules itself at absolute times, the way the
+    // policy-daemon tick does via nextWake().
+    EventQueue q;
+    int fires = 0;
+    std::function<Tick(Tick)> tick = [&](Tick) -> Tick {
+        ++fires;
+        if (fires < 3)
+            q.schedule(static_cast<Tick>(fires) * 10, tick);
+        return 0;
+    };
+    q.schedule(0, tick);
+    Tick now = 100;
+    q.runDue(now);
+    EXPECT_EQ(fires, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TieBreakByScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&](Tick) { order.push_back(1); return 0; });
+    q.schedule(10, [&](Tick) { order.push_back(2); return 0; });
+    Tick now = 10;
+    q.runDue(now);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+}
+
+TEST(CpuCoreTest, SplitsAppAndKernelTime)
+{
+    CpuCore core(0);
+    core.advanceApp(100);
+    core.advanceKernel(30);
+    EXPECT_EQ(core.now(), 130u);
+    EXPECT_EQ(core.appTime(), 100u);
+    EXPECT_EQ(core.kernelTime(), 30u);
+}
+
+TEST(CpuCoreTest, SyncToAttributesDelta)
+{
+    CpuCore core(0);
+    core.syncTo(50, true);
+    EXPECT_EQ(core.kernelTime(), 50u);
+    core.syncTo(40, true); // Backwards: ignored.
+    EXPECT_EQ(core.now(), 50u);
+}
+
+TEST(CpuCoreTest, RequestGrouping)
+{
+    CpuCore core(4);
+    for (int r = 0; r < 10; ++r) {
+        for (int a = 0; a < 4; ++a) {
+            core.advanceApp(25);
+            core.onAccessRetired();
+        }
+    }
+    EXPECT_EQ(core.requestLatencies().count(), 10u);
+    EXPECT_NEAR(core.requestLatencies().percentile(50), 100.0, 26.0);
+}
+
+TEST(CpuCoreTest, BeginMeasurementDropsWarmupRequests)
+{
+    CpuCore core(2);
+    core.advanceApp(10);
+    core.onAccessRetired();
+    core.onAccessRetired();
+    EXPECT_EQ(core.requestLatencies().count(), 1u);
+    core.beginMeasurement();
+    EXPECT_EQ(core.requestLatencies().count(), 0u);
+    EXPECT_EQ(core.measureStart(), core.now());
+}
+
+/** A tiny, fast system configuration. */
+SystemConfig
+tinyConfig(PolicyKind policy)
+{
+    SystemConfig cfg = makeConfig("mcf_r", policy, 1.0 / 256.0, 42);
+    return cfg;
+}
+
+TEST(TieredSystemTest, ConstructsAllPagesInCxl)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::None));
+    const auto pages = sys.pageTable().numPages();
+    EXPECT_EQ(sys.pageTable().pagesOnNode(kNodeCxl), pages);
+    EXPECT_EQ(sys.pageTable().pagesOnNode(kNodeDdr), 0u);
+}
+
+TEST(TieredSystemTest, DdrCapacityIsThreeEighths)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::None));
+    const double frac =
+        static_cast<double>(sys.memory().tier(kNodeDdr).framesTotal()) /
+        static_cast<double>(sys.pageTable().numPages());
+    EXPECT_NEAR(frac, 3.0 / 8.0, 0.01);
+}
+
+TEST(TieredSystemTest, InitialDdrFractionPlacesPages)
+{
+    SystemConfig cfg = tinyConfig(PolicyKind::None);
+    cfg.initial_ddr_fraction = 0.25;
+    TieredSystem sys(cfg);
+    const double frac =
+        static_cast<double>(sys.pageTable().pagesOnNode(kNodeDdr)) /
+        static_cast<double>(sys.pageTable().numPages());
+    EXPECT_NEAR(frac, 0.25, 0.05);
+}
+
+TEST(TieredSystemTest, RunProducesConsistentResult)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::None));
+    const RunResult r = sys.run(100'000);
+    EXPECT_EQ(r.accesses, 100'000u);
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_EQ(r.runtime, r.app_time + r.kernel_time);
+    EXPECT_EQ(r.llc.hits + r.llc.misses, 100'000u);
+    EXPECT_EQ(r.migration.promoted, 0u);
+}
+
+TEST(TieredSystemTest, PacSeesEveryCxlAccess)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::None));
+    sys.run(50'000);
+    // With no migration, every post-LLC access (fills + writebacks) hits
+    // CXL and must be counted by PAC.
+    const auto &cxl = sys.memory().tier(kNodeCxl).counters();
+    EXPECT_EQ(sys.pac().totalAccesses(), cxl.accesses);
+    EXPECT_GT(sys.pac().totalAccesses(), 0u);
+}
+
+TEST(TieredSystemTest, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        TieredSystem sys(tinyConfig(PolicyKind::M5HptDriven));
+        return sys.run(80'000);
+    };
+    const RunResult a = run_once();
+    const RunResult b = run_once();
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.migration.promoted, b.migration.promoted);
+    EXPECT_EQ(a.cxl_read_bytes, b.cxl_read_bytes);
+}
+
+TEST(TieredSystemTest, M5MigratesAndFillsDdr)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::M5HptDriven));
+    const RunResult r = sys.run(400'000);
+    EXPECT_GT(r.migration.promoted, 0u);
+    // DDR should be (nearly) full at the end.
+    const auto ddr_frames = sys.memory().tier(kNodeDdr).framesTotal();
+    EXPECT_GT(sys.pageTable().pagesOnNode(kNodeDdr), ddr_frames * 3 / 4);
+}
+
+TEST(TieredSystemTest, PageTableAllocatorConsistency)
+{
+    TieredSystem sys(tinyConfig(PolicyKind::M5HptDriven));
+    sys.run(200'000);
+    // Every VPN maps to a frame owned by its recorded node.
+    auto &pt = sys.pageTable();
+    for (Vpn v = 0; v < pt.numPages(); ++v) {
+        const Pte &e = pt.pte(v);
+        ASSERT_TRUE(e.valid);
+        EXPECT_TRUE(sys.memory().tier(e.node).owns(pageBase(e.pfn)))
+            << "vpn " << v;
+        EXPECT_EQ(pt.vpnOfPfn(e.pfn), v);
+    }
+}
+
+TEST(TieredSystemTest, RecordOnlyCollectsWithoutMigrating)
+{
+    SystemConfig cfg = tinyConfig(PolicyKind::Anb);
+    cfg.record_only = true;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(400'000);
+    EXPECT_EQ(r.migration.promoted, 0u);
+    EXPECT_GT(r.hot_pages.size(), 0u);
+}
+
+TEST(TieredSystemTest, AnbChargesIdentificationCycles)
+{
+    SystemConfig cfg = tinyConfig(PolicyKind::Anb);
+    cfg.record_only = true;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(300'000);
+    EXPECT_GT(r.kernel_ident_cycles, 0u);
+    EXPECT_GT(r.baseline_cycles, 0u);
+}
+
+TEST(TieredSystemTest, WacCollectsSparsity)
+{
+    SystemConfig cfg = makeConfig("redis", PolicyKind::None,
+                                  1.0 / 256.0, 7);
+    cfg.enable_wac = true;
+    TieredSystem sys(cfg);
+    sys.run(200'000);
+    const auto pages = sys.wac().pagesWithUniqueWords();
+    EXPECT_GT(pages.size(), 100u);
+}
+
+TEST(TieredSystemTest, TraceRecordsCacheFilteredStream)
+{
+    SystemConfig cfg = tinyConfig(PolicyKind::None);
+    cfg.record_trace = true;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(50'000);
+    EXPECT_EQ(sys.trace().size(), r.llc.misses);
+}
+
+TEST(TieredSystemTest, RedisReportsRequestLatencies)
+{
+    SystemConfig cfg = makeConfig("redis", PolicyKind::None,
+                                  1.0 / 256.0, 7);
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(200'000);
+    EXPECT_GT(r.p99_request, 0.0);
+    EXPECT_GE(r.p99_request, r.p50_request);
+}
+
+TEST(TieredSystemTest, PolicyNames)
+{
+    EXPECT_EQ(policyKindName(PolicyKind::None), "none");
+    EXPECT_EQ(policyKindName(PolicyKind::Anb), "ANB");
+    EXPECT_EQ(policyKindName(PolicyKind::Damon), "DAMON");
+    EXPECT_EQ(policyKindName(PolicyKind::M5HptOnly), "M5(HPT)");
+    EXPECT_EQ(policyKindName(PolicyKind::M5HwtDriven), "M5(HWT)");
+    EXPECT_EQ(policyKindName(PolicyKind::M5HptDriven), "M5(HPT+HWT)");
+    EXPECT_TRUE(isM5(PolicyKind::M5HptOnly));
+    EXPECT_FALSE(isM5(PolicyKind::Damon));
+}
+
+TEST(ExperimentTest, AccessBudgetScalesAndClamps)
+{
+    const auto small = accessBudget("mcf_r", 1.0 / 1024.0);
+    EXPECT_EQ(small, 4'000'000u); // Clamped to the floor.
+    const auto def = accessBudget("mcf_r");
+    EXPECT_GE(def, small);
+    EXPECT_LE(def, 20'000'000u);
+}
+
+TEST(ExperimentTest, MakeConfigAppliesArguments)
+{
+    const SystemConfig cfg =
+        makeConfig("redis", PolicyKind::Damon, 0.01, 99);
+    EXPECT_EQ(cfg.benchmark, "redis");
+    EXPECT_EQ(cfg.policy, PolicyKind::Damon);
+    EXPECT_EQ(cfg.seed, 99u);
+    EXPECT_NEAR(cfg.scale, 0.01, 1e-12);
+}
+
+} // namespace
+} // namespace m5
+// Appended: colocation through TieredSystem.
+namespace m5 {
+namespace {
+
+TEST(TieredSystemTest, ColocatedBenchmarksShareTiers)
+{
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::M5HptDriven,
+                                  1.0 / 512.0, 5);
+    cfg.colocated_benchmarks = {"mcf_r", "redis"};
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(150'000);
+    EXPECT_EQ(r.benchmark, "mix(mcf_r+redis)");
+    EXPECT_GT(r.migration.promoted, 0u);
+    EXPECT_EQ(sys.pageTable().numPages(), sys.workload().footprintPages());
+}
+
+} // namespace
+} // namespace m5

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Unit and property tests for src/sketch: hashing, CM-Sketch, the sorted
+ * top-K CAM, Space-Saving, and the TopKTracker interface.
+ *
+ * The central properties under test are the textbook guarantees the paper
+ * relies on: CM-Sketch never *under*estimates, Space-Saving never
+ * underestimates and bounds its overestimation by the evicted minimum, and
+ * both trackers surface truly heavy keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "common/zipf.hh"
+#include "sketch/cm_sketch.hh"
+#include "sketch/hash.hh"
+#include "sketch/sorted_topk.hh"
+#include "sketch/space_saving.hh"
+#include "sketch/topk_tracker.hh"
+
+namespace m5 {
+namespace {
+
+TEST(Hash, DeterministicPerSeed)
+{
+    HashFamily h(4, 1024, 99);
+    for (unsigned r = 0; r < 4; ++r)
+        EXPECT_EQ(h(r, 12345), h(r, 12345));
+}
+
+TEST(Hash, RowsIndependent)
+{
+    HashFamily h(4, 1 << 20, 99);
+    int same = 0;
+    for (std::uint64_t k = 0; k < 200; ++k)
+        same += h(0, k) == h(1, k);
+    EXPECT_LT(same, 5);
+}
+
+TEST(Hash, RoughlyUniform)
+{
+    HashFamily h(1, 16, 7);
+    std::vector<int> counts(16, 0);
+    const int n = 16'000;
+    for (int k = 0; k < n; ++k)
+        ++counts[h(0, k)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 16 / 2);
+        EXPECT_LT(c, n / 16 * 2);
+    }
+}
+
+TEST(CmSketch, NeverUnderestimates)
+{
+    CmSketch s(4, 64, 1, 32);
+    std::map<std::uint64_t, std::uint64_t> exact;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t k = rng.below(500);
+        s.update(k);
+        ++exact[k];
+    }
+    for (const auto &[k, c] : exact)
+        EXPECT_GE(s.estimate(k), c) << "key " << k;
+}
+
+TEST(CmSketch, ExactWithoutCollisions)
+{
+    // 8 distinct keys into a wide sketch: collisions are improbable, so
+    // estimates should be exact.
+    CmSketch s(4, 1 << 16, 5, 32);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        for (std::uint64_t i = 0; i <= k; ++i)
+            s.update(k);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_EQ(s.estimate(k), k + 1);
+}
+
+TEST(CmSketch, UpdateReturnsEstimate)
+{
+    CmSketch s(2, 1024, 9, 32);
+    EXPECT_EQ(s.update(42), 1u);
+    EXPECT_EQ(s.update(42), 2u);
+    EXPECT_EQ(s.estimate(42), 2u);
+}
+
+TEST(CmSketch, ResetClears)
+{
+    CmSketch s(2, 64, 9, 32);
+    for (int i = 0; i < 100; ++i)
+        s.update(7);
+    s.reset();
+    EXPECT_EQ(s.estimate(7), 0u);
+}
+
+TEST(CmSketch, CounterSaturation)
+{
+    CmSketch s(2, 16, 9, 4); // 4-bit counters saturate at 15.
+    for (int i = 0; i < 100; ++i)
+        s.update(3);
+    EXPECT_EQ(s.estimate(3), 15u);
+    EXPECT_EQ(s.counterMax(), 15u);
+}
+
+TEST(CmSketch, Geometry)
+{
+    CmSketch s(4, 8192, 1, 32);
+    EXPECT_EQ(s.rows(), 4u);
+    EXPECT_EQ(s.cols(), 8192u);
+    EXPECT_EQ(s.entries(), 32768u);
+}
+
+TEST(SortedTopK, KeepsHeaviest)
+{
+    SortedTopK t(3);
+    t.offer(1, 10);
+    t.offer(2, 20);
+    t.offer(3, 30);
+    t.offer(4, 5); // Below min: rejected.
+    auto e = t.entries();
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_EQ(e[0].tag, 3u);
+    EXPECT_EQ(e[1].tag, 2u);
+    EXPECT_EQ(e[2].tag, 1u);
+}
+
+TEST(SortedTopK, EvictsMinimum)
+{
+    SortedTopK t(2);
+    t.offer(1, 10);
+    t.offer(2, 20);
+    t.offer(3, 15); // Evicts tag 1 (count 10).
+    auto e = t.entries();
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_EQ(e[0].tag, 2u);
+    EXPECT_EQ(e[1].tag, 3u);
+}
+
+TEST(SortedTopK, HitUpdatesCount)
+{
+    SortedTopK t(2);
+    t.offer(1, 1);
+    t.offer(2, 2);
+    t.offer(1, 50);
+    auto e = t.entries();
+    EXPECT_EQ(e[0].tag, 1u);
+    EXPECT_EQ(e[0].count, 50u);
+}
+
+TEST(SortedTopK, MinCountZeroUntilFull)
+{
+    SortedTopK t(3);
+    t.offer(1, 100);
+    EXPECT_EQ(t.minCount(), 0u);
+    t.offer(2, 200);
+    t.offer(3, 300);
+    EXPECT_EQ(t.minCount(), 100u);
+}
+
+TEST(SortedTopK, ResetEmpties)
+{
+    SortedTopK t(2);
+    t.offer(1, 1);
+    t.reset();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(SortedTopK, ManyUpdatesLazyHeapStaysCorrect)
+{
+    // Exercise the lazy-heap pruning with monotonically growing counts.
+    SortedTopK t(4);
+    Rng rng(17);
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t k = rng.below(100);
+        t.offer(k, ++counts[k]);
+    }
+    // The reported minimum must match the 4th-largest exact count among
+    // table residents.
+    auto e = t.entries();
+    ASSERT_EQ(e.size(), 4u);
+    for (const auto &entry : e)
+        EXPECT_EQ(entry.count, counts[entry.tag]);
+    EXPECT_EQ(t.minCount(), e.back().count);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity)
+{
+    SpaceSaving ss(16);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        for (std::uint64_t i = 0; i <= k; ++i)
+            ss.update(k);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_EQ(ss.estimate(k), k + 1);
+}
+
+TEST(SpaceSaving, NeverUnderestimates)
+{
+    SpaceSaving ss(32);
+    std::map<std::uint64_t, std::uint64_t> exact;
+    Rng rng(5);
+    ZipfSampler z(300, 1.1);
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t k = z.sample(rng);
+        ss.update(k);
+        ++exact[k];
+    }
+    for (const auto &[k, c] : exact) {
+        const auto est = ss.estimate(k);
+        if (est) // Unmonitored keys report 0.
+            EXPECT_GE(est, c) << "key " << k;
+    }
+}
+
+TEST(SpaceSaving, CapacityBound)
+{
+    SpaceSaving ss(8);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        ss.update(k);
+    EXPECT_EQ(ss.size(), 8u);
+    EXPECT_EQ(ss.capacity(), 8u);
+}
+
+TEST(SpaceSaving, TopKSortedDescending)
+{
+    SpaceSaving ss(64);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        for (std::uint64_t i = 0; i < (k + 1) * 3; ++i)
+            ss.update(k);
+    auto top = ss.topK(5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].count, top[i].count);
+    EXPECT_EQ(top[0].tag, 9u);
+}
+
+TEST(SpaceSaving, FindsHeavyHitterUnderChurn)
+{
+    // One key gets 30% of a stream 100x larger than the summary.
+    SpaceSaving ss(50);
+    Rng rng(23);
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t k =
+            rng.chance(0.3) ? 0xdeadULL : 1 + rng.below(5000);
+        ss.update(k);
+    }
+    auto top = ss.topK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].tag, 0xdeadULL);
+}
+
+TEST(SpaceSaving, ResetClears)
+{
+    SpaceSaving ss(4);
+    ss.update(1);
+    ss.reset();
+    EXPECT_EQ(ss.size(), 0u);
+    EXPECT_EQ(ss.estimate(1), 0u);
+}
+
+TEST(TrackerFactory, BuildsBothKinds)
+{
+    TrackerConfig cm;
+    cm.kind = TrackerKind::CmSketchTopK;
+    TrackerConfig ss;
+    ss.kind = TrackerKind::SpaceSavingTopK;
+    ss.entries = 50;
+    EXPECT_EQ(makeTracker(cm)->kind(), TrackerKind::CmSketchTopK);
+    EXPECT_EQ(makeTracker(ss)->kind(), TrackerKind::SpaceSavingTopK);
+}
+
+TEST(TrackerFactory, Names)
+{
+    EXPECT_EQ(trackerKindName(TrackerKind::CmSketchTopK), "CM-Sketch");
+    EXPECT_EQ(trackerKindName(TrackerKind::SpaceSavingTopK),
+              "Space-Saving");
+}
+
+/** Property sweep across both tracker kinds and several geometries. */
+struct TrackerParam
+{
+    TrackerKind kind;
+    std::uint64_t entries;
+};
+
+class TrackerProperty : public ::testing::TestWithParam<TrackerParam>
+{
+  protected:
+    std::unique_ptr<TopKTracker>
+    make(std::size_t k = 5)
+    {
+        TrackerConfig cfg;
+        cfg.kind = GetParam().kind;
+        cfg.entries = GetParam().entries;
+        cfg.k = k;
+        return makeTracker(cfg);
+    }
+};
+
+TEST_P(TrackerProperty, QueryNeverExceedsK)
+{
+    auto t = make(5);
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i)
+        t->access(rng.below(1000));
+    EXPECT_LE(t->query().size(), 5u);
+}
+
+TEST_P(TrackerProperty, QuerySortedDescending)
+{
+    auto t = make(8);
+    Rng rng(37);
+    ZipfSampler z(500, 1.0);
+    for (int i = 0; i < 20'000; ++i)
+        t->access(z.sample(rng));
+    auto top = t->query();
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].count, top[i].count);
+}
+
+TEST_P(TrackerProperty, FindsDominantKey)
+{
+    auto t = make(5);
+    Rng rng(41);
+    for (int i = 0; i < 30'000; ++i)
+        t->access(rng.chance(0.4) ? 77777ULL : rng.below(3000));
+    auto top = t->query();
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top[0].tag, 77777u);
+}
+
+TEST_P(TrackerProperty, ResetForgetsEverything)
+{
+    auto t = make(5);
+    for (int i = 0; i < 1000; ++i)
+        t->access(5);
+    t->reset();
+    EXPECT_TRUE(t->query().empty());
+    EXPECT_EQ(t->estimate(5), 0u);
+}
+
+TEST_P(TrackerProperty, EstimateNeverUnderestimatesTrackedTop)
+{
+    auto t = make(5);
+    for (int i = 0; i < 500; ++i)
+        t->access(123);
+    EXPECT_GE(t->estimate(123), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TrackerProperty,
+    ::testing::Values(
+        TrackerParam{TrackerKind::CmSketchTopK, 2048},
+        TrackerParam{TrackerKind::CmSketchTopK, 32 * 1024},
+        TrackerParam{TrackerKind::SpaceSavingTopK, 50},
+        TrackerParam{TrackerKind::SpaceSavingTopK, 2048}),
+    [](const ::testing::TestParamInfo<TrackerParam> &info) {
+        return (info.param.kind == TrackerKind::CmSketchTopK ? "CM"
+                                                             : "SS") +
+               std::to_string(info.param.entries);
+    });
+
+/** §7.1: at equal (small) N, Space-Saving beats CM-Sketch; CM-Sketch at
+ *  32K approaches exact. */
+TEST(TrackerComparison, SpaceSavingMorePreciseAtEqualSmallN)
+{
+    Rng rng(53);
+    ZipfSampler z(20'000, 0.9);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 200'000; ++i)
+        stream.push_back(z.sample(rng));
+
+    std::map<std::uint64_t, std::uint64_t> exact;
+    for (auto k : stream)
+        ++exact[k];
+    std::vector<std::uint64_t> sorted;
+    for (const auto &[k, c] : exact)
+        sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t top5 = 0;
+    for (int i = 0; i < 5; ++i)
+        top5 += sorted[i];
+
+    auto ratio_of = [&](TrackerKind kind, std::uint64_t n) {
+        TrackerConfig cfg;
+        cfg.kind = kind;
+        cfg.entries = n;
+        cfg.k = 5;
+        auto t = makeTracker(cfg);
+        for (auto k : stream)
+            t->access(k);
+        std::uint64_t got = 0;
+        for (const auto &e : t->query())
+            got += exact[e.tag];
+        return static_cast<double>(got) / static_cast<double>(top5);
+    };
+
+    const double ss50 = ratio_of(TrackerKind::SpaceSavingTopK, 50);
+    const double cm50 = ratio_of(TrackerKind::CmSketchTopK, 50);
+    const double cm32k = ratio_of(TrackerKind::CmSketchTopK, 32 * 1024);
+    EXPECT_GT(ss50, cm50);
+    EXPECT_GT(cm32k, 0.9);
+    EXPECT_GE(cm32k, ss50);
+}
+
+} // namespace
+} // namespace m5

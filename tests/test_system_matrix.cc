@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Parameterized benchmark x policy matrix: every policy runs on several
+ * representative workload shapes at tiny scale, and a battery of system
+ * invariants must hold afterwards — accounting identities, capacity
+ * bounds, tier/allocator/page-table consistency, and policy-specific
+ * sanity (migrating policies move pages; record-only never does; pinned
+ * pages never move).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+struct MatrixParam
+{
+    const char *bench;
+    PolicyKind policy;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<MatrixParam> &info)
+{
+    std::string name = std::string(info.param.bench) + "_" +
+                       policyKindName(info.param.policy);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+class SystemMatrix : public ::testing::TestWithParam<MatrixParam>
+{
+  protected:
+    static constexpr double kScale = 1.0 / 256.0;
+    static constexpr std::uint64_t kAccesses = 250'000;
+
+    /** Tiny-scale runs last tens of ms, so the daemons' wall-clock
+     *  periods shrink with them. */
+    static SystemConfig
+    matrixConfig(const char *bench, PolicyKind policy)
+    {
+        SystemConfig cfg = makeConfig(bench, policy, kScale, 7);
+        cfg.anb_cfg.scan_period_min = msToTicks(1.0);
+        cfg.anb_cfg.scan_period_start = msToTicks(2.0);
+        cfg.anb_cfg.scan_period_max = msToTicks(64.0);
+        cfg.damon_cfg.sample_interval = usToTicks(500.0);
+        cfg.damon_cfg.aggregation_interval = msToTicks(10.0);
+        return cfg;
+    }
+};
+
+TEST_P(SystemMatrix, InvariantsHoldAfterRun)
+{
+    const auto &[bench, policy] = GetParam();
+    SystemConfig cfg = matrixConfig(bench, policy);
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(kAccesses);
+
+    // Accounting identities.
+    EXPECT_EQ(r.runtime, r.app_time + r.kernel_time);
+    EXPECT_EQ(r.llc.hits + r.llc.misses, kAccesses);
+    EXPECT_EQ(r.accesses, kAccesses);
+    EXPECT_GT(r.steady_throughput, 0.0);
+
+    // Capacity bounds.
+    auto &pt = sys.pageTable();
+    const auto ddr_frames = sys.memory().tier(kNodeDdr).framesTotal();
+    EXPECT_LE(pt.pagesOnNode(kNodeDdr), ddr_frames);
+    EXPECT_EQ(pt.pagesOnNode(kNodeDdr) + pt.pagesOnNode(kNodeCxl),
+              pt.numPages());
+
+    // Page-table / frame consistency on a sample of pages.
+    for (Vpn v = 0; v < pt.numPages(); v += 129) {
+        const Pte &e = pt.pte(v);
+        ASSERT_TRUE(e.valid);
+        EXPECT_TRUE(sys.memory().tier(e.node).owns(pageBase(e.pfn)));
+        EXPECT_EQ(pt.vpnOfPfn(e.pfn), v);
+    }
+
+    // Migration sanity per policy.
+    if (policy == PolicyKind::None) {
+        EXPECT_EQ(r.migration.promoted, 0u);
+    } else {
+        EXPECT_GT(r.migration.promoted, 0u)
+            << "policy never migrated anything";
+        // Demotions only happen to make room.
+        EXPECT_LE(r.migration.demoted, r.migration.promoted);
+    }
+}
+
+TEST_P(SystemMatrix, RecordOnlyIdentifiesWithoutMoving)
+{
+    const auto &[bench, policy] = GetParam();
+    if (policy == PolicyKind::None)
+        GTEST_SKIP() << "no identification to record";
+    SystemConfig cfg = matrixConfig(bench, policy);
+    cfg.record_only = true;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(kAccesses);
+    EXPECT_EQ(r.migration.promoted, 0u);
+    EXPECT_EQ(sys.pageTable().pagesOnNode(kNodeDdr), 0u);
+    EXPECT_GT(r.hot_pages.size(), 0u);
+    // Every identified page is a real CXL frame.
+    for (std::size_t i = 0; i < r.hot_pages.size(); i += 17) {
+        EXPECT_TRUE(sys.memory().tier(kNodeCxl).owns(
+            pageBase(r.hot_pages[i])));
+    }
+    // Identified pages are warmer than random: ratio strictly positive.
+    EXPECT_GT(accessCountRatio(sys.pac(), r.hot_pages), 0.0);
+}
+
+TEST_P(SystemMatrix, PinnedPagesNeverMigrate)
+{
+    const auto &[bench, policy] = GetParam();
+    if (policy == PolicyKind::None)
+        GTEST_SKIP() << "nothing migrates anyway";
+    SystemConfig cfg = matrixConfig(bench, policy);
+    cfg.pinned_fraction = 0.2;
+    TieredSystem sys(cfg);
+    sys.run(kAccesses);
+    auto &pt = sys.pageTable();
+    for (Vpn v = 0; v < pt.numPages(); ++v) {
+        const Pte &e = pt.pte(v);
+        if (e.pinned)
+            ASSERT_EQ(e.node, kNodeCxl) << "pinned page moved, vpn " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SystemMatrix,
+    ::testing::Values(
+        MatrixParam{"mcf_r", PolicyKind::None},
+        MatrixParam{"mcf_r", PolicyKind::Anb},
+        MatrixParam{"mcf_r", PolicyKind::Damon},
+        MatrixParam{"mcf_r", PolicyKind::Memtis},
+        MatrixParam{"mcf_r", PolicyKind::M5HptOnly},
+        MatrixParam{"mcf_r", PolicyKind::M5HwtDriven},
+        MatrixParam{"mcf_r", PolicyKind::M5HptDriven},
+        MatrixParam{"roms_r", PolicyKind::Anb},
+        MatrixParam{"roms_r", PolicyKind::Damon},
+        MatrixParam{"roms_r", PolicyKind::M5HptDriven},
+        MatrixParam{"redis", PolicyKind::Damon},
+        MatrixParam{"redis", PolicyKind::M5HwtDriven},
+        MatrixParam{"pr", PolicyKind::M5HptOnly},
+        MatrixParam{"liblinear", PolicyKind::Memtis},
+        MatrixParam{"bfs", PolicyKind::M5HptDriven}),
+    paramName);
+
+/** All fourteen workload models satisfy their declared statistics. */
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, SparsityClassesMatchDeclaration)
+{
+    const SyntheticParams p = benchmarkParams(GetParam(), 1.0 / 128.0);
+    SyntheticWorkload w(p, 23);
+    // Empirical class fractions across pages must match declarations.
+    std::vector<std::size_t> counts(p.sparsity.size(), 0);
+    for (Vpn v = 0; v < p.footprint_pages; ++v) {
+        const unsigned cls = w.classOf(v);
+        ASSERT_LT(cls, p.sparsity.size());
+        ++counts[cls];
+        const unsigned words = w.activeWords(v);
+        EXPECT_GE(words, p.sparsity[cls].words_min);
+        EXPECT_LE(words, p.sparsity[cls].words_max);
+    }
+    for (std::size_t c = 0; c < p.sparsity.size(); ++c) {
+        const double frac = static_cast<double>(counts[c]) /
+                            static_cast<double>(p.footprint_pages);
+        EXPECT_NEAR(frac, p.sparsity[c].page_fraction, 0.03)
+            << "class " << c;
+    }
+}
+
+TEST_P(WorkloadSweep, StreamStaysInBoundsAndDeterministic)
+{
+    const SyntheticParams p = benchmarkParams(GetParam(), 1.0 / 128.0);
+    SyntheticWorkload a(p, 29), b(p, 29);
+    const VAddr limit = static_cast<VAddr>(p.footprint_pages)
+                        << kPageShift;
+    for (int i = 0; i < 20'000; ++i) {
+        const AccessEvent ea = a.next();
+        ASSERT_LT(ea.va, limit);
+        const AccessEvent eb = b.next();
+        ASSERT_EQ(ea.va, eb.va);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSweep,
+    ::testing::ValuesIn(sparsityBenchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace m5

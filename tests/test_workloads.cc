@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the synthetic workload models and the benchmark registry:
+ * parameter validity for all fourteen benchmarks, statistical properties
+ * of the generated streams (popularity skew, sparsity classes, phase
+ * drift, clustering), multi-instance interleaving, and trace round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "workloads/registry.hh"
+#include "workloads/trace.hh"
+
+namespace m5 {
+namespace {
+
+TEST(Registry, TwelveEvaluationBenchmarks)
+{
+    EXPECT_EQ(benchmarkNames().size(), 12u);
+    EXPECT_EQ(benchmarkNames().front(), "liblinear");
+    EXPECT_EQ(benchmarkNames().back(), "redis");
+}
+
+TEST(Registry, FourteenSparsityBenchmarks)
+{
+    EXPECT_EQ(sparsityBenchmarkNames().size(), 14u);
+}
+
+TEST(Registry, InfoMatchesTable3)
+{
+    const auto &mcf = benchmarkInfo("mcf_r");
+    EXPECT_NEAR(mcf.footprint_gb, 4.9, 1e-9);
+    EXPECT_EQ(mcf.cores, 8u);
+    EXPECT_EQ(mcf.cat_ways, 4u);
+    const auto &redis = benchmarkInfo("redis");
+    EXPECT_EQ(redis.cores, 1u);
+}
+
+TEST(Registry, AllBenchmarksHaveValidParams)
+{
+    for (const auto &name : sparsityBenchmarkNames()) {
+        SCOPED_TRACE(name);
+        const SyntheticParams p = benchmarkParams(name);
+        EXPECT_GT(p.footprint_pages, 1000u);
+        EXPECT_GT(p.page_zipf_alpha, 0.0);
+        EXPECT_FALSE(p.sparsity.empty());
+        double frac = 0.0;
+        for (const auto &c : p.sparsity) {
+            EXPECT_GE(c.words_min, 1u);
+            EXPECT_LE(c.words_max, kWordsPerPage);
+            frac += c.page_fraction;
+        }
+        EXPECT_NEAR(frac, 1.0, 1e-6);
+        EXPECT_GE(p.read_fraction, 0.5);
+        EXPECT_LE(p.read_fraction, 1.0);
+    }
+}
+
+TEST(Registry, FootprintScalesLinearly)
+{
+    const auto full = benchmarkParams("mcf_r", 1.0).footprint_pages;
+    const auto half = benchmarkParams("mcf_r", 0.5).footprint_pages;
+    EXPECT_NEAR(static_cast<double>(half),
+                static_cast<double>(full) / 2.0, full * 0.01);
+}
+
+TEST(Registry, FullScaleFootprintMatchesTable3)
+{
+    // mcf_r: 4.9GB -> ~1.28M 4KB pages.
+    const auto pages = benchmarkParams("mcf_r", 1.0).footprint_pages;
+    EXPECT_NEAR(static_cast<double>(pages), 4.9 * 262144.0, 1000.0);
+}
+
+TEST(Registry, LlcScalesWithCatWays)
+{
+    // GAP gets 10 of 15 ways, SPEC 4, Redis 1.
+    const auto gap = benchmarkLlcBytes("pr", 1.0);
+    const auto spec = benchmarkLlcBytes("mcf_r", 1.0);
+    const auto redis = benchmarkLlcBytes("redis", 1.0);
+    EXPECT_NEAR(static_cast<double>(gap),
+                60.0 * 1024 * 1024 * 10 / 15, 1.0);
+    EXPECT_GT(gap, spec);
+    EXPECT_GT(spec, redis);
+}
+
+TEST(Registry, LatencySensitiveMarkers)
+{
+    EXPECT_GT(benchmarkParams("redis").accesses_per_request, 0u);
+    EXPECT_EQ(benchmarkParams("mcf_r").accesses_per_request, 0u);
+}
+
+TEST(Workload, Deterministic)
+{
+    auto a = makeWorkload("mcf_r", 0.02, 7);
+    auto b = makeWorkload("mcf_r", 0.02, 7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto ea = a->next();
+        const auto eb = b->next();
+        EXPECT_EQ(ea.va, eb.va);
+        EXPECT_EQ(ea.is_write, eb.is_write);
+    }
+}
+
+TEST(Workload, AddressesWithinFootprint)
+{
+    auto w = makeWorkload("redis", 0.02, 3);
+    const VAddr limit = static_cast<VAddr>(w->footprintPages())
+                        << kPageShift;
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_LT(w->next().va, limit);
+}
+
+TEST(Workload, ReadFractionApproximatelyRespected)
+{
+    auto w = makeWorkload("pr", 0.02, 3);
+    const double expect = benchmarkParams("pr", 0.02).read_fraction;
+    int reads = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        reads += !w->next().is_write;
+    EXPECT_NEAR(reads / double(n), expect, 0.02);
+}
+
+TEST(Workload, OnlyActiveWordsTouched)
+{
+    auto w = makeWorkload("redis", 0.02, 9);
+    // Per-page observed words must be a subset of the declared actives.
+    std::map<Vpn, std::set<unsigned>> seen;
+    for (int i = 0; i < 100'000; ++i) {
+        const auto ev = w->next();
+        seen[vpnOf(ev.va)].insert(wordInPage(ev.va));
+    }
+    for (const auto &[vpn, words] : seen)
+        EXPECT_LE(words.size(), w->activeWords(vpn));
+}
+
+TEST(Workload, SparsityClassesShapeUniqueWords)
+{
+    // Redis: most pages must have few active words; mcf: most dense.
+    auto redis = makeWorkload("redis", 0.02, 5);
+    auto mcf = makeWorkload("mcf_r", 0.02, 5);
+    std::size_t redis_sparse = 0, mcf_sparse = 0;
+    const std::size_t n = 20'000;
+    for (Vpn v = 0; v < n; ++v) {
+        redis_sparse += redis->activeWords(v) <= 16;
+        mcf_sparse += mcf->activeWords(v) <= 16;
+    }
+    EXPECT_GT(redis_sparse / double(n), 0.75);
+    EXPECT_LT(mcf_sparse / double(n), 0.10);
+}
+
+TEST(Workload, PopularityIsSkewed)
+{
+    auto w = makeWorkload("roms_r", 0.02, 11);
+    std::map<Vpn, int> counts;
+    const int n = 300'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[vpnOf(w->next().va)];
+    std::vector<int> sorted;
+    for (const auto &[v, c] : counts)
+        sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    // Top 10% of touched pages take far more than 10% of accesses.
+    const std::size_t top10 = sorted.size() / 10;
+    long top_sum = 0, total = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        total += sorted[i];
+        if (i < top10)
+            top_sum += sorted[i];
+    }
+    EXPECT_GT(top_sum / double(total), 0.3);
+}
+
+TEST(Workload, HotClusterLocality)
+{
+    // Hot ranks land in contiguous VA blocks: the hottest pages should
+    // concentrate in far fewer distinct blocks than uniform placement
+    // would produce.
+    SyntheticParams p = benchmarkParams("mcf_r", 0.02);
+    p.hot_cluster_pages = 128;
+    p.uniform_fraction = 0.0;
+    SyntheticWorkload w(p, 13);
+    std::map<Vpn, int> counts;
+    for (int i = 0; i < 200'000; ++i)
+        ++counts[vpnOf(w.next().va)];
+    std::vector<std::pair<int, Vpn>> ranked;
+    for (const auto &[v, c] : counts)
+        ranked.emplace_back(c, v);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::set<Vpn> blocks;
+    const std::size_t top = std::min<std::size_t>(256, ranked.size());
+    for (std::size_t i = 0; i < top; ++i)
+        blocks.insert(ranked[i].second / 128);
+    EXPECT_LT(blocks.size(), top / 8);
+}
+
+TEST(Workload, PhaseDriftShiftsHotSet)
+{
+    SyntheticParams p = benchmarkParams("bfs", 0.02);
+    p.phase_length = 50'000;
+    p.phase_shift_fraction = 0.3;
+    p.uniform_fraction = 0.0;
+    SyntheticWorkload w(p, 17);
+    auto hottest = [&]() {
+        std::map<Vpn, int> counts;
+        for (int i = 0; i < 50'000; ++i)
+            ++counts[vpnOf(w.next().va)];
+        std::vector<std::pair<int, Vpn>> r;
+        for (const auto &[v, c] : counts)
+            r.emplace_back(c, v);
+        std::sort(r.rbegin(), r.rend());
+        std::set<Vpn> top;
+        for (std::size_t i = 0; i < 200 && i < r.size(); ++i)
+            top.insert(r[i].second);
+        return top;
+    };
+    const auto before = hottest();
+    for (int i = 0; i < 100'000; ++i)
+        w.next(); // Two more phases pass.
+    const auto after = hottest();
+    std::size_t common = 0;
+    for (Vpn v : before)
+        common += after.count(v);
+    EXPECT_LT(common, before.size() * 9 / 10); // Hot set moved.
+}
+
+TEST(Workload, StaticWorkloadKeepsHotSet)
+{
+    SyntheticParams p = benchmarkParams("mcf_r", 0.02);
+    p.phase_length = 0;
+    p.uniform_fraction = 0.0;
+    SyntheticWorkload w(p, 17);
+    std::map<Vpn, int> first, second;
+    for (int i = 0; i < 100'000; ++i)
+        ++first[vpnOf(w.next().va)];
+    for (int i = 0; i < 100'000; ++i)
+        ++second[vpnOf(w.next().va)];
+    // The hottest page of the first window is still hot in the second.
+    Vpn hottest = 0;
+    int best = 0;
+    for (const auto &[v, c] : first) {
+        if (c > best) {
+            best = c;
+            hottest = v;
+        }
+    }
+    EXPECT_GT(second[hottest], best / 4);
+}
+
+TEST(MultiWorkloadTest, DisjointAddressRanges)
+{
+    auto w = makeMultiWorkload("mcf_r", 4, 0.02, 3);
+    EXPECT_GT(w->footprintPages(), 0u);
+    const std::size_t per = w->footprintPages() / 4;
+    std::set<std::size_t> instances_seen;
+    for (int i = 0; i < 10'000; ++i)
+        instances_seen.insert(vpnOf(w->next().va) / per);
+    EXPECT_EQ(instances_seen.size(), 4u);
+}
+
+TEST(MultiWorkloadTest, CombinedFootprintMatchesSingle)
+{
+    auto one = makeMultiWorkload("mcf_r", 1, 0.02, 3);
+    auto four = makeMultiWorkload("mcf_r", 4, 0.02, 3);
+    EXPECT_NEAR(static_cast<double>(four->footprintPages()),
+                static_cast<double>(one->footprintPages()),
+                one->footprintPages() * 0.01);
+}
+
+TEST(MultiWorkloadTest, NameIncludesInstanceCount)
+{
+    auto w = makeMultiWorkload("pr", 8, 0.02, 3);
+    EXPECT_EQ(w->name(), "prx8");
+}
+
+TEST(Trace, RoundTripThroughFile)
+{
+    TraceBuffer buf;
+    buf.push(0x1000, 5, false);
+    buf.push(0x2040, 9, true);
+    const std::string path = ::testing::TempDir() + "m5_trace_test.bin";
+    buf.save(path);
+    const TraceBuffer loaded = TraceBuffer::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.records()[0].pa, 0x1000u);
+    EXPECT_EQ(loaded.records()[1].pa, 0x2040u);
+    EXPECT_EQ(loaded.records()[1].time, 9u);
+    EXPECT_TRUE(loaded.records()[1].is_write);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ClearAndReserve)
+{
+    TraceBuffer buf;
+    buf.reserve(100);
+    buf.push(1, 1, false);
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+} // namespace
+} // namespace m5
+// Appended: colocation mixes (makeMixedWorkload).
+namespace m5 {
+namespace {
+
+TEST(MixedWorkload, NameAndDisjointRanges)
+{
+    auto w = makeMixedWorkload({"mcf_r", "redis"}, 0.02, 3);
+    EXPECT_EQ(w->name(), "mix(mcf_r+redis)");
+    const std::size_t mcf_pages =
+        benchmarkParams("mcf_r", 0.02).footprint_pages;
+    bool saw_first = false, saw_second = false;
+    for (int i = 0; i < 5000; ++i) {
+        const Vpn vpn = vpnOf(w->next().va);
+        ASSERT_LT(vpn, w->footprintPages());
+        (vpn < mcf_pages ? saw_first : saw_second) = true;
+    }
+    EXPECT_TRUE(saw_first);
+    EXPECT_TRUE(saw_second);
+}
+
+TEST(MixedWorkload, SingleTenantCollapses)
+{
+    auto w = makeMixedWorkload({"pr"}, 0.02, 3);
+    EXPECT_EQ(w->name(), "pr");
+}
+
+TEST(MixedWorkload, FootprintIsSumOfTenants)
+{
+    auto w = makeMixedWorkload({"mcf_r", "redis"}, 0.02, 3);
+    EXPECT_EQ(w->footprintPages(),
+              benchmarkParams("mcf_r", 0.02).footprint_pages +
+              benchmarkParams("redis", 0.02).footprint_pages);
+}
+
+} // namespace
+} // namespace m5

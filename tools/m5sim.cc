@@ -1,0 +1,242 @@
+/**
+ * @file
+ * m5sim — command-line driver for the tiered-memory simulator.
+ *
+ *   m5sim [--bench NAME] [--policy NAME] [--scale DENOM] [--seed N]
+ *         [--accesses N] [--instances N] [--record-only] [--wac]
+ *         [--ddr-frac F] [--csv] [--list]
+ *
+ * Runs one experiment and prints a full report: timing, tier traffic,
+ * migration and TLB statistics, the kernel-cycle breakdown, request
+ * latencies for latency-sensitive workloads, and (record-only) the
+ * access-count ratio of the identified hot pages.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/ratio.hh"
+#include "common/logging.hh"
+#include "os/costs.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace m5;
+
+namespace {
+
+struct Options
+{
+    std::string bench = "mcf_r";
+    std::string policy = "m5";
+    double scale = kDefaultScale;
+    std::uint64_t seed = 1;
+    std::uint64_t accesses = 0; // 0 = default budget.
+    std::size_t instances = 1;
+    bool record_only = false;
+    bool wac = false;
+    double ddr_frac = -1.0;
+    bool csv = false;
+};
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "none")
+        return PolicyKind::None;
+    if (name == "anb")
+        return PolicyKind::Anb;
+    if (name == "damon")
+        return PolicyKind::Damon;
+    if (name == "memtis")
+        return PolicyKind::Memtis;
+    if (name == "m5-hpt")
+        return PolicyKind::M5HptOnly;
+    if (name == "m5-hwt")
+        return PolicyKind::M5HwtDriven;
+    if (name == "m5" || name == "m5-hpt-hwt")
+        return PolicyKind::M5HptDriven;
+    m5_fatal("unknown policy '%s' (try: none, anb, damon, memtis, "
+             "m5, m5-hpt, m5-hwt)", name.c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: m5sim [options]\n"
+        "  --bench NAME      benchmark (default mcf_r; --list to see all)\n"
+        "  --policy NAME     none|anb|damon|memtis|m5|m5-hpt|m5-hwt\n"
+        "  --scale DENOM     system scale 1/DENOM (default 16)\n"
+        "  --seed N          RNG seed (default 1)\n"
+        "  --accesses N      post-L2 access budget (default: auto)\n"
+        "  --instances N     co-running instances (default 1)\n"
+        "  --ddr-frac F      DDR capacity / footprint (default 0.375)\n"
+        "  --record-only     identify hot pages without migrating\n"
+        "  --wac             enable word-access counting\n"
+        "  --csv             machine-readable one-line output\n"
+        "  --list            list benchmarks and exit\n");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                m5_fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            opt.bench = next();
+        } else if (arg == "--policy") {
+            opt.policy = next();
+        } else if (arg == "--scale") {
+            const double denom = std::atof(next());
+            if (denom < 1.0)
+                m5_fatal("--scale wants a denominator >= 1");
+            opt.scale = 1.0 / denom;
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--accesses") {
+            opt.accesses = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--instances") {
+            opt.instances = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--ddr-frac") {
+            opt.ddr_frac = std::atof(next());
+        } else if (arg == "--record-only") {
+            opt.record_only = true;
+        } else if (arg == "--wac") {
+            opt.wac = true;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--list") {
+            std::printf("benchmarks (Table 3):\n");
+            for (const auto &b : sparsityBenchmarkNames()) {
+                const auto &info = benchmarkInfo(b);
+                std::printf("  %-12s %.1f GB, %u cores, %u CAT ways\n",
+                            b.c_str(), info.footprint_gb, info.cores,
+                            info.cat_ways);
+            }
+            std::exit(0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            m5_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    SystemConfig cfg = makeConfig(opt.bench, parsePolicy(opt.policy),
+                                  opt.scale, opt.seed);
+    cfg.instances = opt.instances;
+    cfg.record_only = opt.record_only;
+    cfg.enable_wac = opt.wac;
+    if (opt.ddr_frac > 0.0)
+        cfg.ddr_capacity_fraction = opt.ddr_frac;
+
+    TieredSystem sys(cfg);
+    const std::uint64_t budget = opt.accesses
+        ? opt.accesses : accessBudget(opt.bench, opt.scale);
+    const RunResult r = sys.run(budget);
+
+    const double ddr_frac_reads =
+        static_cast<double>(r.steady_ddr_read_bytes) /
+        static_cast<double>(std::max<std::uint64_t>(1,
+            r.steady_ddr_read_bytes + r.steady_cxl_read_bytes));
+
+    if (opt.csv) {
+        std::printf("bench,policy,accesses,runtime_ms,steady_mops,"
+                    "kernel_pct,promoted,demoted,llc_miss,ddr_read_frac,"
+                    "p50_us,p99_us\n");
+        std::printf("%s,%s,%lu,%.1f,%.3f,%.2f,%lu,%lu,%.4f,%.4f,%.2f,"
+                    "%.2f\n",
+                    r.benchmark.c_str(), r.policy.c_str(),
+                    static_cast<unsigned long>(r.accesses),
+                    r.runtime / 1e6, r.steady_throughput / 1e6,
+                    100.0 * r.kernel_time / std::max<Tick>(1, r.runtime),
+                    static_cast<unsigned long>(r.migration.promoted),
+                    static_cast<unsigned long>(r.migration.demoted),
+                    r.llc.missRatio(), ddr_frac_reads,
+                    r.p50_request / 1e3, r.p99_request / 1e3);
+        return 0;
+    }
+
+    std::printf("== m5sim: %s under %s (scale 1/%.0f, seed %lu) ==\n",
+                r.benchmark.c_str(), r.policy.c_str(), 1.0 / opt.scale,
+                static_cast<unsigned long>(opt.seed));
+    std::printf("footprint:     %zu pages, DDR cap %zu frames\n",
+                sys.pageTable().numPages(),
+                static_cast<std::size_t>(
+                    sys.memory().tier(kNodeDdr).framesTotal()));
+    std::printf("accesses:      %lu (runtime %.1f ms)\n",
+                static_cast<unsigned long>(r.accesses), r.runtime / 1e6);
+    std::printf("throughput:    %.2f M/s full-run, %.2f M/s steady\n",
+                r.throughput / 1e6, r.steady_throughput / 1e6);
+    std::printf("kernel share:  %.1f%%\n",
+                100.0 * r.kernel_time / std::max<Tick>(1, r.runtime));
+    std::printf("LLC:           %.1f%% miss (%lu hits, %lu misses)\n",
+                100.0 * r.llc.missRatio(),
+                static_cast<unsigned long>(r.llc.hits),
+                static_cast<unsigned long>(r.llc.misses));
+    std::printf("TLB:           %lu misses, %lu shootdowns\n",
+                static_cast<unsigned long>(r.tlb.misses),
+                static_cast<unsigned long>(r.tlb.shootdowns));
+    std::printf("migration:     %lu promoted, %lu demoted, %lu rejected\n",
+                static_cast<unsigned long>(r.migration.promoted),
+                static_cast<unsigned long>(r.migration.demoted),
+                static_cast<unsigned long>(r.migration.rejected_pinned +
+                                           r.migration.rejected_not_cxl));
+    std::printf("steady reads:  %.1f%% from DDR\n",
+                100.0 * ddr_frac_reads);
+    if (r.p99_request > 0.0) {
+        std::printf("requests:      p50 %.1f us, p99 %.1f us "
+                    "(open-loop)\n",
+                    r.p50_request / 1e3, r.p99_request / 1e3);
+    }
+
+    std::printf("kernel cycles by category:\n");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(KernelWork::NumCategories); ++c) {
+        const auto work = static_cast<KernelWork>(c);
+        const Cycles cycles = sys.ledger().category(work);
+        if (cycles) {
+            std::printf("  %-16s %12lu (%.2f ms)\n",
+                        kernelWorkName(work).c_str(),
+                        static_cast<unsigned long>(cycles),
+                        static_cast<double>(cyclesToNs(cycles)) / 1e6);
+        }
+    }
+
+    if (opt.record_only && !r.hot_pages.empty()) {
+        std::printf("identified:    %zu hot pages, access-count ratio "
+                    "%.3f\n", r.hot_pages.size(),
+                    accessCountRatio(sys.pac(), r.hot_pages));
+    }
+    if (opt.wac) {
+        const auto pages = sys.wac().pagesWithUniqueWords(96);
+        std::size_t sparse = 0;
+        for (const auto &[pfn, words] : pages)
+            sparse += words <= 16;
+        if (!pages.empty()) {
+            std::printf("sparsity:      %.1f%% of well-sampled pages "
+                        "touch <= 16/64 words\n",
+                        100.0 * sparse / pages.size());
+        }
+    }
+    return 0;
+}

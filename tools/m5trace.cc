@@ -1,0 +1,196 @@
+/**
+ * @file
+ * m5trace — record, inspect and replay cache-filtered access traces.
+ *
+ *   m5trace record --bench NAME --out FILE [--scale D] [--accesses N]
+ *   m5trace info   --in FILE
+ *   m5trace replay --in FILE [--tracker cm|ss] [--entries N] [--k K]
+ *                  [--period-us P] [--words]
+ *
+ * `record` captures the post-LLC physical access stream of a simulated
+ * run (the §7.1 Pin + Ramulator methodology); `info` summarizes a trace;
+ * `replay` drives a standalone top-K tracker over it and reports the
+ * accumulated access-count ratio against exact counts.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "analysis/ratio.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workloads/trace.hh"
+
+using namespace m5;
+
+namespace {
+
+const char *
+findArg(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    const char *bench = findArg(argc, argv, "--bench");
+    const char *out = findArg(argc, argv, "--out");
+    if (!bench || !out)
+        m5_fatal("record needs --bench and --out");
+    const char *scale_s = findArg(argc, argv, "--scale");
+    const double scale = scale_s ? 1.0 / std::atof(scale_s)
+                                 : kDefaultScale;
+    const char *acc_s = findArg(argc, argv, "--accesses");
+
+    SystemConfig cfg = makeConfig(bench, PolicyKind::None, scale, 1);
+    cfg.enable_pac = false;
+    cfg.record_trace = true;
+    TieredSystem sys(cfg);
+    const std::uint64_t budget = acc_s
+        ? std::strtoull(acc_s, nullptr, 10)
+        : accessBudget(bench, scale) / 2;
+    sys.run(budget);
+    sys.trace().save(out);
+    std::printf("recorded %zu post-LLC accesses of %s to %s\n",
+                sys.trace().size(), bench, out);
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    const char *in = findArg(argc, argv, "--in");
+    if (!in)
+        m5_fatal("info needs --in");
+    const TraceBuffer trace = TraceBuffer::load(in);
+    if (trace.size() == 0) {
+        std::printf("%s: empty trace\n", in);
+        return 0;
+    }
+    ExactCounter pages, words;
+    std::uint64_t writes = 0;
+    for (const auto &rec : trace.records()) {
+        pages.observe(pfnOf(rec.pa));
+        words.observe(wordOf(rec.pa));
+        writes += rec.is_write;
+    }
+    const Tick span = trace.records().back().time -
+                      trace.records().front().time;
+    std::printf("%s:\n", in);
+    std::printf("  records:        %zu (%.1f%% writes)\n", trace.size(),
+                100.0 * writes / trace.size());
+    std::printf("  time span:      %.1f ms (%.2f M accesses/s)\n",
+                span / 1e6,
+                span ? trace.size() / (span * 1e-9) / 1e6 : 0.0);
+    std::printf("  distinct pages: %zu\n", pages.distinct());
+    std::printf("  distinct words: %zu\n", words.distinct());
+    std::printf("  top-5 pages by count:\n");
+    for (const auto &e : pages.topK(5)) {
+        std::printf("    pfn %-10lu %lu\n",
+                    static_cast<unsigned long>(e.tag),
+                    static_cast<unsigned long>(e.count));
+    }
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    const char *in = findArg(argc, argv, "--in");
+    if (!in)
+        m5_fatal("replay needs --in");
+    const TraceBuffer trace = TraceBuffer::load(in);
+
+    TrackerConfig cfg;
+    const char *kind = findArg(argc, argv, "--tracker");
+    cfg.kind = (kind && std::strcmp(kind, "ss") == 0)
+        ? TrackerKind::SpaceSavingTopK : TrackerKind::CmSketchTopK;
+    if (const char *n = findArg(argc, argv, "--entries"))
+        cfg.entries = std::strtoull(n, nullptr, 10);
+    if (const char *k = findArg(argc, argv, "--k"))
+        cfg.k = std::strtoull(k, nullptr, 10);
+    const char *p = findArg(argc, argv, "--period-us");
+    const Tick period = usToTicks(p ? std::atof(p) : 1000.0);
+    const bool words = hasFlag(argc, argv, "--words");
+
+    auto tracker = makeTracker(cfg);
+    ExactCounter exact;
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint64_t> reported;
+    Tick epoch_end = period;
+    std::uint64_t queries = 0;
+    auto serve = [&]() {
+        for (const auto &e : tracker->query()) {
+            if (seen.insert(e.tag).second)
+                reported.push_back(e.tag);
+        }
+        tracker->reset();
+        ++queries;
+    };
+    for (const auto &rec : trace.records()) {
+        while (rec.time >= epoch_end) {
+            serve();
+            epoch_end += period;
+        }
+        const std::uint64_t key =
+            words ? wordOf(rec.pa) : pfnOf(rec.pa);
+        tracker->access(key);
+        exact.observe(key);
+    }
+    serve();
+
+    std::uint64_t k_sum = 0;
+    for (std::uint64_t key : reported)
+        k_sum += exact.count(key);
+    const std::uint64_t top = exact.topKSum(reported.size());
+    std::printf("%s tracker, N=%lu, K=%zu, period %.0f us, %s keys\n",
+                trackerKindName(cfg.kind).c_str(),
+                static_cast<unsigned long>(cfg.entries), cfg.k,
+                period / 1e3, words ? "word" : "page");
+    std::printf("  queries:            %lu\n",
+                static_cast<unsigned long>(queries));
+    std::printf("  reported (unique):  %zu\n", reported.size());
+    std::printf("  access-count ratio: %.3f\n",
+                top ? static_cast<double>(k_sum) /
+                      static_cast<double>(top) : 0.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("usage: m5trace record|info|replay [options]\n"
+                    "see the file header for details\n");
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "record")
+        return cmdRecord(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
+    if (cmd == "replay")
+        return cmdReplay(argc, argv);
+    m5_fatal("unknown command '%s'", cmd.c_str());
+}
