@@ -5,56 +5,82 @@
  * The paper's sample policy uses fscale(x) = x^n and reports trying
  * n in 3..6 and a few f_default values, picking the best per benchmark.
  * This sweep regenerates that tuning surface for a skewed (roms_r) and a
- * flat (pr) workload.
+ * flat (pr) workload: a no-migration baseline grid plus a 9-point
+ * (n, f_default) axis on M5(HPT).
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hh"
+#include "analysis/report.hh"
 #include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Ablation: Elector fscale exponent n and f_default "
         "(M5(HPT), normalized to no migration)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
-    const char *benches[] = {"roms_r", "pr"};
+    const std::vector<std::string> benches = {"roms_r", "pr"};
     const double exponents[] = {2.0, 4.0, 6.0};
     const double freqs[] = {500.0, 1000.0, 2000.0};
 
+    ExperimentRunner runner({.name = "abl_elector"});
+
+    SweepGrid base;
+    base.benchmarks(benches).policy(PolicyKind::None).scale(scale);
+    const auto none = runner.run(base);
+
+    std::vector<SweepPoint> points;
+    for (double n : exponents) {
+        for (double f : freqs) {
+            points.push_back({"n" + TextTable::num(n, 0) + "/f" +
+                                  TextTable::num(f, 0),
+                              [n, f](SystemConfig &cfg) {
+                                  cfg.m5_cfg.elector.fscale_exponent = n;
+                                  cfg.m5_cfg.elector.f_default = f;
+                              }});
+        }
+    }
+    SweepGrid grid;
+    grid.benchmarks(benches)
+        .policy(PolicyKind::M5HptOnly)
+        .scale(scale)
+        .axis(points);
+    const auto results = runner.run(grid);
+
     TextTable table({"bench", "n", "f_default", "norm perf",
                      "migrations"});
-    for (const char *benchname : benches) {
-        const RunResult none =
-            runPolicy(benchname, PolicyKind::None, scale);
+    const std::size_t nv = points.size();
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        if (!none[b].ok)
+            m5_fatal("baseline failed: %s", none[b].error.c_str());
+        const double baseline = none[b].value.steady_throughput;
+        std::size_t v = 0;
         for (double n : exponents) {
             for (double f : freqs) {
-                SystemConfig cfg = makeConfig(
-                    benchname, PolicyKind::M5HptOnly, scale, 1);
-                cfg.m5_cfg.elector.fscale_exponent = n;
-                cfg.m5_cfg.elector.f_default = f;
-                TieredSystem sys(cfg);
-                const RunResult r =
-                    sys.run(accessBudget(benchname, scale));
-                table.addRow({bench::shortName(benchname),
+                const auto &r = results[b * nv + v++];
+                table.addRow({shortBenchName(benches[b]),
                               TextTable::num(n, 0),
                               TextTable::num(f, 0),
-                              TextTable::num(r.steady_throughput /
-                                             none.steady_throughput, 3),
-                              std::to_string(r.migration.promoted)});
-                std::fflush(stdout);
+                              r.ok ? TextTable::num(
+                                         r.value.steady_throughput /
+                                             baseline, 3)
+                                   : "-",
+                              r.ok ? std::to_string(
+                                         r.value.migration.promoted)
+                                   : "-"});
             }
         }
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "abl_elector_sweep");
     std::printf("\npaper: n in 3..6 with f_default ~1 gave the best "
                 "results; flat workloads are insensitive\n");
     return 0;

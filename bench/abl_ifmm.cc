@@ -16,8 +16,8 @@
  *     idealised M5 with perfect knowledge — an upper bound);
  *  2. IFMM only: all of DDR backs the word-swap directory;
  *  3. hybrid: half the DDR budget to each.
- * Run on a sparse workload (redis) and a dense one (mcf_r) to show the
- * crossover.
+ * One runner cell per workload — a sparse one (redis) and a dense one
+ * (mcf_r) — to show the crossover.
  */
 
 #include <algorithm>
@@ -26,10 +26,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "bench_util.hh"
+#include "analysis/report.hh"
 #include "common/table.hh"
 #include "mem/ifmm.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "workloads/trace.hh"
 
 using namespace m5;
@@ -113,51 +114,76 @@ hybridLatency(const TraceBuffer &trace, std::size_t page_budget,
     return total / static_cast<double>(trace.size());
 }
 
+struct DeploymentCell
+{
+    double pages = 0.0;
+    double ifmm = 0.0;
+    double hybrid = 0.0;
+};
+
+/** Collect the trace and replay it through the three deployments. */
+DeploymentCell
+measure(const SweepJob &job)
+{
+    TieredSystem sys(job.config);
+    sys.run(job.budget);
+    const TraceBuffer &trace = sys.trace();
+    const MemTier &cxl = sys.memory().tier(kNodeCxl);
+
+    const std::size_t budget_pages =
+        sys.memory().tier(kNodeDdr).framesTotal();
+    const std::uint64_t budget_words = budget_pages * kWordsPerPage;
+
+    DeploymentCell cell;
+    cell.pages = pageMigrationLatency(trace, budget_pages);
+    cell.ifmm = ifmmLatency(trace, budget_words, cxl.config().base,
+                            cxl.config().capacity_bytes);
+    cell.hybrid = hybridLatency(trace, budget_pages / 2,
+                                budget_words / 2, cxl.config().base,
+                                cxl.config().capacity_bytes);
+    return cell;
+}
+
 } // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Extension: IFMM vs page migration vs hybrid (Sec 9)");
     std::printf("scale=1/%.0f; DDR budget = 3/8 footprint; average "
                 "post-LLC latency in ns (lower is better)\n",
                 1.0 / scale);
 
+    const std::vector<std::string> benches = {"redis", "mcf_r"};
+    SweepGrid grid;
+    grid.benchmarks(benches).scale(scale).budgetScale(0.5).configure(
+        [](SystemConfig &cfg) {
+            cfg.enable_pac = false;
+            cfg.record_trace = true;
+        });
+    ExperimentRunner runner({.name = "abl_ifmm"});
+    const auto results = runner.map(grid.expand(), measure);
+
     TextTable table({"bench", "all-CXL", "pages only", "IFMM only",
                      "hybrid 50/50"});
-    for (const char *benchname : {"redis", "mcf_r"}) {
-        SystemConfig cfg =
-            makeConfig(benchname, PolicyKind::None, scale, 1);
-        cfg.enable_pac = false;
-        cfg.record_trace = true;
-        TieredSystem sys(cfg);
-        sys.run(accessBudget(benchname, scale) / 2);
-        const TraceBuffer &trace = sys.trace();
-        const MemTier &cxl = sys.memory().tier(kNodeCxl);
-
-        const std::size_t budget_pages =
-            sys.memory().tier(kNodeDdr).framesTotal();
-        const std::uint64_t budget_words =
-            budget_pages * kWordsPerPage;
-
-        const double pages =
-            pageMigrationLatency(trace, budget_pages);
-        const double ifmm = ifmmLatency(trace, budget_words,
-                                        cxl.config().base,
-                                        cxl.config().capacity_bytes);
-        const double hybrid = hybridLatency(trace, budget_pages / 2,
-                                            budget_words / 2,
-                                            cxl.config().base,
-                                            cxl.config().capacity_bytes);
-        table.addRow({bench::shortName(benchname),
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        if (!results[b].ok) {
+            table.addRow({shortBenchName(benches[b]),
+                          TextTable::num(static_cast<double>(kCxlLat),
+                                         0),
+                          "-", "-", "-"});
+            continue;
+        }
+        const DeploymentCell &c = results[b].value;
+        table.addRow({shortBenchName(benches[b]),
                       TextTable::num(static_cast<double>(kCxlLat), 0),
-                      TextTable::num(pages, 0), TextTable::num(ifmm, 0),
-                      TextTable::num(hybrid, 0)});
-        std::fflush(stdout);
+                      TextTable::num(c.pages, 0),
+                      TextTable::num(c.ifmm, 0),
+                      TextTable::num(c.hybrid, 0)});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "abl_ifmm");
     std::printf("\nexpected shape: sparse (redis) favours word-granular "
                 "IFMM; dense (mcf_r) favours page migration; the hybrid "
                 "tracks the better of the two (Sec 9's synergy)\n");

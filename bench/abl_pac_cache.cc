@@ -7,80 +7,130 @@
  * access-count table over D2D writes.  Counting stays exact; the cost is
  * D2D traffic.  This sweep measures hit ratio and writeback traffic as
  * the cache shrinks relative to the footprint, on mcf_r's cache-filtered
- * stream.
+ * stream (one trace cell, then a mapItems grid over the cache sizes).
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hh"
+#include "analysis/report.hh"
 #include "common/table.hh"
 #include "cxl/pac.hh"
 #include "cxl/pac_cache.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "workloads/trace.hh"
 
 using namespace m5;
 
+namespace {
+
+/** The replayed stream plus the CXL frame range it covers. */
+struct StreamCell
+{
+    TraceBuffer trace;
+    Pfn first = 0;
+    std::size_t frames = 0;
+};
+
+struct CacheCell
+{
+    double hit_ratio = 0.0;
+    std::uint64_t evictions = 0;
+    bool exact = false;
+};
+
+} // namespace
+
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Extension: PAC counter-cache sweep (mcf_r post-LLC stream)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
-    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::None, scale, 1);
-    cfg.enable_pac = true;
-    cfg.record_trace = true;
-    TieredSystem sys(cfg);
-    sys.run(accessBudget("mcf_r", scale) / 2);
-    const TraceBuffer &trace = sys.trace();
-    const Pfn first = sys.memory().tier(kNodeCxl).firstPfn();
-    const std::size_t frames =
-        sys.memory().tier(kNodeCxl).framesTotal();
+    SweepGrid grid;
+    grid.benchmark("mcf_r").scale(scale).budgetScale(0.5).configure(
+        [](SystemConfig &cfg) {
+            cfg.enable_pac = true;
+            cfg.record_trace = true;
+        });
+    ExperimentRunner runner({.name = "abl_pac_cache"});
+    const auto collected =
+        runner.map(grid.expand(), [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            sys.run(job.budget);
+            StreamCell cell;
+            cell.trace = sys.trace();
+            cell.first = sys.memory().tier(kNodeCxl).firstPfn();
+            cell.frames = sys.memory().tier(kNodeCxl).framesTotal();
+            return cell;
+        });
+    if (!collected[0].ok)
+        m5_fatal("trace collection failed: %s",
+                 collected[0].error.c_str());
+    const StreamCell &stream = collected[0].value;
 
     // Full-SRAM reference fed from the identical stream.
     PacConfig ref_cfg;
-    ref_cfg.first_pfn = first;
-    ref_cfg.frames = frames;
+    ref_cfg.first_pfn = stream.first;
+    ref_cfg.frames = stream.frames;
     PacUnit reference(ref_cfg);
-    for (const auto &rec : trace.records())
+    for (const auto &rec : stream.trace.records())
         reference.observe(rec.pa);
+
+    const std::vector<std::size_t> sizes = {
+        stream.frames, stream.frames / 4, stream.frames / 16,
+        stream.frames / 64};
+    const auto results =
+        runner.mapItems(sizes, [&](const std::size_t &entries) {
+            PacCacheConfig pc;
+            pc.first_pfn = stream.first;
+            pc.frames = stream.frames;
+            pc.cache_entries = entries;
+            PacCacheUnit pac(pc);
+            for (const auto &rec : stream.trace.records())
+                pac.observe(rec.pa);
+
+            CacheCell cell;
+            cell.hit_ratio = static_cast<double>(pac.hits()) /
+                             static_cast<double>(pac.hits() +
+                                                 pac.misses());
+            cell.evictions = pac.evictions();
+            // Exactness check against the full-SRAM reference.
+            cell.exact = true;
+            for (Pfn p = stream.first; p < stream.first + stream.frames;
+                 p += 97) {
+                if (pac.count(p) != reference.count(p)) {
+                    cell.exact = false;
+                    break;
+                }
+            }
+            return cell;
+        });
 
     TextTable table({"cache entries", "coverage", "hit ratio",
                      "D2D writebacks", "wb per access", "exact"});
-    for (std::size_t entries :
-         {frames, frames / 4, frames / 16, frames / 64}) {
-        PacCacheConfig pc;
-        pc.first_pfn = first;
-        pc.frames = frames;
-        pc.cache_entries = entries;
-        PacCacheUnit pac(pc);
-        for (const auto &rec : trace.records())
-            pac.observe(rec.pa);
-
-        // Exactness check against the full-SRAM reference.
-        bool exact = true;
-        for (Pfn p = first; p < first + frames; p += 97) {
-            if (pac.count(p) != reference.count(p)) {
-                exact = false;
-                break;
-            }
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        if (!results[i].ok) {
+            table.addRow({std::to_string(sizes[i]), "-", "-", "-", "-",
+                          "-"});
+            continue;
         }
-        table.addRow({std::to_string(entries),
-                      TextTable::num(static_cast<double>(entries) /
-                                     static_cast<double>(frames), 3),
-                      TextTable::num(static_cast<double>(pac.hits()) /
-                                     static_cast<double>(pac.hits() +
-                                                         pac.misses())),
-                      std::to_string(pac.evictions()),
-                      TextTable::num(static_cast<double>(pac.evictions()) /
-                                     static_cast<double>(trace.size())),
-                      exact ? "yes" : "NO"});
-        std::fflush(stdout);
+        const CacheCell &c = results[i].value;
+        table.addRow({std::to_string(sizes[i]),
+                      TextTable::num(static_cast<double>(sizes[i]) /
+                                     static_cast<double>(stream.frames),
+                                     3),
+                      TextTable::num(c.hit_ratio),
+                      std::to_string(c.evictions),
+                      TextTable::num(static_cast<double>(c.evictions) /
+                                     static_cast<double>(
+                                         stream.trace.size())),
+                      c.exact ? "yes" : "NO"});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "abl_pac_cache");
     std::printf("\ncounting stays exact at every cache size; shrinking "
                 "SRAM only trades D2D writeback bandwidth\n");
     return 0;

@@ -5,65 +5,110 @@
  * §2.1 Solution 3 / §4 note: Intel PEBS cannot sample LLC misses to CXL
  * devices, so the paper skips Memtis; it cites [75] that at a 1-in-100
  * sampling rate the interrupt processing alone costs > 15%.  This harness
- * assumes the capability exists and sweeps the sampling period on mcf_r:
- * precision (record-only access-count ratio) and overhead both rise as
- * the period shrinks, reproducing the cited trade-off, and an end-to-end
- * column compares Memtis against M5.
+ * assumes the capability exists and sweeps the sampling period on mcf_r
+ * as a custom axis: a record-only grid measures precision (access-count
+ * ratio) and identification overhead, an end-to-end grid compares Memtis
+ * against the no-migration and M5 reference runs.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/ratio.hh"
-#include "bench_util.hh"
+#include "analysis/report.hh"
 #include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
+
+namespace {
+
+struct SampleCell
+{
+    double ratio = 0.0;     //!< Record-only access-count ratio.
+    double ident_pct = 0.0; //!< Kernel identification time share.
+};
+
+} // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Extension: PEBS/Memtis sampling-rate sweep (mcf_r)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
-    const RunResult none = runPolicy("mcf_r", PolicyKind::None, scale);
+    const std::uint64_t periods[] = {1000, 200, 100, 20};
+    std::vector<SweepPoint> points;
+    for (std::uint64_t period : periods) {
+        points.push_back({"1-in-" + std::to_string(period),
+                          [period](SystemConfig &cfg) {
+                              cfg.pebs_cfg.sample_period = period;
+                          }});
+    }
+
+    ExperimentRunner runner({.name = "abl_pebs"});
+
+    // Reference runs: no migration, and M5(HPT+HWT).
+    SweepGrid refs;
+    refs.benchmark("mcf_r")
+        .policies({PolicyKind::None, PolicyKind::M5HptDriven})
+        .scale(scale);
+    const auto ref = runner.run(refs);
+    if (!ref[0].ok || !ref[1].ok)
+        m5_fatal("reference run failed");
+    const double none = ref[0].value.steady_throughput;
+
+    // Record-only grid: precision + identification cost per period.
+    SweepGrid record;
+    record.benchmark("mcf_r")
+        .policy(PolicyKind::Memtis)
+        .scale(scale)
+        .recordOnly()
+        .axis(points);
+    const auto recorded =
+        runner.map(record.expand(), [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            const RunResult r = sys.run(job.budget);
+            SampleCell cell;
+            cell.ratio = accessCountRatio(sys.pac(), r.hot_pages);
+            cell.ident_pct = 100.0 *
+                static_cast<double>(r.kernel_ident_cycles) /
+                static_cast<double>(nsToCycles(r.runtime));
+            return cell;
+        });
+
+    // End-to-end grid over the same axis.
+    SweepGrid e2e;
+    e2e.benchmark("mcf_r")
+        .policy(PolicyKind::Memtis)
+        .scale(scale)
+        .axis(points);
+    const auto measured = runner.run(e2e);
 
     TextTable table({"sample 1-in-N", "ratio", "kernel ident %",
                      "norm perf", "migrations"});
-    for (std::uint64_t period : {1000ULL, 200ULL, 100ULL, 20ULL}) {
-        // Record-only run for precision + identification cost.
-        SystemConfig rc = makeConfig("mcf_r", PolicyKind::Memtis, scale, 1);
-        rc.record_only = true;
-        rc.pebs_cfg.sample_period = period;
-        TieredSystem rsys(rc);
-        const RunResult rr = rsys.run(accessBudget("mcf_r", scale));
-        const double ratio = accessCountRatio(rsys.pac(), rr.hot_pages);
-        const double ident_pct = 100.0 *
-            static_cast<double>(rr.kernel_ident_cycles) /
-            static_cast<double>(nsToCycles(rr.runtime));
-
-        // End-to-end run.
-        SystemConfig ec = makeConfig("mcf_r", PolicyKind::Memtis, scale, 1);
-        ec.pebs_cfg.sample_period = period;
-        TieredSystem esys(ec);
-        const RunResult er = esys.run(accessBudget("mcf_r", scale));
-
-        table.addRow({std::to_string(period), TextTable::num(ratio),
-                      TextTable::num(ident_pct, 1),
-                      TextTable::num(er.steady_throughput /
-                                     none.steady_throughput),
-                      std::to_string(er.migration.promoted)});
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < std::size(periods); ++i) {
+        const auto &rc = recorded[i];
+        const auto &er = measured[i];
+        table.addRow({std::to_string(periods[i]),
+                      rc.ok ? TextTable::num(rc.value.ratio) : "-",
+                      rc.ok ? TextTable::num(rc.value.ident_pct, 1)
+                            : "-",
+                      er.ok ? TextTable::num(
+                                  er.value.steady_throughput / none)
+                            : "-",
+                      er.ok ? std::to_string(
+                                  er.value.migration.promoted)
+                            : "-"});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "abl_pebs_sampling");
 
-    const RunResult m5 = runPolicy("mcf_r", PolicyKind::M5HptDriven, scale);
     std::printf("\nreference: M5(HPT+HWT) norm perf %.2f with ~0%% "
                 "identification cost\n",
-                m5.steady_throughput / none.steady_throughput);
+                ref[1].value.steady_throughput / none);
     std::printf("paper context: sampling 1-in-100 LLC misses costs >15%% "
                 "[75]; PEBS cannot see CXL misses on real hardware "
                 "[67]\n");

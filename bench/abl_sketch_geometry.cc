@@ -2,7 +2,9 @@
  * @file
  * Ablation: CM-Sketch geometry and query pacing (§7.1, §5.1).
  *
- * Three sweeps on an mcf_r cache-filtered trace:
+ * Three replay sweeps on one mcf_r cache-filtered trace (the trace is a
+ * single runner cell; each sweep is a mapItems grid over the replayed
+ * tracker configurations):
  *  - hash rows H at fixed N = 32K (the paper sweeps H = 2..16 and sees
  *    only a secondary effect),
  *  - CAM size K at fixed N,
@@ -16,9 +18,10 @@
 #include <unordered_set>
 
 #include "analysis/ratio.hh"
-#include "bench_util.hh"
+#include "analysis/report.hh"
 #include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "workloads/trace.hh"
 
 using namespace m5;
@@ -62,72 +65,114 @@ replayRatio(const TraceBuffer &trace, const TrackerConfig &cfg,
                      static_cast<double>(top_sum) : 0.0;
 }
 
+/** One replayed point: a tracker geometry plus its query period. */
+struct GeomItem
+{
+    std::string label;
+    TrackerConfig cfg;
+    Tick query_period;
+};
+
+void
+sweepGeometry(const ExperimentRunner &runner, const TraceBuffer &trace,
+              const char *column, const char *section,
+              const std::vector<GeomItem> &items, const char *note)
+{
+    const auto results =
+        runner.mapItems(items, [&trace](const GeomItem &item) {
+            return replayRatio(trace, item.cfg, item.query_period);
+        });
+    TextTable table({column, "avg ratio"});
+    for (std::size_t i = 0; i < items.size(); ++i)
+        table.addRow({items[i].label,
+                      results[i].ok ? TextTable::num(results[i].value)
+                                    : "-"});
+    emitTable(std::cout, table, section);
+    if (note)
+        std::printf("%s", note);
+}
+
 } // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout, "Ablation: CM-Sketch geometry (mcf_r trace)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
-    SystemConfig sys_cfg = makeConfig("mcf_r", PolicyKind::None, scale, 1);
-    sys_cfg.enable_pac = false;
-    sys_cfg.record_trace = true;
-    TieredSystem sys(sys_cfg);
-    sys.run(accessBudget("mcf_r", scale) / 2);
-    const TraceBuffer &trace = sys.trace();
+    SweepGrid grid;
+    grid.benchmark("mcf_r").scale(scale).budgetScale(0.5).configure(
+        [](SystemConfig &cfg) {
+            cfg.enable_pac = false;
+            cfg.record_trace = true;
+        });
+    ExperimentRunner runner({.name = "abl_sketch"});
+    const auto collected =
+        runner.map(grid.expand(), [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            sys.run(job.budget);
+            return sys.trace();
+        });
+    if (!collected[0].ok)
+        m5_fatal("trace collection failed: %s",
+                 collected[0].error.c_str());
+    const TraceBuffer &trace = collected[0].value;
 
     {
-        TextTable table({"H (N=32K, K=5)", "avg ratio"});
+        std::vector<GeomItem> items;
         for (unsigned h : {2u, 4u, 8u, 16u}) {
-            TrackerConfig cfg;
-            cfg.entries = 32 * 1024;
-            cfg.hash_rows = h;
-            cfg.k = 5;
-            table.addRow({std::to_string(h),
-                          TextTable::num(replayRatio(trace, cfg,
-                                                     msToTicks(1.0)))});
+            GeomItem item;
+            item.label = std::to_string(h);
+            item.cfg.entries = 32 * 1024;
+            item.cfg.hash_rows = h;
+            item.cfg.k = 5;
+            item.query_period = msToTicks(1.0);
+            items.push_back(item);
         }
-        table.print(std::cout);
-        std::printf("paper: H has only a secondary effect at fixed N\n");
+        sweepGeometry(runner, trace, "H (N=32K, K=5)", "abl_sketch_h",
+                      items,
+                      "paper: H has only a secondary effect at fixed "
+                      "N\n");
     }
     {
-        TextTable table({"K (N=32K, H=4)", "avg ratio"});
+        std::vector<GeomItem> items;
         for (std::size_t k : {5u, 16u, 64u, 128u}) {
-            TrackerConfig cfg;
-            cfg.entries = 32 * 1024;
-            cfg.k = k;
-            table.addRow({std::to_string(k),
-                          TextTable::num(replayRatio(trace, cfg,
-                                                     msToTicks(1.0)))});
+            GeomItem item;
+            item.label = std::to_string(k);
+            item.cfg.entries = 32 * 1024;
+            item.cfg.k = k;
+            item.query_period = msToTicks(1.0);
+            items.push_back(item);
         }
-        table.print(std::cout);
+        sweepGeometry(runner, trace, "K (N=32K, H=4)", "abl_sketch_k",
+                      items, nullptr);
     }
     {
-        TextTable table({"query period", "avg ratio"});
         const std::pair<const char *, Tick> periods[] = {
             {"200us", usToTicks(200.0)},
             {"1ms", msToTicks(1.0)},
             {"5ms", msToTicks(5.0)},
             {"20ms", msToTicks(20.0)},
         };
+        std::vector<GeomItem> items;
         for (const auto &[label, period] : periods) {
-            TrackerConfig cfg;
-            cfg.entries = 32 * 1024;
-            cfg.k = 5;
-            table.addRow({label,
-                          TextTable::num(replayRatio(trace, cfg,
-                                                     period))});
+            GeomItem item;
+            item.label = label;
+            item.cfg.entries = 32 * 1024;
+            item.cfg.k = 5;
+            item.query_period = period;
+            items.push_back(item);
         }
-        table.print(std::cout);
-        std::printf("paper (Sec 7.1): preciseness increases as the "
-                    "interval decreases.  In this scaled replay of a "
-                    "*static* workload\nthe opposite edge of the "
-                    "trade-off shows: longer epochs reduce per-query "
-                    "top-K noise, while short epochs only pay\noff when "
-                    "the hot set drifts between queries (see "
-                    "EXPERIMENTS.md).\n");
+        sweepGeometry(runner, trace, "query period", "abl_sketch_period",
+                      items,
+                      "paper (Sec 7.1): preciseness increases as the "
+                      "interval decreases.  In this scaled replay of a "
+                      "*static* workload\nthe opposite edge of the "
+                      "trade-off shows: longer epochs reduce per-query "
+                      "top-K noise, while short epochs only pay\noff "
+                      "when the hot set drifts between queries (see "
+                      "EXPERIMENTS.md).\n");
     }
     return 0;
 }

@@ -8,20 +8,20 @@
  * identified hot-page PFNs into a hot-page list (capped at ~1/16 of the
  * footprint, the paper's 128K-page budget); PAC counts every access.  The
  * run repeats over several seeds ("execution points") for min/max bars.
+ * The benchmark × policy × seed grid runs on the ExperimentRunner pool.
  *
  * Paper reference: both solutions score below 0.4 on most benchmarks
  * (exceptions: cactuBSSN_r, fotonik3d_r, mcf_r), DAMON above ANB on
  * average (0.29 vs 0.21 across the suite).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/ratio.hh"
 #include "analysis/report.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
@@ -34,23 +34,24 @@ struct RatioStats
     double max = 0.0;
 };
 
+/** Fold the per-seed ratios of one (bench, policy) cell block. */
 RatioStats
-measure(const std::string &bench, PolicyKind policy, double scale,
-        int seeds)
+fold(const std::vector<Outcome<double>> &results, std::size_t first,
+     std::size_t seeds)
 {
     RatioStats s;
     double sum = 0.0;
-    for (int seed = 1; seed <= seeds; ++seed) {
-        SystemConfig cfg = makeConfig(bench, policy, scale, seed);
-        cfg.record_only = true;
-        TieredSystem sys(cfg);
-        const RunResult r = sys.run(accessBudget(bench, scale));
-        const double ratio = accessCountRatio(sys.pac(), r.hot_pages);
+    std::size_t valid = 0;
+    for (std::size_t i = first; i < first + seeds; ++i) {
+        if (!results[i].ok)
+            continue;
+        const double ratio = results[i].value;
         sum += ratio;
         s.min = std::min(s.min, ratio);
         s.max = std::max(s.max, ratio);
+        ++valid;
     }
-    s.avg = sum / seeds;
+    s.avg = valid ? sum / static_cast<double>(valid) : 0.0;
     return s;
 }
 
@@ -59,8 +60,8 @@ measure(const std::string &bench, PolicyKind policy, double scale,
 int
 main()
 {
-    const double scale = bench::benchScale();
-    const int seeds = bench::benchSeeds();
+    const double scale = benchScale();
+    const int seeds = benchSeeds();
 
     printBanner(std::cout,
         "Figure 3: access-count ratio of ANB/DAMON hot pages vs PAC "
@@ -68,24 +69,30 @@ main()
     std::printf("scale=1/%.0f, %d execution points per bar\n",
                 1.0 / scale, seeds);
 
+    const std::vector<PolicyKind> policies = {PolicyKind::Anb,
+                                              PolicyKind::Damon};
+    const std::vector<SweepJob> jobs =
+        recordOnlyGrid(policies, scale, seeds).expand();
+    ExperimentRunner runner({.name = "fig03"});
+    const auto results = runner.map(jobs, accessRatioJob);
+
+    const auto &benches = benchmarkNames();
+    const std::size_t ns = static_cast<std::size_t>(seeds);
     TextTable table({"bench", "ANB avg", "ANB min", "ANB max",
                      "DAMON avg", "DAMON min", "DAMON max"});
     std::vector<double> anb_avgs, damon_avgs;
-    for (const auto &benchname : benchmarkNames()) {
-        const RatioStats anb =
-            measure(benchname, PolicyKind::Anb, scale, seeds);
-        const RatioStats damon =
-            measure(benchname, PolicyKind::Damon, scale, seeds);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const RatioStats anb = fold(results, (b * 2 + 0) * ns, ns);
+        const RatioStats damon = fold(results, (b * 2 + 1) * ns, ns);
         anb_avgs.push_back(std::max(anb.avg, 1e-6));
         damon_avgs.push_back(std::max(damon.avg, 1e-6));
-        table.addRow({bench::shortName(benchname),
+        table.addRow({shortBenchName(benches[b]),
                       TextTable::num(anb.avg), TextTable::num(anb.min),
                       TextTable::num(anb.max), TextTable::num(damon.avg),
                       TextTable::num(damon.min),
                       TextTable::num(damon.max)});
-        std::fflush(stdout);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig03_access_ratio");
 
     double anb_mean = 0.0, damon_mean = 0.0;
     for (double v : anb_avgs)

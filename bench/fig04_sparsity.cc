@@ -1,7 +1,8 @@
 /**
  * @file
  * Figure 4: probability that at most {4, 8, 16, 32, 48} unique 64B words
- * of a 4KB page are accessed, measured with WAC over a full run.
+ * of a 4KB page are accessed, measured with WAC over a full run.  One
+ * runner cell per benchmark.
  *
  * Paper reference: P(<=16 words) = 86% / 76% / 74% for Redis / Memcached /
  * CacheLib; SPEC CPU 2017 pages (except roms_r) are dense with
@@ -13,38 +14,52 @@
 #include <iostream>
 
 #include "analysis/cdf.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
 
     printBanner(std::cout,
         "Figure 4: P(page has at most N unique 64B words accessed)");
     std::printf("scale=1/%.0f (WAC, full-range window)\n", 1.0 / scale);
 
-    TextTable table({"bench", "<=4", "<=8", "<=16", "<=32", "<=48"});
-    for (const auto &benchname : sparsityBenchmarkNames()) {
-        SystemConfig cfg =
-            makeConfig(benchname, PolicyKind::None, scale, 1);
-        cfg.enable_pac = false;
-        cfg.enable_wac = true;
-        TieredSystem sys(cfg);
-        sys.run(accessBudget(benchname, scale));
+    SweepGrid grid;
+    grid.benchmarks(sparsityBenchmarkNames())
+        .scale(scale)
+        .configure([](SystemConfig &cfg) {
+            cfg.enable_pac = false;
+            cfg.enable_wac = true;
+        });
+    const std::vector<SweepJob> jobs = grid.expand();
+    ExperimentRunner runner({.name = "fig04"});
+    const auto results = runner.map(jobs, [](const SweepJob &job) {
+        TieredSystem sys(job.config);
+        sys.run(job.budget);
         // Only well-sampled pages: at scaled budgets a cold page cannot
         // have touched all its words yet.
-        const auto cdf = sparsityCdf(sys.wac(), 96);
-        table.addRow({bench::shortName(benchname), TextTable::num(cdf[0]),
-                      TextTable::num(cdf[1]), TextTable::num(cdf[2]),
-                      TextTable::num(cdf[3]), TextTable::num(cdf[4])});
-        std::fflush(stdout);
+        return sparsityCdf(sys.wac(), 96);
+    });
+
+    TextTable table({"bench", "<=4", "<=8", "<=16", "<=32", "<=48"});
+    for (std::size_t b = 0; b < jobs.size(); ++b) {
+        if (!results[b].ok) {
+            table.addRow({shortBenchName(jobs[b].benchmark), "-", "-",
+                          "-", "-", "-"});
+            continue;
+        }
+        const auto &cdf = results[b].value;
+        table.addRow({shortBenchName(jobs[b].benchmark),
+                      TextTable::num(cdf[0]), TextTable::num(cdf[1]),
+                      TextTable::num(cdf[2]), TextTable::num(cdf[3]),
+                      TextTable::num(cdf[4])});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig04_sparsity");
     std::printf("\npaper: redis/mcd/c.-lib P(<=16) = 0.86/0.76/0.74; "
                 "SPEC (except roms) P(<=48) <= 0.13;\n"
                 "       pr/sssp P(<=48) = 0.02/0.11; "

@@ -10,6 +10,9 @@
  * HPT is queried every 1ms, HWT every 100us; each query's top-5 report is
  * scored against exact per-epoch counts, and the ratios are averaged.
  *
+ * Two runner phases: trace collection (one cell per benchmark — each
+ * trace feeds both panels), then the trace × algorithm × N replay grid.
+ *
  * Paper reference: Space-Saving is more precise than CM-Sketch at equal
  * (small) N, but under the 400MHz synthesis limits CM-Sketch at N = 32K
  * (avg ratio ~0.97) beats Space-Saving at its N = 50 cap (~0.49).
@@ -21,28 +24,17 @@
 #include <unordered_set>
 
 #include "analysis/ratio.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "workloads/trace.hh"
 
 using namespace m5;
 
 namespace {
 
-const char *kBenches[] = {"mcf_r", "cactuBSSN_r", "fotonik3d_r", "roms_r",
-                          "liblinear", "pr"};
-
-TraceBuffer
-collectTrace(const std::string &benchname, double scale)
-{
-    SystemConfig cfg = makeConfig(benchname, PolicyKind::None, scale, 1);
-    cfg.enable_pac = false;
-    cfg.record_trace = true;
-    TieredSystem sys(cfg);
-    sys.run(accessBudget(benchname, scale) / 2);
-    return sys.trace();
-}
+const std::vector<std::string> kBenches = {
+    "mcf_r", "cactuBSSN_r", "fotonik3d_r", "roms_r", "liblinear", "pr"};
 
 /**
  * Replay a trace into one tracker.  Each query period the tracker's top-K
@@ -91,46 +83,56 @@ replayRatio(const TraceBuffer &trace, const TrackerConfig &cfg,
                      static_cast<double>(top_sum) : 0.0;
 }
 
+/** One replay cell: (trace, algorithm, N) under a panel's granularity. */
+struct ReplayItem
+{
+    std::size_t bench; //!< Index into kBenches / the trace array.
+    TrackerKind kind;
+    std::uint64_t entries;
+};
+
 void
-sweepPanel(const char *title, bool page_granularity, Tick query_period,
-           double scale)
+sweepPanel(const ExperimentRunner &runner,
+           const std::vector<TraceBuffer> &traces, const char *title,
+           const char *section, bool page_granularity, Tick query_period)
 {
     printBanner(std::cout, title);
     const std::uint64_t ss_sizes[] = {50, 100, 512, 1024, 2048};
     const std::uint64_t cm_sizes[] = {50, 512, 2048, 8192, 32768, 131072};
 
+    std::vector<ReplayItem> items;
+    for (std::size_t b = 0; b < kBenches.size(); ++b) {
+        for (std::uint64_t n : ss_sizes)
+            items.push_back({b, TrackerKind::SpaceSavingTopK, n});
+        for (std::uint64_t n : cm_sizes)
+            items.push_back({b, TrackerKind::CmSketchTopK, n});
+    }
+    const auto results =
+        runner.mapItems(items, [&](const ReplayItem &item) {
+            TrackerConfig cfg;
+            cfg.kind = item.kind;
+            cfg.entries = item.entries;
+            cfg.k = 5;
+            return replayRatio(traces[item.bench], cfg,
+                               page_granularity, query_period);
+        });
+
     TextTable table({"bench", "algo", "N", "avg ratio"});
     double cm32k_sum = 0.0, ss50_sum = 0.0;
-    for (const char *benchname : kBenches) {
-        const TraceBuffer trace = collectTrace(benchname, scale);
-        for (std::uint64_t n : ss_sizes) {
-            TrackerConfig cfg;
-            cfg.kind = TrackerKind::SpaceSavingTopK;
-            cfg.entries = n;
-            cfg.k = 5;
-            const double r =
-                replayRatio(trace, cfg, page_granularity, query_period);
-            if (n == 50)
-                ss50_sum += r;
-            table.addRow({bench::shortName(benchname), "SS",
-                          std::to_string(n), TextTable::num(r)});
-        }
-        for (std::uint64_t n : cm_sizes) {
-            TrackerConfig cfg;
-            cfg.kind = TrackerKind::CmSketchTopK;
-            cfg.entries = n;
-            cfg.k = 5;
-            const double r =
-                replayRatio(trace, cfg, page_granularity, query_period);
-            if (n == 32768)
-                cm32k_sum += r;
-            table.addRow({bench::shortName(benchname), "CM",
-                          std::to_string(n), TextTable::num(r)});
-        }
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const ReplayItem &item = items[i];
+        const double r = results[i].ok ? results[i].value : 0.0;
+        const bool ss = item.kind == TrackerKind::SpaceSavingTopK;
+        if (ss && item.entries == 50)
+            ss50_sum += r;
+        if (!ss && item.entries == 32768)
+            cm32k_sum += r;
+        table.addRow({shortBenchName(kBenches[item.bench]),
+                      ss ? "SS" : "CM", std::to_string(item.entries),
+                      TextTable::num(r)});
     }
-    table.print(std::cout);
-    const double n_benches = std::size(kBenches);
+    emitTable(std::cout, table, section);
+    const double n_benches = static_cast<double>(kBenches.size());
     std::printf("mean ratio: SS(50) %.2f, CM(32K) %.2f "
                 "(paper HPT: 0.49 vs 0.97)\n",
                 ss50_sum / n_benches, cm32k_sum / n_benches);
@@ -141,11 +143,38 @@ sweepPanel(const char *title, bool page_granularity, Tick query_period,
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     std::printf("scale=1/%.0f\n", 1.0 / scale);
-    sweepPanel("Figure 7a: HPT (page-granularity, 1ms query period)",
-               true, msToTicks(1.0), scale);
-    sweepPanel("Figure 7b: HWT (word-granularity, 100us query period)",
-               false, usToTicks(100.0), scale);
+
+    // Phase 1: one cache-filtered trace per benchmark, shared by both
+    // panels (the stream is policy-free, so collecting it once is
+    // equivalent to the per-panel collection it replaces).
+    SweepGrid grid;
+    grid.benchmarks(kBenches).scale(scale).budgetScale(0.5).configure(
+        [](SystemConfig &cfg) {
+            cfg.enable_pac = false;
+            cfg.record_trace = true;
+        });
+    ExperimentRunner runner({.name = "fig07"});
+    const auto collected =
+        runner.map(grid.expand(), [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            sys.run(job.budget);
+            return sys.trace();
+        });
+    std::vector<TraceBuffer> traces;
+    for (const auto &c : collected) {
+        if (!c.ok)
+            m5_fatal("trace collection failed: %s", c.error.c_str());
+        traces.push_back(c.value);
+    }
+
+    // Phase 2: the replay grids.
+    sweepPanel(runner, traces,
+               "Figure 7a: HPT (page-granularity, 1ms query period)",
+               "fig07a_hpt", true, msToTicks(1.0));
+    sweepPanel(runner, traces,
+               "Figure 7b: HWT (word-granularity, 100us query period)",
+               "fig07b_hwt", false, usToTicks(100.0));
     return 0;
 }

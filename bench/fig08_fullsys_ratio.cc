@@ -9,45 +9,32 @@
  *   - the better of ANB and DAMON (the "CPU-driven best" bar),
  *   - M5 with a Space-Saving HPT at its FPGA limit (N = 50),
  *   - M5 with a CM-Sketch HPT at N = 32K.
+ * The four variants form a custom sweep axis over the suite.
  *
  * Paper reference: CM-Sketch-32K averages 0.72 absolute — 3.5% above
  * Space-Saving-50 and 47% above the best CPU-driven solution.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/ratio.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
 namespace {
 
-double
-m5Ratio(const std::string &benchname, TrackerKind kind, std::uint64_t n,
-        double scale)
+SweepPoint
+m5Point(std::string label, TrackerKind kind, std::uint64_t n)
 {
-    SystemConfig cfg =
-        makeConfig(benchname, PolicyKind::M5HptOnly, scale, 1);
-    cfg.record_only = true;
-    cfg.hpt_cfg.kind = kind;
-    cfg.hpt_cfg.entries = n;
-    TieredSystem sys(cfg);
-    const RunResult r = sys.run(accessBudget(benchname, scale));
-    return accessCountRatio(sys.pac(), r.hot_pages);
-}
-
-double
-cpuRatio(const std::string &benchname, PolicyKind policy, double scale)
-{
-    SystemConfig cfg = makeConfig(benchname, policy, scale, 1);
-    cfg.record_only = true;
-    TieredSystem sys(cfg);
-    const RunResult r = sys.run(accessBudget(benchname, scale));
-    return accessCountRatio(sys.pac(), r.hot_pages);
+    return {std::move(label), [kind, n](SystemConfig &cfg) {
+                cfg.policy = PolicyKind::M5HptOnly;
+                cfg.hpt_cfg.kind = kind;
+                cfg.hpt_cfg.entries = n;
+            }};
 }
 
 } // namespace
@@ -55,34 +42,44 @@ cpuRatio(const std::string &benchname, PolicyKind policy, double scale)
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Figure 8: full-system access-count ratios of HPT "
         "(Elector-driven query rate)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
+    SweepGrid grid = recordOnlyGrid({PolicyKind::None}, scale);
+    grid.axis({
+        {"ANB", [](SystemConfig &c) { c.policy = PolicyKind::Anb; }},
+        {"DAMON", [](SystemConfig &c) { c.policy = PolicyKind::Damon; }},
+        m5Point("SS50", TrackerKind::SpaceSavingTopK, 50),
+        m5Point("CM32K", TrackerKind::CmSketchTopK, 32 * 1024),
+    });
+    const std::vector<SweepJob> jobs = grid.expand();
+    ExperimentRunner runner({.name = "fig08"});
+    const auto results = runner.map(jobs, accessRatioJob);
+
+    const auto &benches = benchmarkNames();
+    auto at = [&](std::size_t b, std::size_t v) {
+        return results[b * 4 + v].ok ? results[b * 4 + v].value : 0.0;
+    };
+
     TextTable table({"bench", "CPU-driven best", "M5 SS(50)",
                      "M5 CM(32K)"});
     double best_sum = 0.0, ss_sum = 0.0, cm_sum = 0.0;
-    for (const auto &benchname : benchmarkNames()) {
-        const double anb = cpuRatio(benchname, PolicyKind::Anb, scale);
-        const double damon =
-            cpuRatio(benchname, PolicyKind::Damon, scale);
-        const double best = std::max(anb, damon);
-        const double ss =
-            m5Ratio(benchname, TrackerKind::SpaceSavingTopK, 50, scale);
-        const double cm = m5Ratio(benchname, TrackerKind::CmSketchTopK,
-                                  32 * 1024, scale);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const double best = std::max(at(b, 0), at(b, 1));
+        const double ss = at(b, 2);
+        const double cm = at(b, 3);
         best_sum += best;
         ss_sum += ss;
         cm_sum += cm;
-        table.addRow({bench::shortName(benchname), TextTable::num(best),
+        table.addRow({shortBenchName(benches[b]), TextTable::num(best),
                       TextTable::num(ss), TextTable::num(cm)});
-        std::fflush(stdout);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig08_fullsys_ratio");
 
-    const double n = static_cast<double>(benchmarkNames().size());
+    const double n = static_cast<double>(benches.size());
     std::printf("\nmeans: CPU-driven best %.2f, M5 SS(50) %.2f, "
                 "M5 CM(32K) %.2f\n",
                 best_sum / n, ss_sum / n, cm_sum / n);

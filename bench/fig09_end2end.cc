@@ -9,6 +9,11 @@
  * Batch workloads report steady-state throughput; Redis reports inverse
  * p99 request latency.
  *
+ * The whole 12-benchmark × 6-policy × seed grid is declared as one
+ * SweepGrid and executed by the parallel ExperimentRunner; output is
+ * identical to a serial run (M5_BENCH_JOBS=1) because results are
+ * collected in grid order.
+ *
  * Paper reference: DAMON averages 1.81x over no migration (+6% over ANB);
  * M5 averages 2.06x (+14% over DAMON, +20% over ANB).  Redis: ANB +8%,
  * DAMON -16%, M5 +18-19% with the HWT-driven Nominator best; roms_r is
@@ -19,70 +24,82 @@
 #include <iostream>
 
 #include "analysis/report.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
-
-namespace {
-
-double
-normPerf(const RunResult &baseline, const RunResult &r,
-         bool latency_sensitive)
-{
-    return normalizedPerformance(baseline.steady_throughput,
-                                 r.steady_throughput,
-                                 baseline.p99_request, r.p99_request,
-                                 latency_sensitive);
-}
-
-} // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
+    const int seeds = benchSeeds(1);
     printBanner(std::cout,
         "Figure 9: end-to-end performance normalized to no page "
         "migration");
-    std::printf("scale=1/%.0f (Redis scored by inverse p99 latency)\n",
-                1.0 / scale);
+    std::printf("scale=1/%.0f, %d seed(s) (Redis scored by inverse p99 "
+                "latency)\n", 1.0 / scale, seeds);
 
-    const PolicyKind policies[] = {PolicyKind::Anb, PolicyKind::Damon,
-                                   PolicyKind::M5HptOnly,
-                                   PolicyKind::M5HwtDriven,
-                                   PolicyKind::M5HptDriven};
+    // Policy 0 is the normalization baseline; the rest are columns.
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::None,        PolicyKind::Anb,
+        PolicyKind::Damon,       PolicyKind::M5HptOnly,
+        PolicyKind::M5HwtDriven, PolicyKind::M5HptDriven};
+    const char *names[] = {"ANB", "DAMON", "M5(HPT)", "M5(HWT)",
+                           "M5(HPT+HWT)"};
+
+    const std::vector<SweepJob> jobs =
+        evaluationGrid(policies, scale, seeds).expand();
+    ExperimentRunner runner({.name = "fig09"});
+    const auto results = runner.run(jobs);
+
+    const auto &benches = benchmarkNames();
+    const std::size_t np = policies.size();
+    const std::size_t ns = static_cast<std::size_t>(seeds);
+    auto at = [&](std::size_t b, std::size_t p,
+                  std::size_t s) -> const Outcome<RunResult> & {
+        return results[(b * np + p) * ns + s];
+    };
 
     TextTable table({"bench", "ANB", "DAMON", "M5(HPT)", "M5(HWT)",
                      "M5(HPT+HWT)"});
-    std::vector<std::vector<double>> norm(std::size(policies));
-    for (const auto &benchname : benchmarkNames()) {
-        const bool latency = benchname == "redis";
-        const RunResult none =
-            runPolicy(benchname, PolicyKind::None, scale);
-        std::vector<std::string> row = {bench::shortName(benchname)};
-        for (std::size_t p = 0; p < std::size(policies); ++p) {
-            const RunResult r = runPolicy(benchname, policies[p], scale);
-            const double v = normPerf(none, r, latency);
-            norm[p].push_back(v);
+    std::vector<std::vector<double>> norm(np - 1);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const bool latency = benches[b] == "redis";
+        std::vector<std::string> row = {shortBenchName(benches[b])};
+        for (std::size_t p = 1; p < np; ++p) {
+            double sum = 0.0;
+            std::size_t valid = 0;
+            for (std::size_t s = 0; s < ns; ++s) {
+                const auto &base = at(b, 0, s);
+                const auto &run = at(b, p, s);
+                if (!base.ok || !run.ok)
+                    continue;
+                sum += normalizedPerformance(
+                    base.value.steady_throughput,
+                    run.value.steady_throughput, base.value.p99_request,
+                    run.value.p99_request, latency);
+                ++valid;
+            }
+            if (!valid) {
+                row.push_back("-");
+                continue;
+            }
+            const double v = sum / static_cast<double>(valid);
+            norm[p - 1].push_back(v);
             row.push_back(TextTable::num(v, 2));
         }
         table.addRow(row);
-        std::fflush(stdout);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig09_end2end");
 
     std::printf("\ngeometric means over the suite:\n");
-    const char *names[] = {"ANB", "DAMON", "M5(HPT)", "M5(HWT)",
-                           "M5(HPT+HWT)"};
     std::vector<double> means;
-    for (std::size_t p = 0; p < std::size(policies); ++p) {
+    for (std::size_t p = 0; p + 1 < np; ++p) {
         means.push_back(geomean(norm[p]));
         std::printf("  %-12s %.2fx\n", names[p], means.back());
     }
-    const double m5_best =
-        std::max({means[2], means[3], means[4]});
+    const double m5_best = std::max({means[2], means[3], means[4]});
     std::printf("\nM5 best vs DAMON: %+.0f%% (paper +14%%); vs ANB: "
                 "%+.0f%% (paper +20%%)\n",
                 100.0 * (m5_best / means[1] - 1.0),

@@ -1,7 +1,7 @@
 /**
  * @file
  * Figure 10: CDF of per-4KB-page access counts, collected with PAC over a
- * full all-CXL run of each benchmark.
+ * full all-CXL run of each benchmark (one runner cell per benchmark).
  *
  * Paper reference: the skew explains Figure 9 — roms_r's p90/p95/p99
  * pages are ~2x/8x/17x hotter than its p50 page (rewarding precise
@@ -10,59 +10,90 @@
  * one 54us migration (54us / 170ns latency delta).
  */
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/cdf.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
+
+namespace {
+
+struct CdfCell
+{
+    std::array<double, 6> cdf{}; //!< At log10 = 0.5 .. 3.0.
+    double p95_over_p50 = 0.0;
+    double p99_over_p50 = 0.0;
+};
+
+CdfCell
+measure(const SweepJob &job)
+{
+    TieredSystem sys(job.config);
+    sys.run(job.budget);
+
+    // Sample the empirical CDF at fixed log10 thresholds.
+    auto counts = sys.pac().nonZeroCounts();
+    std::sort(counts.begin(), counts.end());
+    auto cdf_at = [&](double lg) {
+        const auto threshold =
+            static_cast<std::uint64_t>(std::pow(10.0, lg));
+        const auto it =
+            std::upper_bound(counts.begin(), counts.end(), threshold);
+        return static_cast<double>(it - counts.begin()) /
+               static_cast<double>(counts.size());
+    };
+    CdfCell cell;
+    for (int i = 0; i < 6; ++i)
+        cell.cdf[i] = cdf_at(0.5 + 0.5 * i);
+    const double p50 = accessCountPercentile(sys.pac(), 50);
+    cell.p95_over_p50 = accessCountPercentile(sys.pac(), 95) / p50;
+    cell.p99_over_p50 = accessCountPercentile(sys.pac(), 99) / p50;
+    return cell;
+}
+
+} // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Figure 10: CDF of access counts per 4KB page (PAC)");
     std::printf("scale=1/%.0f; rows are CDF values at log10(count) "
                 "grid points\n", 1.0 / scale);
 
+    const std::vector<SweepJob> jobs =
+        evaluationGrid({PolicyKind::None}, scale).expand();
+    ExperimentRunner runner({.name = "fig10"});
+    const auto results = runner.map(jobs, measure);
+
     TextTable table({"bench", "lg=0.5", "lg=1.0", "lg=1.5", "lg=2.0",
                      "lg=2.5", "lg=3.0", "p95/p50", "p99/p50"});
-    for (const auto &benchname : benchmarkNames()) {
-        SystemConfig cfg =
-            makeConfig(benchname, PolicyKind::None, scale, 1);
-        TieredSystem sys(cfg);
-        sys.run(accessBudget(benchname, scale));
-
-        // Sample the empirical CDF at fixed log10 thresholds.
-        auto counts = sys.pac().nonZeroCounts();
-        std::sort(counts.begin(), counts.end());
-        auto cdf_at = [&](double lg) {
-            const auto threshold =
-                static_cast<std::uint64_t>(std::pow(10.0, lg));
-            const auto it = std::upper_bound(counts.begin(), counts.end(),
-                                             threshold);
-            return static_cast<double>(it - counts.begin()) /
-                   static_cast<double>(counts.size());
-        };
-        const double p50 = accessCountPercentile(sys.pac(), 50);
-        const double p95 = accessCountPercentile(sys.pac(), 95);
-        const double p99 = accessCountPercentile(sys.pac(), 99);
-        table.addRow({bench::shortName(benchname),
-                      TextTable::num(cdf_at(0.5), 2),
-                      TextTable::num(cdf_at(1.0), 2),
-                      TextTable::num(cdf_at(1.5), 2),
-                      TextTable::num(cdf_at(2.0), 2),
-                      TextTable::num(cdf_at(2.5), 2),
-                      TextTable::num(cdf_at(3.0), 2),
-                      TextTable::num(p95 / p50, 1),
-                      TextTable::num(p99 / p50, 1)});
-        std::fflush(stdout);
+    for (std::size_t b = 0; b < jobs.size(); ++b) {
+        if (!results[b].ok) {
+            table.addRow({shortBenchName(jobs[b].benchmark), "-", "-",
+                          "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        const CdfCell &c = results[b].value;
+        table.addRow({shortBenchName(jobs[b].benchmark),
+                      TextTable::num(c.cdf[0], 2),
+                      TextTable::num(c.cdf[1], 2),
+                      TextTable::num(c.cdf[2], 2),
+                      TextTable::num(c.cdf[3], 2),
+                      TextTable::num(c.cdf[4], 2),
+                      TextTable::num(c.cdf[5], 2),
+                      TextTable::num(c.p95_over_p50, 1),
+                      TextTable::num(c.p99_over_p50, 1)});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig10_access_cdf");
     std::printf("\npaper: roms_r p90/p95/p99 = 2x/8x/17x of p50; skewed "
                 "apps (roms, liblinear) reward M5's precision,\n"
                 "flat apps (pr, tc) leave little for any migration "

@@ -5,7 +5,9 @@
  * Methodology (§8): co-run more instances (processes) of mcf_r,
  * cactuBSSN_r, fotonik3d_r and roms_r, each in its own physical address
  * range, so the address cardinality scales with the process count; track
- * hot pages with a fixed 32K-entry CM-Sketch and score against PAC.
+ * hot pages with a fixed 32K-entry CM-Sketch and score against PAC.  The
+ * instance counts form a custom sweep axis (which also rescales the
+ * footprint and the access budget).
  *
  * Paper reference: preciseness degrades gracefully from x1 to x64.
  */
@@ -13,10 +15,9 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/ratio.hh"
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
@@ -25,37 +26,50 @@ main()
 {
     // Keep the per-instance footprint constant while the instance count
     // grows, like the paper's co-run scaling: total scale = base * n.
-    const double base_scale = bench::benchScale() / 4.0;
+    const double base_scale = benchScale() / 4.0;
     printBanner(std::cout,
         "Figure 11: CM-Sketch(32K) accuracy vs working-set scaling");
     std::printf("per-instance scale=1/%.0f\n", 1.0 / base_scale);
 
-    const char *benches[] = {"mcf_r", "roms_r", "fotonik3d_r",
-                             "cactuBSSN_r"};
+    const std::vector<std::string> benches = {"mcf_r", "roms_r",
+                                              "fotonik3d_r",
+                                              "cactuBSSN_r"};
     const std::size_t counts[] = {1, 2, 4, 8, 16, 32, 64};
+
+    std::vector<SweepPoint> points;
+    for (std::size_t n : counts) {
+        points.push_back({"x" + std::to_string(n),
+                          [n, base_scale](SystemConfig &cfg) {
+                              cfg.scale = base_scale *
+                                          static_cast<double>(n);
+                              cfg.instances = n;
+                              cfg.hpt_cfg.kind =
+                                  TrackerKind::CmSketchTopK;
+                              cfg.hpt_cfg.entries = 32 * 1024;
+                          }});
+    }
+    SweepGrid grid;
+    grid.benchmarks(benches)
+        .policy(PolicyKind::M5HptOnly)
+        .scale(base_scale)
+        .recordOnly()
+        .axis(points);
+    const std::vector<SweepJob> jobs = grid.expand();
+    ExperimentRunner runner({.name = "fig11"});
+    const auto results = runner.map(jobs, accessRatioJob);
 
     TextTable table({"bench", "x1", "x2", "x4", "x8", "x16", "x32",
                      "x64"});
-    for (const char *benchname : benches) {
-        std::vector<std::string> row = {bench::shortName(benchname)};
-        for (std::size_t n : counts) {
-            SystemConfig cfg = makeConfig(benchname,
-                                          PolicyKind::M5HptOnly,
-                                          base_scale * n, 1);
-            cfg.instances = n;
-            cfg.record_only = true;
-            cfg.hpt_cfg.kind = TrackerKind::CmSketchTopK;
-            cfg.hpt_cfg.entries = 32 * 1024;
-            TieredSystem sys(cfg);
-            const RunResult r =
-                sys.run(accessBudget(benchname, base_scale * n));
-            row.push_back(TextTable::num(
-                accessCountRatio(sys.pac(), r.hot_pages), 2));
-            std::fflush(stdout);
+    const std::size_t nc = std::size(counts);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<std::string> row = {shortBenchName(benches[b])};
+        for (std::size_t c = 0; c < nc; ++c) {
+            const auto &r = results[b * nc + c];
+            row.push_back(r.ok ? TextTable::num(r.value, 2) : "-");
         }
         table.addRow(row);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "fig11_scalability");
     std::printf("\npaper: accuracy decreases gracefully with process "
                 "count (no cliff up to x64)\n");
     return 0;

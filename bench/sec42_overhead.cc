@@ -6,33 +6,24 @@
  * same CPU core, disable migrate_pages() (record-only mode), and measure
  * (1) the inflation of kernel CPU cycles over the baseline housekeeping,
  * (2) the Redis p99 latency increase, and (3) best-effort execution-time
- * increases.
+ * increases.  The benchmark × {None, ANB, DAMON} grid runs in parallel.
  *
  * Paper reference: ANB inflates kernel cycles by up to 487% (avg 159%),
  * DAMON by up to 733% (avg 277%); Redis p99 +34% (ANB) / +39% (DAMON);
  * execution time up to +4.6% (SSSP, ANB) and +8.6% (Liblinear, DAMON).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
 
 namespace {
-
-RunResult
-runIdentificationOnly(const std::string &bench, PolicyKind policy,
-                      double scale)
-{
-    SystemConfig cfg = makeConfig(bench, policy, scale, 1);
-    cfg.record_only = true; // migrate_pages() disabled.
-    TieredSystem sys(cfg);
-    return sys.run(accessBudget(bench, scale));
-}
 
 double
 kernelInflationPct(const RunResult &r)
@@ -46,24 +37,42 @@ kernelInflationPct(const RunResult &r)
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
 
     printBanner(std::cout,
         "Sec 4.2: CPU cost of identifying hot pages "
         "(migrate_pages() disabled)");
     std::printf("scale=1/%.0f\n", 1.0 / scale);
 
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::None, PolicyKind::Anb, PolicyKind::Damon};
+    const std::vector<SweepJob> jobs =
+        recordOnlyGrid(policies, scale).expand();
+    ExperimentRunner runner({.name = "sec42"});
+    const auto results = runner.run(jobs);
+
+    const auto &benches = benchmarkNames();
+    auto at = [&](std::size_t b, std::size_t p) -> const RunResult & {
+        return results[b * policies.size() + p].value;
+    };
+    auto allOk = [&](std::size_t b) {
+        return results[b * 3].ok && results[b * 3 + 1].ok &&
+               results[b * 3 + 2].ok;
+    };
+
     TextTable table({"bench", "ANB kcyc+%", "DAMON kcyc+%",
                      "ANB time+%", "DAMON time+%"});
     double anb_sum = 0.0, damon_sum = 0.0, anb_max = 0.0, damon_max = 0.0;
     double redis_anb_p99 = 0.0, redis_damon_p99 = 0.0;
-    for (const auto &benchname : benchmarkNames()) {
-        const RunResult none =
-            runIdentificationOnly(benchname, PolicyKind::None, scale);
-        const RunResult anb =
-            runIdentificationOnly(benchname, PolicyKind::Anb, scale);
-        const RunResult damon =
-            runIdentificationOnly(benchname, PolicyKind::Damon, scale);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        if (!allOk(b)) {
+            table.addRow({shortBenchName(benches[b]), "-", "-", "-",
+                          "-"});
+            continue;
+        }
+        const RunResult &none = at(b, 0);
+        const RunResult &anb = at(b, 1);
+        const RunResult &damon = at(b, 2);
 
         const double anb_pct = kernelInflationPct(anb);
         const double damon_pct = kernelInflationPct(damon);
@@ -77,23 +86,22 @@ main()
         const double damon_time = 100.0 *
             (static_cast<double>(damon.runtime) / none.runtime - 1.0);
 
-        if (benchname == "redis") {
+        if (benches[b] == "redis") {
             redis_anb_p99 =
                 100.0 * (anb.p99_request / none.p99_request - 1.0);
             redis_damon_p99 =
                 100.0 * (damon.p99_request / none.p99_request - 1.0);
         }
 
-        table.addRow({bench::shortName(benchname),
+        table.addRow({shortBenchName(benches[b]),
                       TextTable::num(anb_pct, 0),
                       TextTable::num(damon_pct, 0),
                       TextTable::num(anb_time, 1),
                       TextTable::num(damon_time, 1)});
-        std::fflush(stdout);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "sec42_overhead");
 
-    const double n = static_cast<double>(benchmarkNames().size());
+    const double n = static_cast<double>(benches.size());
     std::printf("\nkernel-cycle inflation: ANB avg %.0f%% max %.0f%% "
                 "(paper avg 159%% max 487%%)\n",
                 anb_sum / n, anb_max);

@@ -3,6 +3,7 @@
  * §5.2 Monitor validation: with pages *randomly* placed and no migration,
  * the consumed-read-bandwidth ratio bw(DDR)/bw(CXL) tracks the placement
  * ratio nr_pages(DDR)/nr_pages(CXL) — the hypothesis behind bw_den().
+ * The three placement ratios form a custom sweep axis.
  *
  * Paper reference (mcf_r): placement ratios 2, 1 and 1/2 yield bandwidth
  * ratios 2.02, 0.919 and 0.571.
@@ -11,16 +12,26 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hh"
-#include "common/table.hh"
-#include "sim/system.hh"
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
+
+namespace {
+
+struct BwCell
+{
+    double page_ratio = 0.0;
+    double bw_ratio = 0.0;
+};
+
+} // namespace
 
 int
 main()
 {
-    const double scale = bench::benchScale();
+    const double scale = benchScale();
     printBanner(std::cout,
         "Sec 5.2: bw(DDR)/bw(CXL) vs nr_pages(DDR)/nr_pages(CXL), "
         "random placement, no migration (mcf_r)");
@@ -30,29 +41,53 @@ main()
     const double ratios[] = {2.0, 1.0, 0.5};
     const double paper[] = {2.02, 0.919, 0.571};
 
+    std::vector<SweepPoint> points;
+    for (double r : ratios) {
+        points.push_back({TextTable::num(r, 2), [r](SystemConfig &cfg) {
+                              cfg.initial_ddr_fraction = r / (1.0 + r);
+                              // Enough DDR capacity to honour the
+                              // requested placement.
+                              cfg.ddr_capacity_fraction =
+                                  cfg.initial_ddr_fraction + 0.02;
+                          }});
+    }
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .scale(scale)
+        .seedList({7})
+        .budgetScale(0.5)
+        .axis(points);
+    ExperimentRunner runner({.name = "sec52"});
+    const auto results =
+        runner.map(grid.expand(), [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            const RunResult r = sys.run(job.budget);
+            BwCell cell;
+            cell.page_ratio =
+                static_cast<double>(
+                    sys.pageTable().pagesOnNode(kNodeDdr)) /
+                static_cast<double>(
+                    sys.pageTable().pagesOnNode(kNodeCxl));
+            cell.bw_ratio =
+                static_cast<double>(r.steady_ddr_read_bytes) /
+                static_cast<double>(r.steady_cxl_read_bytes);
+            return cell;
+        });
+
     TextTable table({"target pages ratio", "actual pages ratio",
                      "bw ratio", "paper bw ratio"});
     for (std::size_t i = 0; i < std::size(ratios); ++i) {
-        SystemConfig cfg =
-            makeConfig("mcf_r", PolicyKind::None, scale, 7);
-        cfg.initial_ddr_fraction = ratios[i] / (1.0 + ratios[i]);
-        // Enough DDR capacity to honour the requested placement.
-        cfg.ddr_capacity_fraction = cfg.initial_ddr_fraction + 0.02;
-        TieredSystem sys(cfg);
-        const RunResult r = sys.run(accessBudget("mcf_r", scale) / 2);
-        const double page_ratio =
-            static_cast<double>(sys.pageTable().pagesOnNode(kNodeDdr)) /
-            static_cast<double>(sys.pageTable().pagesOnNode(kNodeCxl));
-        const double bw_ratio =
-            static_cast<double>(r.steady_ddr_read_bytes) /
-            static_cast<double>(r.steady_cxl_read_bytes);
+        if (!results[i].ok) {
+            table.addRow({TextTable::num(ratios[i], 2), "-", "-",
+                          TextTable::num(paper[i], 3)});
+            continue;
+        }
         table.addRow({TextTable::num(ratios[i], 2),
-                      TextTable::num(page_ratio, 3),
-                      TextTable::num(bw_ratio, 3),
+                      TextTable::num(results[i].value.page_ratio, 3),
+                      TextTable::num(results[i].value.bw_ratio, 3),
                       TextTable::num(paper[i], 3)});
-        std::fflush(stdout);
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "sec52_bw_validation");
     std::printf("\nbw(node) is proportional to nr_pages(node) under "
                 "random placement, validating bw_den() as a hot-page "
                 "density metric (Guidelines 1-2)\n");

@@ -1,7 +1,8 @@
 /**
  * @file
  * Table 4: size and power of the top-5 trackers in 7nm logic, sweeping
- * the number of count entries N.
+ * the number of count entries N (one runner cell per N — the analytic
+ * model is cheap, but the harness shares the sweep plumbing).
  *
  * The Space-Saving tracker's stream summary is an N-entry parallel-match
  * CAM; CM-Sketch keeps counters in banked SRAM plus a constant K-entry
@@ -12,10 +13,22 @@
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/report.hh"
 #include "common/table.hh"
 #include "hwmodel/area_power.hh"
+#include "sim/runner.hh"
 
 using namespace m5;
+
+namespace {
+
+struct EstimateCell
+{
+    SynthesisEstimate ss;
+    SynthesisEstimate cm;
+};
+
+} // namespace
 
 int
 main()
@@ -23,14 +36,23 @@ main()
     printBanner(std::cout,
         "Table 4: size and power of top-5 trackers (7nm, 400MHz, K=5)");
 
-    const std::uint64_t entries[] = {50, 100, 512, 1024, 2048,
-                                     8192, 32768, 131072};
+    const std::vector<std::uint64_t> entries = {50, 100, 512, 1024, 2048,
+                                                8192, 32768, 131072};
+    ExperimentRunner runner({.name = "table4"});
+    const auto results =
+        runner.mapItems(entries, [](const std::uint64_t &n) {
+            EstimateCell cell;
+            cell.ss = estimateTracker(TrackerKind::SpaceSavingTopK, n);
+            cell.cm = estimateTracker(TrackerKind::CmSketchTopK, n);
+            return cell;
+        });
+
     TextTable table({"N", "SS area um2", "CM area um2", "SS power mW",
                      "CM power mW", "SS feasible", "CM feasible"});
-    for (std::uint64_t n : entries) {
-        const auto ss = estimateTracker(TrackerKind::SpaceSavingTopK, n);
-        const auto cm = estimateTracker(TrackerKind::CmSketchTopK, n);
-        table.addRow({std::to_string(n),
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &ss = results[i].value.ss;
+        const auto &cm = results[i].value.cm;
+        table.addRow({std::to_string(entries[i]),
                       ss.asic_feasible ? TextTable::num(ss.area_um2, 0)
                                        : "-",
                       TextTable::num(cm.area_um2, 0),
@@ -40,7 +62,7 @@ main()
                       ss.asic_feasible ? "yes" : "no",
                       cm.asic_feasible ? "yes" : "no"});
     }
-    table.print(std::cout);
+    emitTable(std::cout, table, "table4_area_power");
 
     const auto ss2k = estimateTracker(TrackerKind::SpaceSavingTopK, 2048);
     const auto cm2k = estimateTracker(TrackerKind::CmSketchTopK, 2048);

@@ -1,7 +1,10 @@
 #include "analysis/report.hh"
 
 #include <cmath>
+#include <fstream>
+#include <iostream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace m5 {
@@ -34,6 +37,50 @@ std::string
 ratioStr(double v, int precision)
 {
     return TextTable::num(v, precision) + "x";
+}
+
+std::string
+shortBenchName(const std::string &bench)
+{
+    if (bench == "liblinear")
+        return "lib.";
+    if (bench == "cactuBSSN_r")
+        return "cactu.";
+    if (bench == "fotonik3d_r")
+        return "foto.";
+    if (bench == "mcf_r")
+        return "mcf";
+    if (bench == "roms_r")
+        return "roms";
+    if (bench == "memcached")
+        return "mcd";
+    if (bench == "cachelib")
+        return "c.-lib";
+    return bench;
+}
+
+void
+emitTable(std::ostream &os, const TextTable &table,
+          const std::string &section)
+{
+    table.print(os);
+    const auto sink = envString("M5_BENCH_CSV");
+    if (!sink)
+        return;
+    if (*sink == "-" || *sink == "1") {
+        if (!section.empty())
+            std::cout << "# " << section << "\n";
+        table.printCsv(std::cout);
+        return;
+    }
+    std::ofstream out(*sink, std::ios::app);
+    if (!out) {
+        m5_warn("cannot append CSV to M5_BENCH_CSV='%s'", sink->c_str());
+        return;
+    }
+    if (!section.empty())
+        out << "# " << section << "\n";
+    table.printCsv(out);
 }
 
 } // namespace m5

@@ -1,12 +1,14 @@
 /**
  * @file
  * Report helpers shared by the bench harnesses: normalized-performance
- * rows, geometric means, and RunResult pretty printing.
+ * rows, geometric means, unified table/CSV emission, and the paper's
+ * axis-label abbreviations.
  */
 
 #ifndef M5_ANALYSIS_REPORT_HH
 #define M5_ANALYSIS_REPORT_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,20 @@ double normalizedPerformance(double baseline_throughput,
 
 /** Format a ratio like "1.43x". */
 std::string ratioStr(double v, int precision = 2);
+
+/** Short display name matching the paper's axis labels. */
+std::string shortBenchName(const std::string &bench);
+
+/**
+ * Emit a finished table: aligned to `os`, and additionally as CSV when
+ * M5_BENCH_CSV is set ("-" or "1" → stdout; any other value names a
+ * file the CSV is appended to).  All bench harnesses route their rows
+ * through here so the emission style stays uniform.
+ *
+ * @param section Optional label written as a `# section` CSV comment.
+ */
+void emitTable(std::ostream &os, const TextTable &table,
+               const std::string &section = "");
 
 } // namespace m5
 

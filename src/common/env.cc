@@ -1,0 +1,93 @@
+#include "common/env.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+/** getenv, treating the empty string as unset. */
+const char *
+rawEnv(const char *name)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? v : nullptr;
+}
+
+/** True when `end` only has trailing whitespace left. */
+bool
+fullyConsumed(const char *end)
+{
+    while (*end) {
+        if (!std::isspace(static_cast<unsigned char>(*end)))
+            return false;
+        ++end;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<double>
+envDouble(const char *name)
+{
+    const char *v = rawEnv(name);
+    if (!v)
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || !fullyConsumed(end) || errno == ERANGE) {
+        m5_warn("ignoring %s='%s': not a valid number", name, v);
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::optional<long>
+envLong(const char *name)
+{
+    const char *v = rawEnv(name);
+    if (!v)
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || !fullyConsumed(end) || errno == ERANGE) {
+        m5_warn("ignoring %s='%s': not a valid integer", name, v);
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::optional<bool>
+envFlag(const char *name)
+{
+    const char *v = rawEnv(name);
+    if (!v)
+        return std::nullopt;
+    std::string s(v);
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    m5_warn("ignoring %s='%s': not a boolean flag", name, v);
+    return std::nullopt;
+}
+
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *v = rawEnv(name);
+    if (!v)
+        return std::nullopt;
+    return std::string(v);
+}
+
+} // namespace m5

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * The bench harnesses are steered by env knobs (M5_BENCH_SCALE,
+ * M5_BENCH_SEEDS, M5_BENCH_JOBS, ...).  std::atof/std::atoi silently
+ * turn garbage into 0, so a typo used to disable the knob without any
+ * hint; these helpers validate the *whole* string and warn once when a
+ * set-but-malformed value is rejected.
+ */
+
+#ifndef M5_COMMON_ENV_HH
+#define M5_COMMON_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace m5 {
+
+/**
+ * Parse an env var as a double.  Returns nullopt when the variable is
+ * unset, or set but not a full valid number (a warning is emitted for
+ * the latter).
+ */
+std::optional<double> envDouble(const char *name);
+
+/** Parse an env var as a long (base 10), with the same strictness. */
+std::optional<long> envLong(const char *name);
+
+/**
+ * Parse an env var as a boolean flag: 1/true/yes/on and 0/false/no/off
+ * (case-insensitive).  Anything else warns and returns nullopt.
+ */
+std::optional<bool> envFlag(const char *name);
+
+/** Raw env lookup; nullopt when unset. */
+std::optional<std::string> envString(const char *name);
+
+} // namespace m5
+
+#endif // M5_COMMON_ENV_HH

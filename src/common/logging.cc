@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace m5 {
@@ -24,32 +25,87 @@ strprintf(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+namespace {
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local std::string t_log_tag;
+thread_local bool t_capture_fatal = false;
+
+/** "[tag] " when the thread is tagged, "" otherwise. */
+std::string
+tagPrefix()
+{
+    return t_log_tag.empty() ? std::string() : "[" + t_log_tag + "] ";
+}
+
+} // namespace
+
+void
+logSetThreadTag(std::string tag)
+{
+    t_log_tag = std::move(tag);
+}
+
+const std::string &
+logThreadTag()
+{
+    return t_log_tag;
+}
+
+FatalCaptureScope::FatalCaptureScope() : prev_(t_capture_fatal)
+{
+    t_capture_fatal = true;
+}
+
+FatalCaptureScope::~FatalCaptureScope()
+{
+    t_capture_fatal = prev_;
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s%s\n  at %s:%d\n",
+                     tagPrefix().c_str(), msg.c_str(), file, line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    if (t_capture_fatal)
+        throw FatalError(msg);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s%s\n  at %s:%d\n",
+                     tagPrefix().c_str(), msg.c_str(), file, line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s%s\n", tagPrefix().c_str(), msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stdout, "info: %s%s\n", tagPrefix().c_str(), msg.c_str());
 }
 
 } // namespace detail

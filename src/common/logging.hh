@@ -5,6 +5,10 @@
  * panic() is for internal invariant violations (a bug in this library);
  * fatal() is for user configuration errors.  warn()/inform() report
  * conditions without stopping the simulation.
+ *
+ * Emission is thread-safe: lines from concurrent ExperimentRunner
+ * workers never interleave mid-line, and each thread can carry a tag
+ * (the runner sets the job label) that prefixes its lines.
  */
 
 #ifndef M5_COMMON_LOGGING_HH
@@ -12,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace m5 {
@@ -19,6 +24,35 @@ namespace m5 {
 /** Printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** Tag this thread's subsequent log lines ("" clears the tag). */
+void logSetThreadTag(std::string tag);
+
+/** The current thread's log tag ("" when untagged). */
+const std::string &logThreadTag();
+
+/** Thrown by fatal() inside a FatalCaptureScope instead of exiting. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive on a thread, m5_fatal() on that thread throws FatalError
+ * instead of exiting the process.  The ExperimentRunner wraps each job
+ * in one so a misconfigured sweep cell fails that cell, not the sweep.
+ */
+class FatalCaptureScope
+{
+  public:
+    FatalCaptureScope();
+    ~FatalCaptureScope();
+    FatalCaptureScope(const FatalCaptureScope &) = delete;
+    FatalCaptureScope &operator=(const FatalCaptureScope &) = delete;
+
+  private:
+    bool prev_;
+};
 
 namespace detail {
 [[noreturn]] void panicImpl(const char *file, int line,

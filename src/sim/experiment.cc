@@ -48,4 +48,32 @@ recordOnlyAccessRatio(const std::string &benchmark, PolicyKind policy,
     return accessCountRatio(sys.pac(), r.hot_pages);
 }
 
+SweepGrid
+evaluationGrid(std::vector<PolicyKind> policies, double scale, int seeds)
+{
+    SweepGrid grid;
+    grid.benchmarks(benchmarkNames())
+        .policies(std::move(policies))
+        .scale(scale)
+        .seeds(seeds);
+    return grid;
+}
+
+SweepGrid
+recordOnlyGrid(std::vector<PolicyKind> policies, double scale, int seeds)
+{
+    SweepGrid grid = evaluationGrid(std::move(policies), scale, seeds);
+    grid.recordOnly().configure(
+        [](SystemConfig &cfg) { cfg.enable_pac = true; });
+    return grid;
+}
+
+double
+accessRatioJob(const SweepJob &job)
+{
+    TieredSystem sys(job.config);
+    const RunResult r = sys.run(job.budget);
+    return accessCountRatio(sys.pac(), r.hot_pages);
+}
+
 } // namespace m5

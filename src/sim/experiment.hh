@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/sweep.hh"
 #include "sim/system.hh"
 
 namespace m5 {
@@ -44,6 +46,28 @@ double recordOnlyAccessRatio(const std::string &benchmark,
                              PolicyKind policy,
                              double scale = kDefaultScale,
                              std::uint64_t seed = 1);
+
+/**
+ * @{ Grid-construction helpers: the §6 methodology (makeConfig +
+ * accessBudget over the Table 3 suite) as a SweepGrid, so the figure
+ * harnesses stay declarative and the methodology is encoded once.
+ */
+
+/** The evaluation suite (Figures 3/8/9/10) under the given policies. */
+SweepGrid evaluationGrid(std::vector<PolicyKind> policies,
+                         double scale = kDefaultScale, int seeds = 1);
+
+/** Same grid in record-only mode (§4.1 identification experiments). */
+SweepGrid recordOnlyGrid(std::vector<PolicyKind> policies,
+                         double scale = kDefaultScale, int seeds = 1);
+
+/**
+ * Run one record-only cell and score its identified hot pages against
+ * PAC's same-size top-K (the S1-S5 metric) — the standard cell body of
+ * the Figure 3/8/11 sweeps.
+ */
+double accessRatioJob(const SweepJob &job);
+/** @} */
 
 } // namespace m5
 

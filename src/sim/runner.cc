@@ -1,0 +1,308 @@
+#include "sim/runner.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hh"
+#include "workloads/registry.hh"
+
+namespace m5 {
+namespace {
+
+/** Mutex/condvar work queue of job indices, closed once drained. */
+class WorkQueue
+{
+  public:
+    explicit WorkQueue(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            pending_.push_back(i);
+    }
+
+    /** Pop the next index; false when the queue is exhausted. */
+    bool
+    pop(std::size_t &index)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+        if (pending_.empty())
+            return false;
+        index = pending_.front();
+        pending_.pop_front();
+        if (pending_.empty()) {
+            closed_ = true;
+            cv_.notify_all();
+        }
+        return true;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::size_t> pending_;
+    bool closed_ = false;
+};
+
+/** Shared progress/ETA line, repainted as jobs complete. */
+class ProgressLine
+{
+  public:
+    ProgressLine(bool enabled, std::string name, std::size_t total,
+                 unsigned workers)
+        : enabled_(enabled), name_(std::move(name)), total_(total),
+          workers_(workers),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    jobDone()
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        const double elapsed = secondsSince(start_);
+        const double eta = done_ ? elapsed / static_cast<double>(done_) *
+                                       static_cast<double>(total_ - done_)
+                                 : 0.0;
+        std::fprintf(stderr,
+                     "\r%s%zu/%zu jobs | %u workers | %.1fs elapsed | "
+                     "eta %.0fs   ",
+                     prefix().c_str(), done_, total_, workers_, elapsed,
+                     eta);
+        std::fflush(stderr);
+    }
+
+    void
+    finish()
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::fprintf(stderr, "\r%s%zu/%zu jobs | %u workers | %.1fs"
+                             "                          \n",
+                     prefix().c_str(), done_, total_, workers_,
+                     secondsSince(start_));
+        std::fflush(stderr);
+    }
+
+  private:
+    static double
+    secondsSince(std::chrono::steady_clock::time_point t0)
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+    std::string
+    prefix() const
+    {
+        return name_.empty() ? std::string() : "[" + name_ + "] ";
+    }
+
+    bool enabled_;
+    std::string name_;
+    std::size_t total_;
+    unsigned workers_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+};
+
+bool
+progressEnabled(int opt)
+{
+    if (opt >= 0)
+        return opt != 0;
+    if (const auto flag = envFlag("M5_BENCH_PROGRESS"))
+        return *flag;
+    return isatty(STDERR_FILENO) != 0;
+}
+
+/** Run one cell with failure capture; errors[i] stays "" on success. */
+void
+runCell(std::size_t i, const std::function<void(std::size_t)> &task,
+        std::vector<std::string> &errors)
+{
+    logSetThreadTag(strprintf("job %zu", i));
+    FatalCaptureScope capture;
+    try {
+        task(i);
+    } catch (const std::exception &e) {
+        errors[i] = *e.what() ? e.what() : "unknown std::exception";
+    } catch (...) {
+        errors[i] = "unknown exception";
+    }
+    logSetThreadTag("");
+}
+
+} // namespace
+
+RunResult
+runJob(const SweepJob &job)
+{
+    TieredSystem sys(job.config);
+    return sys.run(job.budget);
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+unsigned
+ExperimentRunner::workerCount(std::size_t pending) const
+{
+    unsigned want = opts_.jobs ? opts_.jobs : benchJobs();
+    want = std::max(1u, want);
+    return static_cast<unsigned>(
+        std::min<std::size_t>(want, std::max<std::size_t>(1, pending)));
+}
+
+std::vector<std::string>
+ExperimentRunner::execute(std::size_t n,
+                          const std::function<void(std::size_t)> &task)
+    const
+{
+    std::vector<std::string> errors(n);
+    if (n == 0)
+        return errors;
+
+    const unsigned workers = workerCount(n);
+    ProgressLine progress(progressEnabled(opts_.progress), opts_.name, n,
+                          workers);
+
+    if (workers <= 1) {
+        // Same capture semantics as the pool, no threads.
+        for (std::size_t i = 0; i < n; ++i) {
+            runCell(i, task, errors);
+            progress.jobDone();
+        }
+    } else {
+        WorkQueue queue(n);
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(workers);
+            for (unsigned w = 0; w < workers; ++w) {
+                pool.emplace_back([&] {
+                    std::size_t i;
+                    while (queue.pop(i)) {
+                        runCell(i, task, errors);
+                        progress.jobDone();
+                    }
+                });
+            }
+        } // jthread joins here.
+    }
+    progress.finish();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!errors[i].empty())
+            m5_warn("sweep job %zu failed: %s", i, errors[i].c_str());
+    }
+    return errors;
+}
+
+double
+benchScale()
+{
+    if (const auto denom = envDouble("M5_BENCH_SCALE")) {
+        if (*denom >= 1.0)
+            return 1.0 / *denom;
+        m5_warn("ignoring M5_BENCH_SCALE=%g: must be >= 1 "
+                "(a 1/N footprint divisor)",
+                *denom);
+    }
+    return kDefaultScale;
+}
+
+int
+benchSeeds(int fallback)
+{
+    if (const auto n = envLong("M5_BENCH_SEEDS")) {
+        if (*n >= 1)
+            return static_cast<int>(*n);
+        m5_warn("ignoring M5_BENCH_SEEDS=%ld: must be >= 1", *n);
+    }
+    return fallback;
+}
+
+unsigned
+benchJobs()
+{
+    if (const auto n = envLong("M5_BENCH_JOBS")) {
+        if (*n >= 1)
+            return static_cast<unsigned>(*n);
+        m5_warn("ignoring M5_BENCH_JOBS=%ld: must be >= 1", *n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<std::string>
+runResultCsvHeader()
+{
+    return {"benchmark", "policy",   "seed",
+            "variant",   "accesses", "runtime",
+            "app_time",  "kernel_time", "throughput",
+            "steady_throughput", "p50_request", "p99_request",
+            "steady_ddr_read_bytes", "steady_cxl_read_bytes",
+            "llc_hits", "llc_misses", "tlb_shootdowns",
+            "promoted", "demoted", "rejected_pinned",
+            "rejected_not_cxl", "failed_capacity",
+            "ddr_read_bytes", "cxl_read_bytes",
+            "kernel_ident_cycles", "kernel_total_cycles",
+            "baseline_cycles", "hot_pages", "hot_pages_hash"};
+}
+
+std::vector<std::string>
+runResultCsvRow(const SweepJob &job, const RunResult &r)
+{
+    // %.17g round-trips doubles exactly, so identical results always
+    // serialize to identical bytes (the determinism test's invariant).
+    auto f = [](double v) { return strprintf("%.17g", v); };
+    auto u = [](std::uint64_t v) { return std::to_string(v); };
+    std::uint64_t pages_hash = 1469598103934665603ULL; // FNV-1a
+    for (Pfn p : r.hot_pages) {
+        pages_hash ^= p;
+        pages_hash *= 1099511628211ULL;
+    }
+    return {job.benchmark,
+            policyKindName(job.policy),
+            u(job.seed),
+            job.variant,
+            u(r.accesses),
+            u(r.runtime),
+            u(r.app_time),
+            u(r.kernel_time),
+            f(r.throughput),
+            f(r.steady_throughput),
+            f(r.p50_request),
+            f(r.p99_request),
+            u(r.steady_ddr_read_bytes),
+            u(r.steady_cxl_read_bytes),
+            u(r.llc.hits),
+            u(r.llc.misses),
+            u(r.tlb.shootdowns),
+            u(r.migration.promoted),
+            u(r.migration.demoted),
+            u(r.migration.rejected_pinned),
+            u(r.migration.rejected_not_cxl),
+            u(r.migration.failed_capacity),
+            u(r.ddr_read_bytes),
+            u(r.cxl_read_bytes),
+            u(r.kernel_ident_cycles),
+            u(r.kernel_total_cycles),
+            u(r.baseline_cycles),
+            u(r.hot_pages.size()),
+            u(pages_hash)};
+}
+
+} // namespace m5

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * ExperimentRunner: parallel execution of sweep cells.
+ *
+ * Seeded simulations are independent, so a benchmark × policy × seed
+ * sweep is embarrassingly parallel.  The runner executes jobs on a
+ * fixed-size pool of std::jthread workers fed by a mutex/condvar work
+ * queue, collects results in deterministic grid order regardless of
+ * completion order, captures per-job failures (an exception or fatal()
+ * in one cell reports and continues instead of aborting the sweep),
+ * and paints a shared progress/ETA line on stderr.
+ *
+ * Pool size: RunnerOptions::jobs, else M5_BENCH_JOBS, else
+ * std::thread::hardware_concurrency().  A 1-worker run produces
+ * byte-identical results to an N-worker run (tests/test_runner.cc pins
+ * this down); simulations share no mutable state.
+ *
+ * The environment knobs steering every bench harness live here too:
+ * benchScale() (M5_BENCH_SCALE), benchSeeds() (M5_BENCH_SEEDS) and
+ * benchJobs() (M5_BENCH_JOBS), all parsed strictly (common/env.hh).
+ */
+
+#ifndef M5_SIM_RUNNER_HH
+#define M5_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+
+/** Pool sizing and progress reporting. */
+struct RunnerOptions
+{
+    //! Worker count; 0 = M5_BENCH_JOBS or hardware_concurrency().
+    unsigned jobs = 0;
+    //! Progress/ETA line on stderr; default on only when stderr is a
+    //! terminal (M5_BENCH_PROGRESS=0/1 overrides either way).
+    int progress = -1; //!< -1 auto, 0 off, 1 on.
+    //! Prefix for the progress line (the harness/figure name).
+    std::string name;
+};
+
+/** Outcome of one cell: a value, or the error that killed the cell. */
+template <typename T>
+struct Outcome
+{
+    bool ok = false;
+    std::string error; //!< Failure description when !ok.
+    T value{};
+};
+
+/** Run one standard cell: build the system, run the budget. */
+RunResult runJob(const SweepJob &job);
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions opts = {});
+
+    /** Workers that would be used for `pending` queued jobs. */
+    unsigned workerCount(std::size_t pending) const;
+
+    /**
+     * Type-erased core: run task(i) for every i in [0, n) on the pool.
+     * Returns one error string per index ("" = success).  task must
+     * write its result into caller-owned slot i (never shared state),
+     * which is what keeps collection deterministic.
+     */
+    std::vector<std::string> execute(
+        std::size_t n,
+        const std::function<void(std::size_t)> &task) const;
+
+    /** Run fn over jobs; results in grid order. */
+    template <typename Fn>
+    auto
+    map(const std::vector<SweepJob> &jobs, Fn fn) const
+        -> std::vector<Outcome<
+            std::decay_t<std::invoke_result_t<Fn &, const SweepJob &>>>>
+    {
+        using T =
+            std::decay_t<std::invoke_result_t<Fn &, const SweepJob &>>;
+        std::vector<Outcome<T>> out(jobs.size());
+        const auto errors = execute(jobs.size(), [&](std::size_t i) {
+            logSetThreadTag(jobs[i].label());
+            out[i].value = fn(jobs[i]);
+            out[i].ok = true;
+        });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            if (!errors[i].empty())
+                out[i].error = errors[i];
+        return out;
+    }
+
+    /** Run fn over arbitrary work items; results in item order. */
+    template <typename Item, typename Fn>
+    auto
+    mapItems(const std::vector<Item> &items, Fn fn) const
+        -> std::vector<Outcome<
+            std::decay_t<std::invoke_result_t<Fn &, const Item &>>>>
+    {
+        using T = std::decay_t<std::invoke_result_t<Fn &, const Item &>>;
+        std::vector<Outcome<T>> out(items.size());
+        const auto errors = execute(items.size(), [&](std::size_t i) {
+            out[i].value = fn(items[i]);
+            out[i].ok = true;
+        });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            if (!errors[i].empty())
+                out[i].error = errors[i];
+        return out;
+    }
+
+    /** Standard sweep: TieredSystem(job.config).run(job.budget). */
+    std::vector<Outcome<RunResult>>
+    run(const std::vector<SweepJob> &jobs) const
+    {
+        return map(jobs, runJob);
+    }
+
+    /** Expand a grid and run it. */
+    std::vector<Outcome<RunResult>>
+    run(const SweepGrid &grid) const
+    {
+        return run(grid.expand());
+    }
+
+  private:
+    RunnerOptions opts_;
+};
+
+/** @{ Environment knobs shared by every bench harness (strict parse,
+ *  one-line warning on malformed values). */
+
+/** System scale; M5_BENCH_SCALE=32 means 1/32 of paper footprints. */
+double benchScale();
+
+/** Repeated execution points; M5_BENCH_SEEDS overrides `fallback`. */
+int benchSeeds(int fallback = 3);
+
+/** Worker-pool size; M5_BENCH_JOBS overrides hardware_concurrency(). */
+unsigned benchJobs();
+/** @} */
+
+/** @{ Stable CSV serialization of RunResult, used by the determinism
+ *  test and the M5_BENCH_CSV emission path. */
+std::vector<std::string> runResultCsvHeader();
+std::vector<std::string> runResultCsvRow(const SweepJob &job,
+                                         const RunResult &r);
+/** @} */
+
+} // namespace m5
+
+#endif // M5_SIM_RUNNER_HH

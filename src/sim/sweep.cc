@@ -1,0 +1,175 @@
+#include "sim/sweep.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+namespace m5 {
+
+std::string
+SweepJob::label() const
+{
+    std::string s = benchmark + "/" + policyKindName(policy) + "/s" +
+                    std::to_string(seed);
+    if (!variant.empty())
+        s += "/" + variant;
+    return s;
+}
+
+SweepGrid::SweepGrid() : scale_(kDefaultScale)
+{
+}
+
+SweepGrid &
+SweepGrid::benchmarks(std::vector<std::string> names)
+{
+    benchmarks_ = std::move(names);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::benchmark(const std::string &name)
+{
+    benchmarks_ = {name};
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::policies(std::vector<PolicyKind> kinds)
+{
+    policies_ = std::move(kinds);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::policy(PolicyKind kind)
+{
+    policies_ = {kind};
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::seeds(int n)
+{
+    m5_assert(n >= 1, "need at least one seed, got %d", n);
+    seeds_.clear();
+    for (int s = 1; s <= n; ++s)
+        seeds_.push_back(static_cast<std::uint64_t>(s));
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::seedList(std::vector<std::uint64_t> list)
+{
+    m5_assert(!list.empty(), "seed list must not be empty");
+    seeds_ = std::move(list);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::axis(std::vector<SweepPoint> points)
+{
+    m5_assert(!points.empty(), "custom axis must not be empty");
+    axis_ = std::move(points);
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::scale(double s)
+{
+    m5_assert(s > 0.0 && s <= 1.0, "scale must be in (0, 1], got %f", s);
+    scale_ = s;
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::recordOnly(bool v)
+{
+    record_only_ = v;
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::configure(ConfigMutator m)
+{
+    mutators_.push_back(std::move(m));
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::budgetScale(double f)
+{
+    m5_assert(f > 0.0, "budget scale must be positive, got %f", f);
+    budget_scale_ = f;
+    return *this;
+}
+
+SweepGrid &
+SweepGrid::budgetOverride(std::uint64_t accesses)
+{
+    m5_assert(accesses > 0, "budget override must be positive");
+    budget_override_ = accesses;
+    return *this;
+}
+
+std::size_t
+SweepGrid::size() const
+{
+    const std::size_t variants = axis_.empty() ? 1 : axis_.size();
+    return benchmarks_.size() * variants * policies_.size() * seeds_.size();
+}
+
+std::vector<SweepJob>
+SweepGrid::expand() const
+{
+    m5_assert(!benchmarks_.empty(),
+              "sweep grid needs at least one benchmark");
+    std::vector<SweepJob> jobs;
+    jobs.reserve(size());
+    const std::size_t variants = axis_.empty() ? 1 : axis_.size();
+    for (const auto &bench : benchmarks_) {
+        for (std::size_t v = 0; v < variants; ++v) {
+            for (PolicyKind policy : policies_) {
+                for (std::uint64_t seed : seeds_) {
+                    SweepJob job;
+                    job.index = jobs.size();
+                    job.benchmark = bench;
+                    job.policy = policy;
+                    job.seed = seed;
+                    job.config = makeConfig(bench, policy, scale_, seed);
+                    job.config.record_only = record_only_;
+                    for (const auto &m : mutators_)
+                        m(job.config);
+                    if (!axis_.empty()) {
+                        job.variant = axis_[v].label;
+                        if (axis_[v].apply)
+                            axis_[v].apply(job.config);
+                    }
+                    // Mutators may retarget the cell (an axis that
+                    // switches policy, scale, or seed); keep the job's
+                    // labeling fields in sync with what actually runs.
+                    job.benchmark = job.config.benchmark;
+                    job.policy = job.config.policy;
+                    job.seed = job.config.seed;
+                    if (budget_override_) {
+                        job.budget = budget_override_;
+                    } else {
+                        // From the post-mutation scale, so axes that
+                        // grow the footprint get a matching budget.
+                        const double want =
+                            static_cast<double>(accessBudget(
+                                bench, job.config.scale)) *
+                            budget_scale_;
+                        job.budget = std::max<std::uint64_t>(
+                            1, static_cast<std::uint64_t>(want));
+                    }
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+} // namespace m5

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Declarative experiment sweeps.
+ *
+ * A SweepGrid names the axes of a paper experiment — benchmarks,
+ * policies, seeds, and arbitrary SystemConfig mutations — and expands
+ * into a flat, deterministically ordered list of SweepJobs.  The bench
+ * harnesses declare their figure as a grid and hand the jobs to the
+ * ExperimentRunner (sim/runner.hh); nothing here executes anything.
+ *
+ * Expansion order is benchmark-major: benchmark × variant × policy ×
+ * seed, matching the row/column order the figure tables print in, so
+ * results indexed by job.index land in presentation order regardless
+ * of which worker finished first.
+ */
+
+#ifndef M5_SIM_SWEEP_HH
+#define M5_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace m5 {
+
+/** A SystemConfig mutation applied to a sweep cell. */
+using ConfigMutator = std::function<void(SystemConfig &)>;
+
+/** One named point on a custom sweep axis (e.g. "N=32K"). */
+struct SweepPoint
+{
+    std::string label;
+    ConfigMutator apply;
+};
+
+/** One fully expanded cell of a sweep, ready to execute. */
+struct SweepJob
+{
+    std::size_t index = 0; //!< Position in deterministic grid order.
+    std::string benchmark;
+    PolicyKind policy = PolicyKind::None;
+    std::uint64_t seed = 1;
+    std::string variant; //!< Custom-axis label ("" without an axis).
+
+    SystemConfig config;      //!< §6 config with all mutators applied.
+    std::uint64_t budget = 0; //!< Post-L2 access budget for the run.
+
+    /** "bench/policy/s<seed>[/variant]" for logs and errors. */
+    std::string label() const;
+};
+
+/**
+ * The declarative grid.  Unset axes default to a single cell
+ * (benchmarks must be set; policies default to {None}; seeds to {1}).
+ */
+class SweepGrid
+{
+  public:
+    SweepGrid();
+
+    /** @{ Axis setters (chainable). */
+    SweepGrid &benchmarks(std::vector<std::string> names);
+    SweepGrid &benchmark(const std::string &name);
+    SweepGrid &policies(std::vector<PolicyKind> kinds);
+    SweepGrid &policy(PolicyKind kind);
+    SweepGrid &seeds(int n); //!< Seeds 1..n.
+    SweepGrid &seedList(std::vector<std::uint64_t> list);
+    SweepGrid &axis(std::vector<SweepPoint> points); //!< Custom axis.
+    /** @} */
+
+    /** @{ Cell shaping (chainable). */
+    SweepGrid &scale(double s);
+    SweepGrid &recordOnly(bool v = true);
+    SweepGrid &configure(ConfigMutator m); //!< Applied to every cell.
+    SweepGrid &budgetScale(double f);      //!< Multiply accessBudget().
+    SweepGrid &budgetOverride(std::uint64_t accesses);
+    /** @} */
+
+    /** Number of cells the grid will expand to. */
+    std::size_t size() const;
+
+    /** Expand to jobs in deterministic grid order. */
+    std::vector<SweepJob> expand() const;
+
+  private:
+    std::vector<std::string> benchmarks_;
+    std::vector<PolicyKind> policies_{PolicyKind::None};
+    std::vector<std::uint64_t> seeds_{1};
+    std::vector<SweepPoint> axis_;
+    std::vector<ConfigMutator> mutators_;
+    double scale_;
+    bool record_only_ = false;
+    double budget_scale_ = 1.0;
+    std::uint64_t budget_override_ = 0;
+};
+
+} // namespace m5
+
+#endif // M5_SIM_SWEEP_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the parallel ExperimentRunner stack: strict env parsing,
+ * sweep-grid expansion, per-cell failure capture, and the determinism
+ * guarantee (a 4-worker run is byte-identical to a 1-worker run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+namespace m5 {
+namespace {
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(EnvParseTest, UnsetAndEmptyAreNullopt)
+{
+    ScopedEnv unset("M5_TEST_ENV", nullptr);
+    EXPECT_FALSE(envDouble("M5_TEST_ENV").has_value());
+    EXPECT_FALSE(envLong("M5_TEST_ENV").has_value());
+    EXPECT_FALSE(envFlag("M5_TEST_ENV").has_value());
+    EXPECT_FALSE(envString("M5_TEST_ENV").has_value());
+
+    ScopedEnv empty("M5_TEST_ENV", "");
+    EXPECT_FALSE(envDouble("M5_TEST_ENV").has_value());
+    EXPECT_FALSE(envString("M5_TEST_ENV").has_value());
+}
+
+TEST(EnvParseTest, ValidNumbersParse)
+{
+    ScopedEnv d("M5_TEST_ENV", "2.5");
+    EXPECT_DOUBLE_EQ(envDouble("M5_TEST_ENV").value(), 2.5);
+
+    ScopedEnv i("M5_TEST_ENV", "-42");
+    EXPECT_EQ(envLong("M5_TEST_ENV").value(), -42);
+
+    // Trailing whitespace is tolerated (e.g. M5_BENCH_SCALE="8 ").
+    ScopedEnv w("M5_TEST_ENV", "8 ");
+    EXPECT_DOUBLE_EQ(envDouble("M5_TEST_ENV").value(), 8.0);
+    EXPECT_EQ(envLong("M5_TEST_ENV").value(), 8);
+}
+
+TEST(EnvParseTest, GarbageIsRejectedNotZero)
+{
+    // The atof/atoi predecessors silently parsed these as 0.
+    for (const char *bad : {"abc", "8x", "1.5.2", "--3"}) {
+        ScopedEnv e("M5_TEST_ENV", bad);
+        EXPECT_FALSE(envDouble("M5_TEST_ENV").has_value()) << bad;
+    }
+    for (const char *bad : {"abc", "8x", "4.5"}) {
+        ScopedEnv e("M5_TEST_ENV", bad);
+        EXPECT_FALSE(envLong("M5_TEST_ENV").has_value()) << bad;
+    }
+}
+
+TEST(EnvParseTest, FlagSpellings)
+{
+    for (const char *yes : {"1", "true", "YES", "On"}) {
+        ScopedEnv e("M5_TEST_ENV", yes);
+        EXPECT_EQ(envFlag("M5_TEST_ENV"), true) << yes;
+    }
+    for (const char *no : {"0", "false", "NO", "off"}) {
+        ScopedEnv e("M5_TEST_ENV", no);
+        EXPECT_EQ(envFlag("M5_TEST_ENV"), false) << no;
+    }
+    ScopedEnv e("M5_TEST_ENV", "maybe");
+    EXPECT_FALSE(envFlag("M5_TEST_ENV").has_value());
+}
+
+TEST(EnvParseTest, BenchKnobsFallBackOnGarbage)
+{
+    ScopedEnv s("M5_BENCH_SCALE", "not-a-number");
+    ScopedEnv j("M5_BENCH_JOBS", "many");
+    ScopedEnv n("M5_BENCH_SEEDS", "3.5");
+    EXPECT_GT(benchScale(), 0.0);
+    EXPECT_GE(benchJobs(), 1u);
+    EXPECT_EQ(benchSeeds(7), 7);
+}
+
+TEST(SweepGridTest, ExpandsBenchmarkMajor)
+{
+    SweepGrid grid;
+    grid.benchmarks({"mcf_r", "roms_r"})
+        .policies({PolicyKind::None, PolicyKind::M5HptOnly})
+        .seeds(2);
+    EXPECT_EQ(grid.size(), 8u);
+
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 8u);
+    // benchmark × policy × seed, seed fastest.
+    EXPECT_EQ(jobs[0].benchmark, "mcf_r");
+    EXPECT_EQ(jobs[0].policy, PolicyKind::None);
+    EXPECT_EQ(jobs[0].seed, 1u);
+    EXPECT_EQ(jobs[1].seed, 2u);
+    EXPECT_EQ(jobs[2].policy, PolicyKind::M5HptOnly);
+    EXPECT_EQ(jobs[4].benchmark, "roms_r");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].config.seed, jobs[i].seed);
+    }
+    EXPECT_EQ(jobs[0].label(), "mcf_r/none/s1");
+}
+
+TEST(SweepGridTest, AxisMutatorsResyncJobFields)
+{
+    // An axis point may switch the policy (fig08) or rescale the
+    // footprint (fig11); the job's descriptive fields and budget must
+    // follow the mutated config.
+    std::vector<SweepPoint> points;
+    points.push_back({"base", [](SystemConfig &) {}});
+    points.push_back({"anb", [](SystemConfig &cfg) {
+                          cfg.policy = PolicyKind::Anb;
+                      }});
+    SweepGrid grid;
+    grid.benchmark("mcf_r").policy(PolicyKind::None).axis(points);
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].policy, PolicyKind::None);
+    EXPECT_EQ(jobs[1].policy, PolicyKind::Anb);
+    EXPECT_EQ(jobs[1].variant, "anb");
+    EXPECT_NE(jobs[1].label().find("anb"), std::string::npos);
+}
+
+TEST(SweepGridTest, BudgetControls)
+{
+    SweepGrid base;
+    base.benchmark("mcf_r");
+    SweepGrid halved;
+    halved.benchmark("mcf_r").budgetScale(0.5);
+    SweepGrid fixed;
+    fixed.benchmark("mcf_r").budgetOverride(12345);
+
+    const auto b = base.expand();
+    const auto h = halved.expand();
+    const auto f = fixed.expand();
+    EXPECT_NEAR(static_cast<double>(h[0].budget),
+                static_cast<double>(b[0].budget) * 0.5,
+                static_cast<double>(b[0].budget) * 0.01);
+    EXPECT_EQ(f[0].budget, 12345u);
+}
+
+TEST(RunnerTest, FailureInOneCellDoesNotAbortSweep)
+{
+    ExperimentRunner runner({.jobs = 2, .progress = 0, .name = "t"});
+    const std::vector<int> items = {0, 1, 2, 3};
+    const auto results = runner.mapItems(items, [](const int &i) {
+        if (i == 1)
+            throw std::runtime_error("boom");
+        if (i == 2)
+            m5_fatal("fatal in cell %d", i);
+        return i * 10;
+    });
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].value, 0);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("boom"), std::string::npos);
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_NE(results[2].error.find("fatal in cell 2"),
+              std::string::npos);
+    EXPECT_TRUE(results[3].ok);
+    EXPECT_EQ(results[3].value, 30);
+}
+
+TEST(RunnerTest, FatalOutsideCaptureStillDies)
+{
+    // The capture flag is thread-local and scoped to runner cells; the
+    // default fatal path must still abort (EXPECT_EXIT relies on it).
+    EXPECT_EXIT(m5_fatal("plain fatal"),
+                ::testing::ExitedWithCode(1), "plain fatal");
+}
+
+TEST(RunnerTest, CsvRowMatchesHeader)
+{
+    SweepGrid grid;
+    grid.benchmark("mcf_r").budgetOverride(100'000).scale(1.0 / 512);
+    const auto jobs = grid.expand();
+    const RunResult r = runJob(jobs[0]);
+    const auto header = runResultCsvHeader();
+    const auto row = runResultCsvRow(jobs[0], r);
+    EXPECT_FALSE(header.empty());
+    EXPECT_EQ(row.size(), header.size());
+}
+
+TEST(RunnerTest, WorkerCountHonoursOptionsAndQueue)
+{
+    ExperimentRunner one({.jobs = 1, .progress = 0, .name = "t"});
+    EXPECT_EQ(one.workerCount(100), 1u);
+    ExperimentRunner four({.jobs = 4, .progress = 0, .name = "t"});
+    EXPECT_EQ(four.workerCount(100), 4u);
+    // Never more workers than jobs.
+    EXPECT_EQ(four.workerCount(2), 2u);
+}
+
+TEST(RunnerDeterminismTest, ParallelRunIsByteIdenticalToSerial)
+{
+    // The central guarantee: results depend only on the grid, never on
+    // worker count or completion order.  Compare the stable CSV
+    // serialization cell by cell.
+    SweepGrid grid;
+    grid.benchmarks({"mcf_r", "roms_r"})
+        .policies({PolicyKind::None, PolicyKind::M5HptOnly})
+        .seeds(2)
+        .scale(1.0 / 512)
+        .budgetOverride(150'000);
+    const auto jobs = grid.expand();
+
+    ExperimentRunner serial({.jobs = 1, .progress = 0, .name = "s"});
+    ExperimentRunner pool({.jobs = 4, .progress = 0, .name = "p"});
+    const auto a = serial.run(jobs);
+    const auto b = pool.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(a[i].ok) << jobs[i].label() << ": " << a[i].error;
+        ASSERT_TRUE(b[i].ok) << jobs[i].label() << ": " << b[i].error;
+        EXPECT_EQ(runResultCsvRow(jobs[i], a[i].value),
+                  runResultCsvRow(jobs[i], b[i].value))
+            << "cell " << jobs[i].label()
+            << " differs between 1 and 4 workers";
+    }
+}
+
+} // namespace
+} // namespace m5

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
@@ -67,6 +69,77 @@ TEST(EventQueueTest, TieBreakByScheduleOrder)
     q.runDue(now);
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 1);
+}
+
+TEST(EventQueueTest, TieBreakStableAcrossMany)
+{
+    // The seq counter keeps equal-time events in FIFO order no matter
+    // how many pile up at one instant (heap order alone would not).
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i)
+        q.schedule(10, [&order, i](Tick) {
+            order.push_back(i);
+            return 0;
+        });
+    Tick now = 10;
+    q.runDue(now);
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NextTimeOnEmptyIsTickMax)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), std::numeric_limits<Tick>::max());
+
+    // And it recovers after draining.
+    q.schedule(5, [](Tick) { return 0; });
+    EXPECT_EQ(q.nextTime(), 5u);
+    Tick now = 5;
+    q.runDue(now);
+    EXPECT_EQ(q.nextTime(), std::numeric_limits<Tick>::max());
+}
+
+TEST(EventQueueTest, ScheduleAtNowFromInsideRunDue)
+{
+    // An event scheduled *at the current time* from inside a handler
+    // must still run within the same runDue sweep, after the handler
+    // that scheduled it (FIFO among equal times).
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&](Tick now) {
+        order.push_back(1);
+        q.schedule(now, [&](Tick) {
+            order.push_back(2);
+            return 0;
+        });
+        return 0;
+    });
+    Tick now = 10;
+    q.runDue(now);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, BusyTimePullsLaterEventsIntoWindow)
+{
+    // An event's busy time advances `now`; an event due inside that
+    // extension becomes due and runs in the same sweep.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&](Tick) { order.push_back(1); return Tick{8}; });
+    q.schedule(15, [&](Tick) { order.push_back(2); return Tick{0}; });
+    Tick now = 10;
+    const Tick busy = q.runDue(now);
+    EXPECT_EQ(busy, 8u);
+    EXPECT_EQ(now, 18u);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 2);
 }
 
 TEST(CpuCoreTest, SplitsAppAndKernelTime)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Wall-clock benefit of the parallel ExperimentRunner: time the fig09
+# end-to-end sweep at 1 worker and at N workers and record the result in
+# BENCH_runner.json.  The speedup naturally depends on the core count of
+# the machine running this script, which is recorded alongside.
+#
+# Usage: tools/bench_wallclock.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/fig09_end2end"
+OUT="BENCH_runner.json"
+
+# A coarse footprint keeps a timing run to a few minutes; the worker
+# sweep is about relative wall-clock, not fidelity.
+SCALE="${M5_BENCH_SCALE:-64}"
+SEEDS="${M5_BENCH_SEEDS:-1}"
+CORES="$(nproc 2>/dev/null || echo 1)"
+NJOBS="${M5_BENCH_JOBS:-$CORES}"
+
+[ -x "$BIN" ] || { echo "missing $BIN — build first" >&2; exit 1; }
+
+run_timed() {
+    jobs="$1"
+    start="$(date +%s.%N)"
+    M5_BENCH_SCALE="$SCALE" M5_BENCH_SEEDS="$SEEDS" \
+        M5_BENCH_JOBS="$jobs" M5_BENCH_PROGRESS=0 \
+        "$BIN" > /dev/null
+    end="$(date +%s.%N)"
+    echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
+}
+
+echo "timing fig09_end2end at scale=1/$SCALE seeds=$SEEDS ..."
+echo "  1 worker ..."
+T1="$(run_timed 1)"
+echo "  ${T1}s"
+echo "  $NJOBS workers ..."
+TN="$(run_timed "$NJOBS")"
+echo "  ${TN}s"
+
+SPEEDUP="$(echo "$T1 $TN" | awk '{printf "%.2f", $1 / $2}')"
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "fig09_end2end",
+  "scale_divisor": $SCALE,
+  "seeds": $SEEDS,
+  "machine_cores": $CORES,
+  "parallel_workers": $NJOBS,
+  "wallclock_seconds_serial": $T1,
+  "wallclock_seconds_parallel": $TN,
+  "speedup": $SPEEDUP,
+  "note": "speedup is bounded by machine_cores; on a single-core host the two runs are expected to tie"
+}
+EOF
+
+echo "speedup: ${SPEEDUP}x on $CORES core(s) -> $OUT"

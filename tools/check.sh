@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 verification: configure, build, run the full test suite, then
+# rebuild with ThreadSanitizer and re-run the runner determinism test
+# (the multi-worker ExperimentRunner must be data-race free).
+#
+# Usage: tools/check.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="${M5_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== tier-1: configure + build ($BUILD) =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tsan: build tests with -DM5_SANITIZE=thread =="
+cmake -B "$BUILD-tsan" -S . -DM5_SANITIZE=thread
+cmake --build "$BUILD-tsan" -j "$JOBS" --target test_runner
+
+echo "== tsan: runner determinism + failure capture =="
+# TSAN_OPTIONS makes any report fail the run instead of just printing.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$BUILD-tsan/tests/test_runner" \
+    --gtest_filter='RunnerTest.*:RunnerDeterminismTest.*'
+
+echo "== check.sh: all green =="
