@@ -99,8 +99,8 @@ main()
         anb_mean += v;
     for (double v : damon_avgs)
         damon_mean += v;
-    anb_mean /= anb_avgs.size();
-    damon_mean /= damon_avgs.size();
+    anb_mean /= static_cast<double>(anb_avgs.size());
+    damon_mean /= static_cast<double>(damon_avgs.size());
     std::printf("\nsuite mean: ANB %.2f  DAMON %.2f "
                 "(paper: ANB 0.21, DAMON 0.29; most bars < 0.4)\n",
                 anb_mean, damon_mean);

@@ -82,9 +82,11 @@ main()
         damon_max = std::max(damon_max, damon_pct);
 
         const double anb_time = 100.0 *
-            (static_cast<double>(anb.runtime) / none.runtime - 1.0);
+            (static_cast<double>(anb.runtime) /
+             static_cast<double>(none.runtime) - 1.0);
         const double damon_time = 100.0 *
-            (static_cast<double>(damon.runtime) / none.runtime - 1.0);
+            (static_cast<double>(damon.runtime) /
+             static_cast<double>(none.runtime) - 1.0);
 
         if (benches[b] == "redis") {
             redis_anb_p99 =

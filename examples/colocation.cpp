@@ -48,7 +48,8 @@ main()
                     r.policy.c_str(), r.steady_throughput / 1e6,
                     r.steady_throughput / none.steady_throughput,
                     static_cast<unsigned long>(r.migration.promoted),
-                    100.0 * r.kernel_time / r.runtime);
+                    100.0 * static_cast<double>(r.kernel_time) /
+                        static_cast<double>(r.runtime));
         std::fflush(stdout);
     }
     std::printf("\nworkload name reported by the system: %s\n",

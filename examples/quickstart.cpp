@@ -31,7 +31,8 @@ main(int argc, char **argv)
     const SyntheticParams params = benchmarkParams(benchmark, scale);
     std::printf("  footprint: %zu pages (%.0f MB), DDR cap 3/8 of that\n",
                 params.footprint_pages,
-                params.footprint_pages * kPageBytes / 1048576.0);
+                static_cast<double>(params.footprint_pages * kPageBytes) /
+                    1048576.0);
 
     const std::uint64_t budget = accessBudget(benchmark, scale);
 
@@ -51,8 +52,10 @@ main(int argc, char **argv)
     std::printf("%-22s %15s %15s\n", "pages promoted", "0",
                 std::to_string(m5.migration.promoted).c_str());
     std::printf("%-22s %14.1f%% %14.1f%%\n", "kernel time share",
-                100.0 * baseline.kernel_time / baseline.runtime,
-                100.0 * m5.kernel_time / m5.runtime);
+                100.0 * static_cast<double>(baseline.kernel_time) /
+                    static_cast<double>(baseline.runtime),
+                100.0 * static_cast<double>(m5.kernel_time) /
+                    static_cast<double>(m5.runtime));
     std::printf("\nspeedup over no migration: %.2fx\n",
                 m5.steady_throughput / baseline.steady_throughput);
 

@@ -3,8 +3,7 @@
  * Distribution analyses behind Figures 4 and 10.
  */
 
-#ifndef M5_ANALYSIS_CDF_HH
-#define M5_ANALYSIS_CDF_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -46,5 +45,3 @@ CdfSeries accessCountLogCdf(const PacUnit &pac, std::size_t points = 32);
 double accessCountPercentile(const PacUnit &pac, double p);
 
 } // namespace m5
-
-#endif // M5_ANALYSIS_CDF_HH

@@ -12,8 +12,7 @@
  * full-system ground truth (Figures 3 and 8).
  */
 
-#ifndef M5_ANALYSIS_RATIO_HH
-#define M5_ANALYSIS_RATIO_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -64,5 +63,3 @@ double accessCountRatio(const PacUnit &pac,
                         const std::vector<TopKEntry> &reported);
 
 } // namespace m5
-
-#endif // M5_ANALYSIS_RATIO_HH

@@ -5,8 +5,7 @@
  * axis-label abbreviations.
  */
 
-#ifndef M5_ANALYSIS_REPORT_HH
-#define M5_ANALYSIS_REPORT_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -46,5 +45,3 @@ void emitTable(std::ostream &os, const TextTable &table,
                const std::string &section = "");
 
 } // namespace m5
-
-#endif // M5_ANALYSIS_REPORT_HH

@@ -8,8 +8,7 @@
  * number of active cores, mirroring the paper's use of Intel CAT (§6).
  */
 
-#ifndef M5_CACHE_CACHE_HH
-#define M5_CACHE_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -104,5 +103,3 @@ class SetAssocCache
 };
 
 } // namespace m5
-
-#endif // M5_CACHE_CACHE_HH

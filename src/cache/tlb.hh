@@ -9,8 +9,7 @@
  * replacement and shootdown accounting.
  */
 
-#ifndef M5_CACHE_TLB_HH
-#define M5_CACHE_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,5 +82,3 @@ class Tlb
 };
 
 } // namespace m5
-
-#endif // M5_CACHE_TLB_HH

@@ -33,18 +33,53 @@ fullyConsumed(const char *end)
 } // namespace
 
 std::optional<double>
+parseDouble(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || !fullyConsumed(end) || errno == ERANGE)
+        return std::nullopt;
+    return parsed;
+}
+
+std::optional<long>
+parseLong(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || !fullyConsumed(end) || errno == ERANGE)
+        return std::nullopt;
+    return parsed;
+}
+
+std::optional<std::uint64_t>
+parseU64(const std::string &s)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || !fullyConsumed(end) || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<double>
 envDouble(const char *name)
 {
     const char *v = rawEnv(name);
     if (!v)
         return std::nullopt;
-    errno = 0;
-    char *end = nullptr;
-    const double parsed = std::strtod(v, &end);
-    if (end == v || !fullyConsumed(end) || errno == ERANGE) {
+    auto parsed = parseDouble(v);
+    if (!parsed)
         m5_warn("ignoring %s='%s': not a valid number", name, v);
-        return std::nullopt;
-    }
     return parsed;
 }
 
@@ -54,13 +89,9 @@ envLong(const char *name)
     const char *v = rawEnv(name);
     if (!v)
         return std::nullopt;
-    errno = 0;
-    char *end = nullptr;
-    const long parsed = std::strtol(v, &end, 10);
-    if (end == v || !fullyConsumed(end) || errno == ERANGE) {
+    auto parsed = parseLong(v);
+    if (!parsed)
         m5_warn("ignoring %s='%s': not a valid integer", name, v);
-        return std::nullopt;
-    }
     return parsed;
 }
 

@@ -9,14 +9,28 @@
  * set-but-malformed value is rejected.
  */
 
-#ifndef M5_COMMON_ENV_HH
-#define M5_COMMON_ENV_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
 namespace m5 {
+
+/**
+ * Parse a whole string as a double; nullopt unless the entire string
+ * (modulo trailing whitespace) is a valid, in-range number.  This is
+ * the repo's one sanctioned wrapper around strtod — CLI and env
+ * parsing both go through here so a typo is rejected loudly instead of
+ * silently becoming 0 (see docs/LINT.md, no-raw-parse).
+ */
+std::optional<double> parseDouble(const std::string &s);
+
+/** Parse a whole string as a long (base 10), same strictness. */
+std::optional<long> parseLong(const std::string &s);
+
+/** Parse a whole string as an unsigned 64-bit (base 10, no sign). */
+std::optional<std::uint64_t> parseU64(const std::string &s);
 
 /**
  * Parse an env var as a double.  Returns nullopt when the variable is
@@ -38,5 +52,3 @@ std::optional<bool> envFlag(const char *name);
 std::optional<std::string> envString(const char *name);
 
 } // namespace m5
-
-#endif // M5_COMMON_ENV_HH

@@ -11,8 +11,7 @@
  * (the runner sets the job label) that prefixes its lines.
  */
 
-#ifndef M5_COMMON_LOGGING_HH
-#define M5_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -90,5 +89,3 @@ void informImpl(const std::string &msg);
     } while (0)
 
 } // namespace m5
-
-#endif // M5_COMMON_LOGGING_HH

@@ -6,8 +6,7 @@
  * reproducible run-to-run; nothing in the library reads wall-clock entropy.
  */
 
-#ifndef M5_COMMON_RNG_HH
-#define M5_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -71,5 +70,3 @@ class Rng
 };
 
 } // namespace m5
-
-#endif // M5_COMMON_RNG_HH

@@ -5,8 +5,7 @@
  * latency measurement.
  */
 
-#ifndef M5_COMMON_STATS_HH
-#define M5_COMMON_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -103,5 +102,3 @@ std::vector<double> empiricalCdf(std::vector<double> samples,
 double percentileOf(std::vector<double> samples, double p);
 
 } // namespace m5
-
-#endif // M5_COMMON_STATS_HH

@@ -6,8 +6,7 @@
  * output style is uniform and machine-parsable.
  */
 
-#ifndef M5_COMMON_TABLE_HH
-#define M5_COMMON_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -46,5 +45,3 @@ class TextTable
 void printBanner(std::ostream &os, const std::string &title);
 
 } // namespace m5
-
-#endif // M5_COMMON_TABLE_HH

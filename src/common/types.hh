@@ -8,8 +8,7 @@
  * page frame number of a 4KB page is PA[47:12].
  */
 
-#ifndef M5_COMMON_TYPES_HH
-#define M5_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -113,5 +112,3 @@ msToTicks(double ms)
 }
 
 } // namespace m5
-
-#endif // M5_COMMON_TYPES_HH

@@ -8,8 +8,7 @@
  * keeps multi-million-access experiments fast.
  */
 
-#ifndef M5_COMMON_ZIPF_HH
-#define M5_COMMON_ZIPF_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -65,5 +64,3 @@ class AliasSampler
 };
 
 } // namespace m5
-
-#endif // M5_COMMON_ZIPF_HH

@@ -8,8 +8,7 @@
  * CxlController::observer() to the CXL tier of a MemorySystem.
  */
 
-#ifndef M5_CXL_CONTROLLER_HH
-#define M5_CXL_CONTROLLER_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -70,5 +69,3 @@ class CxlController
 };
 
 } // namespace m5
-
-#endif // M5_CXL_CONTROLLER_HH

@@ -8,8 +8,7 @@
  * each epoch tracks a fresh interval.
  */
 
-#ifndef M5_CXL_HPT_HH
-#define M5_CXL_HPT_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -56,5 +55,3 @@ class HptUnit
 };
 
 } // namespace m5
-
-#endif // M5_CXL_HPT_HH

@@ -7,8 +7,7 @@
  * back to PFNs and per-page word masks (§5.2).
  */
 
-#ifndef M5_CXL_HWT_HH
-#define M5_CXL_HWT_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -51,5 +50,3 @@ class HwtUnit
 };
 
 } // namespace m5
-
-#endif // M5_CXL_HWT_HH

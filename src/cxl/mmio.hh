@@ -12,8 +12,7 @@
  * is reproducible.
  */
 
-#ifndef M5_CXL_MMIO_HH
-#define M5_CXL_MMIO_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -82,5 +81,3 @@ class MmioWindow
 };
 
 } // namespace m5
-
-#endif // M5_CXL_MMIO_HH

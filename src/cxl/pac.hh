@@ -13,8 +13,7 @@
  * its access-count table.
  */
 
-#ifndef M5_CXL_PAC_HH
-#define M5_CXL_PAC_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -87,5 +86,3 @@ class PacUnit
 };
 
 } // namespace m5
-
-#endif // M5_CXL_PAC_HH

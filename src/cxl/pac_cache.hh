@@ -11,8 +11,7 @@
  * SRAM-size / traffic trade-off can be swept (bench/abl_pac_cache).
  */
 
-#ifndef M5_CXL_PAC_CACHE_HH
-#define M5_CXL_PAC_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -88,5 +87,3 @@ class PacCacheUnit
 };
 
 } // namespace m5
-
-#endif // M5_CXL_PAC_CACHE_HH

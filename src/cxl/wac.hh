@@ -10,8 +10,7 @@
  * behind Figure 4's sparsity analysis and the HWT-driven Nominator.
  */
 
-#ifndef M5_CXL_WAC_HH
-#define M5_CXL_WAC_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -90,5 +89,3 @@ class WacUnit
 };
 
 } // namespace m5
-
-#endif // M5_CXL_WAC_HH

@@ -12,8 +12,7 @@
  * Constants are fitted to the paper's Table 4 (ASAP7-class 7nm numbers).
  */
 
-#ifndef M5_HWMODEL_AREA_POWER_HH
-#define M5_HWMODEL_AREA_POWER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -49,5 +48,3 @@ SynthesisEstimate estimateTracker(TrackerKind kind, std::uint64_t entries,
                                   unsigned counter_bits = 16);
 
 } // namespace m5
-
-#endif // M5_HWMODEL_AREA_POWER_HH

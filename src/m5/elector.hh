@@ -10,8 +10,7 @@
  * y = x^n with n in 3..6.
  */
 
-#ifndef M5_M5_ELECTOR_HH
-#define M5_M5_ELECTOR_HH
+#pragma once
 
 #include <functional>
 
@@ -75,5 +74,3 @@ class Elector
 };
 
 } // namespace m5
-
-#endif // M5_M5_ELECTOR_HH

@@ -11,8 +11,7 @@
  * huge pages before migrating, modelled by a caller-supplied filter.
  */
 
-#ifndef M5_M5_HUGEPAGE_HH
-#define M5_M5_HUGEPAGE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -76,5 +75,3 @@ class HugePageAggregator
 };
 
 } // namespace m5
-
-#endif // M5_M5_HUGEPAGE_HH

@@ -16,8 +16,7 @@
  * workloads (Figure 9, Redis).
  */
 
-#ifndef M5_M5_MANAGER_HH
-#define M5_M5_MANAGER_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -82,5 +81,3 @@ class M5Manager : public PolicyDaemon
 };
 
 } // namespace m5
-
-#endif // M5_M5_MANAGER_HH

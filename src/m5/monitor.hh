@@ -9,8 +9,7 @@
  * under write-allocate every LLC write miss first performs a read (§5.2).
  */
 
-#ifndef M5_M5_MONITOR_HH
-#define M5_M5_MONITOR_HH
+#pragma once
 
 #include <vector>
 
@@ -58,5 +57,3 @@ class Monitor
 };
 
 } // namespace m5
-
-#endif // M5_M5_MONITOR_HH

@@ -16,8 +16,7 @@
  *                (Guideline 4: sparse-only apps such as Redis).
  */
 
-#ifndef M5_M5_NOMINATOR_HH
-#define M5_M5_NOMINATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -94,5 +93,3 @@ class Nominator
 };
 
 } // namespace m5
-
-#endif // M5_M5_NOMINATOR_HH

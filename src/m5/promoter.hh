@@ -8,8 +8,7 @@
  * the user explicitly bound to the CXL node — and invokes migrate_pages().
  */
 
-#ifndef M5_M5_PROMOTER_HH
-#define M5_M5_PROMOTER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,5 +51,3 @@ class Promoter
 };
 
 } // namespace m5
-
-#endif // M5_M5_PROMOTER_HH

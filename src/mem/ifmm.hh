@@ -16,8 +16,7 @@
  * trade-off.
  */
 
-#ifndef M5_MEM_IFMM_HH
-#define M5_MEM_IFMM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -100,5 +99,3 @@ class IfmmDirectory
 };
 
 } // namespace m5
-
-#endif // M5_MEM_IFMM_HH

@@ -6,8 +6,7 @@
  * the CXL IP and the device memory controllers.
  */
 
-#ifndef M5_MEM_MEMSYS_HH
-#define M5_MEM_MEMSYS_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -70,5 +69,3 @@ struct TieredMemoryParams
 std::unique_ptr<MemorySystem> makeTieredMemory(const TieredMemoryParams &p);
 
 } // namespace m5
-
-#endif // M5_MEM_MEMSYS_HH

@@ -6,8 +6,7 @@
  * elapsed time) to compute bw(node) and bw_den(node) (§5.2, Table 1).
  */
 
-#ifndef M5_MEM_TIER_HH
-#define M5_MEM_TIER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -78,5 +77,3 @@ class MemTier
 };
 
 } // namespace m5
-
-#endif // M5_MEM_TIER_HH

@@ -10,8 +10,7 @@
  * once migration reaches equilibrium (§7.2).
  */
 
-#ifndef M5_OS_ANB_HH
-#define M5_OS_ANB_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -84,5 +83,3 @@ class AnbDaemon : public PolicyDaemon
 };
 
 } // namespace m5
-
-#endif // M5_OS_ANB_HH

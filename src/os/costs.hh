@@ -10,8 +10,7 @@
  * amortize its migration (§7.2).
  */
 
-#ifndef M5_OS_COSTS_HH
-#define M5_OS_COSTS_HH
+#pragma once
 
 #include "common/types.hh"
 
@@ -74,5 +73,3 @@ inline constexpr Cycles kTrackerQuery = 1800;
 
 } // namespace cost
 } // namespace m5
-
-#endif // M5_OS_COSTS_HH

@@ -8,8 +8,7 @@
  * migration processes and a benchmark thread to one core, §6).
  */
 
-#ifndef M5_OS_DAEMON_HH
-#define M5_OS_DAEMON_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -98,5 +97,3 @@ class PolicyDaemon
 };
 
 } // namespace m5
-
-#endif // M5_OS_DAEMON_HH

@@ -13,8 +13,7 @@
  * p99 by 16% in Figure 9 — so its sampling cost is charged unconditionally.
  */
 
-#ifndef M5_OS_DAMON_HH
-#define M5_OS_DAMON_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -101,5 +100,3 @@ class DamonDaemon : public PolicyDaemon
 };
 
 } // namespace m5
-
-#endif // M5_OS_DAMON_HH

@@ -8,8 +8,7 @@
  * victim first.
  */
 
-#ifndef M5_OS_FRAME_ALLOC_HH
-#define M5_OS_FRAME_ALLOC_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -53,5 +52,3 @@ class FrameAllocator
 };
 
 } // namespace m5
-
-#endif // M5_OS_FRAME_ALLOC_HH

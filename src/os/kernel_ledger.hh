@@ -9,8 +9,7 @@
  * time.
  */
 
-#ifndef M5_OS_KERNEL_LEDGER_HH
-#define M5_OS_KERNEL_LEDGER_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -74,5 +73,3 @@ class KernelLedger
 };
 
 } // namespace m5
-
-#endif // M5_OS_KERNEL_LEDGER_HH

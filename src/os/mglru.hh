@@ -12,8 +12,7 @@
  * operation O(1).
  */
 
-#ifndef M5_OS_MGLRU_HH
-#define M5_OS_MGLRU_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -80,5 +79,3 @@ class MgLru
 };
 
 } // namespace m5
-
-#endif // M5_OS_MGLRU_HH

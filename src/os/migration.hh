@@ -14,8 +14,7 @@
  * Together ≈ 54us per 4KB page (§7.2).
  */
 
-#ifndef M5_OS_MIGRATION_HH
-#define M5_OS_MIGRATION_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -110,5 +109,3 @@ class MigrationEngine
 };
 
 } // namespace m5
-
-#endif // M5_OS_MIGRATION_HH

@@ -9,8 +9,7 @@
  * the backing frame / tier node.
  */
 
-#ifndef M5_OS_PAGE_TABLE_HH
-#define M5_OS_PAGE_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -73,5 +72,3 @@ class PageTable
 };
 
 } // namespace m5
-
-#endif // M5_OS_PAGE_TABLE_HH

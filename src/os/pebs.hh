@@ -17,8 +17,7 @@
  * overhead [75].
  */
 
-#ifndef M5_OS_PEBS_HH
-#define M5_OS_PEBS_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -107,5 +106,3 @@ class MemtisDaemon : public PolicyDaemon
 };
 
 } // namespace m5
-
-#endif // M5_OS_PEBS_HH

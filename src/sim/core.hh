@@ -9,8 +9,7 @@
  * latency can be reported (Figure 9, Redis).
  */
 
-#ifndef M5_SIM_CORE_HH
-#define M5_SIM_CORE_HH
+#pragma once
 
 #include <vector>
 
@@ -110,5 +109,3 @@ class CpuCore
 };
 
 } // namespace m5
-
-#endif // M5_SIM_CORE_HH

@@ -9,8 +9,7 @@
  * with the application (§6's pinning methodology).
  */
 
-#ifndef M5_SIM_ENGINE_HH
-#define M5_SIM_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -69,5 +68,3 @@ class EventQueue
 };
 
 } // namespace m5
-
-#endif // M5_SIM_ENGINE_HH

@@ -8,8 +8,7 @@
  * CM-Sketch 32K, and access budgets scale with the footprint.
  */
 
-#ifndef M5_SIM_EXPERIMENT_HH
-#define M5_SIM_EXPERIMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -70,5 +69,3 @@ double accessRatioJob(const SweepJob &job);
 /** @} */
 
 } // namespace m5
-
-#endif // M5_SIM_EXPERIMENT_HH

@@ -20,8 +20,7 @@
  * benchJobs() (M5_BENCH_JOBS), all parsed strictly (common/env.hh).
  */
 
-#ifndef M5_SIM_RUNNER_HH
-#define M5_SIM_RUNNER_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -156,5 +155,3 @@ std::vector<std::string> runResultCsvRow(const SweepJob &job,
 /** @} */
 
 } // namespace m5
-
-#endif // M5_SIM_RUNNER_HH

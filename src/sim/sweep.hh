@@ -14,8 +14,7 @@
  * of which worker finished first.
  */
 
-#ifndef M5_SIM_SWEEP_HH
-#define M5_SIM_SWEEP_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -98,5 +97,3 @@ class SweepGrid
 };
 
 } // namespace m5
-
-#endif // M5_SIM_SWEEP_HH

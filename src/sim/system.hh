@@ -9,8 +9,7 @@
  * drivers over this class.
  */
 
-#ifndef M5_SIM_SYSTEM_HH
-#define M5_SIM_SYSTEM_HH
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -220,5 +219,3 @@ class TieredSystem
 };
 
 } // namespace m5
-
-#endif // M5_SIM_SYSTEM_HH

@@ -9,8 +9,7 @@
  * a real SRAM counter would.
  */
 
-#ifndef M5_SKETCH_CM_SKETCH_HH
-#define M5_SKETCH_CM_SKETCH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,5 +63,3 @@ class CmSketch
 };
 
 } // namespace m5
-
-#endif // M5_SKETCH_CM_SKETCH_HH

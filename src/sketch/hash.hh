@@ -8,8 +8,7 @@
  * synthesizable (xor/shift/multiply).
  */
 
-#ifndef M5_SKETCH_HASH_HH
-#define M5_SKETCH_HASH_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,5 +48,3 @@ class HashFamily
 };
 
 } // namespace m5
-
-#endif // M5_SKETCH_HASH_HH

@@ -12,8 +12,7 @@
  * amortized even for K = 128.
  */
 
-#ifndef M5_SKETCH_SORTED_TOPK_HH
-#define M5_SKETCH_SORTED_TOPK_HH
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -83,5 +82,3 @@ class SortedTopK
 };
 
 } // namespace m5
-
-#endif // M5_SKETCH_SORTED_TOPK_HH

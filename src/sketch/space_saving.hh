@@ -11,8 +11,7 @@
  * behaviour is identical to the textbook stream summary.
  */
 
-#ifndef M5_SKETCH_SPACE_SAVING_HH
-#define M5_SKETCH_SPACE_SAVING_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -64,5 +63,3 @@ class SpaceSaving
 };
 
 } // namespace m5
-
-#endif // M5_SKETCH_SPACE_SAVING_HH

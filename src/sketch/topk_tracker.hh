@@ -7,8 +7,7 @@
  * extraction; the Figure 7 sweep instantiates both kinds standalone.
  */
 
-#ifndef M5_SKETCH_TOPK_TRACKER_HH
-#define M5_SKETCH_TOPK_TRACKER_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -115,5 +114,3 @@ class SpaceSavingTracker : public TopKTracker
 std::unique_ptr<TopKTracker> makeTracker(const TrackerConfig &cfg);
 
 } // namespace m5
-
-#endif // M5_SKETCH_TOPK_TRACKER_HH

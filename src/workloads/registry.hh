@@ -10,8 +10,7 @@
  * footprint, CAT-scaled LLC, etc.).
  */
 
-#ifndef M5_WORKLOADS_REGISTRY_HH
-#define M5_WORKLOADS_REGISTRY_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -84,5 +83,3 @@ SyntheticParams appParams(const std::string &name);
 /** @} */
 
 } // namespace m5
-
-#endif // M5_WORKLOADS_REGISTRY_HH

@@ -9,8 +9,7 @@
  * CXL controller would.
  */
 
-#ifndef M5_WORKLOADS_TRACE_HH
-#define M5_WORKLOADS_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,5 +61,3 @@ class TraceBuffer
 };
 
 } // namespace m5
-
-#endif // M5_WORKLOADS_TRACE_HH

@@ -20,8 +20,7 @@
  *    accesses-per-request so the simulator can report p99 latency.
  */
 
-#ifndef M5_WORKLOADS_WORKLOAD_HH
-#define M5_WORKLOADS_WORKLOAD_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -177,5 +176,3 @@ class MultiWorkload : public Workload
 };
 
 } // namespace m5
-
-#endif // M5_WORKLOADS_WORKLOAD_HH

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "analysis/cdf.hh"
 #include "analysis/ratio.hh"
 #include "analysis/report.hh"
@@ -165,6 +170,96 @@ TEST(Report, RatioStr)
 {
     EXPECT_EQ(ratioStr(1.5), "1.50x");
     EXPECT_EQ(ratioStr(2.0, 1), "2.0x");
+}
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        if (had_)
+            saved_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_, saved_;
+    bool had_ = false;
+};
+
+/**
+ * Regression: emitTable must emit rows exactly in insertion order and
+ * byte-identically run-to-run.  The parallel runner relies on this —
+ * results are collected in grid order, and any reordering (or
+ * unordered-container iteration upstream; see m5lint's
+ * no-unordered-result-iteration rule) would break the 1-vs-4-worker
+ * byte-identity guarantee of docs/RUNNER.md.
+ */
+TEST(Report, EmitTablePinsInsertionOrder)
+{
+    ScopedEnv no_csv("M5_BENCH_CSV", nullptr);
+    TextTable t({"bench", "value"});
+    // Deliberately non-alphabetical, non-numeric order: emitTable must
+    // not "helpfully" sort.
+    t.addRow({"zeta", "3"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"mcf", "2"});
+
+    std::ostringstream a, b;
+    emitTable(a, t);
+    emitTable(b, t);
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string out = a.str();
+    const auto z = out.find("zeta");
+    const auto al = out.find("alpha");
+    const auto m = out.find("mcf");
+    ASSERT_NE(z, std::string::npos);
+    ASSERT_NE(al, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    EXPECT_LT(z, al);
+    EXPECT_LT(al, m);
+}
+
+TEST(Report, EmitTableCsvFileKeepsOrderAndSection)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "m5_emit_order.csv")
+            .string();
+    std::filesystem::remove(path);
+    ScopedEnv csv("M5_BENCH_CSV", path.c_str());
+
+    TextTable t({"k", "v"});
+    t.addRow({"b", "1"});
+    t.addRow({"a", "2"});
+    std::ostringstream ignored;
+    emitTable(ignored, t, "fig99");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string l1, l2, l3, l4;
+    std::getline(in, l1);
+    std::getline(in, l2);
+    std::getline(in, l3);
+    std::getline(in, l4);
+    EXPECT_EQ(l1, "# fig99");
+    EXPECT_EQ(l2, "k,v");
+    EXPECT_EQ(l3, "b,1");
+    EXPECT_EQ(l4, "a,2");
+    std::filesystem::remove(path);
 }
 
 } // namespace

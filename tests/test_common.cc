@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -47,6 +48,106 @@ TEST(Logging, Strprintf)
     EXPECT_EQ(strprintf("x=%d y=%s", 3, "ab"), "x=3 y=ab");
     EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
     EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+// Death tests for the panic/assert macros: they must abort (not exit
+// cleanly, not throw) and name the failed condition on stderr so a
+// crashed sweep cell is diagnosable from the captured output.
+
+TEST(LoggingDeathTest, PanicAbortsWithMessageAndLocation)
+{
+    EXPECT_DEATH(m5_panic("bad state %d", 7), "panic: bad state 7");
+    EXPECT_DEATH(m5_panic("somewhere"), "test_common\\.cc");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalseCondition)
+{
+    const int x = 3;
+    EXPECT_DEATH(m5_assert(x == 4, "x was %d", x),
+                 "assertion 'x == 4' failed: x was 3");
+}
+
+TEST(LoggingDeathTest, AssertSilentOnTrueCondition)
+{
+    m5_assert(2 + 2 == 4, "arithmetic still works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalExitsOutsideCaptureScope)
+{
+    // fatal() is a user-error exit (status 1), not an abort.
+    EXPECT_EXIT(m5_fatal("bad --flag"),
+                ::testing::ExitedWithCode(1), "fatal: bad --flag");
+}
+
+TEST(Logging, FatalCaptureScopeThrowsAndRestores)
+{
+    {
+        FatalCaptureScope capture;
+        EXPECT_THROW(m5_fatal("captured %s", "once"), FatalError);
+        try {
+            m5_fatal("captured twice");
+        } catch (const FatalError &e) {
+            EXPECT_STREQ(e.what(), "captured twice");
+        }
+        {
+            FatalCaptureScope nested; // nesting must be harmless
+            EXPECT_THROW(m5_fatal("nested"), FatalError);
+        }
+        EXPECT_THROW(m5_fatal("still captured"), FatalError);
+    }
+    // Outside the scope fatal() exits again.
+    EXPECT_EXIT(m5_fatal("uncaptured"),
+                ::testing::ExitedWithCode(1), "fatal: uncaptured");
+}
+
+TEST(Logging, ThreadTagSetAndClear)
+{
+    EXPECT_EQ(logThreadTag(), "");
+    logSetThreadTag("job 3");
+    EXPECT_EQ(logThreadTag(), "job 3");
+    logSetThreadTag("");
+    EXPECT_EQ(logThreadTag(), "");
+}
+
+// Error paths of the strict string parsers behind common/env that
+// tests/test_runner.cc (which covers the env-var plumbing) does not
+// reach: out-of-range values, partial consumption, and sign handling.
+
+TEST(ParseStrict, OutOfRangeIsRejectedNotClamped)
+{
+    EXPECT_FALSE(parseDouble("1e999").has_value());
+    EXPECT_FALSE(parseDouble("-1e999").has_value());
+    EXPECT_FALSE(parseLong("99999999999999999999").has_value());
+    EXPECT_FALSE(parseLong("-99999999999999999999").has_value());
+    EXPECT_FALSE(parseU64("99999999999999999999999").has_value());
+}
+
+TEST(ParseStrict, PartialConsumptionIsRejected)
+{
+    // strtol(base 10) stops at 'x'; the strict wrapper must reject.
+    EXPECT_FALSE(parseLong("0x10").has_value());
+    EXPECT_FALSE(parseLong("12cores").has_value());
+    EXPECT_FALSE(parseDouble("3.5ms").has_value());
+    EXPECT_FALSE(parseU64("7seeds").has_value());
+    // ...but trailing whitespace is tolerated.
+    EXPECT_EQ(parseLong("12 ").value(), 12);
+    EXPECT_DOUBLE_EQ(parseDouble("2.5\t").value(), 2.5);
+}
+
+TEST(ParseStrict, EmptyAndSignEdgeCases)
+{
+    EXPECT_FALSE(parseDouble("").has_value());
+    EXPECT_FALSE(parseLong("").has_value());
+    EXPECT_FALSE(parseU64("").has_value());
+    // parseU64 is for counts/seeds: signs are rejected outright
+    // (strtoull would silently wrap "-1" to 2^64-1).
+    EXPECT_FALSE(parseU64("-1").has_value());
+    EXPECT_FALSE(parseU64("+1").has_value());
+    EXPECT_EQ(parseU64("0").value(), 0u);
+    EXPECT_EQ(parseU64("18446744073709551615").value(),
+              18446744073709551615ull);
+    EXPECT_EQ(parseLong("-42").value(), -42);
 }
 
 TEST(Rng, Determinism)

@@ -77,8 +77,8 @@ TEST_P(Table4Fit, CmSketchPowerWithin15Pct)
 
 INSTANTIATE_TEST_SUITE_P(
     Rows, Table4Fit, ::testing::ValuesIn(kTable4),
-    [](const ::testing::TestParamInfo<Table4Row> &info) {
-        return "N" + std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Table4Row> &row_info) {
+        return "N" + std::to_string(row_info.param.n);
     });
 
 TEST(HwModel, SpaceSavingAt2KCostsRoughly33xAreaOfCmSketch)

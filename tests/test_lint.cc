@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the m5lint engine (tools/m5lint_lib.cc): every rule must
+ * fire on a known-bad fixture and stay silent on a known-good one,
+ * suppression (inline and allowlist) must work, and the lexer must not
+ * be fooled by comments, strings, or digit separators.
+ *
+ * Fixtures are passed to lintSource() with a virtual path, since path
+ * placement (src/, bench/, tools/, ...) decides which rules apply.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "m5lint.hh"
+
+namespace {
+
+using m5lint::Config;
+using m5lint::Diag;
+using m5lint::lintSource;
+
+/** Diagnostics for `src` at virtual path `path`, no allowlist. */
+std::vector<Diag>
+run(const std::string &path, const std::string &src, const Config &cfg = {})
+{
+    return lintSource(path, src, cfg);
+}
+
+/** Count diagnostics with the given rule id. */
+std::size_t
+countRule(const std::vector<Diag> &diags, const std::string &rule)
+{
+    return static_cast<std::size_t>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diag &d) { return d.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------
+// no-wallclock
+// ---------------------------------------------------------------------
+
+TEST(LintWallclock, FiresOnSystemClockAndTime)
+{
+    const auto d1 = run("src/sim/engine.cc",
+                        "auto t = std::chrono::system_clock::now();\n");
+    EXPECT_EQ(countRule(d1, "no-wallclock"), 1u);
+
+    const auto d2 = run("bench/foo.cc",
+                        "long n = time(nullptr);\n"
+                        "struct timeval tv; gettimeofday(&tv, nullptr);\n");
+    EXPECT_EQ(countRule(d2, "no-wallclock"), 2u);
+    EXPECT_EQ(d2[0].line, 1);
+    EXPECT_EQ(d2[1].line, 2);
+}
+
+TEST(LintWallclock, SilentOnSteadyClockAndLookalikes)
+{
+    const auto d = run(
+        "src/sim/runner.cc",
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "double s = runtime(t0);\n"        // identifier containing 'time'
+        "auto tp = engine.time();\n"       // member call, not ::time
+        "using time_point = std::chrono::steady_clock::time_point;\n");
+    EXPECT_EQ(countRule(d, "no-wallclock"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-unseeded-rng
+// ---------------------------------------------------------------------
+
+TEST(LintRng, FiresOnRandomDeviceAndRand)
+{
+    const auto d = run("src/workloads/foo.cc",
+                       "std::random_device rd;\n"
+                       "srand(42);\n"
+                       "int x = rand();\n");
+    EXPECT_EQ(countRule(d, "no-unseeded-rng"), 3u);
+}
+
+TEST(LintRng, SilentOnSeededRngAndLookalikes)
+{
+    const auto d = run("src/workloads/foo.cc",
+                       "m5::Rng rng(7);\n"
+                       "auto v = rng.below(10);\n"
+                       "int g = grand(3);\n"       // not rand()
+                       "auto s = strand(yarn);\n"  // not srand()
+                       "// rand() in a comment is fine\n"
+                       "log(\"rand() in a string is fine\");\n");
+    EXPECT_EQ(countRule(d, "no-unseeded-rng"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-unordered-result-iteration
+// ---------------------------------------------------------------------
+
+TEST(LintUnordered, FiresOnRangeForOverUnorderedInScope)
+{
+    const std::string src =
+        "std::unordered_map<int, long> counts;\n"
+        "for (const auto &kv : counts)\n"
+        "    emit(kv);\n";
+    EXPECT_EQ(countRule(run("bench/fig99.cc", src),
+                        "no-unordered-result-iteration"), 1u);
+    EXPECT_EQ(countRule(run("src/analysis/report.cc", src),
+                        "no-unordered-result-iteration"), 1u);
+    EXPECT_EQ(countRule(run("src/sim/sweep.cc", src),
+                        "no-unordered-result-iteration"), 1u);
+}
+
+TEST(LintUnordered, SilentOutOfScopeAndOnOrderedContainers)
+{
+    const std::string unordered_src =
+        "std::unordered_map<int, long> counts;\n"
+        "for (const auto &kv : counts)\n"
+        "    bump(kv);\n";
+    // Internal bookkeeping (src/os, src/mem, ...) may iterate freely.
+    EXPECT_EQ(countRule(run("src/os/mglru.cc", unordered_src),
+                        "no-unordered-result-iteration"), 0u);
+
+    const std::string ordered_src =
+        "std::map<int, long> counts;\n"
+        "std::vector<int> sorted_keys;\n"
+        "for (const auto &kv : counts) emit(kv);\n"
+        "for (int k : sorted_keys) emit(k);\n";
+    EXPECT_EQ(countRule(run("bench/fig99.cc", ordered_src),
+                        "no-unordered-result-iteration"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-raw-parse
+// ---------------------------------------------------------------------
+
+TEST(LintRawParse, FiresOnAtofFamilyEverywhere)
+{
+    EXPECT_EQ(countRule(run("tools/foo.cc",
+                            "double d = std::atof(argv[1]);\n"),
+                        "no-raw-parse"), 1u);
+    EXPECT_EQ(countRule(run("src/mem/tier.cc",
+                            "long n = strtol(s, &end, 10);\n"
+                            "int i = atoi(s);\n"),
+                        "no-raw-parse"), 2u);
+}
+
+TEST(LintRawParse, SilentInEnvAndOnLookalikes)
+{
+    // common/env is the sanctioned wrapper around strto*.
+    EXPECT_EQ(countRule(run("src/common/env.cc",
+                            "double d = std::strtod(v, &end);\n"),
+                        "no-raw-parse"), 0u);
+    EXPECT_EQ(countRule(run("tools/foo.cc",
+                            "auto v = m5::parseDouble(arg);\n"
+                            "int x = myatoi(s);\n"),
+                        "no-raw-parse"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-raw-output
+// ---------------------------------------------------------------------
+
+TEST(LintRawOutput, FiresOnStdoutWritesInSrc)
+{
+    const auto d = run("src/mem/memsys.cc",
+                       "printf(\"x\");\n"
+                       "std::printf(\"x\");\n"
+                       "fprintf(stdout, \"x\");\n"
+                       "std::cout << 1;\n");
+    EXPECT_EQ(countRule(d, "no-raw-output"), 4u);
+}
+
+TEST(LintRawOutput, SilentInFunnelsToolsAndStderr)
+{
+    // The two sanctioned emission funnels.
+    EXPECT_EQ(countRule(run("src/common/logging.cc",
+                            "std::fprintf(stdout, \"info\");\n"),
+                        "no-raw-output"), 0u);
+    EXPECT_EQ(countRule(run("src/analysis/report.cc",
+                            "std::cout << csv;\n"),
+                        "no-raw-output"), 0u);
+    // CLI tools own their stdout; stderr diagnostics are fine anywhere;
+    // strprintf/snprintf are not output calls.
+    EXPECT_EQ(countRule(run("tools/m5sim.cc", "printf(\"report\");\n"),
+                        "no-raw-output"), 0u);
+    EXPECT_EQ(countRule(run("src/sim/runner.cc",
+                            "std::fprintf(stderr, \"progress\");\n"
+                            "auto s = strprintf(\"%d\", 1);\n"
+                            "std::snprintf(buf, n, \"%d\", 1);\n"),
+                        "no-raw-output"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-naked-new
+// ---------------------------------------------------------------------
+
+TEST(LintNakedNew, FiresOnNewAndMallocInSrc)
+{
+    const auto d = run("src/cache/cache.cc",
+                       "int *p = new int[64];\n"
+                       "void *q = malloc(64);\n");
+    EXPECT_EQ(countRule(d, "no-naked-new"), 2u);
+}
+
+TEST(LintNakedNew, SilentOnRaiiAndOutsideSrc)
+{
+    EXPECT_EQ(countRule(run("src/cache/cache.cc",
+                            "auto p = std::make_unique<int[]>(64);\n"
+                            "auto renewed = renew(lease);\n"
+                            "int newest = 3;\n"),
+                        "no-naked-new"), 0u);
+    // gtest fixtures etc. may use new outside the library.
+    EXPECT_EQ(countRule(run("tests/test_foo.cc", "auto *w = new Widget;\n"),
+                        "no-naked-new"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// header-hygiene
+// ---------------------------------------------------------------------
+
+TEST(LintHeader, FiresOnMissingPragmaOnce)
+{
+    const auto d = run("src/mem/foo.hh",
+                       "namespace m5 {\n"
+                       "struct Foo {};\n"
+                       "} // namespace m5\n");
+    EXPECT_EQ(countRule(d, "header-hygiene"), 1u);
+    EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(LintHeader, FiresOnUsingNamespaceAtNamespaceScope)
+{
+    const auto global = run("src/mem/foo.hh",
+                            "#pragma once\n"
+                            "using namespace std;\n");
+    EXPECT_EQ(countRule(global, "header-hygiene"), 1u);
+
+    const auto nested = run("src/mem/foo.hh",
+                            "#pragma once\n"
+                            "namespace m5 {\n"
+                            "using namespace std;\n"
+                            "}\n");
+    EXPECT_EQ(countRule(nested, "header-hygiene"), 1u);
+}
+
+TEST(LintHeader, SilentOnCleanHeaderAndSources)
+{
+    const auto d = run("src/mem/foo.hh",
+                       "#pragma once\n"
+                       "namespace m5 {\n"
+                       "inline int f() {\n"
+                       "    using namespace std::chrono;\n" // function scope
+                       "    return 1;\n"
+                       "}\n"
+                       "} // namespace m5\n");
+    EXPECT_EQ(countRule(d, "header-hygiene"), 0u);
+    // .cc files need no include guard.
+    EXPECT_EQ(countRule(run("src/mem/foo.cc", "int x;\n"),
+                        "header-hygiene"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Suppression: inline comments and the allowlist.
+// ---------------------------------------------------------------------
+
+TEST(LintSuppress, InlineAllowSilencesOneLine)
+{
+    const auto d = run(
+        "src/workloads/foo.cc",
+        "std::random_device rd; // m5lint: allow(no-unseeded-rng)\n"
+        "std::random_device rd2;\n");
+    EXPECT_EQ(countRule(d, "no-unseeded-rng"), 1u);
+    EXPECT_EQ(d[0].line, 2);
+}
+
+TEST(LintSuppress, InlineAllowStarAndLists)
+{
+    EXPECT_TRUE(run("src/workloads/foo.cc",
+                    "srand(1); // m5lint: allow(*)\n").empty());
+    EXPECT_TRUE(run("src/workloads/foo.cc",
+                    "srand(time(nullptr)); "
+                    "// m5lint: allow(no-unseeded-rng, no-wallclock)\n")
+                    .empty());
+    // Allowing an unrelated rule does not silence the finding.
+    EXPECT_EQ(countRule(run("src/workloads/foo.cc",
+                            "srand(1); // m5lint: allow(no-wallclock)\n"),
+                        "no-unseeded-rng"), 1u);
+}
+
+TEST(LintSuppress, AllowlistScopesByRuleAndPathPrefix)
+{
+    Config cfg;
+    cfg.allow.push_back({"no-raw-parse", "tools/legacy/"});
+    EXPECT_EQ(countRule(lintSource("tools/legacy/old.cc",
+                                   "int i = atoi(s);\n", cfg),
+                        "no-raw-parse"), 0u);
+    // Different directory or different rule: still fires.
+    EXPECT_EQ(countRule(lintSource("tools/new.cc",
+                                   "int i = atoi(s);\n", cfg),
+                        "no-raw-parse"), 1u);
+    EXPECT_EQ(countRule(lintSource("tools/legacy/old.cc",
+                                   "srand(1);\n", cfg),
+                        "no-unseeded-rng"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Lexer robustness.
+// ---------------------------------------------------------------------
+
+TEST(LintLexer, CommentsStringsAndSeparatorsDoNotFire)
+{
+    const auto d = run(
+        "src/mem/foo.cc",
+        "/* time(nullptr) in a block comment\n"
+        "   spanning lines with rand() */\n"
+        "const char *s = \"call time(nullptr) and malloc(4)\";\n"
+        "const char *r = R\"(new int[3]; srand(9);)\";\n"
+        "int big = 20'000;\n"
+        "char c = 'x';\n");
+    EXPECT_TRUE(d.empty()) << d.front().str();
+}
+
+TEST(LintLexer, DiagFormatIsFileLineRuleMessage)
+{
+    const auto d = run("src/mem/foo.cc", "void *p = malloc(8);\n");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].str().rfind("src/mem/foo.cc:1: no-naked-new: ", 0), 0u)
+        << d[0].str();
+}
+
+// ---------------------------------------------------------------------
+// File-level API: fixture files on disk, discovery, allowlist parsing.
+// ---------------------------------------------------------------------
+
+class LintFilesTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("m5lint_test_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        std::filesystem::create_directories(dir_ / "src" / "mem");
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string
+    write(const std::string &rel, const std::string &text)
+    {
+        const auto p = dir_ / rel;
+        std::ofstream(p) << text;
+        return p.generic_string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(LintFilesTest, LintFileFindsViolationsOnDisk)
+{
+    const auto bad = write("src/mem/bad.cc", "void *p = malloc(8);\n");
+    const auto good = write("src/mem/good.cc", "int x = 1;\n");
+    EXPECT_EQ(countRule(m5lint::lintFile(bad), "no-naked-new"), 1u);
+    EXPECT_TRUE(m5lint::lintFile(good).empty());
+}
+
+TEST_F(LintFilesTest, LintFileReportsUnreadableFiles)
+{
+    const auto d = m5lint::lintFile((dir_ / "absent.cc").generic_string());
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rule, "io-error");
+}
+
+TEST_F(LintFilesTest, CollectFilesIsSortedAndFiltered)
+{
+    write("src/mem/b.cc", "int b;\n");
+    write("src/mem/a.hh", "#pragma once\n");
+    write("src/mem/notes.txt", "not c++\n");
+    const auto files = m5lint::collectFiles({dir_.generic_string()});
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+    EXPECT_NE(files[0].find("a.hh"), std::string::npos);
+    EXPECT_NE(files[1].find("b.cc"), std::string::npos);
+}
+
+TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
+{
+    const auto path = write("m5lint.allow",
+                            "# comment line\n"
+                            "\n"
+                            "no-raw-parse tools/legacy/\n"
+                            "* src/generated/\n"
+                            "not-a-rule src/\n");
+    std::vector<std::string> errors;
+    const Config cfg = m5lint::loadAllowFile(path, &errors);
+    ASSERT_EQ(cfg.allow.size(), 2u);
+    EXPECT_EQ(cfg.allow[0].rule, "no-raw-parse");
+    EXPECT_EQ(cfg.allow[0].path, "tools/legacy/");
+    EXPECT_EQ(cfg.allow[1].rule, "*");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
+}
+
+TEST(LintRules, CatalogueListsAllSevenRules)
+{
+    const auto &rules = m5lint::allRules();
+    EXPECT_EQ(rules.size(), 7u);
+    for (const char *r :
+         {"no-wallclock", "no-unseeded-rng", "no-unordered-result-iteration",
+          "no-raw-parse", "no-raw-output", "no-naked-new", "header-hygiene"})
+        EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
+            << r;
+}
+
+} // namespace

@@ -211,8 +211,9 @@ TEST(SpaceSaving, NeverUnderestimates)
     }
     for (const auto &[k, c] : exact) {
         const auto est = ss.estimate(k);
-        if (est) // Unmonitored keys report 0.
+        if (est) { // Unmonitored keys report 0.
             EXPECT_GE(est, c) << "key " << k;
+        }
     }
 }
 
@@ -358,10 +359,10 @@ INSTANTIATE_TEST_SUITE_P(
         TrackerParam{TrackerKind::CmSketchTopK, 32 * 1024},
         TrackerParam{TrackerKind::SpaceSavingTopK, 50},
         TrackerParam{TrackerKind::SpaceSavingTopK, 2048}),
-    [](const ::testing::TestParamInfo<TrackerParam> &info) {
-        return (info.param.kind == TrackerKind::CmSketchTopK ? "CM"
-                                                             : "SS") +
-               std::to_string(info.param.entries);
+    [](const ::testing::TestParamInfo<TrackerParam> &param_info) {
+        return (param_info.param.kind == TrackerKind::CmSketchTopK
+                    ? "CM" : "SS") +
+               std::to_string(param_info.param.entries);
     });
 
 /** §7.1: at equal (small) N, Space-Saving beats CM-Sketch; CM-Sketch at

@@ -128,8 +128,9 @@ TEST_P(SystemMatrix, PinnedPagesNeverMigrate)
     auto &pt = sys.pageTable();
     for (Vpn v = 0; v < pt.numPages(); ++v) {
         const Pte &e = pt.pte(v);
-        if (e.pinned)
+        if (e.pinned) {
             ASSERT_EQ(e.node, kNodeCxl) << "pinned page moved, vpn " << v;
+        }
     }
 }
 
@@ -197,8 +198,8 @@ TEST_P(WorkloadSweep, StreamStaysInBoundsAndDeterministic)
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, WorkloadSweep,
     ::testing::ValuesIn(sparsityBenchmarkNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        std::string name = param_info.param;
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

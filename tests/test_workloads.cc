@@ -65,7 +65,8 @@ TEST(Registry, FootprintScalesLinearly)
     const auto full = benchmarkParams("mcf_r", 1.0).footprint_pages;
     const auto half = benchmarkParams("mcf_r", 0.5).footprint_pages;
     EXPECT_NEAR(static_cast<double>(half),
-                static_cast<double>(full) / 2.0, full * 0.01);
+                static_cast<double>(full) / 2.0,
+                static_cast<double>(full) * 0.01);
 }
 
 TEST(Registry, FullScaleFootprintMatchesTable3)
@@ -149,8 +150,8 @@ TEST(Workload, SparsityClassesShapeUniqueWords)
         redis_sparse += redis->activeWords(v) <= 16;
         mcf_sparse += mcf->activeWords(v) <= 16;
     }
-    EXPECT_GT(redis_sparse / double(n), 0.75);
-    EXPECT_LT(mcf_sparse / double(n), 0.10);
+    EXPECT_GT(double(redis_sparse) / double(n), 0.75);
+    EXPECT_LT(double(mcf_sparse) / double(n), 0.10);
 }
 
 TEST(Workload, PopularityIsSkewed)
@@ -172,7 +173,7 @@ TEST(Workload, PopularityIsSkewed)
         if (i < top10)
             top_sum += sorted[i];
     }
-    EXPECT_GT(top_sum / double(total), 0.3);
+    EXPECT_GT(double(top_sum) / double(total), 0.3);
 }
 
 TEST(Workload, HotClusterLocality)
@@ -268,7 +269,7 @@ TEST(MultiWorkloadTest, CombinedFootprintMatchesSingle)
     auto four = makeMultiWorkload("mcf_r", 4, 0.02, 3);
     EXPECT_NEAR(static_cast<double>(four->footprintPages()),
                 static_cast<double>(one->footprintPages()),
-                one->footprintPages() * 0.01);
+                static_cast<double>(one->footprintPages()) * 0.01);
 }
 
 TEST(MultiWorkloadTest, NameIncludesInstanceCount)

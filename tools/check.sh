@@ -1,30 +1,130 @@
 #!/bin/sh
-# Tier-1 verification: configure, build, run the full test suite, then
-# rebuild with ThreadSanitizer and re-run the runner determinism test
-# (the multi-worker ExperimentRunner must be data-race free).
+# Full verification story, in tiers (docs/LINT.md):
 #
-# Usage: tools/check.sh [build-dir]   (default: build)
+#   tier1  configure + build (warnings-as-errors) + full ctest
+#   lint   m5lint repo-rule scan over src bench tests tools examples
+#   tidy   clang-tidy over the library sources (skipped with a warning
+#          when clang-tidy is not installed)
+#   tsan   ThreadSanitizer build + runner determinism tests
+#   asan   AddressSanitizer build + full ctest (leaks on)
+#   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
+#
+# Usage: tools/check.sh [--stage NAME]... [build-dir]
+#
+#   --stage NAME   run only the named stage(s); repeat the flag or
+#                  comma-separate (--stage lint,tidy).  Default: all,
+#                  in the order above.  Each stage is self-contained so
+#                  future automation can run them in parallel.
+#   build-dir      base build directory (default: build; sanitizer
+#                  stages use <build-dir>-tsan/-asan/-ubsan).
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
+BUILD="build"
+STAGES=""
 JOBS="${M5_CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== tier-1: configure + build ($BUILD) =="
-cmake -B "$BUILD" -S .
-cmake --build "$BUILD" -j "$JOBS"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --stage)
+            [ $# -ge 2 ] || { echo "check.sh: --stage needs a name" >&2; exit 2; }
+            STAGES="$STAGES $(echo "$2" | tr ',' ' ')"
+            shift 2
+            ;;
+        --help|-h)
+            sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        -*)
+            echo "check.sh: unknown option '$1' (try --help)" >&2
+            exit 2
+            ;;
+        *)
+            BUILD="$1"
+            shift
+            ;;
+    esac
+done
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy tsan asan ubsan"
 
-echo "== tier-1: ctest =="
-ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+for s in $STAGES; do
+    case "$s" in
+        tier1|lint|tidy|tsan|asan|ubsan) ;;
+        *)
+            echo "check.sh: unknown stage '$s'" \
+                 "(want tier1|lint|tidy|tsan|asan|ubsan)" >&2
+            exit 2
+            ;;
+    esac
+done
 
-echo "== tsan: build tests with -DM5_SANITIZE=thread =="
-cmake -B "$BUILD-tsan" -S . -DM5_SANITIZE=thread
-cmake --build "$BUILD-tsan" -j "$JOBS" --target test_runner
+wants() {
+    case " $STAGES " in *" $1 "*) return 0 ;; *) return 1 ;; esac
+}
 
-echo "== tsan: runner determinism + failure capture =="
-# TSAN_OPTIONS makes any report fail the run instead of just printing.
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-    "$BUILD-tsan/tests/test_runner" \
-    --gtest_filter='RunnerTest.*:RunnerDeterminismTest.*'
+# Configure + build a tree; $1 = dir, rest = extra cmake args.
+build_tree() {
+    _dir="$1"; shift
+    cmake -B "$_dir" -S . "$@"
+    cmake --build "$_dir" -j "$JOBS"
+}
 
-echo "== check.sh: all green =="
+if wants tier1; then
+    echo "== tier1: configure + build -DM5_WERROR=ON ($BUILD) =="
+    build_tree "$BUILD" -DM5_WERROR=ON
+    echo "== tier1: ctest =="
+    ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+fi
+
+if wants lint; then
+    echo "== lint: m5lint src bench tests tools examples =="
+    # Reuse the tier1 build when present; otherwise build just m5lint.
+    if [ ! -x "$BUILD/tools/m5lint" ]; then
+        cmake -B "$BUILD" -S .
+        cmake --build "$BUILD" -j "$JOBS" --target m5lint
+    fi
+    "$BUILD/tools/m5lint" src bench tests tools examples
+fi
+
+if wants tidy; then
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "== tidy: clang-tidy over src/ tools/ =="
+        # compile_commands.json is exported by the main configure.
+        if [ ! -f "$BUILD/compile_commands.json" ]; then
+            cmake -B "$BUILD" -S .
+        fi
+        find src tools -name '*.cc' -print \
+            | xargs -P "$JOBS" -n 1 clang-tidy -p "$BUILD" --quiet
+    else
+        echo "== tidy: SKIPPED (clang-tidy not installed) =="
+    fi
+fi
+
+if wants tsan; then
+    echo "== tsan: build tests with -DM5_SANITIZE=thread =="
+    cmake -B "$BUILD-tsan" -S . -DM5_SANITIZE=thread
+    cmake --build "$BUILD-tsan" -j "$JOBS" --target test_runner
+    echo "== tsan: runner determinism + failure capture =="
+    # TSAN_OPTIONS makes any report fail the run instead of just printing.
+    TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+        "$BUILD-tsan/tests/test_runner" \
+        --gtest_filter='RunnerTest.*:RunnerDeterminismTest.*'
+fi
+
+if wants asan; then
+    echo "== asan: build with -DM5_SANITIZE=address =="
+    build_tree "$BUILD-asan" -DM5_SANITIZE=address
+    echo "== asan: full ctest (detect_leaks=1) =="
+    ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
+        ctest --test-dir "$BUILD-asan" --output-on-failure -j "$JOBS"
+fi
+
+if wants ubsan; then
+    echo "== ubsan: build with -DM5_SANITIZE=undefined =="
+    build_tree "$BUILD-ubsan" -DM5_SANITIZE=undefined
+    echo "== ubsan: full ctest (halt_on_error=1) =="
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+        ctest --test-dir "$BUILD-ubsan" --output-on-failure -j "$JOBS"
+fi
+
+echo "== check.sh: all requested stages green ($STAGES) =="

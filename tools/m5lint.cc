@@ -1,0 +1,114 @@
+/**
+ * @file
+ * m5lint command-line driver.
+ *
+ * Usage: m5lint [options] <dir-or-file>...
+ *
+ * Scans the given roots for C++ sources and reports repo-rule
+ * violations as `file:line: rule-id: message`, one per line, exiting 1
+ * when anything fires (2 on usage errors).  Run it from the repo root
+ * so the directory-scoped rules (src/, bench/, ...) resolve:
+ *
+ *     build/tools/m5lint src bench tests tools
+ *
+ * See docs/LINT.md for the rule catalogue and suppression syntax.
+ */
+
+#include "m5lint.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: m5lint [options] <dir-or-file>...\n"
+                 "\n"
+                 "options:\n"
+                 "  --allowlist FILE         load suppressions from FILE\n"
+                 "                           (default: tools/m5lint.allow"
+                 " when present)\n"
+                 "  --no-default-allowlist   skip the default allowlist\n"
+                 "  --list-rules             print rule ids and exit\n"
+                 "  -h, --help               this message\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string allow_path;
+    bool use_default_allow = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : m5lint::allRules())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (arg == "--allowlist") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "m5lint: --allowlist needs a file\n");
+                return 2;
+            }
+            allow_path = argv[++i];
+        } else if (arg == "--no-default-allowlist") {
+            use_default_allow = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "m5lint: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    if (allow_path.empty() && use_default_allow &&
+        std::filesystem::exists("tools/m5lint.allow"))
+        allow_path = "tools/m5lint.allow";
+
+    m5lint::Config cfg;
+    if (!allow_path.empty()) {
+        std::vector<std::string> errors;
+        cfg = m5lint::loadAllowFile(allow_path, &errors);
+        for (const auto &e : errors)
+            std::fprintf(stderr, "m5lint: %s\n", e.c_str());
+        if (!errors.empty())
+            return 2;
+    }
+
+    const std::vector<std::string> files = m5lint::collectFiles(roots);
+    if (files.empty()) {
+        std::fprintf(stderr, "m5lint: no lintable files under given roots\n");
+        return 2;
+    }
+
+    std::size_t n_diags = 0, n_files_bad = 0;
+    for (const auto &f : files) {
+        const auto diags = m5lint::lintFile(f, cfg);
+        if (!diags.empty())
+            ++n_files_bad;
+        for (const auto &d : diags) {
+            std::printf("%s\n", d.str().c_str());
+            ++n_diags;
+        }
+    }
+    std::fprintf(stderr, "m5lint: %zu issue(s) in %zu of %zu file(s)\n",
+                 n_diags, n_files_bad, files.size());
+    return n_diags == 0 ? 0 : 1;
+}

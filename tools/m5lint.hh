@@ -1,0 +1,88 @@
+/**
+ * @file
+ * m5lint — repo-specific determinism/safety static analysis.
+ *
+ * The repo's headline guarantee is determinism under parallelism (the
+ * 1-worker and 4-worker sweeps in tests/test_runner.cc must be
+ * byte-identical; see docs/RUNNER.md).  That guarantee rests on coding
+ * rules no compiler enforces: no wall-clock reads, no unseeded
+ * randomness, no iteration order from unordered containers reaching
+ * results, all env parsing through common/env, all output through
+ * common/logging or analysis/report.  m5lint scans the tree for
+ * violations of those rules and exits non-zero with
+ * `file:line: rule-id: message` diagnostics.
+ *
+ * Suppression:
+ *  - per line:  `// m5lint: allow(rule-id)` (comma-separate several,
+ *    `*` allows everything on the line);
+ *  - per file:  an allowlist file (tools/m5lint.allow) with
+ *    `rule-id path-prefix` entries.
+ *
+ * The engine lives in this header + m5lint_lib.cc so tests/test_lint.cc
+ * can drive it over fixture files without spawning the binary.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m5lint {
+
+/** One rule violation. */
+struct Diag
+{
+    std::string file;   //!< path as given to the linter
+    int line;           //!< 1-based line number
+    std::string rule;   //!< rule id, e.g. "no-wallclock"
+    std::string msg;    //!< human-readable explanation
+
+    /** Render as `file:line: rule: msg` (the canonical output form). */
+    std::string str() const;
+};
+
+/** One allowlist entry: suppress `rule` under path prefix `path`. */
+struct AllowEntry
+{
+    std::string rule;   //!< rule id or "*"
+    std::string path;   //!< repo-relative path prefix, e.g. "src/sim/"
+};
+
+/** Linter configuration (currently just the allowlist). */
+struct Config
+{
+    std::vector<AllowEntry> allow;
+};
+
+/** Rule ids, in diagnostic order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Parse an allowlist file (`# comments`, blank lines, and
+ * `rule-id path-prefix` entries).  Unknown rule ids are reported via
+ * `errors` (one message per bad line) and skipped.
+ */
+Config loadAllowFile(const std::string &path,
+                     std::vector<std::string> *errors = nullptr);
+
+/**
+ * Lint one translation unit given as text.  `path` determines which
+ * rules apply (scoping is by directory, e.g. no-raw-output only fires
+ * under src/) and appears verbatim in the diagnostics.
+ */
+std::vector<Diag> lintSource(const std::string &path,
+                             const std::string &content,
+                             const Config &cfg = {});
+
+/** Lint a file on disk (reads it, then lintSource). */
+std::vector<Diag> lintFile(const std::string &path,
+                           const Config &cfg = {});
+
+/**
+ * Recursively collect lintable files (.cc/.cpp/.cxx/.hh/.hpp/.h) under
+ * each root (a root may also name a single file).  The result is
+ * sorted so diagnostics are emitted in a deterministic order.
+ */
+std::vector<std::string> collectFiles(const std::vector<std::string> &roots);
+
+} // namespace m5lint

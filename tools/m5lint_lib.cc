@@ -1,0 +1,774 @@
+/**
+ * @file
+ * m5lint engine: lexing (comment/string stripping), rule scoping,
+ * per-line pattern rules, suppression, and file discovery.
+ *
+ * The matcher is deliberately token-based rather than regex-based: the
+ * linter scans its own source, and keeping every pattern as a plain
+ * string that the stripper blanks out (patterns only ever appear inside
+ * string literals) avoids the self-flagging problem without any
+ * special-casing.
+ */
+
+#include "m5lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace m5lint {
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** True when path is `prefix` itself or lives under it. */
+bool
+pathHasPrefix(const std::string &path, const std::string &prefix)
+{
+    std::string p = path;
+    while (p.rfind("./", 0) == 0)
+        p.erase(0, 2);
+    std::string want = prefix;
+    if (!want.empty() && want.back() == '/')
+        want.pop_back();
+    if (p == want || p.rfind(want + "/", 0) == 0)
+        return true;
+    // Absolute or nested invocation: match ".../<prefix>/" anywhere.
+    return p.find("/" + want + "/") != std::string::npos ||
+           (p.size() > want.size() &&
+            p.compare(p.size() - want.size() - 1, want.size() + 1,
+                      "/" + want) == 0);
+}
+
+/** True when path is inside top-level directory `dir` (e.g. "src"). */
+bool
+inDir(const std::string &path, const std::string &dir)
+{
+    return pathHasPrefix(path, dir);
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *s) {
+        const std::string suf(s);
+        return path.size() >= suf.size() &&
+               path.compare(path.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    return ends(".hh") || ends(".hpp") || ends(".h");
+}
+
+// ---------------------------------------------------------------------
+// Stripper: blank out comments and string/char literals, preserving
+// line structure and column positions so diagnostics stay accurate.
+// ---------------------------------------------------------------------
+
+enum class LexState { Normal, LineComment, BlockComment, Str, Chr, RawStr };
+
+/** One source line with both the raw text and the code-only text. */
+struct Line
+{
+    std::string raw;       //!< original text (suppressions live here)
+    std::string stripped;  //!< comments and literal contents blanked
+};
+
+std::vector<Line>
+splitAndStrip(const std::string &content)
+{
+    std::vector<Line> lines;
+    std::string raw, stripped;
+    LexState st = LexState::Normal;
+    std::string raw_delim;        // delimiter of the raw string being skipped
+    std::size_t block_start = 0;  // index of the '/' opening a /* comment
+
+    const std::size_t n = content.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == LexState::LineComment)
+                st = LexState::Normal;
+            lines.push_back({raw, stripped});
+            raw.clear();
+            stripped.clear();
+            continue;
+        }
+        raw.push_back(c);
+        switch (st) {
+        case LexState::Normal:
+            if (c == '/' && next == '/') {
+                st = LexState::LineComment;
+                stripped.push_back(' ');
+            } else if (c == '/' && next == '*') {
+                st = LexState::BlockComment;
+                block_start = i;
+                stripped.push_back(' ');
+            } else if (c == '"') {
+                // Raw string?  The opening quote follows R (possibly
+                // with a u8/u/U/L encoding prefix before the R).
+                const bool raw_str = !raw.empty() && raw.size() >= 2 &&
+                                     raw[raw.size() - 2] == 'R' &&
+                                     (raw.size() == 2 ||
+                                      !isIdentChar(raw[raw.size() - 3]) ||
+                                      raw[raw.size() - 3] == '8' ||
+                                      raw[raw.size() - 3] == 'u' ||
+                                      raw[raw.size() - 3] == 'U' ||
+                                      raw[raw.size() - 3] == 'L');
+                if (raw_str) {
+                    raw_delim.clear();
+                    std::size_t j = i + 1;
+                    while (j < n && content[j] != '(' &&
+                           content[j] != '\n') {
+                        raw_delim.push_back(content[j]);
+                        ++j;
+                    }
+                    st = LexState::RawStr;
+                } else {
+                    st = LexState::Str;
+                }
+                stripped.push_back(' ');
+            } else if (c == '\'') {
+                // Distinguish '0' literals from 1'000'000 separators.
+                const char prev =
+                    raw.size() >= 2 ? raw[raw.size() - 2] : '\0';
+                const bool sep =
+                    std::isalnum(static_cast<unsigned char>(prev)) &&
+                    std::isalnum(static_cast<unsigned char>(next));
+                if (sep) {
+                    stripped.push_back(' ');
+                } else {
+                    st = LexState::Chr;
+                    stripped.push_back(' ');
+                }
+            } else {
+                stripped.push_back(c);
+            }
+            break;
+        case LexState::LineComment:
+            stripped.push_back(' ');
+            break;
+        case LexState::BlockComment:
+            stripped.push_back(' ');
+            // The closing '*' must come after the opening "/*" pair
+            // (so "/*/" stays open).
+            if (c == '/' && i >= block_start + 3 && content[i - 1] == '*')
+                st = LexState::Normal;
+            break;
+        case LexState::Str:
+            stripped.push_back(' ');
+            if (c == '\\') {
+                if (next && next != '\n') {
+                    raw.push_back(next);
+                    stripped.push_back(' ');
+                    ++i;
+                }
+            } else if (c == '"') {
+                st = LexState::Normal;
+            }
+            break;
+        case LexState::Chr:
+            stripped.push_back(' ');
+            if (c == '\\') {
+                if (next && next != '\n') {
+                    raw.push_back(next);
+                    stripped.push_back(' ');
+                    ++i;
+                }
+            } else if (c == '\'') {
+                st = LexState::Normal;
+            }
+            break;
+        case LexState::RawStr: {
+            stripped.push_back(' ');
+            const std::string close = ")" + raw_delim + "\"";
+            if (c == '"' && raw.size() >= close.size() &&
+                raw.compare(raw.size() - close.size(), close.size(),
+                            close) == 0)
+                st = LexState::Normal;
+            break;
+        }
+        }
+    }
+    if (!raw.empty() || !stripped.empty())
+        lines.push_back({raw, stripped});
+    return lines;
+}
+
+// ---------------------------------------------------------------------
+// Token helpers on stripped lines.
+// ---------------------------------------------------------------------
+
+/** All positions where `tok` occurs as a whole word. */
+std::vector<std::size_t>
+findTokens(const std::string &s, const std::string &tok)
+{
+    std::vector<std::size_t> out;
+    std::size_t pos = 0;
+    while ((pos = s.find(tok, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(s[pos - 1]);
+        const std::size_t end = pos + tok.size();
+        const bool right_ok = end >= s.size() || !isIdentChar(s[end]);
+        if (left_ok && right_ok)
+            out.push_back(pos);
+        pos = end;
+    }
+    return out;
+}
+
+/** True when the token at `pos` is reached via `.` or `->` (a member). */
+bool
+isMemberAccess(const std::string &s, std::size_t pos)
+{
+    std::size_t i = pos;
+    while (i > 0 && s[i - 1] == ' ')
+        --i;
+    if (i == 0)
+        return false;
+    if (s[i - 1] == '.')
+        return true;
+    return s[i - 1] == '>' && i >= 2 && s[i - 2] == '-';
+}
+
+/** True when the token ending at `end` is directly called: `tok (`. */
+bool
+followedByParen(const std::string &s, std::size_t end)
+{
+    std::size_t i = end;
+    while (i < s.size() && s[i] == ' ')
+        ++i;
+    return i < s.size() && s[i] == '(';
+}
+
+/** Word-token call sites (`tok(`), skipping member calls `x.tok(`. */
+std::vector<std::size_t>
+findCalls(const std::string &s, const std::string &tok)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t pos : findTokens(s, tok))
+        if (followedByParen(s, pos + tok.size()) && !isMemberAccess(s, pos))
+            out.push_back(pos);
+    return out;
+}
+
+/** First word token after position `i` (skipping spaces). */
+std::string
+wordAt(const std::string &s, std::size_t i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '('))
+        ++i;
+    std::size_t j = i;
+    while (j < s.size() && isIdentChar(s[j]))
+        ++j;
+    return s.substr(i, j - i);
+}
+
+bool
+isPreprocessor(const std::string &stripped)
+{
+    for (char c : stripped) {
+        if (c == ' ' || c == '\t')
+            continue;
+        return c == '#';
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Suppression comments: `// m5lint: allow(rule-a, rule-b)` or `allow(*)`.
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+lineSuppressions(const std::string &raw)
+{
+    std::vector<std::string> out;
+    std::size_t pos = raw.find("m5lint:");
+    if (pos == std::string::npos)
+        return out;
+    pos = raw.find("allow(", pos);
+    if (pos == std::string::npos)
+        return out;
+    const std::size_t open = pos + 6;
+    const std::size_t close = raw.find(')', open);
+    if (close == std::string::npos)
+        return out;
+    std::string inside = raw.substr(open, close - open);
+    std::string cur;
+    for (char c : inside + ",") {
+        if (c == ',' || c == ' ') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    return out;
+}
+
+bool
+suppressed(const Diag &d, const std::vector<Line> &lines, const Config &cfg)
+{
+    if (d.line >= 1 && d.line <= static_cast<int>(lines.size())) {
+        for (const auto &r :
+             lineSuppressions(lines[static_cast<std::size_t>(d.line - 1)].raw))
+            if (r == "*" || r == d.rule)
+                return true;
+    }
+    for (const auto &e : cfg.allow)
+        if ((e.rule == "*" || e.rule == d.rule) &&
+            pathHasPrefix(d.file, e.path))
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+void
+checkWallclock(const std::string &path, const std::vector<Line> &lines,
+               std::vector<Diag> &out)
+{
+    const std::string rule = "no-wallclock";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        if (isPreprocessor(s))
+            continue;
+        const int ln = static_cast<int>(i + 1);
+        for (auto pos : findTokens(s, "system_clock")) {
+            (void)pos;
+            out.push_back({path, ln, rule,
+                           "std::chrono::system_clock reads the wall "
+                           "clock; use steady_clock for intervals or the "
+                           "sim Tick domain"});
+        }
+        for (const char *fn : {"gettimeofday", "clock_gettime", "time",
+                               "localtime", "ctime", "mktime"}) {
+            for (auto pos : findCalls(s, fn)) {
+                (void)pos;
+                out.push_back({path, ln, rule,
+                               std::string(fn) +
+                                   "() reads the wall clock; results "
+                                   "must not depend on real time"});
+            }
+        }
+    }
+}
+
+void
+checkUnseededRng(const std::string &path, const std::vector<Line> &lines,
+                 std::vector<Diag> &out)
+{
+    const std::string rule = "no-unseeded-rng";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        const int ln = static_cast<int>(i + 1);
+        if (!findTokens(s, "random_device").empty())
+            out.push_back({path, ln, rule,
+                           "std::random_device is non-deterministic "
+                           "entropy; route randomness through m5::Rng "
+                           "(common/rng.hh) with an explicit seed"});
+        for (const char *fn : {"rand", "srand"}) {
+            for (auto pos : findCalls(s, fn)) {
+                (void)pos;
+                out.push_back({path, ln, rule,
+                               std::string(fn) +
+                                   "() is unseeded global state; use "
+                                   "m5::Rng with an explicit seed"});
+            }
+        }
+    }
+}
+
+/** Scope of the unordered-iteration rule: result-producing code. */
+bool
+unorderedRuleApplies(const std::string &path)
+{
+    return inDir(path, "bench") || pathHasPrefix(path, "src/analysis") ||
+           path.find("src/sim/runner") != std::string::npos ||
+           path.find("src/sim/sweep") != std::string::npos;
+}
+
+void
+checkUnorderedIteration(const std::string &path,
+                        const std::vector<Line> &lines,
+                        std::vector<Diag> &out)
+{
+    const std::string rule = "no-unordered-result-iteration";
+    if (!unorderedRuleApplies(path))
+        return;
+
+    // Pass A: names declared with an unordered container type.
+    std::vector<std::string> names;
+    for (const auto &l : lines) {
+        const std::string &s = l.stripped;
+        for (const char *ty : {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"}) {
+            for (auto pos : findTokens(s, ty)) {
+                std::size_t j = pos + std::string(ty).size();
+                if (j >= s.size() || s[j] != '<')
+                    continue;
+                int depth = 0;
+                for (; j < s.size(); ++j) {
+                    if (s[j] == '<')
+                        ++depth;
+                    else if (s[j] == '>' && --depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+                if (depth != 0)
+                    continue; // declaration spans lines; name unknown
+                while (j < s.size() &&
+                       (s[j] == ' ' || s[j] == '&' || s[j] == '*'))
+                    ++j;
+                std::size_t k = j;
+                while (k < s.size() && isIdentChar(s[k]))
+                    ++k;
+                if (k > j)
+                    names.push_back(s.substr(j, k - j));
+            }
+        }
+    }
+
+    // Pass B: range-for whose range is (or mentions) an unordered
+    // container.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        for (auto pos : findTokens(s, "for")) {
+            std::size_t open = pos + 3;
+            while (open < s.size() && s[open] == ' ')
+                ++open;
+            if (open >= s.size() || s[open] != '(')
+                continue;
+            // Find the range-for ':' at paren depth 1 (ignoring "::").
+            int depth = 0;
+            std::size_t colon = std::string::npos, close = std::string::npos;
+            for (std::size_t j = open; j < s.size(); ++j) {
+                if (s[j] == '(')
+                    ++depth;
+                else if (s[j] == ')') {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (s[j] == ':' && depth == 1 &&
+                           colon == std::string::npos) {
+                    const bool dbl = (j + 1 < s.size() && s[j + 1] == ':') ||
+                                     (j > 0 && s[j - 1] == ':');
+                    if (!dbl)
+                        colon = j;
+                }
+            }
+            if (colon == std::string::npos)
+                continue;
+            const std::string range = s.substr(
+                colon + 1, (close == std::string::npos ? s.size() : close) -
+                               colon - 1);
+            bool hit = range.find("unordered_") != std::string::npos;
+            for (const auto &nm : names)
+                if (!hit && !findTokens(range, nm).empty())
+                    hit = true;
+            if (hit)
+                out.push_back(
+                    {path, static_cast<int>(i + 1), rule,
+                     "range-for over an unordered container in "
+                     "result-producing code; iteration order is "
+                     "unspecified and must not reach output (copy into a "
+                     "sorted container first)"});
+        }
+    }
+}
+
+void
+checkRawParse(const std::string &path, const std::vector<Line> &lines,
+              std::vector<Diag> &out)
+{
+    const std::string rule = "no-raw-parse";
+    if (path.find("common/env") != std::string::npos)
+        return; // the one sanctioned home of strto*/ato*
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        const int ln = static_cast<int>(i + 1);
+        for (const char *fn :
+             {"atof", "atoi", "atol", "atoll", "strtof", "strtod",
+              "strtold", "strtol", "strtoll", "strtoul", "strtoull"}) {
+            for (auto pos : findCalls(s, fn)) {
+                (void)pos;
+                out.push_back({path, ln, rule,
+                               std::string(fn) +
+                                   "() silently turns garbage into 0; "
+                                   "parse through m5::env* "
+                                   "(common/env.hh) instead"});
+            }
+        }
+    }
+}
+
+void
+checkRawOutput(const std::string &path, const std::vector<Line> &lines,
+               std::vector<Diag> &out)
+{
+    const std::string rule = "no-raw-output";
+    if (!inDir(path, "src"))
+        return; // tools/bench own their stdout
+    if (path.find("common/logging") != std::string::npos ||
+        path.find("analysis/report") != std::string::npos)
+        return; // the sanctioned emission funnels
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        const int ln = static_cast<int>(i + 1);
+        for (auto pos : findCalls(s, "printf")) {
+            (void)pos;
+            out.push_back({path, ln, rule,
+                           "printf() bypasses common/logging; library "
+                           "output must flow through m5_inform/m5_warn or "
+                           "analysis/report"});
+        }
+        for (auto pos : findCalls(s, "puts")) {
+            (void)pos;
+            out.push_back({path, ln, rule,
+                           "puts() bypasses common/logging"});
+        }
+        for (auto pos : findCalls(s, "fprintf")) {
+            std::size_t open = s.find('(', pos);
+            if (open != std::string::npos &&
+                wordAt(s, open + 1) == "stdout")
+                out.push_back({path, ln, rule,
+                               "fprintf(stdout, ...) bypasses "
+                               "common/logging (stderr diagnostics are "
+                               "fine)"});
+        }
+        for (auto pos : findTokens(s, "cout")) {
+            (void)pos;
+            out.push_back({path, ln, rule,
+                           "std::cout in library code bypasses "
+                           "common/logging and analysis/report"});
+        }
+    }
+}
+
+void
+checkNakedNew(const std::string &path, const std::vector<Line> &lines,
+              std::vector<Diag> &out)
+{
+    const std::string rule = "no-naked-new";
+    if (!inDir(path, "src"))
+        return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        const int ln = static_cast<int>(i + 1);
+        for (auto pos : findTokens(s, "new")) {
+            (void)pos;
+            out.push_back({path, ln, rule,
+                           "naked new in library code; use "
+                           "std::make_unique/std::vector so ownership is "
+                           "explicit"});
+        }
+        for (const char *fn :
+             {"malloc", "calloc", "realloc", "aligned_alloc", "strdup"}) {
+            for (auto pos : findCalls(s, fn)) {
+                (void)pos;
+                out.push_back({path, ln, rule,
+                               std::string(fn) +
+                                   "() in library code; use RAII "
+                                   "containers instead"});
+            }
+        }
+    }
+}
+
+void
+checkHeaderHygiene(const std::string &path, const std::vector<Line> &lines,
+                   std::vector<Diag> &out)
+{
+    const std::string rule = "header-hygiene";
+    if (!isHeaderPath(path))
+        return;
+
+    bool has_pragma = false;
+    for (const auto &l : lines) {
+        std::string t = l.raw;
+        const std::size_t b = t.find_first_not_of(" \t");
+        if (b != std::string::npos && t.compare(b, 12, "#pragma once") == 0) {
+            has_pragma = true;
+            break;
+        }
+    }
+    if (!has_pragma)
+        out.push_back({path, 1, rule,
+                       "header lacks #pragma once (double inclusion "
+                       "breaks the one-definition rule)"});
+
+    // `using namespace` at namespace scope leaks into every includer.
+    // Track whether any enclosing brace is a non-namespace scope.
+    std::vector<bool> is_ns_brace;
+    std::string ctx; // code since the last '{', '}' or ';'
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        for (std::size_t j = 0; j < s.size(); ++j) {
+            const char c = s[j];
+            if (c == '{') {
+                is_ns_brace.push_back(!findTokens(ctx, "namespace").empty());
+                ctx.clear();
+            } else if (c == '}') {
+                if (!is_ns_brace.empty())
+                    is_ns_brace.pop_back();
+                ctx.clear();
+            } else if (c == ';') {
+                ctx.clear();
+            } else {
+                ctx.push_back(c);
+            }
+            // At a potential `using namespace` token start?
+            if (isIdentChar(c) && (j == 0 || !isIdentChar(s[j - 1])) &&
+                s.compare(j, 5, "using") == 0 &&
+                (j + 5 >= s.size() || !isIdentChar(s[j + 5]))) {
+                const std::string word2 = wordAt(s, j + 5);
+                if (word2 == "namespace" &&
+                    std::none_of(is_ns_brace.begin(), is_ns_brace.end(),
+                                 [](bool ns) { return !ns; }))
+                    out.push_back(
+                        {path, static_cast<int>(i + 1), rule,
+                         "using-namespace at namespace scope in a header "
+                         "leaks into every includer; qualify names or "
+                         "move it into a function body"});
+            }
+        }
+        ctx.push_back(' '); // keep tokens on adjacent lines separate
+    }
+}
+
+} // namespace
+
+std::string
+Diag::str() const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": " << rule << ": " << msg;
+    return os.str();
+}
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> rules = {
+        "no-wallclock",
+        "no-unseeded-rng",
+        "no-unordered-result-iteration",
+        "no-raw-parse",
+        "no-raw-output",
+        "no-naked-new",
+        "header-hygiene",
+    };
+    return rules;
+}
+
+Config
+loadAllowFile(const std::string &path, std::vector<std::string> *errors)
+{
+    Config cfg;
+    std::ifstream in(path);
+    if (!in) {
+        if (errors)
+            errors->push_back("cannot open allowlist '" + path + "'");
+        return cfg;
+    }
+    std::string line;
+    int ln = 0;
+    while (std::getline(in, line)) {
+        ++ln;
+        const std::size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos || line[b] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string rule, prefix, extra;
+        is >> rule >> prefix;
+        const auto &rules = allRules();
+        if (prefix.empty() ||
+            (rule != "*" &&
+             std::find(rules.begin(), rules.end(), rule) == rules.end())) {
+            if (errors)
+                errors->push_back(path + ":" + std::to_string(ln) +
+                                  ": bad allowlist entry '" + line + "'");
+            continue;
+        }
+        cfg.allow.push_back({rule, prefix});
+    }
+    return cfg;
+}
+
+std::vector<Diag>
+lintSource(const std::string &path, const std::string &content,
+           const Config &cfg)
+{
+    const std::vector<Line> lines = splitAndStrip(content);
+    std::vector<Diag> diags;
+    checkWallclock(path, lines, diags);
+    checkUnseededRng(path, lines, diags);
+    checkUnorderedIteration(path, lines, diags);
+    checkRawParse(path, lines, diags);
+    checkRawOutput(path, lines, diags);
+    checkNakedNew(path, lines, diags);
+    checkHeaderHygiene(path, lines, diags);
+
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&](const Diag &d) {
+                                   return suppressed(d, lines, cfg);
+                               }),
+                diags.end());
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diag &a, const Diag &b) {
+                         return a.line < b.line;
+                     });
+    return diags;
+}
+
+std::vector<Diag>
+lintFile(const std::string &path, const Config &cfg)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {{path, 0, "io-error", "cannot read file"}};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lintSource(path, ss.str(), cfg);
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &roots)
+{
+    namespace fs = std::filesystem;
+    auto lintable = [](const fs::path &p) {
+        const std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+               ext == ".hh" || ext == ".hpp" || ext == ".h";
+    };
+    std::vector<std::string> files;
+    for (const auto &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (auto it = fs::recursive_directory_iterator(root, ec);
+                 it != fs::recursive_directory_iterator();
+                 it.increment(ec)) {
+                if (ec)
+                    break;
+                if (it->is_regular_file(ec) && lintable(it->path()))
+                    files.push_back(it->path().generic_string());
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(fs::path(root).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+} // namespace m5lint

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "analysis/ratio.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "os/costs.hh"
 #include "sim/experiment.hh"
@@ -26,6 +27,40 @@
 using namespace m5;
 
 namespace {
+
+/** Tick/count to double, spelled short for the report printfs. */
+double
+dbl(std::uint64_t v)
+{
+    return static_cast<double>(v);
+}
+
+/** Kernel-time share of runtime, in percent. */
+double
+kernelPct(Tick kernel_time, Tick runtime)
+{
+    return 100.0 * dbl(kernel_time) / dbl(std::max<Tick>(1, runtime));
+}
+
+/** Strict numeric argument parsing: garbage is fatal, not silently 0. */
+double
+argDouble(const std::string &flag, const char *value)
+{
+    const auto v = parseDouble(value);
+    if (!v)
+        m5_fatal("%s wants a number, got '%s'", flag.c_str(), value);
+    return *v;
+}
+
+std::uint64_t
+argU64(const std::string &flag, const char *value)
+{
+    const auto v = parseU64(value);
+    if (!v)
+        m5_fatal("%s wants a non-negative integer, got '%s'",
+                 flag.c_str(), value);
+    return *v;
+}
 
 struct Options
 {
@@ -96,18 +131,18 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--policy") {
             opt.policy = next();
         } else if (arg == "--scale") {
-            const double denom = std::atof(next());
+            const double denom = argDouble(arg, next());
             if (denom < 1.0)
                 m5_fatal("--scale wants a denominator >= 1");
             opt.scale = 1.0 / denom;
         } else if (arg == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 10);
+            opt.seed = argU64(arg, next());
         } else if (arg == "--accesses") {
-            opt.accesses = std::strtoull(next(), nullptr, 10);
+            opt.accesses = argU64(arg, next());
         } else if (arg == "--instances") {
-            opt.instances = std::strtoull(next(), nullptr, 10);
+            opt.instances = argU64(arg, next());
         } else if (arg == "--ddr-frac") {
-            opt.ddr_frac = std::atof(next());
+            opt.ddr_frac = argDouble(arg, next());
         } else if (arg == "--record-only") {
             opt.record_only = true;
         } else if (arg == "--wac") {
@@ -167,8 +202,8 @@ main(int argc, char **argv)
                     "%.2f\n",
                     r.benchmark.c_str(), r.policy.c_str(),
                     static_cast<unsigned long>(r.accesses),
-                    r.runtime / 1e6, r.steady_throughput / 1e6,
-                    100.0 * r.kernel_time / std::max<Tick>(1, r.runtime),
+                    dbl(r.runtime) / 1e6, r.steady_throughput / 1e6,
+                    kernelPct(r.kernel_time, r.runtime),
                     static_cast<unsigned long>(r.migration.promoted),
                     static_cast<unsigned long>(r.migration.demoted),
                     r.llc.missRatio(), ddr_frac_reads,
@@ -184,11 +219,12 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(
                     sys.memory().tier(kNodeDdr).framesTotal()));
     std::printf("accesses:      %lu (runtime %.1f ms)\n",
-                static_cast<unsigned long>(r.accesses), r.runtime / 1e6);
+                static_cast<unsigned long>(r.accesses),
+                dbl(r.runtime) / 1e6);
     std::printf("throughput:    %.2f M/s full-run, %.2f M/s steady\n",
                 r.throughput / 1e6, r.steady_throughput / 1e6);
     std::printf("kernel share:  %.1f%%\n",
-                100.0 * r.kernel_time / std::max<Tick>(1, r.runtime));
+                kernelPct(r.kernel_time, r.runtime));
     std::printf("LLC:           %.1f%% miss (%lu hits, %lu misses)\n",
                 100.0 * r.llc.missRatio(),
                 static_cast<unsigned long>(r.llc.hits),
@@ -235,7 +271,7 @@ main(int argc, char **argv)
         if (!pages.empty()) {
             std::printf("sparsity:      %.1f%% of well-sampled pages "
                         "touch <= 16/64 words\n",
-                        100.0 * sparse / pages.size());
+                        100.0 * dbl(sparse) / dbl(pages.size()));
         }
     }
     return 0;

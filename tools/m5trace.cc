@@ -20,6 +20,7 @@
 #include <unordered_set>
 
 #include "analysis/ratio.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
@@ -37,6 +38,32 @@ findArg(int argc, char **argv, const char *name)
             return argv[i + 1];
     }
     return nullptr;
+}
+
+/** Tick/count to double, spelled short for the report printfs. */
+double
+dbl(std::uint64_t v)
+{
+    return static_cast<double>(v);
+}
+
+/** Strict numeric argument parsing: garbage is fatal, not silently 0. */
+double
+argDouble(const char *flag, const char *value)
+{
+    const auto v = m5::parseDouble(value);
+    if (!v)
+        m5_fatal("%s wants a number, got '%s'", flag, value);
+    return *v;
+}
+
+std::uint64_t
+argU64(const char *flag, const char *value)
+{
+    const auto v = m5::parseU64(value);
+    if (!v)
+        m5_fatal("%s wants a non-negative integer, got '%s'", flag, value);
+    return *v;
 }
 
 bool
@@ -57,7 +84,7 @@ cmdRecord(int argc, char **argv)
     if (!bench || !out)
         m5_fatal("record needs --bench and --out");
     const char *scale_s = findArg(argc, argv, "--scale");
-    const double scale = scale_s ? 1.0 / std::atof(scale_s)
+    const double scale = scale_s ? 1.0 / argDouble("--scale", scale_s)
                                  : kDefaultScale;
     const char *acc_s = findArg(argc, argv, "--accesses");
 
@@ -66,7 +93,7 @@ cmdRecord(int argc, char **argv)
     cfg.record_trace = true;
     TieredSystem sys(cfg);
     const std::uint64_t budget = acc_s
-        ? std::strtoull(acc_s, nullptr, 10)
+        ? argU64("--accesses", acc_s)
         : accessBudget(bench, scale) / 2;
     sys.run(budget);
     sys.trace().save(out);
@@ -97,10 +124,10 @@ cmdInfo(int argc, char **argv)
                       trace.records().front().time;
     std::printf("%s:\n", in);
     std::printf("  records:        %zu (%.1f%% writes)\n", trace.size(),
-                100.0 * writes / trace.size());
+                100.0 * dbl(writes) / dbl(trace.size()));
     std::printf("  time span:      %.1f ms (%.2f M accesses/s)\n",
-                span / 1e6,
-                span ? trace.size() / (span * 1e-9) / 1e6 : 0.0);
+                dbl(span) / 1e6,
+                span ? dbl(trace.size()) / (dbl(span) * 1e-9) / 1e6 : 0.0);
     std::printf("  distinct pages: %zu\n", pages.distinct());
     std::printf("  distinct words: %zu\n", words.distinct());
     std::printf("  top-5 pages by count:\n");
@@ -125,11 +152,11 @@ cmdReplay(int argc, char **argv)
     cfg.kind = (kind && std::strcmp(kind, "ss") == 0)
         ? TrackerKind::SpaceSavingTopK : TrackerKind::CmSketchTopK;
     if (const char *n = findArg(argc, argv, "--entries"))
-        cfg.entries = std::strtoull(n, nullptr, 10);
+        cfg.entries = argU64("--entries", n);
     if (const char *k = findArg(argc, argv, "--k"))
-        cfg.k = std::strtoull(k, nullptr, 10);
+        cfg.k = argU64("--k", k);
     const char *p = findArg(argc, argv, "--period-us");
-    const Tick period = usToTicks(p ? std::atof(p) : 1000.0);
+    const Tick period = usToTicks(p ? argDouble("--period-us", p) : 1000.0);
     const bool words = hasFlag(argc, argv, "--words");
 
     auto tracker = makeTracker(cfg);
@@ -165,7 +192,7 @@ cmdReplay(int argc, char **argv)
     std::printf("%s tracker, N=%lu, K=%zu, period %.0f us, %s keys\n",
                 trackerKindName(cfg.kind).c_str(),
                 static_cast<unsigned long>(cfg.entries), cfg.k,
-                period / 1e3, words ? "word" : "page");
+                dbl(period) / 1e3, words ? "word" : "page");
     std::printf("  queries:            %lu\n",
                 static_cast<unsigned long>(queries));
     std::printf("  reported (unique):  %zu\n", reported.size());
