@@ -90,4 +90,13 @@ SetAssocCache::invalidatePage(Pfn pfn)
     return dirty;
 }
 
+void
+SetAssocCache::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", &stats_.hits);
+    reg.addCounter(prefix + ".misses", &stats_.misses);
+    reg.addCounter(prefix + ".writebacks", &stats_.writebacks);
+    reg.addCounter(prefix + ".invalidated_lines", &stats_.invalidated_lines);
+}
+
 } // namespace m5

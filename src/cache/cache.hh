@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -83,6 +85,9 @@ class SetAssocCache
 
     /** Reset statistics (not contents). */
     void resetStats() { stats_ = {}; }
+
+    /** Register hit/miss counters as `<prefix>.*` telemetry. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Line

@@ -74,4 +74,13 @@ Tlb::flushAll()
     ++stats_.flushes;
 }
 
+void
+Tlb::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", &stats_.hits);
+    reg.addCounter(prefix + ".misses", &stats_.misses);
+    reg.addCounter(prefix + ".shootdowns", &stats_.shootdowns);
+    reg.addCounter(prefix + ".flushes", &stats_.flushes);
+}
+
 } // namespace m5

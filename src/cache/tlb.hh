@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -62,6 +64,9 @@ class Tlb
 
     /** Reset statistics. */
     void resetStats() { stats_ = {}; }
+
+    /** Register hit/miss/shootdown counters as `<prefix>.*` telemetry. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Entry

@@ -68,4 +68,18 @@ CxlController::hwt()
     return *hwt_;
 }
 
+void
+CxlController::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("cxl.ctrl.snooped", &snooped_);
+    if (pac_)
+        pac_->registerStats(reg);
+    if (wac_)
+        wac_->registerStats(reg);
+    if (hpt_)
+        hpt_->registerStats(reg);
+    if (hwt_)
+        hwt_->registerStats(reg);
+}
+
 } // namespace m5

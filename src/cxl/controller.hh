@@ -60,6 +60,9 @@ class CxlController
     /** Total accesses the controller has snooped. */
     std::uint64_t snooped() const { return snooped_; }
 
+    /** Register `cxl.ctrl.snooped` plus every configured unit's stats. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     std::unique_ptr<PacUnit> pac_;
     std::unique_ptr<WacUnit> wac_;

@@ -13,7 +13,15 @@ HptUnit::queryAndReset()
     auto top = tracker_->query();
     tracker_->reset();
     observed_ = 0;
+    ++queries_;
     return top;
+}
+
+void
+HptUnit::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("cxl.hpt.observed", &observed_total_);
+    reg.addCounter("cxl.hpt.queries", &queries_);
 }
 
 } // namespace m5

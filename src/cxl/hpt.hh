@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "sketch/topk_tracker.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -31,6 +32,7 @@ class HptUnit
     {
         tracker_->access(pfnOf(pa));
         ++observed_;
+        ++observed_total_;
     }
 
     /**
@@ -46,12 +48,23 @@ class HptUnit
     /** Accesses observed since the last reset. */
     std::uint64_t observed() const { return observed_; }
 
+    /** Cumulative accesses observed (never reset). */
+    std::uint64_t observedTotal() const { return observed_total_; }
+
+    /** Queries served so far. */
+    std::uint64_t queries() const { return queries_; }
+
+    /** Register cumulative counters as `cxl.hpt.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
     /** Underlying tracker (ablations). */
     const TopKTracker &tracker() const { return *tracker_; }
 
   private:
     std::unique_ptr<TopKTracker> tracker_;
     std::uint64_t observed_ = 0;
+    std::uint64_t observed_total_ = 0;
+    std::uint64_t queries_ = 0;
 };
 
 } // namespace m5

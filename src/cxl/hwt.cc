@@ -13,7 +13,15 @@ HwtUnit::queryAndReset()
     auto top = tracker_->query();
     tracker_->reset();
     observed_ = 0;
+    ++queries_;
     return top;
+}
+
+void
+HwtUnit::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("cxl.hwt.observed", &observed_total_);
+    reg.addCounter("cxl.hwt.queries", &queries_);
 }
 
 } // namespace m5

@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "sketch/topk_tracker.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -30,6 +31,7 @@ class HwtUnit
     {
         tracker_->access(wordOf(pa));
         ++observed_;
+        ++observed_total_;
     }
 
     /** Serve a query and reset for the next epoch. */
@@ -41,12 +43,23 @@ class HwtUnit
     /** Accesses observed since the last reset. */
     std::uint64_t observed() const { return observed_; }
 
+    /** Cumulative accesses observed (never reset). */
+    std::uint64_t observedTotal() const { return observed_total_; }
+
+    /** Queries served so far. */
+    std::uint64_t queries() const { return queries_; }
+
+    /** Register cumulative counters as `cxl.hwt.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
     /** Underlying tracker (ablations). */
     const TopKTracker &tracker() const { return *tracker_; }
 
   private:
     std::unique_ptr<TopKTracker> tracker_;
     std::uint64_t observed_ = 0;
+    std::uint64_t observed_total_ = 0;
+    std::uint64_t queries_ = 0;
 };
 
 } // namespace m5

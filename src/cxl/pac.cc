@@ -93,4 +93,11 @@ PacUnit::reset()
     spills_ = 0;
 }
 
+void
+PacUnit::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("cxl.pac.accesses", &total_);
+    reg.addCounter("cxl.pac.spills", &spills_);
+}
+
 } // namespace m5

@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "sketch/sorted_topk.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -69,6 +70,9 @@ class PacUnit
 
     /** Zero all counters. */
     void reset();
+
+    /** Register access/spill counters as `cxl.pac.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     bool

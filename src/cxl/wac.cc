@@ -25,6 +25,7 @@ WacUnit::observe(Addr pa)
 {
     if (pa < win_base_ || pa >= win_base_ + counters_.size() * kWordBytes)
         return;
+    ++observed_;
     std::uint8_t &c = counters_[(pa - win_base_) >> kWordShift];
     if (c < sat_)
         ++c;
@@ -33,6 +34,7 @@ WacUnit::observe(Addr pa)
 void
 WacUnit::fold()
 {
+    ++folds_;
     const std::size_t words = counters_.size();
     for (std::size_t w = 0; w < words; ++w) {
         if (!counters_[w])
@@ -114,6 +116,15 @@ WacUnit::reset()
     std::fill(counters_.begin(), counters_.end(), 0);
     masks_.clear();
     win_base_ = cfg_.range_base;
+    observed_ = 0;
+    folds_ = 0;
+}
+
+void
+WacUnit::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("cxl.wac.observed", &observed_);
+    reg.addCounter("cxl.wac.folds", &folds_);
 }
 
 } // namespace m5

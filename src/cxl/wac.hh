@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -71,6 +72,15 @@ class WacUnit
     /** Current window base address. */
     Addr windowBase() const { return win_base_; }
 
+    /** In-window accesses observed across all windows. */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Window folds performed (advanceWindow and end-of-run fold). */
+    std::uint64_t folds() const { return folds_; }
+
+    /** Register observation counters as `cxl.wac.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
     /** Clear everything. */
     void reset();
 
@@ -86,6 +96,8 @@ class WacUnit
     Addr win_base_;
     std::vector<std::uint8_t> counters_; //!< One per word in the window.
     std::unordered_map<Pfn, PageRecord> masks_;
+    std::uint64_t observed_ = 0;
+    std::uint64_t folds_ = 0;
 };
 
 } // namespace m5

@@ -44,6 +44,9 @@ Elector::evaluate(const Monitor &monitor)
     const bool migrate =
         bootstrap || rel - prev_rel_bw_den_ddr_ > margin;
     prev_rel_bw_den_ddr_ = rel;
+    ++evaluations_;
+    if (migrate)
+        ++approvals_;
 
     // Guideline 1: while DDR frames sit free, migrate "as soon and as
     // aggressively as possible" — run the loop at its minimum period.
@@ -54,6 +57,13 @@ void
 Elector::reset()
 {
     prev_rel_bw_den_ddr_ = -1.0;
+}
+
+void
+Elector::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("m5.elector.evaluations", &evaluations_);
+    reg.addCounter("m5.elector.approvals", &approvals_);
 }
 
 } // namespace m5

@@ -12,10 +12,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/types.hh"
 #include "m5/monitor.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -67,10 +69,21 @@ class Elector
     /** The configuration in use. */
     const ElectorConfig &config() const { return cfg_; }
 
+    /** Algorithm 1 iterations executed. */
+    std::uint64_t evaluations() const { return evaluations_; }
+
+    /** Iterations that approved a migration round. */
+    std::uint64_t approvals() const { return approvals_; }
+
+    /** Register decision counters as `m5.elector.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     ElectorConfig cfg_;
     FScale fscale_;
     double prev_rel_bw_den_ddr_ = -1.0;
+    std::uint64_t evaluations_ = 0;
+    std::uint64_t approvals_ = 0;
 };
 
 } // namespace m5

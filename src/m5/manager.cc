@@ -72,4 +72,13 @@ M5Manager::wake(Tick now)
     return elapsed;
 }
 
+void
+M5Manager::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("m5.manager.wakeups", &wakeups_);
+    nominator_.registerStats(reg);
+    elector_.registerStats(reg);
+    promoter_.registerStats(reg);
+}
+
 } // namespace m5

@@ -65,6 +65,9 @@ class M5Manager : public PolicyDaemon
     /** Number of wakeups executed. */
     std::uint64_t wakeups() const { return wakeups_; }
 
+    /** Register `m5.manager.wakeups` plus all sub-component stats. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     M5Config cfg_;
     CxlController &ctrl_;

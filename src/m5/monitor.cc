@@ -71,4 +71,28 @@ Monitor::freeFrames(NodeId node) const
     return total > used ? total - used : 0;
 }
 
+void
+Monitor::registerStats(StatRegistry &reg) const
+{
+    // Gauges re-read the Monitor at sampling time, so telemetry exports
+    // exactly what the Elector last saw — the same memory, not a copy.
+    for (std::size_t n = 0; n < mem_.tiers(); ++n) {
+        const auto node = static_cast<NodeId>(n);
+        const std::string tier = mem_.tier(node).config().name;
+        reg.addGauge("m5.monitor.bw_" + tier,
+                     [this, node] { return bw(node); });
+        reg.addGauge("m5.monitor.bw_den_" + tier,
+                     [this, node] { return bwDen(node); });
+        reg.addGauge("m5.monitor.rel_bw_den_" + tier,
+                     [this, node] { return relBwDen(node); });
+        reg.addGauge("m5.monitor.nr_pages_" + tier, [this, node] {
+            return static_cast<double>(nrPages(node));
+        });
+        reg.addGauge("m5.monitor.free_frames_" + tier, [this, node] {
+            return static_cast<double>(freeFrames(node));
+        });
+    }
+    reg.addGauge("m5.monitor.bw_tot", [this] { return bwTot(); });
+}
+
 } // namespace m5

@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "mem/memsys.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -47,6 +48,9 @@ class Monitor
 
     /** Frames still unused on a node (zoneinfo free counters). */
     std::size_t freeFrames(NodeId node) const;
+
+    /** Register the Table 1 metrics as `m5.monitor.*` gauges. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     const MemorySystem &mem_;

@@ -132,6 +132,8 @@ Nominator::nominate(std::size_t max_pages)
             continue;
         out.push_back(vpn);
     }
+    ++nominations_;
+    nominated_pages_ += out.size();
     return out;
 }
 
@@ -151,6 +153,15 @@ void
 Nominator::clear()
 {
     hpa_.clear();
+}
+
+void
+Nominator::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("m5.nominator.nominations", &nominations_);
+    reg.addCounter("m5.nominator.nominated_pages", &nominated_pages_);
+    reg.addGauge("m5.nominator.hpa_entries",
+                 [this] { return static_cast<double>(hpa_.size()); });
 }
 
 } // namespace m5

@@ -26,6 +26,7 @@
 #include "common/types.hh"
 #include "os/page_table.hh"
 #include "sketch/sorted_topk.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -82,6 +83,15 @@ class Nominator
     /** Drop all state. */
     void clear();
 
+    /** nominate() calls served. */
+    std::uint64_t nominations() const { return nominations_; }
+
+    /** Total VPNs handed to the Promoter across all nominations. */
+    std::uint64_t nominatedPages() const { return nominated_pages_; }
+
+    /** Register nomination counters as `m5.nominator.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     void insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask);
     void evictColdest();
@@ -90,6 +100,8 @@ class Nominator
     const PageTable &pt_;
     std::size_t capacity_;
     std::unordered_map<Pfn, HpaEntry> hpa_;
+    std::uint64_t nominations_ = 0;
+    std::uint64_t nominated_pages_ = 0;
 };
 
 } // namespace m5

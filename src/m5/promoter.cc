@@ -11,6 +11,7 @@ Tick
 Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
 {
     Tick elapsed = 0;
+    std::size_t issued = 0;
     for (Vpn vpn : vpns) {
         ++stats_.requested;
         if (!engine_.canPromote(vpn)) {
@@ -18,9 +19,19 @@ Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
             continue;
         }
         ++stats_.accepted;
+        ++issued;
         elapsed += engine_.promote(vpn, now + elapsed);
     }
+    engine_.noteBatch(issued);
     return elapsed;
+}
+
+void
+Promoter::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("m5.promoter.requested", &stats_.requested);
+    reg.addCounter("m5.promoter.accepted", &stats_.accepted);
+    reg.addCounter("m5.promoter.rejected", &stats_.rejected);
 }
 
 } // namespace m5

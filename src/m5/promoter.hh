@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "os/migration.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -43,6 +44,9 @@ class Promoter
 
     /** Statistics. */
     const PromoterStats &stats() const { return stats_; }
+
+    /** Register outcome counters as `m5.promoter.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     const PageTable &pt_;

@@ -53,6 +53,13 @@ MemorySystem::tier(NodeId node) const
     return *tiers_[node];
 }
 
+void
+MemorySystem::registerStats(StatRegistry &reg) const
+{
+    for (const auto &t : tiers_)
+        t->registerStats(reg);
+}
+
 NodeId
 MemorySystem::nodeOf(Addr pa) const
 {

@@ -46,6 +46,9 @@ class MemorySystem
     /** Number of tiers. */
     std::size_t tiers() const { return tiers_.size(); }
 
+    /** Register every tier's counters (`mem.<tier>.*`). */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     std::vector<std::unique_ptr<MemTier>> tiers_;
     std::vector<std::vector<MemObserver>> observers_;

@@ -28,4 +28,13 @@ MemTier::access(Addr pa, bool is_write)
     return cfg_.read_latency;
 }
 
+void
+MemTier::registerStats(StatRegistry &reg) const
+{
+    const std::string prefix = "mem." + cfg_.name + ".";
+    reg.addCounter(prefix + "read_bytes", &counters_.read_bytes);
+    reg.addCounter(prefix + "write_bytes", &counters_.write_bytes);
+    reg.addCounter(prefix + "accesses", &counters_.accesses);
+}
+
 } // namespace m5

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -70,6 +71,9 @@ class MemTier
 
     /** Reset counters (between experiment phases). */
     void resetCounters() { counters_ = {}; }
+
+    /** Register the byte counters as `mem.<name>.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     TierConfig cfg_;

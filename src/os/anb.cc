@@ -41,6 +41,7 @@ AnbDaemon::wake(Tick now)
         ++scanned;
     }
     pages_unmapped_ += unmapped;
+    ++scans_;
     ledger_.charge(KernelWork::PteScan, cycles);
 
     // Adapt the scan period: few faults since the last pass means the
@@ -92,6 +93,7 @@ AnbDaemon::onHintFault(Vpn vpn, Tick now)
                 if (tokens_ >= 1.0) {
                     tokens_ -= 1.0;
                     elapsed += engine_.promote(vpn, now + elapsed);
+                    engine_.noteBatch(1); // NUMA hinting promotes singly.
                 } else {
                     rate_limited_since_scan_ = true;
                 }
@@ -100,6 +102,14 @@ AnbDaemon::onHintFault(Vpn vpn, Tick now)
         count = 0;
     }
     return elapsed;
+}
+
+void
+AnbDaemon::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("os.anb.faults_handled", &faults_handled_);
+    reg.addCounter("os.anb.pages_unmapped", &pages_unmapped_);
+    reg.addCounter("os.anb.scans", &scans_);
 }
 
 } // namespace m5

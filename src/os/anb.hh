@@ -21,6 +21,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/migration.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -61,6 +62,12 @@ class AnbDaemon : public PolicyDaemon
     /** Number of pages unmapped across all scans. */
     std::uint64_t pagesUnmapped() const { return pages_unmapped_; }
 
+    /** Number of scan passes executed. */
+    std::uint64_t scans() const { return scans_; }
+
+    /** Register fault/scan counters as `os.anb.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     AnbConfig cfg_;
     PageTable &pt_;
@@ -74,6 +81,7 @@ class AnbDaemon : public PolicyDaemon
     std::vector<std::uint8_t> fault_count_;
     std::uint64_t faults_handled_ = 0;
     std::uint64_t pages_unmapped_ = 0;
+    std::uint64_t scans_ = 0;
     std::uint64_t faults_since_scan_ = 0;
     bool rate_limited_since_scan_ = false;
     //! Promotion token bucket.

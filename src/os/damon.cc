@@ -48,6 +48,7 @@ DamonDaemon::primeRegion(DamonRegion &r)
 void
 DamonDaemon::sampleOnce()
 {
+    ++samples_;
     for (auto &r : regions_) {
         const Pte &e = pt_.pte(r.sample_vpn);
         if (e.valid && e.accessed)
@@ -126,6 +127,7 @@ Tick
 DamonDaemon::aggregate(Tick now)
 {
     (void)now; // Plan application is deferred to applyPlanChunk().
+    ++aggregations_;
     const auto hot_min = static_cast<std::uint32_t>(
         cfg_.hot_access_fraction *
         static_cast<double>(samplesPerAggregation()));
@@ -192,13 +194,17 @@ DamonDaemon::applyPlanChunk(Tick now)
         std::max<std::uint64_t>(1, samplesPerAggregation()));
     Tick elapsed = 0;
     Cycles attempt_cycles = 0;
+    std::size_t issued = 0;
     for (std::size_t i = 0; i < chunk && plan_cursor_ < plan_.size();
          ++i, ++plan_cursor_) {
         const Vpn vpn = plan_[plan_cursor_];
         attempt_cycles += cost::kDamosAttempt;
-        if (cfg_.migrate && pt_.pte(vpn).node == kNodeCxl)
+        if (cfg_.migrate && pt_.pte(vpn).node == kNodeCxl) {
             elapsed += engine_.promote(vpn, now + elapsed);
+            ++issued;
+        }
     }
+    engine_.noteBatch(issued);
     ledger_.charge(KernelWork::DamonAggregate, attempt_cycles);
     return elapsed + cyclesToNs(attempt_cycles);
 }
@@ -216,6 +222,13 @@ DamonDaemon::wake(Tick now)
     }
     next_wake_ = now + cfg_.sample_interval;
     return elapsed;
+}
+
+void
+DamonDaemon::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("os.damon.samples", &samples_);
+    reg.addCounter("os.damon.aggregations", &aggregations_);
 }
 
 } // namespace m5

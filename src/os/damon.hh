@@ -24,6 +24,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/migration.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -74,6 +75,15 @@ class DamonDaemon : public PolicyDaemon
     /** Samples taken per aggregation interval. */
     std::uint64_t samplesPerAggregation() const;
 
+    /** Sampling passes executed (one PTE check per region each). */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Aggregation intervals completed. */
+    std::uint64_t aggregations() const { return aggregations_; }
+
+    /** Register sampling counters as `os.damon.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     void sampleOnce();
     Tick aggregate(Tick now);
@@ -96,6 +106,8 @@ class DamonDaemon : public PolicyDaemon
     std::size_t plan_cursor_ = 0;
     Tick next_wake_ = 0;
     Tick next_aggregation_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t aggregations_ = 0;
     HotPageList hot_list_;
 };
 

@@ -49,4 +49,15 @@ KernelLedger::identificationCycles() const
     return totalOverhead() - category(KernelWork::Migration);
 }
 
+void
+KernelLedger::registerStats(StatRegistry &reg) const
+{
+    const auto n = static_cast<unsigned>(KernelWork::NumCategories);
+    for (unsigned i = 0; i < n; ++i) {
+        reg.addCounter(
+            "os.kernel." + kernelWorkName(static_cast<KernelWork>(i)),
+            &cycles_[i]);
+    }
+}
+
 } // namespace m5

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -66,6 +67,9 @@ class KernelLedger
 
     /** Zero everything. */
     void reset() { cycles_.fill(0); }
+
+    /** Register every category as an `os.kernel.<category>` counter. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     std::array<Cycles,

@@ -113,6 +113,7 @@ MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
     Tick elapsed = 0;
     for (Vpn vpn : vpns)
         elapsed += promote(vpn, now + elapsed);
+    noteBatch(vpns.size());
     return elapsed;
 }
 
@@ -127,6 +128,19 @@ MigrationEngine::demote(Vpn vpn, Tick now)
     const Tick elapsed = moveTo(vpn, kNodeCxl, now);
     ++stats_.demoted;
     return elapsed;
+}
+
+void
+MigrationEngine::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("os.migration.pages_promoted", &stats_.promoted);
+    reg.addCounter("os.migration.pages_demoted", &stats_.demoted);
+    reg.addCounter("os.migration.rejected_pinned", &stats_.rejected_pinned);
+    reg.addCounter("os.migration.rejected_not_cxl",
+                   &stats_.rejected_not_cxl);
+    reg.addCounter("os.migration.failed_capacity", &stats_.failed_capacity);
+    reg.addCounter("os.migration.busy_time", &stats_.busy_time);
+    reg.addHistogram("os.migration.batch_pages", &batch_hist_);
 }
 
 } // namespace m5

@@ -28,6 +28,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/mglru.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -93,6 +94,23 @@ class MigrationEngine
     /** Free frames remaining on the DDR node (daemon pacing input). */
     std::size_t ddrFreeFrames() const;
 
+    /** Record one promotion batch of `pages` pages in the batch-size
+     *  histogram.  Policies that loop promote() themselves (ANB, DAMON,
+     *  PEBS, Promoter) call this once per wake; promoteBatch does it
+     *  internally.  Empty batches are not recorded. */
+    void
+    noteBatch(std::size_t pages)
+    {
+        if (pages)
+            batch_hist_.add(pages);
+    }
+
+    /** Promotion-batch size distribution (pages per batch). */
+    const StatHistogram &batchPagesHistogram() const { return batch_hist_; }
+
+    /** Register outcome counters as `os.migration.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     /** Move vpn to dst_node; the caller guarantees a frame is available. */
     Tick moveTo(Vpn vpn, NodeId dst_node, Tick now);
@@ -106,6 +124,7 @@ class MigrationEngine
     MgLru &mglru_;
     MigrationCosts costs_;
     MigrationStats stats_;
+    StatHistogram batch_hist_{{1, 2, 4, 8, 16, 32, 64, 128}};
 };
 
 } // namespace m5

@@ -46,6 +46,7 @@ MemtisDaemon::drainBuffer(Tick now)
                   cfg_.promote_rate_pages_per_s);
     token_time_ = now;
 
+    std::size_t issued = 0;
     for (Vpn vpn : buffer_) {
         const std::uint32_t c = ++counts_[vpn];
         if (c < hot_threshold_)
@@ -57,8 +58,10 @@ MemtisDaemon::drainBuffer(Tick now)
         if (cfg_.migrate && tokens_ >= 1.0) {
             tokens_ -= 1.0;
             elapsed += engine_.promote(vpn, now + elapsed);
+            ++issued;
         }
     }
+    engine_.noteBatch(issued);
     buffer_.clear();
     return elapsed;
 }
@@ -110,6 +113,13 @@ MemtisDaemon::estimate(Vpn vpn) const
 {
     auto it = counts_.find(vpn);
     return it == counts_.end() ? 0 : it->second;
+}
+
+void
+MemtisDaemon::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("os.pebs.samples", &samples_taken_);
+    reg.addCounter("os.pebs.interrupts", &interrupts_);
 }
 
 } // namespace m5

@@ -28,6 +28,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/migration.hh"
 #include "os/page_table.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -82,6 +83,9 @@ class MemtisDaemon : public PolicyDaemon
 
     /** Estimated (cooled) sample count of a page. */
     std::uint32_t estimate(Vpn vpn) const;
+
+    /** Register sampling counters as `os.pebs.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
 
   private:
     Tick drainBuffer(Tick now);

@@ -15,6 +15,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -95,6 +96,14 @@ class CpuCore
      * way a real load generator (YCSB) sees a stalled Redis.
      */
     PercentileTracker openLoopLatencies(double utilization) const;
+
+    /** Register time-accounting counters as `sim.core.*` telemetry. */
+    void
+    registerStats(StatRegistry &reg) const
+    {
+        reg.addCounter("sim.core.app_time", &app_time_);
+        reg.addCounter("sim.core.kernel_time", &kernel_time_);
+    }
 
   private:
     unsigned apr_;

@@ -8,6 +8,7 @@ void
 EventQueue::schedule(Tick when, EventFn fn)
 {
     heap_.push({when, seq_++, std::move(fn)});
+    ++scheduled_;
 }
 
 Tick
@@ -24,11 +25,19 @@ EventQueue::runDue(Tick &now)
     while (!heap_.empty() && heap_.top().when <= now) {
         EventFn fn = heap_.top().fn;
         heap_.pop();
+        ++executed_;
         const Tick busy = fn(now);
         now += busy;
         busy_total += busy;
     }
     return busy_total;
+}
+
+void
+EventQueue::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("sim.events.scheduled", &scheduled_);
+    reg.addCounter("sim.events.executed", &executed_);
 }
 
 } // namespace m5

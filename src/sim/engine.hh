@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/registry.hh"
 
 namespace m5 {
 
@@ -45,6 +46,15 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Events scheduled so far. */
+    std::uint64_t scheduled() const { return scheduled_; }
+
+    /** Events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Register scheduling counters as `sim.events.*` telemetry. */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     struct Item
     {
@@ -65,6 +75,8 @@ class EventQueue
 
     std::priority_queue<Item, std::vector<Item>, Later> heap_;
     std::uint64_t seq_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace m5

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
@@ -148,7 +149,17 @@ runCell(std::size_t i, const std::function<void(std::size_t)> &task,
 RunResult
 runJob(const SweepJob &job)
 {
-    TieredSystem sys(job.config);
+    SystemConfig cfg = job.config;
+    if (cfg.telemetry.path.empty()) {
+        // Tag this cell's snapshot stream by its grid label so per-cell
+        // telemetry lands beside the CSV results deterministically,
+        // whatever worker runs the cell.
+        if (const auto dir = benchTelemetryDir()) {
+            std::filesystem::create_directories(*dir);
+            cfg.telemetry.path = telemetryPathForLabel(*dir, job.label());
+        }
+    }
+    TieredSystem sys(cfg);
     return sys.run(job.budget);
 }
 
@@ -244,6 +255,29 @@ benchJobs()
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+std::optional<std::string>
+benchTelemetryDir()
+{
+    auto dir = envString("M5_BENCH_TELEMETRY");
+    if (dir && dir->empty())
+        return std::nullopt;
+    return dir;
+}
+
+std::string
+telemetryPathForLabel(const std::string &dir, const std::string &label)
+{
+    std::string flat = label;
+    for (char &c : flat) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                          c == '_';
+        if (!keep)
+            c = '_';
+    }
+    return dir + "/" + flat + ".jsonl";
 }
 
 std::vector<std::string>

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -145,7 +146,17 @@ int benchSeeds(int fallback = 3);
 
 /** Worker-pool size; M5_BENCH_JOBS overrides hardware_concurrency(). */
 unsigned benchJobs();
+
+/** Per-cell telemetry directory; M5_BENCH_TELEMETRY names a directory
+ *  that runJob fills with one `<cell-label>.jsonl` stream per sweep
+ *  cell (docs/TELEMETRY.md).  nullopt when unset. */
+std::optional<std::string> benchTelemetryDir();
 /** @} */
+
+/** Deterministic telemetry file path for a sweep-cell label: the label
+ *  with '/' flattened to '_', rooted at `dir`, suffixed `.jsonl`. */
+std::string telemetryPathForLabel(const std::string &dir,
+                                  const std::string &label);
 
 /** @{ Stable CSV serialization of RunResult, used by the determinism
  *  test and the M5_BENCH_CSV emission path. */

@@ -50,6 +50,33 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
     placePages();
     buildController();
     buildPolicy();
+    registerStats();
+    if (!cfg_.telemetry.path.empty())
+        telem_ = std::make_unique<EpochSnapshotter>(stats_, cfg_.telemetry);
+}
+
+void
+TieredSystem::registerStats()
+{
+    // Every layer registers pointers to its own tallies, so Monitor, the
+    // bench reports and the telemetry export all read identical memory.
+    events_.registerStats(stats_);
+    core_.registerStats(stats_);
+    mem_->registerStats(stats_);
+    llc_->registerStats(stats_, "cache.llc");
+    tlb_->registerStats(stats_, "cache.tlb");
+    ctrl_->registerStats(stats_);
+    engine_->registerStats(stats_);
+    ledger_.registerStats(stats_);
+    monitor_->registerStats(stats_);
+    if (anb_)
+        anb_->registerStats(stats_);
+    if (damon_)
+        damon_->registerStats(stats_);
+    if (memtis_)
+        memtis_->registerStats(stats_);
+    if (m5_)
+        m5_->registerStats(stats_);
 }
 
 void
@@ -242,6 +269,18 @@ TieredSystem::scheduleWacRotation(Tick when)
     });
 }
 
+void
+TieredSystem::scheduleTelemetry(Tick when)
+{
+    // Telemetry only reads registered stats and consumes zero simulated
+    // time, so enabling it never changes simulation results.
+    events_.schedule(when, [this](Tick now) -> Tick {
+        telem_->epoch(now);
+        scheduleTelemetry(now + cfg_.telemetry.epoch_period);
+        return 0;
+    });
+}
+
 Tick
 TieredSystem::issueAccess(const AccessEvent &ev)
 {
@@ -304,6 +343,8 @@ TieredSystem::run(std::uint64_t num_accesses)
         scheduleAging(core_.now() + cfg_.mglru_age_period);
         if (cfg_.enable_wac && cfg_.wac_window_period > 0)
             scheduleWacRotation(core_.now() + cfg_.wac_window_period);
+        if (telem_)
+            scheduleTelemetry(core_.now() + cfg_.telemetry.epoch_period);
     }
 
     const std::uint64_t warmup = static_cast<std::uint64_t>(
@@ -380,6 +421,11 @@ TieredSystem::run(std::uint64_t num_accesses)
     r.baseline_cycles = ledger_.category(KernelWork::Baseline);
     if (daemon_)
         r.hot_pages = daemon_->hotPages().pages();
+    // The final telemetry sample is written after every counter above has
+    // settled, so the last JSONL line matches the end-of-run rollup
+    // exactly (tools print it via EpochSnapshotter::rollupTable).
+    if (telem_)
+        telem_->finish(core_.now());
     return r;
 }
 

@@ -32,6 +32,8 @@
 #include "os/page_table.hh"
 #include "sim/core.hh"
 #include "sim/engine.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/snapshot.hh"
 #include "workloads/registry.hh"
 #include "workloads/trace.hh"
 
@@ -127,6 +129,10 @@ struct SystemConfig
     TieredMemoryParams tier_params; //!< Latencies; capacities are derived.
     std::optional<std::uint64_t> llc_bytes_override;
     TlbConfig tlb_cfg;
+    //! Per-epoch telemetry export (docs/TELEMETRY.md); disabled while
+    //! `telemetry.path` is empty.  The epoch event consumes zero
+    //! simulated time, so results are identical either way.
+    TelemetryConfig telemetry;
 };
 
 /** Results of one run. */
@@ -180,6 +186,8 @@ class TieredSystem
     Workload &workload() { return *workload_; }
     MigrationEngine &migrationEngine() { return *engine_; }
     CpuCore &core() { return core_; }
+    const StatRegistry &stats() const { return stats_; }
+    EpochSnapshotter *telemetry() { return telem_.get(); }
     /** @} */
 
   private:
@@ -187,10 +195,12 @@ class TieredSystem
     void placePages();
     void buildController();
     void buildPolicy();
+    void registerStats();
     Tick issueAccess(const AccessEvent &ev);
     Tick daemonTick(Tick now);
     void scheduleAging(Tick when);
     void scheduleWacRotation(Tick when);
+    void scheduleTelemetry(Tick when);
 
     SystemConfig cfg_;
     std::unique_ptr<Workload> workload_;
@@ -216,6 +226,8 @@ class TieredSystem
     CpuCore core_;
     TraceBuffer trace_;
     Tick kernel_debt_ = 0; //!< Outstanding preemptible daemon work.
+    StatRegistry stats_;
+    std::unique_ptr<EpochSnapshotter> telem_;
 };
 
 } // namespace m5

@@ -1,0 +1,139 @@
+#include "telemetry/registry.hh"
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+bool
+validStatName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_' || c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return name.front() != '.' && name.back() != '.';
+}
+
+} // namespace
+
+StatHistogram::StatHistogram(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1, 0)
+{
+    if (edges_.empty())
+        m5_fatal("StatHistogram needs at least one edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        if (edges_[i - 1] >= edges_[i])
+            m5_fatal("StatHistogram edges must be strictly increasing");
+    }
+}
+
+void
+StatHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t bucket = edges_.size();
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (value < edges_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+StatRegistry::insert(const std::string &name, Entry entry)
+{
+    if (!validStatName(name))
+        m5_fatal("bad stat name '%s' (want [a-z0-9_.-]+)", name.c_str());
+    const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+    if (!inserted)
+        m5_fatal("stat '%s' registered twice", name.c_str());
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const std::uint64_t *value)
+{
+    m5_assert(value != nullptr, "null counter for stat '%s'", name.c_str());
+    Entry e;
+    e.kind = StatSample::Kind::Counter;
+    e.counter = value;
+    insert(name, std::move(e));
+}
+
+void
+StatRegistry::addGauge(const std::string &name, std::function<double()> fn)
+{
+    m5_assert(fn != nullptr, "null gauge for stat '%s'", name.c_str());
+    Entry e;
+    e.kind = StatSample::Kind::Gauge;
+    e.gauge = std::move(fn);
+    insert(name, std::move(e));
+}
+
+void
+StatRegistry::addHistogram(const std::string &name,
+                           const StatHistogram *hist)
+{
+    m5_assert(hist != nullptr, "null histogram for stat '%s'", name.c_str());
+    Entry e;
+    e.kind = StatSample::Kind::Histogram;
+    e.hist = hist;
+    insert(name, std::move(e));
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+std::uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        m5_fatal("no stat named '%s'", name.c_str());
+    if (it->second.kind != StatSample::Kind::Counter)
+        m5_fatal("stat '%s' is not a counter", name.c_str());
+    return *it->second.counter;
+}
+
+std::vector<StatSample>
+StatRegistry::sample() const
+{
+    std::vector<StatSample> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_) {
+        StatSample s;
+        s.name = name;
+        s.kind = entry.kind;
+        switch (entry.kind) {
+          case StatSample::Kind::Counter:
+            s.counter = *entry.counter;
+            break;
+          case StatSample::Kind::Gauge:
+            s.gauge = entry.gauge();
+            break;
+          case StatSample::Kind::Histogram:
+            s.hist = entry.hist;
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace m5

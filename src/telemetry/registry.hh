@@ -1,0 +1,115 @@
+/**
+ * @file
+ * StatRegistry: the simulator-wide observability surface.
+ *
+ * Components register hierarchically named statistics at construction
+ * time — counters (`cxl.hpt.observed`), gauges (`m5.monitor.bw_den_ddr`)
+ * and histograms (`os.migration.batch_pages`) — and the registry samples
+ * them on demand.  Registration stores a *pointer* to the component's own
+ * tally (or a closure over it), so the Monitor, the bench reports and the
+ * telemetry export all read the very same memory: there is no second set
+ * of books to drift out of sync.
+ *
+ * Naming scheme (docs/TELEMETRY.md): `layer.component.stat`, lower-case
+ * `[a-z0-9_.-]`.  Names are unique; a collision is a programming error
+ * and fatals.  Iteration is over a std::map, so every consumer sees the
+ * stats in the same sorted order on every run — a prerequisite for the
+ * byte-identical telemetry guarantee (docs/RUNNER.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace m5 {
+
+/**
+ * A histogram over explicit, strictly increasing bucket edges.
+ *
+ * With edges {e0, .., e(n-1)} there are n+1 buckets: value v lands in the
+ * first bucket i with v < e_i, or in the overflow bucket when v >= e(n-1).
+ */
+class StatHistogram
+{
+  public:
+    explicit StatHistogram(std::vector<std::uint64_t> edges);
+
+    /** Record `weight` observations of `value`. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Zero all buckets (between experiment phases / sweep cells). */
+    void reset();
+
+    /** Bucket edges, as constructed. */
+    const std::vector<std::uint64_t> &edges() const { return edges_; }
+
+    /** Per-bucket observation counts (edges().size() + 1 entries). */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Total observations across all buckets. */
+    std::uint64_t total() const { return total_; }
+
+  private:
+    std::vector<std::uint64_t> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** One sampled statistic (see StatRegistry::sample). */
+struct StatSample
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t counter = 0;            //!< Valid for Kind::Counter.
+    double gauge = 0.0;                   //!< Valid for Kind::Gauge.
+    const StatHistogram *hist = nullptr;  //!< Valid for Kind::Histogram.
+};
+
+/** The registry of named statistics. */
+class StatRegistry
+{
+  public:
+    /** Register a monotonic counter; `value` must outlive the registry's
+     *  last sample() call. */
+    void addCounter(const std::string &name, const std::uint64_t *value);
+
+    /** Register a point-in-time gauge, sampled by calling `fn`. */
+    void addGauge(const std::string &name, std::function<double()> fn);
+
+    /** Register a histogram; `hist` must outlive sampling. */
+    void addHistogram(const std::string &name, const StatHistogram *hist);
+
+    /** True when a statistic with this name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Number of registered statistics. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Current value of a registered counter (fatal when absent or not a
+     *  counter). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Sample every statistic, sorted by name. */
+    std::vector<StatSample> sample() const;
+
+  private:
+    struct Entry
+    {
+        StatSample::Kind kind = StatSample::Kind::Counter;
+        const std::uint64_t *counter = nullptr;
+        std::function<double()> gauge;
+        const StatHistogram *hist = nullptr;
+    };
+
+    void insert(const std::string &name, Entry entry);
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace m5

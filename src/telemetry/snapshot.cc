@@ -1,0 +1,89 @@
+#include "telemetry/snapshot.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace m5 {
+
+EpochSnapshotter::EpochSnapshotter(const StatRegistry &reg,
+                                   const TelemetryConfig &cfg)
+    : reg_(reg), cfg_(cfg)
+{
+    m5_assert(!cfg_.path.empty(), "EpochSnapshotter needs an output path");
+    if (cfg_.every == 0)
+        cfg_.every = 1;
+    out_.open(cfg_.path, std::ios::out | std::ios::trunc);
+    if (!out_)
+        m5_fatal("cannot open telemetry file '%s'", cfg_.path.c_str());
+}
+
+std::string
+EpochSnapshotter::formatValue(const StatSample &s)
+{
+    switch (s.kind) {
+      case StatSample::Kind::Counter:
+        return std::to_string(s.counter);
+      case StatSample::Kind::Gauge:
+        // %.17g round-trips doubles exactly (the runner's CSV
+        // convention); non-finite values are not valid JSON.
+        return std::isfinite(s.gauge) ? strprintf("%.17g", s.gauge)
+                                      : std::string("null");
+      case StatSample::Kind::Histogram: {
+        std::string v = "{\"edges\":[";
+        const auto &edges = s.hist->edges();
+        for (std::size_t i = 0; i < edges.size(); ++i)
+            v += (i ? "," : "") + std::to_string(edges[i]);
+        v += "],\"counts\":[";
+        const auto &counts = s.hist->counts();
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            v += (i ? "," : "") + std::to_string(counts[i]);
+        v += "],\"total\":" + std::to_string(s.hist->total()) + "}";
+        return v;
+      }
+    }
+    m5_panic("unknown StatSample kind");
+}
+
+void
+EpochSnapshotter::writeLine(Tick now)
+{
+    out_ << "{\"epoch\":" << epoch_index_ << ",\"time_ns\":" << now
+         << ",\"stats\":{";
+    bool first = true;
+    for (const StatSample &s : reg_.sample()) {
+        if (!first)
+            out_ << ",";
+        first = false;
+        out_ << "\"" << s.name << "\":" << formatValue(s);
+    }
+    out_ << "}}\n";
+    ++lines_written_;
+}
+
+void
+EpochSnapshotter::epoch(Tick now)
+{
+    if (epoch_index_ % cfg_.every == 0)
+        writeLine(now);
+    ++epoch_index_;
+}
+
+void
+EpochSnapshotter::finish(Tick now)
+{
+    writeLine(now);
+    ++epoch_index_;
+    out_.flush();
+}
+
+TextTable
+EpochSnapshotter::rollupTable() const
+{
+    TextTable table({"stat", "value"});
+    for (const StatSample &s : reg_.sample())
+        table.addRow({s.name, formatValue(s)});
+    return table;
+}
+
+} // namespace m5

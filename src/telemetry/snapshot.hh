@@ -1,0 +1,83 @@
+/**
+ * @file
+ * EpochSnapshotter: per-epoch telemetry export.
+ *
+ * Samples a StatRegistry on the simulator's epoch boundary and appends
+ * one JSON object per epoch to a JSONL file:
+ *
+ *   {"epoch":3,"time_ns":3000000,"stats":{"cache.llc.hits":123, ...}}
+ *
+ * Counters serialize as integers, gauges as %.17g doubles (round-trip
+ * exact, the same convention as the runner's CSV rows), histograms as
+ * {"edges":[..],"counts":[..],"total":n}.  finish() writes the final
+ * sample; rollupTable() renders the same sample as a TextTable so the
+ * end-of-run summary a tool prints (via emitTable) matches the last
+ * JSONL line field for field.
+ *
+ * The snapshotter only *reads* registered statistics and its epoch event
+ * consumes zero simulated CPU time, so enabling telemetry never changes
+ * simulation results — two identical seeded runs produce byte-identical
+ * telemetry (tests/test_telemetry.cc pins this down).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/table.hh"
+#include "common/types.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+/** Telemetry knobs (part of SystemConfig). */
+struct TelemetryConfig
+{
+    //! JSONL output path; empty disables telemetry entirely.
+    std::string path;
+    //! Emit every Nth epoch (intermediate epochs are skipped, not
+    //! accumulated — counters are cumulative anyway).
+    std::uint64_t every = 1;
+    //! Simulated time between epoch boundaries.
+    Tick epoch_period = msToTicks(1.0);
+};
+
+/** Samples a StatRegistry per epoch into a JSONL timeline. */
+class EpochSnapshotter
+{
+  public:
+    /** Opens (truncates) cfg.path; fatal when it cannot be created. */
+    EpochSnapshotter(const StatRegistry &reg, const TelemetryConfig &cfg);
+
+    /** One epoch boundary passed at simulated time `now`. */
+    void epoch(Tick now);
+
+    /** Write the final sample and flush (call once, end of run). */
+    void finish(Tick now);
+
+    /** Epoch boundaries seen so far (including skipped ones). */
+    std::uint64_t epochs() const { return epoch_index_; }
+
+    /** JSONL lines actually written. */
+    std::uint64_t linesWritten() const { return lines_written_; }
+
+    /** The current sample as a (stat, value) table for emitTable; value
+     *  strings are formatted exactly as in the JSONL stats object. */
+    TextTable rollupTable() const;
+
+    /** A single stat value formatted as its JSON fragment. */
+    static std::string formatValue(const StatSample &s);
+
+  private:
+    void writeLine(Tick now);
+
+    const StatRegistry &reg_;
+    TelemetryConfig cfg_;
+    std::ofstream out_;
+    std::uint64_t epoch_index_ = 0;
+    std::uint64_t lines_written_ = 0;
+};
+
+} // namespace m5

@@ -408,15 +408,80 @@ TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
     EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsAllSevenRules)
+TEST(LintRules, CatalogueListsAllEightRules)
 {
     const auto &rules = m5lint::allRules();
-    EXPECT_EQ(rules.size(), 7u);
+    EXPECT_EQ(rules.size(), 8u);
     for (const char *r :
          {"no-wallclock", "no-unseeded-rng", "no-unordered-result-iteration",
-          "no-raw-parse", "no-raw-output", "no-naked-new", "header-hygiene"})
+          "no-raw-parse", "no-raw-output", "no-naked-new", "header-hygiene",
+          "no-untracked-stat"})
         EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
             << r;
+}
+
+// ---------------------------------------------------------------------
+// no-untracked-stat
+// ---------------------------------------------------------------------
+
+TEST(LintUntrackedStat, CounterMemberWithoutRegisterStatsFires)
+{
+    const auto d = run("src/cxl/foo.hh",
+                       "#pragma once\n"
+                       "class Foo {\n"
+                       "  std::uint64_t hits_ = 0;\n"
+                       "};\n");
+    EXPECT_EQ(countRule(d, "no-untracked-stat"), 1u);
+}
+
+TEST(LintUntrackedStat, RegisterStatsInHeaderSilencesTheFile)
+{
+    const auto d = run("src/cxl/foo.hh",
+                       "#pragma once\n"
+                       "class Foo {\n"
+                       "  void registerStats(StatRegistry &reg) const;\n"
+                       "  std::uint64_t hits_ = 0;\n"
+                       "  std::uint64_t misses_ = 0;\n"
+                       "};\n");
+    EXPECT_EQ(countRule(d, "no-untracked-stat"), 0u);
+}
+
+TEST(LintUntrackedStat, ScopeIsInstrumentedLayerHeadersOnly)
+{
+    const std::string counter =
+        "#pragma once\n"
+        "struct S { std::uint64_t misses_ = 0; };\n";
+    // Headers outside the instrumented layers are exempt.
+    EXPECT_EQ(countRule(run("src/common/foo.hh", counter),
+                        "no-untracked-stat"), 0u);
+    EXPECT_EQ(countRule(run("src/workloads/foo.hh", counter),
+                        "no-untracked-stat"), 0u);
+    // .cc files are exempt (implementation tallies live behind headers).
+    EXPECT_EQ(countRule(run("src/cxl/foo.cc",
+                            "std::uint64_t misses_ = 0;\n"),
+                        "no-untracked-stat"), 0u);
+    // Non-stat-shaped or non-zero-initialized members are exempt.
+    EXPECT_EQ(countRule(run("src/cxl/foo.hh",
+                            "#pragma once\n"
+                            "struct S { std::uint64_t seed_ = 0; "
+                            "std::uint64_t hits_ = 7; };\n"),
+                        "no-untracked-stat"), 0u);
+}
+
+TEST(LintUntrackedStat, AllowlistAndInlineSuppressionWork)
+{
+    Config cfg;
+    cfg.allow.push_back({"no-untracked-stat", "src/cxl/legacy.hh"});
+    EXPECT_EQ(countRule(lintSource("src/cxl/legacy.hh",
+                                   "#pragma once\n"
+                                   "struct S { std::uint64_t hits_ = 0; };\n",
+                                   cfg),
+                        "no-untracked-stat"), 0u);
+    EXPECT_EQ(countRule(run("src/cxl/foo.hh",
+                            "#pragma once\n"
+                            "struct S { std::uint64_t hits_ = 0; };"
+                            " // m5lint: allow(no-untracked-stat)\n"),
+                        "no-untracked-stat"), 0u);
 }
 
 } // namespace

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for the observability layer (src/telemetry): registry naming
+ * and collision rules, histogram bucket semantics, JSONL snapshot
+ * behaviour, and the end-to-end guarantees — per-cell telemetry from a
+ * parallel sweep is byte-identical between 1 and 4 workers, a fresh
+ * cell starts from a zeroed registry, and the end-of-run rollup equals
+ * the final JSONL line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/snapshot.hh"
+
+namespace m5 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        path_ = fs::temp_directory_path() /
+                ("m5_telemetry_" + tag + "_" +
+                 std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ---------------------------------------------------------------------
+// StatRegistry
+// ---------------------------------------------------------------------
+
+TEST(StatRegistryTest, RegistersAndSamplesAllKinds)
+{
+    StatRegistry reg;
+    std::uint64_t hits = 7;
+    StatHistogram hist({10, 20});
+    hist.add(5);
+
+    reg.addCounter("a.hits", &hits);
+    reg.addGauge("b.load", [] { return 0.5; });
+    reg.addHistogram("c.sizes", &hist);
+
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_TRUE(reg.has("a.hits"));
+    EXPECT_FALSE(reg.has("a.misses"));
+    EXPECT_EQ(reg.counter("a.hits"), 7u);
+
+    hits = 9; // The registry reads the live tally, not a copy.
+    EXPECT_EQ(reg.counter("a.hits"), 9u);
+
+    const auto samples = reg.sample();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "a.hits");
+    EXPECT_EQ(samples[0].counter, 9u);
+    EXPECT_EQ(samples[1].name, "b.load");
+    EXPECT_DOUBLE_EQ(samples[1].gauge, 0.5);
+    EXPECT_EQ(samples[2].name, "c.sizes");
+    EXPECT_EQ(samples[2].hist->total(), 1u);
+}
+
+TEST(StatRegistryTest, SampleIsSortedByName)
+{
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("zz.last", &v);
+    reg.addCounter("aa.first", &v);
+    reg.addCounter("mm.mid", &v);
+    const auto samples = reg.sample();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "aa.first");
+    EXPECT_EQ(samples[1].name, "mm.mid");
+    EXPECT_EQ(samples[2].name, "zz.last");
+}
+
+TEST(StatRegistryTest, NameCollisionIsFatal)
+{
+    FatalCaptureScope capture;
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("dup.name", &v);
+    EXPECT_THROW(reg.addCounter("dup.name", &v), FatalError);
+    // Cross-kind collisions are rejected too.
+    EXPECT_THROW(reg.addGauge("dup.name", [] { return 0.0; }), FatalError);
+}
+
+TEST(StatRegistryTest, BadNamesAreFatal)
+{
+    FatalCaptureScope capture;
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    EXPECT_THROW(reg.addCounter("", &v), FatalError);
+    EXPECT_THROW(reg.addCounter("Upper.Case", &v), FatalError);
+    EXPECT_THROW(reg.addCounter("space name", &v), FatalError);
+    EXPECT_THROW(reg.addCounter(".leading", &v), FatalError);
+    EXPECT_THROW(reg.addCounter("trailing.", &v), FatalError);
+    reg.addCounter("ok.kernel.pte-scan_2", &v); // dashes/underscores fine
+    EXPECT_TRUE(reg.has("ok.kernel.pte-scan_2"));
+}
+
+TEST(StatRegistryTest, CounterLookupOfWrongKindIsFatal)
+{
+    FatalCaptureScope capture;
+    StatRegistry reg;
+    reg.addGauge("g.x", [] { return 1.0; });
+    EXPECT_THROW(reg.counter("g.x"), FatalError);
+    EXPECT_THROW(reg.counter("absent"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// StatHistogram
+// ---------------------------------------------------------------------
+
+TEST(StatHistogramTest, BucketEdgesAreExclusiveUpperBounds)
+{
+    // Edges {1,2,4}: buckets are [0,1), [1,2), [2,4), [4,inf).
+    StatHistogram h({1, 2, 4});
+    h.add(0);       // bucket 0
+    h.add(1);       // bucket 1
+    h.add(2);       // bucket 2
+    h.add(3);       // bucket 2
+    h.add(4);       // overflow
+    h.add(1000, 2); // overflow, weight 2
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 1u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 2u);
+    EXPECT_EQ(h.counts()[3], 3u);
+    EXPECT_EQ(h.total(), 7u);
+
+    h.reset();
+    for (std::uint64_t c : h.counts())
+        EXPECT_EQ(c, 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(StatHistogramTest, NonIncreasingEdgesAreFatal)
+{
+    FatalCaptureScope capture;
+    EXPECT_THROW(StatHistogram({}), FatalError);
+    EXPECT_THROW(StatHistogram({2, 2}), FatalError);
+    EXPECT_THROW(StatHistogram({3, 1}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// EpochSnapshotter
+// ---------------------------------------------------------------------
+
+TEST(EpochSnapshotterTest, EveryNSkipsIntermediateEpochs)
+{
+    TempDir dir("every");
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("x.v", &v);
+
+    TelemetryConfig cfg;
+    cfg.path = (dir.path() / "s.jsonl").string();
+    cfg.every = 3;
+    EpochSnapshotter snap(reg, cfg);
+    for (Tick t = 1; t <= 7; ++t) {
+        snap.epoch(t * 100);
+        ++v;
+    }
+    snap.finish(800);
+    // Epochs 0, 3 and 6 are sampled, plus the final line: 4 lines.
+    EXPECT_EQ(snap.epochs(), 8u);
+    EXPECT_EQ(snap.linesWritten(), 4u);
+
+    const std::string text = slurp(cfg.path);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(text.begin(), text.end(), '\n')),
+              snap.linesWritten());
+    EXPECT_NE(text.find("\"epoch\":0,"), std::string::npos);
+    EXPECT_NE(text.find("\"epoch\":3,"), std::string::npos);
+    EXPECT_NE(text.find("\"epoch\":7,\"time_ns\":800"), std::string::npos);
+    EXPECT_EQ(text.find("\"epoch\":1,"), std::string::npos);
+}
+
+TEST(EpochSnapshotterTest, RollupTableMatchesFinalSample)
+{
+    TempDir dir("rollup");
+    StatRegistry reg;
+    std::uint64_t v = 41;
+    StatHistogram hist({8});
+    hist.add(3);
+    reg.addCounter("x.v", &v);
+    reg.addGauge("x.g", [&] { return static_cast<double>(v) / 2.0; });
+    reg.addHistogram("x.h", &hist);
+
+    TelemetryConfig cfg;
+    cfg.path = (dir.path() / "s.jsonl").string();
+    EpochSnapshotter snap(reg, cfg);
+    ++v;
+    snap.finish(123);
+
+    const TextTable table = snap.rollupTable();
+    std::ostringstream os;
+    table.print(os);
+    const std::string rendered = os.str();
+    EXPECT_NE(rendered.find("x.v"), std::string::npos);
+    EXPECT_NE(rendered.find("42"), std::string::npos);
+    EXPECT_NE(rendered.find("21"), std::string::npos);
+
+    // The final JSONL line carries exactly the same formatted values.
+    const std::string text = slurp(cfg.path);
+    EXPECT_NE(text.find("\"x.v\":42"), std::string::npos);
+    EXPECT_NE(text.find("\"x.g\":21"), std::string::npos);
+    EXPECT_NE(
+        text.find("\"x.h\":{\"edges\":[8],\"counts\":[1,0],\"total\":1}"),
+        std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// System integration
+// ---------------------------------------------------------------------
+
+SweepGrid
+smallGrid()
+{
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policies({PolicyKind::M5HptDriven, PolicyKind::Anb})
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(20000);
+    return grid;
+}
+
+TEST(TelemetrySystemTest, FinalJsonlLineMatchesRegistryRollup)
+{
+    TempDir dir("system");
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::M5HptDriven,
+                                  1.0 / 128.0, 1);
+    cfg.telemetry.path = (dir.path() / "run.jsonl").string();
+    TieredSystem sys(cfg);
+    sys.run(20000);
+
+    ASSERT_NE(sys.telemetry(), nullptr);
+    EXPECT_GT(sys.telemetry()->linesWritten(), 1u);
+
+    // Rebuild the final line's stats object from the live registry: the
+    // run is over, so the registry still holds the end-of-run values.
+    std::string want = "\"stats\":{";
+    bool first = true;
+    for (const StatSample &s : sys.stats().sample()) {
+        if (!first)
+            want += ",";
+        first = false;
+        want += "\"" + s.name +
+                "\":" + EpochSnapshotter::formatValue(s);
+    }
+    want += "}}";
+
+    const std::string text = slurp(cfg.telemetry.path);
+    const std::size_t last_nl = text.find_last_of('\n', text.size() - 2);
+    const std::string last_line = text.substr(last_nl + 1);
+    EXPECT_NE(last_line.find(want), std::string::npos)
+        << "final JSONL line does not match the registry rollup";
+}
+
+TEST(TelemetrySystemTest, TelemetryDoesNotChangeResults)
+{
+    TempDir dir("inert");
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::M5HptDriven,
+                                  1.0 / 128.0, 1);
+    TieredSystem plain(cfg);
+    const RunResult a = plain.run(20000);
+
+    cfg.telemetry.path = (dir.path() / "run.jsonl").string();
+    TieredSystem instrumented(cfg);
+    const RunResult b = instrumented.run(20000);
+
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.kernel_time, b.kernel_time);
+    EXPECT_EQ(a.migration.promoted, b.migration.promoted);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+}
+
+TEST(TelemetrySystemTest, FreshCellStartsFromZeroedRegistry)
+{
+    // Each sweep cell constructs its own TieredSystem, so its registry
+    // must start from zero — a second run of the same config writes the
+    // same first line (no carry-over from a previous cell).
+    TempDir dir("resetcells");
+    SystemConfig cfg = makeConfig("mcf_r", PolicyKind::Anb,
+                                  1.0 / 128.0, 3);
+
+    auto firstLine = [&](const std::string &path) {
+        cfg.telemetry.path = path;
+        TieredSystem sys(cfg);
+        sys.run(20000);
+        const std::string text = slurp(path);
+        return text.substr(0, text.find('\n'));
+    };
+    const std::string a = firstLine((dir.path() / "a.jsonl").string());
+    const std::string b = firstLine((dir.path() / "b.jsonl").string());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"epoch\":0,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Runner integration: per-cell streams, 1 vs 4 workers
+// ---------------------------------------------------------------------
+
+TEST(TelemetryRunnerTest, PathForLabelFlattensSeparators)
+{
+    EXPECT_EQ(telemetryPathForLabel("/tmp/t", "mcf_r/m5(hpt+hwt)/s1"),
+              "/tmp/t/mcf_r_m5_hpt_hwt__s1.jsonl");
+    EXPECT_EQ(telemetryPathForLabel("d", "plain-label_1.x"),
+              "d/plain-label_1.x.jsonl");
+}
+
+TEST(TelemetryRunnerTest, WorkerCountDoesNotChangeTelemetryBytes)
+{
+    TempDir dir1("sweep1");
+    TempDir dir4("sweep4");
+    const auto jobs = smallGrid().expand();
+    ASSERT_EQ(jobs.size(), 4u);
+
+    auto sweep = [&](const TempDir &dir, unsigned workers) {
+        ScopedEnv telem("M5_BENCH_TELEMETRY", dir.path().c_str());
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        for (const auto &outcome : runner.run(jobs))
+            EXPECT_TRUE(outcome.ok) << outcome.error;
+    };
+    sweep(dir1, 1);
+    sweep(dir4, 4);
+
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir1.path()))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    ASSERT_EQ(names.size(), jobs.size());
+
+    for (const auto &name : names) {
+        const std::string one = slurp(dir1.path() / name);
+        ASSERT_TRUE(fs::exists(dir4.path() / name))
+            << name << " missing from the 4-worker sweep";
+        EXPECT_EQ(one, slurp(dir4.path() / name))
+            << name << " differs between 1 and 4 workers";
+        EXPECT_FALSE(one.empty());
+    }
+}
+
+} // namespace
+} // namespace m5

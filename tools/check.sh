@@ -5,6 +5,8 @@
 #   lint   m5lint repo-rule scan over src bench tests tools examples
 #   tidy   clang-tidy over the library sources (skipped with a warning
 #          when clang-tidy is not installed)
+#   smoke  telemetry end-to-end smoke: JSONL stream parses, counters
+#          move, reruns are byte-identical (tools/telemetry_smoke.sh)
 #   tsan   ThreadSanitizer build + runner determinism tests
 #   asan   AddressSanitizer build + full ctest (leaks on)
 #   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
@@ -14,10 +16,15 @@
 #   --stage NAME   run only the named stage(s); repeat the flag or
 #                  comma-separate (--stage lint,tidy).  Default: all,
 #                  in the order above.  Each stage is self-contained so
-#                  future automation can run them in parallel.
+#                  CI runs them as independent matrix legs.
 #   build-dir      base build directory (default: build; sanitizer
 #                  stages use <build-dir>-tsan/-asan/-ubsan).
-set -eu
+#
+# Without --stage, every stage runs even after an earlier one fails;
+# the script prints a PASS/FAIL summary and exits non-zero when any
+# stage failed, so a broken tier1 cannot mask a broken lint (or vice
+# versa) in a single local run.
+set -u
 
 cd "$(dirname "$0")/.."
 BUILD="build"
@@ -32,7 +39,7 @@ while [ $# -gt 0 ]; do
             shift 2
             ;;
         --help|-h)
-            sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         -*)
@@ -45,86 +52,110 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
 done
 
-wants() {
-    case " $STAGES " in *" $1 "*) return 0 ;; *) return 1 ;; esac
-}
-
 # Configure + build a tree; $1 = dir, rest = extra cmake args.
 build_tree() {
     _dir="$1"; shift
-    cmake -B "$_dir" -S . "$@"
-    cmake --build "$_dir" -j "$JOBS"
+    cmake -B "$_dir" -S . "$@" && cmake --build "$_dir" -j "$JOBS"
 }
 
-if wants tier1; then
-    echo "== tier1: configure + build -DM5_WERROR=ON ($BUILD) =="
-    build_tree "$BUILD" -DM5_WERROR=ON
-    echo "== tier1: ctest =="
+stage_tier1() {
+    echo "== tier1: configure + build -DM5_WERROR=ON ($BUILD) ==" &&
+    build_tree "$BUILD" -DM5_WERROR=ON &&
+    echo "== tier1: ctest ==" &&
     ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
-fi
+}
 
-if wants lint; then
+stage_lint() {
     echo "== lint: m5lint src bench tests tools examples =="
     # Reuse the tier1 build when present; otherwise build just m5lint.
     if [ ! -x "$BUILD/tools/m5lint" ]; then
-        cmake -B "$BUILD" -S .
-        cmake --build "$BUILD" -j "$JOBS" --target m5lint
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5lint || return 1
     fi
     "$BUILD/tools/m5lint" src bench tests tools examples
-fi
+}
 
-if wants tidy; then
-    if command -v clang-tidy >/dev/null 2>&1; then
-        echo "== tidy: clang-tidy over src/ tools/ =="
-        # compile_commands.json is exported by the main configure.
-        if [ ! -f "$BUILD/compile_commands.json" ]; then
-            cmake -B "$BUILD" -S .
-        fi
-        find src tools -name '*.cc' -print \
-            | xargs -P "$JOBS" -n 1 clang-tidy -p "$BUILD" --quiet
-    else
+stage_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "== tidy: SKIPPED (clang-tidy not installed) =="
+        return 0
     fi
-fi
+    echo "== tidy: clang-tidy over src/ tools/ =="
+    # compile_commands.json is exported by the main configure.
+    if [ ! -f "$BUILD/compile_commands.json" ]; then
+        cmake -B "$BUILD" -S . || return 1
+    fi
+    find src tools -name '*.cc' -print \
+        | xargs -P "$JOBS" -n 1 clang-tidy -p "$BUILD" --quiet
+}
 
-if wants tsan; then
-    echo "== tsan: build tests with -DM5_SANITIZE=thread =="
-    cmake -B "$BUILD-tsan" -S . -DM5_SANITIZE=thread
-    cmake --build "$BUILD-tsan" -j "$JOBS" --target test_runner
-    echo "== tsan: runner determinism + failure capture =="
-    # TSAN_OPTIONS makes any report fail the run instead of just printing.
+stage_smoke() {
+    echo "== smoke: telemetry JSONL end-to-end =="
+    if [ ! -x "$BUILD/tools/m5sim" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim || return 1
+    fi
+    tools/telemetry_smoke.sh "$BUILD"
+}
+
+stage_tsan() {
+    echo "== tsan: build tests with -DM5_SANITIZE=thread ==" &&
+    cmake -B "$BUILD-tsan" -S . -DM5_SANITIZE=thread &&
+    cmake --build "$BUILD-tsan" -j "$JOBS" --target test_runner &&
+    echo "== tsan: runner determinism + failure capture ==" &&
     TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
         "$BUILD-tsan/tests/test_runner" \
         --gtest_filter='RunnerTest.*:RunnerDeterminismTest.*'
-fi
+}
 
-if wants asan; then
-    echo "== asan: build with -DM5_SANITIZE=address =="
-    build_tree "$BUILD-asan" -DM5_SANITIZE=address
-    echo "== asan: full ctest (detect_leaks=1) =="
+stage_asan() {
+    echo "== asan: build with -DM5_SANITIZE=address ==" &&
+    build_tree "$BUILD-asan" -DM5_SANITIZE=address &&
+    echo "== asan: full ctest (detect_leaks=1) ==" &&
     ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
         ctest --test-dir "$BUILD-asan" --output-on-failure -j "$JOBS"
-fi
+}
 
-if wants ubsan; then
-    echo "== ubsan: build with -DM5_SANITIZE=undefined =="
-    build_tree "$BUILD-ubsan" -DM5_SANITIZE=undefined
-    echo "== ubsan: full ctest (halt_on_error=1) =="
+stage_ubsan() {
+    echo "== ubsan: build with -DM5_SANITIZE=undefined ==" &&
+    build_tree "$BUILD-ubsan" -DM5_SANITIZE=undefined &&
+    echo "== ubsan: full ctest (halt_on_error=1) ==" &&
     UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
         ctest --test-dir "$BUILD-ubsan" --output-on-failure -j "$JOBS"
-fi
+}
 
+FAILED=""
+for s in $STAGES; do
+    if "stage_$s"; then
+        :
+    else
+        echo "== check.sh: stage '$s' FAILED ==" >&2
+        FAILED="$FAILED $s"
+    fi
+done
+
+echo "== check.sh summary =="
+for s in $STAGES; do
+    case " $FAILED " in
+        *" $s "*) echo "  FAIL  $s" ;;
+        *)        echo "  pass  $s" ;;
+    esac
+done
+if [ -n "$FAILED" ]; then
+    echo "== check.sh: FAILED stages:$FAILED ==" >&2
+    exit 1
+fi
 echo "== check.sh: all requested stages green ($STAGES) =="

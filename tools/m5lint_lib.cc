@@ -645,6 +645,82 @@ checkHeaderHygiene(const std::string &path, const std::vector<Line> &lines,
     }
 }
 
+/** Scope of the untracked-stat rule: instrumented simulator layers.
+ *  common/, workloads/, analysis/ and telemetry/ itself keep plain
+ *  tallies; everything the StatRegistry walks must register them. */
+bool
+untrackedStatRuleApplies(const std::string &path)
+{
+    if (!isHeaderPath(path))
+        return false;
+    for (const char *dir : {"src/mem", "src/cache", "src/cxl", "src/os",
+                            "src/m5", "src/sim"})
+        if (pathHasPrefix(path, dir))
+            return true;
+    return false;
+}
+
+void
+checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
+                   std::vector<Diag> &out)
+{
+    const std::string rule = "no-untracked-stat";
+    if (!untrackedStatRuleApplies(path))
+        return;
+
+    // A header that exposes registerStats is assumed to register its
+    // tallies there; the telemetry smoke test catches stale wiring.
+    for (const auto &l : lines)
+        if (!findTokens(l.stripped, "registerStats").empty())
+            return;
+
+    // Heuristic: zero-initialized uint64_t members with stat-shaped
+    // names (`hits_ = 0;`) are almost always event tallies.  A header
+    // in an instrumented layer that declares one without offering
+    // registerStats is invisible to --telemetry.
+    const std::vector<std::string> statWords = {
+        "hits",     "misses",   "count",  "counts",   "total",
+        "accesses", "promoted", "demoted", "observed", "queries",
+        "samples",  "faults",   "spills", "scans",     "evictions",
+        "wakeups",  "drops",    "bytes",  "shootdowns"};
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        for (auto pos : findTokens(s, "uint64_t")) {
+            std::size_t j = pos + 8;
+            while (j < s.size() && (s[j] == ' ' || s[j] == '&'))
+                ++j;
+            std::size_t k = j;
+            while (k < s.size() && isIdentChar(s[k]))
+                ++k;
+            if (k == j)
+                continue;
+            const std::string name = s.substr(j, k - j);
+            std::size_t eq = k;
+            while (eq < s.size() && s[eq] == ' ')
+                ++eq;
+            const bool zero_init =
+                eq + 1 < s.size() && s[eq] == '=' &&
+                wordAt(s, eq + 1) == "0";
+            if (!zero_init)
+                continue;
+            bool statish = false;
+            for (const auto &w : statWords) {
+                if (!findTokens(name, w).empty() ||
+                    name.find(w) != std::string::npos)
+                    statish = true;
+            }
+            if (!statish)
+                continue;
+            out.push_back(
+                {path, static_cast<int>(i + 1), rule,
+                 "counter-shaped member '" + name +
+                     "' in an instrumented layer but the header has no "
+                     "registerStats(); expose it to the StatRegistry or "
+                     "allowlist the file (docs/LINT.md)"});
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -666,6 +742,7 @@ allRules()
         "no-raw-output",
         "no-naked-new",
         "header-hygiene",
+        "no-untracked-stat",
     };
     return rules;
 }
@@ -717,6 +794,7 @@ lintSource(const std::string &path, const std::string &content,
     checkRawOutput(path, lines, diags);
     checkNakedNew(path, lines, diags);
     checkHeaderHygiene(path, lines, diags);
+    checkUntrackedStat(path, lines, diags);
 
     diags.erase(std::remove_if(diags.begin(), diags.end(),
                                [&](const Diag &d) {

@@ -4,20 +4,25 @@
  *
  *   m5sim [--bench NAME] [--policy NAME] [--scale DENOM] [--seed N]
  *         [--accesses N] [--instances N] [--record-only] [--wac]
- *         [--ddr-frac F] [--csv] [--list]
+ *         [--ddr-frac F] [--telemetry FILE] [--telemetry-every N]
+ *         [--csv] [--list]
  *
  * Runs one experiment and prints a full report: timing, tier traffic,
  * migration and TLB statistics, the kernel-cycle breakdown, request
  * latencies for latency-sensitive workloads, and (record-only) the
- * access-count ratio of the identified hot pages.
+ * access-count ratio of the identified hot pages.  --telemetry streams
+ * per-epoch StatRegistry snapshots to FILE as JSONL and appends the
+ * end-of-run rollup to the report (docs/TELEMETRY.md).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "analysis/ratio.hh"
+#include "analysis/report.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "os/costs.hh"
@@ -74,6 +79,8 @@ struct Options
     bool wac = false;
     double ddr_frac = -1.0;
     bool csv = false;
+    std::string telemetry;
+    std::uint64_t telemetry_every = 1;
 };
 
 PolicyKind
@@ -111,6 +118,9 @@ usage()
         "  --ddr-frac F      DDR capacity / footprint (default 0.375)\n"
         "  --record-only     identify hot pages without migrating\n"
         "  --wac             enable word-access counting\n"
+        "  --telemetry FILE  stream per-epoch stat snapshots to FILE "
+        "(JSONL)\n"
+        "  --telemetry-every N  sample every N epochs (default 1)\n"
         "  --csv             machine-readable one-line output\n"
         "  --list            list benchmarks and exit\n");
 }
@@ -143,6 +153,12 @@ parseArgs(int argc, char **argv)
             opt.instances = argU64(arg, next());
         } else if (arg == "--ddr-frac") {
             opt.ddr_frac = argDouble(arg, next());
+        } else if (arg == "--telemetry") {
+            opt.telemetry = next();
+        } else if (arg == "--telemetry-every") {
+            opt.telemetry_every = argU64(arg, next());
+            if (opt.telemetry_every == 0)
+                m5_fatal("--telemetry-every wants an integer >= 1");
         } else if (arg == "--record-only") {
             opt.record_only = true;
         } else if (arg == "--wac") {
@@ -183,6 +199,8 @@ main(int argc, char **argv)
     cfg.enable_wac = opt.wac;
     if (opt.ddr_frac > 0.0)
         cfg.ddr_capacity_fraction = opt.ddr_frac;
+    cfg.telemetry.path = opt.telemetry;
+    cfg.telemetry.every = opt.telemetry_every;
 
     TieredSystem sys(cfg);
     const std::uint64_t budget = opt.accesses
@@ -273,6 +291,15 @@ main(int argc, char **argv)
                         "touch <= 16/64 words\n",
                         100.0 * dbl(sparse) / dbl(pages.size()));
         }
+    }
+    if (EpochSnapshotter *telem = sys.telemetry()) {
+        std::printf("telemetry:     %lu epochs -> %s\n",
+                    static_cast<unsigned long>(telem->epochs()),
+                    opt.telemetry.c_str());
+        std::fflush(stdout);
+        // The rollup is the final JSONL line rendered as a table; the
+        // smoke test diffs the two, so emit it verbatim.
+        emitTable(std::cout, telem->rollupTable(), "telemetry rollup");
     }
     return 0;
 }

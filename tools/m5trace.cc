@@ -3,6 +3,7 @@
  * m5trace — record, inspect and replay cache-filtered access traces.
  *
  *   m5trace record --bench NAME --out FILE [--scale D] [--accesses N]
+ *                  [--telemetry FILE]
  *   m5trace info   --in FILE
  *   m5trace replay --in FILE [--tracker cm|ss] [--entries N] [--k K]
  *                  [--period-us P] [--words]
@@ -91,6 +92,8 @@ cmdRecord(int argc, char **argv)
     SystemConfig cfg = makeConfig(bench, PolicyKind::None, scale, 1);
     cfg.enable_pac = false;
     cfg.record_trace = true;
+    if (const char *telem = findArg(argc, argv, "--telemetry"))
+        cfg.telemetry.path = telem;
     TieredSystem sys(cfg);
     const std::uint64_t budget = acc_s
         ? argU64("--accesses", acc_s)

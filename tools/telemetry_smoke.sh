@@ -1,0 +1,77 @@
+#!/bin/sh
+# Telemetry end-to-end smoke test (docs/TELEMETRY.md):
+#
+#   1. run m5sim with --telemetry and check the stream is valid JSONL
+#      whose key counters actually moved;
+#   2. check the final epoch's counters equal the end-of-run rollup
+#      table m5sim prints;
+#   3. rerun with the same seed and require a byte-identical stream
+#      (the repo's determinism guarantee, docs/RUNNER.md).
+#
+# Usage: tools/telemetry_smoke.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+M5SIM="$BUILD/tools/m5sim"
+[ -x "$M5SIM" ] || { echo "telemetry_smoke: $M5SIM not built" >&2; exit 2; }
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+run() {
+    "$M5SIM" --bench mcf_r --policy m5 --scale 64 --seed 7 \
+             --accesses 200000 --telemetry "$1"
+}
+
+run "$OUT/a.jsonl" > "$OUT/report_a.txt"
+run "$OUT/b.jsonl" > /dev/null
+
+cmp -s "$OUT/a.jsonl" "$OUT/b.jsonl" || {
+    echo "telemetry_smoke: FAIL: identical seeded runs produced" \
+         "different telemetry streams" >&2
+    exit 1
+}
+
+python3 - "$OUT/a.jsonl" "$OUT/report_a.txt" <<'EOF'
+import json
+import sys
+
+jsonl, report = sys.argv[1], sys.argv[2]
+
+lines = [json.loads(line) for line in open(jsonl)]
+assert lines, "telemetry stream is empty"
+assert [l["epoch"] for l in lines] == sorted(l["epoch"] for l in lines), \
+    "epoch indices are not monotonic"
+
+final = lines[-1]["stats"]
+for key in ("sim.core.app_time", "mem.ddr.accesses", "mem.cxl.accesses",
+            "cache.llc.misses", "os.migration.pages_promoted"):
+    assert key in final, f"missing stat {key}"
+    assert int(final[key]) > 0, f"stat {key} never moved (still 0)"
+
+# The rollup table m5sim appends must match the final JSONL line.
+# The table starts after the "telemetry: N epochs -> path" report line
+# and has a "stat value" header row.
+rollup = {}
+in_rollup = False
+for line in open(report):
+    if line.startswith("telemetry:"):
+        in_rollup = True
+        continue
+    if not in_rollup:
+        continue
+    parts = line.split(None, 1)
+    if len(parts) != 2 or parts[0] == "stat":
+        continue
+    rollup[parts[0]] = json.loads(parts[1].strip())
+
+assert rollup, "no telemetry rollup section in the m5sim report"
+for name, value in final.items():
+    assert name in rollup, f"rollup is missing stat {name}"
+    assert rollup[name] == value, \
+        f"rollup mismatch for {name}: stream={value!r} table={rollup[name]!r}"
+
+print(f"telemetry_smoke: OK ({len(lines)} epochs, "
+      f"{len(final)} stats, rollup matches final epoch)")
+EOF
