@@ -20,16 +20,15 @@ void
 CxlController::observe(Addr pa, bool is_write, Tick now)
 {
     (void)is_write;
-    (void)now;
     ++snooped_;
     if (pac_)
         pac_->observe(pa);
     if (wac_)
         wac_->observe(pa);
     if (hpt_)
-        hpt_->observe(pa);
+        hpt_->observe(pa, now);
     if (hwt_)
-        hwt_->observe(pa);
+        hwt_->observe(pa, now);
 }
 
 MemObserver

@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "sketch/topk_tracker.hh"
 #include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -26,13 +27,21 @@ class HptUnit
     /** @param cfg Tracker algorithm and geometry. */
     explicit HptUnit(const TrackerConfig &cfg);
 
-    /** Snoop one access address. */
+    /** Snoop one access address at simulated time `now`. */
     void
-    observe(Addr pa)
+    observe(Addr pa, Tick now = 0)
     {
-        tracker_->access(pfnOf(pa));
+        const TopKDelta delta = tracker_->access(pfnOf(pa));
         ++observed_;
         ++observed_total_;
+        if (delta.inserted) {
+            TRACE_EVENT(TraceCat::Cxl, now, "hpt.insert",
+                        TraceArgs().u("pfn", pfnOf(pa)));
+        }
+        if (delta.evicted) {
+            TRACE_EVENT(TraceCat::Cxl, now, "hpt.evict",
+                        TraceArgs().u("pfn", delta.evicted_tag));
+        }
     }
 
     /**

@@ -15,6 +15,7 @@
 #include "common/types.hh"
 #include "sketch/topk_tracker.hh"
 #include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -25,13 +26,21 @@ class HwtUnit
     /** @param cfg Tracker algorithm and geometry. */
     explicit HwtUnit(const TrackerConfig &cfg);
 
-    /** Snoop one access address. */
+    /** Snoop one access address at simulated time `now`. */
     void
-    observe(Addr pa)
+    observe(Addr pa, Tick now = 0)
     {
-        tracker_->access(wordOf(pa));
+        const TopKDelta delta = tracker_->access(wordOf(pa));
         ++observed_;
         ++observed_total_;
+        if (delta.inserted) {
+            TRACE_EVENT(TraceCat::Cxl, now, "hwt.insert",
+                        TraceArgs().u("word", wordOf(pa)));
+        }
+        if (delta.evicted) {
+            TRACE_EVENT(TraceCat::Cxl, now, "hwt.evict",
+                        TraceArgs().u("word", delta.evicted_tag));
+        }
     }
 
     /** Serve a query and reset for the next epoch. */

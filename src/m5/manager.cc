@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "os/costs.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -38,26 +39,42 @@ M5Manager::wake(Tick now)
     if (cfg_.nominator != NominatorKind::HwtDriven && ctrl_.hasHpt()) {
         auto hot_pages = ctrl_.hpt().queryAndReset();
         cycles += cost::kTrackerQuery;
+        TRACE_EVENT(TraceCat::Cxl, now, "hpt.query",
+                    TraceArgs().u("entries", hot_pages.size()));
         for (const auto &e : hot_pages)
             hot_list_.add(e.tag);
-        nominator_.updateFromHpt(hot_pages);
+        nominator_.updateFromHpt(hot_pages, now);
     }
     if (cfg_.nominator != NominatorKind::HptOnly && ctrl_.hasHwt()) {
         auto hot_words = ctrl_.hwt().queryAndReset();
         cycles += cost::kTrackerQuery;
+        TRACE_EVENT(TraceCat::Cxl, now, "hwt.query",
+                    TraceArgs().u("entries", hot_words.size()));
         if (cfg_.nominator == NominatorKind::HwtDriven) {
             for (const auto &e : hot_words)
                 hot_list_.add(pfnOf(e.tag << kWordShift));
         }
-        nominator_.updateFromHwt(hot_words);
+        nominator_.updateFromHwt(hot_words, now);
     }
 
     ledger_.charge(KernelWork::ManagerUser, cycles);
     Tick elapsed = cyclesToNs(cycles);
 
     const ElectorDecision decision = elector_.evaluate(monitor_);
+    // The Elector's inputs and verdict, with Algorithm 1's reason: the
+    // bootstrap fill, an improving rel_bw_den(DDR), or a stall.
+    TRACE_EVENT(TraceCat::Elect, now, "elector.decision",
+        TraceArgs()
+            .u("migrate", decision.migrate ? 1 : 0)
+            .u("period", decision.period)
+            .d("bw_den_ddr", monitor_.bwDen(kNodeDdr))
+            .d("bw_den_cxl", monitor_.bwDen(kNodeCxl))
+            .d("rel_bw_den_ddr", decision.rel_bw_den_ddr)
+            .s("reason", monitor_.freeFrames(kNodeDdr) > 0
+                   ? "bootstrap"
+                   : (decision.migrate ? "improved" : "stalled")));
     if (decision.migrate && cfg_.migrate) {
-        auto candidates = nominator_.nominate(cfg_.migrate_batch);
+        auto candidates = nominator_.nominate(cfg_.migrate_batch, now);
         elapsed += promoter_.promote(candidates, now + elapsed);
     }
 
@@ -69,6 +86,9 @@ M5Manager::wake(Tick now)
         period = std::max(period, msToTicks(1.0));
     }
     next_wake_ = now + period;
+    TRACE_SPAN(TraceCat::Sim, now, elapsed, "m5.wake",
+               TraceArgs().u("wakeup", wakeups_)
+                          .u("period", period));
     return elapsed;
 }
 

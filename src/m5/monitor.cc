@@ -1,6 +1,7 @@
 #include "m5/monitor.hh"
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -25,6 +26,15 @@ Monitor::sample(Tick now)
         last_read_bytes_[n] = bytes;
     }
     last_sample_ = now;
+    if (mem_.tiers() > kNodeCxl) {
+        TRACE_EVENT(TraceCat::Monitor, now, "monitor.sample",
+            TraceArgs()
+                .d("bw_ddr", bw(kNodeDdr))
+                .d("bw_cxl", bw(kNodeCxl))
+                .d("bw_den_ddr", bwDen(kNodeDdr))
+                .d("bw_den_cxl", bwDen(kNodeCxl))
+                .u("free_ddr", freeFrames(kNodeDdr)));
+    }
 }
 
 std::size_t

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -40,7 +41,8 @@ Nominator::evictColdest()
 }
 
 void
-Nominator::insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask)
+Nominator::insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask,
+                          Tick now)
 {
     auto it = hpa_.find(pfn);
     if (it != hpa_.end()) {
@@ -51,19 +53,23 @@ Nominator::insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask)
     if (hpa_.size() >= capacity_)
         evictColdest();
     hpa_.emplace(pfn, HpaEntry{pfn, mask, count});
+    TRACE_EVENT(TraceCat::Nominate, now, "nominator.track",
+                TraceArgs().u("page", pt_.vpnOfPfn(pfn))
+                           .u("pfn", pfn)
+                           .u("count", count));
 }
 
 void
-Nominator::updateFromHpt(const std::vector<TopKEntry> &hot_pages)
+Nominator::updateFromHpt(const std::vector<TopKEntry> &hot_pages, Tick now)
 {
     if (kind_ == NominatorKind::HwtDriven)
         return;
     for (const auto &e : hot_pages)
-        insertOrUpdate(e.tag, e.count, 0);
+        insertOrUpdate(e.tag, e.count, 0, now);
 }
 
 void
-Nominator::updateFromHwt(const std::vector<TopKEntry> &hot_words)
+Nominator::updateFromHwt(const std::vector<TopKEntry> &hot_words, Tick now)
 {
     if (kind_ == NominatorKind::HptOnly)
         return;
@@ -89,13 +95,17 @@ Nominator::updateFromHwt(const std::vector<TopKEntry> &hot_words)
                 if (hpa_.size() >= capacity_)
                     evictColdest();
                 hpa_.emplace(pfn, HpaEntry{pfn, bit, 1});
+                TRACE_EVENT(TraceCat::Nominate, now, "nominator.track",
+                            TraceArgs().u("page", pt_.vpnOfPfn(pfn))
+                                       .u("pfn", pfn)
+                                       .u("count", 1));
             }
         }
     }
 }
 
 std::vector<Vpn>
-Nominator::nominate(std::size_t max_pages)
+Nominator::nominate(std::size_t max_pages, Tick now)
 {
     std::vector<HpaEntry> ranked;
     ranked.reserve(hpa_.size());
@@ -130,6 +140,13 @@ Nominator::nominate(std::size_t max_pages)
         hpa_.erase(e.pfn);
         if (vpn >= pt_.numPages())
             continue;
+        TRACE_EVENT(TraceCat::Nominate, now, "nominator.nominate",
+                    TraceArgs().u("page", vpn)
+                               .u("pfn", e.pfn)
+                               .u("count", e.count)
+                               .s("mask", strprintf("0x%016llx",
+                                   static_cast<unsigned long long>(
+                                       e.mask))));
         out.push_back(vpn);
     }
     ++nominations_;

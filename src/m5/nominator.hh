@@ -62,17 +62,20 @@ class Nominator
     Nominator(NominatorKind kind, const PageTable &pt,
               std::size_t hpa_capacity = 4096);
 
-    /** Feed a fresh HPT query result (ignored by HwtDriven). */
-    void updateFromHpt(const std::vector<TopKEntry> &hot_pages);
+    /** Feed a fresh HPT query result (ignored by HwtDriven).  `now` is
+     *  the simulated time stamped on nominator.track trace events. */
+    void updateFromHpt(const std::vector<TopKEntry> &hot_pages,
+                       Tick now = 0);
 
     /** Feed a fresh HWT query result (ignored by HptOnly). */
-    void updateFromHwt(const std::vector<TopKEntry> &hot_words);
+    void updateFromHwt(const std::vector<TopKEntry> &hot_words,
+                       Tick now = 0);
 
     /**
      * Produce up to max_pages nominated VPNs, best candidate first, and
      * consume the nominated entries.
      */
-    std::vector<Vpn> nominate(std::size_t max_pages);
+    std::vector<Vpn> nominate(std::size_t max_pages, Tick now = 0);
 
     /** Current _HPA contents (tests / inspection). */
     std::vector<HpaEntry> hpa() const;
@@ -93,7 +96,8 @@ class Nominator
     void registerStats(StatRegistry &reg) const;
 
   private:
-    void insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask);
+    void insertOrUpdate(Pfn pfn, std::uint64_t count, std::uint64_t mask,
+                        Tick now);
     void evictColdest();
 
     NominatorKind kind_;

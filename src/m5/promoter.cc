@@ -1,5 +1,7 @@
 #include "m5/promoter.hh"
 
+#include "telemetry/trace.hh"
+
 namespace m5 {
 
 Promoter::Promoter(const PageTable &pt, MigrationEngine &engine)
@@ -12,17 +14,32 @@ Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
 {
     Tick elapsed = 0;
     std::size_t issued = 0;
+    std::size_t rejected = 0;
     for (Vpn vpn : vpns) {
         ++stats_.requested;
         if (!engine_.canPromote(vpn)) {
             ++stats_.rejected;
+            ++rejected;
+            TRACE_EVENT(TraceCat::Promote, now + elapsed,
+                        "promoter.reject",
+                        TraceArgs().u("page", vpn)
+                                   .s("reason", pt_.pte(vpn).pinned
+                                          ? "pinned" : "not_on_cxl"));
             continue;
         }
         ++stats_.accepted;
         ++issued;
+        TRACE_EVENT(TraceCat::Promote, now + elapsed, "promoter.accept",
+                    TraceArgs().u("page", vpn));
         elapsed += engine_.promote(vpn, now + elapsed);
     }
     engine_.noteBatch(issued);
+    if (!vpns.empty()) {
+        TRACE_SPAN(TraceCat::Promote, now, elapsed, "promoter.batch",
+                   TraceArgs().u("requested", vpns.size())
+                              .u("accepted", issued)
+                              .u("rejected", rejected));
+    }
     return elapsed;
 }
 

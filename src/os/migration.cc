@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "os/costs.hh"
+#include "telemetry/trace.hh"
 
 namespace m5 {
 
@@ -79,10 +80,14 @@ MigrationEngine::promote(Vpn vpn, Tick now)
     const Pte &e = pt_.pte(vpn);
     if (!e.valid || e.node != kNodeCxl) {
         ++stats_.rejected_not_cxl;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", vpn).s("reason", "not_cxl"));
         return 0;
     }
     if (e.pinned) {
         ++stats_.rejected_pinned;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", vpn).s("reason", "pinned"));
         return 0;
     }
 
@@ -92,18 +97,31 @@ MigrationEngine::promote(Vpn vpn, Tick now)
         auto victims = mglru_.pickVictims(1);
         if (victims.empty()) {
             ++stats_.failed_capacity;
+            TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                        TraceArgs().u("page", vpn)
+                                   .s("reason", "failed_capacity"));
             return 0;
         }
         elapsed += demote(victims[0], now);
         if (alloc_.freeFrames(kNodeDdr) == 0) {
             ++stats_.failed_capacity;
+            TRACE_EVENT(TraceCat::Migrate, now + elapsed,
+                        "migration.reject",
+                        TraceArgs().u("page", vpn)
+                                   .s("reason", "failed_capacity"));
             return elapsed;
         }
     }
 
+    const Pfn src_pfn = e.pfn;
     elapsed += moveTo(vpn, kNodeDdr, now + elapsed);
     mglru_.insert(vpn);
     ++stats_.promoted;
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.promote",
+                TraceArgs().u("page", vpn)
+                           .u("src_pfn", src_pfn)
+                           .u("dst_pfn", pt_.pte(vpn).pfn)
+                           .u("busy", elapsed));
     return elapsed;
 }
 
@@ -114,6 +132,10 @@ MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
     for (Vpn vpn : vpns)
         elapsed += promote(vpn, now + elapsed);
     noteBatch(vpns.size());
+    if (!vpns.empty()) {
+        TRACE_SPAN(TraceCat::Migrate, now, elapsed, "migration.batch",
+                   TraceArgs().u("pages", vpns.size()));
+    }
     return elapsed;
 }
 
@@ -125,8 +147,14 @@ MigrationEngine::demote(Vpn vpn, Tick now)
               "demote of non-DDR vpn %lu", static_cast<unsigned long>(vpn));
     if (mglru_.contains(vpn))
         mglru_.remove(vpn);
+    const Pfn src_pfn = e.pfn;
     const Tick elapsed = moveTo(vpn, kNodeCxl, now);
     ++stats_.demoted;
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.demote",
+                TraceArgs().u("page", vpn)
+                           .u("src_pfn", src_pfn)
+                           .u("dst_pfn", pt_.pte(vpn).pfn)
+                           .u("busy", elapsed));
     return elapsed;
 }
 

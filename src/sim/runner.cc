@@ -159,6 +159,15 @@ runJob(const SweepJob &job)
             cfg.telemetry.path = telemetryPathForLabel(*dir, job.label());
         }
     }
+    if (cfg.trace.path.empty()) {
+        // Same label-keyed scheme for Chrome traces: each cell's
+        // .trace.json is named by the grid cell, not by the worker, so
+        // a 1-worker sweep and an N-worker sweep write identical files.
+        if (const auto dir = benchTraceDir()) {
+            std::filesystem::create_directories(*dir);
+            cfg.trace.path = tracePathForLabel(*dir, job.label());
+        }
+    }
     TieredSystem sys(cfg);
     return sys.run(job.budget);
 }
@@ -266,8 +275,18 @@ benchTelemetryDir()
     return dir;
 }
 
+std::optional<std::string>
+benchTraceDir()
+{
+    auto dir = envString("M5_BENCH_TRACE");
+    if (dir && dir->empty())
+        return std::nullopt;
+    return dir;
+}
+
 std::string
-telemetryPathForLabel(const std::string &dir, const std::string &label)
+artifactPathForLabel(const std::string &dir, const std::string &label,
+                     const std::string &suffix)
 {
     std::string flat = label;
     for (char &c : flat) {
@@ -277,7 +296,19 @@ telemetryPathForLabel(const std::string &dir, const std::string &label)
         if (!keep)
             c = '_';
     }
-    return dir + "/" + flat + ".jsonl";
+    return dir + "/" + flat + suffix;
+}
+
+std::string
+telemetryPathForLabel(const std::string &dir, const std::string &label)
+{
+    return artifactPathForLabel(dir, label, ".jsonl");
+}
+
+std::string
+tracePathForLabel(const std::string &dir, const std::string &label)
+{
+    return artifactPathForLabel(dir, label, ".trace.json");
 }
 
 std::vector<std::string>

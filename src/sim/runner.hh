@@ -151,12 +151,28 @@ unsigned benchJobs();
  *  that runJob fills with one `<cell-label>.jsonl` stream per sweep
  *  cell (docs/TELEMETRY.md).  nullopt when unset. */
 std::optional<std::string> benchTelemetryDir();
+
+/** Per-cell trace directory; M5_BENCH_TRACE names a directory that
+ *  runJob fills with one `<cell-label>.trace.json` Chrome trace per
+ *  sweep cell (docs/TRACING.md).  nullopt when unset. */
+std::optional<std::string> benchTraceDir();
 /** @} */
 
-/** Deterministic telemetry file path for a sweep-cell label: the label
- *  with '/' flattened to '_', rooted at `dir`, suffixed `.jsonl`. */
+/** Deterministic artifact path for a sweep-cell label: the label with
+ *  non-filename characters flattened to '_', rooted at `dir`, with
+ *  `suffix` appended.  Shared by the telemetry and trace sinks so a
+ *  cell's files always sit side by side. */
+std::string artifactPathForLabel(const std::string &dir,
+                                 const std::string &label,
+                                 const std::string &suffix);
+
+/** artifactPathForLabel with the telemetry `.jsonl` suffix. */
 std::string telemetryPathForLabel(const std::string &dir,
                                   const std::string &label);
+
+/** artifactPathForLabel with the Chrome-trace `.trace.json` suffix. */
+std::string tracePathForLabel(const std::string &dir,
+                              const std::string &label);
 
 /** @{ Stable CSV serialization of RunResult, used by the determinism
  *  test and the M5_BENCH_CSV emission path. */

@@ -50,6 +50,11 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
     placePages();
     buildController();
     buildPolicy();
+    // The tracer exists only when tracing is on, so a tracing-disabled
+    // run's telemetry carries no telemetry.trace.* rows and stays
+    // byte-identical to a run built before tracing existed.
+    if (cfg_.trace.enabled())
+        tracer_ = std::make_unique<Tracer>(cfg_.trace);
     registerStats();
     if (!cfg_.telemetry.path.empty())
         telem_ = std::make_unique<EpochSnapshotter>(stats_, cfg_.telemetry);
@@ -77,6 +82,8 @@ TieredSystem::registerStats()
         memtis_->registerStats(stats_);
     if (m5_)
         m5_->registerStats(stats_);
+    if (tracer_)
+        tracer_->registerStats(stats_);
 }
 
 void
@@ -281,10 +288,29 @@ TieredSystem::scheduleTelemetry(Tick when)
     });
 }
 
+void
+TieredSystem::scheduleTraceEpoch(Tick when)
+{
+    // Like telemetry, the trace epoch event only observes: zero simulated
+    // time, so tracing never changes results.
+    events_.schedule(when, [this](Tick now) -> Tick {
+        if (tracer_->enabled(TraceCat::Sim)) {
+            tracer_->span(TraceCat::Sim, trace_epoch_start_,
+                          now - trace_epoch_start_, "epoch",
+                          TraceArgs().u("epoch", trace_epoch_idx_));
+        }
+        trace_epoch_start_ = now;
+        ++trace_epoch_idx_;
+        scheduleTraceEpoch(now + cfg_.trace.epoch_period);
+        return 0;
+    });
+}
+
 Tick
 TieredSystem::issueAccess(const AccessEvent &ev)
 {
     const Vpn vpn = vpnOf(ev.va);
+    TRACE_PAGE_ACCESS(vpn, core_.now());
     Pfn pfn;
     if (!tlb_->lookup(vpn, pfn)) {
         Pte &e = pt_->pte(vpn);
@@ -331,6 +357,12 @@ TieredSystem::issueAccess(const AccessEvent &ev)
 RunResult
 TieredSystem::run(std::uint64_t num_accesses)
 {
+    // Bind this system's tracer to the executing thread for the duration
+    // of the run; parallel sweep workers each bind their own cell's
+    // tracer, which keeps per-cell traces byte-identical across pool
+    // sizes.
+    const TraceBinding trace_binding(tracer_.get());
+
     monitor_->sample(core_.now());
 
     // Periodic events: policy daemon, MGLRU aging, WAC window rotation.
@@ -345,6 +377,10 @@ TieredSystem::run(std::uint64_t num_accesses)
             scheduleWacRotation(core_.now() + cfg_.wac_window_period);
         if (telem_)
             scheduleTelemetry(core_.now() + cfg_.telemetry.epoch_period);
+        if (tracer_) {
+            trace_epoch_start_ = core_.now();
+            scheduleTraceEpoch(core_.now() + cfg_.trace.epoch_period);
+        }
     }
 
     const std::uint64_t warmup = static_cast<std::uint64_t>(
@@ -421,11 +457,25 @@ TieredSystem::run(std::uint64_t num_accesses)
     r.baseline_cycles = ledger_.category(KernelWork::Baseline);
     if (daemon_)
         r.hot_pages = daemon_->hotPages().pages();
+    // Close the open trace epoch span before the final telemetry sample
+    // so telemetry.trace.emitted is settled in the rollup, then export.
+    if (tracer_) {
+        if (tracer_->enabled(TraceCat::Sim) &&
+            core_.now() > trace_epoch_start_) {
+            tracer_->span(TraceCat::Sim, trace_epoch_start_,
+                          core_.now() - trace_epoch_start_, "epoch",
+                          TraceArgs().u("epoch", trace_epoch_idx_));
+        }
+        trace_epoch_start_ = core_.now();
+        ++trace_epoch_idx_;
+    }
     // The final telemetry sample is written after every counter above has
     // settled, so the last JSONL line matches the end-of-run rollup
     // exactly (tools print it via EpochSnapshotter::rollupTable).
     if (telem_)
         telem_->finish(core_.now());
+    if (tracer_)
+        tracer_->save();
     return r;
 }
 

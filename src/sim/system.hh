@@ -34,6 +34,7 @@
 #include "sim/engine.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/snapshot.hh"
+#include "telemetry/trace.hh"
 #include "workloads/registry.hh"
 #include "workloads/trace.hh"
 
@@ -133,6 +134,10 @@ struct SystemConfig
     //! `telemetry.path` is empty.  The epoch event consumes zero
     //! simulated time, so results are identical either way.
     TelemetryConfig telemetry;
+    //! Causal event tracing (docs/TRACING.md); disabled unless
+    //! `trace.enabled()`.  Tracing only observes — results and telemetry
+    //! are byte-identical with it off.
+    TraceConfig trace;
 };
 
 /** Results of one run. */
@@ -188,6 +193,7 @@ class TieredSystem
     CpuCore &core() { return core_; }
     const StatRegistry &stats() const { return stats_; }
     EpochSnapshotter *telemetry() { return telem_.get(); }
+    Tracer *tracer() { return tracer_.get(); }
     /** @} */
 
   private:
@@ -201,6 +207,7 @@ class TieredSystem
     void scheduleAging(Tick when);
     void scheduleWacRotation(Tick when);
     void scheduleTelemetry(Tick when);
+    void scheduleTraceEpoch(Tick when);
 
     SystemConfig cfg_;
     std::unique_ptr<Workload> workload_;
@@ -228,6 +235,9 @@ class TieredSystem
     Tick kernel_debt_ = 0; //!< Outstanding preemptible daemon work.
     StatRegistry stats_;
     std::unique_ptr<EpochSnapshotter> telem_;
+    std::unique_ptr<Tracer> tracer_;
+    Tick trace_epoch_start_ = 0;     //!< Start of the open epoch span.
+    std::uint64_t trace_epoch_idx_ = 0;
 };
 
 } // namespace m5

@@ -24,7 +24,7 @@ SortedTopK::pruneHeap() const
     }
 }
 
-void
+TopKDelta
 SortedTopK::offer(std::uint64_t tag, std::uint64_t count)
 {
     // Bound the lazy heap: rebuild from the live table when stale items
@@ -44,21 +44,23 @@ SortedTopK::offer(std::uint64_t tag, std::uint64_t count)
             it->second = count;
             min_heap_.push({count, tag});
         }
-        return;
+        return {};
     }
     if (table_.size() < k_) {
         table_.emplace(tag, count);
         min_heap_.push({count, tag});
-        return;
+        return {true, false, 0};
     }
     pruneHeap();
     m5_assert(!min_heap_.empty(), "top-K heap lost its entries");
     if (count <= min_heap_.top().count)
-        return;
-    table_.erase(min_heap_.top().tag);
+        return {};
+    const std::uint64_t evicted_tag = min_heap_.top().tag;
+    table_.erase(evicted_tag);
     min_heap_.pop();
     table_.emplace(tag, count);
     min_heap_.push({count, tag});
+    return {true, true, evicted_tag};
 }
 
 std::vector<TopKEntry>

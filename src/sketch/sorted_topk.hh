@@ -28,6 +28,18 @@ struct TopKEntry
     std::uint64_t count; //!< Estimated access count.
 };
 
+/**
+ * What one update did to a top-K structure.  Plain data, so the sketch
+ * layer stays free of any tracing dependency; HPT/HWT turn deltas into
+ * trace events (docs/TRACING.md).
+ */
+struct TopKDelta
+{
+    bool inserted = false;         //!< A new tag entered the table.
+    bool evicted = false;          //!< An old tag was displaced.
+    std::uint64_t evicted_tag = 0; //!< Valid when `evicted`.
+};
+
 /** Sorted top-K CAM: keeps the K hottest addresses seen this epoch. */
 class SortedTopK
 {
@@ -41,8 +53,10 @@ class SortedTopK
      * Hit: update the matched entry's count.  Miss: if count exceeds the
      * table minimum (or the table is not full), install the pair,
      * evicting the minimum entry.
+     *
+     * @return What the offer did to the table.
      */
-    void offer(std::uint64_t tag, std::uint64_t count);
+    TopKDelta offer(std::uint64_t tag, std::uint64_t count);
 
     /** Entries sorted by descending count. */
     std::vector<TopKEntry> entries() const;

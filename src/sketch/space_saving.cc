@@ -12,7 +12,7 @@ SpaceSaving::SpaceSaving(std::size_t n) : n_(n)
     by_key_.reserve(n);
 }
 
-void
+TopKDelta
 SpaceSaving::update(std::uint64_t key)
 {
     auto it = by_key_.find(key);
@@ -21,21 +21,23 @@ SpaceSaving::update(std::uint64_t key)
         by_count_.erase(it->second.second);
         ++info.count;
         it->second.second = by_count_.emplace(info.count, key);
-        return;
+        return {};
     }
     if (by_key_.size() < n_) {
         auto pos = by_count_.emplace(1, key);
         by_key_.emplace(key, std::make_pair(Info{1, 0}, pos));
-        return;
+        return {true, false, 0};
     }
     // Evict the minimum-count entry; the newcomer inherits min+1 with
     // overestimation error min (standard Space-Saving).
     auto min_it = by_count_.begin();
     const std::uint64_t min_count = min_it->first;
+    const std::uint64_t evicted_tag = min_it->second;
     by_key_.erase(min_it->second);
     by_count_.erase(min_it);
     auto pos = by_count_.emplace(min_count + 1, key);
     by_key_.emplace(key, std::make_pair(Info{min_count + 1, min_count}, pos));
+    return {true, true, evicted_tag};
 }
 
 std::uint64_t

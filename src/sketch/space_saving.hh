@@ -29,8 +29,8 @@ class SpaceSaving
     /** @param n Number of monitored counters (CAM entries). */
     explicit SpaceSaving(std::size_t n);
 
-    /** Record one access to key. */
-    void update(std::uint64_t key);
+    /** Record one access to key. @return What the update did. */
+    TopKDelta update(std::uint64_t key);
 
     /** Estimated count of key (0 if unmonitored). */
     std::uint64_t estimate(std::uint64_t key) const;

@@ -24,11 +24,11 @@ CmSketchTracker::CmSketchTracker(const TrackerConfig &cfg)
 {
 }
 
-void
+TopKDelta
 CmSketchTracker::access(std::uint64_t key)
 {
     const std::uint64_t est = sketch_.update(key);
-    cam_.offer(key, est);
+    return cam_.offer(key, est);
 }
 
 std::vector<TopKEntry>
@@ -55,10 +55,10 @@ SpaceSavingTracker::SpaceSavingTracker(const TrackerConfig &cfg)
 {
 }
 
-void
+TopKDelta
 SpaceSavingTracker::access(std::uint64_t key)
 {
-    ss_.update(key);
+    return ss_.update(key);
 }
 
 std::vector<TopKEntry>

@@ -47,8 +47,8 @@ class TopKTracker
   public:
     virtual ~TopKTracker() = default;
 
-    /** Observe one access to key. */
-    virtual void access(std::uint64_t key) = 0;
+    /** Observe one access to key. @return What it did to the top-K. */
+    virtual TopKDelta access(std::uint64_t key) = 0;
 
     /** Report the current top-K, descending by estimated count. */
     virtual std::vector<TopKEntry> query() const = 0;
@@ -75,7 +75,7 @@ class CmSketchTracker : public TopKTracker
   public:
     explicit CmSketchTracker(const TrackerConfig &cfg);
 
-    void access(std::uint64_t key) override;
+    TopKDelta access(std::uint64_t key) override;
     std::vector<TopKEntry> query() const override;
     void reset() override;
     std::uint64_t estimate(std::uint64_t key) const override;
@@ -97,7 +97,7 @@ class SpaceSavingTracker : public TopKTracker
   public:
     explicit SpaceSavingTracker(const TrackerConfig &cfg);
 
-    void access(std::uint64_t key) override;
+    TopKDelta access(std::uint64_t key) override;
     std::vector<TopKEntry> query() const override;
     void reset() override;
     std::uint64_t estimate(std::uint64_t key) const override;

@@ -1,5 +1,7 @@
 #include "telemetry/registry.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace m5 {
@@ -44,6 +46,23 @@ StatHistogram::add(std::uint64_t value, std::uint64_t weight)
     }
     counts_[bucket] += weight;
     total_ += weight;
+}
+
+std::uint64_t
+StatHistogram::percentile(double p) const
+{
+    m5_assert(p > 0.0 && p <= 100.0, "percentile wants 0 < p <= 100");
+    if (total_ == 0)
+        return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank)
+            return i < edges_.size() ? edges_[i] : edges_.back();
+    }
+    return edges_.back();
 }
 
 void

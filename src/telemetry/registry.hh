@@ -53,6 +53,14 @@ class StatHistogram
     /** Total observations across all buckets. */
     std::uint64_t total() const { return total_; }
 
+    /**
+     * The p-th percentile (0 < p <= 100) as the upper edge of the bucket
+     * holding the ceil(p/100 * total)-th observation.  Observations in
+     * the overflow bucket report the last edge (the histogram cannot
+     * bound them); an empty histogram reports 0.
+     */
+    std::uint64_t percentile(double p) const;
+
   private:
     std::vector<std::uint64_t> edges_;
     std::vector<std::uint64_t> counts_;

@@ -38,7 +38,11 @@ EpochSnapshotter::formatValue(const StatSample &s)
         const auto &counts = s.hist->counts();
         for (std::size_t i = 0; i < counts.size(); ++i)
             v += (i ? "," : "") + std::to_string(counts[i]);
-        v += "],\"total\":" + std::to_string(s.hist->total()) + "}";
+        v += "],\"total\":" + std::to_string(s.hist->total());
+        v += ",\"p50\":" + std::to_string(s.hist->percentile(50.0));
+        v += ",\"p90\":" + std::to_string(s.hist->percentile(90.0));
+        v += ",\"p99\":" + std::to_string(s.hist->percentile(99.0));
+        v += "}";
         return v;
       }
     }
@@ -80,9 +84,20 @@ EpochSnapshotter::finish(Tick now)
 TextTable
 EpochSnapshotter::rollupTable() const
 {
-    TextTable table({"stat", "value"});
-    for (const StatSample &s : reg_.sample())
-        table.addRow({s.name, formatValue(s)});
+    // Histogram rows get percentile columns; the value column keeps the
+    // full JSON fragment so the rollup still byte-matches the final JSONL
+    // line field for field (tools/telemetry_smoke.sh).
+    TextTable table({"stat", "value", "p50", "p90", "p99"});
+    for (const StatSample &s : reg_.sample()) {
+        if (s.kind == StatSample::Kind::Histogram) {
+            table.addRow({s.name, formatValue(s),
+                          std::to_string(s.hist->percentile(50.0)),
+                          std::to_string(s.hist->percentile(90.0)),
+                          std::to_string(s.hist->percentile(99.0))});
+        } else {
+            table.addRow({s.name, formatValue(s), "-", "-", "-"});
+        }
+    }
     return table;
 }
 

@@ -9,10 +9,12 @@
  *
  * Counters serialize as integers, gauges as %.17g doubles (round-trip
  * exact, the same convention as the runner's CSV rows), histograms as
- * {"edges":[..],"counts":[..],"total":n}.  finish() writes the final
- * sample; rollupTable() renders the same sample as a TextTable so the
- * end-of-run summary a tool prints (via emitTable) matches the last
- * JSONL line field for field.
+ * {"edges":[..],"counts":[..],"total":n,"p50":..,"p90":..,"p99":..}
+ * (percentiles report the upper edge of the holding bucket).  finish()
+ * writes the final sample; rollupTable() renders the same sample as a
+ * TextTable — histogram rows additionally break the percentiles out into
+ * p50/p90/p99 columns — so the end-of-run summary a tool prints (via
+ * emitTable) matches the last JSONL line field for field.
  *
  * The snapshotter only *reads* registered statistics and its epoch event
  * consumes zero simulated CPU time, so enabling telemetry never changes

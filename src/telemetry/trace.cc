@@ -1,0 +1,462 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+thread_local Tracer *t_bound_tracer = nullptr;
+
+constexpr TraceCat kAllCats[] = {
+    TraceCat::Sim,     TraceCat::Monitor, TraceCat::Nominate,
+    TraceCat::Elect,   TraceCat::Promote, TraceCat::Migrate,
+    TraceCat::Cxl,     TraceCat::Access,
+};
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += strprintf("\\u%04x", static_cast<unsigned>(c));
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** A Tick (ns) as Chrome's microsecond timestamp, exact to the ns. */
+std::string
+ticksToChromeUs(Tick t)
+{
+    return strprintf("%llu.%03llu",
+                     static_cast<unsigned long long>(t / 1000),
+                     static_cast<unsigned long long>(t % 1000));
+}
+
+/** One argument value as its JSON fragment (%.17g doubles, like
+ *  telemetry). */
+std::string
+argValueJson(const TraceArg &a)
+{
+    switch (a.kind) {
+      case TraceArg::Kind::U64:
+        return std::to_string(a.u);
+      case TraceArg::Kind::F64:
+        return std::isfinite(a.d) ? strprintf("%.17g", a.d)
+                                  : std::string("null");
+      case TraceArg::Kind::Str:
+        return "\"" + escapeJson(a.s) + "\"";
+    }
+    m5_panic("unknown TraceArg kind");
+}
+
+/** One argument value for ledger text (strings unquoted). */
+std::string
+argValueText(const TraceArg &a)
+{
+    switch (a.kind) {
+      case TraceArg::Kind::U64:
+        return std::to_string(a.u);
+      case TraceArg::Kind::F64:
+        return std::isfinite(a.d) ? strprintf("%.17g", a.d)
+                                  : std::string("nan");
+      case TraceArg::Kind::Str:
+        return a.s;
+    }
+    m5_panic("unknown TraceArg kind");
+}
+
+/** The ledger's verb for a pipeline event name (empty = not a page
+ *  lifecycle stage). */
+std::string
+ledgerVerb(const std::string &name)
+{
+    if (name == "nominator.track")
+        return "tracked";
+    if (name == "nominator.nominate")
+        return "nominated";
+    if (name == "promoter.accept")
+        return "accepted by promoter";
+    if (name == "promoter.reject")
+        return "rejected by promoter";
+    if (name == "migration.promote")
+        return "migrated to DDR";
+    if (name == "migration.demote")
+        return "demoted to CXL";
+    if (name == "migration.reject")
+        return "migration rejected";
+    return name;
+}
+
+} // namespace
+
+std::string
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Sim:
+        return "sim";
+      case TraceCat::Monitor:
+        return "monitor";
+      case TraceCat::Nominate:
+        return "nominate";
+      case TraceCat::Elect:
+        return "elect";
+      case TraceCat::Promote:
+        return "promote";
+      case TraceCat::Migrate:
+        return "migrate";
+      case TraceCat::Cxl:
+        return "cxl";
+      case TraceCat::Access:
+        return "access";
+    }
+    m5_panic("unknown TraceCat");
+}
+
+unsigned
+traceCatLane(TraceCat cat)
+{
+    const auto bits = static_cast<std::uint32_t>(cat);
+    unsigned lane = 0;
+    for (std::uint32_t b = bits; b > 1; b >>= 1)
+        ++lane;
+    return lane;
+}
+
+std::uint32_t
+parseTraceCats(const std::string &csv)
+{
+    if (csv.empty())
+        m5_fatal("empty trace category list");
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok = csv.substr(pos,
+            comma == std::string::npos ? std::string::npos : comma - pos);
+        pos = comma == std::string::npos ? csv.size() + 1 : comma + 1;
+        if (tok.empty())
+            m5_fatal("empty token in trace category list '%s'", csv.c_str());
+        if (tok == "all") {
+            mask |= kTraceAllCats;
+            continue;
+        }
+        if (tok == "default") {
+            mask |= kTraceDefaultCats;
+            continue;
+        }
+        bool found = false;
+        for (TraceCat cat : kAllCats) {
+            if (tok == traceCatName(cat)) {
+                mask |= static_cast<std::uint32_t>(cat);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            m5_fatal("unknown trace category '%s' "
+                     "(want sim|monitor|nominate|elect|promote|migrate|"
+                     "cxl|access|default|all)", tok.c_str());
+        }
+    }
+    return mask;
+}
+
+PageLedger::PageLedger(const TraceConfig &cfg) : cfg_(cfg)
+{
+}
+
+void
+PageLedger::observePage(Vpn page, Tick ts, const std::string &text)
+{
+    pages_[page].push_back({ts, next_seq_++, text});
+}
+
+void
+PageLedger::observeDecision(Tick ts, bool migrate, const std::string &text)
+{
+    decisions_.push_back({ts, next_seq_++, migrate, text});
+}
+
+void
+PageLedger::bucketAccess(Vpn page, Tick now)
+{
+    if (!cfg_.ledger_page || page != *cfg_.ledger_page)
+        return;
+    const Tick period = cfg_.epoch_period ? cfg_.epoch_period : 1;
+    const std::uint64_t epoch = now / period;
+    auto [it, inserted] = access_epochs_.try_emplace(epoch);
+    if (inserted) {
+        it->second.first_ts = epoch * period;
+        it->second.seq = next_seq_++;
+    }
+    ++it->second.count;
+}
+
+std::vector<LedgerRecord>
+PageLedger::lifecycle(Vpn page) const
+{
+    std::vector<LedgerRecord> out;
+
+    const auto pit = pages_.find(page);
+    if (pit != pages_.end())
+        out = pit->second;
+
+    if (cfg_.ledger_page && page == *cfg_.ledger_page) {
+        for (const auto &[epoch, bucket] : access_epochs_) {
+            out.push_back({bucket.first_ts, bucket.seq,
+                           strprintf("epoch %llu: %llu accesses",
+                               static_cast<unsigned long long>(epoch),
+                               static_cast<unsigned long long>(
+                                   bucket.count))});
+        }
+    }
+
+    // Elector decisions inside the page's active window: from its first
+    // pipeline event until it lands in DDR (or its last event).
+    if (pit != pages_.end() && !pit->second.empty()) {
+        Tick window_start = pit->second.front().ts;
+        Tick window_end = pit->second.back().ts;
+        for (const LedgerRecord &r : pit->second) {
+            window_start = std::min(window_start, r.ts);
+            window_end = std::max(window_end, r.ts);
+            if (r.text.rfind("migrated to DDR", 0) == 0) {
+                window_end = r.ts;
+                break;
+            }
+        }
+        for (const Decision &d : decisions_) {
+            if (d.ts < window_start || d.ts > window_end)
+                continue;
+            out.push_back({d.ts, d.seq,
+                           (d.migrate ? "elected (" : "deferred (") +
+                               d.text + ")"});
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+        [](const LedgerRecord &a, const LedgerRecord &b) {
+            if (a.ts != b.ts)
+                return a.ts < b.ts;
+            return a.seq < b.seq;
+        });
+    return out;
+}
+
+std::vector<Vpn>
+PageLedger::migratedPages() const
+{
+    std::vector<Vpn> out;
+    for (const auto &[page, records] : pages_) {
+        for (const LedgerRecord &r : records) {
+            if (r.text.rfind("migrated to DDR", 0) == 0) {
+                out.push_back(page);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Vpn>
+PageLedger::trackedPages() const
+{
+    std::vector<Vpn> out;
+    out.reserve(pages_.size());
+    for (const auto &[page, records] : pages_)
+        out.push_back(page);
+    return out;
+}
+
+Tracer::Tracer(const TraceConfig &cfg) : cfg_(cfg), ledger_(cfg_)
+{
+    m5_assert(cfg_.ring_capacity > 0, "Tracer needs ring capacity > 0");
+}
+
+std::string
+Tracer::renderArgs(const std::vector<TraceArg> &args)
+{
+    std::string out;
+    for (const TraceArg &a : args) {
+        if (a.key == "page")
+            continue; // The ledger already keys on the page.
+        if (!out.empty())
+            out += ", ";
+        out += a.key + "=" + argValueText(a);
+    }
+    return out;
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    // Feed the ledger before ring admission so overflow never truncates
+    // a page's lifecycle.
+    if (cfg_.ledger) {
+        if (ev.name == "elector.decision") {
+            bool migrate = false;
+            for (const TraceArg &a : ev.args) {
+                if (a.key == "migrate")
+                    migrate = a.u != 0;
+            }
+            ledger_.observeDecision(ev.ts, migrate, renderArgs(ev.args));
+        } else if (ev.name == "page.access") {
+            // Raw accesses reach the ledger via bucketAccess() only;
+            // per-event records would swamp the lifecycle.
+        } else {
+            for (const TraceArg &a : ev.args) {
+                if (a.key != "page" || a.kind != TraceArg::Kind::U64)
+                    continue;
+                std::string text = ledgerVerb(ev.name);
+                const std::string detail = renderArgs(ev.args);
+                if (!detail.empty())
+                    text += " (" + detail + ")";
+                ledger_.observePage(static_cast<Vpn>(a.u), ev.ts, text);
+                break;
+            }
+        }
+    }
+
+    ++emitted_;
+    if (ring_.size() >= cfg_.ring_capacity) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+    ring_.push_back(std::move(ev));
+}
+
+void
+Tracer::instant(TraceCat cat, Tick ts, const char *name,
+                const TraceArgs &args)
+{
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.cat = cat;
+    ev.ph = 'i';
+    ev.name = name;
+    ev.args = args.list();
+    record(std::move(ev));
+}
+
+void
+Tracer::span(TraceCat cat, Tick ts, Tick dur, const char *name,
+             const TraceArgs &args)
+{
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.cat = cat;
+    ev.ph = 'X';
+    ev.name = name;
+    ev.args = args.list();
+    record(std::move(ev));
+}
+
+void
+Tracer::pageAccess(Vpn vpn, Tick now)
+{
+    if (cfg_.ledger)
+        ledger_.bucketAccess(vpn, now);
+    if (!enabled(TraceCat::Access))
+        return;
+    if (cfg_.ledger_page && vpn != *cfg_.ledger_page)
+        return;
+    instant(TraceCat::Access, now, "page.access",
+            TraceArgs().u("page", vpn));
+}
+
+void
+Tracer::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("telemetry.trace.emitted", &emitted_);
+    reg.addCounter("telemetry.trace.dropped", &dropped_);
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto emit = [&](const std::string &obj) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << obj;
+    };
+
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"m5sim\"}}");
+    for (TraceCat cat : kAllCats) {
+        emit(strprintf("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                       "\"name\":\"thread_name\","
+                       "\"args\":{\"name\":\"%s\"}}",
+                       traceCatLane(cat), traceCatName(cat).c_str()));
+    }
+
+    for (const TraceEvent &ev : ring_) {
+        std::string obj = strprintf(
+            "{\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%s,",
+            ev.ph, traceCatLane(ev.cat), ticksToChromeUs(ev.ts).c_str());
+        if (ev.ph == 'X')
+            obj += "\"dur\":" + ticksToChromeUs(ev.dur) + ",";
+        if (ev.ph == 'i')
+            obj += "\"s\":\"t\",";
+        obj += "\"cat\":\"" + traceCatName(ev.cat) + "\",";
+        obj += "\"name\":\"" + escapeJson(ev.name) + "\",\"args\":{";
+        bool first_arg = true;
+        for (const TraceArg &a : ev.args) {
+            if (!first_arg)
+                obj += ",";
+            first_arg = false;
+            obj += "\"" + escapeJson(a.key) + "\":" + argValueJson(a);
+        }
+        obj += "}}";
+        emit(obj);
+    }
+    os << "\n]}\n";
+}
+
+void
+Tracer::save() const
+{
+    if (cfg_.path.empty())
+        return;
+    std::ofstream out(cfg_.path, std::ios::out | std::ios::trunc);
+    if (!out)
+        m5_fatal("cannot open trace file '%s'", cfg_.path.c_str());
+    exportChromeTrace(out);
+    out.flush();
+    if (!out)
+        m5_fatal("error writing trace file '%s'", cfg_.path.c_str());
+}
+
+Tracer *
+traceCurrent()
+{
+    return t_bound_tracer;
+}
+
+TraceBinding::TraceBinding(Tracer *tracer) : prev_(t_bound_tracer)
+{
+    t_bound_tracer = tracer;
+}
+
+TraceBinding::~TraceBinding()
+{
+    t_bound_tracer = prev_;
+}
+
+} // namespace m5

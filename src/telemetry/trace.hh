@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Causal event tracing: the "why" companion to the StatRegistry's "how
+ * much" (docs/TRACING.md).
+ *
+ * Components emit category-gated structured events — duration spans and
+ * instants keyed by *simulated* time, never wall clock — into a per-run
+ * ring buffer via the TRACE_SPAN / TRACE_EVENT macros.  The buffer
+ * exports Chrome trace_event JSON loadable in Perfetto or
+ * chrome://tracing, one lane per category, and feeds a per-page
+ * lifecycle ledger so `m5trace explain --page N` can reconstruct the
+ * ordered history of a single page through the decision pipeline
+ * (accesses -> tracked -> nominated -> elected/deferred -> migrated).
+ *
+ * Determinism contract: events carry only simulated Ticks and values the
+ * simulation itself computed, the ring is per-TieredSystem (bound to the
+ * emitting thread via TraceBinding), and the export formats numbers with
+ * the same %.17g convention as telemetry, so traces are byte-identical
+ * across reruns and worker counts (docs/RUNNER.md).  The m5lint rule
+ * `no-wallclock-trace` rejects wall-clock expressions at TRACE_* sites.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+/** Event categories; one bit (and one export lane) each. */
+enum class TraceCat : std::uint32_t
+{
+    Sim      = 1u << 0, //!< Epoch spans, manager wakeups.
+    Monitor  = 1u << 1, //!< Bandwidth samples.
+    Nominate = 1u << 2, //!< _HPA tracking and nominations.
+    Elect    = 1u << 3, //!< Algorithm 1 accept/defer decisions.
+    Promote  = 1u << 4, //!< Promoter batch validation.
+    Migrate  = 1u << 5, //!< migrate_pages() execution.
+    Cxl      = 1u << 6, //!< HPT/HWT top-K insertions and evictions.
+    Access   = 1u << 7, //!< Per-access page events (very hot; off by
+                        //!< default).
+};
+
+/** Every category bit. */
+inline constexpr std::uint32_t kTraceAllCats = 0xffu;
+/** Default mask: everything except the per-access firehose. */
+inline constexpr std::uint32_t kTraceDefaultCats =
+    kTraceAllCats & ~static_cast<std::uint32_t>(TraceCat::Access);
+
+/** Lower-case category name ("sim", "monitor", ...). */
+std::string traceCatName(TraceCat cat);
+
+/** Export lane (Chrome tid) of a category: bit index, 0-based. */
+unsigned traceCatLane(TraceCat cat);
+
+/** Parse a comma-separated category list ("elect,promote" or "all");
+ *  fatal on an unknown name, like the CLIs' strict numeric parsing. */
+std::uint32_t parseTraceCats(const std::string &csv);
+
+/** One structured argument of an event. */
+struct TraceArg
+{
+    enum class Kind { U64, F64, Str };
+
+    std::string key;
+    Kind kind = Kind::U64;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    std::string s;
+};
+
+/** Chainable argument-list builder for the TRACE_* macros. */
+class TraceArgs
+{
+  public:
+    TraceArgs &
+    u(const char *key, std::uint64_t value)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = TraceArg::Kind::U64;
+        a.u = value;
+        args_.push_back(std::move(a));
+        return *this;
+    }
+
+    TraceArgs &
+    d(const char *key, double value)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = TraceArg::Kind::F64;
+        a.d = value;
+        args_.push_back(std::move(a));
+        return *this;
+    }
+
+    TraceArgs &
+    s(const char *key, std::string value)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = TraceArg::Kind::Str;
+        a.s = std::move(value);
+        args_.push_back(std::move(a));
+        return *this;
+    }
+
+    const std::vector<TraceArg> &list() const { return args_; }
+
+  private:
+    std::vector<TraceArg> args_;
+};
+
+/** One recorded event ('X' = complete span, 'i' = instant). */
+struct TraceEvent
+{
+    Tick ts = 0;   //!< Simulated start time (ns).
+    Tick dur = 0;  //!< Span duration (ns); 0 for instants.
+    TraceCat cat = TraceCat::Sim;
+    char ph = 'i';
+    std::string name;
+    std::vector<TraceArg> args;
+};
+
+/** Tracing knobs (part of SystemConfig); disabled by default. */
+struct TraceConfig
+{
+    //! Chrome trace_event JSON output path; empty = no file.
+    std::string path;
+    //! Keep events in memory even without an output file (tests,
+    //! m5trace explain).
+    bool collect = false;
+    //! Enabled-category bitmask (TraceCat bits).
+    std::uint32_t categories = kTraceDefaultCats;
+    //! Ring-buffer bound; the oldest event is dropped on overflow and
+    //! `telemetry.trace.dropped` counts the losses.
+    std::size_t ring_capacity = 1u << 20;
+    //! Simulated period of the "epoch" spans on the sim lane.
+    Tick epoch_period = msToTicks(1.0);
+    //! Maintain the per-page lifecycle ledger (m5trace explain).
+    bool ledger = false;
+    //! Bucket per-epoch access counts for this page into the ledger.
+    std::optional<Vpn> ledger_page;
+
+    /** True when any sink wants events. */
+    bool
+    enabled() const
+    {
+        return !path.empty() || collect || ledger;
+    }
+};
+
+/** One line of a reconstructed page lifecycle. */
+struct LedgerRecord
+{
+    Tick ts = 0;
+    std::uint64_t seq = 0; //!< Global observation order (tie-break).
+    std::string text;      //!< e.g. "nominated (pfn=12, count=9)".
+};
+
+/**
+ * The per-page lifecycle ledger.
+ *
+ * Fed by the Tracer *before* ring-buffer admission, so ring overflow
+ * never truncates a lifecycle.  Pipeline events (tracked / nominated /
+ * promoter and migration outcomes) are kept per page; Elector decisions
+ * are kept globally and merged into a page's window on reconstruction;
+ * raw accesses are only bucketed per epoch for the configured
+ * ledger_page, which bounds memory on long runs.
+ */
+class PageLedger
+{
+  public:
+    explicit PageLedger(const TraceConfig &cfg);
+
+    /** Record a pipeline event about `page`. */
+    void observePage(Vpn page, Tick ts, const std::string &text);
+
+    /** Record a global Elector decision. */
+    void observeDecision(Tick ts, bool migrate, const std::string &text);
+
+    /** Count one access to the configured ledger_page. */
+    void bucketAccess(Vpn page, Tick now);
+
+    /**
+     * The ordered lifecycle of one page: its access buckets and pipeline
+     * events, plus every Elector decision inside the page's active
+     * window (first pipeline event to migration or last event).
+     */
+    std::vector<LedgerRecord> lifecycle(Vpn page) const;
+
+    /** Pages with at least one successful promotion, ascending. */
+    std::vector<Vpn> migratedPages() const;
+
+    /** Pages with any pipeline event, ascending. */
+    std::vector<Vpn> trackedPages() const;
+
+  private:
+    struct Decision
+    {
+        Tick ts;
+        std::uint64_t seq;
+        bool migrate;
+        std::string text;
+    };
+
+    struct AccessBucket
+    {
+        Tick first_ts = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t count = 0;
+    };
+
+    const TraceConfig &cfg_;
+    std::uint64_t next_seq_ = 0;
+    std::map<Vpn, std::vector<LedgerRecord>> pages_;
+    std::vector<Decision> decisions_;
+    std::map<std::uint64_t, AccessBucket> access_epochs_; //!< ledger_page.
+};
+
+/**
+ * The per-run event sink: category gate, ring buffer, ledger, Chrome
+ * export.  One Tracer per TieredSystem; thread-bound via TraceBinding.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(const TraceConfig &cfg);
+
+    /** True when `cat` passes the category mask. */
+    bool
+    enabled(TraceCat cat) const
+    {
+        return (cfg_.categories & static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    /** Record an instant event at simulated time `ts`. */
+    void instant(TraceCat cat, Tick ts, const char *name,
+                 const TraceArgs &args = {});
+
+    /** Record a complete span [ts, ts+dur). */
+    void span(TraceCat cat, Tick ts, Tick dur, const char *name,
+              const TraceArgs &args = {});
+
+    /**
+     * Note one access to `vpn` at simulated time `now`: buckets the
+     * ledger_page's epoch counter and, when the Access category is on,
+     * emits a "page.access" instant.
+     */
+    void pageAccess(Vpn vpn, Tick now);
+
+    /** Ring-buffer contents, oldest first. */
+    const std::deque<TraceEvent> &events() const { return ring_; }
+
+    /** Events admitted to the ring. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Events evicted by ring overflow (drop-oldest). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Register `telemetry.trace.{emitted,dropped}` counters. */
+    void registerStats(StatRegistry &reg) const;
+
+    /** Write the ring as Chrome trace_event JSON. */
+    void exportChromeTrace(std::ostream &os) const;
+
+    /** Export to cfg.path (fatal on I/O error; no-op when empty). */
+    void save() const;
+
+    /** The lifecycle ledger. */
+    const PageLedger &ledger() const { return ledger_; }
+
+    /** The configuration in use. */
+    const TraceConfig &config() const { return cfg_; }
+
+  private:
+    void record(TraceEvent ev);
+    static std::string renderArgs(const std::vector<TraceArg> &args);
+
+    TraceConfig cfg_;
+    std::deque<TraceEvent> ring_;
+    PageLedger ledger_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** The Tracer bound to this thread (nullptr = tracing off). */
+Tracer *traceCurrent();
+
+/**
+ * RAII binding of a Tracer to the current thread for the duration of a
+ * TieredSystem::run().  Per-thread (like logSetThreadTag) so parallel
+ * sweep workers each trace their own cell — the basis of the 1-vs-N
+ * worker byte-identity guarantee.
+ */
+class TraceBinding
+{
+  public:
+    explicit TraceBinding(Tracer *tracer);
+    ~TraceBinding();
+
+    TraceBinding(const TraceBinding &) = delete;
+    TraceBinding &operator=(const TraceBinding &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+} // namespace m5
+
+/**
+ * Emission macros.  The argument expressions (including the TraceArgs
+ * chain) are evaluated only when a Tracer is bound *and* the category is
+ * enabled, so disabled tracing costs one thread-local load.  `ts` / `dur`
+ * must be simulated Ticks (m5lint: no-wallclock-trace).
+ */
+#define TRACE_EVENT(cat, ts, name, ...)                                    \
+    do {                                                                   \
+        if (::m5::Tracer *m5_tr_ = ::m5::traceCurrent();                   \
+            m5_tr_ != nullptr && m5_tr_->enabled(cat)) {                   \
+            m5_tr_->instant((cat), (ts), (name) __VA_OPT__(, __VA_ARGS__)); \
+        }                                                                  \
+    } while (0)
+
+#define TRACE_SPAN(cat, ts, dur, name, ...)                                \
+    do {                                                                   \
+        if (::m5::Tracer *m5_tr_ = ::m5::traceCurrent();                   \
+            m5_tr_ != nullptr && m5_tr_->enabled(cat)) {                   \
+            m5_tr_->span((cat), (ts), (dur),                               \
+                         (name) __VA_OPT__(, __VA_ARGS__));                \
+        }                                                                  \
+    } while (0)
+
+#define TRACE_PAGE_ACCESS(vpn, now)                                        \
+    do {                                                                   \
+        if (::m5::Tracer *m5_tr_ = ::m5::traceCurrent();                   \
+            m5_tr_ != nullptr) {                                           \
+            m5_tr_->pageAccess((vpn), (now));                              \
+        }                                                                  \
+    } while (0)

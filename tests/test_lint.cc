@@ -408,16 +408,64 @@ TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
     EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsAllEightRules)
+TEST(LintRules, CatalogueListsAllNineRules)
 {
     const auto &rules = m5lint::allRules();
-    EXPECT_EQ(rules.size(), 8u);
+    EXPECT_EQ(rules.size(), 9u);
     for (const char *r :
-         {"no-wallclock", "no-unseeded-rng", "no-unordered-result-iteration",
-          "no-raw-parse", "no-raw-output", "no-naked-new", "header-hygiene",
-          "no-untracked-stat"})
+         {"no-wallclock", "no-wallclock-trace", "no-unseeded-rng",
+          "no-unordered-result-iteration", "no-raw-parse", "no-raw-output",
+          "no-naked-new", "header-hygiene", "no-untracked-stat"})
         EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
             << r;
+}
+
+// ---------------------------------------------------------------------
+// no-wallclock-trace
+// ---------------------------------------------------------------------
+
+TEST(LintWallclockTrace, FiresOnChronoInTraceArgs)
+{
+    const auto d = run(
+        "src/m5/foo.cc",
+        "TRACE_EVENT(TraceCat::Sim, "
+        "std::chrono::steady_clock::now().time_since_epoch().count(), "
+        "\"bad\");\n");
+    EXPECT_EQ(countRule(d, "no-wallclock-trace"), 1u);
+}
+
+TEST(LintWallclockTrace, FiresAcrossWrappedMacroLines)
+{
+    const auto d = run("src/m5/foo.cc",
+                       "TRACE_SPAN(TraceCat::Migrate, start,\n"
+                       "           std::chrono::duration_cast<ns>(\n"
+                       "               wall_elapsed).count(),\n"
+                       "           \"batch\");\n");
+    EXPECT_EQ(countRule(d, "no-wallclock-trace"), 1u);
+    EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(LintWallclockTrace, SilentOnTickDomainArgsAndSuppressions)
+{
+    // Simulated-time arguments are the sanctioned form.
+    EXPECT_EQ(countRule(run("src/m5/foo.cc",
+                            "TRACE_EVENT(TraceCat::Elect, now, \"ok\",\n"
+                            "            TraceArgs().u(\"period\", "
+                            "period));\n"
+                            "TRACE_PAGE_ACCESS(vpn, core_.now());\n"),
+                        "no-wallclock-trace"), 0u);
+    // Wall-clock code *outside* a TRACE_* argument list is the plain
+    // no-wallclock rule's business, not this one's.
+    EXPECT_EQ(countRule(run("src/sim/runner.cc",
+                            "auto t0 = std::chrono::steady_clock::now();\n"
+                            "TRACE_EVENT(TraceCat::Sim, now, \"ok\");\n"),
+                        "no-wallclock-trace"), 0u);
+    // Inline suppression works like every other rule.
+    EXPECT_EQ(countRule(run("src/m5/foo.cc",
+                            "TRACE_EVENT(TraceCat::Sim, "
+                            "std::chrono::seconds(1).count(), \"x\"); "
+                            "// m5lint: allow(no-wallclock-trace)\n"),
+                        "no-wallclock-trace"), 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -270,8 +270,58 @@ TEST(EpochSnapshotterTest, RollupTableMatchesFinalSample)
     EXPECT_NE(text.find("\"x.v\":42"), std::string::npos);
     EXPECT_NE(text.find("\"x.g\":21"), std::string::npos);
     EXPECT_NE(
-        text.find("\"x.h\":{\"edges\":[8],\"counts\":[1,0],\"total\":1}"),
+        text.find("\"x.h\":{\"edges\":[8],\"counts\":[1,0],\"total\":1,"
+                  "\"p50\":8,\"p90\":8,\"p99\":8}"),
         std::string::npos);
+}
+
+TEST(EpochSnapshotterTest, RollupTableHasPercentileColumns)
+{
+    TempDir dir("rollup_pct");
+    StatRegistry reg;
+    StatHistogram hist({1, 2, 4, 8});
+    // 60 in [0,1), 30 in [2,4), 10 in the overflow bucket: p50 = 1,
+    // p90 = 4, p99 clamps to the last edge.
+    hist.add(0, 60);
+    hist.add(3, 30);
+    hist.add(100, 10);
+    std::uint64_t v = 7;
+    reg.addCounter("x.v", &v);
+    reg.addHistogram("x.h", &hist);
+
+    EXPECT_EQ(hist.percentile(50.0), 1u);
+    EXPECT_EQ(hist.percentile(90.0), 4u);
+    EXPECT_EQ(hist.percentile(99.0), 8u);
+
+    TelemetryConfig cfg;
+    cfg.path = (dir.path() / "s.jsonl").string();
+    EpochSnapshotter snap(reg, cfg);
+    snap.finish(1);
+
+    // CSV regression pin: column layout and per-kind cell contents.
+    std::ostringstream csv;
+    snap.rollupTable().printCsv(csv);
+    const std::string expected =
+        "stat,value,p50,p90,p99\n"
+        "x.h,{\"edges\":[1,2,4,8],\"counts\":[60,0,30,0,10],"
+        "\"total\":100,\"p50\":1,\"p90\":4,\"p99\":8},1,4,8\n"
+        "x.v,7,-,-,-\n";
+    EXPECT_EQ(csv.str(), expected);
+}
+
+TEST(StatHistogramTest, PercentileEdgeCases)
+{
+    StatHistogram empty({4});
+    EXPECT_EQ(empty.percentile(99.0), 0u);
+
+    StatHistogram h({10, 20});
+    h.add(5); // Single observation: every percentile is its bucket edge.
+    EXPECT_EQ(h.percentile(50.0), 10u);
+    EXPECT_EQ(h.percentile(99.0), 10u);
+    h.add(15, 99);
+    EXPECT_EQ(h.percentile(1.0), 10u);
+    EXPECT_EQ(h.percentile(50.0), 20u);
+    EXPECT_EQ(h.percentile(100.0), 20u);
 }
 
 // ---------------------------------------------------------------------

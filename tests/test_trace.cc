@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the causal event tracer (src/telemetry/trace): category
+ * gating, ring overflow accounting, span capture and Chrome export,
+ * the per-page lifecycle ledger behind `m5trace explain`, and the
+ * end-to-end guarantees — tracing disabled changes nothing, per-cell
+ * sweep traces are byte-identical between 1 and 4 workers, and reruns
+ * of the same cell produce identical bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
+
+namespace m5 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        path_ = fs::temp_directory_path() /
+                ("m5_trace_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TraceConfig
+collectConfig(std::uint32_t cats = kTraceAllCats)
+{
+    TraceConfig cfg;
+    cfg.collect = true;
+    cfg.categories = cats;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Category mask parsing and gating
+// ---------------------------------------------------------------------
+
+TEST(TraceCatsTest, ParseNamesUnionsAndAliases)
+{
+    EXPECT_EQ(parseTraceCats("monitor"),
+              static_cast<std::uint32_t>(TraceCat::Monitor));
+    EXPECT_EQ(parseTraceCats("sim,cxl"),
+              static_cast<std::uint32_t>(TraceCat::Sim) |
+                  static_cast<std::uint32_t>(TraceCat::Cxl));
+    EXPECT_EQ(parseTraceCats("all"), kTraceAllCats);
+    EXPECT_EQ(parseTraceCats("default"), kTraceDefaultCats);
+    // The default mask records the pipeline but not raw accesses.
+    EXPECT_EQ(kTraceDefaultCats & static_cast<std::uint32_t>(TraceCat::Access),
+              0u);
+    EXPECT_NE(kTraceDefaultCats & static_cast<std::uint32_t>(TraceCat::Elect),
+              0u);
+}
+
+TEST(TracerTest, CategoryGatingFiltersEvents)
+{
+    Tracer tracer(collectConfig(
+        static_cast<std::uint32_t>(TraceCat::Monitor)));
+    EXPECT_TRUE(tracer.enabled(TraceCat::Monitor));
+    EXPECT_FALSE(tracer.enabled(TraceCat::Elect));
+
+    const TraceBinding binding(&tracer);
+    TRACE_EVENT(TraceCat::Monitor, 100, "keep");
+    TRACE_EVENT(TraceCat::Elect, 200, "drop");
+    ASSERT_EQ(tracer.events().size(), 1u);
+    EXPECT_EQ(tracer.events().front().name, "keep");
+    EXPECT_EQ(tracer.events().front().ts, 100u);
+}
+
+TEST(TracerTest, MacrosAreInertWithoutABoundTracer)
+{
+    ASSERT_EQ(traceCurrent(), nullptr);
+    // Must compile and do nothing; a crash here is the regression.
+    TRACE_EVENT(TraceCat::Sim, 1, "nobody-listening");
+    TRACE_SPAN(TraceCat::Sim, 1, 2, "nobody-listening");
+    TRACE_PAGE_ACCESS(42, 3);
+}
+
+TEST(TracerTest, BindingNestsAndRestores)
+{
+    Tracer outer(collectConfig());
+    Tracer inner(collectConfig());
+    EXPECT_EQ(traceCurrent(), nullptr);
+    {
+        const TraceBinding a(&outer);
+        EXPECT_EQ(traceCurrent(), &outer);
+        {
+            const TraceBinding b(&inner);
+            EXPECT_EQ(traceCurrent(), &inner);
+        }
+        EXPECT_EQ(traceCurrent(), &outer);
+    }
+    EXPECT_EQ(traceCurrent(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Ring buffer accounting
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, RingOverflowDropsOldestAndCounts)
+{
+    TraceConfig cfg = collectConfig();
+    cfg.ring_capacity = 4;
+    Tracer tracer(cfg);
+    for (int i = 0; i < 10; ++i)
+        tracer.instant(TraceCat::Sim, static_cast<Tick>(i),
+                       strprintf("e%d", i).c_str());
+
+    EXPECT_EQ(tracer.emitted(), 10u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    ASSERT_EQ(tracer.events().size(), 4u);
+    EXPECT_EQ(tracer.events().front().name, "e6"); // oldest went first
+    EXPECT_EQ(tracer.events().back().name, "e9");
+
+    StatRegistry reg;
+    tracer.registerStats(reg);
+    EXPECT_EQ(reg.counter("telemetry.trace.emitted"), 10u);
+    EXPECT_EQ(reg.counter("telemetry.trace.dropped"), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Spans and Chrome export
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, SpansNestAndExportAsCompleteEvents)
+{
+    Tracer tracer(collectConfig());
+    const TraceBinding binding(&tracer);
+    TRACE_SPAN(TraceCat::Sim, 1000, 3000, "outer",
+               TraceArgs().u("epoch", 1));
+    TRACE_SPAN(TraceCat::Sim, 1500, 500, "inner");
+    ASSERT_EQ(tracer.events().size(), 2u);
+    const TraceEvent &outer = tracer.events()[0];
+    const TraceEvent &inner = tracer.events()[1];
+    EXPECT_EQ(outer.ph, 'X');
+    EXPECT_EQ(outer.dur, 3000u);
+    // The inner span lies fully within the outer one, which is what
+    // makes Perfetto render them nested on the lane.
+    EXPECT_GE(inner.ts, outer.ts);
+    EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur);
+
+    std::ostringstream os;
+    tracer.exportChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"epoch\":1"), std::string::npos);
+    // Ticks are ns; Chrome wants us with sub-us precision preserved.
+    EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+}
+
+TEST(TracerTest, InstantEventsCarryTheScopeFlag)
+{
+    Tracer tracer(collectConfig());
+    tracer.instant(TraceCat::Nominate, 42, "pick",
+                   TraceArgs().u("page", 7).s("why", "hot"));
+    std::ostringstream os;
+    tracer.exportChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"why\":\"hot\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a traced system run
+// ---------------------------------------------------------------------
+
+SystemConfig
+smallConfig()
+{
+    return makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 1);
+}
+
+TEST(TraceSystemTest, RunCoversEpochsAndDecisionPipeline)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.trace.collect = true;
+    cfg.trace.categories = kTraceAllCats;
+    TieredSystem sys(cfg);
+    sys.run(40000);
+
+    ASSERT_NE(sys.tracer(), nullptr);
+    std::vector<std::string> names;
+    for (const TraceEvent &ev : sys.tracer()->events())
+        names.push_back(ev.name);
+    for (const char *want :
+         {"epoch", "monitor.sample", "hpt.query", "nominator.track",
+          "nominator.nominate", "elector.decision", "promoter.batch",
+          "migration.promote", "m5.wake", "page.access"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+            << "missing event " << want;
+    }
+}
+
+TEST(TraceSystemTest, DisabledTracingChangesNothing)
+{
+    TempDir dir("inert");
+    RunResult plain, traced;
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.telemetry.path = (dir.path() / "plain.jsonl").string();
+        TieredSystem sys(cfg);
+        plain = sys.run(20000);
+        EXPECT_EQ(sys.tracer(), nullptr);
+    }
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.telemetry.path = (dir.path() / "traced.jsonl").string();
+        cfg.trace.collect = true;
+        cfg.trace.categories = kTraceAllCats;
+        TieredSystem sys(cfg);
+        traced = sys.run(20000);
+        EXPECT_NE(sys.tracer(), nullptr);
+        EXPECT_GT(sys.tracer()->emitted(), 0u);
+    }
+    // Observing the run must not perturb it.
+    EXPECT_EQ(plain.runtime, traced.runtime);
+    EXPECT_EQ(plain.accesses, traced.accesses);
+    EXPECT_EQ(plain.migration.promoted, traced.migration.promoted);
+    EXPECT_EQ(plain.migration.demoted, traced.migration.demoted);
+    EXPECT_EQ(plain.llc.hits, traced.llc.hits);
+    EXPECT_EQ(plain.llc.misses, traced.llc.misses);
+    EXPECT_EQ(plain.steady_ddr_read_bytes, traced.steady_ddr_read_bytes);
+
+    // With tracing off the telemetry stream carries no trace stats at
+    // all — byte-for-byte it is the pre-trace output.
+    const std::string a = slurp(dir.path() / "plain.jsonl");
+    const std::string b = slurp(dir.path() / "traced.jsonl");
+    EXPECT_EQ(a.find("telemetry.trace"), std::string::npos);
+    EXPECT_NE(b.find("telemetry.trace"), std::string::npos);
+}
+
+TEST(TraceSystemTest, RerunsProduceIdenticalTraceBytes)
+{
+    TempDir dir("rerun");
+    auto once = [&](const std::string &name) {
+        SystemConfig cfg = smallConfig();
+        cfg.trace.path = (dir.path() / name).string();
+        TieredSystem sys(cfg);
+        sys.run(20000);
+        return slurp(dir.path() / name);
+    };
+    const std::string a = once("a.trace.json");
+    const std::string b = once("b.trace.json");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle ledger (m5trace explain)
+// ---------------------------------------------------------------------
+
+TEST(TraceLedgerTest, MigratedPageHasOrderedLifecycle)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.trace.collect = true;
+    cfg.trace.ledger = true;
+    cfg.trace.categories = kTraceAllCats;
+    TieredSystem sys(cfg);
+    sys.run(40000);
+
+    const PageLedger &ledger = sys.tracer()->ledger();
+    const auto migrated = ledger.migratedPages();
+    ASSERT_FALSE(migrated.empty());
+    EXPECT_TRUE(std::is_sorted(migrated.begin(), migrated.end()));
+
+    const auto records = ledger.lifecycle(migrated.front());
+    ASSERT_FALSE(records.empty());
+    // Timestamps are non-decreasing with the global sequence breaking
+    // ties, so the story reads in causal order.
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_LE(records[i - 1].ts, records[i].ts);
+
+    // The decision pipeline appears in stage order.
+    auto firstContaining = [&](const std::string &what) {
+        for (std::size_t i = 0; i < records.size(); ++i)
+            if (records[i].text.rfind(what, 0) == 0)
+                return static_cast<long>(i);
+        return -1L;
+    };
+    const long tracked = firstContaining("tracked");
+    const long nominated = firstContaining("nominated");
+    const long accepted = firstContaining("accepted by promoter");
+    const long migrated_at = firstContaining("migrated to DDR");
+    ASSERT_GE(tracked, 0);
+    ASSERT_GE(nominated, 0);
+    ASSERT_GE(accepted, 0);
+    ASSERT_GE(migrated_at, 0);
+    EXPECT_LT(tracked, nominated);
+    EXPECT_LT(nominated, accepted);
+    EXPECT_LT(accepted, migrated_at);
+    // Elector context is merged into the page's window.
+    EXPECT_GE(firstContaining("elected"), 0);
+}
+
+TEST(TraceLedgerTest, LedgerPageBucketsAccessesPerEpoch)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.trace.collect = true;
+    cfg.trace.ledger = true;
+    cfg.trace.categories = kTraceAllCats;
+    TieredSystem sys0(cfg);
+    sys0.run(40000);
+    const auto migrated = sys0.tracer()->ledger().migratedPages();
+    ASSERT_FALSE(migrated.empty());
+
+    cfg.trace.ledger_page = migrated.front();
+    TieredSystem sys(cfg);
+    sys.run(40000);
+    const auto records =
+        sys.tracer()->ledger().lifecycle(migrated.front());
+    const bool has_bucket =
+        std::any_of(records.begin(), records.end(),
+                    [](const LedgerRecord &r) {
+                        return r.text.rfind("epoch ", 0) == 0 &&
+                               r.text.find("accesses") != std::string::npos;
+                    });
+    EXPECT_TRUE(has_bucket);
+    // Raw access instants stay out of the ledger; they are bucketed.
+    for (const auto &r : records)
+        EXPECT_EQ(r.text.find("page.access"), std::string::npos) << r.text;
+}
+
+// ---------------------------------------------------------------------
+// Sweep integration: per-cell traces, 1 vs 4 workers
+// ---------------------------------------------------------------------
+
+TEST(TraceRunnerTest, PathForLabelFlattensSeparators)
+{
+    EXPECT_EQ(tracePathForLabel("/tmp/t", "mcf_r/m5(hpt+hwt)/s1"),
+              "/tmp/t/mcf_r_m5_hpt_hwt__s1.trace.json");
+    EXPECT_EQ(artifactPathForLabel("d", "plain-label_1.x", ".trace.json"),
+              "d/plain-label_1.x.trace.json");
+}
+
+TEST(TraceRunnerTest, WorkerCountDoesNotChangeTraceBytes)
+{
+    TempDir dir1("sweep1");
+    TempDir dir4("sweep4");
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policies({PolicyKind::M5HptDriven, PolicyKind::Anb})
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(20000);
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+
+    auto sweep = [&](const TempDir &dir, unsigned workers) {
+        ScopedEnv trace_env("M5_BENCH_TRACE", dir.path().c_str());
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        for (const auto &outcome : runner.run(jobs))
+            EXPECT_TRUE(outcome.ok) << outcome.error;
+    };
+    sweep(dir1, 1);
+    sweep(dir4, 4);
+
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir1.path()))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    ASSERT_EQ(names.size(), jobs.size());
+
+    for (const auto &name : names) {
+        EXPECT_NE(name.find(".trace.json"), std::string::npos) << name;
+        ASSERT_TRUE(fs::exists(dir4.path() / name))
+            << name << " missing from the 4-worker sweep";
+        EXPECT_EQ(slurp(dir1.path() / name), slurp(dir4.path() / name))
+            << name << " differs between 1 and 4 workers";
+    }
+}
+
+} // namespace
+} // namespace m5

@@ -6,7 +6,11 @@
 #   tidy   clang-tidy over the library sources (skipped with a warning
 #          when clang-tidy is not installed)
 #   smoke  telemetry end-to-end smoke: JSONL stream parses, counters
-#          move, reruns are byte-identical (tools/telemetry_smoke.sh)
+#          move, reruns are byte-identical, the Chrome trace validates
+#          (tools/telemetry_smoke.sh)
+#   trace  m5sim --trace + m5trace explain end-to-end: a migrated page's
+#          lifecycle is reconstructed; artifacts kept in
+#          <build-dir>/trace-smoke for CI upload (docs/TRACING.md)
 #   tsan   ThreadSanitizer build + runner determinism tests
 #   asan   AddressSanitizer build + full ctest (leaks on)
 #   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
@@ -52,14 +56,14 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|smoke|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|trace|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|smoke|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|trace|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
@@ -109,6 +113,31 @@ stage_smoke() {
         cmake --build "$BUILD" -j "$JOBS" --target m5sim || return 1
     fi
     tools/telemetry_smoke.sh "$BUILD"
+}
+
+stage_trace() {
+    echo "== trace: Chrome trace + m5trace explain end-to-end =="
+    if [ ! -x "$BUILD/tools/m5sim" ] || [ ! -x "$BUILD/tools/m5trace" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim m5trace || return 1
+    fi
+    _out="$BUILD/trace-smoke"
+    rm -rf "$_out" && mkdir -p "$_out" &&
+    "$BUILD/tools/m5sim" --bench mcf_r --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --trace "$_out/run.trace.json" \
+        > "$_out/report.txt" &&
+    grep -q '^trace:' "$_out/report.txt" &&
+    [ -s "$_out/run.trace.json" ] &&
+    "$BUILD/tools/m5trace" explain --bench mcf_r --scale 128 \
+        --accesses 60000 > "$_out/pages.txt" &&
+    _page="$(awk '/^  page /{print $2; exit}' "$_out/pages.txt")" &&
+    [ -n "$_page" ] &&
+    "$BUILD/tools/m5trace" explain --bench mcf_r --scale 128 \
+        --accesses 60000 --page "$_page" \
+        --out "$_out/page.trace.json" > "$_out/lifecycle.txt" &&
+    grep -q 'migrated to DDR' "$_out/lifecycle.txt" &&
+    grep -q 'nominated' "$_out/lifecycle.txt" &&
+    echo "trace stage: OK (page $_page lifecycle reconstructed)"
 }
 
 stage_tsan() {

@@ -645,6 +645,60 @@ checkHeaderHygiene(const std::string &path, const std::vector<Line> &lines,
     }
 }
 
+void
+checkWallclockTrace(const std::string &path, const std::vector<Line> &lines,
+                    std::vector<Diag> &out)
+{
+    const std::string rule = "no-wallclock-trace";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        if (isPreprocessor(s))
+            continue; // the macro definitions themselves
+        for (const char *macro :
+             {"TRACE_EVENT", "TRACE_SPAN", "TRACE_PAGE_ACCESS"}) {
+            for (auto pos : findTokens(s, macro)) {
+                // Collect the macro's argument text, which may span
+                // lines, by walking to the matching close paren.
+                std::string args;
+                int depth = 0;
+                bool done = false;
+                for (std::size_t li = i; li < lines.size() && !done;
+                     ++li) {
+                    const std::string &t = lines[li].stripped;
+                    for (std::size_t j = li == i ? pos : 0;
+                         j < t.size(); ++j) {
+                        const char c = t[j];
+                        if (c == '(') {
+                            ++depth;
+                        } else if (c == ')' && --depth == 0) {
+                            done = true;
+                            break;
+                        }
+                        if (depth > 0)
+                            args.push_back(c);
+                    }
+                    args.push_back(' ');
+                }
+                for (const char *tok :
+                     {"chrono", "steady_clock", "system_clock",
+                      "high_resolution_clock", "clock_gettime",
+                      "gettimeofday"}) {
+                    if (findTokens(args, tok).empty())
+                        continue;
+                    out.push_back(
+                        {path, static_cast<int>(i + 1), rule,
+                         std::string(macro) +
+                             " argument reads the wall clock ('" + tok +
+                             "'); trace timestamps must come from the "
+                             "simulated Tick domain or reruns stop "
+                             "being byte-identical"});
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /** Scope of the untracked-stat rule: instrumented simulator layers.
  *  common/, workloads/, analysis/ and telemetry/ itself keep plain
  *  tallies; everything the StatRegistry walks must register them. */
@@ -736,6 +790,7 @@ allRules()
 {
     static const std::vector<std::string> rules = {
         "no-wallclock",
+        "no-wallclock-trace",
         "no-unseeded-rng",
         "no-unordered-result-iteration",
         "no-raw-parse",
@@ -788,6 +843,7 @@ lintSource(const std::string &path, const std::string &content,
     const std::vector<Line> lines = splitAndStrip(content);
     std::vector<Diag> diags;
     checkWallclock(path, lines, diags);
+    checkWallclockTrace(path, lines, diags);
     checkUnseededRng(path, lines, diags);
     checkUnorderedIteration(path, lines, diags);
     checkRawParse(path, lines, diags);

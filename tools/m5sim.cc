@@ -5,14 +5,16 @@
  *   m5sim [--bench NAME] [--policy NAME] [--scale DENOM] [--seed N]
  *         [--accesses N] [--instances N] [--record-only] [--wac]
  *         [--ddr-frac F] [--telemetry FILE] [--telemetry-every N]
- *         [--csv] [--list]
+ *         [--trace FILE] [--trace-cats CSV] [--csv] [--list]
  *
  * Runs one experiment and prints a full report: timing, tier traffic,
  * migration and TLB statistics, the kernel-cycle breakdown, request
  * latencies for latency-sensitive workloads, and (record-only) the
  * access-count ratio of the identified hot pages.  --telemetry streams
  * per-epoch StatRegistry snapshots to FILE as JSONL and appends the
- * end-of-run rollup to the report (docs/TELEMETRY.md).
+ * end-of-run rollup to the report (docs/TELEMETRY.md).  --trace writes
+ * a Chrome trace_event JSON of migration-decision spans and instants,
+ * loadable in Perfetto or chrome://tracing (docs/TRACING.md).
  */
 
 #include <cstdio>
@@ -81,6 +83,8 @@ struct Options
     bool csv = false;
     std::string telemetry;
     std::uint64_t telemetry_every = 1;
+    std::string trace;
+    std::uint32_t trace_cats = kTraceDefaultCats;
 };
 
 PolicyKind
@@ -121,6 +125,10 @@ usage()
         "  --telemetry FILE  stream per-epoch stat snapshots to FILE "
         "(JSONL)\n"
         "  --telemetry-every N  sample every N epochs (default 1)\n"
+        "  --trace FILE      write a Chrome trace_event JSON of decision\n"
+        "                    spans and instants (docs/TRACING.md)\n"
+        "  --trace-cats CSV  categories to record (sim,monitor,nominate,\n"
+        "                    elect,promote,migrate,cxl,access,default,all)\n"
         "  --csv             machine-readable one-line output\n"
         "  --list            list benchmarks and exit\n");
 }
@@ -159,6 +167,10 @@ parseArgs(int argc, char **argv)
             opt.telemetry_every = argU64(arg, next());
             if (opt.telemetry_every == 0)
                 m5_fatal("--telemetry-every wants an integer >= 1");
+        } else if (arg == "--trace") {
+            opt.trace = next();
+        } else if (arg == "--trace-cats") {
+            opt.trace_cats = parseTraceCats(next());
         } else if (arg == "--record-only") {
             opt.record_only = true;
         } else if (arg == "--wac") {
@@ -201,6 +213,8 @@ main(int argc, char **argv)
         cfg.ddr_capacity_fraction = opt.ddr_frac;
     cfg.telemetry.path = opt.telemetry;
     cfg.telemetry.every = opt.telemetry_every;
+    cfg.trace.path = opt.trace;
+    cfg.trace.categories = opt.trace_cats;
 
     TieredSystem sys(cfg);
     const std::uint64_t budget = opt.accesses
@@ -291,6 +305,12 @@ main(int argc, char **argv)
                         "touch <= 16/64 words\n",
                         100.0 * dbl(sparse) / dbl(pages.size()));
         }
+    }
+    if (Tracer *tracer = sys.tracer()) {
+        std::printf("trace:         %lu events (%lu dropped) -> %s\n",
+                    static_cast<unsigned long>(tracer->emitted()),
+                    static_cast<unsigned long>(tracer->dropped()),
+                    opt.trace.c_str());
     }
     if (EpochSnapshotter *telem = sys.telemetry()) {
         std::printf("telemetry:     %lu epochs -> %s\n",

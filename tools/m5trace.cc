@@ -2,16 +2,23 @@
  * @file
  * m5trace — record, inspect and replay cache-filtered access traces.
  *
- *   m5trace record --bench NAME --out FILE [--scale D] [--accesses N]
- *                  [--telemetry FILE]
- *   m5trace info   --in FILE
- *   m5trace replay --in FILE [--tracker cm|ss] [--entries N] [--k K]
- *                  [--period-us P] [--words]
+ *   m5trace record  --bench NAME --out FILE [--scale D] [--accesses N]
+ *                   [--telemetry FILE]
+ *   m5trace info    --in FILE
+ *   m5trace replay  --in FILE [--tracker cm|ss] [--entries N] [--k K]
+ *                   [--period-us P] [--words]
+ *   m5trace explain [--bench NAME] [--page VPN] [--scale D] [--seed N]
+ *                   [--accesses N] [--out FILE]
  *
  * `record` captures the post-LLC physical access stream of a simulated
  * run (the §7.1 Pin + Ramulator methodology); `info` summarizes a trace;
  * `replay` drives a standalone top-K tracker over it and reports the
- * accumulated access-count ratio against exact counts.
+ * accumulated access-count ratio against exact counts; `explain` runs
+ * the M5 policy with the lifecycle ledger enabled and prints the ordered
+ * decision history of one page — accesses, tracking, nomination,
+ * Elector verdicts, and migration (docs/TRACING.md).  Without --page it
+ * lists the pages that were migrated to DDR; --out additionally writes
+ * the run's Chrome trace_event JSON.
  */
 
 #include <cstdio>
@@ -205,13 +212,71 @@ cmdReplay(int argc, char **argv)
     return 0;
 }
 
+int
+cmdExplain(int argc, char **argv)
+{
+    const char *bench_s = findArg(argc, argv, "--bench");
+    const std::string bench = bench_s ? bench_s : "mcf_r";
+    const char *scale_s = findArg(argc, argv, "--scale");
+    const double scale = scale_s ? 1.0 / argDouble("--scale", scale_s)
+                                 : kDefaultScale;
+    const char *seed_s = findArg(argc, argv, "--seed");
+    const std::uint64_t seed = seed_s ? argU64("--seed", seed_s) : 1;
+    const char *page_s = findArg(argc, argv, "--page");
+
+    SystemConfig cfg =
+        makeConfig(bench, PolicyKind::M5HptDriven, scale, seed);
+    cfg.trace.collect = true;
+    cfg.trace.ledger = true;
+    cfg.trace.categories = kTraceAllCats;
+    if (page_s)
+        cfg.trace.ledger_page = argU64("--page", page_s);
+    if (const char *out = findArg(argc, argv, "--out"))
+        cfg.trace.path = out;
+
+    TieredSystem sys(cfg);
+    const char *acc_s = findArg(argc, argv, "--accesses");
+    const std::uint64_t budget = acc_s ? argU64("--accesses", acc_s)
+                                       : accessBudget(bench, scale);
+    sys.run(budget);
+
+    const PageLedger &ledger = sys.tracer()->ledger();
+    if (!page_s) {
+        const auto pages = ledger.migratedPages();
+        std::printf("%s (scale 1/%.0f, seed %lu): %zu pages migrated "
+                    "to DDR\n",
+                    bench.c_str(), 1.0 / scale,
+                    static_cast<unsigned long>(seed), pages.size());
+        for (Vpn p : pages)
+            std::printf("  page %lu\n", static_cast<unsigned long>(p));
+        std::printf("rerun with --page N for the full lifecycle\n");
+        return 0;
+    }
+
+    const Vpn page = *cfg.trace.ledger_page;
+    const auto records = ledger.lifecycle(page);
+    std::printf("page %lu lifecycle (%s, scale 1/%.0f, seed %lu):\n",
+                static_cast<unsigned long>(page), bench.c_str(),
+                1.0 / scale, static_cast<unsigned long>(seed));
+    if (records.empty()) {
+        std::printf("  no recorded events — the page was never accessed "
+                    "post-LLC\n");
+        return 0;
+    }
+    for (const auto &rec : records) {
+        std::printf("  %12.3f us  %s\n", dbl(rec.ts) / 1e3,
+                    rec.text.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::printf("usage: m5trace record|info|replay [options]\n"
+        std::printf("usage: m5trace record|info|replay|explain [options]\n"
                     "see the file header for details\n");
         return 1;
     }
@@ -222,5 +287,7 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (cmd == "replay")
         return cmdReplay(argc, argv);
+    if (cmd == "explain")
+        return cmdExplain(argc, argv);
     m5_fatal("unknown command '%s'", cmd.c_str());
 }

@@ -1,14 +1,21 @@
 #!/bin/sh
-# Telemetry end-to-end smoke test (docs/TELEMETRY.md):
+# Telemetry + trace end-to-end smoke test (docs/TELEMETRY.md,
+# docs/TRACING.md):
 #
 #   1. run m5sim with --telemetry and check the stream is valid JSONL
 #      whose key counters actually moved;
 #   2. check the final epoch's counters equal the end-of-run rollup
-#      table m5sim prints;
-#   3. rerun with the same seed and require a byte-identical stream
-#      (the repo's determinism guarantee, docs/RUNNER.md).
+#      table m5sim prints (including the p50/p90/p99 histogram columns);
+#   3. rerun with the same seed and require byte-identical telemetry
+#      AND trace files (the repo's determinism guarantee,
+#      docs/RUNNER.md);
+#   4. check the --trace output is valid Chrome trace_event JSON with
+#      ph/ts/name on every event, and that the event count grows with
+#      the workload.
 #
 # Usage: tools/telemetry_smoke.sh [build-dir]   (default: build)
+# Set M5_SMOKE_KEEP_DIR=<dir> to write artifacts there and keep them
+# for inspection (CI uploads the directory on failure).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,20 +23,32 @@ BUILD="${1:-build}"
 M5SIM="$BUILD/tools/m5sim"
 [ -x "$M5SIM" ] || { echo "telemetry_smoke: $M5SIM not built" >&2; exit 2; }
 
-OUT="$(mktemp -d)"
-trap 'rm -rf "$OUT"' EXIT
+if [ -n "${M5_SMOKE_KEEP_DIR:-}" ]; then
+    OUT="$M5_SMOKE_KEEP_DIR"
+    mkdir -p "$OUT"
+    echo "telemetry_smoke: keeping artifacts in $OUT" >&2
+else
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+fi
 
 run() {
     "$M5SIM" --bench mcf_r --policy m5 --scale 64 --seed 7 \
-             --accesses 200000 --telemetry "$1"
+             --accesses "$2" --telemetry "$1.jsonl" --trace "$1.trace.json"
 }
 
-run "$OUT/a.jsonl" > "$OUT/report_a.txt"
-run "$OUT/b.jsonl" > /dev/null
+run "$OUT/a" 200000 > "$OUT/report_a.txt"
+run "$OUT/b" 200000 > /dev/null
+run "$OUT/small" 50000 > /dev/null
 
 cmp -s "$OUT/a.jsonl" "$OUT/b.jsonl" || {
     echo "telemetry_smoke: FAIL: identical seeded runs produced" \
          "different telemetry streams" >&2
+    exit 1
+}
+cmp -s "$OUT/a.trace.json" "$OUT/b.trace.json" || {
+    echo "telemetry_smoke: FAIL: identical seeded runs produced" \
+         "different trace files" >&2
     exit 1
 }
 
@@ -46,32 +65,83 @@ assert [l["epoch"] for l in lines] == sorted(l["epoch"] for l in lines), \
 
 final = lines[-1]["stats"]
 for key in ("sim.core.app_time", "mem.ddr.accesses", "mem.cxl.accesses",
-            "cache.llc.misses", "os.migration.pages_promoted"):
+            "cache.llc.misses", "os.migration.pages_promoted",
+            "telemetry.trace.emitted"):
     assert key in final, f"missing stat {key}"
     assert int(final[key]) > 0, f"stat {key} never moved (still 0)"
 
-# The rollup table m5sim appends must match the final JSONL line.
-# The table starts after the "telemetry: N epochs -> path" report line
-# and has a "stat value" header row.
+# Histogram stats carry percentile fields that agree with the stream.
+hists = {k: v for k, v in final.items() if isinstance(v, dict)}
+assert hists, "no histogram stats in the final epoch"
+for name, h in hists.items():
+    for p in ("p50", "p90", "p99"):
+        assert p in h, f"histogram {name} lacks {p}"
+
+# The rollup table m5sim appends must match the final JSONL line.  The
+# table starts after the "telemetry: N epochs -> path" report line with
+# a "stat value p50 p90 p99" header and a dashed separator; the value
+# cell never contains spaces (compact JSON), so a plain split works.
 rollup = {}
+pcts = {}
 in_rollup = False
 for line in open(report):
     if line.startswith("telemetry:"):
         in_rollup = True
         continue
-    if not in_rollup:
+    if not in_rollup or line.startswith("-"):
         continue
-    parts = line.split(None, 1)
-    if len(parts) != 2 or parts[0] == "stat":
+    fields = line.split()
+    if len(fields) < 2 or fields[0] == "stat":
         continue
-    rollup[parts[0]] = json.loads(parts[1].strip())
+    rollup[fields[0]] = json.loads(fields[1])
+    if len(fields) >= 5:
+        pcts[fields[0]] = fields[2:5]
 
 assert rollup, "no telemetry rollup section in the m5sim report"
 for name, value in final.items():
     assert name in rollup, f"rollup is missing stat {name}"
     assert rollup[name] == value, \
         f"rollup mismatch for {name}: stream={value!r} table={rollup[name]!r}"
+for name, h in hists.items():
+    want = [str(h["p50"]), str(h["p90"]), str(h["p99"])]
+    assert pcts.get(name) == want, \
+        f"percentile columns for {name}: table={pcts.get(name)} want={want}"
 
-print(f"telemetry_smoke: OK ({len(lines)} epochs, "
-      f"{len(final)} stats, rollup matches final epoch)")
+print(f"telemetry_smoke: OK ({len(lines)} epochs, {len(final)} stats, "
+      f"{len(hists)} histograms, rollup matches final epoch)")
+EOF
+
+python3 - "$OUT/a.trace.json" "$OUT/small.trace.json" <<'EOF'
+import json
+import sys
+
+big_path, small_path = sys.argv[1], sys.argv[2]
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert events, f"{path}: no trace events"
+    for ev in events:
+        assert "ph" in ev and "name" in ev, f"{path}: event lacks ph/name"
+        if ev["ph"] != "M":          # metadata records carry no timestamp
+            assert "ts" in ev, f"{path}: event lacks ts"
+            assert float(ev["ts"]) >= 0
+        if ev["ph"] == "i":
+            assert ev.get("s") == "t", f"{path}: instant lacks scope"
+    phases = {ev["ph"] for ev in events}
+    assert "X" in phases, f"{path}: no duration spans"
+    assert "i" in phases, f"{path}: no instant events"
+    names = {ev["name"] for ev in events}
+    for want in ("epoch", "monitor.sample", "nominator.nominate",
+                 "elector.decision", "migration.promote"):
+        assert want in names, f"{path}: missing event {want}"
+    return [ev for ev in events if ev["ph"] != "M"]
+
+big = load(big_path)
+small = load(small_path)
+assert len(big) > len(small), \
+    f"event count does not grow with workload ({len(big)} vs {len(small)})"
+print(f"trace_smoke: OK ({len(big)} events, valid Chrome trace JSON, "
+      f"count scales with workload)")
 EOF
