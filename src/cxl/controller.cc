@@ -68,9 +68,11 @@ CxlController::hwt()
 }
 
 void
-CxlController::registerStats(StatRegistry &reg) const
+CxlController::registerStats(StatRegistry &reg, bool faults_active) const
 {
     reg.addCounter("cxl.ctrl.snooped", &snooped_);
+    if (faults_active)
+        reg.addCounter("cxl.ctrl.mmio_timeouts", &mmio_timeouts_);
     if (pac_)
         pac_->registerStats(reg);
     if (wac_)

@@ -60,8 +60,18 @@ class CxlController
     /** Total accesses the controller has snooped. */
     std::uint64_t snooped() const { return snooped_; }
 
-    /** Register `cxl.ctrl.snooped` plus every configured unit's stats. */
-    void registerStats(StatRegistry &reg) const;
+    /** An MMIO snapshot query timed out / arrived stale (the manager
+     *  reports these under fault injection, docs/FAULTS.md). */
+    void noteMmioTimeout() { ++mmio_timeouts_; }
+
+    /** Stale / timed-out MMIO queries reported so far. */
+    std::uint64_t mmioTimeouts() const { return mmio_timeouts_; }
+
+    /**
+     * Register `cxl.ctrl.snooped` plus every configured unit's stats;
+     * the MMIO timeout counter only under fault injection.
+     */
+    void registerStats(StatRegistry &reg, bool faults_active = false) const;
 
   private:
     std::unique_ptr<PacUnit> pac_;
@@ -69,6 +79,7 @@ class CxlController
     std::unique_ptr<HptUnit> hpt_;
     std::unique_ptr<HwtUnit> hwt_;
     std::uint64_t snooped_ = 0;
+    std::uint64_t mmio_timeouts_ = 0;
 };
 
 } // namespace m5

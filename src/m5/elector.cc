@@ -7,6 +7,17 @@
 
 namespace m5 {
 
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed: return "closed";
+      case BreakerState::Open: return "open";
+      case BreakerState::HalfOpen: return "half_open";
+      default: m5_panic("bad BreakerState %u", static_cast<unsigned>(s));
+    }
+}
+
 Elector::Elector(const ElectorConfig &cfg, FScale fscale)
     : cfg_(cfg), fscale_(std::move(fscale))
 {
@@ -45,25 +56,108 @@ Elector::evaluate(const Monitor &monitor)
         bootstrap || rel - prev_rel_bw_den_ddr_ > margin;
     prev_rel_bw_den_ddr_ = rel;
     ++evaluations_;
-    if (migrate)
-        ++approvals_;
 
     // Guideline 1: while DDR frames sit free, migrate "as soon and as
     // aggressively as possible" — run the loop at its minimum period.
-    return {bootstrap ? cfg_.min_period : period, migrate, rel};
+    ElectorDecision decision{bootstrap ? cfg_.min_period : period,
+                             migrate, rel, false};
+    applyBreaker(decision);
+    if (decision.migrate)
+        ++approvals_;
+    return decision;
+}
+
+void
+Elector::noteBatchOutcome(std::uint64_t attempted, std::uint64_t failed)
+{
+    window_attempted_ += attempted;
+    window_failed_ += failed;
+}
+
+void
+Elector::applyBreaker(ElectorDecision &decision)
+{
+    // With no fault injection every window has failed == 0, the rate
+    // check never trips and the base decision passes through untouched
+    // — the breaker is behaviorally inert (docs/FAULTS.md).
+    auto window_tripped = [&] {
+        return window_attempted_ >= cfg_.breaker_min_samples &&
+               static_cast<double>(window_failed_) >=
+                   cfg_.breaker_fail_threshold *
+                       static_cast<double>(window_attempted_);
+    };
+    auto reset_window = [&] {
+        window_attempted_ = 0;
+        window_failed_ = 0;
+    };
+
+    switch (breaker_) {
+      case BreakerState::Closed:
+        if (window_tripped()) {
+            breaker_ = BreakerState::Open;
+            ++breaker_opened_;
+            cooldown_left_ = cfg_.breaker_cooldown;
+            reset_window();
+        } else if (window_attempted_ >= cfg_.breaker_min_samples) {
+            reset_window(); // Healthy window; start a fresh one.
+        }
+        break;
+      case BreakerState::HalfOpen:
+        // Judge the probe round issued while half-open; a probe batch
+        // may be smaller than min_samples, so judge on rate alone.
+        if (window_attempted_ > 0) {
+            if (static_cast<double>(window_failed_) >=
+                cfg_.breaker_fail_threshold *
+                    static_cast<double>(window_attempted_)) {
+                breaker_ = BreakerState::Open;
+                ++breaker_opened_;
+                cooldown_left_ = cfg_.breaker_cooldown;
+            } else {
+                breaker_ = BreakerState::Closed;
+                ++breaker_closed_;
+            }
+            reset_window();
+        }
+        break;
+      case BreakerState::Open:
+        break;
+    }
+
+    if (breaker_ == BreakerState::Open) {
+        // Widen pacing and withhold the batch while the failure spike
+        // cools off.
+        decision.period = static_cast<Tick>(
+            static_cast<double>(decision.period) *
+            cfg_.breaker_period_factor);
+        if (decision.migrate)
+            ++breaker_deferred_;
+        decision.migrate = false;
+        decision.breaker_open = true;
+        if (cooldown_left_ > 0 && --cooldown_left_ == 0)
+            breaker_ = BreakerState::HalfOpen;
+    }
 }
 
 void
 Elector::reset()
 {
     prev_rel_bw_den_ddr_ = -1.0;
+    breaker_ = BreakerState::Closed;
+    window_attempted_ = 0;
+    window_failed_ = 0;
+    cooldown_left_ = 0;
 }
 
 void
-Elector::registerStats(StatRegistry &reg) const
+Elector::registerStats(StatRegistry &reg, bool faults_active) const
 {
     reg.addCounter("m5.elector.evaluations", &evaluations_);
     reg.addCounter("m5.elector.approvals", &approvals_);
+    if (faults_active) {
+        reg.addCounter("m5.elector.breaker_opened", &breaker_opened_);
+        reg.addCounter("m5.elector.breaker_closed", &breaker_closed_);
+        reg.addCounter("m5.elector.breaker_deferred", &breaker_deferred_);
+    }
 }
 
 } // namespace m5

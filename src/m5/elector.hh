@@ -37,7 +37,28 @@ struct ElectorConfig
     //! before another migration round is approved, suppressing churn on
     //! workloads already at equilibrium.
     double improvement_margin = 0.10;
+    //! Circuit breaker (docs/FAULTS.md): open when the windowed
+    //! transient-failure rate reaches this fraction...
+    double breaker_fail_threshold = 0.5;
+    //! ...over at least this many migrate_pages() attempts.
+    std::uint64_t breaker_min_samples = 8;
+    //! Evaluations to sit Open (pacing widened, no batches) before
+    //! probing with a half-open round.
+    std::uint64_t breaker_cooldown = 4;
+    //! How much an Open breaker widens the evaluation period.
+    double breaker_period_factor = 4.0;
 };
+
+/** Circuit-breaker state over migration transient-failure rate. */
+enum class BreakerState : std::uint8_t
+{
+    Closed,   //!< Normal pacing.
+    Open,     //!< Failure spike: pacing widened, batches withheld.
+    HalfOpen, //!< Cooldown over: one probe batch allowed.
+};
+
+/** Human-readable breaker state name. */
+const char *breakerStateName(BreakerState s);
 
 /** One Elector evaluation result. */
 struct ElectorDecision
@@ -45,6 +66,7 @@ struct ElectorDecision
     Tick period;       //!< T until the next evaluation.
     bool migrate;      //!< Invoke Promoter(Nominator()) this round?
     double rel_bw_den_ddr; //!< Diagnostic: the gating metric.
+    bool breaker_open = false; //!< Migration withheld by the breaker.
 };
 
 /** The Algorithm 1 control loop (one evaluation per call). */
@@ -63,7 +85,14 @@ class Elector
     /** Run one iteration of Algorithm 1 against fresh Monitor samples. */
     ElectorDecision evaluate(const Monitor &monitor);
 
-    /** Reset the previous-round state. */
+    /**
+     * Feed one promotion round's outcome into the breaker window.  The
+     * Manager calls this after every Promoter round; with no fault
+     * injection `failed` is always 0 and the breaker never opens.
+     */
+    void noteBatchOutcome(std::uint64_t attempted, std::uint64_t failed);
+
+    /** Reset the previous-round state (including the breaker). */
     void reset();
 
     /** The configuration in use. */
@@ -75,15 +104,42 @@ class Elector
     /** Iterations that approved a migration round. */
     std::uint64_t approvals() const { return approvals_; }
 
-    /** Register decision counters as `m5.elector.*` telemetry. */
-    void registerStats(StatRegistry &reg) const;
+    /** Current breaker state. */
+    BreakerState breakerState() const { return breaker_; }
+
+    /** Closed -> Open (or HalfOpen -> Open) transitions. */
+    std::uint64_t breakerOpened() const { return breaker_opened_; }
+
+    /** HalfOpen -> Closed recoveries. */
+    std::uint64_t breakerClosed() const { return breaker_closed_; }
+
+    /** Migration rounds withheld while Open. */
+    std::uint64_t breakerDeferred() const { return breaker_deferred_; }
+
+    /**
+     * Register decision counters as `m5.elector.*` telemetry.  The
+     * breaker counters are only published under fault injection
+     * (docs/FAULTS.md).
+     */
+    void registerStats(StatRegistry &reg, bool faults_active = false) const;
 
   private:
+    /** Breaker overlay on one base decision (runs every evaluation). */
+    void applyBreaker(ElectorDecision &decision);
+
     ElectorConfig cfg_;
     FScale fscale_;
     double prev_rel_bw_den_ddr_ = -1.0;
     std::uint64_t evaluations_ = 0;
     std::uint64_t approvals_ = 0;
+
+    BreakerState breaker_ = BreakerState::Closed;
+    std::uint64_t window_attempted_ = 0;
+    std::uint64_t window_failed_ = 0;
+    std::uint64_t cooldown_left_ = 0;
+    std::uint64_t breaker_opened_ = 0;
+    std::uint64_t breaker_closed_ = 0;
+    std::uint64_t breaker_deferred_ = 0;
 };
 
 } // namespace m5

@@ -12,7 +12,7 @@ M5Manager::M5Manager(const M5Config &cfg, CxlController &ctrl,
     : cfg_(cfg), ctrl_(ctrl), monitor_(monitor), ledger_(ledger),
       nominator_(cfg.nominator, pt, cfg.hpa_capacity),
       elector_(cfg.elector),
-      promoter_(pt, engine),
+      promoter_(pt, engine, cfg.retry),
       hot_list_(cfg.hot_list_capacity)
 {
     m5_assert(ctrl.hasHpt() || cfg.nominator == NominatorKind::HwtDriven,
@@ -35,26 +35,54 @@ M5Manager::wake(Tick now)
 
     monitor_.sample(now);
 
-    // Query the trackers the Nominator flavour needs.
+    // Query the trackers the Nominator flavour needs.  Under fault
+    // injection a query can come back stale (docs/FAULTS.md): the MMIO
+    // round trip is still paid, but the snapshot is discarded — the
+    // tracker keeps accumulating — and the Monitor's degradation ladder
+    // is informed.  The "primary" role marks the tracker this flavour
+    // cannot nominate without.
     if (cfg_.nominator != NominatorKind::HwtDriven && ctrl_.hasHpt()) {
-        auto hot_pages = ctrl_.hpt().queryAndReset();
         cycles += cost::kTrackerQuery;
-        TRACE_EVENT(TraceCat::Cxl, now, "hpt.query",
-                    TraceArgs().u("entries", hot_pages.size()));
-        for (const auto &e : hot_pages)
-            hot_list_.add(e.tag);
-        nominator_.updateFromHpt(hot_pages, now);
+        const bool stale =
+            faults_ && faults_->fires(FaultPoint::MmioStale, now);
+        if (stale) {
+            ctrl_.noteMmioTimeout();
+            monitor_.noteMmioQuery(/*primary=*/true, /*stale=*/true);
+            TRACE_EVENT(TraceCat::Cxl, now, "hpt.stale",
+                        TraceArgs().s("reason", "mmio_timeout"));
+        } else {
+            auto hot_pages = ctrl_.hpt().queryAndReset();
+            TRACE_EVENT(TraceCat::Cxl, now, "hpt.query",
+                        TraceArgs().u("entries", hot_pages.size()));
+            for (const auto &e : hot_pages)
+                hot_list_.add(e.tag);
+            nominator_.updateFromHpt(hot_pages, now);
+            if (faults_)
+                monitor_.noteMmioQuery(/*primary=*/true, /*stale=*/false);
+        }
     }
     if (cfg_.nominator != NominatorKind::HptOnly && ctrl_.hasHwt()) {
-        auto hot_words = ctrl_.hwt().queryAndReset();
+        const bool primary = cfg_.nominator == NominatorKind::HwtDriven;
         cycles += cost::kTrackerQuery;
-        TRACE_EVENT(TraceCat::Cxl, now, "hwt.query",
-                    TraceArgs().u("entries", hot_words.size()));
-        if (cfg_.nominator == NominatorKind::HwtDriven) {
-            for (const auto &e : hot_words)
-                hot_list_.add(pfnOf(e.tag << kWordShift));
+        const bool stale =
+            faults_ && faults_->fires(FaultPoint::MmioStale, now);
+        if (stale) {
+            ctrl_.noteMmioTimeout();
+            monitor_.noteMmioQuery(primary, /*stale=*/true);
+            TRACE_EVENT(TraceCat::Cxl, now, "hwt.stale",
+                        TraceArgs().s("reason", "mmio_timeout"));
+        } else {
+            auto hot_words = ctrl_.hwt().queryAndReset();
+            TRACE_EVENT(TraceCat::Cxl, now, "hwt.query",
+                        TraceArgs().u("entries", hot_words.size()));
+            if (primary) {
+                for (const auto &e : hot_words)
+                    hot_list_.add(pfnOf(e.tag << kWordShift));
+            }
+            nominator_.updateFromHwt(hot_words, now);
+            if (faults_)
+                monitor_.noteMmioQuery(primary, /*stale=*/false);
         }
-        nominator_.updateFromHwt(hot_words, now);
     }
 
     ledger_.charge(KernelWork::ManagerUser, cycles);
@@ -62,7 +90,8 @@ M5Manager::wake(Tick now)
 
     const ElectorDecision decision = elector_.evaluate(monitor_);
     // The Elector's inputs and verdict, with Algorithm 1's reason: the
-    // bootstrap fill, an improving rel_bw_den(DDR), or a stall.
+    // bootstrap fill, an improving rel_bw_den(DDR), a stall — or the
+    // circuit breaker withholding the round after a failure spike.
     TRACE_EVENT(TraceCat::Elect, now, "elector.decision",
         TraceArgs()
             .u("migrate", decision.migrate ? 1 : 0)
@@ -70,12 +99,26 @@ M5Manager::wake(Tick now)
             .d("bw_den_ddr", monitor_.bwDen(kNodeDdr))
             .d("bw_den_cxl", monitor_.bwDen(kNodeCxl))
             .d("rel_bw_den_ddr", decision.rel_bw_den_ddr)
-            .s("reason", monitor_.freeFrames(kNodeDdr) > 0
+            .s("reason", decision.breaker_open
+                   ? "breaker_open"
+                   : monitor_.freeFrames(kNodeDdr) > 0
                    ? "bootstrap"
                    : (decision.migrate ? "improved" : "stalled")));
-    if (decision.migrate && cfg_.migrate) {
+    // NoOp on the ladder means the primary tracker has gone stale:
+    // nominating from dead data would migrate yesterday's hot set.
+    const bool degraded_noop =
+        faults_ && monitor_.degrade() == MonitorDegrade::NoOp;
+    if (decision.migrate && cfg_.migrate && degraded_noop) {
+        TRACE_EVENT(TraceCat::Elect, now, "m5.nominate_skip",
+                    TraceArgs().s("reason",
+                                  monitorDegradeName(monitor_.degrade())));
+    }
+    if (decision.migrate && cfg_.migrate && !degraded_noop) {
         auto candidates = nominator_.nominate(cfg_.migrate_batch, now);
-        elapsed += promoter_.promote(candidates, now + elapsed);
+        const PromoteRound round =
+            promoter_.promote(candidates, now + elapsed);
+        elapsed += round.busy;
+        elector_.noteBatchOutcome(round.attempted, round.failed);
     }
 
     Tick period = decision.period;
@@ -97,7 +140,7 @@ M5Manager::registerStats(StatRegistry &reg) const
 {
     reg.addCounter("m5.manager.wakeups", &wakeups_);
     nominator_.registerStats(reg);
-    elector_.registerStats(reg);
+    elector_.registerStats(reg, faults_ != nullptr);
     promoter_.registerStats(reg);
 }
 

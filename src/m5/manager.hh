@@ -37,6 +37,7 @@ struct M5Config
 {
     NominatorKind nominator = NominatorKind::HptDriven;
     ElectorConfig elector;
+    RetryConfig retry; //!< Promoter retry/backoff (docs/FAULTS.md).
     std::size_t migrate_batch = 64; //!< Max pages promoted per wakeup.
     bool migrate = true;             //!< False = record-only (Figure 8).
     std::size_t hot_list_capacity = 128 * 1024;
@@ -65,6 +66,14 @@ class M5Manager : public PolicyDaemon
     /** Number of wakeups executed. */
     std::uint64_t wakeups() const { return wakeups_; }
 
+    /**
+     * Attach a fault injector (nullptr detaches).  Stale-MMIO injection
+     * and the degradation ladder only operate while one is attached;
+     * must precede registerStats so resilience counters are gated
+     * consistently (docs/FAULTS.md).
+     */
+    void attachFaults(FaultInjector *faults) { faults_ = faults; }
+
     /** Register `m5.manager.wakeups` plus all sub-component stats. */
     void registerStats(StatRegistry &reg) const;
 
@@ -73,6 +82,7 @@ class M5Manager : public PolicyDaemon
     CxlController &ctrl_;
     Monitor &monitor_;
     KernelLedger &ledger_;
+    FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
 
     Nominator nominator_;
     Elector elector_;

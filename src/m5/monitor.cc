@@ -5,6 +5,17 @@
 
 namespace m5 {
 
+const char *
+monitorDegradeName(MonitorDegrade d)
+{
+    switch (d) {
+      case MonitorDegrade::Full: return "full";
+      case MonitorDegrade::HptOnly: return "hpt_only";
+      case MonitorDegrade::NoOp: return "noop";
+      default: m5_panic("bad MonitorDegrade %u", static_cast<unsigned>(d));
+    }
+}
+
 Monitor::Monitor(const MemorySystem &mem, const PageTable &pt)
     : mem_(mem), pt_(pt),
       last_read_bytes_(mem.tiers(), 0),
@@ -82,7 +93,38 @@ Monitor::freeFrames(NodeId node) const
 }
 
 void
-Monitor::registerStats(StatRegistry &reg) const
+Monitor::noteMmioQuery(bool primary, bool stale)
+{
+    const MonitorDegrade before = degrade();
+    std::uint64_t &run = primary ? primary_stale_run_
+                                 : secondary_stale_run_;
+    if (stale) {
+        ++stale_mmio_;
+        ++run;
+    } else {
+        run = 0;
+    }
+    const MonitorDegrade after = degrade();
+    if (after != before) {
+        if (after == MonitorDegrade::NoOp)
+            ++degrade_noop_;
+        else if (after == MonitorDegrade::HptOnly)
+            ++degrade_hpt_only_;
+    }
+}
+
+MonitorDegrade
+Monitor::degrade() const
+{
+    if (primary_stale_run_ >= kStaleRunThreshold)
+        return MonitorDegrade::NoOp;
+    if (secondary_stale_run_ >= kStaleRunThreshold)
+        return MonitorDegrade::HptOnly;
+    return MonitorDegrade::Full;
+}
+
+void
+Monitor::registerStats(StatRegistry &reg, bool faults_active) const
 {
     // Gauges re-read the Monitor at sampling time, so telemetry exports
     // exactly what the Elector last saw — the same memory, not a copy.
@@ -103,6 +145,11 @@ Monitor::registerStats(StatRegistry &reg) const
         });
     }
     reg.addGauge("m5.monitor.bw_tot", [this] { return bwTot(); });
+    if (faults_active) {
+        reg.addCounter("m5.monitor.stale_mmio", &stale_mmio_);
+        reg.addCounter("m5.monitor.degrade_hpt_only", &degrade_hpt_only_);
+        reg.addCounter("m5.monitor.degrade_noop", &degrade_noop_);
+    }
 }
 
 } // namespace m5

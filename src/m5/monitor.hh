@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
@@ -19,6 +20,25 @@
 #include "telemetry/registry.hh"
 
 namespace m5 {
+
+/**
+ * Nomination degradation ladder under stale MMIO (docs/FAULTS.md).
+ *
+ * When tracker snapshots stop arriving the Monitor steps the manager
+ * down instead of letting it act on dead data: Full (all configured
+ * trackers fresh) -> HptOnly (the secondary HWT is stale; fall back to
+ * page-granular HPT data) -> NoOp (the primary tracker is stale; stop
+ * nominating until it recovers).
+ */
+enum class MonitorDegrade : std::uint8_t
+{
+    Full = 0,
+    HptOnly,
+    NoOp,
+};
+
+/** Human-readable degradation level name. */
+const char *monitorDegradeName(MonitorDegrade d);
 
 /** Sampled utilisation statistics for the migration policy. */
 class Monitor
@@ -49,8 +69,30 @@ class Monitor
     /** Frames still unused on a node (zoneinfo free counters). */
     std::size_t freeFrames(NodeId node) const;
 
-    /** Register the Table 1 metrics as `m5.monitor.*` gauges. */
-    void registerStats(StatRegistry &reg) const;
+    /**
+     * Record the freshness of one tracker MMIO query.  `primary` marks
+     * the tracker the flavour cannot nominate without (the HPT for
+     * HPT-driven flavours, the HWT for HWT-driven); the HPT+HWT flavour
+     * reports its HWT as secondary.  Three consecutive stale snapshots
+     * from a role step the ladder down; one fresh snapshot resets it.
+     */
+    void noteMmioQuery(bool primary, bool stale);
+
+    /** Current nomination degradation level. */
+    MonitorDegrade degrade() const;
+
+    /** Stale MMIO snapshots observed so far. */
+    std::uint64_t staleMmio() const { return stale_mmio_; }
+
+    /**
+     * Register the Table 1 metrics as `m5.monitor.*` gauges; the stale
+     * MMIO / degradation counters only under fault injection
+     * (docs/FAULTS.md).
+     */
+    void registerStats(StatRegistry &reg, bool faults_active = false) const;
+
+    /** Consecutive stale snapshots that trigger a degradation step. */
+    static constexpr std::uint64_t kStaleRunThreshold = 3;
 
   private:
     const MemorySystem &mem_;
@@ -58,6 +100,12 @@ class Monitor
     Tick last_sample_ = 0;
     std::vector<std::uint64_t> last_read_bytes_;
     std::vector<double> bw_; //!< bytes/s per node over the last interval.
+
+    std::uint64_t stale_mmio_ = 0;
+    std::uint64_t primary_stale_run_ = 0;
+    std::uint64_t secondary_stale_run_ = 0;
+    std::uint64_t degrade_hpt_only_ = 0; //!< Entries into HptOnly.
+    std::uint64_t degrade_noop_ = 0;     //!< Entries into NoOp.
 };
 
 } // namespace m5

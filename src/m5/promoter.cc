@@ -4,23 +4,80 @@
 
 namespace m5 {
 
-Promoter::Promoter(const PageTable &pt, MigrationEngine &engine)
-    : pt_(pt), engine_(engine)
+Promoter::Promoter(const PageTable &pt, MigrationEngine &engine,
+                   const RetryConfig &retry)
+    : pt_(pt), engine_(engine), retry_(retry)
 {
 }
 
-Tick
+void
+Promoter::drop(Vpn vpn, Tick now, const char *reason)
+{
+    ++stats_.dropped;
+    engine_.noteDropped();
+    TRACE_EVENT(TraceCat::Promote, now, "promoter.drop",
+                TraceArgs().u("page", vpn).s("reason", reason));
+}
+
+void
+Promoter::noteTransient(Vpn vpn, std::uint64_t attempts, Tick now)
+{
+    if (attempts >= retry_.max_attempts) {
+        drop(vpn, now, "max_attempts");
+        return;
+    }
+    if (retry_queue_.size() >= retry_.queue_capacity) {
+        drop(vpn, now, "queue_full");
+        return;
+    }
+    // Exponential backoff: base after the first failure, doubling per
+    // further attempt.
+    const Tick backoff = retry_.backoff_base << (attempts - 1);
+    retry_queue_.push_back({vpn, attempts, now + backoff});
+}
+
+PromoteRound
 Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
 {
-    Tick elapsed = 0;
+    PromoteRound round;
     std::size_t issued = 0;
     std::size_t rejected = 0;
+
+    // Re-attempt due retries first (FIFO among due entries).  With no
+    // fault injection the queue is always empty and this is a no-op.
+    const std::size_t pending = retry_queue_.size();
+    for (std::size_t i = 0; i < pending; ++i) {
+        RetryEntry entry = retry_queue_.front();
+        retry_queue_.pop_front();
+        if (entry.not_before > now) {
+            retry_queue_.push_back(entry); // Not due yet; keep waiting.
+            continue;
+        }
+        if (!engine_.canPromote(entry.vpn))
+            continue; // Moved or unmapped since it failed; retry moot.
+        ++stats_.retried;
+        engine_.noteRetry();
+        TRACE_EVENT(TraceCat::Promote, now + round.busy, "promoter.retry",
+                    TraceArgs().u("page", entry.vpn)
+                               .u("attempt", entry.attempts + 1));
+        ++issued;
+        ++round.attempted;
+        MigrateResult res = engine_.promote(entry.vpn, now + round.busy);
+        round.busy += res.busy;
+        if (res.ok()) {
+            ++stats_.retry_succeeded;
+        } else if (res.transient()) {
+            ++round.failed;
+            noteTransient(entry.vpn, entry.attempts + 1, now + round.busy);
+        }
+    }
+
     for (Vpn vpn : vpns) {
         ++stats_.requested;
         if (!engine_.canPromote(vpn)) {
             ++stats_.rejected;
             ++rejected;
-            TRACE_EVENT(TraceCat::Promote, now + elapsed,
+            TRACE_EVENT(TraceCat::Promote, now + round.busy,
                         "promoter.reject",
                         TraceArgs().u("page", vpn)
                                    .s("reason", pt_.pte(vpn).pinned
@@ -29,18 +86,24 @@ Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
         }
         ++stats_.accepted;
         ++issued;
-        TRACE_EVENT(TraceCat::Promote, now + elapsed, "promoter.accept",
+        ++round.attempted;
+        TRACE_EVENT(TraceCat::Promote, now + round.busy, "promoter.accept",
                     TraceArgs().u("page", vpn));
-        elapsed += engine_.promote(vpn, now + elapsed);
+        MigrateResult res = engine_.promote(vpn, now + round.busy);
+        round.busy += res.busy;
+        if (res.transient()) {
+            ++round.failed;
+            noteTransient(vpn, 1, now + round.busy);
+        }
     }
     engine_.noteBatch(issued);
     if (!vpns.empty()) {
-        TRACE_SPAN(TraceCat::Promote, now, elapsed, "promoter.batch",
+        TRACE_SPAN(TraceCat::Promote, now, round.busy, "promoter.batch",
                    TraceArgs().u("requested", vpns.size())
                               .u("accepted", issued)
                               .u("rejected", rejected));
     }
-    return elapsed;
+    return round;
 }
 
 void
@@ -49,6 +112,13 @@ Promoter::registerStats(StatRegistry &reg) const
     reg.addCounter("m5.promoter.requested", &stats_.requested);
     reg.addCounter("m5.promoter.accepted", &stats_.accepted);
     reg.addCounter("m5.promoter.rejected", &stats_.rejected);
+    // Gated like the engine's resilience counters (docs/FAULTS.md).
+    if (engine_.faultsActive()) {
+        reg.addCounter("m5.promoter.retried", &stats_.retried);
+        reg.addCounter("m5.promoter.retry_succeeded",
+                       &stats_.retry_succeeded);
+        reg.addCounter("m5.promoter.dropped", &stats_.dropped);
+    }
 }
 
 } // namespace m5

@@ -6,11 +6,19 @@
  * addresses (via a proc-file write in the real system), validates that
  * each page may be safely migrated — rejecting DMA-pinned pages and pages
  * the user explicitly bound to the CXL node — and invokes migrate_pages().
+ *
+ * migrate_pages() can fail transiently (EBUSY, refcount races, target
+ * allocation failure — see docs/FAULTS.md), so the Promoter keeps a
+ * bounded retry queue: a transiently failed page is re-attempted on a
+ * later wake with exponential backoff, and dropped with a reason after
+ * too many attempts or when the queue is full.  A dropped page is not
+ * lost — if it stays hot, the Nominator elects it again.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -20,38 +28,79 @@
 
 namespace m5 {
 
+/** Retry policy for transiently failed promotions. */
+struct RetryConfig
+{
+    //! Attempts per page before dropping (first try included).
+    std::uint64_t max_attempts = 3;
+    //! Backoff before the first retry; doubles per further attempt.
+    Tick backoff_base = usToTicks(200);
+    //! Bounded pending-retry queue; overflow drops the newest failure.
+    std::size_t queue_capacity = 256;
+};
+
 /** Promoter outcome counters. */
 struct PromoterStats
 {
     std::uint64_t requested = 0;
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t retried = 0;         //!< Retry attempts issued.
+    std::uint64_t retry_succeeded = 0; //!< Retries that landed the page.
+    std::uint64_t dropped = 0;         //!< Pages dropped from the queue.
+};
+
+/** One promotion round's outcome (Manager feeds this to the Elector's
+ *  circuit breaker). */
+struct [[nodiscard]] PromoteRound
+{
+    Tick busy = 0;
+    std::uint64_t attempted = 0; //!< migrate_pages() attempts issued.
+    std::uint64_t failed = 0;    //!< Transient failures among them.
 };
 
 /** Validates and launches migrations for Elector-approved pages. */
 class Promoter
 {
   public:
-    Promoter(const PageTable &pt, MigrationEngine &engine);
+    Promoter(const PageTable &pt, MigrationEngine &engine,
+             const RetryConfig &retry = {});
 
     /**
      * Model a proc-file write of nominated pages followed by
-     * migrate_pages() on the safe subset.
-     *
-     * @return Time consumed by the migrations.
+     * migrate_pages() on the safe subset.  Due retries from earlier
+     * rounds are re-attempted first.
      */
-    Tick promote(const std::vector<Vpn> &vpns, Tick now);
+    PromoteRound promote(const std::vector<Vpn> &vpns, Tick now);
 
     /** Statistics. */
     const PromoterStats &stats() const { return stats_; }
+
+    /** Transiently failed pages awaiting a retry. */
+    std::size_t pendingRetries() const { return retry_queue_.size(); }
 
     /** Register outcome counters as `m5.promoter.*` telemetry. */
     void registerStats(StatRegistry &reg) const;
 
   private:
+    struct RetryEntry
+    {
+        Vpn vpn = 0;
+        std::uint64_t attempts = 0; //!< Attempts made so far.
+        Tick not_before = 0;        //!< Earliest retry time.
+    };
+
+    /** Queue a transient failure, or drop it with a reason. */
+    void noteTransient(Vpn vpn, std::uint64_t attempts, Tick now);
+
+    /** Drop a page from the retry pipeline. */
+    void drop(Vpn vpn, Tick now, const char *reason);
+
     const PageTable &pt_;
     MigrationEngine &engine_;
+    RetryConfig retry_;
     PromoterStats stats_;
+    std::deque<RetryEntry> retry_queue_;
 };
 
 } // namespace m5

@@ -92,7 +92,7 @@ AnbDaemon::onHintFault(Vpn vpn, Tick now)
                 token_time_ = now;
                 if (tokens_ >= 1.0) {
                     tokens_ -= 1.0;
-                    elapsed += engine_.promote(vpn, now + elapsed);
+                    elapsed += engine_.promote(vpn, now + elapsed).busy;
                     engine_.noteBatch(1); // NUMA hinting promotes singly.
                 } else {
                     rate_limited_since_scan_ = true;

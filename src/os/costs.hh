@@ -59,6 +59,11 @@ inline constexpr Tick kPageWalkNs = 40;
  *  bookkeeping), chosen so copy + overhead ≈ 54us. */
 inline constexpr Cycles kMigratePageSoftware = 64000;
 
+/** Aborted migrate_pages() attempt (rmap walk + refcount check that hit
+ *  EBUSY / a pinned refcount race, then unwound).  Much cheaper than a
+ *  full migration but not free — the kernel still walked the page. */
+inline constexpr Cycles kMigrateAbort = 8000;
+
 /** DAMOS: examining one candidate page of a hot region for migration
  *  (vma/rmap validation), paid whether or not the page actually moves —
  *  the cost DAMON keeps paying at equilibrium (§7.2, Redis). */

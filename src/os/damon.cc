@@ -200,7 +200,7 @@ DamonDaemon::applyPlanChunk(Tick now)
         const Vpn vpn = plan_[plan_cursor_];
         attempt_cycles += cost::kDamosAttempt;
         if (cfg_.migrate && pt_.pte(vpn).node == kNodeCxl) {
-            elapsed += engine_.promote(vpn, now + elapsed);
+            elapsed += engine_.promote(vpn, now + elapsed).busy;
             ++issued;
         }
     }

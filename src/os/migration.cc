@@ -6,6 +6,22 @@
 
 namespace m5 {
 
+const char *
+MigrateResult::reason() const
+{
+    switch (outcome) {
+      case MigrateOutcome::Done: return "ok";
+      case MigrateOutcome::TransientBusy: return "busy";
+      case MigrateOutcome::TransientNoFrame: return "no_frame";
+      case MigrateOutcome::RejectedPinned: return "pinned";
+      case MigrateOutcome::RejectedNotCxl: return "not_cxl";
+      case MigrateOutcome::FailedCapacity: return "failed_capacity";
+      default:
+        m5_panic("bad MigrateOutcome %u",
+                 static_cast<unsigned>(outcome));
+    }
+}
+
 MigrationEngine::MigrationEngine(PageTable &pt, FrameAllocator &alloc,
                                  MemorySystem &mem, SetAssocCache &llc,
                                  Tlb &tlb, KernelLedger &ledger, MgLru &mglru,
@@ -74,7 +90,23 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
     return elapsed;
 }
 
-Tick
+MigrateResult
+MigrationEngine::transientFail(Vpn vpn, Tick now, MigrateOutcome outcome)
+{
+    // The aborted attempt still walked the rmap and bumped refcounts;
+    // charge the unwind, but leave the page mapped at its source —
+    // Nomad-style, nothing to roll back.
+    ledger_.charge(KernelWork::Migration, cost::kMigrateAbort);
+    const Tick elapsed = cyclesToNs(cost::kMigrateAbort);
+    stats_.busy_time += elapsed;
+    ++stats_.transient_fail;
+    MigrateResult res{outcome, elapsed};
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.transient",
+                TraceArgs().u("page", vpn).s("reason", res.reason()));
+    return res;
+}
+
+MigrateResult
 MigrationEngine::promote(Vpn vpn, Tick now)
 {
     const Pte &e = pt_.pte(vpn);
@@ -82,14 +114,22 @@ MigrationEngine::promote(Vpn vpn, Tick now)
         ++stats_.rejected_not_cxl;
         TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
                     TraceArgs().u("page", vpn).s("reason", "not_cxl"));
-        return 0;
+        return {MigrateOutcome::RejectedNotCxl, 0};
     }
     if (e.pinned) {
         ++stats_.rejected_pinned;
         TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
                     TraceArgs().u("page", vpn).s("reason", "pinned"));
-        return 0;
+        return {MigrateOutcome::RejectedPinned, 0};
     }
+
+    // Injected transient failures (docs/FAULTS.md): EBUSY / refcount
+    // races abort before any frame is touched; DDR allocation failure
+    // aborts before the demote-for-room path would run.
+    if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
+        return transientFail(vpn, now, MigrateOutcome::TransientBusy);
+    if (faults_ && faults_->fires(FaultPoint::DdrAlloc, now))
+        return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
 
     Tick elapsed = 0;
     if (alloc_.freeFrames(kNodeDdr) == 0) {
@@ -100,7 +140,7 @@ MigrationEngine::promote(Vpn vpn, Tick now)
             TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
                         TraceArgs().u("page", vpn)
                                    .s("reason", "failed_capacity"));
-            return 0;
+            return {MigrateOutcome::FailedCapacity, 0};
         }
         elapsed += demote(victims[0], now);
         if (alloc_.freeFrames(kNodeDdr) == 0) {
@@ -109,7 +149,7 @@ MigrationEngine::promote(Vpn vpn, Tick now)
                         "migration.reject",
                         TraceArgs().u("page", vpn)
                                    .s("reason", "failed_capacity"));
-            return elapsed;
+            return {MigrateOutcome::FailedCapacity, elapsed};
         }
     }
 
@@ -122,21 +162,29 @@ MigrationEngine::promote(Vpn vpn, Tick now)
                            .u("src_pfn", src_pfn)
                            .u("dst_pfn", pt_.pte(vpn).pfn)
                            .u("busy", elapsed));
-    return elapsed;
+    return {MigrateOutcome::Done, elapsed};
 }
 
-Tick
+BatchResult
 MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
 {
-    Tick elapsed = 0;
-    for (Vpn vpn : vpns)
-        elapsed += promote(vpn, now + elapsed);
+    BatchResult batch;
+    for (Vpn vpn : vpns) {
+        MigrateResult res = promote(vpn, now + batch.busy);
+        batch.busy += res.busy;
+        if (res.ok())
+            ++batch.promoted;
+        else if (res.transient())
+            ++batch.transient;
+        else
+            ++batch.rejected;
+    }
     noteBatch(vpns.size());
     if (!vpns.empty()) {
-        TRACE_SPAN(TraceCat::Migrate, now, elapsed, "migration.batch",
+        TRACE_SPAN(TraceCat::Migrate, now, batch.busy, "migration.batch",
                    TraceArgs().u("pages", vpns.size()));
     }
-    return elapsed;
+    return batch;
 }
 
 Tick
@@ -169,6 +217,15 @@ MigrationEngine::registerStats(StatRegistry &reg) const
     reg.addCounter("os.migration.failed_capacity", &stats_.failed_capacity);
     reg.addCounter("os.migration.busy_time", &stats_.busy_time);
     reg.addHistogram("os.migration.batch_pages", &batch_hist_);
+    // Resilience counters only exist when faults are in play, so a
+    // fault-free run's telemetry JSONL stays byte-identical to builds
+    // without the subsystem (docs/FAULTS.md).
+    if (faults_) {
+        reg.addCounter("os.migration.transient_fail",
+                       &stats_.transient_fail);
+        reg.addCounter("os.migration.retries", &stats_.retries);
+        reg.addCounter("os.migration.dropped", &stats_.dropped);
+    }
 }
 
 } // namespace m5

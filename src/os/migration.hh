@@ -28,6 +28,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/mglru.hh"
 #include "os/page_table.hh"
+#include "sim/fault/fault.hh"
 #include "telemetry/registry.hh"
 
 namespace m5 {
@@ -56,6 +57,63 @@ struct MigrationStats
     std::uint64_t rejected_not_cxl = 0;
     std::uint64_t failed_capacity = 0;
     Tick busy_time = 0; //!< Wall time consumed migrating.
+    //! Transient migrate_pages() failures (fault injection; the page
+    //! stayed mapped at its source and may be retried).
+    std::uint64_t transient_fail = 0;
+    //! Retries issued against previously transient pages (Promoter).
+    std::uint64_t retries = 0;
+    //! Pages dropped from the retry pipeline (max attempts / queue full).
+    std::uint64_t dropped = 0;
+};
+
+/** Why one promote() call ended the way it did. */
+enum class MigrateOutcome : std::uint8_t
+{
+    Done,             //!< Page now resident on DDR.
+    TransientBusy,    //!< migrate_pages() hit EBUSY / a refcount race;
+                      //!< the page stays at its source — retryable.
+    TransientNoFrame, //!< DDR frame allocation failed under pressure;
+                      //!< retryable once pressure clears.
+    RejectedPinned,   //!< Permanent: page is DMA-pinned.
+    RejectedNotCxl,   //!< Permanent: page not CXL-resident (or unmapped).
+    FailedCapacity,   //!< DDR full and no demotion victim available.
+};
+
+/**
+ * Per-page result of a promotion attempt (Nomad-style semantics: on any
+ * failure the page is still mapped at its source — nothing is lost,
+ * only time).  [[nodiscard]] because ignoring a failed migration is how
+ * real pipelines leak hot pages onto the slow tier; m5lint's
+ * no-unchecked-migrate-result rule backs this up across call sites.
+ */
+struct [[nodiscard]] MigrateResult
+{
+    MigrateOutcome outcome = MigrateOutcome::Done;
+    Tick busy = 0; //!< Time consumed (nonzero even on some failures).
+
+    /** Page landed on DDR. */
+    bool ok() const { return outcome == MigrateOutcome::Done; }
+
+    /** Failure that a later retry may clear. */
+    bool
+    transient() const
+    {
+        return outcome == MigrateOutcome::TransientBusy ||
+               outcome == MigrateOutcome::TransientNoFrame;
+    }
+
+    /** Stable reason string ("ok", "busy", "no_frame", "pinned",
+     *  "not_cxl", "failed_capacity") — shared by traces and reports. */
+    const char *reason() const;
+};
+
+/** Aggregate result of promoteBatch (partial batches commit). */
+struct [[nodiscard]] BatchResult
+{
+    Tick busy = 0;
+    std::uint64_t promoted = 0;  //!< Pages that landed on DDR.
+    std::uint64_t transient = 0; //!< Retryable failures.
+    std::uint64_t rejected = 0;  //!< Permanent rejects + capacity.
 };
 
 /** Moves pages between tiers with full cost accounting. */
@@ -71,16 +129,17 @@ class MigrationEngine
      *
      * @param vpn Page to promote.
      * @param now Current simulated time.
-     * @return Time consumed (0 if the page was rejected).
+     * @return Outcome + time consumed; on any failure the page is still
+     *         mapped at its source.
      */
-    Tick promote(Vpn vpn, Tick now);
+    MigrateResult promote(Vpn vpn, Tick now);
 
     /**
-     * Promote a batch; stops early only on allocator exhaustion that
-     * demotion cannot fix.
-     * @return Total time consumed.
+     * Promote a batch.  Partial batches commit: each page succeeds or
+     * fails independently, and a transient failure mid-batch does not
+     * unwind earlier promotions.
      */
-    Tick promoteBatch(const std::vector<Vpn> &vpns, Tick now);
+    BatchResult promoteBatch(const std::vector<Vpn> &vpns, Tick now);
 
     /** Demote one specific page to CXL. @return Time consumed. */
     Tick demote(Vpn vpn, Tick now);
@@ -108,12 +167,32 @@ class MigrationEngine
     /** Promotion-batch size distribution (pages per batch). */
     const StatHistogram &batchPagesHistogram() const { return batch_hist_; }
 
+    /**
+     * Attach a fault injector (nullptr detaches).  Must precede
+     * registerStats: the retry/transient/dropped counters are only
+     * published when faults are in play, so fault-free telemetry stays
+     * byte-identical (docs/FAULTS.md).
+     */
+    void attachFaults(FaultInjector *faults) { faults_ = faults; }
+
+    /** True when a fault injector is attached. */
+    bool faultsActive() const { return faults_ != nullptr; }
+
+    /** The Promoter reports a retry of a transiently failed page. */
+    void noteRetry() { ++stats_.retries; }
+
+    /** The Promoter reports a page dropped from the retry pipeline. */
+    void noteDropped() { ++stats_.dropped; }
+
     /** Register outcome counters as `os.migration.*` telemetry. */
     void registerStats(StatRegistry &reg) const;
 
   private:
     /** Move vpn to dst_node; the caller guarantees a frame is available. */
     Tick moveTo(Vpn vpn, NodeId dst_node, Tick now);
+
+    /** Account + trace one injected transient failure. */
+    MigrateResult transientFail(Vpn vpn, Tick now, MigrateOutcome outcome);
 
     PageTable &pt_;
     FrameAllocator &alloc_;
@@ -124,6 +203,7 @@ class MigrationEngine
     MgLru &mglru_;
     MigrationCosts costs_;
     MigrationStats stats_;
+    FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
     StatHistogram batch_hist_{{1, 2, 4, 8, 16, 32, 64, 128}};
 };
 

@@ -57,7 +57,7 @@ MemtisDaemon::drainBuffer(Tick now)
         hot_list_.add(e.pfn);
         if (cfg_.migrate && tokens_ >= 1.0) {
             tokens_ -= 1.0;
-            elapsed += engine_.promote(vpn, now + elapsed);
+            elapsed += engine_.promote(vpn, now + elapsed).busy;
             ++issued;
         }
     }

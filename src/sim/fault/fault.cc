@@ -1,0 +1,209 @@
+#include "sim/fault/fault.hh"
+
+#include <cstddef>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace m5 {
+
+namespace {
+
+/** Seed salt: fault decisions come from their own stream, never the
+ *  workload's (the byte-identity guarantee in docs/FAULTS.md). */
+constexpr std::uint64_t kFaultSeedSalt = 0xfa417c0de5eedULL;
+
+/** Default wake-fault magnitudes when the rule omits `delay=`. */
+constexpr Tick kDefaultWakeDelay = usToTicks(500);
+constexpr Tick kDefaultWakeDropRetry = msToTicks(1);
+
+std::optional<FaultPoint>
+faultPointOf(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
+        auto pt = static_cast<FaultPoint>(i);
+        if (name == faultPointName(pt))
+            return pt;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+const char *
+faultPointName(FaultPoint pt)
+{
+    switch (pt) {
+      case FaultPoint::MigrateBusy: return "migrate_busy";
+      case FaultPoint::DdrAlloc: return "ddr_alloc";
+      case FaultPoint::MmioStale: return "mmio_stale";
+      case FaultPoint::WakeDelay: return "wake_delay";
+      case FaultPoint::WakeDrop: return "wake_drop";
+      default: m5_panic("bad FaultPoint %u", static_cast<unsigned>(pt));
+    }
+}
+
+Tick
+parseDuration(const std::string &text, const std::string &context)
+{
+    double scale = 1.0; // ns
+    std::string num = text;
+    auto ends_with = [&](const char *suffix) {
+        std::string s(suffix);
+        return num.size() > s.size() &&
+               num.compare(num.size() - s.size(), s.size(), s) == 0;
+    };
+    if (ends_with("ns")) {
+        num.resize(num.size() - 2);
+    } else if (ends_with("us")) {
+        scale = 1e3;
+        num.resize(num.size() - 2);
+    } else if (ends_with("ms")) {
+        scale = 1e6;
+        num.resize(num.size() - 2);
+    } else if (ends_with("s")) {
+        scale = 1e9;
+        num.resize(num.size() - 1);
+    }
+    auto v = parseDouble(num);
+    if (!v || *v < 0)
+        m5_fatal("%s: bad duration '%s' (want <number>[ns|us|ms|s])",
+                 context.c_str(), text.c_str());
+    return static_cast<Tick>(*v * scale);
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    plan.spec = spec;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty())
+            continue;
+
+        std::size_t colon = clause.find(':');
+        if (colon == std::string::npos)
+            m5_fatal("fault spec clause '%s': want point:param=value",
+                     clause.c_str());
+        std::string point_name = clause.substr(0, colon);
+        auto pt = faultPointOf(point_name);
+        if (!pt)
+            m5_fatal("fault spec clause '%s': unknown point '%s'",
+                     clause.c_str(), point_name.c_str());
+        FaultRule &rule = plan.rules[static_cast<std::size_t>(*pt)];
+
+        std::string param = clause.substr(colon + 1);
+        std::size_t eq = param.find('=');
+        if (eq == std::string::npos)
+            m5_fatal("fault spec clause '%s': want point:param=value",
+                     clause.c_str());
+        std::string key = param.substr(0, eq);
+        std::string value = param.substr(eq + 1);
+
+        if (key == "p") {
+            auto p = parseDouble(value);
+            if (!p || *p < 0.0 || *p > 1.0)
+                m5_fatal("fault spec clause '%s': p wants a probability "
+                         "in [0,1], got '%s'",
+                         clause.c_str(), value.c_str());
+            rule.p = *p;
+        } else if (key == "burst") {
+            std::size_t at = value.find('@');
+            if (at == std::string::npos)
+                m5_fatal("fault spec clause '%s': burst wants "
+                         "<count>@<time>", clause.c_str());
+            auto count = parseU64(value.substr(0, at));
+            if (!count)
+                m5_fatal("fault spec clause '%s': bad burst count '%s'",
+                         clause.c_str(), value.substr(0, at).c_str());
+            rule.burst_count = *count;
+            rule.burst_at = parseDuration(value.substr(at + 1), clause);
+        } else if (key == "after") {
+            rule.after = parseDuration(value, clause);
+            rule.has_after = true;
+        } else if (key == "delay") {
+            rule.delay = parseDuration(value, clause);
+        } else {
+            m5_fatal("fault spec clause '%s': unknown param '%s' "
+                     "(want p/burst/after/delay)",
+                     clause.c_str(), key.c_str());
+        }
+    }
+    return plan;
+}
+
+bool
+FaultPlan::inert() const
+{
+    for (const FaultRule &rule : rules) {
+        if (rule.active())
+            return false;
+    }
+    return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed ^ kFaultSeedSalt)
+{
+    for (std::size_t i = 0; i < kNumFaultPoints; ++i)
+        burst_left_[i] = plan_.rules[i].burst_count;
+}
+
+bool
+FaultInjector::fires(FaultPoint pt, Tick now)
+{
+    auto i = static_cast<std::size_t>(pt);
+    const FaultRule &rule = plan_.rules[i];
+    bool fire = false;
+    if (rule.has_after && now >= rule.after) {
+        fire = true;
+    } else if (burst_left_[i] > 0 && now >= rule.burst_at) {
+        --burst_left_[i];
+        fire = true;
+    } else if (rule.p > 0.0) {
+        // Guarded so rules armed purely by burst/after — and inert
+        // rules — never touch the stream.
+        fire = rng_.chance(rule.p);
+    }
+    if (fire)
+        ++injected_[i];
+    return fire;
+}
+
+Tick
+FaultInjector::delayFor(FaultPoint pt) const
+{
+    const FaultRule &rule = plan_.rules[static_cast<std::size_t>(pt)];
+    if (rule.delay > 0)
+        return rule.delay;
+    return pt == FaultPoint::WakeDrop ? kDefaultWakeDropRetry
+                                      : kDefaultWakeDelay;
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : injected_)
+        total += n;
+    return total;
+}
+
+void
+FaultInjector::registerStats(StatRegistry &reg) const
+{
+    for (std::size_t i = 0; i < kNumFaultPoints; ++i) {
+        auto pt = static_cast<FaultPoint>(i);
+        reg.addCounter(std::string("sim.fault.") + faultPointName(pt),
+                       &injected_[i]);
+    }
+}
+
+} // namespace m5

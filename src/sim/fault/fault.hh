@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/FAULTS.md).
+ *
+ * Real tiered-memory systems misbehave constantly: migrate_pages()
+ * returns EBUSY under refcount races, the target node runs out of
+ * frames mid-batch, MMIO snapshots from a saturated CXL controller
+ * arrive stale, and the manager's wakeups slip under scheduler
+ * pressure.  A FaultPlan makes the simulator misbehave the same way,
+ * on demand and reproducibly: a spec string like
+ *
+ *   migrate_busy:p=0.05,mmio_stale:after=2ms,ddr_alloc:burst=100@5ms
+ *
+ * arms per-injection-point rules, and a FaultInjector draws every
+ * probabilistic decision from its OWN seeded RNG stream — so a plan
+ * whose rules can never fire (all probabilities 0, no bursts, no
+ * deadlines) is byte-identical to a fault-free run, and two runs of
+ * the same plan with the same seed inject the exact same faults.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+/** Where a fault can be injected. */
+enum class FaultPoint : unsigned
+{
+    MigrateBusy = 0, //!< Transient migrate_pages() failure (EBUSY / pinned
+                     //!< refcount race); the page stays at its source.
+    DdrAlloc,        //!< DDR frame allocation fails (target-node pressure).
+    MmioStale,       //!< HPT/HWT MMIO snapshot arrives stale / times out.
+    WakeDelay,       //!< Manager wakeup delayed by the rule's `delay`.
+    WakeDrop,        //!< Manager wakeup dropped; retried after `delay`.
+    NumPoints,
+};
+
+inline constexpr std::size_t kNumFaultPoints =
+    static_cast<std::size_t>(FaultPoint::NumPoints);
+
+/** Spec name of a fault point ("migrate_busy", ...). */
+const char *faultPointName(FaultPoint pt);
+
+/** When one injection point fires (any armed trigger suffices). */
+struct FaultRule
+{
+    double p = 0.0;                //!< Per-opportunity probability.
+    std::uint64_t burst_count = 0; //!< `burst=N@T`: N consecutive hits...
+    Tick burst_at = 0;             //!< ...starting at simulated time T.
+    bool has_after = false;        //!< `after=T` armed?
+    Tick after = 0;                //!< Every opportunity from T on fires.
+    Tick delay = 0;                //!< `delay=T` magnitude (wake faults);
+                                   //!< 0 = the point's default.
+
+    /** True when this rule can ever fire. */
+    bool
+    active() const
+    {
+        return p > 0.0 || burst_count > 0 || has_after;
+    }
+};
+
+/**
+ * A parsed fault spec: one optional rule per injection point.
+ *
+ * Grammar (comma-separated clauses, each `point:param=value`):
+ *   point  := migrate_busy | ddr_alloc | mmio_stale | wake_delay
+ *             | wake_drop
+ *   param  := p=<prob 0..1> | burst=<count>@<time> | after=<time>
+ *             | delay=<time>
+ *   time   := <number>[ns|us|ms|s]   (default ns)
+ * The same point may appear in several clauses; later params merge
+ * into the same rule.  Malformed specs are fatal (strict parsing via
+ * common/env.hh, like every other knob).
+ */
+struct FaultPlan
+{
+    std::string spec;                              //!< Original text.
+    std::array<FaultRule, kNumFaultPoints> rules;
+
+    /** Parse a spec string; m5_fatal on any malformed clause. */
+    static FaultPlan parse(const std::string &spec);
+
+    /** The rule for one injection point. */
+    const FaultRule &
+    rule(FaultPoint pt) const
+    {
+        return rules[static_cast<std::size_t>(pt)];
+    }
+
+    /** True when no rule can ever fire — such a plan must leave the
+     *  simulation byte-identical to a fault-free run, so the system
+     *  treats it exactly like "no plan". */
+    bool inert() const;
+};
+
+/** Parse `<number>[ns|us|ms|s]` into Ticks; fatal on garbage. */
+Tick parseDuration(const std::string &text, const std::string &context);
+
+/**
+ * Draws fault decisions for one system from a dedicated RNG stream.
+ *
+ * The stream is derived from the cell seed XOR a fixed salt, so fault
+ * decisions never consume workload randomness (enabling a plan cannot
+ * perturb anything else) and the same seed replays the same faults at
+ * any sweep worker count.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, std::uint64_t seed);
+
+    /**
+     * Should the fault at `pt` fire for this opportunity?  Consults,
+     * in order: the `after` deadline, the pending burst, then a
+     * probability draw (the RNG is only touched when p > 0, so rules
+     * armed purely by burst/after stay draw-free).
+     */
+    bool fires(FaultPoint pt, Tick now);
+
+    /** The `delay` magnitude for a wake fault (its default if unset). */
+    Tick delayFor(FaultPoint pt) const;
+
+    /** Faults injected at one point so far. */
+    std::uint64_t
+    injected(FaultPoint pt) const
+    {
+        return injected_[static_cast<std::size_t>(pt)];
+    }
+
+    /** Total faults injected across all points. */
+    std::uint64_t injectedTotal() const;
+
+    /** The plan in force. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Register `sim.fault.<point>` injection counters. */
+    void registerStats(StatRegistry &reg) const;
+
+  private:
+    FaultPlan plan_;
+    Rng rng_;
+    std::array<std::uint64_t, kNumFaultPoints> injected_{};
+    std::array<std::uint64_t, kNumFaultPoints> burst_left_{};
+};
+
+} // namespace m5

@@ -1,0 +1,124 @@
+#include "sim/fault/invariant.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "mem/memsys.hh"
+#include "os/frame_alloc.hh"
+#include "os/mglru.hh"
+#include "os/page_table.hh"
+
+namespace m5 {
+
+InvariantChecker::InvariantChecker(const PageTable &pt,
+                                   const FrameAllocator &alloc,
+                                   const MemorySystem &mem,
+                                   const MgLru &mglru,
+                                   const KernelLedger &ledger)
+    : pt_(pt), alloc_(alloc), mem_(mem), mglru_(mglru), ledger_(ledger)
+{
+}
+
+std::vector<std::string>
+InvariantChecker::check(Tick now)
+{
+    std::vector<std::string> bad;
+    auto fail = [&](std::string msg) { bad.push_back(std::move(msg)); };
+
+    // 1. Page table self-consistency: every valid PTE maps a unique
+    //    frame whose memory-map node matches the PTE's node, present
+    //    implies valid, and the reverse map agrees.
+    std::unordered_set<Pfn> frames;
+    std::vector<std::size_t> on_node(mem_.tiers(), 0);
+    for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
+        const Pte &e = pt_.pte(vpn);
+        if (!e.valid) {
+            if (e.present)
+                fail(strprintf("vpn %lu present but not valid", vpn));
+            continue;
+        }
+        if (e.node >= mem_.tiers()) {
+            fail(strprintf("vpn %lu on unknown node %u", vpn, e.node));
+            continue;
+        }
+        ++on_node[e.node];
+        if (!frames.insert(e.pfn).second)
+            fail(strprintf("pfn %lu mapped by more than one vpn (vpn %lu)",
+                           e.pfn, vpn));
+        if (mem_.nodeOf(pageBase(e.pfn)) != e.node)
+            fail(strprintf("vpn %lu: pfn %lu lives on node %u but pte "
+                           "says node %u",
+                           vpn, e.pfn, mem_.nodeOf(pageBase(e.pfn)),
+                           e.node));
+        if (pt_.vpnOfPfn(e.pfn) != vpn)
+            fail(strprintf("vpn %lu: reverse map for pfn %lu points at "
+                           "vpn %lu",
+                           vpn, e.pfn, pt_.vpnOfPfn(e.pfn)));
+    }
+
+    // 2. Tier occupancy: the page table's cached per-node counts match
+    //    the recount, and the frame allocator's books balance.
+    for (NodeId node = 0; node < mem_.tiers(); ++node) {
+        if (pt_.pagesOnNode(node) != on_node[node])
+            fail(strprintf("node %u: pagesOnNode cache %zu != recount %zu",
+                           node, pt_.pagesOnNode(node), on_node[node]));
+        if (alloc_.usedFrames(node) != on_node[node])
+            fail(strprintf("node %u: allocator has %zu used frames but "
+                           "%zu pages are mapped",
+                           node, alloc_.usedFrames(node), on_node[node]));
+        if (alloc_.freeFrames(node) + alloc_.usedFrames(node) !=
+            alloc_.totalFrames(node))
+            fail(strprintf("node %u: free %zu + used %zu != total %zu",
+                           node, alloc_.freeFrames(node),
+                           alloc_.usedFrames(node),
+                           alloc_.totalFrames(node)));
+    }
+
+    // 3. MGLRU tracks exactly the DDR-resident pages.
+    std::size_t ddr_tracked = 0;
+    for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
+        const Pte &e = pt_.pte(vpn);
+        bool on_ddr = e.valid && e.node == kNodeDdr;
+        if (on_ddr)
+            ++ddr_tracked;
+        if (on_ddr != mglru_.contains(vpn))
+            fail(strprintf("vpn %lu: %s DDR but %s in MGLRU", vpn,
+                           on_ddr ? "on" : "not on",
+                           mglru_.contains(vpn) ? "is" : "not"));
+    }
+    if (mglru_.size() != ddr_tracked)
+        fail(strprintf("MGLRU tracks %zu pages but %zu are DDR-resident",
+                       mglru_.size(), ddr_tracked));
+
+    // 4. Kernel ledger: books balance and never run backwards.
+    Cycles sum = 0;
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(KernelWork::NumCategories); ++c) {
+        auto w = static_cast<KernelWork>(c);
+        sum += ledger_.category(w);
+        if (ledger_.category(w) < prev_[c])
+            fail(strprintf("ledger category %s ran backwards "
+                           "(%lu -> %lu)",
+                           kernelWorkName(w).c_str(), prev_[c],
+                           ledger_.category(w)));
+        prev_[c] = ledger_.category(w);
+    }
+    if (sum != ledger_.total())
+        fail(strprintf("ledger total %lu != category sum %lu",
+                       ledger_.total(), sum));
+
+    ++checks_;
+    violations_ += bad.size();
+    for (const std::string &msg : bad)
+        m5_warn("invariant violation @%lu: %s", now, msg.c_str());
+    return bad;
+}
+
+void
+InvariantChecker::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("sim.invariant.checks", &checks_);
+    reg.addCounter("sim.invariant.violations", &violations_);
+}
+
+} // namespace m5

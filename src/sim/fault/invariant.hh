@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cross-layer state invariants, checked per epoch under fault campaigns.
+ *
+ * Fault injection only proves something if we can show the degraded
+ * pipeline never corrupts state: a transient migrate failure must leave
+ * the page mapped at its source, a dropped wakeup must not leak frames,
+ * a stale-MMIO degradation must not desync the MGLRU.  The checker
+ * cross-references the page table, the frame allocator, per-tier
+ * occupancy, the MGLRU and the kernel ledger, and reports every
+ * violation as a human-readable string (docs/FAULTS.md).
+ *
+ * Violations are counted and warned, not fatal: a fault campaign that
+ * corrupts state should finish and report, so sweeps can chart *which*
+ * fault rate breaks *which* policy.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/kernel_ledger.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+class PageTable;
+class FrameAllocator;
+class MemorySystem;
+class MgLru;
+
+/** Per-epoch cross-layer consistency checker. */
+class InvariantChecker
+{
+  public:
+    InvariantChecker(const PageTable &pt, const FrameAllocator &alloc,
+                     const MemorySystem &mem, const MgLru &mglru,
+                     const KernelLedger &ledger);
+
+    /**
+     * Run every invariant; returns one message per violation (empty
+     * means clean).  Each violation is also warned and counted.
+     */
+    std::vector<std::string> check(Tick now);
+
+    /** Number of check() sweeps so far. */
+    std::uint64_t checks() const { return checks_; }
+
+    /** Total violations across all sweeps. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Register `sim.invariant.checks` / `.violations` counters. */
+    void registerStats(StatRegistry &reg) const;
+
+  private:
+    const PageTable &pt_;
+    const FrameAllocator &alloc_;
+    const MemorySystem &mem_;
+    const MgLru &mglru_;
+    const KernelLedger &ledger_;
+
+    std::uint64_t checks_ = 0;
+    std::uint64_t violations_ = 0;
+    //! Ledger snapshot from the previous sweep (monotonicity check).
+    std::array<Cycles,
+               static_cast<unsigned>(KernelWork::NumCategories)> prev_{};
+};
+
+} // namespace m5

@@ -168,6 +168,13 @@ runJob(const SweepJob &job)
             cfg.trace.path = tracePathForLabel(*dir, job.label());
         }
     }
+    if (cfg.faults.empty()) {
+        // Campaign-wide fault plan: the same spec (and the cell's own
+        // seed) in every cell, so a faulted sweep stays as reproducible
+        // as a clean one whatever the worker count.
+        if (const auto spec = benchFaultsSpec())
+            cfg.faults = *spec;
+    }
     TieredSystem sys(cfg);
     return sys.run(job.budget);
 }
@@ -282,6 +289,15 @@ benchTraceDir()
     if (dir && dir->empty())
         return std::nullopt;
     return dir;
+}
+
+std::optional<std::string>
+benchFaultsSpec()
+{
+    auto spec = envString("M5_BENCH_FAULTS");
+    if (spec && spec->empty())
+        return std::nullopt;
+    return spec;
 }
 
 std::string

@@ -156,6 +156,11 @@ std::optional<std::string> benchTelemetryDir();
  *  runJob fills with one `<cell-label>.trace.json` Chrome trace per
  *  sweep cell (docs/TRACING.md).  nullopt when unset. */
 std::optional<std::string> benchTraceDir();
+
+/** Fault-injection spec applied to every sweep cell whose config does
+ *  not set one; M5_BENCH_FAULTS holds a docs/FAULTS.md spec string
+ *  (e.g. "migrate_busy:p=0.05").  nullopt when unset. */
+std::optional<std::string> benchFaultsSpec();
 /** @} */
 
 /** Deterministic artifact path for a sweep-cell label: the label with

@@ -50,6 +50,21 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
     placePages();
     buildController();
     buildPolicy();
+    // Fault injection (docs/FAULTS.md): the injector and the invariant
+    // checker exist only when some rule can actually fire, so an empty
+    // or all-zero spec leaves the system — including its telemetry
+    // surface — byte-identical to a fault-free build.
+    if (!cfg_.faults.empty()) {
+        const FaultPlan plan = FaultPlan::parse(cfg_.faults);
+        if (!plan.inert()) {
+            faults_ = std::make_unique<FaultInjector>(plan, cfg_.seed);
+            engine_->attachFaults(faults_.get());
+            if (m5_)
+                m5_->attachFaults(faults_.get());
+            invariants_ = std::make_unique<InvariantChecker>(
+                *pt_, *alloc_, *mem_, *mglru_, ledger_);
+        }
+    }
     // The tracer exists only when tracing is on, so a tracing-disabled
     // run's telemetry carries no telemetry.trace.* rows and stays
     // byte-identical to a run built before tracing existed.
@@ -70,10 +85,14 @@ TieredSystem::registerStats()
     mem_->registerStats(stats_);
     llc_->registerStats(stats_, "cache.llc");
     tlb_->registerStats(stats_, "cache.tlb");
-    ctrl_->registerStats(stats_);
+    ctrl_->registerStats(stats_, faults_ != nullptr);
     engine_->registerStats(stats_);
     ledger_.registerStats(stats_);
-    monitor_->registerStats(stats_);
+    monitor_->registerStats(stats_, faults_ != nullptr);
+    if (faults_) {
+        faults_->registerStats(stats_);
+        invariants_->registerStats(stats_);
+    }
     if (anb_)
         anb_->registerStats(stats_);
     if (damon_)
@@ -248,12 +267,46 @@ TieredSystem::buildPolicy()
 Tick
 TieredSystem::daemonTick(Tick now)
 {
+    // Injected scheduler misbehaviour (docs/FAULTS.md): a dropped wakeup
+    // loses this tick's work entirely and retries after a coarse timer
+    // interval; a delayed one slips by the rule's delay.  Either way the
+    // daemon runs strictly later — exactly what a preempted kthread sees.
+    if (faults_) {
+        if (faults_->fires(FaultPoint::WakeDrop, now)) {
+            const Tick retry = faults_->delayFor(FaultPoint::WakeDrop);
+            TRACE_EVENT(TraceCat::Sim, now, "fault.wake_drop",
+                        TraceArgs().u("retry", retry));
+            events_.schedule(now + retry,
+                             [this](Tick t) { return daemonTick(t); });
+            return 0;
+        }
+        if (faults_->fires(FaultPoint::WakeDelay, now)) {
+            const Tick delay = faults_->delayFor(FaultPoint::WakeDelay);
+            TRACE_EVENT(TraceCat::Sim, now, "fault.wake_delay",
+                        TraceArgs().u("delay", delay));
+            events_.schedule(now + delay,
+                             [this](Tick t) { return daemonTick(t); });
+            return 0;
+        }
+    }
     // Daemon work runs in a kernel thread: it becomes preemptible debt
     // drained between application accesses, not an atomic time jump.
     kernel_debt_ += daemon_->wake(now);
     events_.schedule(std::max(daemon_->nextWake(), now + 1),
                      [this](Tick t) { return daemonTick(t); });
     return 0;
+}
+
+void
+TieredSystem::scheduleInvariants(Tick when)
+{
+    // Runs only under fault injection.  The check consumes zero
+    // simulated time; it reads cross-layer state, it never mutates it.
+    events_.schedule(when, [this](Tick now) -> Tick {
+        (void)invariants_->check(now);
+        scheduleInvariants(now + msToTicks(1.0));
+        return 0;
+    });
 }
 
 void
@@ -373,6 +426,8 @@ TieredSystem::run(std::uint64_t num_accesses)
             events_.schedule(daemon_->nextWake(),
                              [this](Tick t) { return daemonTick(t); });
         scheduleAging(core_.now() + cfg_.mglru_age_period);
+        if (invariants_)
+            scheduleInvariants(core_.now() + msToTicks(1.0));
         if (cfg_.enable_wac && cfg_.wac_window_period > 0)
             scheduleWacRotation(core_.now() + cfg_.wac_window_period);
         if (telem_)
@@ -410,6 +465,11 @@ TieredSystem::run(std::uint64_t num_accesses)
 
     if (cfg_.enable_wac)
         ctrl_->wac().fold();
+
+    // Final invariant sweep so even sub-epoch runs get checked at least
+    // once with every counter settled.
+    if (invariants_)
+        (void)invariants_->check(core_.now());
 
     // Charge baseline kernel housekeeping over the whole run (§4.2's
     // inflation reference).

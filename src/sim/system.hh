@@ -32,6 +32,8 @@
 #include "os/page_table.hh"
 #include "sim/core.hh"
 #include "sim/engine.hh"
+#include "sim/fault/fault.hh"
+#include "sim/fault/invariant.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/snapshot.hh"
 #include "telemetry/trace.hh"
@@ -138,6 +140,12 @@ struct SystemConfig
     //! `trace.enabled()`.  Tracing only observes — results and telemetry
     //! are byte-identical with it off.
     TraceConfig trace;
+    //! Fault-injection spec (docs/FAULTS.md), e.g.
+    //! "migrate_busy:p=0.05,ddr_alloc:burst=100@5ms".  Empty — or a spec
+    //! whose rules can never fire — leaves results, telemetry, and
+    //! traces byte-identical to a fault-free run: the injector and the
+    //! invariant checker are then not even constructed.
+    std::string faults;
 };
 
 /** Results of one run. */
@@ -194,6 +202,12 @@ class TieredSystem
     const StatRegistry &stats() const { return stats_; }
     EpochSnapshotter *telemetry() { return telem_.get(); }
     Tracer *tracer() { return tracer_.get(); }
+    //! The fault injector; nullptr when no (effective) spec is set.
+    FaultInjector *faults() { return faults_.get(); }
+    //! The invariant checker; constructed only alongside the injector.
+    const InvariantChecker *invariants() const { return invariants_.get(); }
+    //! The M5 manager daemon; nullptr for non-M5 policies.
+    M5Manager *m5Manager() { return m5_.get(); }
     /** @} */
 
   private:
@@ -205,6 +219,7 @@ class TieredSystem
     Tick issueAccess(const AccessEvent &ev);
     Tick daemonTick(Tick now);
     void scheduleAging(Tick when);
+    void scheduleInvariants(Tick when);
     void scheduleWacRotation(Tick when);
     void scheduleTelemetry(Tick when);
     void scheduleTraceEpoch(Tick when);
@@ -220,6 +235,8 @@ class TieredSystem
     std::unique_ptr<CxlController> ctrl_;
     std::unique_ptr<MigrationEngine> engine_;
     std::unique_ptr<Monitor> monitor_;
+    std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<InvariantChecker> invariants_;
 
     std::unique_ptr<AnbDaemon> anb_;
     std::unique_ptr<DamonDaemon> damon_;

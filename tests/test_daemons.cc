@@ -67,7 +67,7 @@ TEST_F(DaemonTest, AnbScanClearsPresentBits)
 
 TEST_F(DaemonTest, AnbScanSkipsDdrPages)
 {
-    engine->promote(0, 0); // vpn 0 now in DDR.
+    (void)engine->promote(0, 0); // vpn 0 now in DDR.
     AnbConfig cfg;
     cfg.scan_chunk_pages = kPages;
     AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);

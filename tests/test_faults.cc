@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection subsystem (docs/FAULTS.md):
+ * spec parsing (including malformed specs), injector trigger semantics
+ * (probability, burst, after-deadline), every injection point end to
+ * end, the Promoter retry/backoff/drop pipeline, the Elector circuit
+ * breaker, the Monitor degradation ladder, the invariant checker — and
+ * the two headline guarantees: an inert plan (p=0) is byte-identical to
+ * no plan at all, and a seeded fault campaign is byte-identical between
+ * 1 and 4 sweep workers with invariants clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/fault/fault.hh"
+#include "sim/fault/invariant.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        path_ = fs::temp_directory_path() /
+                ("m5_faults_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ---------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesTheDocumentedExampleSpec)
+{
+    const auto plan = FaultPlan::parse(
+        "migrate_busy:p=0.05,mmio_stale:after=2ms,ddr_alloc:burst=100@5ms");
+    EXPECT_FALSE(plan.inert());
+    EXPECT_DOUBLE_EQ(plan.rule(FaultPoint::MigrateBusy).p, 0.05);
+    EXPECT_TRUE(plan.rule(FaultPoint::MmioStale).has_after);
+    EXPECT_EQ(plan.rule(FaultPoint::MmioStale).after, msToTicks(2.0));
+    EXPECT_EQ(plan.rule(FaultPoint::DdrAlloc).burst_count, 100u);
+    EXPECT_EQ(plan.rule(FaultPoint::DdrAlloc).burst_at, msToTicks(5.0));
+    EXPECT_FALSE(plan.rule(FaultPoint::WakeDelay).active());
+    EXPECT_FALSE(plan.rule(FaultPoint::WakeDrop).active());
+}
+
+TEST(FaultPlanTest, MergesRepeatedClausesForOnePoint)
+{
+    const auto plan =
+        FaultPlan::parse("wake_drop:p=0.5,wake_drop:delay=3us");
+    EXPECT_DOUBLE_EQ(plan.rule(FaultPoint::WakeDrop).p, 0.5);
+    EXPECT_EQ(plan.rule(FaultPoint::WakeDrop).delay, usToTicks(3.0));
+}
+
+TEST(FaultPlanTest, EmptyAndZeroProbabilityPlansAreInert)
+{
+    EXPECT_TRUE(FaultPlan::parse("").inert());
+    EXPECT_TRUE(FaultPlan::parse("migrate_busy:p=0").inert());
+    EXPECT_TRUE(
+        FaultPlan::parse("migrate_busy:p=0,mmio_stale:p=0.0").inert());
+    EXPECT_FALSE(FaultPlan::parse("migrate_busy:p=0.001").inert());
+    EXPECT_FALSE(FaultPlan::parse("ddr_alloc:burst=1@0").inert());
+    EXPECT_FALSE(FaultPlan::parse("mmio_stale:after=0").inert());
+}
+
+TEST(FaultPlanTest, DurationSuffixes)
+{
+    EXPECT_EQ(parseDuration("5", "t"), 5u);
+    EXPECT_EQ(parseDuration("5ns", "t"), 5u);
+    EXPECT_EQ(parseDuration("2us", "t"), usToTicks(2.0));
+    EXPECT_EQ(parseDuration("2ms", "t"), msToTicks(2.0));
+    EXPECT_EQ(parseDuration("1s", "t"), secondsToTicks(1.0));
+}
+
+TEST(FaultPlanTest, MalformedSpecsAreFatal)
+{
+    FatalCaptureScope capture;
+    EXPECT_THROW(FaultPlan::parse("bogus_point:p=0.1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("migrate_busy:bogus=1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("migrate_busy:p=nan_garbage"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parse("migrate_busy:p=1.5"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("migrate_busy"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("migrate_busy:p"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("ddr_alloc:burst=10"), FatalError);
+    EXPECT_THROW(parseDuration("5xs", "t"), FatalError);
+    EXPECT_THROW(parseDuration("-3ms", "t"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Injector trigger semantics
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectorTest, CertainAndImpossibleProbabilities)
+{
+    FaultInjector always(FaultPlan::parse("migrate_busy:p=1"), 7);
+    FaultInjector never(FaultPlan::parse("migrate_busy:p=0.0001"), 7);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(always.fires(FaultPoint::MigrateBusy, 0));
+    EXPECT_EQ(always.injected(FaultPoint::MigrateBusy), 64u);
+    EXPECT_EQ(always.injectedTotal(), 64u);
+    // Other points stay quiet.
+    EXPECT_FALSE(always.fires(FaultPoint::DdrAlloc, 0));
+    (void)never; // p>0 may fire; only the p=1 behavior is pinned.
+}
+
+TEST(FaultInjectorTest, AfterDeadlineFiresFromItsTimeOn)
+{
+    FaultInjector inj(FaultPlan::parse("mmio_stale:after=2ms"), 1);
+    EXPECT_FALSE(inj.fires(FaultPoint::MmioStale, 0));
+    EXPECT_FALSE(inj.fires(FaultPoint::MmioStale, msToTicks(2.0) - 1));
+    EXPECT_TRUE(inj.fires(FaultPoint::MmioStale, msToTicks(2.0)));
+    EXPECT_TRUE(inj.fires(FaultPoint::MmioStale, msToTicks(9.0)));
+    EXPECT_EQ(inj.injected(FaultPoint::MmioStale), 2u);
+}
+
+TEST(FaultInjectorTest, BurstFiresExactlyNTimesFromItsStart)
+{
+    FaultInjector inj(FaultPlan::parse("ddr_alloc:burst=3@5ms"), 1);
+    EXPECT_FALSE(inj.fires(FaultPoint::DdrAlloc, msToTicks(1.0)));
+    EXPECT_TRUE(inj.fires(FaultPoint::DdrAlloc, msToTicks(5.0)));
+    EXPECT_TRUE(inj.fires(FaultPoint::DdrAlloc, msToTicks(5.5)));
+    EXPECT_TRUE(inj.fires(FaultPoint::DdrAlloc, msToTicks(6.0)));
+    EXPECT_FALSE(inj.fires(FaultPoint::DdrAlloc, msToTicks(7.0)));
+    EXPECT_EQ(inj.injected(FaultPoint::DdrAlloc), 3u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSameDecisions)
+{
+    const auto plan = FaultPlan::parse("migrate_busy:p=0.3");
+    FaultInjector a(plan, 42), b(plan, 42), c(plan, 43);
+    std::vector<bool> da, db, dc;
+    for (int i = 0; i < 256; ++i) {
+        da.push_back(a.fires(FaultPoint::MigrateBusy, 0));
+        db.push_back(b.fires(FaultPoint::MigrateBusy, 0));
+        dc.push_back(c.fires(FaultPoint::MigrateBusy, 0));
+    }
+    EXPECT_EQ(da, db);
+    EXPECT_NE(da, dc) << "different seeds should diverge";
+    EXPECT_GT(a.injected(FaultPoint::MigrateBusy), 0u);
+    EXPECT_LT(a.injected(FaultPoint::MigrateBusy), 256u);
+}
+
+TEST(FaultInjectorTest, DelayForUsesRuleDelayOrDefault)
+{
+    FaultInjector custom(FaultPlan::parse("wake_delay:p=1,"
+                                          "wake_delay:delay=7us"),
+                         1);
+    EXPECT_EQ(custom.delayFor(FaultPoint::WakeDelay), usToTicks(7.0));
+    FaultInjector dflt(FaultPlan::parse("wake_delay:p=1"), 1);
+    EXPECT_GT(dflt.delayFor(FaultPoint::WakeDelay), 0u);
+    EXPECT_GT(dflt.delayFor(FaultPoint::WakeDrop), 0u);
+}
+
+// ---------------------------------------------------------------------
+// MigrationEngine under injection: transient outcomes
+// ---------------------------------------------------------------------
+
+/** 4-frame DDR, 12 pages in CXL, with an armable injector. */
+class FaultEngineTest : public ::testing::Test
+{
+  protected:
+    FaultEngineTest()
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 4 * kPageBytes;
+        p.cxl_bytes = 16 * kPageBytes;
+        mem = makeTieredMemory(p);
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(12);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        mglru = std::make_unique<MgLru>(12);
+        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
+                                                   *tlb, ledger, *mglru);
+        for (Vpn v = 0; v < 12; ++v)
+            pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
+    }
+
+    void
+    arm(const std::string &spec)
+    {
+        faults = std::make_unique<FaultInjector>(FaultPlan::parse(spec), 1);
+        engine->attachFaults(faults.get());
+    }
+
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<MgLru> mglru;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+    std::unique_ptr<FaultInjector> faults;
+};
+
+TEST_F(FaultEngineTest, TransientBusyLeavesPageAtSource)
+{
+    arm("migrate_busy:p=1");
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::TransientBusy);
+    EXPECT_TRUE(res.transient());
+    EXPECT_FALSE(res.ok());
+    EXPECT_STREQ(res.reason(), "busy");
+    EXPECT_GT(res.busy, 0u) << "the aborted attempt still costs cycles";
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl) << "page must stay at source";
+    EXPECT_EQ(engine->stats().promoted, 0u);
+    EXPECT_EQ(engine->stats().transient_fail, 1u);
+    EXPECT_EQ(alloc->usedFrames(kNodeDdr), 0u) << "no frame leaked";
+}
+
+TEST_F(FaultEngineTest, DdrAllocFailureIsTransientNoFrame)
+{
+    arm("ddr_alloc:p=1");
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::TransientNoFrame);
+    EXPECT_TRUE(res.transient());
+    EXPECT_STREQ(res.reason(), "no_frame");
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_EQ(engine->stats().transient_fail, 1u);
+}
+
+TEST_F(FaultEngineTest, TransientIsDistinctFromPermanentRejects)
+{
+    arm("migrate_busy:p=1");
+    pt->pte(3).pinned = true;
+    const MigrateResult pinned = engine->promote(3, 0);
+    EXPECT_EQ(pinned.outcome, MigrateOutcome::RejectedPinned);
+    EXPECT_FALSE(pinned.transient());
+    EXPECT_EQ(engine->stats().rejected_pinned, 1u);
+    EXPECT_EQ(engine->stats().transient_fail, 0u)
+        << "eligibility rejects precede injection";
+}
+
+TEST_F(FaultEngineTest, BatchClassifiesPerPageOutcomes)
+{
+    arm("migrate_busy:burst=2@0");
+    const BatchResult batch = engine->promoteBatch({0, 1, 2, 3}, 0);
+    EXPECT_EQ(batch.transient, 2u) << "burst hits the first two pages";
+    EXPECT_EQ(batch.promoted, 2u) << "partial batch still commits";
+    EXPECT_EQ(pt->pte(2).node, kNodeDdr);
+    EXPECT_EQ(pt->pte(3).node, kNodeDdr);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+}
+
+// ---------------------------------------------------------------------
+// Promoter retry queue: backoff, success, drops
+// ---------------------------------------------------------------------
+
+TEST_F(FaultEngineTest, PromoterRetriesAfterBackoffAndSucceeds)
+{
+    arm("migrate_busy:burst=1@0"); // exactly the first attempt fails
+    RetryConfig retry;
+    retry.backoff_base = usToTicks(200);
+    Promoter prom(*pt, *engine, retry);
+
+    const PromoteRound r1 = prom.promote({0}, 0);
+    EXPECT_EQ(r1.attempted, 1u);
+    EXPECT_EQ(r1.failed, 1u);
+    EXPECT_EQ(prom.pendingRetries(), 1u);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+
+    // Before the backoff expires the entry just waits.  The backoff
+    // clock starts when the failed attempt *finished* (r1.busy in).
+    const PromoteRound r2 = prom.promote({}, usToTicks(100));
+    EXPECT_EQ(r2.attempted, 0u);
+    EXPECT_EQ(prom.pendingRetries(), 1u);
+
+    // After the backoff the retry is issued and lands the page.
+    const PromoteRound r3 = prom.promote({}, r1.busy + usToTicks(200));
+    EXPECT_EQ(r3.attempted, 1u);
+    EXPECT_EQ(r3.failed, 0u);
+    EXPECT_EQ(prom.pendingRetries(), 0u);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_EQ(prom.stats().retried, 1u);
+    EXPECT_EQ(prom.stats().retry_succeeded, 1u);
+    EXPECT_EQ(prom.stats().dropped, 0u);
+    EXPECT_EQ(engine->stats().retries, 1u);
+}
+
+TEST_F(FaultEngineTest, PromoterDropsAfterMaxAttempts)
+{
+    arm("migrate_busy:p=1"); // every attempt fails
+    RetryConfig retry;
+    retry.max_attempts = 3;
+    retry.backoff_base = 100;
+    Promoter prom(*pt, *engine, retry);
+
+    (void)prom.promote({0}, 0);
+    Tick now = 0;
+    for (int round = 0; round < 6 && prom.pendingRetries() > 0; ++round) {
+        now += msToTicks(1.0); // far past any backoff
+        (void)prom.promote({}, now);
+    }
+    EXPECT_EQ(prom.pendingRetries(), 0u);
+    EXPECT_EQ(prom.stats().dropped, 1u);
+    EXPECT_EQ(prom.stats().retried, 2u)
+        << "attempts 2 and 3 of max_attempts=3 are retries";
+    EXPECT_EQ(engine->stats().dropped, 1u);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+}
+
+TEST_F(FaultEngineTest, PromoterQueueOverflowDropsNewestFailure)
+{
+    arm("migrate_busy:p=1");
+    RetryConfig retry;
+    retry.queue_capacity = 2;
+    Promoter prom(*pt, *engine, retry);
+    (void)prom.promote({0, 1, 2, 3}, 0);
+    EXPECT_EQ(prom.pendingRetries(), 2u);
+    EXPECT_EQ(prom.stats().dropped, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Elector circuit breaker
+// ---------------------------------------------------------------------
+
+TEST(BreakerTest, OpensOnFailureSpikeThenRecoversViaHalfOpen)
+{
+    // A 2-node memory with free DDR keeps evaluate() in its bootstrap
+    // "migrate" fast path, so the breaker overlay is what we observe.
+    TieredMemoryParams p;
+    p.ddr_bytes = 8 * kPageBytes;
+    p.cxl_bytes = 8 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor monitor(*mem, pt);
+    monitor.sample(0);
+
+    ElectorConfig cfg;
+    cfg.breaker_min_samples = 8;
+    cfg.breaker_fail_threshold = 0.5;
+    cfg.breaker_cooldown = 2;
+    Elector elector(cfg);
+
+    EXPECT_EQ(elector.breakerState(), BreakerState::Closed);
+
+    // A failing window opens the breaker at the next evaluation.
+    elector.noteBatchOutcome(10, 9);
+    auto d = elector.evaluate(monitor);
+    EXPECT_EQ(elector.breakerState(), BreakerState::Open);
+    EXPECT_TRUE(d.breaker_open);
+    EXPECT_FALSE(d.migrate);
+    EXPECT_EQ(elector.breakerOpened(), 1u);
+    EXPECT_EQ(elector.breakerDeferred(), 1u);
+
+    // Open widens pacing relative to a clean elector's same decision.
+    Elector clean(cfg);
+    EXPECT_GT(d.period, clean.evaluate(monitor).period);
+
+    // Cooldown (2 evaluations) ends in HalfOpen: a probe is allowed.
+    d = elector.evaluate(monitor);
+    EXPECT_EQ(elector.breakerState(), BreakerState::HalfOpen);
+    d = elector.evaluate(monitor);
+    EXPECT_TRUE(d.migrate) << "half-open must allow the probe round";
+    EXPECT_FALSE(d.breaker_open);
+
+    // A clean probe closes the breaker.
+    elector.noteBatchOutcome(8, 0);
+    d = elector.evaluate(monitor);
+    EXPECT_EQ(elector.breakerState(), BreakerState::Closed);
+    EXPECT_EQ(elector.breakerClosed(), 1u);
+    EXPECT_TRUE(d.migrate);
+}
+
+TEST(BreakerTest, FailedProbeReopens)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 8 * kPageBytes;
+    p.cxl_bytes = 8 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor monitor(*mem, pt);
+    monitor.sample(0);
+
+    ElectorConfig cfg;
+    cfg.breaker_cooldown = 2;
+    Elector elector(cfg);
+    elector.noteBatchOutcome(10, 10);
+    (void)elector.evaluate(monitor); // -> Open (cooldown 2 -> 1)
+    (void)elector.evaluate(monitor); // cooldown 1 -> 0: -> HalfOpen
+    EXPECT_EQ(elector.breakerState(), BreakerState::HalfOpen);
+    elector.noteBatchOutcome(4, 4); // probe failed hard
+    (void)elector.evaluate(monitor);
+    EXPECT_EQ(elector.breakerState(), BreakerState::Open);
+    EXPECT_EQ(elector.breakerOpened(), 2u);
+}
+
+TEST(BreakerTest, SmallOrCleanWindowsNeverOpen)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 8 * kPageBytes;
+    p.cxl_bytes = 8 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor monitor(*mem, pt);
+    monitor.sample(0);
+
+    Elector elector((ElectorConfig()));
+    elector.noteBatchOutcome(3, 3); // below breaker_min_samples
+    (void)elector.evaluate(monitor);
+    EXPECT_EQ(elector.breakerState(), BreakerState::Closed);
+    for (int i = 0; i < 10; ++i) {
+        elector.noteBatchOutcome(16, 0);
+        (void)elector.evaluate(monitor);
+    }
+    EXPECT_EQ(elector.breakerState(), BreakerState::Closed);
+    EXPECT_EQ(elector.breakerOpened(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Monitor degradation ladder
+// ---------------------------------------------------------------------
+
+TEST(DegradeLadderTest, ThreeStaleSecondariesStepToHptOnly)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 8 * kPageBytes;
+    p.cxl_bytes = 8 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor monitor(*mem, pt);
+
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::Full);
+    for (int i = 0; i < 2; ++i) {
+        monitor.noteMmioQuery(/*primary=*/false, /*stale=*/true);
+        EXPECT_EQ(monitor.degrade(), MonitorDegrade::Full);
+    }
+    monitor.noteMmioQuery(false, true);
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::HptOnly);
+    EXPECT_EQ(monitor.staleMmio(), 3u);
+
+    // One fresh snapshot recovers fully.
+    monitor.noteMmioQuery(false, false);
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::Full);
+}
+
+TEST(DegradeLadderTest, StalePrimaryStepsToNoOpAndDominates)
+{
+    TieredMemoryParams p;
+    p.ddr_bytes = 8 * kPageBytes;
+    p.cxl_bytes = 8 * kPageBytes;
+    auto mem = makeTieredMemory(p);
+    PageTable pt(4);
+    Monitor monitor(*mem, pt);
+
+    for (std::uint64_t i = 0; i < Monitor::kStaleRunThreshold; ++i) {
+        monitor.noteMmioQuery(/*primary=*/true, /*stale=*/true);
+        monitor.noteMmioQuery(/*primary=*/false, /*stale=*/true);
+    }
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::NoOp)
+        << "a stale primary outranks a stale secondary";
+    monitor.noteMmioQuery(true, false);
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::HptOnly)
+        << "primary fresh again, secondary still stale";
+    monitor.noteMmioQuery(false, false);
+    EXPECT_EQ(monitor.degrade(), MonitorDegrade::Full);
+}
+
+// ---------------------------------------------------------------------
+// Invariant checker
+// ---------------------------------------------------------------------
+
+TEST_F(FaultEngineTest, InvariantCheckerCleanOnHealthyState)
+{
+    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    EXPECT_TRUE(inv.check(0).empty());
+    (void)engine->promote(0, 0);
+    (void)engine->promote(1, 0);
+    const Tick t = engine->demote(0, usToTicks(10.0));
+    (void)t;
+    EXPECT_TRUE(inv.check(usToTicks(20.0)).empty());
+    EXPECT_EQ(inv.checks(), 2u);
+    EXPECT_EQ(inv.violations(), 0u);
+}
+
+TEST_F(FaultEngineTest, InvariantCheckerCatchesDeliberateCorruption)
+{
+    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    ASSERT_TRUE(inv.check(0).empty());
+    // Lie about a page's node without moving it: residency, allocator
+    // occupancy and MGLRU membership all stop agreeing.
+    pt->pte(0).node = kNodeDdr;
+    const auto bad = inv.check(1);
+    EXPECT_FALSE(bad.empty());
+    EXPECT_GT(inv.violations(), 0u);
+}
+
+TEST_F(FaultEngineTest, InvariantCheckerCatchesDuplicatePfn)
+{
+    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    pt->pte(1).pfn = pt->pte(0).pfn;
+    const auto bad = inv.check(0);
+    EXPECT_FALSE(bad.empty());
+    bool mentions_dup = false;
+    for (const auto &s : bad)
+        if (s.find("pfn") != std::string::npos)
+            mentions_dup = true;
+    EXPECT_TRUE(mentions_dup);
+}
+
+// ---------------------------------------------------------------------
+// Full system: wake faults, inertness, campaigns
+// ---------------------------------------------------------------------
+
+SystemConfig
+smallConfig()
+{
+    return makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 1);
+}
+
+TEST(FaultSystemTest, InertSpecIsByteIdenticalToNoSpec)
+{
+    TempDir dir("inert");
+    auto once = [&](const std::string &spec, const std::string &tag) {
+        SystemConfig cfg = smallConfig();
+        cfg.faults = spec;
+        cfg.telemetry.path = (dir.path() / (tag + ".jsonl")).string();
+        cfg.trace.path = (dir.path() / (tag + ".trace.json")).string();
+        TieredSystem sys(cfg);
+        RunResult r = sys.run(40000);
+        EXPECT_EQ(sys.faults(), nullptr)
+            << "inert plan must not even construct the injector";
+        return r;
+    };
+    const RunResult off = once("", "off");
+    const RunResult p0 = once("migrate_busy:p=0,mmio_stale:p=0", "p0");
+
+    EXPECT_EQ(off.runtime, p0.runtime);
+    EXPECT_EQ(off.accesses, p0.accesses);
+    EXPECT_EQ(off.kernel_time, p0.kernel_time);
+    EXPECT_EQ(off.migration.promoted, p0.migration.promoted);
+    EXPECT_EQ(off.migration.transient_fail, 0u);
+    EXPECT_DOUBLE_EQ(off.steady_throughput, p0.steady_throughput);
+    // The observability streams are byte-identical too.
+    EXPECT_EQ(slurp(dir.path() / "off.jsonl"),
+              slurp(dir.path() / "p0.jsonl"));
+    EXPECT_EQ(slurp(dir.path() / "off.trace.json"),
+              slurp(dir.path() / "p0.trace.json"));
+    const std::string telem = slurp(dir.path() / "off.jsonl");
+    EXPECT_EQ(telem.find("sim.fault"), std::string::npos)
+        << "fault counters must not appear in fault-free telemetry";
+    EXPECT_EQ(telem.find("breaker"), std::string::npos);
+}
+
+TEST(FaultSystemTest, ActiveCampaignInjectsAndStaysConsistent)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.faults = "migrate_busy:p=0.3,mmio_stale:p=0.3,ddr_alloc:p=0.05,"
+                 "wake_drop:p=0.05,wake_delay:p=0.05";
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(60000);
+
+    ASSERT_NE(sys.faults(), nullptr);
+    EXPECT_GT(sys.faults()->injectedTotal(), 0u);
+    EXPECT_GT(r.migration.transient_fail, 0u);
+    EXPECT_GT(r.migration.retries, 0u);
+    EXPECT_GT(sys.monitor().staleMmio(), 0u);
+    ASSERT_NE(sys.invariants(), nullptr);
+    EXPECT_GT(sys.invariants()->checks(), 0u);
+    EXPECT_EQ(sys.invariants()->violations(), 0u)
+        << "faults must degrade, never corrupt";
+}
+
+TEST(FaultSystemTest, SameSeedSameFaultsDifferentSeedDifferent)
+{
+    auto run = [](std::uint64_t seed) {
+        SystemConfig cfg =
+            makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, seed);
+        cfg.faults = "migrate_busy:p=0.3";
+        TieredSystem sys(cfg);
+        RunResult r = sys.run(40000);
+        return std::make_pair(r.runtime, r.migration.transient_fail);
+    };
+    const auto a = run(1), b = run(1), c = run(2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(FaultSystemTest, WakeFaultsRescheduleTheDaemon)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.faults = "wake_drop:p=0.2,wake_delay:p=0.2";
+    cfg.trace.collect = true;
+    cfg.trace.categories = kTraceAllCats;
+    TieredSystem sys(cfg);
+    (void)sys.run(40000);
+    ASSERT_NE(sys.faults(), nullptr);
+    EXPECT_GT(sys.faults()->injected(FaultPoint::WakeDrop) +
+                  sys.faults()->injected(FaultPoint::WakeDelay),
+              0u);
+    bool saw_wake_fault = false;
+    for (const TraceEvent &ev : sys.tracer()->events())
+        if (ev.name == "fault.wake_drop" || ev.name == "fault.wake_delay")
+            saw_wake_fault = true;
+    EXPECT_TRUE(saw_wake_fault);
+}
+
+TEST(FaultRunnerTest, CampaignIsByteIdenticalAcrossWorkerCounts)
+{
+    ScopedEnv faults_env("M5_BENCH_FAULTS",
+                         "migrate_busy:p=0.2,mmio_stale:p=0.2");
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policies({PolicyKind::M5HptDriven, PolicyKind::Anb})
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(20000);
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+
+    auto sweep = [&](unsigned workers) {
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        std::vector<std::vector<std::string>> rows;
+        const auto outcomes = runner.run(jobs);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+            rows.push_back(runResultCsvRow(jobs[i], outcomes[i].value));
+        }
+        return rows;
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    EXPECT_EQ(serial, parallel);
+
+    // The campaign actually injected: rerun one cell directly.
+    SystemConfig cfg = jobs[0].config;
+    cfg.faults = "migrate_busy:p=0.2,mmio_stale:p=0.2";
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(jobs[0].budget);
+    EXPECT_GT(r.migration.transient_fail, 0u);
+}
+
+} // namespace
+} // namespace m5

@@ -408,14 +408,15 @@ TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
     EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsAllNineRules)
+TEST(LintRules, CatalogueListsAllTenRules)
 {
     const auto &rules = m5lint::allRules();
-    EXPECT_EQ(rules.size(), 9u);
+    EXPECT_EQ(rules.size(), 10u);
     for (const char *r :
          {"no-wallclock", "no-wallclock-trace", "no-unseeded-rng",
           "no-unordered-result-iteration", "no-raw-parse", "no-raw-output",
-          "no-naked-new", "header-hygiene", "no-untracked-stat"})
+          "no-naked-new", "header-hygiene", "no-untracked-stat",
+          "no-unchecked-migrate-result"})
         EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
             << r;
 }
@@ -530,6 +531,64 @@ TEST(LintUntrackedStat, AllowlistAndInlineSuppressionWork)
                             "struct S { std::uint64_t hits_ = 0; };"
                             " // m5lint: allow(no-untracked-stat)\n"),
                         "no-untracked-stat"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// no-unchecked-migrate-result
+// ---------------------------------------------------------------------
+
+TEST(LintMigrateResult, FiresOnDiscardedPromoteStatement)
+{
+    const auto d = run("src/os/anb.cc",
+                       "engine_.promote(vpn, now);\n"
+                       "engine->promoteBatch(pages, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 2u);
+    EXPECT_EQ(d[0].line, 1);
+    EXPECT_EQ(d[1].line, 2);
+}
+
+TEST(LintMigrateResult, FiresOnContinuationLineDiscard)
+{
+    const auto d = run("src/m5/manager.cc",
+                       "obj.engine()\n"
+                       "    .promote(vpn, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u)
+        << "member chain off a call is beyond the heuristic";
+
+    const auto d2 = run("src/m5/manager.cc",
+                        "engine_\n"
+                        "    .promote(vpn, now);\n");
+    EXPECT_EQ(countRule(d2, "no-unchecked-migrate-result"), 1u);
+}
+
+TEST(LintMigrateResult, SilentWhenResultIsConsumed)
+{
+    const auto d = run(
+        "src/os/anb.cc",
+        "elapsed += engine_.promote(vpn, now).busy;\n"
+        "const MigrateResult r = engine_.promote(vpn, now);\n"
+        "if (engine_.promote(vpn, now).ok()) ++hits;\n"
+        "return engine_.promote(vpn, now);\n"
+        "take(engine_.promote(vpn, now));\n"
+        "(void)engine_.promote(vpn, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
+TEST(LintMigrateResult, SilentOnNonMemberAndLookalikes)
+{
+    const auto d = run("src/os/foo.cc",
+                       "promote(vpn, now);\n"          // free function
+                       "engine_.promoted();\n"         // different name
+                       "Tick promote = 3; promote = 4;\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
+TEST(LintMigrateResult, SuppressionWorks)
+{
+    const auto d = run("src/os/anb.cc",
+                       "engine_.promote(vpn, now); "
+                       "// m5lint: allow(no-unchecked-migrate-result)\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
 }
 
 } // namespace

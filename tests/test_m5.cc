@@ -107,7 +107,7 @@ TEST_F(M5Test, MonitorRelBwDen)
 TEST_F(M5Test, MonitorFreeFrames)
 {
     EXPECT_EQ(monitor->freeFrames(kNodeDdr), 8u);
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_EQ(monitor->freeFrames(kNodeDdr), 7u);
 }
 
@@ -187,7 +187,7 @@ TEST_F(M5Test, NominatorDropsStaleFrames)
     Nominator nom(NominatorKind::HptOnly, *pt);
     const Pfn old_pfn = pt->pte(1).pfn;
     nom.updateFromHpt({{old_pfn, 100}});
-    engine->promote(1, 0); // Frame 'old_pfn' now unmapped.
+    (void)engine->promote(1, 0); // Frame 'old_pfn' now unmapped.
     auto picks = nom.nominate(10);
     EXPECT_TRUE(picks.empty());
     EXPECT_TRUE(nom.hpa().empty()); // Stale entry purged, not stuck.
@@ -224,7 +224,7 @@ TEST_F(M5Test, ElectorPeriodScalesWithDensityRatio)
     // Fill DDR first (vpns 0..7) so the bootstrap path is off, then build
     // a state where bw_den(CXL)/bw_den(DDR) = 2.
     for (Vpn v = 0; v < 8; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
     ASSERT_EQ(monitor->freeFrames(kNodeDdr), 0u);
     monitor->sample(0);
     // DDR: 8 pages x 16 reads -> den 16 words/page; CXL: 24 pages x 32
@@ -260,7 +260,7 @@ TEST_F(M5Test, ElectorGateBlocksWhenDensityShareFalls)
     Elector elector(cfg);
     // Fill DDR completely so the bootstrap path is off.
     for (Vpn v = 0; v < 8; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
     monitor->sample(0);
     for (int i = 0; i < 100; ++i)
         mem->access(pageBase(pt->pte(0).pfn), false, 0);
@@ -287,7 +287,7 @@ TEST_F(M5Test, ElectorCustomFscale)
         return 1.0;
     });
     for (Vpn v = 0; v < 8; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
     monitor->sample(0);
     monitor->sample(secondsToTicks(1.0));
     const auto d = elector.evaluate(*monitor);
@@ -299,7 +299,7 @@ TEST_F(M5Test, PromoterRejectsPinned)
 {
     Promoter prom(*pt, *engine);
     pt->pte(0).pinned = true;
-    prom.promote({0, 1}, 0);
+    (void)prom.promote({0, 1}, 0);
     EXPECT_EQ(prom.stats().requested, 2u);
     EXPECT_EQ(prom.stats().rejected, 1u);
     EXPECT_EQ(prom.stats().accepted, 1u);

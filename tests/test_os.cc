@@ -275,8 +275,9 @@ class MigrationTest : public ::testing::Test
 
 TEST_F(MigrationTest, PromoteMovesToDdr)
 {
-    const Tick t = engine->promote(0, 0);
-    EXPECT_GT(t, 0u);
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_GT(res.busy, 0u);
     EXPECT_EQ(pt->pte(0).node, kNodeDdr);
     EXPECT_TRUE(mem->tier(kNodeDdr).owns(pageBase(pt->pte(0).pfn)));
     EXPECT_EQ(engine->stats().promoted, 1u);
@@ -286,31 +287,36 @@ TEST_F(MigrationTest, PromoteMovesToDdr)
 TEST_F(MigrationTest, PromoteFreesSourceFrame)
 {
     const std::size_t cxl_used_before = alloc->usedFrames(kNodeCxl);
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_EQ(alloc->usedFrames(kNodeCxl), cxl_used_before - 1);
 }
 
 TEST_F(MigrationTest, PromotePinnedRejected)
 {
     pt->pte(0).pinned = true;
-    EXPECT_EQ(engine->promote(0, 0), 0u);
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::RejectedPinned);
+    EXPECT_STREQ(res.reason(), "pinned");
+    EXPECT_EQ(res.busy, 0u);
     EXPECT_EQ(engine->stats().rejected_pinned, 1u);
     EXPECT_EQ(pt->pte(0).node, kNodeCxl);
 }
 
 TEST_F(MigrationTest, PromoteDdrResidentRejected)
 {
-    engine->promote(0, 0);
-    EXPECT_EQ(engine->promote(0, 0), 0u);
+    (void)engine->promote(0, 0);
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::RejectedNotCxl);
+    EXPECT_STREQ(res.reason(), "not_cxl");
     EXPECT_EQ(engine->stats().rejected_not_cxl, 1u);
 }
 
 TEST_F(MigrationTest, FullDdrTriggersDemotion)
 {
     for (Vpn v = 0; v < 4; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
     EXPECT_EQ(alloc->freeFrames(kNodeDdr), 0u);
-    engine->promote(4, 0);
+    (void)engine->promote(4, 0);
     EXPECT_EQ(engine->stats().demoted, 1u);
     EXPECT_EQ(pt->pte(4).node, kNodeDdr);
     // Victim was the LRU page (vpn 0) and is back in CXL.
@@ -322,7 +328,7 @@ TEST_F(MigrationTest, MigrationShootsDownTlb)
 {
     Pfn pfn;
     tlb->fill(0, pt->pte(0).pfn);
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_FALSE(tlb->lookup(0, pfn));
 }
 
@@ -330,7 +336,7 @@ TEST_F(MigrationTest, MigrationFlushesCachedLines)
 {
     const Addr line = pageBase(pt->pte(0).pfn);
     llc->access(line, true);
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_FALSE(llc->access(line, false).hit); // Old PA invalidated.
 }
 
@@ -340,7 +346,7 @@ TEST_F(MigrationTest, CopyTrafficVisibleToTiers)
         mem->tier(kNodeCxl).counters().read_bytes;
     const auto ddr_writes_before =
         mem->tier(kNodeDdr).counters().write_bytes;
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_EQ(mem->tier(kNodeCxl).counters().read_bytes - cxl_reads_before,
               kPageBytes);
     EXPECT_EQ(mem->tier(kNodeDdr).counters().write_bytes -
@@ -349,15 +355,17 @@ TEST_F(MigrationTest, CopyTrafficVisibleToTiers)
 
 TEST_F(MigrationTest, PromoteBatchCounts)
 {
-    const Tick t = engine->promoteBatch({0, 1, 2}, 0);
-    EXPECT_GT(t, 0u);
+    const BatchResult batch = engine->promoteBatch({0, 1, 2}, 0);
+    EXPECT_GT(batch.busy, 0u);
+    EXPECT_EQ(batch.promoted, 3u);
+    EXPECT_EQ(batch.transient + batch.rejected, 0u);
     EXPECT_EQ(engine->stats().promoted, 3u);
     EXPECT_EQ(pt->pagesOnNode(kNodeDdr), 3u);
 }
 
 TEST_F(MigrationTest, DemoteExplicit)
 {
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     const Tick t = engine->demote(0, 0);
     EXPECT_GT(t, 0u);
     EXPECT_EQ(pt->pte(0).node, kNodeCxl);
@@ -366,7 +374,7 @@ TEST_F(MigrationTest, DemoteExplicit)
 
 TEST_F(MigrationTest, MigrationChargesLedger)
 {
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_GT(ledger.category(KernelWork::Migration), 0u);
     EXPECT_GT(ledger.category(KernelWork::TlbShootdown), 0u);
 }
@@ -376,14 +384,14 @@ TEST_F(MigrationTest, CanPromoteChecks)
     EXPECT_TRUE(engine->canPromote(0));
     pt->pte(0).pinned = true;
     EXPECT_FALSE(engine->canPromote(0));
-    engine->promote(1, 0);
+    (void)engine->promote(1, 0);
     EXPECT_FALSE(engine->canPromote(1));
 }
 
 TEST_F(MigrationTest, DdrFreeFramesTracks)
 {
     EXPECT_EQ(engine->ddrFreeFrames(), 4u);
-    engine->promote(0, 0);
+    (void)engine->promote(0, 0);
     EXPECT_EQ(engine->ddrFreeFrames(), 3u);
 }
 
@@ -391,7 +399,7 @@ TEST_F(MigrationTest, CostRoughly54usAtFullScale)
 {
     // With the unscaled default costs, one migration should take on the
     // order of the paper's ~54us (§7.2).
-    const Tick t = engine->promote(0, 0);
+    const Tick t = engine->promote(0, 0).busy;
     EXPECT_GT(t, usToTicks(20.0));
     EXPECT_LT(t, usToTicks(100.0));
 }

@@ -61,7 +61,7 @@ TEST_F(PolicyRig, AnbBacksOffHardOnceDdrFull)
 {
     // Fill DDR completely.
     for (Vpn v = 0; v < 16; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
     ASSERT_EQ(engine->ddrFreeFrames(), 0u);
     AnbConfig cfg;
     AnbDaemon anb(cfg, *pt, *tlb, ledger, *engine);
@@ -120,7 +120,7 @@ TEST_F(PolicyRig, ElectorHysteresisBlocksSmallImprovements)
     Elector elector(cfg);
     // Fill DDR so bootstrap is off.
     for (Vpn v = 0; v < 16; ++v)
-        engine->promote(v, 0);
+        (void)engine->promote(v, 0);
 
     // Round 1: establish a baseline rel_bw_den(DDR).
     monitor->sample(0);

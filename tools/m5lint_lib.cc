@@ -775,6 +775,91 @@ checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
     }
 }
 
+/**
+ * no-unchecked-migrate-result: a member call to promote()/promoteBatch()
+ * whose result is discarded.  MigrateResult/BatchResult/PromoteRound
+ * carry the per-page outcome (transient vs permanent failure) that the
+ * retry pipeline runs on; dropping one silently swallows failures.
+ * `[[nodiscard]]` + -DM5_WERROR is the compile-time enforcement — this
+ * is the greppable complement that also covers unbuilt configurations.
+ * An explicit `(void)` cast marks a deliberate discard and passes.
+ */
+void
+checkUncheckedMigrateResult(const std::string &path,
+                            const std::vector<Line> &lines,
+                            std::vector<Diag> &out)
+{
+    const std::string rule = "no-unchecked-migrate-result";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        if (isPreprocessor(s))
+            continue;
+        for (const char *fn : {"promote", "promoteBatch"}) {
+            for (auto pos : findTokens(s, fn)) {
+                if (!isMemberAccess(s, pos) ||
+                    !followedByParen(s, pos + std::string(fn).size()))
+                    continue;
+                // Statement prefix: text from the last ';'/'{'/'}'
+                // before the call to the call itself, accumulated
+                // across a few previous lines for continuations.
+                std::string prefix;
+                std::size_t li = i;
+                std::size_t end = pos;
+                for (int back = 0; back < 4; ++back) {
+                    const std::string &t = lines[li].stripped;
+                    const std::size_t b =
+                        end == 0 ? std::string::npos
+                                 : t.find_last_of(";{}", end - 1);
+                    if (b != std::string::npos) {
+                        prefix = t.substr(b + 1, end - b - 1) + prefix;
+                        break;
+                    }
+                    prefix = t.substr(0, end) + " " + prefix;
+                    if (li == 0)
+                        break;
+                    --li;
+                    end = lines[li].stripped.size();
+                }
+                // Normalize `->` to `.`, then trim.
+                std::string norm;
+                for (std::size_t j = 0; j < prefix.size(); ++j) {
+                    if (prefix[j] == '-' && j + 1 < prefix.size() &&
+                        prefix[j + 1] == '>') {
+                        norm.push_back('.');
+                        ++j;
+                    } else {
+                        norm.push_back(prefix[j]);
+                    }
+                }
+                const std::size_t b = norm.find_first_not_of(" \t");
+                norm = b == std::string::npos ? "" : norm.substr(b);
+                if (norm.rfind("(void)", 0) == 0)
+                    continue; // explicit deliberate discard
+                if (!findTokens(norm, "return").empty() ||
+                    !findTokens(norm, "co_return").empty())
+                    continue; // result returned to the caller
+                // Consumed if anything but a bare object expression
+                // (identifiers, scopes, member dots) precedes the call.
+                bool bare = true;
+                for (char c : norm) {
+                    if (!(isIdentChar(c) || c == '.' || c == ':' ||
+                          c == ' ' || c == '\t'))
+                        bare = false;
+                }
+                if (!bare)
+                    continue;
+                out.push_back(
+                    {path, static_cast<int>(i + 1), rule,
+                     std::string(fn) +
+                         "() result discarded; MigrateResult/"
+                         "BatchResult/PromoteRound carry the per-page "
+                         "failure outcome the retry pipeline needs — "
+                         "check it or cast to (void) deliberately"});
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -798,6 +883,7 @@ allRules()
         "no-naked-new",
         "header-hygiene",
         "no-untracked-stat",
+        "no-unchecked-migrate-result",
     };
     return rules;
 }
@@ -851,6 +937,7 @@ lintSource(const std::string &path, const std::string &content,
     checkNakedNew(path, lines, diags);
     checkHeaderHygiene(path, lines, diags);
     checkUntrackedStat(path, lines, diags);
+    checkUncheckedMigrateResult(path, lines, diags);
 
     diags.erase(std::remove_if(diags.begin(), diags.end(),
                                [&](const Diag &d) {

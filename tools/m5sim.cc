@@ -5,7 +5,8 @@
  *   m5sim [--bench NAME] [--policy NAME] [--scale DENOM] [--seed N]
  *         [--accesses N] [--instances N] [--record-only] [--wac]
  *         [--ddr-frac F] [--telemetry FILE] [--telemetry-every N]
- *         [--trace FILE] [--trace-cats CSV] [--csv] [--list]
+ *         [--trace FILE] [--trace-cats CSV] [--faults SPEC] [--csv]
+ *         [--list]
  *
  * Runs one experiment and prints a full report: timing, tier traffic,
  * migration and TLB statistics, the kernel-cycle breakdown, request
@@ -15,6 +16,9 @@
  * end-of-run rollup to the report (docs/TELEMETRY.md).  --trace writes
  * a Chrome trace_event JSON of migration-decision spans and instants,
  * loadable in Perfetto or chrome://tracing (docs/TRACING.md).
+ * --faults arms the deterministic fault injector with a spec like
+ * "migrate_busy:p=0.05,mmio_stale:after=2ms" and appends a resilience
+ * section to the report (docs/FAULTS.md).
  */
 
 #include <cstdio>
@@ -85,6 +89,7 @@ struct Options
     std::uint64_t telemetry_every = 1;
     std::string trace;
     std::uint32_t trace_cats = kTraceDefaultCats;
+    std::string faults;
 };
 
 PolicyKind
@@ -129,6 +134,9 @@ usage()
         "                    spans and instants (docs/TRACING.md)\n"
         "  --trace-cats CSV  categories to record (sim,monitor,nominate,\n"
         "                    elect,promote,migrate,cxl,access,default,all)\n"
+        "  --faults SPEC     deterministic fault plan, e.g.\n"
+        "                    migrate_busy:p=0.05,mmio_stale:after=2ms\n"
+        "                    (docs/FAULTS.md)\n"
         "  --csv             machine-readable one-line output\n"
         "  --list            list benchmarks and exit\n");
 }
@@ -171,6 +179,8 @@ parseArgs(int argc, char **argv)
             opt.trace = next();
         } else if (arg == "--trace-cats") {
             opt.trace_cats = parseTraceCats(next());
+        } else if (arg == "--faults") {
+            opt.faults = next();
         } else if (arg == "--record-only") {
             opt.record_only = true;
         } else if (arg == "--wac") {
@@ -215,6 +225,7 @@ main(int argc, char **argv)
     cfg.telemetry.every = opt.telemetry_every;
     cfg.trace.path = opt.trace;
     cfg.trace.categories = opt.trace_cats;
+    cfg.faults = opt.faults;
 
     TieredSystem sys(cfg);
     const std::uint64_t budget = opt.accesses
@@ -264,11 +275,16 @@ main(int argc, char **argv)
     std::printf("TLB:           %lu misses, %lu shootdowns\n",
                 static_cast<unsigned long>(r.tlb.misses),
                 static_cast<unsigned long>(r.tlb.shootdowns));
-    std::printf("migration:     %lu promoted, %lu demoted, %lu rejected\n",
+    std::printf("migration:     %lu promoted, %lu demoted, %lu rejected "
+                "(%lu pinned, %lu not_cxl, %lu capacity)\n",
                 static_cast<unsigned long>(r.migration.promoted),
                 static_cast<unsigned long>(r.migration.demoted),
                 static_cast<unsigned long>(r.migration.rejected_pinned +
-                                           r.migration.rejected_not_cxl));
+                                           r.migration.rejected_not_cxl +
+                                           r.migration.failed_capacity),
+                static_cast<unsigned long>(r.migration.rejected_pinned),
+                static_cast<unsigned long>(r.migration.rejected_not_cxl),
+                static_cast<unsigned long>(r.migration.failed_capacity));
     std::printf("steady reads:  %.1f%% from DDR\n",
                 100.0 * ddr_frac_reads);
     if (r.p99_request > 0.0) {
@@ -320,6 +336,44 @@ main(int argc, char **argv)
         // The rollup is the final JSONL line rendered as a table; the
         // smoke test diffs the two, so emit it verbatim.
         emitTable(std::cout, telem->rollupTable(), "telemetry rollup");
+    }
+    if (const FaultInjector *faults = sys.faults()) {
+        // Resilience section (docs/FAULTS.md).  check.sh's faults stage
+        // greps these lines, so keep the key names stable.
+        std::printf("faults:        spec '%s', %lu injected\n",
+                    faults->plan().spec.c_str(),
+                    static_cast<unsigned long>(faults->injectedTotal()));
+        for (unsigned i = 0; i < kNumFaultPoints; ++i) {
+            const auto pt = static_cast<FaultPoint>(i);
+            if (faults->injected(pt)) {
+                std::printf("  injected.%-12s %12lu\n",
+                            faultPointName(pt),
+                            static_cast<unsigned long>(
+                                faults->injected(pt)));
+            }
+        }
+        std::printf("  resilience: %lu transient, %lu retries, "
+                    "%lu dropped\n",
+                    static_cast<unsigned long>(r.migration.transient_fail),
+                    static_cast<unsigned long>(r.migration.retries),
+                    static_cast<unsigned long>(r.migration.dropped));
+        std::printf("  mmio: %lu timeouts, degrade %s\n",
+                    static_cast<unsigned long>(
+                        sys.controller().mmioTimeouts()),
+                    monitorDegradeName(sys.monitor().degrade()));
+        if (const M5Manager *m5 = sys.m5Manager()) {
+            const Elector &el = m5->elector();
+            std::printf("  breaker: state %s, %lu opened, %lu closed, "
+                        "%lu deferred\n",
+                        breakerStateName(el.breakerState()),
+                        static_cast<unsigned long>(el.breakerOpened()),
+                        static_cast<unsigned long>(el.breakerClosed()),
+                        static_cast<unsigned long>(el.breakerDeferred()));
+        }
+        const InvariantChecker *inv = sys.invariants();
+        std::printf("  invariants: %lu checks, %lu violations\n",
+                    static_cast<unsigned long>(inv->checks()),
+                    static_cast<unsigned long>(inv->violations()));
     }
     return 0;
 }
