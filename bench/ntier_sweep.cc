@@ -1,0 +1,147 @@
+/**
+ * @file
+ * N-tier topology sweep (docs/TOPOLOGY.md).
+ *
+ * Runs a skewed and a streaming benchmark over a grid of topologies
+ * (the default DDR/CXL pair, a 3-tier and a 4-tier latency ladder) and
+ * top-tier capacity ratios, under a fixed small `ddr_alloc` burst so
+ * the exchange fallback is exercised in every cell.  Reports steady
+ * throughput normalized to the same benchmark/ratio's two-tier cell
+ * next to the placement counters: promotions, atomic exchanges,
+ * opportunistic best-fit placements, the promotion success rate
+ * (successes over attempts), and invariant violations (which must stay
+ * zero on every topology).
+ *
+ * Cells build TieredSystem directly so the engine and invariant
+ * counters can be read off the live components after the run; the grid
+ * itself is declared as a SweepGrid custom axis and executed by the
+ * parallel ExperimentRunner.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/report.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+using namespace m5;
+
+namespace {
+
+struct CellResult
+{
+    RunResult run;
+    std::uint64_t exchanged = 0;
+    std::uint64_t placed_lower = 0;
+    std::uint64_t failed_capacity = 0;
+    std::uint64_t transient_fail = 0;
+    std::uint64_t invariant_violations = 0;
+};
+
+/** successes / attempts over the promotion-shaped outcomes. */
+double
+promoSuccessRate(const CellResult &r)
+{
+    const double ok = static_cast<double>(
+        r.run.migration.promoted + r.exchanged + r.placed_lower);
+    const double attempts =
+        ok + static_cast<double>(r.failed_capacity + r.transient_fail);
+    return attempts > 0.0 ? ok / attempts : 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    printBanner(std::cout,
+                "N-tier topology sweep: tiers x skew x DDR ratio "
+                "(normalized to the two-tier cell)");
+    std::printf("scale=1/%.0f, faults=ddr_alloc:burst=64@2ms in every "
+                "cell (exercises the exchange fallback)\n",
+                1.0 / scale);
+
+    // mcf_r: hot-skewed pointer chasing; roms_r: streaming, flat tail.
+    const std::vector<std::string> benches = {"mcf_r", "roms_r"};
+    const std::vector<std::pair<std::string, std::string>> topologies = {
+        {"2-tier", ""},
+        {"3-tier", "ddr:100,cxl:270:0.25,far:400"},
+        {"4-tier", "ddr:100,near:170:0.15,cxl:270:0.15,far:400"},
+    };
+    const std::vector<double> ratios = {0.125, 0.375};
+
+    SweepGrid grid;
+    std::vector<SweepPoint> points;
+    for (const auto &[tname, tspec] : topologies) {
+        for (double ratio : ratios) {
+            points.push_back(
+                {tname + "/d" + TextTable::num(ratio, 3),
+                 [tspec = tspec, ratio](SystemConfig &cfg) {
+                     cfg.tiers = tspec;
+                     cfg.ddr_capacity_fraction = ratio;
+                     cfg.faults = "ddr_alloc:burst=64@2ms";
+                 }});
+        }
+    }
+    grid.benchmarks(benches)
+        .policy(PolicyKind::M5HptDriven)
+        .scale(scale)
+        .axis(points);
+    const auto jobs = grid.expand();
+
+    ExperimentRunner runner({.name = "ntier_sweep"});
+    const auto results = runner.map(jobs, [](const SweepJob &job) {
+        TieredSystem sys(job.config);
+        CellResult out;
+        out.run = sys.run(job.budget);
+        const MigrationStats &ms = sys.migrationEngine().stats();
+        out.exchanged = ms.exchanged;
+        out.placed_lower = ms.placed_lower;
+        out.failed_capacity = ms.failed_capacity;
+        out.transient_fail = ms.transient_fail;
+        if (sys.invariants())
+            out.invariant_violations = sys.invariants()->violations();
+        return out;
+    });
+
+    TextTable table({"bench", "topology", "ddr", "norm perf", "promoted",
+                     "exchanged", "placed lower", "promo rate",
+                     "inv viol"});
+    const std::size_t nv = points.size();
+    const std::size_t nr = ratios.size();
+    bool clean = true;
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        for (std::size_t v = 0; v < nv; ++v) {
+            const auto &r = results[b * nv + v];
+            // The two-tier cell with the same benchmark and DDR ratio.
+            const auto &base = results[b * nv + v % nr];
+            if (!base.ok)
+                m5_fatal("two-tier baseline cell failed: %s",
+                         base.error.c_str());
+            const double baseline = base.value.run.steady_throughput;
+            auto u = [&](std::uint64_t x) { return std::to_string(x); };
+            table.addRow(
+                {benches[b], topologies[v / nr].first,
+                 TextTable::num(ratios[v % nr], 3),
+                 r.ok ? TextTable::num(
+                            r.value.run.steady_throughput / baseline, 3)
+                      : "-",
+                 r.ok ? u(r.value.run.migration.promoted) : "-",
+                 r.ok ? u(r.value.exchanged) : "-",
+                 r.ok ? u(r.value.placed_lower) : "-",
+                 r.ok ? TextTable::num(promoSuccessRate(r.value), 3)
+                      : "-",
+                 r.ok ? u(r.value.invariant_violations) : "-"});
+            if (r.ok && r.value.invariant_violations > 0)
+                clean = false;
+        }
+    }
+    emitTable(std::cout, table, "ntier_sweep");
+
+    std::printf("\ninvariants: %s across every topology\n",
+                clean ? "clean" : "VIOLATED");
+    return clean ? 0 : 1;
+}

@@ -34,8 +34,9 @@ ElectorDecision
 Elector::evaluate(const Monitor &monitor)
 {
     // Line 2: T = 1 / (fscale(bw_den(CXL)/bw_den(DDR)) * f_default).
+    // "CXL" aggregates every tier below the top in an N-tier topology.
     const double den_ddr = monitor.bwDen(kNodeDdr);
-    const double den_cxl = monitor.bwDen(kNodeCxl);
+    const double den_cxl = monitor.bwDenLower();
     double x = den_ddr > 0.0 ? den_cxl / den_ddr
                              : (den_cxl > 0.0 ? cfg_.x_max : 1.0);
     x = std::clamp(x, 0.0, cfg_.x_max);

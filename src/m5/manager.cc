@@ -97,7 +97,7 @@ M5Manager::wake(Tick now)
             .u("migrate", decision.migrate ? 1 : 0)
             .u("period", decision.period)
             .d("bw_den_ddr", monitor_.bwDen(kNodeDdr))
-            .d("bw_den_cxl", monitor_.bwDen(kNodeCxl))
+            .d("bw_den_cxl", monitor_.bwDenLower())
             .d("rel_bw_den_ddr", decision.rel_bw_den_ddr)
             .s("reason", decision.breaker_open
                    ? "breaker_open"

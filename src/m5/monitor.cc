@@ -41,9 +41,9 @@ Monitor::sample(Tick now)
         TRACE_EVENT(TraceCat::Monitor, now, "monitor.sample",
             TraceArgs()
                 .d("bw_ddr", bw(kNodeDdr))
-                .d("bw_cxl", bw(kNodeCxl))
+                .d("bw_cxl", bwLower())
                 .d("bw_den_ddr", bwDen(kNodeDdr))
-                .d("bw_den_cxl", bwDen(kNodeCxl))
+                .d("bw_den_cxl", bwDenLower())
                 .u("free_ddr", freeFrames(kNodeDdr)));
     }
 }
@@ -66,6 +66,24 @@ Monitor::bwDen(NodeId node) const
 {
     const std::size_t pages = nrPages(node);
     return pages ? bw(node) / static_cast<double>(pages) : 0.0;
+}
+
+double
+Monitor::bwLower() const
+{
+    double t = 0.0;
+    for (std::size_t n = 1; n < bw_.size(); ++n)
+        t += bw_[n];
+    return t;
+}
+
+double
+Monitor::bwDenLower() const
+{
+    std::size_t pages = 0;
+    for (std::size_t n = 1; n < bw_.size(); ++n)
+        pages += nrPages(static_cast<NodeId>(n));
+    return pages ? bwLower() / static_cast<double>(pages) : 0.0;
 }
 
 double

@@ -59,6 +59,16 @@ class Monitor
     /** bw(node) per allocated page: the hot-page density metric. */
     double bwDen(NodeId node) const;
 
+    /** Aggregate read bandwidth of every tier below the top — the
+     *  "CXL side" of an N-tier topology (equals bw(kNodeCxl) for the
+     *  default pair). */
+    double bwLower() const;
+
+    /** Aggregate bw-density of the lower tiers: their summed bandwidth
+     *  over their summed residency (bit-identical to bwDen(kNodeCxl)
+     *  when there is a single lower tier). */
+    double bwDenLower() const;
+
     /** bw(DDR) + bw(CXL): proportional to application performance for a
      *  given phase (§5.2). */
     double bwTot() const;

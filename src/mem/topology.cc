@@ -1,0 +1,257 @@
+#include "mem/topology.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace m5 {
+
+namespace {
+
+/** Valid tier name: non-empty [a-z0-9_]+. */
+bool
+validTierName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(text);
+    while (std::getline(in, part, sep))
+        parts.push_back(part);
+    return parts;
+}
+
+} // namespace
+
+TopologySpec
+TopologySpec::parse(const std::string &spec)
+{
+    TopologySpec out;
+    for (const std::string &clause : splitOn(spec, ',')) {
+        if (clause.empty())
+            m5_fatal("tiers spec '%s': empty clause", spec.c_str());
+        const auto fields = splitOn(clause, ':');
+        const auto arrow = fields[0].find('>');
+        if (arrow != std::string::npos) {
+            // Edge override: src>dst:floor[:bytes_per_s].
+            EdgeSpecEntry e;
+            e.src = fields[0].substr(0, arrow);
+            e.dst = fields[0].substr(arrow + 1);
+            if (!validTierName(e.src) || !validTierName(e.dst) ||
+                fields.size() < 2 || fields.size() > 3) {
+                m5_fatal("tiers spec clause '%s': want "
+                         "src>dst:floor_ns[:bytes_per_s]",
+                         clause.c_str());
+            }
+            auto floor = parseU64(fields[1]);
+            if (!floor)
+                m5_fatal("tiers spec clause '%s': bad latency floor '%s'",
+                         clause.c_str(), fields[1].c_str());
+            e.cost.latency_floor = *floor;
+            if (fields.size() == 3) {
+                auto bw = parseDouble(fields[2]);
+                if (!bw || *bw <= 0.0)
+                    m5_fatal("tiers spec clause '%s': bad bandwidth '%s'",
+                             clause.c_str(), fields[2].c_str());
+                e.cost.bytes_per_s = *bw;
+            }
+            out.edges.push_back(e);
+            continue;
+        }
+        // Tier entry: name:latency[:fraction].
+        if (fields.size() < 2 || fields.size() > 3) {
+            m5_fatal("tiers spec clause '%s': want "
+                     "name:latency_ns[:capacity_fraction]",
+                     clause.c_str());
+        }
+        TierSpecEntry t;
+        t.name = fields[0];
+        if (!validTierName(t.name))
+            m5_fatal("tiers spec clause '%s': bad tier name '%s'",
+                     clause.c_str(), t.name.c_str());
+        auto lat = parseU64(fields[1]);
+        if (!lat || *lat == 0)
+            m5_fatal("tiers spec clause '%s': bad latency '%s' (want ns > 0)",
+                     clause.c_str(), fields[1].c_str());
+        t.read_latency = *lat;
+        if (fields.size() == 3) {
+            auto frac = parseDouble(fields[2]);
+            if (!frac || *frac <= 0.0 || *frac > 1.0)
+                m5_fatal("tiers spec clause '%s': bad capacity fraction "
+                         "'%s' (want 0 < f <= 1)",
+                         clause.c_str(), fields[2].c_str());
+            t.capacity_fraction = *frac;
+        }
+        for (const auto &prev : out.tiers) {
+            if (prev.name == t.name)
+                m5_fatal("tiers spec '%s': duplicate tier '%s'",
+                         spec.c_str(), t.name.c_str());
+        }
+        out.tiers.push_back(t);
+    }
+    if (out.tiers.size() < 2)
+        m5_fatal("tiers spec '%s': want at least 2 tiers", spec.c_str());
+    if (out.tiers.back().capacity_fraction >= 0.0)
+        m5_fatal("tiers spec '%s': the last (spill) tier '%s' must not "
+                 "carry a capacity fraction",
+                 spec.c_str(), out.tiers.back().name.c_str());
+    for (std::size_t i = 1; i + 1 < out.tiers.size(); ++i) {
+        if (out.tiers[i].capacity_fraction < 0.0)
+            m5_fatal("tiers spec '%s': intermediate tier '%s' needs a "
+                     "capacity fraction",
+                     spec.c_str(), out.tiers[i].name.c_str());
+    }
+    auto tierIndex = [&](const std::string &name) -> std::size_t {
+        for (std::size_t i = 0; i < out.tiers.size(); ++i) {
+            if (out.tiers[i].name == name)
+                return i;
+        }
+        m5_fatal("tiers spec '%s': edge names unknown tier '%s'",
+                 spec.c_str(), name.c_str());
+    };
+    for (const auto &e : out.edges) {
+        const std::size_t src = tierIndex(e.src);
+        const std::size_t dst = tierIndex(e.dst);
+        if (src == dst)
+            m5_fatal("tiers spec '%s': edge '%s>%s' is a self loop",
+                     spec.c_str(), e.src.c_str(), e.dst.c_str());
+    }
+    return out;
+}
+
+TierTopology::TierTopology(const TopologySpec &spec,
+                           std::size_t footprint_pages,
+                           double default_top_fraction)
+{
+    m5_assert(spec.tiers.size() >= 2, "topology needs >= 2 tiers");
+    Addr base = 0;
+    for (std::size_t i = 0; i < spec.tiers.size(); ++i) {
+        const TierSpecEntry &t = spec.tiers[i];
+        std::uint64_t frames;
+        if (i + 1 == spec.tiers.size()) {
+            // Spill tier: full footprint plus slack so demotion always
+            // finds a free frame (matches the historical CXL sizing).
+            frames = footprint_pages + 64;
+        } else {
+            const double frac = t.capacity_fraction >= 0.0
+                ? t.capacity_fraction : default_top_fraction;
+            frames = std::max<std::uint64_t>(1,
+                static_cast<std::uint64_t>(
+                    static_cast<double>(footprint_pages) * frac));
+        }
+        TierConfig cfg;
+        cfg.name = t.name;
+        cfg.node = static_cast<NodeId>(i);
+        cfg.base = base;
+        cfg.capacity_bytes = frames * kPageBytes;
+        cfg.read_latency = t.read_latency;
+        cfg.write_latency = t.read_latency;
+        base += cfg.capacity_bytes;
+        tiers_.push_back(cfg);
+    }
+    edges_.assign(tiers_.size() * tiers_.size(), EdgeCost{});
+    auto indexOf = [&](const std::string &name) -> NodeId {
+        for (NodeId n = 0; n < tiers_.size(); ++n) {
+            if (tiers_[n].name == name)
+                return n;
+        }
+        m5_fatal("topology edge names unknown tier '%s'", name.c_str());
+    };
+    for (const auto &e : spec.edges)
+        edges_[indexOf(e.src) * tiers_.size() + indexOf(e.dst)] = e.cost;
+}
+
+TierTopology
+TierTopology::pair(const TieredMemoryParams &p)
+{
+    TierTopology topo;
+    TierConfig ddr;
+    ddr.name = "ddr";
+    ddr.node = kNodeDdr;
+    ddr.base = 0;
+    ddr.capacity_bytes = p.ddr_bytes;
+    ddr.read_latency = p.ddr_latency;
+    ddr.write_latency = p.ddr_latency;
+    topo.tiers_.push_back(ddr);
+
+    TierConfig cxl;
+    cxl.name = "cxl";
+    cxl.node = kNodeCxl;
+    cxl.base = p.ddr_bytes;
+    cxl.capacity_bytes = p.cxl_bytes;
+    cxl.read_latency = p.cxl_latency;
+    cxl.write_latency = p.cxl_latency;
+    topo.tiers_.push_back(cxl);
+
+    topo.edges_.assign(4, EdgeCost{});
+    return topo;
+}
+
+TierTopology
+TierTopology::defaultPair(std::size_t footprint_pages,
+                          const TieredMemoryParams &p, double ddr_fraction)
+{
+    TieredMemoryParams params = p;
+    const auto ddr_frames = std::max<std::size_t>(1,
+        static_cast<std::size_t>(static_cast<double>(footprint_pages) *
+                                 ddr_fraction));
+    params.ddr_bytes = ddr_frames * kPageBytes;
+    params.cxl_bytes = (footprint_pages + 64) * kPageBytes;
+    return pair(params);
+}
+
+const TierConfig &
+TierTopology::tier(NodeId node) const
+{
+    m5_assert(node < tiers_.size(), "no tier for node %u", node);
+    return tiers_[node];
+}
+
+const EdgeCost &
+TierTopology::edge(NodeId src, NodeId dst) const
+{
+    m5_assert(src < tiers_.size() && dst < tiers_.size() && src != dst,
+              "bad edge %u -> %u", src, dst);
+    return edges_[src * tiers_.size() + dst];
+}
+
+std::unique_ptr<MemorySystem>
+TierTopology::buildMemory() const
+{
+    auto sys = std::make_unique<MemorySystem>();
+    for (const TierConfig &cfg : tiers_)
+        sys->addTier(cfg);
+    return sys;
+}
+
+std::string
+TierTopology::describe() const
+{
+    std::string out;
+    for (const TierConfig &cfg : tiers_) {
+        if (!out.empty())
+            out += " -> ";
+        out += strprintf("%s(%lluns, %llu frames)", cfg.name.c_str(),
+                         static_cast<unsigned long long>(cfg.read_latency),
+                         static_cast<unsigned long long>(
+                             cfg.capacity_bytes >> kPageShift));
+    }
+    return out;
+}
+
+} // namespace m5

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * TierTopology — the N-tier generalization of the DDR/CXL pair.
+ *
+ * Real CXL deployments span more than two tiers (local DDR, remote-socket
+ * DDR, direct-attached CXL, CXL-behind-switch); TPP and AutoTiering show
+ * that placement quality depends on modeling the actual latency ladder
+ * rather than a binary fast/slow split.  A TierTopology is an ordered set
+ * of `MemTier` nodes (fastest first; node 0 is the "top" tier, the last
+ * node is the "spill" tier that can always absorb demotions) plus a
+ * per-edge migration cost (copy latency floor + streaming bandwidth cap)
+ * consumed by the MigrationEngine.
+ *
+ * The default topology is the paper's DDR/CXL pair with the historical
+ * edge costs, so every existing two-tier run is byte-identical to the
+ * pre-topology simulator (docs/TOPOLOGY.md).
+ *
+ * Spec grammar (m5sim --tiers, docs/TOPOLOGY.md):
+ *
+ *   spec  := entry (',' entry)*
+ *   entry := tier | edge
+ *   tier  := name ':' latency_ns [ ':' capacity_fraction ]
+ *   edge  := src '>' dst ':' latency_floor_ns [ ':' bytes_per_s ]
+ *
+ * Tiers are listed fastest-first.  The last tier is the spill tier and
+ * must not carry a capacity fraction (it is sized to the footprint plus
+ * slack); the first tier may omit its fraction to inherit the system's
+ * DDR capacity fraction; intermediate tiers must state one.  Malformed
+ * specs are fatal.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memsys.hh"
+#include "mem/tier.hh"
+
+namespace m5 {
+
+/**
+ * Cost of migrating one page across a tier-to-tier edge.  The defaults
+ * reproduce the historical MigrationEngine copy model (a streaming
+ * memcpy at 12 GB/s behind a fixed round-trip floor), so topologies that
+ * never override an edge keep byte-identical migration timing.
+ */
+struct EdgeCost
+{
+    //! Fixed per-page copy latency floor (one round trip each way).
+    Tick latency_floor = 400;
+    //! Streaming copy bandwidth cap (bytes/s) for the 4KB payload.
+    double bytes_per_s = 12.0e9;
+
+    /** Total copy time for one page (read + write streams). */
+    Tick
+    pageCopyTime() const
+    {
+        return latency_floor +
+               static_cast<Tick>(2.0 * kPageBytes / bytes_per_s * 1e9);
+    }
+};
+
+/** One tier entry of a parsed --tiers spec. */
+struct TierSpecEntry
+{
+    std::string name;
+    Tick read_latency = 100;
+    //! Capacity as a fraction of the footprint; < 0 means "not given"
+    //! (legal only for the top tier, which inherits the system default,
+    //! and mandatory for the spill tier, which is sized to footprint
+    //! plus slack).
+    double capacity_fraction = -1.0;
+};
+
+/** One parsed edge-cost override (`src>dst:floor[:bw]`). */
+struct EdgeSpecEntry
+{
+    std::string src;
+    std::string dst;
+    EdgeCost cost;
+};
+
+/** Parsed, not-yet-resolved --tiers spec. */
+struct TopologySpec
+{
+    std::vector<TierSpecEntry> tiers;
+    std::vector<EdgeSpecEntry> edges;
+
+    /** Parse a spec string; malformed specs are fatal (m5_fatal). */
+    static TopologySpec parse(const std::string &spec);
+};
+
+/**
+ * The resolved tier graph: per-tier TierConfig (contiguous physical
+ * ranges, fastest tier first) and a dense edge-cost matrix.  Builds the
+ * MemorySystem it describes.
+ */
+class TierTopology
+{
+  public:
+    /**
+     * Resolve a parsed spec against a workload footprint.
+     *
+     * @param spec Parsed tier/edge entries (>= 2 tiers).
+     * @param footprint_pages Workload footprint in pages.
+     * @param default_top_fraction Capacity fraction for a top tier that
+     *        omitted one (the system's DDR capacity fraction).
+     */
+    TierTopology(const TopologySpec &spec, std::size_t footprint_pages,
+                 double default_top_fraction);
+
+    /**
+     * The historical DDR/CXL pair with explicit byte capacities —
+     * byte-identical to makeTieredMemory(p) plus default edge costs.
+     */
+    static TierTopology pair(const TieredMemoryParams &p);
+
+    /**
+     * The default two-tier topology exactly as TieredSystem::buildMemory
+     * historically derived it: DDR gets max(1, footprint * ddr_fraction)
+     * frames, the CXL spill tier holds footprint + 64 pages.
+     */
+    static TierTopology defaultPair(std::size_t footprint_pages,
+                                    const TieredMemoryParams &p,
+                                    double ddr_fraction);
+
+    /** Number of tiers (>= 2). */
+    std::size_t numTiers() const { return tiers_.size(); }
+
+    /** Tier configuration by node id (0 = fastest). */
+    const TierConfig &tier(NodeId node) const;
+
+    /** The fastest tier (promotion target). */
+    NodeId top() const { return 0; }
+
+    /** The slowest tier; sized so demotion always finds a frame. */
+    NodeId
+    spill() const
+    {
+        return static_cast<NodeId>(tiers_.size() - 1);
+    }
+
+    /** True for every tier below the top (promotion sources). */
+    bool isLower(NodeId node) const { return node != top(); }
+
+    /** Migration cost of the src -> dst edge. */
+    const EdgeCost &edge(NodeId src, NodeId dst) const;
+
+    /** Build the MemorySystem described by this topology. */
+    std::unique_ptr<MemorySystem> buildMemory() const;
+
+    /** One-line human-readable description for reports. */
+    std::string describe() const;
+
+  private:
+    TierTopology() = default;
+
+    std::vector<TierConfig> tiers_;
+    std::vector<EdgeCost> edges_; //!< Dense numTiers x numTiers matrix.
+};
+
+} // namespace m5

@@ -31,7 +31,7 @@ AnbDaemon::wake(Tick now)
     while (scanned < cfg_.scan_chunk_pages && scanned < total) {
         Pte &e = pt_.pte(cursor_);
         cycles += cost::kPteUnmap;
-        if (e.valid && e.present && e.node == kNodeCxl) {
+        if (e.valid && e.present && e.node != kNodeDdr) {
             e.present = false;
             tlb_.shootdown(cursor_);
             cycles += cost::kTlbShootdown;
@@ -80,7 +80,7 @@ AnbDaemon::onHintFault(Vpn vpn, Tick now)
         ++count;
     if (count >= cfg_.fault_threshold) {
         const Pte &e = pt_.pte(vpn);
-        if (e.valid && e.node == kNodeCxl) {
+        if (e.valid && e.node != kNodeDdr) {
             hot_list_.add(e.pfn);
             if (cfg_.migrate) {
                 // Refill the promotion token bucket, then spend one token

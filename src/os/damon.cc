@@ -159,7 +159,7 @@ DamonDaemon::aggregate(Tick now)
             const Pte &e = pt_.pte(vpn);
             if (!e.valid)
                 continue;
-            if (e.node == kNodeCxl)
+            if (e.node != kNodeDdr)
                 hot_list_.add(e.pfn);
             plan_.push_back(vpn);
             --quota;
@@ -199,7 +199,7 @@ DamonDaemon::applyPlanChunk(Tick now)
          ++i, ++plan_cursor_) {
         const Vpn vpn = plan_[plan_cursor_];
         attempt_cycles += cost::kDamosAttempt;
-        if (cfg_.migrate && pt_.pte(vpn).node == kNodeCxl) {
+        if (cfg_.migrate && pt_.pte(vpn).node != kNodeDdr) {
             elapsed += engine_.promote(vpn, now + elapsed).busy;
             ++issued;
         }

@@ -137,6 +137,24 @@ MgLru::pickVictims(std::size_t n)
     return out;
 }
 
+std::optional<Vpn>
+MgLru::peekVictim() const
+{
+    // Same slot walk as pickVictims, tails first, without unlinking.
+    for (unsigned d = num_gens_ - 1; d >= 1; --d) {
+        const unsigned slot = (youngest_slot_ + num_gens_ - d) % num_gens_;
+        const std::size_t s = sentinel(slot);
+        if (prev_[s] != s)
+            return static_cast<Vpn>(prev_[s]);
+        if (d == 1)
+            break;
+    }
+    const std::size_t sy = sentinel(youngest_slot_);
+    if (prev_[sy] != sy)
+        return static_cast<Vpn>(prev_[sy]);
+    return std::nullopt;
+}
+
 bool
 MgLru::contains(Vpn vpn) const
 {
@@ -151,6 +169,57 @@ MgLru::generationOf(Vpn vpn) const
               static_cast<unsigned long>(vpn));
     const unsigned slot = gen_[vpn];
     return (youngest_slot_ + num_gens_ - slot) % num_gens_;
+}
+
+TierLrus::TierLrus(std::size_t num_pages, std::size_t num_tiers,
+                   unsigned num_gens)
+    : num_tiers_(num_tiers)
+{
+    m5_assert(num_tiers >= 2, "TierLrus needs >= 2 tiers");
+    for (std::size_t n = 0; n + 1 < num_tiers; ++n)
+        lrus_.push_back(std::make_unique<MgLru>(num_pages, num_gens));
+}
+
+MgLru &
+TierLrus::lru(NodeId node)
+{
+    m5_assert(tracked(node), "tier %u keeps no LRU", node);
+    return *lrus_[node];
+}
+
+const MgLru &
+TierLrus::lru(NodeId node) const
+{
+    m5_assert(tracked(node), "tier %u keeps no LRU", node);
+    return *lrus_[node];
+}
+
+void
+TierLrus::insert(Vpn vpn, NodeId node)
+{
+    if (tracked(node))
+        lrus_[node]->insert(vpn);
+}
+
+void
+TierLrus::remove(Vpn vpn, NodeId node)
+{
+    if (tracked(node) && lrus_[node]->contains(vpn))
+        lrus_[node]->remove(vpn);
+}
+
+void
+TierLrus::touch(Vpn vpn, NodeId node)
+{
+    if (tracked(node))
+        lrus_[node]->touch(vpn);
+}
+
+void
+TierLrus::age()
+{
+    for (auto &lru : lrus_)
+        lru->age();
 }
 
 } // namespace m5

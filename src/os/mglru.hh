@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
@@ -49,6 +51,13 @@ class MgLru
      */
     std::vector<Vpn> pickVictims(std::size_t n);
 
+    /**
+     * The page pickVictims(1) would pop, without removing it; nullopt
+     * when empty.  Page exchange peeks its cold partner so an aborted
+     * swap leaves the LRU untouched (docs/TOPOLOGY.md).
+     */
+    std::optional<Vpn> peekVictim() const;
+
     /** True if the page is tracked. */
     bool contains(Vpn vpn) const;
 
@@ -76,6 +85,59 @@ class MgLru
     std::vector<std::uint32_t> next_;
     std::vector<std::uint32_t> prev_;
     std::vector<std::uint8_t> gen_;
+};
+
+/**
+ * Per-tier generational LRUs for an N-tier topology.
+ *
+ * Every tier except the spill tier keeps its own MgLru over the pages it
+ * currently hosts: the top tier's LRU supplies demotion/exchange victims
+ * exactly as before, and intermediate tiers age independently so a
+ * multi-hop demotion ladder always has a victim order.  The spill tier is
+ * untracked — it can always absorb demotions, so it never needs victims.
+ * With two tiers this collapses to the historical single DDR MgLru.
+ */
+class TierLrus
+{
+  public:
+    /**
+     * @param num_pages Size of the VPN space.
+     * @param num_tiers Number of topology tiers (>= 2); tiers
+     *        [0, num_tiers-1) are tracked.
+     * @param num_gens Generations per tier LRU.
+     */
+    TierLrus(std::size_t num_pages, std::size_t num_tiers,
+             unsigned num_gens = 4);
+
+    /** True when the tier keeps an LRU (every tier but the spill). */
+    bool tracked(NodeId node) const { return node + 1 < num_tiers_; }
+
+    /** The LRU of a tracked tier. */
+    MgLru &lru(NodeId node);
+    const MgLru &lru(NodeId node) const;
+
+    /** The top (fastest) tier's LRU — the historical DDR MgLru. */
+    MgLru &top() { return lru(kNodeDdr); }
+    const MgLru &top() const { return lru(kNodeDdr); }
+
+    /** Page became resident on `node`: insert if the tier is tracked. */
+    void insert(Vpn vpn, NodeId node);
+
+    /** Page left `node` (migrated / unmapped); no-op if untracked. */
+    void remove(Vpn vpn, NodeId node);
+
+    /** Access observed to a page resident on `node`. */
+    void touch(Vpn vpn, NodeId node);
+
+    /** Advance every tracked tier's generation clock. */
+    void age();
+
+    /** Number of tracked tiers. */
+    std::size_t trackedTiers() const { return lrus_.size(); }
+
+  private:
+    std::size_t num_tiers_;
+    std::vector<std::unique_ptr<MgLru>> lrus_;
 };
 
 } // namespace m5

@@ -16,32 +16,56 @@ MigrateResult::reason() const
       case MigrateOutcome::RejectedPinned: return "pinned";
       case MigrateOutcome::RejectedNotCxl: return "not_cxl";
       case MigrateOutcome::FailedCapacity: return "failed_capacity";
+      case MigrateOutcome::ExchangedInstead: return "exchanged";
+      case MigrateOutcome::PlacedLowerTier: return "placed_lower";
       default:
         m5_panic("bad MigrateOutcome %u",
                  static_cast<unsigned>(outcome));
     }
 }
 
-MigrationEngine::MigrationEngine(PageTable &pt, FrameAllocator &alloc,
-                                 MemorySystem &mem, SetAssocCache &llc,
-                                 Tlb &tlb, KernelLedger &ledger, MgLru &mglru,
+MigrationEngine::MigrationEngine(const TierTopology &topo, PageTable &pt,
+                                 FrameAllocator &alloc, MemorySystem &mem,
+                                 SetAssocCache &llc, Tlb &tlb,
+                                 KernelLedger &ledger, TierLrus &lrus,
                                  const MigrationCosts &costs)
-    : pt_(pt), alloc_(alloc), mem_(mem), llc_(llc), tlb_(tlb),
-      ledger_(ledger), mglru_(mglru), costs_(costs)
+    : topo_(topo), pt_(pt), alloc_(alloc), mem_(mem), llc_(llc), tlb_(tlb),
+      ledger_(ledger), lrus_(lrus), costs_(costs),
+      moved_in_(topo.numTiers(), 0), moved_out_(topo.numTiers(), 0)
 {
+    m5_assert(topo_.numTiers() == mem_.tiers(),
+              "topology (%zu tiers) does not match the memory system "
+              "(%zu tiers)",
+              topo_.numTiers(), mem_.tiers());
 }
 
 std::size_t
 MigrationEngine::ddrFreeFrames() const
 {
-    return alloc_.freeFrames(kNodeDdr);
+    return alloc_.freeFrames(topo_.top());
 }
 
 bool
 MigrationEngine::canPromote(Vpn vpn) const
 {
     const Pte &e = pt_.pte(vpn);
-    return e.valid && !e.pinned && e.node == kNodeCxl;
+    return e.valid && !e.pinned && topo_.isLower(e.node);
+}
+
+std::optional<NodeId>
+MigrationEngine::bestFitBelowTop(NodeId src) const
+{
+    // Fastest-first scan over the intermediate tiers: the best fit is
+    // the fastest non-top tier with a free frame that still improves on
+    // the page's current placement.  The spill tier is excluded — a
+    // "promotion" into the spill tier would be a no-op or a demotion.
+    for (NodeId n = topo_.top() + 1; n < topo_.spill(); ++n) {
+        if (n >= src)
+            break;
+        if (alloc_.freeFrames(n) > 0)
+            return n;
+    }
+    return std::nullopt;
 }
 
 Tick
@@ -66,10 +90,11 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
     ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
 
     // Copy 64 words: reads from the source tier (visible to the CXL
-    // controller when the source is CXL), writes to the destination.  The
-    // traffic is issued per word so counters and observers see it, but the
-    // copy is charged as a pipelined stream, not 128 serialized round
-    // trips — migrate_pages() uses a streaming memcpy.
+    // controller when the source is a controller-observed tier), writes
+    // to the destination.  The traffic is issued per word so counters
+    // and observers see it, but the copy is charged as a pipelined
+    // stream against the src->dst edge of the topology, not 128
+    // serialized round trips — migrate_pages() uses a streaming memcpy.
     const Addr src_base = pageBase(src_pfn);
     const Addr dst_base = pageBase(*dst);
     for (unsigned w = 0; w < kWordsPerPage; ++w) {
@@ -77,12 +102,14 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
         mem_.access(src_base + off, false, now + elapsed);
         mem_.access(dst_base + off, true, now + elapsed);
     }
-    elapsed += costs_.copy_latency_floor +
-               static_cast<Tick>(2.0 * kPageBytes /
-                                 costs_.copy_bytes_per_s * 1e9);
+    elapsed += topo_.edge(src_node, dst_node).pageCopyTime();
 
+    lrus_.remove(vpn, src_node);
     pt_.remap(vpn, *dst, dst_node);
     alloc_.free(src_node, src_pfn);
+    lrus_.insert(vpn, dst_node);
+    ++moved_out_[src_node];
+    ++moved_in_[dst_node];
 
     ledger_.charge(KernelWork::Migration, costs_.software_per_page);
     elapsed += cyclesToNs(costs_.software_per_page);
@@ -107,10 +134,173 @@ MigrationEngine::transientFail(Vpn vpn, Tick now, MigrateOutcome outcome)
 }
 
 MigrateResult
+MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
+{
+    m5_assert(dst < topo_.numTiers(), "move to unknown tier %u", dst);
+    const Pte &e = pt_.pte(vpn);
+    if (!e.valid || e.node == dst) {
+        ++stats_.rejected_not_cxl;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", vpn).s("reason", "not_cxl"));
+        return {MigrateOutcome::RejectedNotCxl, 0};
+    }
+    if (e.pinned) {
+        ++stats_.rejected_pinned;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", vpn).s("reason", "pinned"));
+        return {MigrateOutcome::RejectedPinned, 0};
+    }
+    if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
+        return transientFail(vpn, now, MigrateOutcome::TransientBusy);
+    if (alloc_.freeFrames(dst) == 0)
+        return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
+
+    const NodeId src = e.node;
+    const Pfn src_pfn = e.pfn;
+    const Tick elapsed = moveTo(vpn, dst, now);
+    if (dst == topo_.top()) {
+        ++stats_.promoted;
+        TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.promote",
+                    TraceArgs().u("page", vpn)
+                               .u("src_pfn", src_pfn)
+                               .u("dst_pfn", pt_.pte(vpn).pfn)
+                               .u("busy", elapsed));
+    } else if (dst > src) {
+        ++stats_.demoted;
+        TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.demote",
+                    TraceArgs().u("page", vpn)
+                               .u("src_pfn", src_pfn)
+                               .u("dst_pfn", pt_.pte(vpn).pfn)
+                               .u("busy", elapsed));
+    } else {
+        ++stats_.moved_lateral;
+        TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.move",
+                    TraceArgs().u("page", vpn)
+                               .s("src", topo_.tier(src).name)
+                               .s("dst", topo_.tier(dst).name)
+                               .u("src_pfn", src_pfn)
+                               .u("dst_pfn", pt_.pte(vpn).pfn)
+                               .u("busy", elapsed));
+    }
+    return {MigrateOutcome::Done, elapsed};
+}
+
+MigrateResult
+MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
+{
+    const Pte &eh = pt_.pte(hot);
+    const Pte &ec = pt_.pte(cold);
+    if (!eh.valid || !ec.valid || eh.node == ec.node) {
+        ++stats_.rejected_not_cxl;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", hot).s("reason", "not_cxl"));
+        return {MigrateOutcome::RejectedNotCxl, 0};
+    }
+    if (eh.pinned || ec.pinned) {
+        ++stats_.rejected_pinned;
+        TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                    TraceArgs().u("page", eh.pinned ? hot : cold)
+                               .s("reason", "pinned"));
+        return {MigrateOutcome::RejectedPinned, 0};
+    }
+    // An injected EBUSY aborts the whole swap before any state moves —
+    // the exchange is atomic: both pages stay where they were.
+    if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
+        return transientFail(hot, now, MigrateOutcome::TransientBusy);
+
+    const NodeId hot_node = eh.node;
+    const NodeId cold_node = ec.node;
+    const Pfn hot_pfn = eh.pfn;
+    const Pfn cold_pfn = ec.pfn;
+
+    // Flush both pages' cached lines before the frames trade contents.
+    Tick elapsed = 0;
+    for (Addr wb : llc_.invalidatePage(hot_pfn))
+        mem_.access(wb, true, now);
+    for (Addr wb : llc_.invalidatePage(cold_pfn))
+        mem_.access(wb, true, now);
+
+    // Both mappings are torn down during the swap.
+    tlb_.shootdown(static_cast<Vpn>(hot));
+    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+    tlb_.shootdown(static_cast<Vpn>(cold));
+    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+
+    // The kernel exchanges pages through a bounce buffer: each page is
+    // read once and each frame written once.  Issued per word so the
+    // tier counters and controller observers see both streams.
+    const Addr hot_base = pageBase(hot_pfn);
+    const Addr cold_base = pageBase(cold_pfn);
+    for (unsigned w = 0; w < kWordsPerPage; ++w) {
+        const Addr off = static_cast<Addr>(w) * kWordBytes;
+        mem_.access(hot_base + off, false, now + elapsed);
+        mem_.access(cold_base + off, false, now + elapsed);
+        mem_.access(hot_base + off, true, now + elapsed);
+        mem_.access(cold_base + off, true, now + elapsed);
+    }
+    // Both directions stream concurrently in principle, but they share
+    // the same link pair; charge both edges like two back-to-back
+    // single-page copies (AutoTiering measures exchange at roughly 2x a
+    // one-way migration).
+    elapsed += topo_.edge(hot_node, cold_node).pageCopyTime();
+    elapsed += topo_.edge(cold_node, hot_node).pageCopyTime();
+
+    lrus_.remove(hot, hot_node);
+    lrus_.remove(cold, cold_node);
+    pt_.swapFrames(hot, cold);
+    lrus_.insert(hot, cold_node);
+    lrus_.insert(cold, hot_node);
+    ++moved_out_[hot_node];
+    ++moved_in_[cold_node];
+    ++moved_out_[cold_node];
+    ++moved_in_[hot_node];
+
+    ledger_.charge(KernelWork::Migration, 2 * costs_.software_per_page);
+    elapsed += cyclesToNs(2 * costs_.software_per_page);
+    stats_.busy_time += elapsed;
+    ++stats_.exchanged;
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.exchange",
+                TraceArgs().u("page", hot)
+                           .u("partner", cold)
+                           .u("src_pfn", hot_pfn)
+                           .u("dst_pfn", cold_pfn)
+                           .u("busy", elapsed));
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.exchange_out",
+                TraceArgs().u("page", cold)
+                           .u("partner", hot)
+                           .u("src_pfn", cold_pfn)
+                           .u("dst_pfn", hot_pfn)
+                           .u("busy", elapsed));
+    return {MigrateOutcome::ExchangedInstead, elapsed};
+}
+
+std::optional<MigrateResult>
+MigrationEngine::exchangeWithVictim(Vpn vpn, Tick now)
+{
+    // Peek, don't pick: an aborted exchange must leave the victim in
+    // its LRU slot (atomicity); exchange() does its own LRU fixup.
+    const auto victim = lrus_.top().peekVictim();
+    if (!victim || pt_.pte(*victim).pinned) {
+        ++stats_.exchange_failed;
+        return std::nullopt;
+    }
+    MigrateResult res = exchange(vpn, *victim, now);
+    if (!res.ok() && !res.transient()) {
+        // Permanent reject (e.g. racing unmap): fall back to the
+        // legacy no-frame outcome.
+        ++stats_.exchange_failed;
+        return std::nullopt;
+    }
+    if (res.transient())
+        ++stats_.exchange_failed;
+    return res;
+}
+
+MigrateResult
 MigrationEngine::promote(Vpn vpn, Tick now)
 {
     const Pte &e = pt_.pte(vpn);
-    if (!e.valid || e.node != kNodeCxl) {
+    if (!e.valid || !topo_.isLower(e.node)) {
         ++stats_.rejected_not_cxl;
         TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
                     TraceArgs().u("page", vpn).s("reason", "not_cxl"));
@@ -124,26 +314,51 @@ MigrationEngine::promote(Vpn vpn, Tick now)
     }
 
     // Injected transient failures (docs/FAULTS.md): EBUSY / refcount
-    // races abort before any frame is touched; DDR allocation failure
-    // aborts before the demote-for-room path would run.
+    // races abort before any frame is touched.  A failed top-tier frame
+    // allocation instead falls back to an atomic page exchange with the
+    // coldest top-tier page — promotion without allocation — turning
+    // the historical TransientNoFrame storm into successful swaps.
     if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
         return transientFail(vpn, now, MigrateOutcome::TransientBusy);
-    if (faults_ && faults_->fires(FaultPoint::DdrAlloc, now))
+    if (faults_ && faults_->fires(FaultPoint::DdrAlloc, now)) {
+        if (exchange_enabled_) {
+            if (auto swapped = exchangeWithVictim(vpn, now))
+                return *swapped;
+        }
         return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
+    }
 
+    const NodeId top = topo_.top();
     Tick elapsed = 0;
-    if (alloc_.freeFrames(kNodeDdr) == 0) {
-        // Demote an MGLRU victim to make room.
-        auto victims = mglru_.pickVictims(1);
+    if (alloc_.freeFrames(top) == 0) {
+        // Conservative promotion: demote an MGLRU victim to make room.
+        auto victims = lrus_.top().pickVictims(1);
         if (victims.empty()) {
+            // Opportunistic promotion (AutoTiering): no victim, so take
+            // the best-fit intermediate tier when the topology has one.
+            if (const auto best = bestFitBelowTop(e.node)) {
+                const NodeId src_node = e.node;
+                const Pfn src_pfn = e.pfn;
+                elapsed = moveTo(vpn, *best, now);
+                ++stats_.placed_lower;
+                TRACE_EVENT(TraceCat::Migrate, now + elapsed,
+                            "migration.move",
+                            TraceArgs().u("page", vpn)
+                                       .s("src", topo_.tier(src_node).name)
+                                       .s("dst", topo_.tier(*best).name)
+                                       .u("src_pfn", src_pfn)
+                                       .u("dst_pfn", pt_.pte(vpn).pfn)
+                                       .u("busy", elapsed));
+                return {MigrateOutcome::PlacedLowerTier, elapsed};
+            }
             ++stats_.failed_capacity;
             TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
                         TraceArgs().u("page", vpn)
                                    .s("reason", "failed_capacity"));
             return {MigrateOutcome::FailedCapacity, 0};
         }
-        elapsed += demote(victims[0], now);
-        if (alloc_.freeFrames(kNodeDdr) == 0) {
+        elapsed += demote(victims[0], now).busy;
+        if (alloc_.freeFrames(top) == 0) {
             ++stats_.failed_capacity;
             TRACE_EVENT(TraceCat::Migrate, now + elapsed,
                         "migration.reject",
@@ -154,8 +369,7 @@ MigrationEngine::promote(Vpn vpn, Tick now)
     }
 
     const Pfn src_pfn = e.pfn;
-    elapsed += moveTo(vpn, kNodeDdr, now + elapsed);
-    mglru_.insert(vpn);
+    elapsed += moveTo(vpn, top, now + elapsed);
     ++stats_.promoted;
     TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.promote",
                 TraceArgs().u("page", vpn)
@@ -187,23 +401,31 @@ MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
     return batch;
 }
 
-Tick
+MigrateResult
 MigrationEngine::demote(Vpn vpn, Tick now)
 {
     const Pte &e = pt_.pte(vpn);
-    m5_assert(e.valid && e.node == kNodeDdr,
-              "demote of non-DDR vpn %lu", static_cast<unsigned long>(vpn));
-    if (mglru_.contains(vpn))
-        mglru_.remove(vpn);
+    m5_assert(e.valid && e.node != topo_.spill(),
+              "demote of vpn %lu already on the spill tier",
+              static_cast<unsigned long>(vpn));
+    // Next slower tier with a free frame; the spill tier always has one
+    // (it is sized to the footprint plus slack).
+    NodeId dst = topo_.spill();
+    for (NodeId n = e.node + 1; n < topo_.numTiers(); ++n) {
+        if (alloc_.freeFrames(n) > 0) {
+            dst = n;
+            break;
+        }
+    }
     const Pfn src_pfn = e.pfn;
-    const Tick elapsed = moveTo(vpn, kNodeCxl, now);
+    const Tick elapsed = moveTo(vpn, dst, now);
     ++stats_.demoted;
     TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.demote",
                 TraceArgs().u("page", vpn)
                            .u("src_pfn", src_pfn)
                            .u("dst_pfn", pt_.pte(vpn).pfn)
                            .u("busy", elapsed));
-    return elapsed;
+    return {MigrateOutcome::Done, elapsed};
 }
 
 void
@@ -225,6 +447,23 @@ MigrationEngine::registerStats(StatRegistry &reg) const
                        &stats_.transient_fail);
         reg.addCounter("os.migration.retries", &stats_.retries);
         reg.addCounter("os.migration.dropped", &stats_.dropped);
+    }
+    // Exchange / N-tier counters can only move under fault injection or
+    // with more than two tiers; gating their registration the same way
+    // keeps the default two-tier JSONL byte-identical (docs/TOPOLOGY.md).
+    if (faults_ || topo_.numTiers() > 2) {
+        reg.addCounter("os.migration.exchange_done", &stats_.exchanged);
+        reg.addCounter("os.migration.exchange_failed",
+                       &stats_.exchange_failed);
+        reg.addCounter("os.migration.placed_lower", &stats_.placed_lower);
+        reg.addCounter("os.migration.moved_lateral", &stats_.moved_lateral);
+    }
+    if (topo_.numTiers() > 2) {
+        for (NodeId n = 0; n < topo_.numTiers(); ++n) {
+            const std::string &tier = topo_.tier(n).name;
+            reg.addCounter("os.migration.in." + tier, &moved_in_[n]);
+            reg.addCounter("os.migration.out." + tier, &moved_out_[n]);
+        }
     }
 }
 

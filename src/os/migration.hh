@@ -1,28 +1,46 @@
 /**
  * @file
- * Page migration engine — the model of migrate_pages() plus demotion.
+ * Page migration engine — the model of migrate_pages() plus demotion,
+ * generalized to an N-tier TierTopology (docs/TOPOLOGY.md).
  *
- * Promoting a page when DDR is full first demotes an MGLRU victim (§7,
- * "whenever the page-migration solution migrates a certain number of pages
- * to DDR DRAM, it demotes the same number of pages to CXL DRAM").
+ * Promoting a page when the top tier is full first demotes an MGLRU
+ * victim (§7, "whenever the page-migration solution migrates a certain
+ * number of pages to DDR DRAM, it demotes the same number of pages to
+ * CXL DRAM").  On top of the legacy promote/demote verbs the engine
+ * speaks a general tier-to-tier vocabulary:
+ *
+ *  - move(vpn, dst, now): migrate one page to any tier with a free
+ *    frame — the Nomad-style primitive both verbs are built from.
+ *  - exchange(hot, cold, now): AutoTiering-style atomic page exchange —
+ *    the two pages swap frames, so a promotion needs no free top-tier
+ *    frame.  When a `ddr_alloc` fault says frame allocation failed, the
+ *    engine falls back to exchanging with the coldest top-tier page
+ *    instead of reporting TransientNoFrame.
+ *  - conservative/opportunistic promotion: with >= 3 tiers, a promotion
+ *    that cannot reach the full top tier (no victim either) falls back
+ *    to the best-fit intermediate tier instead of failing on capacity.
  *
  * Each migrated page costs:
  *  - software overhead (rmap walk, PTE update, TLB shootdown, LRU upkeep),
  *  - an explicit 64-word copy routed through the memory system, so the CXL
  *    controller's counters observe migration reads exactly like the real
  *    PAC does, and the copy shows up in Monitor's bandwidth statistics.
+ *    The copy stream is charged against the source->destination EdgeCost
+ *    of the topology (defaults reproduce the historical 12 GB/s model).
  * Together ≈ 54us per 4KB page (§7.2).
  */
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
 #include "common/types.hh"
 #include "mem/memsys.hh"
+#include "mem/topology.hh"
 #include "os/costs.hh"
 #include "os/frame_alloc.hh"
 #include "os/kernel_ledger.hh"
@@ -33,7 +51,7 @@
 
 namespace m5 {
 
-/** Migration cost model. */
+/** Migration cost model (per-edge copy costs live in EdgeCost). */
 struct MigrationCosts
 {
     //! Software overhead per migrated page (rmap walk, PTE update, TLB
@@ -41,11 +59,6 @@ struct MigrationCosts
     //! dominated by this term; scaled runs shrink it proportionally so the
     //! fill-time : runtime ratio matches the full-scale system.
     Cycles software_per_page = cost::kMigratePageSoftware;
-    //! Streaming copy bandwidth (the kernel's memcpy pipelines the 64-word
-    //! copy; it is not 64 serialized round trips).
-    double copy_bytes_per_s = 12.0e9;
-    //! Fixed per-page copy latency floor (one round trip each way).
-    Tick copy_latency_floor = 400;
 };
 
 /** Migration outcome counters. */
@@ -64,23 +77,40 @@ struct MigrationStats
     std::uint64_t retries = 0;
     //! Pages dropped from the retry pipeline (max attempts / queue full).
     std::uint64_t dropped = 0;
+    //! Promotions satisfied by an atomic page exchange with a cold
+    //! top-tier victim (no frame allocation needed).
+    std::uint64_t exchanged = 0;
+    //! Exchange fallbacks that found no usable victim (the promotion
+    //! then failed TransientNoFrame as before).
+    std::uint64_t exchange_failed = 0;
+    //! Opportunistic promotions placed on a best-fit intermediate tier
+    //! because the top tier was full with no victim (N >= 3 tiers).
+    std::uint64_t placed_lower = 0;
+    //! General move() calls that were neither a promotion to the top
+    //! tier nor a demotion to a slower one (lateral/multi-hop moves).
+    std::uint64_t moved_lateral = 0;
 };
 
-/** Why one promote() call ended the way it did. */
+/** Why one migration call ended the way it did. */
 enum class MigrateOutcome : std::uint8_t
 {
-    Done,             //!< Page now resident on DDR.
+    Done,             //!< Page now resident on the requested tier.
     TransientBusy,    //!< migrate_pages() hit EBUSY / a refcount race;
                       //!< the page stays at its source — retryable.
-    TransientNoFrame, //!< DDR frame allocation failed under pressure;
-                      //!< retryable once pressure clears.
+    TransientNoFrame, //!< Destination frame allocation failed under
+                      //!< pressure; retryable once pressure clears.
     RejectedPinned,   //!< Permanent: page is DMA-pinned.
-    RejectedNotCxl,   //!< Permanent: page not CXL-resident (or unmapped).
-    FailedCapacity,   //!< DDR full and no demotion victim available.
+    RejectedNotCxl,   //!< Permanent: page not on a lower tier (or
+                      //!< unmapped / already at the destination).
+    FailedCapacity,   //!< Top tier full and no demotion victim available.
+    ExchangedInstead, //!< Promotion satisfied by an atomic page exchange
+                      //!< with a cold top-tier victim (success).
+    PlacedLowerTier,  //!< Promotion landed on a best-fit intermediate
+                      //!< tier instead of the full top tier (success).
 };
 
 /**
- * Per-page result of a promotion attempt (Nomad-style semantics: on any
+ * Per-page result of a migration attempt (Nomad-style semantics: on any
  * failure the page is still mapped at its source — nothing is lost,
  * only time).  [[nodiscard]] because ignoring a failed migration is how
  * real pipelines leak hot pages onto the slow tier; m5lint's
@@ -91,8 +121,15 @@ struct [[nodiscard]] MigrateResult
     MigrateOutcome outcome = MigrateOutcome::Done;
     Tick busy = 0; //!< Time consumed (nonzero even on some failures).
 
-    /** Page landed on DDR. */
-    bool ok() const { return outcome == MigrateOutcome::Done; }
+    /** The page landed somewhere better (Done / ExchangedInstead /
+     *  PlacedLowerTier). */
+    bool
+    ok() const
+    {
+        return outcome == MigrateOutcome::Done ||
+               outcome == MigrateOutcome::ExchangedInstead ||
+               outcome == MigrateOutcome::PlacedLowerTier;
+    }
 
     /** Failure that a later retry may clear. */
     bool
@@ -103,7 +140,8 @@ struct [[nodiscard]] MigrateResult
     }
 
     /** Stable reason string ("ok", "busy", "no_frame", "pinned",
-     *  "not_cxl", "failed_capacity") — shared by traces and reports. */
+     *  "not_cxl", "failed_capacity", "exchanged", "placed_lower") —
+     *  shared by traces and reports. */
     const char *reason() const;
 };
 
@@ -111,21 +149,42 @@ struct [[nodiscard]] MigrateResult
 struct [[nodiscard]] BatchResult
 {
     Tick busy = 0;
-    std::uint64_t promoted = 0;  //!< Pages that landed on DDR.
+    std::uint64_t promoted = 0;  //!< Pages that landed on a faster tier.
     std::uint64_t transient = 0; //!< Retryable failures.
     std::uint64_t rejected = 0;  //!< Permanent rejects + capacity.
 };
 
-/** Moves pages between tiers with full cost accounting. */
+/** Moves pages between topology tiers with full cost accounting. */
 class MigrationEngine
 {
   public:
-    MigrationEngine(PageTable &pt, FrameAllocator &alloc, MemorySystem &mem,
+    MigrationEngine(const TierTopology &topo, PageTable &pt,
+                    FrameAllocator &alloc, MemorySystem &mem,
                     SetAssocCache &llc, Tlb &tlb, KernelLedger &ledger,
-                    MgLru &mglru, const MigrationCosts &costs = {});
+                    TierLrus &lrus, const MigrationCosts &costs = {});
 
     /**
-     * Promote one page to DDR, demoting an MGLRU victim if DDR is full.
+     * Move one page to an arbitrary destination tier — the general
+     * tier-graph primitive.  Rejects unmapped/pinned pages and
+     * moves-to-self; fails TransientNoFrame when the destination has no
+     * free frame (no victim is evicted on this path).
+     */
+    MigrateResult move(Vpn vpn, NodeId dst, Tick now);
+
+    /**
+     * Atomically exchange two pages' frames (AutoTiering OPM): `hot`
+     * (on a slower tier) and `cold` (on a faster one) swap places with
+     * no free frame required.  Both must be mapped, unpinned, and on
+     * different tiers.  On any failure neither page moves.
+     */
+    MigrateResult exchange(Vpn hot, Vpn cold, Tick now);
+
+    /**
+     * Promote one page toward the top tier, demoting an MGLRU victim if
+     * the top tier is full.  Under an injected `ddr_alloc` failure the
+     * engine falls back to exchange() with the coldest top-tier page;
+     * with >= 3 tiers a promotion with no victim falls back to the
+     * best-fit intermediate tier (PlacedLowerTier).
      *
      * @param vpn Page to promote.
      * @param now Current simulated time.
@@ -141,8 +200,8 @@ class MigrationEngine
      */
     BatchResult promoteBatch(const std::vector<Vpn> &vpns, Tick now);
 
-    /** Demote one specific page to CXL. @return Time consumed. */
-    Tick demote(Vpn vpn, Tick now);
+    /** Demote one specific page to the next slower tier with room. */
+    MigrateResult demote(Vpn vpn, Tick now);
 
     /** Statistics. */
     const MigrationStats &stats() const { return stats_; }
@@ -150,8 +209,20 @@ class MigrationEngine
     /** True if a page may legally be promoted right now. */
     bool canPromote(Vpn vpn) const;
 
-    /** Free frames remaining on the DDR node (daemon pacing input). */
+    /** Free frames remaining on the top (DDR) node (daemon pacing). */
     std::size_t ddrFreeFrames() const;
+
+    /** The topology this engine migrates over. */
+    const TierTopology &topology() const { return topo_; }
+
+    /**
+     * Enable/disable the exchange fallback for `ddr_alloc` failures.
+     * On by default; bench/resil_fault_sweep compares both settings.
+     */
+    void setExchangeEnabled(bool on) { exchange_enabled_ = on; }
+
+    /** True when the exchange fallback is armed. */
+    bool exchangeEnabled() const { return exchange_enabled_; }
 
     /** Record one promotion batch of `pages` pages in the batch-size
      *  histogram.  Policies that loop promote() themselves (ANB, DAMON,
@@ -184,26 +255,46 @@ class MigrationEngine
     /** The Promoter reports a page dropped from the retry pipeline. */
     void noteDropped() { ++stats_.dropped; }
 
-    /** Register outcome counters as `os.migration.*` telemetry. */
+    /**
+     * Register outcome counters as `os.migration.*` telemetry.  The
+     * exchange / per-tier counters only exist under fault injection or
+     * with > 2 tiers, so a default two-tier fault-free run's telemetry
+     * stays byte-identical to the pre-topology simulator.
+     */
     void registerStats(StatRegistry &reg) const;
 
   private:
-    /** Move vpn to dst_node; the caller guarantees a frame is available. */
+    /** Move vpn to dst_node; the caller guarantees a frame is available.
+     *  Handles per-tier LRU bookkeeping for both endpoints. */
     Tick moveTo(Vpn vpn, NodeId dst_node, Tick now);
 
     /** Account + trace one injected transient failure. */
     MigrateResult transientFail(Vpn vpn, Tick now, MigrateOutcome outcome);
 
+    /** Exchange vpn with the top tier's coldest page.  nullopt when no
+     *  usable victim exists (caller falls back to TransientNoFrame). */
+    std::optional<MigrateResult> exchangeWithVictim(Vpn vpn, Tick now);
+
+    /** Fastest tier below the top with a free frame that still beats
+     *  `src`, excluding the spill tier (opportunistic placement). */
+    std::optional<NodeId> bestFitBelowTop(NodeId src) const;
+
+    const TierTopology &topo_;
     PageTable &pt_;
     FrameAllocator &alloc_;
     MemorySystem &mem_;
     SetAssocCache &llc_;
     Tlb &tlb_;
     KernelLedger &ledger_;
-    MgLru &mglru_;
+    TierLrus &lrus_;
     MigrationCosts costs_;
     MigrationStats stats_;
+    //! Pages arrived per tier via migration (registered with > 2 tiers).
+    std::vector<std::uint64_t> moved_in_;
+    //! Pages departed per tier via migration.
+    std::vector<std::uint64_t> moved_out_;
     FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
+    bool exchange_enabled_ = true;
     StatHistogram batch_hist_{{1, 2, 4, 8, 16, 32, 64, 128}};
 };
 

@@ -1,5 +1,7 @@
 #include "os/page_table.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace m5 {
@@ -47,6 +49,26 @@ PageTable::remap(Vpn vpn, Pfn new_pfn, NodeId new_node)
     if (node_pages_.size() <= new_node)
         node_pages_.resize(new_node + 1, 0);
     ++node_pages_[new_node];
+}
+
+void
+PageTable::swapFrames(Vpn a, Vpn b)
+{
+    m5_assert(a < ptes_.size() && b < ptes_.size() && a != b,
+              "bad swap %lu <-> %lu", static_cast<unsigned long>(a),
+              static_cast<unsigned long>(b));
+    Pte &ea = ptes_[a];
+    Pte &eb = ptes_[b];
+    m5_assert(ea.valid && eb.valid, "swap of unmapped vpn");
+    std::swap(ea.pfn, eb.pfn);
+    std::swap(ea.node, eb.node);
+    ea.present = true;
+    eb.present = true;
+    // The reverse map and per-node counts stay balanced: each frame
+    // still backs exactly one VPN, and one page left each node while one
+    // arrived (node_pages_ needs no adjustment).
+    rmap_[ea.pfn] = a;
+    rmap_[eb.pfn] = b;
 }
 
 Pte &

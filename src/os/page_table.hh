@@ -43,6 +43,14 @@ class PageTable
     /** Move a mapping to a different frame/node (page migration). */
     void remap(Vpn vpn, Pfn new_pfn, NodeId new_node);
 
+    /**
+     * Swap the frames backing two mappings (page exchange): a and b
+     * trade pfn + node atomically, keeping the reverse map and per-node
+     * counts consistent.  A naive remap/remap pair would transiently
+     * alias one frame to two VPNs and corrupt the reverse map.
+     */
+    void swapFrames(Vpn a, Vpn b);
+
     /** Mutable PTE access. */
     Pte &pte(Vpn vpn);
 

@@ -52,7 +52,7 @@ MemtisDaemon::drainBuffer(Tick now)
         if (c < hot_threshold_)
             continue;
         const Pte &e = pt_.pte(vpn);
-        if (!e.valid || e.node != kNodeCxl)
+        if (!e.valid || e.node == kNodeDdr)
             continue;
         hot_list_.add(e.pfn);
         if (cfg_.migrate && tokens_ >= 1.0) {

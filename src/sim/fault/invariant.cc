@@ -13,9 +13,9 @@ namespace m5 {
 InvariantChecker::InvariantChecker(const PageTable &pt,
                                    const FrameAllocator &alloc,
                                    const MemorySystem &mem,
-                                   const MgLru &mglru,
+                                   const TierLrus &lrus,
                                    const KernelLedger &ledger)
-    : pt_(pt), alloc_(alloc), mem_(mem), mglru_(mglru), ledger_(ledger)
+    : pt_(pt), alloc_(alloc), mem_(mem), lrus_(lrus), ledger_(ledger)
 {
 }
 
@@ -74,21 +74,28 @@ InvariantChecker::check(Tick now)
                            alloc_.totalFrames(node)));
     }
 
-    // 3. MGLRU tracks exactly the DDR-resident pages.
-    std::size_t ddr_tracked = 0;
-    for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
-        const Pte &e = pt_.pte(vpn);
-        bool on_ddr = e.valid && e.node == kNodeDdr;
-        if (on_ddr)
-            ++ddr_tracked;
-        if (on_ddr != mglru_.contains(vpn))
-            fail(strprintf("vpn %lu: %s DDR but %s in MGLRU", vpn,
-                           on_ddr ? "on" : "not on",
-                           mglru_.contains(vpn) ? "is" : "not"));
+    // 3. Each tracked tier's MGLRU holds exactly that tier's resident
+    //    pages (the spill tier keeps no LRU).  An exchange that half
+    //    completed, or a migration that skipped LRU bookkeeping, shows
+    //    up here as a membership or size mismatch.
+    for (NodeId node = 0; node < lrus_.trackedTiers(); ++node) {
+        const MgLru &lru = lrus_.lru(node);
+        std::size_t resident = 0;
+        for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
+            const Pte &e = pt_.pte(vpn);
+            const bool on_tier = e.valid && e.node == node;
+            if (on_tier)
+                ++resident;
+            if (on_tier != lru.contains(vpn))
+                fail(strprintf("vpn %lu: %s tier %u but %s in its MGLRU",
+                               vpn, on_tier ? "on" : "not on", node,
+                               lru.contains(vpn) ? "is" : "not"));
+        }
+        if (lru.size() != resident)
+            fail(strprintf("tier %u MGLRU tracks %zu pages but %zu are "
+                           "resident",
+                           node, lru.size(), resident));
     }
-    if (mglru_.size() != ddr_tracked)
-        fail(strprintf("MGLRU tracks %zu pages but %zu are DDR-resident",
-                       mglru_.size(), ddr_tracked));
 
     // 4. Kernel ledger: books balance and never run backwards.
     Cycles sum = 0;

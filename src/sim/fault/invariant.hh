@@ -31,14 +31,14 @@ namespace m5 {
 class PageTable;
 class FrameAllocator;
 class MemorySystem;
-class MgLru;
+class TierLrus;
 
 /** Per-epoch cross-layer consistency checker. */
 class InvariantChecker
 {
   public:
     InvariantChecker(const PageTable &pt, const FrameAllocator &alloc,
-                     const MemorySystem &mem, const MgLru &mglru,
+                     const MemorySystem &mem, const TierLrus &lrus,
                      const KernelLedger &ledger);
 
     /**
@@ -60,7 +60,7 @@ class InvariantChecker
     const PageTable &pt_;
     const FrameAllocator &alloc_;
     const MemorySystem &mem_;
-    const MgLru &mglru_;
+    const TierLrus &lrus_;
     const KernelLedger &ledger_;
 
     std::uint64_t checks_ = 0;

@@ -62,7 +62,7 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
             if (m5_)
                 m5_->attachFaults(faults_.get());
             invariants_ = std::make_unique<InvariantChecker>(
-                *pt_, *alloc_, *mem_, *mglru_, ledger_);
+                *pt_, *alloc_, *mem_, *lrus_, ledger_);
         }
     }
     // The tracer exists only when tracing is on, so a tracing-disabled
@@ -110,15 +110,19 @@ TieredSystem::buildMemory()
 {
     const std::size_t footprint = workload_->footprintPages();
 
-    TieredMemoryParams params = cfg_.tier_params;
-    const auto ddr_frames = std::max<std::size_t>(1,
-        static_cast<std::size_t>(static_cast<double>(footprint) *
-                                 cfg_.ddr_capacity_fraction));
-    params.ddr_bytes = ddr_frames * kPageBytes;
-    // CXL holds the full footprint plus slack so demotion always finds a
-    // free frame.
-    params.cxl_bytes = (footprint + 64) * kPageBytes;
-    mem_ = makeTieredMemory(params);
+    // An empty --tiers spec resolves to the historical DDR/CXL pair
+    // (byte-identical sizing); otherwise the spec names the full ladder,
+    // whose last tier is the spill tier holding footprint plus slack so
+    // demotion always finds a free frame (docs/TOPOLOGY.md).
+    if (cfg_.tiers.empty()) {
+        topo_ = std::make_unique<TierTopology>(TierTopology::defaultPair(
+            footprint, cfg_.tier_params, cfg_.ddr_capacity_fraction));
+    } else {
+        topo_ = std::make_unique<TierTopology>(
+            TopologySpec::parse(cfg_.tiers), footprint,
+            cfg_.ddr_capacity_fraction);
+    }
+    mem_ = topo_->buildMemory();
 
     CacheConfig llc_cfg;
     std::uint64_t llc_bytes =
@@ -134,7 +138,7 @@ TieredSystem::buildMemory()
     tlb_ = std::make_unique<Tlb>(cfg_.tlb_cfg);
     pt_ = std::make_unique<PageTable>(footprint);
     alloc_ = std::make_unique<FrameAllocator>(*mem_);
-    mglru_ = std::make_unique<MgLru>(footprint);
+    lrus_ = std::make_unique<TierLrus>(footprint, topo_->numTiers());
 }
 
 void
@@ -143,11 +147,11 @@ TieredSystem::placePages()
     const std::size_t footprint = workload_->footprintPages();
     Rng rng(cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
     for (Vpn vpn = 0; vpn < footprint; ++vpn) {
-        NodeId node = kNodeCxl;
+        NodeId node = topo_->spill();
         if (cfg_.initial_ddr_fraction > 0.0 &&
             rng.chance(cfg_.initial_ddr_fraction) &&
-            alloc_->freeFrames(kNodeDdr) > 0) {
-            node = kNodeDdr;
+            alloc_->freeFrames(topo_->top()) > 0) {
+            node = topo_->top();
         }
         auto pfn = alloc_->allocate(node);
         m5_assert(pfn.has_value(), "out of frames on node %u", node);
@@ -156,8 +160,7 @@ TieredSystem::placePages()
             rng.chance(cfg_.pinned_fraction)) {
             pt_->pte(vpn).pinned = true;
         }
-        if (node == kNodeDdr)
-            mglru_->insert(vpn);
+        lrus_->insert(vpn, node);
     }
 }
 
@@ -165,22 +168,28 @@ void
 TieredSystem::buildController()
 {
     CxlControllerConfig ctrl_cfg;
-    const MemTier &cxl = mem_->tier(kNodeCxl);
+    // The controller observes every tier below the top — the lower tiers
+    // occupy one contiguous physical range (tiers are laid out
+    // fastest-first with contiguous bases), so PAC/WAC cover their union.
+    const MemTier &first_lower = mem_->tier(kNodeCxl);
+    std::uint64_t lower_bytes = 0;
+    for (NodeId n = 1; n < mem_->tiers(); ++n)
+        lower_bytes += mem_->tier(n).config().capacity_bytes;
 
     if (cfg_.enable_pac) {
         PacConfig pac;
-        pac.first_pfn = cxl.firstPfn();
-        pac.frames = cxl.framesTotal();
+        pac.first_pfn = first_lower.firstPfn();
+        pac.frames = lower_bytes >> kPageShift;
         ctrl_cfg.pac = pac;
     }
     if (cfg_.enable_wac) {
         WacConfig wac;
-        wac.range_base = cxl.config().base;
-        wac.range_bytes = cxl.config().capacity_bytes;
+        wac.range_base = first_lower.config().base;
+        wac.range_bytes = lower_bytes;
         if (cfg_.wac_window_period == 0) {
             // Static window covering the whole range (offline profiling
             // over multiple runs in the paper; a single sweep here).
-            wac.window_bytes = cxl.config().capacity_bytes;
+            wac.window_bytes = lower_bytes;
         }
         ctrl_cfg.wac = wac;
     }
@@ -194,7 +203,8 @@ TieredSystem::buildController()
         ctrl_cfg.hwt = cfg_.hwt_cfg;
 
     ctrl_ = std::make_unique<CxlController>(ctrl_cfg);
-    mem_->attachObserver(kNodeCxl, ctrl_->observer());
+    for (NodeId n = 1; n < mem_->tiers(); ++n)
+        mem_->attachObserver(n, ctrl_->observer());
 }
 
 void
@@ -206,9 +216,10 @@ TieredSystem::buildPolicy()
     costs.software_per_page = std::max<Cycles>(2000,
         static_cast<Cycles>(static_cast<double>(cost::kMigratePageSoftware) *
                             mscale));
-    engine_ = std::make_unique<MigrationEngine>(*pt_, *alloc_, *mem_, *llc_,
-                                                *tlb_, ledger_, *mglru_,
-                                                costs);
+    engine_ = std::make_unique<MigrationEngine>(*topo_, *pt_, *alloc_,
+                                                *mem_, *llc_, *tlb_,
+                                                ledger_, *lrus_, costs);
+    engine_->setExchangeEnabled(cfg_.exchange);
     monitor_ = std::make_unique<Monitor>(*mem_, *pt_);
 
     const auto hot_cap = std::max<std::size_t>(512,
@@ -313,7 +324,7 @@ void
 TieredSystem::scheduleAging(Tick when)
 {
     events_.schedule(when, [this](Tick now) -> Tick {
-        mglru_->age();
+        lrus_->age();
         scheduleAging(now + cfg_.mglru_age_period);
         return 0;
     });
@@ -397,8 +408,7 @@ TieredSystem::issueAccess(const AccessEvent &ev)
         // The fill is a read even on write misses (write-allocate / RFO),
         // which is why Monitor only needs read bandwidth (§5.2).
         lat += mem_->access(pa, false, core_.now());
-        if (pt_->pte(vpn).node == kNodeDdr)
-            mglru_->touch(vpn);
+        lrus_->touch(vpn, pt_->pte(vpn).node);
         if (cfg_.record_trace)
             trace_.push(pa, core_.now(), ev.is_write);
     }
@@ -452,7 +462,9 @@ TieredSystem::run(std::uint64_t num_accesses)
         if (i == warmup) {
             core_.beginMeasurement();
             mark_ddr_reads = mem_->tier(kNodeDdr).counters().read_bytes;
-            mark_cxl_reads = mem_->tier(kNodeCxl).counters().read_bytes;
+            mark_cxl_reads = 0;
+            for (NodeId n = 1; n < mem_->tiers(); ++n)
+                mark_cxl_reads += mem_->tier(n).counters().read_bytes;
         }
         if (kernel_debt_ > 0) {
             const Tick pay = std::min(kernel_debt_,
@@ -496,10 +508,14 @@ TieredSystem::run(std::uint64_t num_accesses)
         ? static_cast<double>(num_accesses - warmup) /
           (static_cast<double>(steady_time) * 1e-9)
         : r.throughput;
+    // "cxl" aggregates every tier below the top — identical to the CXL
+    // tier alone in the default pair.
+    std::uint64_t lower_reads = 0;
+    for (NodeId n = 1; n < mem_->tiers(); ++n)
+        lower_reads += mem_->tier(n).counters().read_bytes;
     r.steady_ddr_read_bytes =
         mem_->tier(kNodeDdr).counters().read_bytes - mark_ddr_reads;
-    r.steady_cxl_read_bytes =
-        mem_->tier(kNodeCxl).counters().read_bytes - mark_cxl_reads;
+    r.steady_cxl_read_bytes = lower_reads - mark_cxl_reads;
     if (core_.requestLatencies().count()) {
         // Open-loop replay: kernel bursts queue subsequent arrivals.
         const PercentileTracker open =
@@ -511,7 +527,7 @@ TieredSystem::run(std::uint64_t num_accesses)
     r.tlb = tlb_->stats();
     r.migration = engine_->stats();
     r.ddr_read_bytes = mem_->tier(kNodeDdr).counters().read_bytes;
-    r.cxl_read_bytes = mem_->tier(kNodeCxl).counters().read_bytes;
+    r.cxl_read_bytes = lower_reads;
     r.kernel_ident_cycles = ledger_.identificationCycles();
     r.kernel_total_cycles = ledger_.total();
     r.baseline_cycles = ledger_.category(KernelWork::Baseline);

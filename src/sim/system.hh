@@ -21,6 +21,7 @@
 #include "cxl/controller.hh"
 #include "m5/manager.hh"
 #include "mem/memsys.hh"
+#include "mem/topology.hh"
 #include "os/anb.hh"
 #include "os/daemon.hh"
 #include "os/damon.hh"
@@ -130,6 +131,14 @@ struct SystemConfig
     Tick kernel_quantum_per_access = 100;
 
     TieredMemoryParams tier_params; //!< Latencies; capacities are derived.
+    //! N-tier topology spec (docs/TOPOLOGY.md, `m5sim --tiers`).  Empty
+    //! selects the default DDR/CXL pair, byte-identical to the
+    //! pre-topology simulator.
+    std::string tiers;
+    //! Arm the atomic page-exchange fallback for failed top-tier frame
+    //! allocations (docs/TOPOLOGY.md); only observable under `ddr_alloc`
+    //! fault injection, so default runs are unaffected either way.
+    bool exchange = true;
     std::optional<std::uint64_t> llc_bytes_override;
     TlbConfig tlb_cfg;
     //! Per-epoch telemetry export (docs/TELEMETRY.md); disabled while
@@ -198,6 +207,8 @@ class TieredSystem
     const TraceBuffer &trace() const { return trace_; }
     Workload &workload() { return *workload_; }
     MigrationEngine &migrationEngine() { return *engine_; }
+    const TierTopology &topology() const { return *topo_; }
+    TierLrus &lrus() { return *lrus_; }
     CpuCore &core() { return core_; }
     const StatRegistry &stats() const { return stats_; }
     EpochSnapshotter *telemetry() { return telem_.get(); }
@@ -226,12 +237,13 @@ class TieredSystem
 
     SystemConfig cfg_;
     std::unique_ptr<Workload> workload_;
+    std::unique_ptr<TierTopology> topo_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<SetAssocCache> llc_;
     std::unique_ptr<Tlb> tlb_;
     std::unique_ptr<PageTable> pt_;
     std::unique_ptr<FrameAllocator> alloc_;
-    std::unique_ptr<MgLru> mglru_;
+    std::unique_ptr<TierLrus> lrus_;
     std::unique_ptr<CxlController> ctrl_;
     std::unique_ptr<MigrationEngine> engine_;
     std::unique_ptr<Monitor> monitor_;

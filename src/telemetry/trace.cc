@@ -95,6 +95,12 @@ ledgerVerb(const std::string &name)
         return "migrated to DDR";
     if (name == "migration.demote")
         return "demoted to CXL";
+    if (name == "migration.exchange")
+        return "exchanged into the top tier";
+    if (name == "migration.exchange_out")
+        return "exchanged out of the top tier";
+    if (name == "migration.move")
+        return "moved between tiers";
     if (name == "migration.reject")
         return "migration rejected";
     return name;
@@ -262,7 +268,8 @@ PageLedger::migratedPages() const
     std::vector<Vpn> out;
     for (const auto &[page, records] : pages_) {
         for (const LedgerRecord &r : records) {
-            if (r.text.rfind("migrated to DDR", 0) == 0) {
+            if (r.text.rfind("migrated to DDR", 0) == 0 ||
+                r.text.rfind("exchanged into the top tier", 0) == 0) {
                 out.push_back(page);
                 break;
             }

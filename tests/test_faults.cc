@@ -229,14 +229,17 @@ class FaultEngineTest : public ::testing::Test
         TieredMemoryParams p;
         p.ddr_bytes = 4 * kPageBytes;
         p.cxl_bytes = 16 * kPageBytes;
-        mem = makeTieredMemory(p);
+        topo = std::make_unique<TierTopology>(TierTopology::pair(p));
+        mem = topo->buildMemory();
         llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
         tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
         pt = std::make_unique<PageTable>(12);
         alloc = std::make_unique<FrameAllocator>(*mem);
-        mglru = std::make_unique<MgLru>(12);
-        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
-                                                   *tlb, ledger, *mglru);
+        lrus = std::make_unique<TierLrus>(12, topo->numTiers());
+        mglru = &lrus->top();
+        engine = std::make_unique<MigrationEngine>(*topo, *pt, *alloc,
+                                                   *mem, *llc, *tlb,
+                                                   ledger, *lrus);
         for (Vpn v = 0; v < 12; ++v)
             pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
     }
@@ -248,12 +251,14 @@ class FaultEngineTest : public ::testing::Test
         engine->attachFaults(faults.get());
     }
 
+    std::unique_ptr<TierTopology> topo;
     std::unique_ptr<MemorySystem> mem;
     std::unique_ptr<SetAssocCache> llc;
     std::unique_ptr<Tlb> tlb;
     std::unique_ptr<PageTable> pt;
     std::unique_ptr<FrameAllocator> alloc;
-    std::unique_ptr<MgLru> mglru;
+    std::unique_ptr<TierLrus> lrus;
+    MgLru *mglru = nullptr;
     KernelLedger ledger;
     std::unique_ptr<MigrationEngine> engine;
     std::unique_ptr<FaultInjector> faults;
@@ -528,12 +533,11 @@ TEST(DegradeLadderTest, StalePrimaryStepsToNoOpAndDominates)
 
 TEST_F(FaultEngineTest, InvariantCheckerCleanOnHealthyState)
 {
-    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    InvariantChecker inv(*pt, *alloc, *mem, *lrus, ledger);
     EXPECT_TRUE(inv.check(0).empty());
     (void)engine->promote(0, 0);
     (void)engine->promote(1, 0);
-    const Tick t = engine->demote(0, usToTicks(10.0));
-    (void)t;
+    (void)engine->demote(0, usToTicks(10.0));
     EXPECT_TRUE(inv.check(usToTicks(20.0)).empty());
     EXPECT_EQ(inv.checks(), 2u);
     EXPECT_EQ(inv.violations(), 0u);
@@ -541,7 +545,7 @@ TEST_F(FaultEngineTest, InvariantCheckerCleanOnHealthyState)
 
 TEST_F(FaultEngineTest, InvariantCheckerCatchesDeliberateCorruption)
 {
-    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    InvariantChecker inv(*pt, *alloc, *mem, *lrus, ledger);
     ASSERT_TRUE(inv.check(0).empty());
     // Lie about a page's node without moving it: residency, allocator
     // occupancy and MGLRU membership all stop agreeing.
@@ -553,7 +557,7 @@ TEST_F(FaultEngineTest, InvariantCheckerCatchesDeliberateCorruption)
 
 TEST_F(FaultEngineTest, InvariantCheckerCatchesDuplicatePfn)
 {
-    InvariantChecker inv(*pt, *alloc, *mem, *mglru, ledger);
+    InvariantChecker inv(*pt, *alloc, *mem, *lrus, ledger);
     pt->pte(1).pfn = pt->pte(0).pfn;
     const auto bad = inv.check(0);
     EXPECT_FALSE(bad.empty());

@@ -591,4 +591,28 @@ TEST(LintMigrateResult, SuppressionWorks)
     EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
 }
 
+TEST(LintMigrateResult, FiresOnDiscardedMoveExchangeDemote)
+{
+    const auto d = run("src/os/anb.cc",
+                       "engine_.move(vpn, dst, now);\n"
+                       "engine->exchange(hot, cold, now);\n"
+                       "engine_.demote(vpn, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 3u);
+    EXPECT_EQ(d[0].line, 1);
+    EXPECT_EQ(d[1].line, 2);
+    EXPECT_EQ(d[2].line, 3);
+}
+
+TEST(LintMigrateResult, SilentOnConsumedMoveExchangeAndStdMove)
+{
+    const auto d = run(
+        "src/os/anb.cc",
+        "elapsed += engine_.move(vpn, dst, now).busy;\n"
+        "if (engine_.exchange(hot, cold, now).ok()) ++swaps;\n"
+        "(void)engine_.demote(vpn, now);\n"
+        "take(std::move(value));\n"              // not a member call
+        "queue.push_back(std::move(item));\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
 } // namespace

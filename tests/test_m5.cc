@@ -29,14 +29,17 @@ class M5Test : public ::testing::Test
         TieredMemoryParams p;
         p.ddr_bytes = 8 * kPageBytes;
         p.cxl_bytes = 64 * kPageBytes;
-        mem = makeTieredMemory(p);
+        topo = std::make_unique<TierTopology>(TierTopology::pair(p));
+        mem = topo->buildMemory();
         llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
         tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
         pt = std::make_unique<PageTable>(kPages);
         alloc = std::make_unique<FrameAllocator>(*mem);
-        mglru = std::make_unique<MgLru>(kPages);
-        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
-                                                   *tlb, ledger, *mglru);
+        lrus = std::make_unique<TierLrus>(kPages, topo->numTiers());
+        mglru = &lrus->top();
+        engine = std::make_unique<MigrationEngine>(*topo, *pt, *alloc,
+                                                   *mem, *llc, *tlb,
+                                                   ledger, *lrus);
         monitor = std::make_unique<Monitor>(*mem, *pt);
         for (Vpn v = 0; v < kPages; ++v)
             pt->map(v, *alloc->allocate(kNodeCxl), kNodeCxl);
@@ -47,12 +50,14 @@ class M5Test : public ::testing::Test
         return pageBase(pt->pte(vpn).pfn) + word * kWordBytes;
     }
 
+    std::unique_ptr<TierTopology> topo;
     std::unique_ptr<MemorySystem> mem;
     std::unique_ptr<SetAssocCache> llc;
     std::unique_ptr<Tlb> tlb;
     std::unique_ptr<PageTable> pt;
     std::unique_ptr<FrameAllocator> alloc;
-    std::unique_ptr<MgLru> mglru;
+    std::unique_ptr<TierLrus> lrus;
+    MgLru *mglru = nullptr;
     KernelLedger ledger;
     std::unique_ptr<MigrationEngine> engine;
     std::unique_ptr<Monitor> monitor;

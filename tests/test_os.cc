@@ -248,14 +248,17 @@ class MigrationTest : public ::testing::Test
         TieredMemoryParams p;
         p.ddr_bytes = 4 * kPageBytes;
         p.cxl_bytes = 16 * kPageBytes;
-        mem = makeTieredMemory(p);
+        topo = std::make_unique<TierTopology>(TierTopology::pair(p));
+        mem = topo->buildMemory();
         llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
         tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
         pt = std::make_unique<PageTable>(12);
         alloc = std::make_unique<FrameAllocator>(*mem);
-        mglru = std::make_unique<MgLru>(12);
-        engine = std::make_unique<MigrationEngine>(*pt, *alloc, *mem, *llc,
-                                                   *tlb, ledger, *mglru);
+        lrus = std::make_unique<TierLrus>(12, topo->numTiers());
+        mglru = &lrus->top();
+        engine = std::make_unique<MigrationEngine>(*topo, *pt, *alloc,
+                                                   *mem, *llc, *tlb,
+                                                   ledger, *lrus);
         // Map 12 pages, all in CXL.
         for (Vpn v = 0; v < 12; ++v) {
             auto f = alloc->allocate(kNodeCxl);
@@ -263,12 +266,14 @@ class MigrationTest : public ::testing::Test
         }
     }
 
+    std::unique_ptr<TierTopology> topo;
     std::unique_ptr<MemorySystem> mem;
     std::unique_ptr<SetAssocCache> llc;
     std::unique_ptr<Tlb> tlb;
     std::unique_ptr<PageTable> pt;
     std::unique_ptr<FrameAllocator> alloc;
-    std::unique_ptr<MgLru> mglru;
+    std::unique_ptr<TierLrus> lrus;
+    MgLru *mglru = nullptr;
     KernelLedger ledger;
     std::unique_ptr<MigrationEngine> engine;
 };
@@ -366,8 +371,9 @@ TEST_F(MigrationTest, PromoteBatchCounts)
 TEST_F(MigrationTest, DemoteExplicit)
 {
     (void)engine->promote(0, 0);
-    const Tick t = engine->demote(0, 0);
-    EXPECT_GT(t, 0u);
+    const MigrateResult res = engine->demote(0, 0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_GT(res.busy, 0u);
     EXPECT_EQ(pt->pte(0).node, kNodeCxl);
     EXPECT_FALSE(mglru->contains(0));
 }

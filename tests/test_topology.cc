@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the N-tier TierTopology (docs/TOPOLOGY.md): --tiers spec
+ * parsing (including malformed specs), resolution against a footprint,
+ * byte-identity of the default pair with the historical DDR/CXL sizing,
+ * edge-cost defaults and overrides, the general move()/exchange()
+ * migration verbs (best-fit fallback ordering, exchange atomicity under
+ * injected faults), the per-tier occupancy invariant, and 1-vs-4-worker
+ * byte-identity of a three-tier sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mem/topology.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_ledger.hh"
+#include "os/mglru.hh"
+#include "os/migration.hh"
+#include "os/page_table.hh"
+#include "sim/fault/fault.hh"
+#include "sim/fault/invariant.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+// ---------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------
+
+TEST(TopologySpecTest, ParsesTiersAndEdgeOverrides)
+{
+    const auto spec =
+        TopologySpec::parse("ddr:100,mid:250:0.3,far:400,ddr>far:600:8e9");
+    ASSERT_EQ(spec.tiers.size(), 3u);
+    EXPECT_EQ(spec.tiers[0].name, "ddr");
+    EXPECT_EQ(spec.tiers[0].read_latency, 100u);
+    EXPECT_LT(spec.tiers[0].capacity_fraction, 0.0)
+        << "omitted top fraction inherits the system default";
+    EXPECT_EQ(spec.tiers[1].name, "mid");
+    EXPECT_EQ(spec.tiers[1].read_latency, 250u);
+    EXPECT_DOUBLE_EQ(spec.tiers[1].capacity_fraction, 0.3);
+    EXPECT_EQ(spec.tiers[2].name, "far");
+    EXPECT_LT(spec.tiers[2].capacity_fraction, 0.0)
+        << "the spill tier never carries a fraction";
+    ASSERT_EQ(spec.edges.size(), 1u);
+    EXPECT_EQ(spec.edges[0].src, "ddr");
+    EXPECT_EQ(spec.edges[0].dst, "far");
+    EXPECT_EQ(spec.edges[0].cost.latency_floor, 600u);
+    EXPECT_DOUBLE_EQ(spec.edges[0].cost.bytes_per_s, 8e9);
+}
+
+TEST(TopologySpecTest, MalformedSpecsAreFatal)
+{
+    FatalCaptureScope capture;
+    // Structure.
+    EXPECT_THROW(TopologySpec::parse(""), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100"), FatalError);
+    EXPECT_THROW(TopologySpec::parse(",ddr:100,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100:0.4:9,cxl:270"), FatalError);
+    // Tier fields.
+    EXPECT_THROW(TopologySpec::parse("DDR:100,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:0,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:abc,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100:1.5,cxl:270"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100,ddr:270"), FatalError);
+    // Fraction placement: spill must omit, intermediates must state.
+    EXPECT_THROW(TopologySpec::parse("ddr:100,cxl:270:0.4"), FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100,mid:250,far:400"),
+                 FatalError);
+    // Edges.
+    EXPECT_THROW(TopologySpec::parse("ddr:100,cxl:270,ddr>cxl"),
+                 FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100,cxl:270,ddr>ddr:500"),
+                 FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100,cxl:270,ddr>bogus:500"),
+                 FatalError);
+    EXPECT_THROW(TopologySpec::parse("ddr:100,cxl:270,ddr>cxl:500:-1"),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Resolution and default-pair identity
+// ---------------------------------------------------------------------
+
+TEST(TierTopologyTest, ResolvesFractionsAgainstTheFootprint)
+{
+    const auto spec = TopologySpec::parse("ddr:100,mid:250:0.3,far:400");
+    const TierTopology topo(spec, 1000, 0.5);
+    ASSERT_EQ(topo.numTiers(), 3u);
+    EXPECT_EQ(topo.top(), 0u);
+    EXPECT_EQ(topo.spill(), 2u);
+    EXPECT_FALSE(topo.isLower(0));
+    EXPECT_TRUE(topo.isLower(1));
+    // Top inherits the default fraction; spill is footprint + slack.
+    EXPECT_EQ(topo.tier(0).capacity_bytes, 500u * kPageBytes);
+    EXPECT_EQ(topo.tier(1).capacity_bytes, 300u * kPageBytes);
+    EXPECT_EQ(topo.tier(2).capacity_bytes, 1064u * kPageBytes);
+    // Contiguous physical ranges, fastest first.
+    EXPECT_EQ(topo.tier(0).base, 0u);
+    EXPECT_EQ(topo.tier(1).base, topo.tier(0).capacity_bytes);
+    EXPECT_EQ(topo.tier(2).base,
+              topo.tier(1).base + topo.tier(1).capacity_bytes);
+    EXPECT_EQ(topo.tier(1).read_latency, 250u);
+}
+
+TEST(TierTopologyTest, DefaultPairMatchesHistoricalSizing)
+{
+    TieredMemoryParams p;
+    const auto topo = TierTopology::defaultPair(1000, p, 0.375);
+    ASSERT_EQ(topo.numTiers(), 2u);
+    EXPECT_EQ(topo.tier(kNodeDdr).name, "ddr");
+    EXPECT_EQ(topo.tier(kNodeDdr).capacity_bytes, 375u * kPageBytes);
+    EXPECT_EQ(topo.tier(kNodeDdr).read_latency, p.ddr_latency);
+    EXPECT_EQ(topo.tier(kNodeCxl).name, "cxl");
+    EXPECT_EQ(topo.tier(kNodeCxl).capacity_bytes, 1064u * kPageBytes);
+    EXPECT_EQ(topo.tier(kNodeCxl).read_latency, p.cxl_latency);
+
+    // pair(p) builds the same MemorySystem makeTieredMemory(p) does.
+    TieredMemoryParams q;
+    q.ddr_bytes = 375 * kPageBytes;
+    q.cxl_bytes = 1064 * kPageBytes;
+    const auto built = TierTopology::pair(q).buildMemory();
+    const auto legacy = makeTieredMemory(q);
+    ASSERT_EQ(built->tiers(), legacy->tiers());
+    for (NodeId n = 0; n < built->tiers(); ++n) {
+        EXPECT_EQ(built->tier(n).config().name, legacy->tier(n).config().name);
+        EXPECT_EQ(built->tier(n).config().base, legacy->tier(n).config().base);
+        EXPECT_EQ(built->tier(n).config().capacity_bytes,
+                  legacy->tier(n).config().capacity_bytes);
+        EXPECT_EQ(built->tier(n).config().read_latency,
+                  legacy->tier(n).config().read_latency);
+    }
+}
+
+TEST(TierTopologyTest, EdgeCostsDefaultAndOverride)
+{
+    // The default edge reproduces the historical copy model: a 400ns
+    // round-trip floor plus a 2 x 4KB stream at 12 GB/s.
+    const EdgeCost dflt;
+    EXPECT_EQ(dflt.pageCopyTime(),
+              400u + static_cast<Tick>(2.0 * kPageBytes / 12.0e9 * 1e9));
+
+    const auto spec =
+        TopologySpec::parse("ddr:100,mid:250:0.3,far:400,ddr>far:600:8e9");
+    const TierTopology topo(spec, 100, 0.5);
+    EXPECT_EQ(topo.edge(0, 2).latency_floor, 600u);
+    EXPECT_EQ(topo.edge(0, 2).pageCopyTime(),
+              600u + static_cast<Tick>(2.0 * kPageBytes / 8e9 * 1e9));
+    // Only the named direction is overridden.
+    EXPECT_EQ(topo.edge(2, 0).latency_floor, dflt.latency_floor);
+    EXPECT_EQ(topo.edge(0, 1).pageCopyTime(), dflt.pageCopyTime());
+}
+
+// ---------------------------------------------------------------------
+// Migration over a 3-tier topology: move / exchange / best-fit
+// ---------------------------------------------------------------------
+
+/** 3-tier rig: ddr (3 frames) -> mid (3 frames) -> far (spill), with 12
+ *  pages initially mapped into far. */
+class TopologyEngineTest : public ::testing::Test
+{
+  protected:
+    static constexpr NodeId kTop = 0;
+    static constexpr NodeId kMid = 1;
+    static constexpr NodeId kFar = 2;
+
+    TopologyEngineTest()
+    {
+        const auto spec = TopologySpec::parse("ddr:100,mid:200:0.25,far:400");
+        topo = std::make_unique<TierTopology>(spec, 12, 0.25);
+        mem = topo->buildMemory();
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(12);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        lrus = std::make_unique<TierLrus>(12, topo->numTiers());
+        engine = std::make_unique<MigrationEngine>(*topo, *pt, *alloc,
+                                                   *mem, *llc, *tlb,
+                                                   ledger, *lrus);
+        for (Vpn v = 0; v < 12; ++v)
+            pt->map(v, *alloc->allocate(kFar), kFar);
+    }
+
+    void
+    arm(const std::string &spec)
+    {
+        faults = std::make_unique<FaultInjector>(FaultPlan::parse(spec), 1);
+        engine->attachFaults(faults.get());
+    }
+
+    std::vector<std::string>
+    checkInvariants()
+    {
+        InvariantChecker inv(*pt, *alloc, *mem, *lrus, ledger);
+        return inv.check(0);
+    }
+
+    std::unique_ptr<TierTopology> topo;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<TierLrus> lrus;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+    std::unique_ptr<FaultInjector> faults;
+};
+
+TEST_F(TopologyEngineTest, MoveReachesArbitraryTiersWithLruUpkeep)
+{
+    const MigrateResult up = engine->move(0, kMid, 0);
+    EXPECT_EQ(up.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(0).node, kMid);
+    EXPECT_TRUE(lrus->lru(kMid).contains(0));
+    EXPECT_EQ(engine->stats().moved_lateral, 1u)
+        << "a move that is neither promotion nor demotion counts lateral";
+
+    const MigrateResult top = engine->move(0, kTop, 0);
+    EXPECT_EQ(top.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(0).node, kTop);
+    EXPECT_TRUE(lrus->top().contains(0));
+    EXPECT_FALSE(lrus->lru(kMid).contains(0));
+    EXPECT_EQ(engine->stats().promoted, 1u);
+
+    const MigrateResult down = engine->move(0, kFar, 0);
+    EXPECT_EQ(down.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(0).node, kFar);
+    EXPECT_FALSE(lrus->top().contains(0));
+    EXPECT_EQ(engine->stats().demoted, 1u);
+    EXPECT_TRUE(checkInvariants().empty());
+}
+
+TEST_F(TopologyEngineTest, MoveRejectsSelfPinnedAndFullDestinations)
+{
+    EXPECT_EQ(engine->move(0, kFar, 0).outcome,
+              MigrateOutcome::RejectedNotCxl)
+        << "move to the current tier is a no-op reject";
+
+    pt->pte(1).pinned = true;
+    EXPECT_EQ(engine->move(1, kTop, 0).outcome,
+              MigrateOutcome::RejectedPinned);
+
+    // Fill mid, then one more move must fail transiently with the page
+    // left at its source.
+    for (Vpn v = 2; v <= 4; ++v)
+        EXPECT_TRUE(engine->move(v, kMid, 0).ok());
+    const MigrateResult full = engine->move(5, kMid, 0);
+    EXPECT_EQ(full.outcome, MigrateOutcome::TransientNoFrame);
+    EXPECT_EQ(pt->pte(5).node, kFar);
+    EXPECT_TRUE(checkInvariants().empty());
+}
+
+TEST_F(TopologyEngineTest, PromoteFallsBackToBestFitIntermediateTier)
+{
+    // Fill the top tier, then desync its LRU so no victim exists (the
+    // victimless-full case opportunistic promotion is for).
+    for (Vpn v = 0; v <= 2; ++v)
+        EXPECT_TRUE(engine->promote(v, 0).ok());
+    (void)lrus->top().pickVictims(3);
+
+    const MigrateResult placed = engine->promote(3, 0);
+    EXPECT_EQ(placed.outcome, MigrateOutcome::PlacedLowerTier);
+    EXPECT_TRUE(placed.ok());
+    EXPECT_STREQ(placed.reason(), "placed_lower");
+    EXPECT_EQ(pt->pte(3).node, kMid)
+        << "best fit is the fastest lower tier with room, not the spill";
+    EXPECT_EQ(engine->stats().placed_lower, 1u);
+
+    // Fill mid too; with no tier left the promotion fails on capacity.
+    EXPECT_EQ(engine->promote(4, 0).outcome,
+              MigrateOutcome::PlacedLowerTier);
+    EXPECT_EQ(engine->promote(5, 0).outcome,
+              MigrateOutcome::PlacedLowerTier);
+    const MigrateResult res = engine->promote(6, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::FailedCapacity);
+    EXPECT_EQ(pt->pte(6).node, kFar);
+    EXPECT_EQ(engine->stats().failed_capacity, 1u);
+}
+
+TEST_F(TopologyEngineTest, ExchangeSwapsFramesAtomically)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    const Pfn cold_pfn = pt->pte(0).pfn;
+    const Pfn hot_pfn = pt->pte(1).pfn;
+
+    const MigrateResult res = engine->exchange(1, 0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::ExchangedInstead);
+    EXPECT_TRUE(res.ok());
+    EXPECT_STREQ(res.reason(), "exchanged");
+    EXPECT_GT(res.busy, 0u);
+
+    // Both PTEs, the reverse map, and the per-tier LRUs swapped as one.
+    EXPECT_EQ(pt->pte(1).node, kTop);
+    EXPECT_EQ(pt->pte(1).pfn, cold_pfn);
+    EXPECT_EQ(pt->pte(0).node, kFar);
+    EXPECT_EQ(pt->pte(0).pfn, hot_pfn);
+    EXPECT_EQ(pt->vpnOfPfn(cold_pfn), 1u);
+    EXPECT_EQ(pt->vpnOfPfn(hot_pfn), 0u);
+    EXPECT_TRUE(lrus->top().contains(1));
+    EXPECT_FALSE(lrus->top().contains(0));
+    EXPECT_EQ(engine->stats().exchanged, 1u);
+    // No frame was allocated or freed: the books still balance.
+    EXPECT_EQ(alloc->usedFrames(kTop), 1u);
+    EXPECT_TRUE(checkInvariants().empty());
+}
+
+TEST_F(TopologyEngineTest, AbortedExchangeLeavesEveryStructureUntouched)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    const Pfn cold_pfn = pt->pte(0).pfn;
+    const Pfn hot_pfn = pt->pte(1).pfn;
+    arm("migrate_busy:p=1");
+
+    const MigrateResult res = engine->exchange(1, 0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::TransientBusy);
+    EXPECT_FALSE(res.ok());
+    EXPECT_GT(res.busy, 0u) << "the aborted attempt still costs cycles";
+
+    EXPECT_EQ(pt->pte(0).node, kTop);
+    EXPECT_EQ(pt->pte(0).pfn, cold_pfn);
+    EXPECT_EQ(pt->pte(1).node, kFar);
+    EXPECT_EQ(pt->pte(1).pfn, hot_pfn);
+    EXPECT_TRUE(lrus->top().contains(0));
+    EXPECT_FALSE(lrus->top().contains(1));
+    EXPECT_EQ(engine->stats().exchanged, 0u);
+    EXPECT_EQ(engine->stats().transient_fail, 1u);
+    EXPECT_TRUE(checkInvariants().empty());
+}
+
+TEST_F(TopologyEngineTest, ExchangeRejectsSameTierAndPinnedPartners)
+{
+    EXPECT_EQ(engine->exchange(1, 2, 0).outcome,
+              MigrateOutcome::RejectedNotCxl)
+        << "both partners on the same tier is a no-op reject";
+
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    pt->pte(0).pinned = true;
+    EXPECT_EQ(engine->exchange(1, 0, 0).outcome,
+              MigrateOutcome::RejectedPinned);
+    EXPECT_EQ(pt->pte(1).node, kFar);
+}
+
+TEST_F(TopologyEngineTest, DdrAllocFaultFallsBackToExchange)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    arm("ddr_alloc:p=1");
+
+    const MigrateResult res = engine->promote(1, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::ExchangedInstead);
+    EXPECT_EQ(pt->pte(1).node, kTop);
+    EXPECT_EQ(pt->pte(0).node, kFar)
+        << "the cold victim takes the hot page's old frame";
+    EXPECT_EQ(engine->stats().exchanged, 1u);
+    EXPECT_TRUE(checkInvariants().empty());
+
+    // With the fallback disabled the same fault is a plain no-frame.
+    engine->setExchangeEnabled(false);
+    const MigrateResult off = engine->promote(2, 0);
+    EXPECT_EQ(off.outcome, MigrateOutcome::TransientNoFrame);
+    EXPECT_EQ(pt->pte(2).node, kFar);
+}
+
+TEST_F(TopologyEngineTest, ExchangeFallbackWithoutVictimFailsNoFrame)
+{
+    arm("ddr_alloc:p=1"); // top tier empty: no victim to swap with
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::TransientNoFrame);
+    EXPECT_EQ(engine->stats().exchange_failed, 1u);
+    EXPECT_EQ(engine->stats().exchanged, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Per-tier occupancy invariant
+// ---------------------------------------------------------------------
+
+TEST_F(TopologyEngineTest, InvariantCheckerCatchesPerTierDesync)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    ASSERT_TRUE(engine->move(1, kMid, 0).ok());
+    EXPECT_TRUE(checkInvariants().empty());
+
+    // An LRU that loses a resident page (a half-finished exchange)...
+    lrus->remove(0, kTop);
+    auto bad = checkInvariants();
+    ASSERT_FALSE(bad.empty());
+    EXPECT_NE(bad[0].find("MGLRU"), std::string::npos) << bad[0];
+    lrus->insert(0, kTop);
+    EXPECT_TRUE(checkInvariants().empty());
+
+    // ...and a PTE that claims the wrong tier both fire.
+    pt->pte(1).node = kFar;
+    EXPECT_FALSE(checkInvariants().empty());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: three-tier sweeps are deterministic across worker counts
+// ---------------------------------------------------------------------
+
+TEST(TopologySweepTest, ThreeTierSweepIsByteIdenticalAcrossWorkerCounts)
+{
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policy(PolicyKind::M5HptDriven)
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(15000)
+        .configure([](SystemConfig &cfg) {
+            cfg.tiers = "ddr:100,cxl:270:0.4,far:400";
+        });
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+
+    auto sweep = [&](unsigned workers) {
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        std::vector<std::vector<std::string>> rows;
+        const auto outcomes = runner.run(jobs);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+            rows.push_back(runResultCsvRow(jobs[i], outcomes[i].value));
+        }
+        return rows;
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    EXPECT_EQ(serial, parallel);
+
+    // The topology was actually in play: pages migrated.
+    TieredSystem sys(jobs[0].config);
+    const RunResult r = sys.run(jobs[0].budget);
+    EXPECT_GT(r.migration.promoted, 0u);
+}
+
+TEST(TopologySweepTest, ExplicitPairSpecMatchesTheImplicitDefault)
+{
+    SystemConfig base;
+    base.benchmark = "mcf_r";
+    base.scale = 1.0 / 128.0;
+    base.seed = 7;
+    base.policy = PolicyKind::M5HptDriven;
+
+    SystemConfig spec = base;
+    spec.tiers = "ddr:100,cxl:270";
+
+    SweepJob job; // shared label columns; only the result may differ
+    const auto a =
+        runResultCsvRow(job, TieredSystem(base).run(20000));
+    const auto b =
+        runResultCsvRow(job, TieredSystem(spec).run(20000));
+    EXPECT_EQ(a, b) << "--tiers 'ddr:100,cxl:270' must replay the "
+                       "default pair exactly";
+}
+
+} // namespace
+} // namespace m5

@@ -2,7 +2,9 @@
 # Wall-clock benefit of the parallel ExperimentRunner: time the fig09
 # end-to-end sweep at 1 worker and at N workers and record the result in
 # BENCH_runner.json.  The speedup naturally depends on the core count of
-# the machine running this script, which is recorded alongside.
+# the machine running this script, which is recorded alongside, as is
+# the host's single-thread simulation rate (simulated accesses per
+# wall-clock second, measured with a fixed m5sim run).
 #
 # Usage: tools/bench_wallclock.sh [build-dir]   (default: build)
 set -eu
@@ -10,6 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 BIN="$BUILD/bench/fig09_end2end"
+SIM="$BUILD/tools/m5sim"
 OUT="BENCH_runner.json"
 
 # A coarse footprint keeps a timing run to a few minutes; the worker
@@ -41,6 +44,22 @@ echo "  ${TN}s"
 
 SPEEDUP="$(echo "$T1 $TN" | awk '{printf "%.2f", $1 / $2}')"
 
+# Single-thread simulation rate: one fixed m5sim run, accesses / wall.
+SIM_ACCESSES=2000000
+echo "  simulation rate ($SIM_ACCESSES accesses, 1 thread) ..."
+if [ -x "$SIM" ]; then
+    S0="$(date +%s.%N)"
+    "$SIM" --bench mcf_r --policy m5 --scale 128 --seed 7 \
+        --accesses "$SIM_ACCESSES" > /dev/null
+    S1="$(date +%s.%N)"
+    TS="$(echo "$S0 $S1" | awk '{printf "%.3f", $2 - $1}')"
+    APS="$(echo "$SIM_ACCESSES $TS" | awk '{printf "%.0f", $1 / $2}')"
+    echo "  ${TS}s -> ${APS} accesses/s"
+else
+    echo "  missing $SIM — skipping (rate recorded as 0)"
+    TS=0; APS=0
+fi
+
 cat > "$OUT" <<EOF
 {
   "benchmark": "fig09_end2end",
@@ -51,6 +70,9 @@ cat > "$OUT" <<EOF
   "wallclock_seconds_serial": $T1,
   "wallclock_seconds_parallel": $TN,
   "speedup": $SPEEDUP,
+  "sim_rate_accesses": $SIM_ACCESSES,
+  "sim_rate_seconds": $TS,
+  "sim_accesses_per_second": $APS,
   "note": "speedup is bounded by machine_cores; on a single-core host the two runs are expected to tie"
 }
 EOF

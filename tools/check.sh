@@ -15,6 +15,10 @@
 #          the retry/breaker counters move, invariants stay clean, and
 #          a rerun is byte-identical; artifacts kept in
 #          <build-dir>/faults-smoke for CI upload (docs/FAULTS.md)
+#   topology  3-tier m5sim --tiers smoke under a ddr_alloc storm: the
+#          exchange counters move, invariants stay clean, and a rerun
+#          is byte-identical; artifacts kept in
+#          <build-dir>/topology-smoke for CI upload (docs/TOPOLOGY.md)
 #   tsan   ThreadSanitizer build + runner determinism tests
 #   asan   AddressSanitizer build + full ctest (leaks on)
 #   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
@@ -60,14 +64,14 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|smoke|trace|faults|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|trace|faults|topology|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|smoke|trace|faults|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|trace|faults|topology|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
@@ -179,6 +183,48 @@ stage_faults() {
             }
             printf "faults stage: OK (%d injected, %d retries, %d invariant checks clean)\n",
                    injected, retries, checks
+        }' "$_out/report.txt"
+}
+
+stage_topology() {
+    echo "== topology: 3-tier --tiers smoke with exchange fallback =="
+    if [ ! -x "$BUILD/tools/m5sim" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim || return 1
+    fi
+    _out="$BUILD/topology-smoke"
+    _tiers='ddr:100,cxl:270:0.4,far:400,ddr>far:600:8e9'
+    _spec='ddr_alloc:burst=50@1ms'
+    rm -rf "$_out" && mkdir -p "$_out" &&
+    "$BUILD/tools/m5sim" --bench mcf_r --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --tiers "$_tiers" --faults "$_spec" \
+        > "$_out/report.txt" &&
+    "$BUILD/tools/m5sim" --bench mcf_r --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --tiers "$_tiers" --faults "$_spec" \
+        > "$_out/report2.txt" || return 1
+    # Same seed, same topology -> byte-identical report.
+    cmp -s "$_out/report.txt" "$_out/report2.txt" || {
+        echo "topology stage: rerun is not byte-identical" >&2
+        diff "$_out/report.txt" "$_out/report2.txt" >&2
+        return 1
+    }
+    # The topology line names all three tiers, the ddr_alloc storm was
+    # absorbed by atomic exchanges, and invariants stayed clean.
+    grep -q '^topology: .*ddr(.*cxl(.*far(' "$_out/report.txt" || {
+        echo "topology stage: report is missing the 3-tier topology line" >&2
+        return 1
+    }
+    awk '
+        /^  exchange:/   { swapped = $2 }
+        /^  invariants:/ { checks = $2; violations = $4 }
+        END {
+            if (swapped + 0 == 0)  { print "no exchanges performed"; exit 1 }
+            if (checks + 0 == 0)   { print "invariant checker never ran"; exit 1 }
+            if (violations + 0 != 0) {
+                print "invariant violations: " violations; exit 1
+            }
+            printf "topology stage: OK (%d exchanges, %d invariant checks clean)\n",
+                   swapped, checks
         }' "$_out/report.txt"
 }
 

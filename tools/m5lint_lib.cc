@@ -776,10 +776,11 @@ checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
 }
 
 /**
- * no-unchecked-migrate-result: a member call to promote()/promoteBatch()
- * whose result is discarded.  MigrateResult/BatchResult/PromoteRound
- * carry the per-page outcome (transient vs permanent failure) that the
- * retry pipeline runs on; dropping one silently swallows failures.
+ * no-unchecked-migrate-result: a member call to promote()/promoteBatch()/
+ * move()/exchange()/demote() whose result is discarded.  MigrateResult/
+ * BatchResult/PromoteRound carry the per-page outcome (transient vs
+ * permanent failure) that the retry pipeline runs on; dropping one
+ * silently swallows failures.
  * `[[nodiscard]]` + -DM5_WERROR is the compile-time enforcement — this
  * is the greppable complement that also covers unbuilt configurations.
  * An explicit `(void)` cast marks a deliberate discard and passes.
@@ -794,7 +795,8 @@ checkUncheckedMigrateResult(const std::string &path,
         const std::string &s = lines[i].stripped;
         if (isPreprocessor(s))
             continue;
-        for (const char *fn : {"promote", "promoteBatch"}) {
+        for (const char *fn :
+             {"promote", "promoteBatch", "move", "exchange", "demote"}) {
             for (auto pos : findTokens(s, fn)) {
                 if (!isMemberAccess(s, pos) ||
                     !followedByParen(s, pos + std::string(fn).size()))

@@ -8,7 +8,8 @@
  *   m5trace replay  --in FILE [--tracker cm|ss] [--entries N] [--k K]
  *                   [--period-us P] [--words]
  *   m5trace explain [--bench NAME] [--page VPN] [--scale D] [--seed N]
- *                   [--accesses N] [--out FILE]
+ *                   [--accesses N] [--out FILE] [--tiers SPEC]
+ *                   [--faults SPEC]
  *
  * `record` captures the post-LLC physical access stream of a simulated
  * run (the §7.1 Pin + Ramulator methodology); `info` summarizes a trace;
@@ -233,6 +234,12 @@ cmdExplain(int argc, char **argv)
         cfg.trace.ledger_page = argU64("--page", page_s);
     if (const char *out = findArg(argc, argv, "--out"))
         cfg.trace.path = out;
+    // Optional topology / fault overlays so exchange and multi-hop move
+    // lifecycles can be reproduced and explained (docs/TOPOLOGY.md).
+    if (const char *tiers = findArg(argc, argv, "--tiers"))
+        cfg.tiers = tiers;
+    if (const char *faults = findArg(argc, argv, "--faults"))
+        cfg.faults = faults;
 
     TieredSystem sys(cfg);
     const char *acc_s = findArg(argc, argv, "--accesses");
