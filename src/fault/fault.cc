@@ -1,4 +1,4 @@
-#include "sim/fault/fault.hh"
+#include "fault/fault.hh"
 
 #include <cstddef>
 

@@ -46,7 +46,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/mglru.hh"
 #include "os/page_table.hh"
-#include "sim/fault/fault.hh"
+#include "fault/fault.hh"
 #include "telemetry/registry.hh"
 
 namespace m5 {
@@ -272,8 +272,11 @@ class MigrationEngine
     MigrateResult transientFail(Vpn vpn, Tick now, MigrateOutcome outcome);
 
     /** Exchange vpn with the top tier's coldest page.  nullopt when no
-     *  usable victim exists (caller falls back to TransientNoFrame). */
-    std::optional<MigrateResult> exchangeWithVictim(Vpn vpn, Tick now);
+     *  usable victim exists (caller falls back to TransientNoFrame).
+     *  The optional wrapper hides MigrateResult's own [[nodiscard]],
+     *  so the declaration restores it. */
+    [[nodiscard]] std::optional<MigrateResult>
+    exchangeWithVictim(Vpn vpn, Tick now);
 
     /** Fastest tier below the top with a free frame that still beats
      *  `src`, excluding the spill tier (opportunistic placement). */

@@ -33,7 +33,7 @@
 #include "os/page_table.hh"
 #include "sim/core.hh"
 #include "sim/engine.hh"
-#include "sim/fault/fault.hh"
+#include "fault/fault.hh"
 #include "sim/fault/invariant.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/snapshot.hh"

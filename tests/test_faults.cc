@@ -24,7 +24,7 @@
 
 #include "common/logging.hh"
 #include "sim/experiment.hh"
-#include "sim/fault/fault.hh"
+#include "fault/fault.hh"
 #include "sim/fault/invariant.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"

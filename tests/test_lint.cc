@@ -292,7 +292,7 @@ TEST(LintSuppress, InlineAllowStarAndLists)
 TEST(LintSuppress, AllowlistScopesByRuleAndPathPrefix)
 {
     Config cfg;
-    cfg.allow.push_back({"no-raw-parse", "tools/legacy/"});
+    cfg.allow.push_back({"no-raw-parse", "tools/legacy/", "", 0});
     EXPECT_EQ(countRule(lintSource("tools/legacy/old.cc",
                                    "int i = atoi(s);\n", cfg),
                         "no-raw-parse"), 0u);
@@ -408,17 +408,23 @@ TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
     EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsAllTenRules)
+TEST(LintRules, CatalogueListsAllFourteenRules)
 {
     const auto &rules = m5lint::allRules();
-    EXPECT_EQ(rules.size(), 10u);
+    EXPECT_EQ(rules.size(), 14u);
     for (const char *r :
          {"no-wallclock", "no-wallclock-trace", "no-unseeded-rng",
           "no-unordered-result-iteration", "no-raw-parse", "no-raw-output",
           "no-naked-new", "header-hygiene", "no-untracked-stat",
-          "no-unchecked-migrate-result"})
+          "no-unchecked-migrate-result", "layering",
+          "transitive-unchecked-migrate-result", "dead-stat",
+          "stale-suppression"})
         EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
             << r;
+    // Every catalogued rule carries a one-line description.
+    for (const auto &r : rules)
+        EXPECT_FALSE(m5lint::ruleHelp(r).empty()) << r;
+    EXPECT_TRUE(m5lint::ruleHelp("no-such-rule").empty());
 }
 
 // ---------------------------------------------------------------------
@@ -520,7 +526,7 @@ TEST(LintUntrackedStat, ScopeIsInstrumentedLayerHeadersOnly)
 TEST(LintUntrackedStat, AllowlistAndInlineSuppressionWork)
 {
     Config cfg;
-    cfg.allow.push_back({"no-untracked-stat", "src/cxl/legacy.hh"});
+    cfg.allow.push_back({"no-untracked-stat", "src/cxl/legacy.hh", "", 0});
     EXPECT_EQ(countRule(lintSource("src/cxl/legacy.hh",
                                    "#pragma once\n"
                                    "struct S { std::uint64_t hits_ = 0; };\n",
@@ -613,6 +619,683 @@ TEST(LintMigrateResult, SilentOnConsumedMoveExchangeAndStdMove)
         "take(std::move(value));\n"              // not a member call
         "queue.push_back(std::move(item));\n");
     EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
+// =====================================================================
+// Project-wide analysis (m5lint_model.cc + m5lint_project.cc).
+// =====================================================================
+
+using m5lint::buildFileModel;
+using m5lint::LayersFile;
+using m5lint::lintProjectModel;
+using m5lint::ProjectModel;
+using m5lint::ProjectOptions;
+
+/** Assemble an in-memory ProjectModel from (path, content) pairs. */
+ProjectModel
+project(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    ProjectModel model;
+    for (const auto &f : files) {
+        model.by_path.emplace(f.first, model.files.size());
+        model.files.push_back(buildFileModel(f.first, f.second));
+    }
+    m5lint::resolveIncludes(model);
+    return model;
+}
+
+/** lintProjectModel with stale auditing off (most tests assert one
+ *  rule and should not trip over unrelated bookkeeping). */
+std::vector<Diag>
+runProject(const ProjectModel &model, const LayersFile *layers = nullptr,
+           const Config &cfg = {}, bool stale = false)
+{
+    ProjectOptions opts;
+    opts.stale_check = stale;
+    return lintProjectModel(model, cfg, layers, opts);
+}
+
+/** A two-layer spec: a (base) <- b (may use a), with one exception. */
+LayersFile
+twoLayers()
+{
+    LayersFile lf;
+    lf.path = "test.layers";
+    lf.layers.push_back({"base", "src/base", {}, 1});
+    lf.layers.push_back({"top", "src/top", {"base"}, 2});
+    return lf;
+}
+
+// ---------------------------------------------------------------------
+// Project model construction
+// ---------------------------------------------------------------------
+
+TEST(LintModel, IncludeGraphParsesQuotedIncludesOnly)
+{
+    const auto fm = buildFileModel(
+        "src/os/a.cc",
+        "#include \"mem/memsys.hh\"\n"
+        "#include <vector>\n"
+        "// #include \"commented/out.hh\"\n"
+        " *  #include \"doc/block.hh\"\n"
+        "#  include \"os/spaced.hh\"\n");
+    ASSERT_EQ(fm.includes.size(), 2u);
+    EXPECT_EQ(fm.includes[0].line, 1);
+    EXPECT_EQ(fm.includes[0].target, "mem/memsys.hh");
+    EXPECT_EQ(fm.includes[1].target, "os/spaced.hh");
+}
+
+TEST(LintModel, IncludeResolutionTriesRepoLayoutCandidates)
+{
+    const auto model = project({
+        {"src/mem/memsys.hh", "#pragma once\n"},
+        {"src/os/local.hh", "#pragma once\n"},
+        {"src/os/a.cc",
+         "#include \"mem/memsys.hh\"\n"   // via src/ prefix
+         "#include \"local.hh\"\n"        // via including dir
+         "#include \"no/such.hh\"\n"},    // unresolvable
+    });
+    const auto *fm = model.find("src/os/a.cc");
+    ASSERT_NE(fm, nullptr);
+    ASSERT_EQ(fm->includes.size(), 3u);
+    EXPECT_EQ(fm->includes[0].resolved, "src/mem/memsys.hh");
+    EXPECT_EQ(fm->includes[1].resolved, "src/os/local.hh");
+    EXPECT_EQ(fm->includes[2].resolved, "");
+}
+
+TEST(LintModel, FunctionScannerFindsDeclarationsAndDefinitions)
+{
+    const auto fm = buildFileModel(
+        "src/os/m.hh",
+        "#pragma once\n"
+        "namespace m5 {\n"
+        "class Engine {\n"
+        "  public:\n"
+        "    MigrateResult move(Vpn v, Tick t);\n"
+        "    [[nodiscard]] std::optional<MigrateResult>\n"
+        "    tryMove(Vpn v);\n"
+        "    void drain() { flush(); }\n"
+        "  private:\n"
+        "    uint64_t depth_ = 3;\n"
+        "};\n"
+        "} // namespace m5\n");
+    ASSERT_EQ(fm.functions.size(), 3u);
+    EXPECT_EQ(fm.functions[0].name, "move");
+    EXPECT_EQ(fm.functions[0].ret, "MigrateResult");
+    EXPECT_FALSE(fm.functions[0].is_definition);
+    EXPECT_FALSE(fm.functions[0].nodiscard);
+    EXPECT_EQ(fm.functions[1].name, "tryMove");
+    EXPECT_TRUE(fm.functions[1].nodiscard);
+    EXPECT_EQ(fm.functions[2].name, "drain");
+    EXPECT_TRUE(fm.functions[2].is_definition);
+    // One-line definitions see their own signature on the body line;
+    // only the genuine call may classify as discarded.
+    bool found_flush = false;
+    for (const auto &cs : fm.functions[2].calls) {
+        if (cs.name == "flush") {
+            found_flush = true;
+            EXPECT_TRUE(cs.discarded);
+        } else {
+            EXPECT_FALSE(cs.discarded) << cs.name;
+        }
+    }
+    EXPECT_TRUE(found_flush);
+}
+
+TEST(LintModel, CallSitesClassifyDiscardReturnAndConsume)
+{
+    const auto fm = buildFileModel(
+        "src/os/m.cc",
+        "Tick Engine::step(Vpn v)\n"
+        "{\n"
+        "    helperA(v);\n"
+        "    auto r = helperB(v);\n"
+        "    return helperC(v);\n"
+        "}\n");
+    ASSERT_EQ(fm.functions.size(), 1u);
+    const auto &calls = fm.functions[0].calls;
+    ASSERT_EQ(calls.size(), 3u);
+    EXPECT_TRUE(calls[0].discarded);
+    EXPECT_FALSE(calls[1].discarded);
+    EXPECT_FALSE(calls[2].discarded);
+    EXPECT_TRUE(calls[2].returned);
+}
+
+// ---------------------------------------------------------------------
+// Layers spec parsing
+// ---------------------------------------------------------------------
+
+TEST_F(LintFilesTest, LayersFileParsesGrammarAndValidates)
+{
+    const auto path = write("good.layers",
+                            "# comment\n"
+                            "layer common src/common\n"
+                            "layer os src/os : common\n"
+                            "layer sim src/sim : os\n"
+                            "except src/os -> src/sim\n");
+    std::vector<std::string> errors;
+    const auto lf = m5lint::loadLayersFile(path, &errors);
+    EXPECT_TRUE(errors.empty());
+    ASSERT_EQ(lf.layers.size(), 3u);
+    ASSERT_EQ(lf.exceptions.size(), 1u);
+    EXPECT_EQ(lf.exceptions[0].src, "src/os");
+
+    EXPECT_EQ(lf.layerOf("src/os/migration.cc"), "os");
+    EXPECT_EQ(lf.layerOf("bench/fig.cc"), "");
+    EXPECT_TRUE(lf.allows("os", "os"));          // reflexive
+    EXPECT_TRUE(lf.allows("os", "common"));      // direct
+    EXPECT_TRUE(lf.allows("sim", "common"));     // transitive via os
+    EXPECT_FALSE(lf.allows("common", "os"));     // no back edges
+}
+
+TEST_F(LintFilesTest, LayersFileRejectsMalformedAndCyclicSpecs)
+{
+    const auto path = write("bad.layers",
+                            "layer a src/a : b\n"
+                            "layer b src/b : a\n"
+                            "layer a src/dup\n"
+                            "layer c src/c : nosuch\n"
+                            "except src/a src/b\n"
+                            "frobnicate x y\n");
+    std::vector<std::string> errors;
+    const auto lf = m5lint::loadLayersFile(path, &errors);
+    // duplicate name, unknown dep, bad except, unknown directive, cycle
+    EXPECT_EQ(errors.size(), 5u);
+    bool cycle = false, dup = false;
+    for (const auto &e : errors) {
+        if (e.find("cycle") != std::string::npos)
+            cycle = true;
+        if (e.find("duplicate") != std::string::npos)
+            dup = true;
+    }
+    EXPECT_TRUE(cycle);
+    EXPECT_TRUE(dup);
+}
+
+TEST(LintLayers, StarDepIsUnconstrained)
+{
+    LayersFile lf;
+    lf.layers.push_back({"a", "src/a", {}, 1});
+    lf.layers.push_back({"t", "tools", {"*"}, 2});
+    EXPECT_TRUE(lf.allows("t", "a"));
+    EXPECT_FALSE(lf.allows("a", "t"));
+}
+
+// ---------------------------------------------------------------------
+// layering (cross-file)
+// ---------------------------------------------------------------------
+
+TEST(LintLayering, FiresOnBackEdgeAndHonorsExceptions)
+{
+    const auto model = project({
+        {"src/base/b.hh", "#pragma once\n"},
+        {"src/top/t.hh", "#pragma once\n"},
+        {"src/base/b.cc", "#include \"top/t.hh\"\n"},  // back edge
+        {"src/top/t.cc", "#include \"base/b.hh\"\n"},  // allowed
+    });
+    auto lf = twoLayers();
+    const auto d = runProject(model, &lf);
+    ASSERT_EQ(countRule(d, "layering"), 1u);
+    EXPECT_EQ(d[0].file, "src/base/b.cc");
+    EXPECT_EQ(d[0].line, 1);
+
+    lf.exceptions.push_back({"src/base/b.cc", "src/top", 9});
+    EXPECT_EQ(countRule(runProject(model, &lf), "layering"), 0u);
+}
+
+TEST(LintLayering, SilentOnUnownedFilesAndUnresolvedIncludes)
+{
+    const auto model = project({
+        {"src/base/b.hh", "#pragma once\n"},
+        {"tools/x.cc", "#include \"base/b.hh\"\n"},   // no layer: free
+        {"src/base/c.cc", "#include <cstdio>\n"
+                          "#include \"gone/away.hh\"\n"},
+    });
+    auto lf = twoLayers();
+    EXPECT_EQ(countRule(runProject(model, &lf), "layering"), 0u);
+}
+
+TEST(LintLayering, DetectsIncludeCyclesOnce)
+{
+    const auto model = project({
+        {"src/base/a.hh", "#pragma once\n#include \"base/b.hh\"\n"},
+        {"src/base/b.hh", "#pragma once\n#include \"base/c.hh\"\n"},
+        {"src/base/c.hh", "#pragma once\n#include \"base/a.hh\"\n"},
+    });
+    auto lf = twoLayers();
+    const auto d = runProject(model, &lf);
+    ASSERT_EQ(countRule(d, "layering"), 1u);
+    EXPECT_NE(d[0].msg.find("include cycle"), std::string::npos);
+    EXPECT_NE(d[0].msg.find("src/base/a.hh"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// transitive-unchecked-migrate-result
+// ---------------------------------------------------------------------
+
+TEST(LintTaint, CrossFileDiscardOfResultReturningFunctionFires)
+{
+    const auto model = project({
+        {"src/os/retry.hh",
+         "#pragma once\n"
+         "MigrateResult retryMove(Vpn v, Tick t);\n"},
+        {"src/m5/driver.cc",
+         "#include \"os/retry.hh\"\n"
+         "void Driver::tick(Vpn v, Tick t)\n"
+         "{\n"
+         "    retryMove(v, t);\n"
+         "}\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "transitive-unchecked-migrate-result"), 1u);
+    EXPECT_EQ(d[0].file, "src/m5/driver.cc");
+    EXPECT_EQ(d[0].line, 4);
+    EXPECT_NE(d[0].msg.find("retryMove"), std::string::npos);
+}
+
+TEST(LintTaint, TaintPropagatesThroughReturningWrappers)
+{
+    const auto model = project({
+        {"src/os/retry.hh",
+         "#pragma once\n"
+         "BatchResult runBatch(Tick t);\n"},
+        {"src/m5/wrap.cc",
+         "auto wrapBatch(Tick t)\n"
+         "{\n"
+         "    return runBatch(t);\n"
+         "}\n"
+         "void Driver::step(Tick t)\n"
+         "{\n"
+         "    wrapBatch(t);\n"
+         "}\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "transitive-unchecked-migrate-result"), 1u);
+    EXPECT_EQ(d[0].line, 7);
+    EXPECT_NE(d[0].msg.find("taint chain"), std::string::npos);
+    EXPECT_NE(d[0].msg.find("wrapBatch -> runBatch"), std::string::npos);
+}
+
+TEST(LintTaint, SilentWhenResultIsConsumedOrVoidCast)
+{
+    const auto model = project({
+        {"src/os/retry.hh",
+         "#pragma once\n"
+         "MigrateResult retryMove(Vpn v, Tick t);\n"},
+        {"src/m5/driver.cc",
+         "#include \"os/retry.hh\"\n"
+         "void Driver::tick(Vpn v, Tick t)\n"
+         "{\n"
+         "    auto r = retryMove(v, t);\n"
+         "    (void)retryMove(v, t);\n"
+         "    if (retryMove(v, t).ok()) { done(); }\n"
+         "    use(retryMove(v, t));\n"
+         "}\n"
+         "MigrateResult Driver::fwd(Vpn v, Tick t)\n"
+         "{\n"
+         "    return retryMove(v, t);\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model),
+                        "transitive-unchecked-migrate-result"), 0u);
+}
+
+TEST(LintTaint, BareStdMoveNeverCountsAsSeed)
+{
+    // `move` only taints as a member call, even when some class also
+    // declares a MigrateResult-returning move().
+    const auto model = project({
+        {"src/os/m.hh",
+         "#pragma once\n"
+         "struct Engine { MigrateResult move(Vpn v, Tick t); };\n"},
+        {"src/os/user.cc",
+         "#include \"os/m.hh\"\n"
+         "void shuffle(Item item)\n"
+         "{\n"
+         "    sink(std::move(item));\n"
+         "    std::move(item);\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model),
+                        "transitive-unchecked-migrate-result"), 0u);
+}
+
+TEST(LintTaint, WrappedSeedReturnWithoutNodiscardFires)
+{
+    const auto fires = project({
+        {"src/os/m.hh",
+         "#pragma once\n"
+         "std::optional<MigrateResult> tryMove(Vpn v);\n"},
+    });
+    const auto d = runProject(fires);
+    ASSERT_EQ(countRule(d, "transitive-unchecked-migrate-result"), 1u);
+    EXPECT_EQ(d[0].line, 2);
+    EXPECT_NE(d[0].msg.find("[[nodiscard]]"), std::string::npos);
+
+    // Marked declarations are fine, bare seed returns are fine (the
+    // struct's own [[nodiscard]] covers them), and an out-of-line
+    // definition is covered by its marked declaration.
+    const auto silent = project({
+        {"src/os/m.hh",
+         "#pragma once\n"
+         "struct Engine {\n"
+         "    [[nodiscard]] std::optional<MigrateResult> "
+         "tryMove(Vpn v);\n"
+         "    MigrateResult move(Vpn v, Tick t);\n"
+         "};\n"},
+        {"src/os/m.cc",
+         "#include \"os/m.hh\"\n"
+         "std::optional<MigrateResult>\n"
+         "Engine::tryMove(Vpn v)\n"
+         "{\n"
+         "    return probe(v);\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(silent),
+                        "transitive-unchecked-migrate-result"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// dead-stat
+// ---------------------------------------------------------------------
+
+namespace deadstat {
+
+const char *kHeader =
+    "#pragma once\n"
+    "struct Pac {\n"
+    "    void registerStats(StatRegistry &reg)\n"
+    "    {\n"
+    "        reg.addCounter(\"cxl.hits\", &hits_);\n"
+    "        reg.addCounter(\"cxl.misses\", &misses_);\n"
+    "    }\n"
+    "    std::uint64_t hits_ = 0;\n"
+    "    std::uint64_t misses_ = 0;\n"
+    "};\n";
+
+} // namespace deadstat
+
+TEST(LintDeadStat, RegisteredButNeverIncrementedFires)
+{
+    const auto model = project({
+        {"src/cxl/pac.hh", deadstat::kHeader},
+        {"src/cxl/pac.cc",
+         "#include \"cxl/pac.hh\"\n"
+         "void Pac::access(bool hit)\n"
+         "{\n"
+         "    ++hits_;\n"
+         "}\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "dead-stat"), 1u);
+    EXPECT_EQ(d[0].file, "src/cxl/pac.hh");
+    EXPECT_EQ(d[0].line, 6); // the &misses_ registration line
+    EXPECT_NE(d[0].msg.find("misses_"), std::string::npos);
+}
+
+TEST(LintDeadStat, AnyMutationShapeInSameDirSilences)
+{
+    const auto model = project({
+        {"src/cxl/pac.hh", deadstat::kHeader},
+        {"src/cxl/pac.cc",
+         "#include \"cxl/pac.hh\"\n"
+         "void Pac::access(bool hit)\n"
+         "{\n"
+         "    hits_ += 1;\n"
+         "    misses_++;\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
+
+    // Subscripted and assignment-shaped updates count too.
+    const auto arrays = project({
+        {"src/os/ledger.hh",
+         "#pragma once\n"
+         "struct Ledger {\n"
+         "    void registerStats(StatRegistry &reg)\n"
+         "    {\n"
+         "        reg.addCounter(\"os.cycles\", &cycles_[0]);\n"
+         "        reg.addCounter(\"os.faults\", &faults_);\n"
+         "    }\n"
+         "    std::array<std::uint64_t, 4> cycles_{};\n"
+         "    std::uint64_t faults_ = 0;\n"
+         "};\n"},
+        {"src/os/ledger.cc",
+         "#include \"os/ledger.hh\"\n"
+         "void Ledger::charge(unsigned i, std::uint64_t c)\n"
+         "{\n"
+         "    cycles_[i] += c;\n"
+         "    faults_ = faults_ + 1;\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(arrays), "dead-stat"), 0u);
+}
+
+TEST(LintDeadStat, MutationInAnotherDirectoryDoesNotCount)
+{
+    // Name-matching across the tree would alias unrelated counters, so
+    // liveness is per-directory: a far-away ++hits_ is a different
+    // class's member.
+    const auto model = project({
+        {"src/cxl/pac.hh", deadstat::kHeader},
+        {"src/mem/other.cc",
+         "void Other::bump()\n"
+         "{\n"
+         "    ++hits_;\n"
+         "    ++misses_;\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 2u);
+}
+
+TEST(LintDeadStat, DeclaredButNeverRegisteredFires)
+{
+    const auto model = project({
+        {"src/cxl/pac.hh",
+         "#pragma once\n"
+         "struct Pac {\n"
+         "    void registerStats(StatRegistry &reg)\n"
+         "    {\n"
+         "        reg.addCounter(\"cxl.hits\", &hits_);\n"
+         "    }\n"
+         "    std::uint64_t hits_ = 0;\n"
+         "    std::uint64_t misses_ = 0;\n"
+         "};\n"},
+        {"src/cxl/pac.cc",
+         "#include \"cxl/pac.hh\"\n"
+         "void Pac::access(bool hit) { ++hits_; ++misses_; }\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "dead-stat"), 1u);
+    EXPECT_EQ(d[0].line, 8); // the misses_ declaration
+    EXPECT_NE(d[0].msg.find("never registered"), std::string::npos);
+}
+
+TEST(LintDeadStat, GaugeLambdaExposureCountsAsRegistered)
+{
+    const auto model = project({
+        {"src/cxl/pac.hh",
+         "#pragma once\n"
+         "struct Pac {\n"
+         "    void registerStats(StatRegistry &reg)\n"
+         "    {\n"
+         "        reg.addCounter(\"cxl.hits\", &hits_);\n"
+         "        reg.addGauge(\"cxl.ratio\", [this] {\n"
+         "            return double(hits_) / double(total_);\n"
+         "        });\n"
+         "    }\n"
+         "    std::uint64_t hits_ = 0;\n"
+         "    std::uint64_t total_ = 0;\n"
+         "};\n"},
+        {"src/cxl/pac.cc",
+         "#include \"cxl/pac.hh\"\n"
+         "void Pac::access() { ++hits_; ++total_; }\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
+}
+
+TEST(LintDeadStat, ScopeIsInstrumentedLayersOnly)
+{
+    // workloads/ is not an instrumented layer; same fixture, no diag.
+    const auto model = project({
+        {"src/workloads/pac.hh", deadstat::kHeader},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// stale-suppression
+// ---------------------------------------------------------------------
+
+TEST(LintStale, UnusedInlineAllowFiresAndLiveOneDoesNot)
+{
+    const auto model = project({
+        {"src/os/a.cc",
+         // Live: suppresses a real no-unchecked-migrate-result diag.
+         "void F::go(Vpn v, Tick t)\n"
+         "{\n"
+         "    engine_.promote(v, t); "
+         "// m5lint: allow(no-unchecked-migrate-result)\n"
+         "    int x = 1; // m5lint: allow(no-wallclock)\n"
+         "}\n"},
+    });
+    const auto d = runProject(model, nullptr, {}, /*stale=*/true);
+    ASSERT_EQ(countRule(d, "stale-suppression"), 1u);
+    for (const auto &diag : d) {
+        if (diag.rule == "stale-suppression") {
+            EXPECT_EQ(diag.line, 4);
+        }
+    }
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
+TEST(LintStale, AllowlistEntriesAuditedOnlyWhenCovered)
+{
+    Config cfg;
+    cfg.allow.push_back(
+        {"no-naked-new", "src/os/legacy.cc", "tools/m5lint.allow", 3});
+    cfg.allow.push_back(
+        {"no-naked-new", "src/unscanned/", "tools/m5lint.allow", 4});
+
+    // Entry 1 is used (suppresses a real diag) and entry 2's prefix is
+    // not covered by the scan: neither goes stale.
+    const auto used = project({
+        {"src/os/legacy.cc", "auto *p = new Foo;\n"},
+    });
+    EXPECT_EQ(countRule(runProject(used, nullptr, cfg, true),
+                        "stale-suppression"), 0u);
+
+    // Entry 1 now suppresses nothing while its prefix IS scanned.
+    const auto unused = project({
+        {"src/os/legacy.cc", "int x = 1;\n"},
+    });
+    const auto d = runProject(unused, nullptr, cfg, true);
+    ASSERT_EQ(countRule(d, "stale-suppression"), 1u);
+    EXPECT_EQ(d[0].file, "tools/m5lint.allow");
+    EXPECT_EQ(d[0].line, 3);
+}
+
+TEST(LintStale, UnusedLayerExceptionFires)
+{
+    const auto model = project({
+        {"src/base/b.hh", "#pragma once\n"},
+        {"src/top/t.cc", "#include \"base/b.hh\"\n"},
+    });
+    auto lf = twoLayers();
+    lf.exceptions.push_back({"src/base", "src/top", 7});
+    const auto d = runProject(model, &lf, {}, /*stale=*/true);
+    ASSERT_EQ(countRule(d, "stale-suppression"), 1u);
+    EXPECT_EQ(d[0].file, "test.layers");
+    EXPECT_EQ(d[0].line, 7);
+}
+
+TEST(LintStale, StaleCheckCanBeDisabled)
+{
+    const auto model = project({
+        {"src/os/a.cc", "int x = 1; // m5lint: allow(no-wallclock)\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model, nullptr, {}, false),
+                        "stale-suppression"), 0u);
+}
+
+TEST(LintStale, AllowInsideStringLiteralIsDataNotSuppression)
+{
+    // The directive parser reads the comment channel only: a string
+    // mentioning allow(...) neither suppresses nor goes stale.
+    const auto model = project({
+        {"src/os/a.cc",
+         "void F::go(Vpn v, Tick t)\n"
+         "{\n"
+         "    log(\"// m5lint: allow(no-unchecked-migrate-result)\");\n"
+         "    engine_.promote(v, t);\n"
+         "}\n"},
+    });
+    const auto d = runProject(model, nullptr, {}, /*stale=*/true);
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 1u);
+    EXPECT_EQ(countRule(d, "stale-suppression"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// SARIF
+// ---------------------------------------------------------------------
+
+TEST(LintSarif, ReportIsWellFormed)
+{
+    const std::vector<Diag> diags = {
+        {"src/os/a.cc", 12, "layering", "bad edge"},
+        {"src/os/b.cc", 0, "dead-stat", "quote \" and\nnewline"},
+    };
+    const std::string s = m5lint::sarifReport(diags);
+
+    EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(s.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"m5lint\""), std::string::npos);
+    EXPECT_NE(s.find("\"ruleId\": \"layering\""), std::string::npos);
+    EXPECT_NE(s.find("\"startLine\": 12"), std::string::npos);
+    // line 0 diagnostics clamp to 1 (SARIF requires >= 1)
+    EXPECT_NE(s.find("\"startLine\": 1 "), std::string::npos);
+    // escaping: the quote and newline must not appear raw
+    EXPECT_NE(s.find("quote \\\" and\\nnewline"), std::string::npos);
+    // every catalogued rule is listed in the driver
+    for (const auto &r : m5lint::allRules())
+        EXPECT_NE(s.find("\"id\": \"" + r + "\""), std::string::npos) << r;
+    // balanced braces (cheap well-formedness proxy; strings are escaped
+    // so raw braces only come from structure)
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+    EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+              std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(LintSarif, EmptyRunStillListsRules)
+{
+    const std::string s = m5lint::sarifReport({});
+    EXPECT_NE(s.find("\"results\": [\n      ]"), std::string::npos);
+    EXPECT_NE(s.find("\"id\": \"no-wallclock\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Parallel lex determinism
+// ---------------------------------------------------------------------
+
+TEST_F(LintFilesTest, ProjectScanIsByteIdenticalAtAnyJobCount)
+{
+    write("src/mem/a.cc", "void *p = malloc(8);\n");
+    write("src/mem/b.cc", "int x = rand();\n");
+    write("src/mem/c.hh", "#pragma once\nstruct C { int y; };\n");
+    write("src/mem/d.cc", "#include \"c.hh\"\nlong t = time(nullptr);\n");
+    const auto files = m5lint::collectFiles({dir_.generic_string()});
+    ASSERT_EQ(files.size(), 4u);
+
+    ProjectOptions one, four;
+    one.jobs = 1;
+    four.jobs = 4;
+    const auto d1 = m5lint::lintProject(files, {}, nullptr, one);
+    const auto d4 = m5lint::lintProject(files, {}, nullptr, four);
+    ASSERT_EQ(d1.size(), d4.size());
+    for (std::size_t i = 0; i < d1.size(); ++i)
+        EXPECT_EQ(d1[i].str(), d4[i].str());
+    EXPECT_GE(d1.size(), 3u); // malloc, rand, time all caught
 }
 
 } // namespace

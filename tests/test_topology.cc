@@ -22,7 +22,7 @@
 #include "os/mglru.hh"
 #include "os/migration.hh"
 #include "os/page_table.hh"
-#include "sim/fault/fault.hh"
+#include "fault/fault.hh"
 #include "sim/fault/invariant.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"

@@ -97,7 +97,16 @@ stage_lint() {
         cmake -B "$BUILD" -S . &&
         cmake --build "$BUILD" -j "$JOBS" --target m5lint || return 1
     fi
-    "$BUILD/tools/m5lint" src bench tests tools examples
+    # Project-wide scan: per-file rules plus the module-DAG / taint /
+    # dead-stat / stale-suppression passes, SARIF for CI annotation.
+    # The stderr summary line carries the wall time; stale suppressions
+    # are ordinary diagnostics, so they fail the stage by themselves.
+    "$BUILD/tools/m5lint" --sarif "$BUILD/m5lint.sarif" \
+        src bench tests tools examples
+    rc=$?
+    [ -f "$BUILD/m5lint.sarif" ] &&
+        echo "lint: SARIF written to $BUILD/m5lint.sarif"
+    return $rc
 }
 
 stage_tidy() {

@@ -4,20 +4,26 @@
  *
  * Usage: m5lint [options] <dir-or-file>...
  *
- * Scans the given roots for C++ sources and reports repo-rule
- * violations as `file:line: rule-id: message`, one per line, exiting 1
- * when anything fires (2 on usage errors).  Run it from the repo root
- * so the directory-scoped rules (src/, bench/, ...) resolve:
+ * Scans the given roots for C++ sources, builds the project model
+ * (include graph, symbol index, call graph), runs the per-file and
+ * cross-file rules, and reports violations as
+ * `file:line: rule-id: message`, one per line, exiting 1 when anything
+ * fires (2 on usage errors).  Run it from the repo root so the
+ * directory-scoped rules and the layers spec resolve:
  *
  *     build/tools/m5lint src bench tests tools
  *
- * See docs/LINT.md for the rule catalogue and suppression syntax.
+ * See docs/LINT.md for the rule catalogue, the module DAG, and
+ * suppression syntax.
  */
 
 #include "m5lint.hh"
 
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +40,17 @@ usage(std::FILE *to)
                  "                           (default: tools/m5lint.allow"
                  " when present)\n"
                  "  --no-default-allowlist   skip the default allowlist\n"
+                 "  --layers FILE            module-DAG spec for the\n"
+                 "                           layering rule (default:\n"
+                 "                           tools/m5lint.layers when"
+                 " present)\n"
+                 "  --no-default-layers      skip the default layers spec\n"
+                 "  --sarif FILE             also write diagnostics as\n"
+                 "                           SARIF 2.1.0 to FILE\n"
+                 "  --jobs N                 lexing worker threads\n"
+                 "                           (default: one per hw thread)\n"
+                 "  --no-stale               skip the stale-suppression\n"
+                 "                           audit (use on partial scans)\n"
                  "  --list-rules             print rule ids and exit\n"
                  "  -h, --help               this message\n");
 }
@@ -44,8 +61,9 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> roots;
-    std::string allow_path;
-    bool use_default_allow = true;
+    std::string allow_path, layers_path, sarif_path;
+    bool use_default_allow = true, use_default_layers = true;
+    m5lint::ProjectOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -54,7 +72,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list-rules") {
             for (const auto &r : m5lint::allRules())
-                std::printf("%s\n", r.c_str());
+                std::printf("%-38s %s\n", r.c_str(),
+                            m5lint::ruleHelp(r).c_str());
             return 0;
         } else if (arg == "--allowlist") {
             if (i + 1 >= argc) {
@@ -64,6 +83,36 @@ main(int argc, char **argv)
             allow_path = argv[++i];
         } else if (arg == "--no-default-allowlist") {
             use_default_allow = false;
+        } else if (arg == "--layers") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "m5lint: --layers needs a file\n");
+                return 2;
+            }
+            layers_path = argv[++i];
+        } else if (arg == "--no-default-layers") {
+            use_default_layers = false;
+        } else if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "m5lint: --sarif needs a file\n");
+                return 2;
+            }
+            sarif_path = argv[++i];
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "m5lint: --jobs needs a count\n");
+                return 2;
+            }
+            const std::string v = argv[++i];
+            const auto end = v.data() + v.size();
+            const auto res = std::from_chars(v.data(), end, opts.jobs);
+            if (res.ec != std::errc{} || res.ptr != end)
+                opts.jobs = 0;
+            if (opts.jobs < 1) {
+                std::fprintf(stderr, "m5lint: --jobs must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--no-stale") {
+            opts.stale_check = false;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "m5lint: unknown option '%s'\n",
                          arg.c_str());
@@ -81,6 +130,9 @@ main(int argc, char **argv)
     if (allow_path.empty() && use_default_allow &&
         std::filesystem::exists("tools/m5lint.allow"))
         allow_path = "tools/m5lint.allow";
+    if (layers_path.empty() && use_default_layers &&
+        std::filesystem::exists("tools/m5lint.layers"))
+        layers_path = "tools/m5lint.layers";
 
     m5lint::Config cfg;
     if (!allow_path.empty()) {
@@ -92,23 +144,63 @@ main(int argc, char **argv)
             return 2;
     }
 
+    m5lint::LayersFile layers;
+    bool have_layers = false;
+    if (!layers_path.empty()) {
+        std::vector<std::string> errors;
+        layers = m5lint::loadLayersFile(layers_path, &errors);
+        for (const auto &e : errors)
+            std::fprintf(stderr, "m5lint: %s\n", e.c_str());
+        if (!errors.empty())
+            return 2;
+        have_layers = true;
+    }
+
     const std::vector<std::string> files = m5lint::collectFiles(roots);
     if (files.empty()) {
         std::fprintf(stderr, "m5lint: no lintable files under given roots\n");
         return 2;
     }
 
-    std::size_t n_diags = 0, n_files_bad = 0;
-    for (const auto &f : files) {
-        const auto diags = m5lint::lintFile(f, cfg);
-        if (!diags.empty())
-            ++n_files_bad;
-        for (const auto &d : diags) {
-            std::printf("%s\n", d.str().c_str());
-            ++n_diags;
-        }
+    // steady_clock: interval only, never a timestamp (no-wallclock
+    // allows it).
+    const auto t0 = std::chrono::steady_clock::now();
+    m5lint::ProjectModel model;
+    const auto diags = m5lint::lintProject(
+        files, cfg, have_layers ? &layers : nullptr, opts, &model);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    std::size_t n_stale = 0;
+    std::vector<std::string> bad_files;
+    for (const auto &d : diags) {
+        std::printf("%s\n", d.str().c_str());
+        if (d.rule == "stale-suppression")
+            ++n_stale;
+        if (bad_files.empty() || bad_files.back() != d.file)
+            bad_files.push_back(d.file);
     }
-    std::fprintf(stderr, "m5lint: %zu issue(s) in %zu of %zu file(s)\n",
-                 n_diags, n_files_bad, files.size());
-    return n_diags == 0 ? 0 : 1;
+
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "m5lint: cannot write SARIF to '%s'\n",
+                         sarif_path.c_str());
+            return 2;
+        }
+        out << m5lint::sarifReport(diags);
+    }
+
+    std::size_t n_edges = 0, n_funcs = 0;
+    for (const auto &fm : model.files) {
+        n_edges += fm.includes.size();
+        n_funcs += fm.functions.size();
+    }
+    std::fprintf(stderr,
+                 "m5lint: %zu issue(s) (%zu stale) in %zu of %zu file(s); "
+                 "%zu include edge(s), %zu function(s); %.0f ms\n",
+                 diags.size(), n_stale, bad_files.size(), files.size(),
+                 n_edges, n_funcs, ms);
+    return diags.empty() ? 0 : 1;
 }

@@ -12,20 +12,34 @@
  * violations of those rules and exits non-zero with
  * `file:line: rule-id: message` diagnostics.
  *
+ * Since v2 the linter is project-wide: a first pass builds a model of
+ * the whole tree (include graph, symbol index, approximate call graph
+ * — m5lint_model.hh), then cross-file rules run over it: module
+ * layering against the checked-in DAG (tools/m5lint.layers),
+ * transitive MigrateResult-discard taint, dead stats, and stale
+ * suppressions.  Diagnostics can also be emitted as SARIF 2.1.0 for
+ * CI code-scanning annotations.
+ *
  * Suppression:
  *  - per line:  `// m5lint: allow(rule-id)` (comma-separate several,
- *    `*` allows everything on the line);
+ *    `*` allows everything on the line); only recognized in comments;
  *  - per file:  an allowlist file (tools/m5lint.allow) with
  *    `rule-id path-prefix` entries.
+ * Suppressions that no longer suppress anything are themselves flagged
+ * (rule: stale-suppression).
  *
- * The engine lives in this header + m5lint_lib.cc so tests/test_lint.cc
- * can drive it over fixture files without spawning the binary.
+ * The engine lives in this header + m5lint_lib.cc (per-file rules),
+ * m5lint_model.cc (project model) and m5lint_project.cc (cross-file
+ * rules, SARIF) so tests/test_lint.cc can drive it over fixture files
+ * without spawning the binary.
  */
 
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "m5lint_model.hh"
 
 namespace m5lint {
 
@@ -46,6 +60,11 @@ struct AllowEntry
 {
     std::string rule;   //!< rule id or "*"
     std::string path;   //!< repo-relative path prefix, e.g. "src/sim/"
+
+    //! Where the entry was declared (allowlist file + line), when
+    //! loaded from disk; stale-suppression only audits located entries.
+    std::string from_file;
+    int from_line = 0;
 };
 
 /** Linter configuration (currently just the allowlist). */
@@ -56,6 +75,9 @@ struct Config
 
 /** Rule ids, in diagnostic order. */
 const std::vector<std::string> &allRules();
+
+/** One-line description of a rule id ("" for unknown ids). */
+const std::string &ruleHelp(const std::string &rule);
 
 /**
  * Parse an allowlist file (`# comments`, blank lines, and
@@ -68,7 +90,8 @@ Config loadAllowFile(const std::string &path,
 /**
  * Lint one translation unit given as text.  `path` determines which
  * rules apply (scoping is by directory, e.g. no-raw-output only fires
- * under src/) and appears verbatim in the diagnostics.
+ * under src/) and appears verbatim in the diagnostics.  Per-file rules
+ * only; the cross-file rules need lintProject().
  */
 std::vector<Diag> lintSource(const std::string &path,
                              const std::string &content,
@@ -84,5 +107,52 @@ std::vector<Diag> lintFile(const std::string &path,
  * sorted so diagnostics are emitted in a deterministic order.
  */
 std::vector<std::string> collectFiles(const std::vector<std::string> &roots);
+
+// ---------------------------------------------------------------------
+// Project-wide analysis.
+// ---------------------------------------------------------------------
+
+/** Options for lintProject(). */
+struct ProjectOptions
+{
+    //! Worker threads for the per-file lex (0 = hardware concurrency).
+    int jobs = 0;
+
+    //! Audit suppressions that suppressed nothing (stale-suppression).
+    //! Disable when linting a subset of the tree, where an allowlist
+    //! entry for an unscanned path would be reported stale.
+    bool stale_check = true;
+};
+
+/**
+ * Lint `files` (as produced by collectFiles) as one project: builds
+ * the ProjectModel, runs the per-file rules and the cross-file rules
+ * (layering when `layers` is non-null, transitive-unchecked-migrate-
+ * result, dead-stat, stale-suppression), applies suppression, and
+ * returns the surviving diagnostics sorted by (file, line, rule).
+ *
+ * When `model_out` is non-null the built model is moved there, so
+ * callers (CLI, tests) can report model statistics.
+ */
+std::vector<Diag> lintProject(const std::vector<std::string> &files,
+                              const Config &cfg,
+                              const LayersFile *layers,
+                              const ProjectOptions &opts = {},
+                              ProjectModel *model_out = nullptr);
+
+/** Like lintProject, but over pre-built models (exposed for tests so
+ *  fixtures can be in-memory via buildFileModel). */
+std::vector<Diag> lintProjectModel(const ProjectModel &model,
+                                   const Config &cfg,
+                                   const LayersFile *layers,
+                                   const ProjectOptions &opts = {});
+
+/**
+ * Render diagnostics as a SARIF 2.1.0 log (one run, driver "m5lint",
+ * every catalogued rule listed, one result per diagnostic with an
+ * artifact location + startLine region).  GitHub code scanning
+ * consumes this for PR annotations (docs/LINT.md).
+ */
+std::string sarifReport(const std::vector<Diag> &diags);
 
 } // namespace m5lint

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * m5lint internals shared between the per-file rule engine
+ * (m5lint_lib.cc) and the project-model layer (m5lint_model.cc,
+ * m5lint_project.cc): the comment/string stripper, token helpers, the
+ * statement-prefix walker, and the suppression-comment parser.
+ *
+ * Everything here is an implementation detail — the public surface is
+ * m5lint.hh + m5lint_model.hh.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace m5lint {
+namespace detail {
+
+/**
+ * One source line in three synchronized channels (same length, same
+ * column positions):
+ *  - raw:      the original text;
+ *  - stripped: comments and string/char-literal contents blanked, so
+ *              token rules never fire inside them;
+ *  - comment:  only comment text preserved (everything else blanked),
+ *              so suppression directives are recognized exclusively in
+ *              comments — an `allow(...)` inside a string literal is
+ *              data, not a suppression.
+ */
+struct Line
+{
+    std::string raw;
+    std::string stripped;
+    std::string comment;
+};
+
+/** Split `content` into lines and fill all three channels. */
+std::vector<Line> splitAndStrip(const std::string &content);
+
+bool isIdentChar(char c);
+
+/** True when path is `prefix` itself or lives under it. */
+bool pathHasPrefix(const std::string &path, const std::string &prefix);
+
+/** True when path is inside top-level directory `dir` (e.g. "src"). */
+bool inDir(const std::string &path, const std::string &dir);
+
+bool isHeaderPath(const std::string &path);
+
+/** All positions where `tok` occurs as a whole word. */
+std::vector<std::size_t> findTokens(const std::string &s,
+                                    const std::string &tok);
+
+/** True when the token at `pos` is reached via `.` or `->` (a member). */
+bool isMemberAccess(const std::string &s, std::size_t pos);
+
+/** True when the token ending at `end` is directly called: `tok (`. */
+bool followedByParen(const std::string &s, std::size_t end);
+
+/** Word-token call sites (`tok(`), skipping member calls `x.tok(`. */
+std::vector<std::size_t> findCalls(const std::string &s,
+                                   const std::string &tok);
+
+/** First word token at/after position `i` (skipping spaces/parens). */
+std::string wordAt(const std::string &s, std::size_t i);
+
+/** True when the stripped line is a preprocessor directive. */
+bool isPreprocessor(const std::string &stripped);
+
+/**
+ * The statement prefix of the token at (line `li`, column `pos`):
+ * text from the last `;`/`{`/`}` before the token up to the token,
+ * accumulated across up to four previous lines for continuations,
+ * with `->` normalized to `.` and leading whitespace trimmed.
+ */
+std::string statementPrefix(const std::vector<Line> &lines, std::size_t li,
+                            std::size_t pos);
+
+/** Classification of a statement prefix for discard analysis. */
+struct PrefixKind
+{
+    bool bare = false;        //!< only idents/scopes/member dots precede
+    bool void_cast = false;   //!< starts with (void) — deliberate discard
+    bool returned = false;    //!< return / co_return statement
+};
+PrefixKind classifyPrefix(const std::string &norm);
+
+/** Suppression rule ids named by `// m5lint: allow(a, b)` in a comment
+ *  channel line (raw ids, unvalidated; `*` allows everything). */
+std::vector<std::string> lineSuppressions(const std::string &comment);
+
+/** A counter-shaped member declaration: `std::uint64_t <name>_ = 0;`
+ *  with a stat-flavoured name (see docs/LINT.md, no-untracked-stat). */
+struct StatMember
+{
+    int line;          //!< 1-based declaration line
+    std::string name;  //!< member identifier, e.g. "hits_"
+};
+
+/** All counter-shaped members declared in `lines`. */
+std::vector<StatMember> statShapedMembers(const std::vector<Line> &lines);
+
+} // namespace detail
+
+struct Diag;
+
+namespace detail {
+
+/** Run every per-file rule over pre-lexed lines; no suppression applied
+ *  (the caller filters, so project mode can track which suppressions
+ *  actually fire — the stale-suppression rule needs that). */
+std::vector<Diag> rawLintSource(const std::string &path,
+                                const std::vector<Line> &lines);
+
+} // namespace detail
+} // namespace m5lint

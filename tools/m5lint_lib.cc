@@ -1,7 +1,9 @@
 /**
  * @file
- * m5lint engine: lexing (comment/string stripping), rule scoping,
- * per-line pattern rules, suppression, and file discovery.
+ * m5lint per-file engine: lexing (comment/string stripping), rule
+ * scoping, per-line pattern rules, suppression, and file discovery.
+ * The cross-file rules live in m5lint_project.cc, over the model built
+ * by m5lint_model.cc.
  *
  * The matcher is deliberately token-based rather than regex-based: the
  * linter scans its own source, and keeping every pattern as a plain
@@ -16,10 +18,13 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "m5lint_internal.hh"
+
 namespace m5lint {
-namespace {
+namespace detail {
 
 bool
 isIdentChar(char c)
@@ -27,7 +32,6 @@ isIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** True when path is `prefix` itself or lives under it. */
 bool
 pathHasPrefix(const std::string &path, const std::string &prefix)
 {
@@ -46,7 +50,6 @@ pathHasPrefix(const std::string &path, const std::string &prefix)
                       "/" + want) == 0);
 }
 
-/** True when path is inside top-level directory `dir` (e.g. "src"). */
 bool
 inDir(const std::string &path, const std::string &dir)
 {
@@ -69,20 +72,15 @@ isHeaderPath(const std::string &path)
 // line structure and column positions so diagnostics stay accurate.
 // ---------------------------------------------------------------------
 
+namespace {
 enum class LexState { Normal, LineComment, BlockComment, Str, Chr, RawStr };
-
-/** One source line with both the raw text and the code-only text. */
-struct Line
-{
-    std::string raw;       //!< original text (suppressions live here)
-    std::string stripped;  //!< comments and literal contents blanked
-};
+} // namespace
 
 std::vector<Line>
 splitAndStrip(const std::string &content)
 {
     std::vector<Line> lines;
-    std::string raw, stripped;
+    std::string raw, stripped, comment;
     LexState st = LexState::Normal;
     std::string raw_delim;        // delimiter of the raw string being skipped
     std::size_t block_start = 0;  // index of the '/' opening a /* comment
@@ -94,9 +92,10 @@ splitAndStrip(const std::string &content)
         if (c == '\n') {
             if (st == LexState::LineComment)
                 st = LexState::Normal;
-            lines.push_back({raw, stripped});
+            lines.push_back({raw, stripped, comment});
             raw.clear();
             stripped.clear();
+            comment.clear();
             continue;
         }
         raw.push_back(c);
@@ -105,10 +104,12 @@ splitAndStrip(const std::string &content)
             if (c == '/' && next == '/') {
                 st = LexState::LineComment;
                 stripped.push_back(' ');
+                comment.push_back(c);
             } else if (c == '/' && next == '*') {
                 st = LexState::BlockComment;
                 block_start = i;
                 stripped.push_back(' ');
+                comment.push_back(c);
             } else if (c == '"') {
                 // Raw string?  The opening quote follows R (possibly
                 // with a u8/u/U/L encoding prefix before the R).
@@ -133,6 +134,7 @@ splitAndStrip(const std::string &content)
                     st = LexState::Str;
                 }
                 stripped.push_back(' ');
+                comment.push_back(' ');
             } else if (c == '\'') {
                 // Distinguish '0' literals from 1'000'000 separators.
                 const char prev =
@@ -146,15 +148,19 @@ splitAndStrip(const std::string &content)
                     st = LexState::Chr;
                     stripped.push_back(' ');
                 }
+                comment.push_back(' ');
             } else {
                 stripped.push_back(c);
+                comment.push_back(' ');
             }
             break;
         case LexState::LineComment:
             stripped.push_back(' ');
+            comment.push_back(c);
             break;
         case LexState::BlockComment:
             stripped.push_back(' ');
+            comment.push_back(c);
             // The closing '*' must come after the opening "/*" pair
             // (so "/*/" stays open).
             if (c == '/' && i >= block_start + 3 && content[i - 1] == '*')
@@ -162,10 +168,12 @@ splitAndStrip(const std::string &content)
             break;
         case LexState::Str:
             stripped.push_back(' ');
+            comment.push_back(' ');
             if (c == '\\') {
                 if (next && next != '\n') {
                     raw.push_back(next);
                     stripped.push_back(' ');
+                    comment.push_back(' ');
                     ++i;
                 }
             } else if (c == '"') {
@@ -174,10 +182,12 @@ splitAndStrip(const std::string &content)
             break;
         case LexState::Chr:
             stripped.push_back(' ');
+            comment.push_back(' ');
             if (c == '\\') {
                 if (next && next != '\n') {
                     raw.push_back(next);
                     stripped.push_back(' ');
+                    comment.push_back(' ');
                     ++i;
                 }
             } else if (c == '\'') {
@@ -186,6 +196,7 @@ splitAndStrip(const std::string &content)
             break;
         case LexState::RawStr: {
             stripped.push_back(' ');
+            comment.push_back(' ');
             const std::string close = ")" + raw_delim + "\"";
             if (c == '"' && raw.size() >= close.size() &&
                 raw.compare(raw.size() - close.size(), close.size(),
@@ -196,7 +207,7 @@ splitAndStrip(const std::string &content)
         }
     }
     if (!raw.empty() || !stripped.empty())
-        lines.push_back({raw, stripped});
+        lines.push_back({raw, stripped, comment});
     return lines;
 }
 
@@ -204,7 +215,6 @@ splitAndStrip(const std::string &content)
 // Token helpers on stripped lines.
 // ---------------------------------------------------------------------
 
-/** All positions where `tok` occurs as a whole word. */
 std::vector<std::size_t>
 findTokens(const std::string &s, const std::string &tok)
 {
@@ -221,7 +231,6 @@ findTokens(const std::string &s, const std::string &tok)
     return out;
 }
 
-/** True when the token at `pos` is reached via `.` or `->` (a member). */
 bool
 isMemberAccess(const std::string &s, std::size_t pos)
 {
@@ -235,7 +244,6 @@ isMemberAccess(const std::string &s, std::size_t pos)
     return s[i - 1] == '>' && i >= 2 && s[i - 2] == '-';
 }
 
-/** True when the token ending at `end` is directly called: `tok (`. */
 bool
 followedByParen(const std::string &s, std::size_t end)
 {
@@ -245,7 +253,6 @@ followedByParen(const std::string &s, std::size_t end)
     return i < s.size() && s[i] == '(';
 }
 
-/** Word-token call sites (`tok(`), skipping member calls `x.tok(`. */
 std::vector<std::size_t>
 findCalls(const std::string &s, const std::string &tok)
 {
@@ -256,7 +263,6 @@ findCalls(const std::string &s, const std::string &tok)
     return out;
 }
 
-/** First word token after position `i` (skipping spaces). */
 std::string
 wordAt(const std::string &s, std::size_t i)
 {
@@ -279,25 +285,80 @@ isPreprocessor(const std::string &stripped)
     return false;
 }
 
+std::string
+statementPrefix(const std::vector<Line> &lines, std::size_t li,
+                std::size_t pos)
+{
+    std::string prefix;
+    std::size_t end = pos;
+    for (int back = 0; back < 4; ++back) {
+        const std::string &t = lines[li].stripped;
+        const std::size_t b = end == 0 ? std::string::npos
+                                       : t.find_last_of(";{}", end - 1);
+        if (b != std::string::npos) {
+            prefix = t.substr(b + 1, end - b - 1) + prefix;
+            break;
+        }
+        prefix = t.substr(0, end) + " " + prefix;
+        if (li == 0)
+            break;
+        --li;
+        end = lines[li].stripped.size();
+    }
+    // Normalize `->` to `.`, then trim leading whitespace.
+    std::string norm;
+    for (std::size_t j = 0; j < prefix.size(); ++j) {
+        if (prefix[j] == '-' && j + 1 < prefix.size() &&
+            prefix[j + 1] == '>') {
+            norm.push_back('.');
+            ++j;
+        } else {
+            norm.push_back(prefix[j]);
+        }
+    }
+    const std::size_t b = norm.find_first_not_of(" \t");
+    return b == std::string::npos ? "" : norm.substr(b);
+}
+
+PrefixKind
+classifyPrefix(const std::string &norm)
+{
+    PrefixKind k;
+    k.void_cast = norm.rfind("(void)", 0) == 0;
+    k.returned = !findTokens(norm, "return").empty() ||
+                 !findTokens(norm, "co_return").empty();
+    // Consumed if anything but a bare object expression (identifiers,
+    // scopes, member dots) precedes the call.
+    k.bare = true;
+    for (char c : norm) {
+        if (!(isIdentChar(c) || c == '.' || c == ':' || c == ' ' ||
+              c == '\t'))
+            k.bare = false;
+    }
+    return k;
+}
+
 // ---------------------------------------------------------------------
-// Suppression comments: `// m5lint: allow(rule-a, rule-b)` or `allow(*)`.
+// Suppression comments: `// m5lint: allow(rule-a, rule-b)` or
+// `allow(*)` — recognized only in the comment channel, so the
+// directive inside a string literal is data, not a suppression.
 // ---------------------------------------------------------------------
 
 std::vector<std::string>
-lineSuppressions(const std::string &raw)
+lineSuppressions(const std::string &comment)
 {
     std::vector<std::string> out;
-    std::size_t pos = raw.find("m5lint:");
+    std::size_t pos = comment.find("m5lint:");
     if (pos == std::string::npos)
         return out;
-    pos = raw.find("allow(", pos);
+    pos = comment.find("allow(", pos);
     if (pos == std::string::npos)
         return out;
     const std::size_t open = pos + 6;
-    const std::size_t close = raw.find(')', open);
+    const std::size_t close = comment.find(')', open);
     if (close == std::string::npos)
         return out;
-    std::string inside = raw.substr(open, close - open);
+    std::string inside = comment.substr(open, close - open);
     std::string cur;
     for (char c : inside + ",") {
         if (c == ',' || c == ' ') {
@@ -311,12 +372,73 @@ lineSuppressions(const std::string &raw)
     return out;
 }
 
+std::vector<StatMember>
+statShapedMembers(const std::vector<Line> &lines)
+{
+    // Heuristic: zero-initialized uint64_t members with stat-shaped
+    // names (`hits_ = 0;`) are almost always event tallies.
+    static const std::vector<std::string> statWords = {
+        "hits",     "misses",   "count",  "counts",   "total",
+        "accesses", "promoted", "demoted", "observed", "queries",
+        "samples",  "faults",   "spills", "scans",     "evictions",
+        "wakeups",  "drops",    "bytes",  "shootdowns"};
+    std::vector<StatMember> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        for (auto pos : findTokens(s, "uint64_t")) {
+            std::size_t j = pos + 8;
+            while (j < s.size() && (s[j] == ' ' || s[j] == '&'))
+                ++j;
+            std::size_t k = j;
+            while (k < s.size() && isIdentChar(s[k]))
+                ++k;
+            if (k == j)
+                continue;
+            const std::string name = s.substr(j, k - j);
+            std::size_t eq = k;
+            while (eq < s.size() && s[eq] == ' ')
+                ++eq;
+            const bool zero_init =
+                eq + 1 < s.size() && s[eq] == '=' &&
+                wordAt(s, eq + 1) == "0";
+            if (!zero_init)
+                continue;
+            bool statish = false;
+            for (const auto &w : statWords) {
+                if (!findTokens(name, w).empty() ||
+                    name.find(w) != std::string::npos)
+                    statish = true;
+            }
+            if (statish)
+                out.push_back({static_cast<int>(i + 1), name});
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+
+namespace {
+
+using detail::findCalls;
+using detail::findTokens;
+using detail::followedByParen;
+using detail::inDir;
+using detail::isHeaderPath;
+using detail::isIdentChar;
+using detail::isMemberAccess;
+using detail::isPreprocessor;
+using detail::Line;
+using detail::lineSuppressions;
+using detail::pathHasPrefix;
+using detail::wordAt;
+
 bool
 suppressed(const Diag &d, const std::vector<Line> &lines, const Config &cfg)
 {
     if (d.line >= 1 && d.line <= static_cast<int>(lines.size())) {
-        for (const auto &r :
-             lineSuppressions(lines[static_cast<std::size_t>(d.line - 1)].raw))
+        for (const auto &r : lineSuppressions(
+                 lines[static_cast<std::size_t>(d.line - 1)].comment))
             if (r == "*" || r == d.rule)
                 return true;
     }
@@ -708,7 +830,7 @@ untrackedStatRuleApplies(const std::string &path)
     if (!isHeaderPath(path))
         return false;
     for (const char *dir : {"src/mem", "src/cache", "src/cxl", "src/os",
-                            "src/m5", "src/sim"})
+                            "src/m5", "src/sim", "src/fault"})
         if (pathHasPrefix(path, dir))
             return true;
     return false;
@@ -723,56 +845,18 @@ checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
         return;
 
     // A header that exposes registerStats is assumed to register its
-    // tallies there; the telemetry smoke test catches stale wiring.
+    // tallies there; the cross-file dead-stat rule audits that claim.
     for (const auto &l : lines)
         if (!findTokens(l.stripped, "registerStats").empty())
             return;
 
-    // Heuristic: zero-initialized uint64_t members with stat-shaped
-    // names (`hits_ = 0;`) are almost always event tallies.  A header
-    // in an instrumented layer that declares one without offering
-    // registerStats is invisible to --telemetry.
-    const std::vector<std::string> statWords = {
-        "hits",     "misses",   "count",  "counts",   "total",
-        "accesses", "promoted", "demoted", "observed", "queries",
-        "samples",  "faults",   "spills", "scans",     "evictions",
-        "wakeups",  "drops",    "bytes",  "shootdowns"};
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        const std::string &s = lines[i].stripped;
-        for (auto pos : findTokens(s, "uint64_t")) {
-            std::size_t j = pos + 8;
-            while (j < s.size() && (s[j] == ' ' || s[j] == '&'))
-                ++j;
-            std::size_t k = j;
-            while (k < s.size() && isIdentChar(s[k]))
-                ++k;
-            if (k == j)
-                continue;
-            const std::string name = s.substr(j, k - j);
-            std::size_t eq = k;
-            while (eq < s.size() && s[eq] == ' ')
-                ++eq;
-            const bool zero_init =
-                eq + 1 < s.size() && s[eq] == '=' &&
-                wordAt(s, eq + 1) == "0";
-            if (!zero_init)
-                continue;
-            bool statish = false;
-            for (const auto &w : statWords) {
-                if (!findTokens(name, w).empty() ||
-                    name.find(w) != std::string::npos)
-                    statish = true;
-            }
-            if (!statish)
-                continue;
-            out.push_back(
-                {path, static_cast<int>(i + 1), rule,
-                 "counter-shaped member '" + name +
-                     "' in an instrumented layer but the header has no "
-                     "registerStats(); expose it to the StatRegistry or "
-                     "allowlist the file (docs/LINT.md)"});
-        }
-    }
+    for (const auto &m : detail::statShapedMembers(lines))
+        out.push_back(
+            {path, m.line, rule,
+             "counter-shaped member '" + m.name +
+                 "' in an instrumented layer but the header has no "
+                 "registerStats(); expose it to the StatRegistry or "
+                 "allowlist the file (docs/LINT.md)"});
 }
 
 /**
@@ -784,6 +868,8 @@ checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
  * `[[nodiscard]]` + -DM5_WERROR is the compile-time enforcement — this
  * is the greppable complement that also covers unbuilt configurations.
  * An explicit `(void)` cast marks a deliberate discard and passes.
+ * The cross-file twin (transitive-unchecked-migrate-result,
+ * m5lint_project.cc) chases the same defect through wrapper functions.
  */
 void
 checkUncheckedMigrateResult(const std::string &path,
@@ -801,54 +887,9 @@ checkUncheckedMigrateResult(const std::string &path,
                 if (!isMemberAccess(s, pos) ||
                     !followedByParen(s, pos + std::string(fn).size()))
                     continue;
-                // Statement prefix: text from the last ';'/'{'/'}'
-                // before the call to the call itself, accumulated
-                // across a few previous lines for continuations.
-                std::string prefix;
-                std::size_t li = i;
-                std::size_t end = pos;
-                for (int back = 0; back < 4; ++back) {
-                    const std::string &t = lines[li].stripped;
-                    const std::size_t b =
-                        end == 0 ? std::string::npos
-                                 : t.find_last_of(";{}", end - 1);
-                    if (b != std::string::npos) {
-                        prefix = t.substr(b + 1, end - b - 1) + prefix;
-                        break;
-                    }
-                    prefix = t.substr(0, end) + " " + prefix;
-                    if (li == 0)
-                        break;
-                    --li;
-                    end = lines[li].stripped.size();
-                }
-                // Normalize `->` to `.`, then trim.
-                std::string norm;
-                for (std::size_t j = 0; j < prefix.size(); ++j) {
-                    if (prefix[j] == '-' && j + 1 < prefix.size() &&
-                        prefix[j + 1] == '>') {
-                        norm.push_back('.');
-                        ++j;
-                    } else {
-                        norm.push_back(prefix[j]);
-                    }
-                }
-                const std::size_t b = norm.find_first_not_of(" \t");
-                norm = b == std::string::npos ? "" : norm.substr(b);
-                if (norm.rfind("(void)", 0) == 0)
-                    continue; // explicit deliberate discard
-                if (!findTokens(norm, "return").empty() ||
-                    !findTokens(norm, "co_return").empty())
-                    continue; // result returned to the caller
-                // Consumed if anything but a bare object expression
-                // (identifiers, scopes, member dots) precedes the call.
-                bool bare = true;
-                for (char c : norm) {
-                    if (!(isIdentChar(c) || c == '.' || c == ':' ||
-                          c == ' ' || c == '\t'))
-                        bare = false;
-                }
-                if (!bare)
+                const auto kind = detail::classifyPrefix(
+                    detail::statementPrefix(lines, i, pos));
+                if (kind.void_cast || kind.returned || !kind.bare)
                     continue;
                 out.push_back(
                     {path, static_cast<int>(i + 1), rule,
@@ -886,9 +927,78 @@ allRules()
         "header-hygiene",
         "no-untracked-stat",
         "no-unchecked-migrate-result",
+        "layering",
+        "transitive-unchecked-migrate-result",
+        "dead-stat",
+        "stale-suppression",
     };
     return rules;
 }
+
+const std::string &
+ruleHelp(const std::string &rule)
+{
+    static const std::map<std::string, std::string> help = {
+        {"no-wallclock",
+         "wall-clock read; results must not depend on real time"},
+        {"no-wallclock-trace",
+         "wall-clock value inside a TRACE_* argument list"},
+        {"no-unseeded-rng",
+         "non-deterministic randomness; use m5::Rng with an explicit seed"},
+        {"no-unordered-result-iteration",
+         "unordered-container iteration order reaching results"},
+        {"no-raw-parse",
+         "atof/strto* parsing; use m5::env*/m5::parse* instead"},
+        {"no-raw-output",
+         "stdout bypassing common/logging or analysis/report"},
+        {"no-naked-new",
+         "raw allocation in library code; use RAII"},
+        {"header-hygiene",
+         "missing #pragma once or namespace-scope using-directive"},
+        {"no-untracked-stat",
+         "counter-shaped member invisible to the StatRegistry"},
+        {"no-unchecked-migrate-result",
+         "MigrateResult/BatchResult/PromoteRound discarded at a call site"},
+        {"layering",
+         "include edge violating the module DAG in tools/m5lint.layers"},
+        {"transitive-unchecked-migrate-result",
+         "MigrateResult discarded through a wrapper (call-graph taint)"},
+        {"dead-stat",
+         "stat registered but never incremented, or declared but never "
+         "registered"},
+        {"stale-suppression",
+         "allow() comment, allowlist entry or layer exception that no "
+         "longer suppresses anything"},
+    };
+    static const std::string empty;
+    const auto it = help.find(rule);
+    return it == help.end() ? empty : it->second;
+}
+
+namespace detail {
+
+std::vector<Diag>
+rawLintSource(const std::string &path, const std::vector<Line> &lines)
+{
+    std::vector<Diag> diags;
+    checkWallclock(path, lines, diags);
+    checkWallclockTrace(path, lines, diags);
+    checkUnseededRng(path, lines, diags);
+    checkUnorderedIteration(path, lines, diags);
+    checkRawParse(path, lines, diags);
+    checkRawOutput(path, lines, diags);
+    checkNakedNew(path, lines, diags);
+    checkHeaderHygiene(path, lines, diags);
+    checkUntrackedStat(path, lines, diags);
+    checkUncheckedMigrateResult(path, lines, diags);
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diag &a, const Diag &b) {
+                         return a.line < b.line;
+                     });
+    return diags;
+}
+
+} // namespace detail
 
 Config
 loadAllowFile(const std::string &path, std::vector<std::string> *errors)
@@ -919,7 +1029,7 @@ loadAllowFile(const std::string &path, std::vector<std::string> *errors)
                                   ": bad allowlist entry '" + line + "'");
             continue;
         }
-        cfg.allow.push_back({rule, prefix});
+        cfg.allow.push_back({rule, prefix, path, ln});
     }
     return cfg;
 }
@@ -928,28 +1038,13 @@ std::vector<Diag>
 lintSource(const std::string &path, const std::string &content,
            const Config &cfg)
 {
-    const std::vector<Line> lines = splitAndStrip(content);
-    std::vector<Diag> diags;
-    checkWallclock(path, lines, diags);
-    checkWallclockTrace(path, lines, diags);
-    checkUnseededRng(path, lines, diags);
-    checkUnorderedIteration(path, lines, diags);
-    checkRawParse(path, lines, diags);
-    checkRawOutput(path, lines, diags);
-    checkNakedNew(path, lines, diags);
-    checkHeaderHygiene(path, lines, diags);
-    checkUntrackedStat(path, lines, diags);
-    checkUncheckedMigrateResult(path, lines, diags);
-
+    const std::vector<Line> lines = detail::splitAndStrip(content);
+    std::vector<Diag> diags = detail::rawLintSource(path, lines);
     diags.erase(std::remove_if(diags.begin(), diags.end(),
                                [&](const Diag &d) {
                                    return suppressed(d, lines, cfg);
                                }),
                 diags.end());
-    std::stable_sort(diags.begin(), diags.end(),
-                     [](const Diag &a, const Diag &b) {
-                         return a.line < b.line;
-                     });
     return diags;
 }
 

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * m5lint project-model construction: the layers-spec parser, include
+ * extraction, the function/declaration scanner, call-site extraction,
+ * and the parallel whole-project build.  See m5lint_model.hh for the
+ * contract; the rules that consume the model live in
+ * m5lint_project.cc.
+ */
+
+#include "m5lint_model.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "m5lint.hh"
+
+namespace m5lint {
+
+using detail::findTokens;
+using detail::followedByParen;
+using detail::isIdentChar;
+using detail::isMemberAccess;
+using detail::isPreprocessor;
+using detail::Line;
+using detail::lineSuppressions;
+using detail::pathHasPrefix;
+using detail::wordAt;
+
+// ---------------------------------------------------------------------
+// Layers spec.
+// ---------------------------------------------------------------------
+
+std::string
+LayersFile::layerOf(const std::string &file_path) const
+{
+    // Longest matching prefix wins, so "src/sim/fault" can be its own
+    // layer inside "src/sim" if a spec ever wants that.
+    std::string best_name;
+    std::size_t best_len = 0;
+    for (const auto &l : layers) {
+        if (pathHasPrefix(file_path, l.prefix) &&
+            l.prefix.size() >= best_len) {
+            best_len = l.prefix.size();
+            best_name = l.name;
+        }
+    }
+    return best_name;
+}
+
+bool
+LayersFile::allows(const std::string &from, const std::string &to) const
+{
+    if (from == to)
+        return true;
+    // BFS over the declared dep edges: allowed = reachable.
+    std::vector<std::string> queue = {from};
+    std::set<std::string> seen = {from};
+    while (!queue.empty()) {
+        const std::string cur = queue.back();
+        queue.pop_back();
+        for (const auto &l : layers) {
+            if (l.name != cur)
+                continue;
+            for (const auto &d : l.deps) {
+                if (d == "*" || d == to)
+                    return true;
+                if (seen.insert(d).second)
+                    queue.push_back(d);
+            }
+        }
+    }
+    return false;
+}
+
+LayersFile
+loadLayersFile(const std::string &path, std::vector<std::string> *errors)
+{
+    LayersFile lf;
+    lf.path = path;
+    std::ifstream in(path);
+    if (!in) {
+        if (errors)
+            errors->push_back("cannot open layers spec '" + path + "'");
+        return lf;
+    }
+    auto err = [&](int ln, const std::string &msg) {
+        if (errors)
+            errors->push_back(path + ":" + std::to_string(ln) + ": " + msg);
+    };
+
+    std::string line;
+    int ln = 0;
+    while (std::getline(in, line)) {
+        ++ln;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream is(line);
+        std::string kw;
+        if (!(is >> kw))
+            continue;
+        if (kw == "layer") {
+            LayerSpec spec;
+            spec.line = ln;
+            std::string tok;
+            if (!(is >> spec.name >> spec.prefix)) {
+                err(ln, "expected `layer NAME PATH-PREFIX [: DEP ...]`");
+                continue;
+            }
+            bool dup = false;
+            for (const auto &l : lf.layers)
+                if (l.name == spec.name)
+                    dup = true;
+            if (dup) {
+                err(ln, "duplicate layer name '" + spec.name + "'");
+                continue;
+            }
+            bool colon_seen = false, bad = false;
+            while (is >> tok) {
+                if (tok == ":") {
+                    if (colon_seen)
+                        bad = true;
+                    colon_seen = true;
+                } else if (colon_seen) {
+                    spec.deps.push_back(tok);
+                } else {
+                    bad = true;
+                }
+            }
+            if (bad) {
+                err(ln, "expected `layer NAME PATH-PREFIX [: DEP ...]`");
+                continue;
+            }
+            lf.layers.push_back(spec);
+        } else if (kw == "except") {
+            LayerException ex;
+            ex.line = ln;
+            std::string arrow;
+            if (!(is >> ex.src >> arrow >> ex.dst) || arrow != "->") {
+                err(ln, "expected `except SRC-PREFIX -> DST-PREFIX`");
+                continue;
+            }
+            lf.exceptions.push_back(ex);
+        } else {
+            err(ln, "unknown directive '" + kw + "'");
+        }
+    }
+
+    // Deps must name declared layers (or "*").
+    auto known = [&](const std::string &name) {
+        for (const auto &l : lf.layers)
+            if (l.name == name)
+                return true;
+        return false;
+    };
+    for (auto &l : lf.layers) {
+        auto &d = l.deps;
+        d.erase(std::remove_if(d.begin(), d.end(),
+                               [&](const std::string &dep) {
+                                   if (dep == "*" || known(dep))
+                                       return false;
+                                   err(l.line, "layer '" + l.name +
+                                                   "' depends on unknown "
+                                                   "layer '" +
+                                                   dep + "'");
+                                   return true;
+                               }),
+                d.end());
+    }
+
+    // The declared dep graph must itself be a DAG.
+    // Colors: 0 = white, 1 = gray (on stack), 2 = black.
+    std::map<std::string, int> color;
+    std::function<bool(const std::string &)> dfs =
+        [&](const std::string &name) -> bool {
+        color[name] = 1;
+        for (const auto &l : lf.layers) {
+            if (l.name != name)
+                continue;
+            for (const auto &d : l.deps) {
+                if (d == "*")
+                    continue;
+                if (color[d] == 1)
+                    return false;
+                if (color[d] == 0 && !dfs(d))
+                    return false;
+            }
+        }
+        color[name] = 2;
+        return true;
+    };
+    for (const auto &l : lf.layers) {
+        if (color[l.name] == 0 && !dfs(l.name)) {
+            err(l.line, "cycle in layer dependency graph involving '" +
+                            l.name + "'");
+            break;
+        }
+    }
+    return lf;
+}
+
+// ---------------------------------------------------------------------
+// Per-file extraction.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Parse `#include "target"` from a RAW line (the stripper blanks the
+ *  quoted path).  Angle-bracket includes are system headers — not
+ *  project edges — and are skipped. */
+bool
+parseQuotedInclude(const std::string &raw, std::string &target)
+{
+    std::size_t i = raw.find_first_not_of(" \t");
+    if (i == std::string::npos || raw[i] != '#')
+        return false;
+    ++i;
+    i = raw.find_first_not_of(" \t", i);
+    if (i == std::string::npos || raw.compare(i, 7, "include") != 0)
+        return false;
+    i = raw.find_first_not_of(" \t", i + 7);
+    if (i == std::string::npos || raw[i] != '"')
+        return false;
+    const std::size_t close = raw.find('"', i + 1);
+    if (close == std::string::npos)
+        return false;
+    target = raw.substr(i + 1, close - i - 1);
+    return !target.empty();
+}
+
+/** What kind of scope a `{` opened. */
+enum class ScopeKind { Namespace, Type, Function, Other };
+
+const char *kScanKeywords[] = {"if",     "for",    "while", "switch",
+                               "catch",  "return", "sizeof", "do",
+                               "else",   "new",    "delete", "throw"};
+
+bool
+isScanKeyword(const std::string &w)
+{
+    for (const char *k : kScanKeywords)
+        if (w == k)
+            return true;
+    return false;
+}
+
+/**
+ * Try to read a function-shaped `ret qualified::name(` out of an
+ * accumulated statement.  Returns false when the statement does not
+ * look like a function declaration/definition head.
+ */
+bool
+parseFunctionHead(const std::string &stmt, const std::vector<int> &stmt_lines,
+                  FunctionInfo &fn)
+{
+    const std::size_t paren = stmt.find('(');
+    if (paren == std::string::npos)
+        return false;
+    // Walk back over spaces, then over the qualified-name characters.
+    std::size_t e = paren;
+    while (e > 0 && stmt[e - 1] == ' ')
+        --e;
+    std::size_t b = e;
+    while (b > 0 && (isIdentChar(stmt[b - 1]) || stmt[b - 1] == ':'))
+        --b;
+    while (b < e && stmt[b] == ':')
+        ++b; // a stray leading "::"
+    if (b == e)
+        return false;
+    const std::string qualified = stmt.substr(b, e - b);
+    const std::size_t last_colon = qualified.rfind(':');
+    const std::string name = last_colon == std::string::npos
+                                 ? qualified
+                                 : qualified.substr(last_colon + 1);
+    if (name.empty() || isScanKeyword(name) ||
+        std::isdigit(static_cast<unsigned char>(name[0])))
+        return false;
+    // `operator` overloads and macros-in-caps are not useful call-graph
+    // nodes; skip names with no lowercase letter unless short.
+    if (qualified.find("operator") != std::string::npos)
+        return false;
+
+    std::string ret = stmt.substr(0, b);
+    // Access specifiers are not statement-terminated, so they bleed
+    // into the accumulated text: "public: MigrateResult" -> strip.
+    for (bool again = true; again;) {
+        again = false;
+        const std::size_t rb = ret.find_first_not_of(" \t");
+        ret = rb == std::string::npos ? "" : ret.substr(rb);
+        for (const char *spec : {"public:", "protected:", "private:"}) {
+            const std::string s(spec);
+            if (ret.rfind(s, 0) == 0 &&
+                (ret.size() == s.size() || ret[s.size()] != ':')) {
+                ret.erase(0, s.size());
+                again = true;
+            }
+        }
+    }
+    while (!ret.empty() && ret.back() == ' ')
+        ret.pop_back();
+
+    fn.name = name;
+    fn.qualified = qualified;
+    fn.ret = ret;
+    fn.line = b < stmt_lines.size() ? stmt_lines[b] : 0;
+    fn.nodiscard = !findTokens(ret, "nodiscard").empty();
+    return true;
+}
+
+/** Scan one body line for call-shaped tokens. */
+void
+collectCallsOnLine(const std::vector<Line> &lines, std::size_t li,
+                   std::vector<CallSite> &out)
+{
+    const std::string &s = lines[li].stripped;
+    if (isPreprocessor(s))
+        return;
+    for (std::size_t i = 0; i < s.size();) {
+        if (!isIdentChar(s[i]) || (i > 0 && isIdentChar(s[i - 1]))) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < s.size() && isIdentChar(s[j]))
+            ++j;
+        const std::string name = s.substr(i, j - i);
+        if (!isScanKeyword(name) &&
+            !std::isdigit(static_cast<unsigned char>(name[0])) &&
+            followedByParen(s, j)) {
+            CallSite cs;
+            cs.name = name;
+            cs.line = static_cast<int>(li + 1);
+            cs.member = isMemberAccess(s, i);
+            std::string prefix = detail::statementPrefix(lines, li, i);
+            const auto kind = detail::classifyPrefix(prefix);
+            cs.returned = kind.returned;
+            // A discarded call's prefix is empty or a member/namespace
+            // chain ("engine_.", "m5::").  A trailing identifier means
+            // a preceding word — a declaration (`MigrateResult doMove(`
+            // in a signature) or an initializer, not a bare discard.
+            while (!prefix.empty() && prefix.back() == ' ')
+                prefix.pop_back();
+            const bool chain_prefix =
+                prefix.empty() || prefix.back() == '.' ||
+                prefix.back() == ':';
+            cs.discarded = kind.bare && chain_prefix && !kind.void_cast &&
+                           !kind.returned;
+            out.push_back(cs);
+        }
+        i = j;
+    }
+}
+
+/**
+ * The brace-stack scanner: classify every `{` as namespace / type /
+ * function / other scope, record function definitions (with body
+ * ranges) and namespace/type-scope declarations.
+ */
+void
+scanFunctions(const std::vector<Line> &lines, std::vector<FunctionInfo> &out)
+{
+    std::vector<ScopeKind> scopes;
+    std::string stmt;            // statement accumulated since ;/{/}
+    std::vector<int> stmt_lines; // per-char 1-based source line
+    // Indices into `out` of open definitions, parallel to the subset of
+    // `scopes` that are Function.
+    std::vector<std::size_t> open_defs;
+
+    auto innermostCode = [&]() {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+            if (*it == ScopeKind::Function || *it == ScopeKind::Other)
+                return true;
+        return false;
+    };
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string &s = lines[li].stripped;
+        if (isPreprocessor(s))
+            continue;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const char c = s[i];
+            if (c == '{') {
+                ScopeKind kind = ScopeKind::Other;
+                if (!findTokens(stmt, "namespace").empty()) {
+                    kind = ScopeKind::Namespace;
+                } else if (!findTokens(stmt, "struct").empty() ||
+                           !findTokens(stmt, "class").empty() ||
+                           !findTokens(stmt, "enum").empty() ||
+                           !findTokens(stmt, "union").empty()) {
+                    kind = ScopeKind::Type;
+                } else if (!innermostCode() &&
+                           stmt.find('=') == std::string::npos) {
+                    FunctionInfo fn;
+                    if (parseFunctionHead(stmt, stmt_lines, fn)) {
+                        kind = ScopeKind::Function;
+                        fn.is_definition = true;
+                        fn.body_begin = static_cast<int>(li + 1);
+                        out.push_back(fn);
+                        open_defs.push_back(out.size() - 1);
+                    }
+                }
+                scopes.push_back(kind);
+                stmt.clear();
+                stmt_lines.clear();
+            } else if (c == '}') {
+                if (!scopes.empty()) {
+                    if (scopes.back() == ScopeKind::Function &&
+                        !open_defs.empty()) {
+                        out[open_defs.back()].body_end =
+                            static_cast<int>(li + 1);
+                        open_defs.pop_back();
+                    }
+                    scopes.pop_back();
+                }
+                stmt.clear();
+                stmt_lines.clear();
+            } else if (c == ';') {
+                // Declaration?  Only at namespace/type scope.
+                if (!innermostCode() &&
+                    stmt.find('=') == std::string::npos) {
+                    FunctionInfo fn;
+                    if (parseFunctionHead(stmt, stmt_lines, fn))
+                        out.push_back(fn);
+                }
+                stmt.clear();
+                stmt_lines.clear();
+            } else {
+                stmt.push_back(c);
+                stmt_lines.push_back(static_cast<int>(li + 1));
+            }
+        }
+        stmt.push_back(' ');
+        stmt_lines.push_back(static_cast<int>(li + 1));
+    }
+
+    // Body call sites for every definition.
+    for (auto &fn : out) {
+        if (!fn.is_definition || fn.body_end < fn.body_begin)
+            continue;
+        for (int ln = fn.body_begin; ln <= fn.body_end; ++ln)
+            collectCallsOnLine(lines, static_cast<std::size_t>(ln - 1),
+                               fn.calls);
+    }
+}
+
+} // namespace
+
+FileModel
+buildFileModel(const std::string &path, const std::string &content)
+{
+    FileModel fm;
+    fm.path = path;
+    fm.lines = detail::splitAndStrip(content);
+
+    for (std::size_t i = 0; i < fm.lines.size(); ++i) {
+        std::string target;
+        if (parseQuotedInclude(fm.lines[i].raw, target))
+            fm.includes.push_back({static_cast<int>(i + 1), target, ""});
+
+        const auto rules = lineSuppressions(fm.lines[i].comment);
+        if (!rules.empty()) {
+            // Keep only catalogued ids (or "*"): a doc comment that
+            // merely mentions `allow(rule-id)` is not a directive.
+            InlineAllow ia;
+            ia.line = static_cast<int>(i + 1);
+            const auto &all = allRules();
+            for (const auto &r : rules)
+                if (r == "*" ||
+                    std::find(all.begin(), all.end(), r) != all.end())
+                    ia.rules.push_back(r);
+            if (!ia.rules.empty())
+                fm.allows.push_back(ia);
+        }
+    }
+
+    scanFunctions(fm.lines, fm.functions);
+    fm.stat_members = detail::statShapedMembers(fm.lines);
+    return fm;
+}
+
+const FileModel *
+ProjectModel::find(const std::string &path) const
+{
+    const auto it = by_path.find(path);
+    return it == by_path.end() ? nullptr : &files[it->second];
+}
+
+void
+resolveIncludes(ProjectModel &model)
+{
+    namespace fs = std::filesystem;
+    auto normalize = [](const std::string &p) {
+        return fs::path(p).lexically_normal().generic_string();
+    };
+    for (auto &fm : model.files) {
+        const std::string dir = fs::path(fm.path).parent_path()
+                                    .generic_string();
+        for (auto &inc : fm.includes) {
+            const std::string cands[] = {
+                inc.target,
+                "src/" + inc.target,
+                dir.empty() ? inc.target : dir + "/" + inc.target,
+            };
+            for (const auto &c : cands) {
+                const std::string n = normalize(c);
+                if (model.by_path.count(n)) {
+                    inc.resolved = n;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+ProjectModel
+buildProjectModel(const std::vector<std::string> &files, int jobs)
+{
+    ProjectModel model;
+    model.files.resize(files.size());
+
+    unsigned n = jobs > 0 ? static_cast<unsigned>(jobs)
+                          : std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    const std::size_t cap = files.empty() ? 1 : files.size();
+    if (cap < n)
+        n = static_cast<unsigned>(cap);
+
+    // Worker pool: atomic work index, results slotted by file position,
+    // so the model is byte-identical at any worker count.
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= files.size())
+                return;
+            std::ifstream in(files[i], std::ios::binary);
+            if (!in) {
+                model.files[i].path = files[i];
+                model.files[i].io_error = true;
+                continue;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            model.files[i] = buildFileModel(files[i], ss.str());
+        }
+    };
+    if (n <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < model.files.size(); ++i)
+        model.by_path.emplace(model.files[i].path, i);
+    resolveIncludes(model);
+    return model;
+}
+
+} // namespace m5lint

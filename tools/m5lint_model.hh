@@ -1,0 +1,175 @@
+/**
+ * @file
+ * m5lint project model — the whole-program view the cross-file rules
+ * run over (docs/LINT.md):
+ *
+ *  - the include graph (quoted includes, resolved against the repo
+ *    layout, with the edge's source line for diagnostics);
+ *  - a declaration/symbol index: every function-shaped declaration or
+ *    definition with its return-type text, [[nodiscard]]-ness, and —
+ *    for definitions — its body range;
+ *  - an approximate call graph: call-shaped tokens inside each body,
+ *    annotated with member-access and discarded-result classification;
+ *  - stat-member and registerStats bookkeeping for the dead-stat rule;
+ *  - every inline `// m5lint: allow(...)` directive, for the
+ *    stale-suppression rule.
+ *
+ * The model is *approximate by design*: it is built from the same
+ * token stream the per-file rules lex, not from a real C++ frontend.
+ * Rules that consume it are written so a missed edge degrades to a
+ * missed finding, never a false build break.
+ *
+ * The layering DAG itself is data, checked in as tools/m5lint.layers
+ * (grammar below and in docs/LINT.md).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "m5lint_internal.hh"
+
+namespace m5lint {
+
+// ---------------------------------------------------------------------
+// Layers spec (tools/m5lint.layers).
+// ---------------------------------------------------------------------
+
+/** One `layer NAME PREFIX [: DEP ...]` line. */
+struct LayerSpec
+{
+    std::string name;               //!< layer id, e.g. "os"
+    std::string prefix;             //!< path prefix, e.g. "src/os"
+    std::vector<std::string> deps;  //!< allowed layers ("*" = any)
+    int line = 0;                   //!< declaration line in the spec
+};
+
+/** One `except SRC-PREFIX -> DST-PREFIX` line: a justified edge the
+ *  DAG would otherwise forbid.  Unused exceptions go stale
+ *  (stale-suppression). */
+struct LayerException
+{
+    std::string src;  //!< including-file path prefix
+    std::string dst;  //!< included-file path prefix
+    int line = 0;
+};
+
+/** Parsed tools/m5lint.layers. */
+struct LayersFile
+{
+    std::string path;  //!< spec path, for diagnostics
+    std::vector<LayerSpec> layers;
+    std::vector<LayerException> exceptions;
+
+    /** Layer name owning `path` (longest prefix match), or "". */
+    std::string layerOf(const std::string &file_path) const;
+
+    /** True when layer `from` may include layer `to` (reflexive,
+     *  transitively closed over deps; "*" allows everything). */
+    bool allows(const std::string &from, const std::string &to) const;
+};
+
+/**
+ * Parse a layers spec.  Grammar (# comments, blank lines allowed):
+ *
+ *     layer NAME PATH-PREFIX [: DEP ...]
+ *     except SRC-PREFIX -> DST-PREFIX
+ *
+ * Malformed lines, duplicate/unknown names, and cycles in the declared
+ * dep graph are reported via `errors`; the offending entries are
+ * dropped (a cyclic spec drops nothing but is reported — the caller
+ * should treat any error as fatal).
+ */
+LayersFile loadLayersFile(const std::string &path,
+                          std::vector<std::string> *errors = nullptr);
+
+// ---------------------------------------------------------------------
+// Per-file model.
+// ---------------------------------------------------------------------
+
+/** One resolved `#include "..."` edge. */
+struct IncludeEdge
+{
+    int line = 0;          //!< 1-based line of the directive
+    std::string target;    //!< path as written between the quotes
+    std::string resolved;  //!< repo-relative path, or "" when unknown
+};
+
+/** One call-shaped token inside a function body. */
+struct CallSite
+{
+    std::string name;      //!< callee base name
+    int line = 0;          //!< 1-based line
+    bool member = false;   //!< reached via `.` or `->`
+    bool discarded = false; //!< bare-statement call: result dropped
+    bool returned = false;  //!< `return callee(...)`
+};
+
+/** One function-shaped declaration or definition. */
+struct FunctionInfo
+{
+    std::string name;       //!< base name, e.g. "promote"
+    std::string qualified;  //!< as written, e.g. "MigrationEngine::promote"
+    std::string ret;        //!< return-type text preceding the name
+    int line = 0;           //!< declaration line (the name's line)
+    bool is_definition = false;
+    bool nodiscard = false; //!< [[nodiscard]] present on the declaration
+    int body_begin = 0;     //!< first body line (definitions only)
+    int body_end = 0;       //!< last body line (definitions only)
+    std::vector<CallSite> calls;  //!< body call sites (definitions only)
+};
+
+/** One inline `// m5lint: allow(...)` directive. */
+struct InlineAllow
+{
+    int line = 0;
+    std::vector<std::string> rules;  //!< validated ids (or "*") only
+};
+
+/** Everything the project rules need to know about one file. */
+struct FileModel
+{
+    std::string path;
+    std::vector<detail::Line> lines;
+    std::vector<IncludeEdge> includes;
+    std::vector<FunctionInfo> functions;
+    std::vector<detail::StatMember> stat_members;
+    std::vector<InlineAllow> allows;
+    bool io_error = false;  //!< file could not be read
+};
+
+/** The whole-project model. */
+struct ProjectModel
+{
+    std::vector<FileModel> files;  //!< same order as the input list
+    std::map<std::string, std::size_t> by_path;  //!< path -> files index
+
+    const FileModel *find(const std::string &path) const;
+};
+
+/**
+ * Build the model for `files` (paths as produced by collectFiles).
+ * The per-file lex runs on a worker pool of `jobs` threads (0 = one
+ * per hardware thread); results are indexed by file, so the model is
+ * byte-identical at any worker count.
+ */
+ProjectModel buildProjectModel(const std::vector<std::string> &files,
+                               int jobs = 0);
+
+/** Model extraction for one in-memory file (exposed for tests). */
+FileModel buildFileModel(const std::string &path,
+                         const std::string &content);
+
+/**
+ * Fill every IncludeEdge::resolved against the model's own file set
+ * (candidates, in order: the target verbatim, "src/" + target, and
+ * the including file's directory + target).  buildProjectModel calls
+ * this; tests assembling a ProjectModel from buildFileModel results
+ * must call it themselves before lintProjectModel.
+ */
+void resolveIncludes(ProjectModel &model);
+
+} // namespace m5lint

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * m5lint cross-file rules, run over the ProjectModel
+ * (m5lint_model.cc):
+ *
+ *  - layering: quoted-include edges checked against the module DAG in
+ *    tools/m5lint.layers, plus include-cycle detection;
+ *  - transitive-unchecked-migrate-result: call-graph taint — a
+ *    discarded call to anything that (transitively) returns a
+ *    MigrateResult/BatchResult/PromoteRound, and wrapped seed return
+ *    types missing [[nodiscard]];
+ *  - dead-stat: stats registered in registerStats() but never
+ *    incremented, and counter-shaped members never registered;
+ *  - stale-suppression: allow() comments, allowlist entries and layer
+ *    exceptions that no longer suppress anything.
+ *
+ * Plus the SARIF 2.1.0 renderer for CI code-scanning annotations.
+ */
+
+#include "m5lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "m5lint_internal.hh"
+
+namespace m5lint {
+
+namespace {
+
+using detail::findTokens;
+using detail::isHeaderPath;
+using detail::isIdentChar;
+using detail::isPreprocessor;
+using detail::pathHasPrefix;
+
+std::string
+dirOf(const std::string &path)
+{
+    return std::filesystem::path(path).parent_path().generic_string();
+}
+
+// ---------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------
+
+void
+checkLayering(const ProjectModel &model, const LayersFile &layers,
+              std::vector<bool> &exception_used, std::vector<Diag> &out)
+{
+    for (const auto &fm : model.files) {
+        const std::string from_layer = layers.layerOf(fm.path);
+        if (from_layer.empty())
+            continue; // unowned files are unconstrained
+        for (const auto &inc : fm.includes) {
+            if (inc.resolved.empty())
+                continue; // not a project file (or unresolvable)
+            const std::string to_layer = layers.layerOf(inc.resolved);
+            if (to_layer.empty() ||
+                layers.allows(from_layer, to_layer))
+                continue;
+            bool excepted = false;
+            for (std::size_t e = 0; e < layers.exceptions.size(); ++e) {
+                const auto &ex = layers.exceptions[e];
+                if (pathHasPrefix(fm.path, ex.src) &&
+                    pathHasPrefix(inc.resolved, ex.dst)) {
+                    exception_used[e] = true;
+                    excepted = true;
+                    break;
+                }
+            }
+            if (excepted)
+                continue;
+            out.push_back(
+                {fm.path, inc.line, "layering",
+                 "include of '" + inc.target + "' crosses the module "
+                 "DAG: layer '" + from_layer + "' may not depend on '" +
+                 to_layer + "' (" + layers.path + "; add the edge or an "
+                 "`except` with justification)"});
+        }
+    }
+
+    // Include cycles are layering defects even inside one layer.
+    // Iterative DFS, white(0)/gray(1)/black(2), canonicalized by
+    // rotating each cycle to start at its smallest path.
+    std::map<std::string, int> color;
+    std::set<std::string> reported;
+    for (const auto &root : model.files) {
+        if (color[root.path])
+            continue;
+        std::vector<std::string> stack = {root.path};
+        std::vector<std::string> path_stack;
+        while (!stack.empty()) {
+            const std::string cur = stack.back();
+            if (color[cur] == 0) {
+                color[cur] = 1;
+                path_stack.push_back(cur);
+                const FileModel *fm = model.find(cur);
+                if (fm) {
+                    for (auto it = fm->includes.rbegin();
+                         it != fm->includes.rend(); ++it) {
+                        const std::string &nxt = it->resolved;
+                        if (nxt.empty())
+                            continue;
+                        if (color[nxt] == 1) {
+                            // Found a back edge: extract the cycle.
+                            auto b = std::find(path_stack.begin(),
+                                               path_stack.end(), nxt);
+                            std::vector<std::string> cyc(b,
+                                                         path_stack.end());
+                            auto small = std::min_element(cyc.begin(),
+                                                          cyc.end());
+                            std::rotate(cyc.begin(), small, cyc.end());
+                            std::string key;
+                            for (const auto &p : cyc)
+                                key += p + " -> ";
+                            if (reported.insert(key).second) {
+                                const FileModel *head =
+                                    model.find(cyc.front());
+                                int line = 1;
+                                if (head)
+                                    for (const auto &i2 : head->includes)
+                                        if (i2.resolved ==
+                                            cyc[1 % cyc.size()])
+                                            line = i2.line;
+                                out.push_back(
+                                    {cyc.front(), line, "layering",
+                                     "include cycle: " + key +
+                                         cyc.front()});
+                            }
+                        } else if (color[nxt] == 0) {
+                            stack.push_back(nxt);
+                        }
+                    }
+                }
+            } else {
+                if (color[cur] == 1 && !path_stack.empty() &&
+                    path_stack.back() == cur) {
+                    color[cur] = 2;
+                    path_stack.pop_back();
+                }
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// transitive-unchecked-migrate-result
+// ---------------------------------------------------------------------
+
+const char *kSeedTypes[] = {"MigrateResult", "BatchResult", "PromoteRound"};
+
+// Method names so common (std::move!) that only member calls count.
+const char *kAmbiguous[] = {"promote", "promoteBatch", "move", "exchange",
+                            "demote"};
+
+bool
+isAmbiguousName(const std::string &name)
+{
+    for (const char *a : kAmbiguous)
+        if (name == a)
+            return true;
+    return false;
+}
+
+bool
+retHasSeed(const std::string &ret, std::string *which = nullptr)
+{
+    for (const char *t : kSeedTypes) {
+        if (!findTokens(ret, t).empty()) {
+            if (which)
+                *which = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+checkTransitiveMigrate(const ProjectModel &model, std::vector<Diag> &out)
+{
+    const std::string rule = "transitive-unchecked-migrate-result";
+
+    // Seeds: every function whose declared return type carries a
+    // result type.  chain[name] records how the taint was established,
+    // for the diagnostic.
+    std::map<std::string, std::vector<std::string>> chain;
+    for (const auto &fm : model.files)
+        for (const auto &fn : fm.functions)
+            if (retHasSeed(fn.ret) && !chain.count(fn.name))
+                chain[fn.name] = {fn.name};
+
+    // Wrapped seed returns (std::optional<MigrateResult> etc.) lose the
+    // result type's own [[nodiscard]]; the declaration must restore it.
+    // [[nodiscard]] on any declaration covers the out-of-line
+    // definition, so a name marked anywhere is satisfied everywhere.
+    // Dedupe per qualified name, preferring the header declaration.
+    std::set<std::string> nodiscard_names;
+    for (const auto &fm : model.files)
+        for (const auto &fn : fm.functions)
+            if (fn.nodiscard)
+                nodiscard_names.insert(fn.name);
+    std::map<std::string, Diag> nodiscard_gap;
+    for (const auto &fm : model.files) {
+        for (const auto &fn : fm.functions) {
+            std::string seed;
+            if (!retHasSeed(fn.ret, &seed) || fn.nodiscard ||
+                nodiscard_names.count(fn.name))
+                continue;
+            const std::size_t sp = fn.ret.find(seed);
+            const std::size_t lt = fn.ret.find('<');
+            if (lt == std::string::npos || lt > sp)
+                continue; // bare seed type: [[nodiscard]] on the struct
+            Diag d{fm.path, fn.line, rule,
+                   fn.qualified + "() returns " + seed + " wrapped in a "
+                   "template; the wrapper is not [[nodiscard]], so "
+                   "callers can silently drop the migration outcome — "
+                   "mark the declaration [[nodiscard]]"};
+            auto it = nodiscard_gap.find(fn.qualified);
+            if (it == nodiscard_gap.end() ||
+                (isHeaderPath(fm.path) && !isHeaderPath(it->second.file)))
+                nodiscard_gap[fn.qualified] = d;
+        }
+    }
+    for (const auto &kv : nodiscard_gap)
+        out.push_back(kv.second);
+
+    auto isSeedCall = [&](const CallSite &cs) {
+        if (isAmbiguousName(cs.name))
+            return cs.member; // engine.move(...) yes, std::move(...) no
+        return chain.count(cs.name) != 0;
+    };
+
+    // Fixpoint: `auto wrap() { return doMove(); }` — returning a
+    // tainted call's result makes the wrapper a seed too, so discards
+    // of the wrapper are flagged with the full chain.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (const auto &fm : model.files) {
+            for (const auto &fn : fm.functions) {
+                if (!fn.is_definition || chain.count(fn.name))
+                    continue;
+                for (const auto &cs : fn.calls) {
+                    if (!cs.returned || !isSeedCall(cs))
+                        continue;
+                    std::vector<std::string> c = {fn.name};
+                    const auto it = chain.find(cs.name);
+                    if (it != chain.end())
+                        c.insert(c.end(), it->second.begin(),
+                                 it->second.end());
+                    else
+                        c.push_back(cs.name);
+                    chain[fn.name] = c;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Swallow points: a discarded call to anything tainted.  Member
+    // calls on the ambiguous five are already the per-file
+    // no-unchecked-migrate-result rule's territory — don't double-flag.
+    for (const auto &fm : model.files) {
+        for (const auto &fn : fm.functions) {
+            if (!fn.is_definition)
+                continue;
+            for (const auto &cs : fn.calls) {
+                if (!cs.discarded || !isSeedCall(cs))
+                    continue;
+                if (isAmbiguousName(cs.name) && cs.member)
+                    continue;
+                std::string via;
+                const auto it = chain.find(cs.name);
+                if (it != chain.end() && it->second.size() > 1) {
+                    via = " (taint chain: ";
+                    for (std::size_t i = 0; i < it->second.size(); ++i)
+                        via += (i ? " -> " : "") + it->second[i];
+                    via += ")";
+                }
+                out.push_back(
+                    {fm.path, cs.line, rule,
+                     fn.qualified + "() discards the result of " +
+                         cs.name + "(), which carries a migration "
+                         "outcome" + via + "; check it or cast to "
+                         "(void) deliberately"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// dead-stat
+// ---------------------------------------------------------------------
+
+/** Instrumented layers (keep in sync with no-untracked-stat). */
+bool
+instrumentedLayer(const std::string &path)
+{
+    for (const char *dir : {"src/mem", "src/cache", "src/cxl", "src/os",
+                            "src/m5", "src/sim", "src/fault"})
+        if (pathHasPrefix(path, dir))
+            return true;
+    return false;
+}
+
+struct Registration
+{
+    std::string name;  //!< registered member identifier
+    int line = 0;      //!< line of the `&member` argument
+};
+
+/** registerStats() definitions in a file: `&ident` registrations plus
+ *  the set of every identifier its bodies mention (gauge lambdas pull
+ *  counters in without taking their address). */
+void
+registerStatsInfo(const FileModel &fm, std::vector<Registration> &regs,
+                  std::set<std::string> &exposed,
+                  std::vector<std::pair<int, int>> &bodies)
+{
+    for (const auto &fn : fm.functions) {
+        if (fn.name != "registerStats" || !fn.is_definition ||
+            fn.body_end < fn.body_begin)
+            continue;
+        bodies.emplace_back(fn.body_begin, fn.body_end);
+        for (int ln = fn.body_begin; ln <= fn.body_end; ++ln) {
+            const std::string &s =
+                fm.lines[static_cast<std::size_t>(ln - 1)].stripped;
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                if (!isIdentChar(s[i]) ||
+                    (i > 0 && isIdentChar(s[i - 1])))
+                    continue;
+                std::size_t j = i;
+                while (j < s.size() && isIdentChar(s[j]))
+                    ++j;
+                const std::string ident = s.substr(i, j - i);
+                exposed.insert(ident);
+                // Registration: `&ident` (not `&&`).
+                std::size_t k = i;
+                while (k > 0 && s[k - 1] == ' ')
+                    --k;
+                if (k > 0 && s[k - 1] == '&' &&
+                    !(k > 1 && s[k - 2] == '&'))
+                    regs.push_back({ident, ln});
+                i = j;
+            }
+        }
+    }
+}
+
+/** Any statement in `fm` (outside the given registerStats bodies) that
+ *  plausibly mutates `name`: ++/--, compound assign, plain assign,
+ *  address-taken, or .add()/.observe()/.record() member growth. */
+bool
+mutatesIdent(const FileModel &fm, const std::string &name,
+             const std::vector<std::pair<int, int>> &skip_bodies)
+{
+    auto inSkip = [&](int ln) {
+        for (const auto &b : skip_bodies)
+            if (ln >= b.first && ln <= b.second)
+                return true;
+        return false;
+    };
+    for (std::size_t li = 0; li < fm.lines.size(); ++li) {
+        const std::string &s = fm.lines[li].stripped;
+        for (auto pos : findTokens(s, name)) {
+            const int ln = static_cast<int>(li + 1);
+            // Chars around the token, skipping spaces.
+            std::size_t b = pos;
+            while (b > 0 && s[b - 1] == ' ')
+                --b;
+            std::size_t a = pos + name.size();
+            while (a < s.size() && s[a] == ' ')
+                ++a;
+            // Step over a subscript: `cycles_[i] += c` mutates too.
+            if (a < s.size() && s[a] == '[') {
+                int depth = 0;
+                while (a < s.size()) {
+                    if (s[a] == '[')
+                        ++depth;
+                    else if (s[a] == ']' && --depth == 0) {
+                        ++a;
+                        break;
+                    }
+                    ++a;
+                }
+                while (a < s.size() && s[a] == ' ')
+                    ++a;
+            }
+            // ++x / --x
+            if (b >= 2 && ((s[b - 1] == '+' && s[b - 2] == '+') ||
+                           (s[b - 1] == '-' && s[b - 2] == '-')))
+                return true;
+            // x++ / x--
+            if (a + 1 < s.size() && ((s[a] == '+' && s[a + 1] == '+') ||
+                                     (s[a] == '-' && s[a + 1] == '-')))
+                return true;
+            // x +=, -=, |=, &=, ^=
+            if (a + 1 < s.size() && s[a + 1] == '=' &&
+                (s[a] == '+' || s[a] == '-' || s[a] == '|' ||
+                 s[a] == '&' || s[a] == '^'))
+                return true;
+            // Plain assignment `x = ...` — but not `==`, and not the
+            // declaration itself (`uint64_t x = 0`: a type token sits
+            // right before the name).
+            if (a < s.size() && s[a] == '=' &&
+                !(a + 1 < s.size() && s[a + 1] == '=') &&
+                !(b > 0 && isIdentChar(s[b - 1])))
+                return true;
+            // Address escapes outside registerStats (someone else
+            // updates it through a pointer).
+            if (b > 0 && s[b - 1] == '&' &&
+                !(b > 1 && s[b - 2] == '&') && !inSkip(ln))
+                return true;
+            // Histogram-style growth: x.add(...), x->observe(...)
+            if (a < s.size() && (s[a] == '.' ||
+                                 (s[a] == '-' && a + 1 < s.size() &&
+                                  s[a + 1] == '>'))) {
+                const std::string rest = s.substr(a);
+                for (const char *m : {"add", "observe", "record", "sample"}) {
+                    const std::string dot = "." + std::string(m) + "(";
+                    const std::string arr = "->" + std::string(m) + "(";
+                    if (rest.rfind(dot, 0) == 0 || rest.rfind(arr, 0) == 0)
+                        return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+void
+checkDeadStat(const ProjectModel &model, std::vector<Diag> &out)
+{
+    const std::string rule = "dead-stat";
+
+    // Group files by directory: a stat registered in a header counts as
+    // live when anything in the same directory mutates it (the class
+    // impl lives next to its header; name-matching across the whole
+    // tree would alias unrelated `hits_` members).
+    std::map<std::string, std::vector<const FileModel *>> by_dir;
+    for (const auto &fm : model.files)
+        by_dir[dirOf(fm.path)].push_back(&fm);
+
+    for (const auto &fm : model.files) {
+        if (!instrumentedLayer(fm.path))
+            continue;
+        std::vector<Registration> regs;
+        std::set<std::string> exposed;
+        std::vector<std::pair<int, int>> bodies;
+        registerStatsInfo(fm, regs, exposed, bodies);
+
+        const auto &neighbors = by_dir[dirOf(fm.path)];
+
+        // Direction 1: registered but never incremented.
+        std::set<std::string> seen;
+        for (const auto &r : regs) {
+            if (!seen.insert(r.name).second)
+                continue;
+            bool live = false;
+            for (const FileModel *nb : neighbors) {
+                const auto skip = nb == &fm
+                                      ? bodies
+                                      : std::vector<std::pair<int, int>>{};
+                if (mutatesIdent(*nb, r.name, skip)) {
+                    live = true;
+                    break;
+                }
+            }
+            if (!live)
+                out.push_back(
+                    {fm.path, r.line, rule,
+                     "stat '" + r.name + "' is registered here but "
+                     "nothing in " + dirOf(fm.path) + "/ ever updates "
+                     "it; it will report 0 forever — wire it up or "
+                     "delete the registration"});
+        }
+
+        // Direction 2: counter-shaped member in a header that has
+        // registerStats(), but the member never appears in any
+        // registerStats body.  (Headers with no registerStats at all
+        // are the per-file no-untracked-stat rule's case.)
+        if (isHeaderPath(fm.path) && !bodies.empty()) {
+            for (const auto &m : fm.stat_members) {
+                if (exposed.count(m.name))
+                    continue;
+                out.push_back(
+                    {fm.path, m.line, rule,
+                     "counter-shaped member '" + m.name + "' is never "
+                     "registered in this header's registerStats(); the "
+                     "StatRegistry cannot see it — register it or "
+                     "allowlist the file (docs/LINT.md)"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suppression accounting + stale-suppression.
+// ---------------------------------------------------------------------
+
+struct SuppressionLedger
+{
+    //! (file index, allows index) of inline directives that suppressed.
+    std::set<std::pair<std::size_t, std::size_t>> inline_used;
+    std::vector<bool> allow_used;      //!< parallel to cfg.allow
+    std::vector<bool> exception_used;  //!< parallel to layers->exceptions
+};
+
+/** True (and records usage) when `d` is suppressed by an inline
+ *  directive or an allowlist entry. */
+bool
+suppressedTracked(const Diag &d, const ProjectModel &model,
+                  const Config &cfg, SuppressionLedger &ledger)
+{
+    const auto it = model.by_path.find(d.file);
+    if (it != model.by_path.end()) {
+        const FileModel &fm = model.files[it->second];
+        for (std::size_t ai = 0; ai < fm.allows.size(); ++ai) {
+            const InlineAllow &ia = fm.allows[ai];
+            if (ia.line != d.line)
+                continue;
+            for (const auto &r : ia.rules) {
+                if (r == "*" || r == d.rule) {
+                    ledger.inline_used.insert({it->second, ai});
+                    return true;
+                }
+            }
+        }
+    }
+    for (std::size_t ei = 0; ei < cfg.allow.size(); ++ei) {
+        const AllowEntry &e = cfg.allow[ei];
+        if ((e.rule == "*" || e.rule == d.rule) &&
+            pathHasPrefix(d.file, e.path)) {
+            ledger.allow_used[ei] = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Diag>
+lintProjectModel(const ProjectModel &model, const Config &cfg,
+                 const LayersFile *layers, const ProjectOptions &opts)
+{
+    SuppressionLedger ledger;
+    ledger.allow_used.assign(cfg.allow.size(), false);
+    ledger.exception_used.assign(
+        layers ? layers->exceptions.size() : 0, false);
+
+    std::vector<Diag> raw;
+    for (const auto &fm : model.files) {
+        if (fm.io_error) {
+            raw.push_back({fm.path, 0, "io-error", "cannot read file"});
+            continue;
+        }
+        auto d = detail::rawLintSource(fm.path, fm.lines);
+        raw.insert(raw.end(), d.begin(), d.end());
+    }
+
+    if (layers)
+        checkLayering(model, *layers, ledger.exception_used, raw);
+    checkTransitiveMigrate(model, raw);
+    checkDeadStat(model, raw);
+
+    std::vector<Diag> out;
+    for (const auto &d : raw)
+        if (!suppressedTracked(d, model, cfg, ledger))
+            out.push_back(d);
+
+    if (opts.stale_check) {
+        std::vector<Diag> stale;
+        for (std::size_t fi = 0; fi < model.files.size(); ++fi) {
+            const FileModel &fm = model.files[fi];
+            for (std::size_t ai = 0; ai < fm.allows.size(); ++ai) {
+                if (ledger.inline_used.count({fi, ai}))
+                    continue;
+                const InlineAllow &ia = fm.allows[ai];
+                std::string rules;
+                for (std::size_t r = 0; r < ia.rules.size(); ++r)
+                    rules += (r ? ", " : "") + ia.rules[r];
+                stale.push_back(
+                    {fm.path, ia.line, "stale-suppression",
+                     "allow(" + rules + ") suppresses nothing on this "
+                     "line any more; delete the comment"});
+            }
+        }
+        for (std::size_t ei = 0; ei < cfg.allow.size(); ++ei) {
+            if (ledger.allow_used[ei])
+                continue;
+            const AllowEntry &e = cfg.allow[ei];
+            if (e.from_line == 0)
+                continue; // synthesized in-memory, not auditable
+            // Only audit entries whose prefix is actually covered by
+            // this scan; a partial scan must not flag entries for the
+            // unscanned rest of the tree.
+            bool covered = false;
+            for (const auto &fm : model.files)
+                if (pathHasPrefix(fm.path, e.path))
+                    covered = true;
+            if (!covered)
+                continue;
+            stale.push_back(
+                {e.from_file, e.from_line, "stale-suppression",
+                 "allowlist entry `" + e.rule + " " + e.path + "` "
+                 "suppresses nothing any more; delete it"});
+        }
+        if (layers) {
+            for (std::size_t ei = 0; ei < layers->exceptions.size();
+                 ++ei) {
+                if (ledger.exception_used[ei])
+                    continue;
+                const auto &ex = layers->exceptions[ei];
+                stale.push_back(
+                    {layers->path, ex.line, "stale-suppression",
+                     "layer exception `" + ex.src + " -> " + ex.dst +
+                         "` matches no include edge any more; delete "
+                         "it"});
+            }
+        }
+        // Stale diagnostics obey suppression themselves (one level: a
+        // suppression used only to hide a stale diag is not re-audited).
+        for (const auto &d : stale)
+            if (!suppressedTracked(d, model, cfg, ledger))
+                out.push_back(d);
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Diag &a, const Diag &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.rule < b.rule;
+                     });
+    return out;
+}
+
+std::vector<Diag>
+lintProject(const std::vector<std::string> &files, const Config &cfg,
+            const LayersFile *layers, const ProjectOptions &opts,
+            ProjectModel *model_out)
+{
+    ProjectModel model = buildProjectModel(files, opts.jobs);
+    auto diags = lintProjectModel(model, cfg, layers, opts);
+    if (model_out)
+        *model_out = std::move(model);
+    return diags;
+}
+
+// ---------------------------------------------------------------------
+// SARIF 2.1.0.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':  out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+sarifReport(const std::vector<Diag> &diags)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"m5lint\",\n"
+       << "          \"informationUri\": \"docs/LINT.md\",\n"
+       << "          \"rules\": [\n";
+    const auto &rules = allRules();
+    std::map<std::string, std::size_t> rule_index;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        rule_index[rules[i]] = i;
+        os << "            {\n"
+           << "              \"id\": \"" << jsonEscape(rules[i]) << "\",\n"
+           << "              \"shortDescription\": { \"text\": \""
+           << jsonEscape(ruleHelp(rules[i])) << "\" },\n"
+           << "              \"helpUri\": \"docs/LINT.md\"\n"
+           << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diag &d = diags[i];
+        os << "        {\n"
+           << "          \"ruleId\": \"" << jsonEscape(d.rule) << "\",\n";
+        const auto ri = rule_index.find(d.rule);
+        if (ri != rule_index.end())
+            os << "          \"ruleIndex\": " << ri->second << ",\n";
+        os << "          \"level\": \"error\",\n"
+           << "          \"message\": { \"text\": \"" << jsonEscape(d.msg)
+           << "\" },\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": { \"uri\": \""
+           << jsonEscape(d.file) << "\" },\n"
+           << "                \"region\": { \"startLine\": "
+           << (d.line > 0 ? d.line : 1) << " }\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }" << (i + 1 < diags.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace m5lint
