@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Multi-tenant colocation sweep (docs/MULTITENANT.md).
+ *
+ * Sweeps tenant count x skew mix x DDR capacity ratio and reports the
+ * isolation and fairness surface of the tenant model: per-cell steady
+ * throughput, Jain fairness over the tenants' promotion counts and DDR
+ * shares, the worst per-tenant p99 access latency, and the cap machinery
+ * counters (forced demotions, refused promotions).  A second, antagonist
+ * scenario pits a high-share streaming bandwidth hog against a
+ * latency-sensitive Redis tenant and reports how much p99 the hog costs
+ * Redis with and without a DDR cap restraining it.
+ *
+ * The harness is also a determinism gate: the full grid is executed
+ * twice — once on a single worker, once on the default pool — and every
+ * cell's results (including all per-tenant counters) must match
+ * byte-for-byte; any mismatch, invariant violation, or tenant found
+ * above its DDR cap fails the run (exit 1).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+
+using namespace m5;
+
+namespace {
+
+struct CellResult
+{
+    RunResult run;
+    std::uint64_t invariant_violations = 0;
+};
+
+/** Byte-stable serialization of everything a cell computed. */
+std::string
+cellSig(const CellResult &r)
+{
+    std::ostringstream os;
+    os << r.run.accesses << ':' << r.run.runtime << ':'
+       << r.run.app_time << ':' << r.run.kernel_time << ':'
+       << r.run.migration.promoted << ':' << r.run.migration.demoted << ':'
+       << r.run.ddr_read_bytes << ':' << r.run.cxl_read_bytes << ':'
+       << r.invariant_violations;
+    for (const TenantResult &t : r.run.tenants) {
+        os << '|' << t.name << ',' << t.accesses << ',' << t.ddr_hits
+           << ',' << t.lower_hits << ',' << t.promoted << ',' << t.demoted
+           << ',' << t.cap_demotions << ',' << t.cap_rejects << ','
+           << t.ddr_frames << ',' << t.cap_frames << ',' << t.cxl_reads
+           << ',' << t.cxl_writes;
+    }
+    return os.str();
+}
+
+CellResult
+runCell(const SweepJob &job)
+{
+    TieredSystem sys(job.config);
+    CellResult out;
+    out.run = sys.run(job.budget);
+    if (sys.invariants())
+        out.invariant_violations = sys.invariants()->violations();
+    return out;
+}
+
+/** Jain index over a per-tenant extractor. */
+template <typename Fn>
+double
+jainOver(const RunResult &r, Fn fn)
+{
+    std::vector<double> xs;
+    for (const TenantResult &t : r.tenants)
+        xs.push_back(static_cast<double>(fn(t)));
+    return jainIndex(xs);
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+    printBanner(std::cout,
+                "Colocation sweep: tenants x skew mix x DDR ratio "
+                "(fairness + isolation)");
+    std::printf("scale=1/%.0f; every cell runs the per-tenant invariant "
+                "checker\n", 1.0 / scale);
+
+    // Mixes by tenant count and skew: homogeneous skewed, skewed vs
+    // streaming, and a capped three/four-way datacenter mix.
+    const std::vector<std::pair<std::string, std::string>> mixes = {
+        {"2xskew", "mcf_r,mcf_r:share=2"},
+        {"skew+stream", "mcf_r:cap=0.5,roms_r:cap=0.25"},
+        {"3-way", "redis:cap=0.25,mcf_r:cap=0.5:share=2,bc"},
+        {"4-way", "redis:cap=0.25,mcf_r:cap=0.5,roms_r:cap=0.25,pr"},
+    };
+    const std::vector<double> ratios = {0.125, 0.375};
+
+    SweepGrid grid;
+    std::vector<SweepPoint> points;
+    for (const auto &[mname, mspec] : mixes) {
+        for (double ratio : ratios) {
+            points.push_back(
+                {mname + "/d" + TextTable::num(ratio, 3),
+                 [mspec = mspec, ratio](SystemConfig &cfg) {
+                     cfg.tenants = mspec;
+                     cfg.ddr_capacity_fraction = ratio;
+                 }});
+        }
+    }
+    grid.benchmark("mcf_r")
+        .policy(PolicyKind::M5HptDriven)
+        .scale(scale)
+        .budgetScale(0.5)
+        .axis(points);
+    const auto jobs = grid.expand();
+
+    // Determinism gate: the same grid on one worker and on the default
+    // pool must produce byte-identical cells (docs/RUNNER.md).
+    ExperimentRunner serial({.jobs = 1, .name = "colocation(1w)"});
+    const auto first = serial.map(jobs, runCell);
+    ExperimentRunner pool({.name = "colocation"});
+    const auto second = pool.map(jobs, runCell);
+
+    bool deterministic = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!first[i].ok || !second[i].ok)
+            m5_fatal("cell %s failed: %s", jobs[i].label().c_str(),
+                     (first[i].ok ? second[i] : first[i]).error.c_str());
+        if (cellSig(first[i].value) != cellSig(second[i].value)) {
+            std::printf("DETERMINISM VIOLATION in %s\n",
+                        jobs[i].label().c_str());
+            deterministic = false;
+        }
+    }
+
+    TextTable table({"mix", "ddr", "steady acc/s", "jain(promo)",
+                     "jain(ddr)", "worst p99", "cap demo", "cap rej",
+                     "inv viol"});
+    bool clean = true;
+    bool capped = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const CellResult &r = first[i].value;
+        std::uint64_t cap_demo = 0, cap_rej = 0;
+        double worst_p99 = 0.0;
+        for (const TenantResult &t : r.run.tenants) {
+            cap_demo += t.cap_demotions;
+            cap_rej += t.cap_rejects;
+            worst_p99 = std::max(worst_p99, t.p99_access_ns);
+            if (t.ddr_frames > t.cap_frames)
+                capped = false;
+        }
+        if (r.invariant_violations > 0)
+            clean = false;
+        table.addRow(
+            {jobs[i].variant.substr(0, jobs[i].variant.find('/')),
+             TextTable::num(jobs[i].config.ddr_capacity_fraction, 3),
+             TextTable::num(r.run.steady_throughput, 0),
+             TextTable::num(
+                 jainOver(r.run,
+                          [](const TenantResult &t) { return t.promoted; }),
+                 3),
+             TextTable::num(
+                 jainOver(r.run,
+                          [](const TenantResult &t) {
+                              return t.ddr_frames;
+                          }),
+                 3),
+             TextTable::num(worst_p99, 0),
+             std::to_string(cap_demo), std::to_string(cap_rej),
+             std::to_string(r.invariant_violations)});
+    }
+    emitTable(std::cout, table, "colocation_sweep");
+
+    // Antagonist: Redis vs a share-4 streaming hog, capped vs uncapped.
+    // The cap cannot shield Redis from bandwidth interference, but it
+    // must bound the hog's DDR squat.
+    printBanner(std::cout,
+                "Antagonist: redis vs share-4 streaming hog "
+                "(cap bounds the DDR squat)");
+    const std::vector<std::pair<std::string, std::string>> scenarios = {
+        {"solo", "redis"},
+        {"hog-uncapped", "redis,roms_r:share=4"},
+        {"hog-capped", "redis,roms_r:cap=0.125:share=4"},
+    };
+    SweepGrid agrid;
+    std::vector<SweepPoint> apoints;
+    for (const auto &[sname, sspec] : scenarios) {
+        apoints.push_back({sname, [sspec = sspec](SystemConfig &cfg) {
+                               cfg.tenants = sspec;
+                           }});
+    }
+    agrid.benchmark("redis")
+        .policy(PolicyKind::M5HptDriven)
+        .scale(scale)
+        .budgetScale(0.5)
+        .axis(apoints);
+    const auto aresults = pool.map(agrid.expand(), runCell);
+
+    TextTable atable({"scenario", "redis p99 (ns)", "redis mean (ns)",
+                      "redis ddr frames", "hog ddr frames",
+                      "hog cap", "inv viol"});
+    for (std::size_t i = 0; i < aresults.size(); ++i) {
+        if (!aresults[i].ok)
+            m5_fatal("antagonist cell failed: %s",
+                     aresults[i].error.c_str());
+        const CellResult &r = aresults[i].value;
+        const TenantResult &redis = r.run.tenants[0];
+        const bool hog = r.run.tenants.size() > 1;
+        if (r.invariant_violations > 0)
+            clean = false;
+        if (hog &&
+            r.run.tenants[1].ddr_frames > r.run.tenants[1].cap_frames)
+            capped = false;
+        atable.addRow(
+            {scenarios[i].first, TextTable::num(redis.p99_access_ns, 0),
+             TextTable::num(redis.mean_access_ns, 1),
+             std::to_string(redis.ddr_frames),
+             hog ? std::to_string(r.run.tenants[1].ddr_frames) : "-",
+             hog ? std::to_string(r.run.tenants[1].cap_frames) : "-",
+             std::to_string(r.invariant_violations)});
+    }
+    emitTable(std::cout, atable, "colocation_antagonist");
+
+    std::printf("\ndeterminism: %s (1-worker vs pooled grid)\n",
+                deterministic ? "byte-identical" : "VIOLATED");
+    std::printf("caps: %s\n", capped ? "all tenants within their DDR caps"
+                                     : "EXCEEDED");
+    std::printf("invariants: %s\n", clean ? "clean" : "VIOLATED");
+    return (deterministic && clean && capped) ? 0 : 1;
+}

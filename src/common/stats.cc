@@ -116,4 +116,19 @@ percentileOf(std::vector<double> samples, double p)
     return t.percentile(p);
 }
 
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : xs) {
+        m5_assert(x >= 0.0, "jainIndex needs non-negative inputs (%f)", x);
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (xs.empty() || sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 } // namespace m5

@@ -101,4 +101,12 @@ std::vector<double> empiricalCdf(std::vector<double> samples,
 /** Nearest-rank percentile of a (copied) sample vector. */
 double percentileOf(std::vector<double> samples, double p);
 
+/**
+ * Jain's fairness index over a per-tenant metric: (Σx)² / (n·Σx²).
+ * 1.0 = perfectly even, 1/n = one tenant takes everything.  Defined as
+ * 1.0 for empty or all-zero inputs (nothing is being shared unevenly);
+ * negative entries are a caller bug and fatal.
+ */
+double jainIndex(const std::vector<double> &xs);
+
 } // namespace m5

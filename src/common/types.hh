@@ -38,6 +38,12 @@ using WordAddr = std::uint64_t;
 /** Memory tier node identifier (0 = DDR, 1 = CXL by convention). */
 using NodeId = std::uint32_t;
 
+/** Colocated-tenant identifier (index into the run's tenant list). */
+using TenantId = std::uint32_t;
+
+/** "No tenant": single-tenant runs and unmapped frames resolve to this. */
+inline constexpr TenantId kNoTenant = static_cast<TenantId>(-1);
+
 /** Log2 of the 4KB page size. */
 inline constexpr unsigned kPageShift = 12;
 /** Page size in bytes. */

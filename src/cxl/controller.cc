@@ -1,5 +1,7 @@
 #include "cxl/controller.hh"
 
+#include <string>
+
 #include "common/logging.hh"
 
 namespace m5 {
@@ -19,8 +21,22 @@ CxlController::CxlController(const CxlControllerConfig &cfg)
 void
 CxlController::observe(Addr pa, bool is_write, Tick now)
 {
-    (void)is_write;
     ++snooped_;
+    // Per-tenant attribution snoops the same address stream the AFUs
+    // see: PAC-granular read/write charging, plus the WAC-window subset
+    // (counted before wac_->observe so "would the WAC count it" is
+    // evaluated against the same window state).
+    if (!tenant_reads_.empty()) {
+        const TenantId t = tenant_resolve_(pfnOf(pa));
+        if (t != kNoTenant) {
+            if (is_write)
+                tenant_writes_[t] += 1;
+            else
+                tenant_reads_[t] += 1;
+            if (wac_ && wac_->inWindow(pa))
+                tenant_wac_observed_[t] += 1;
+        }
+    }
     if (pac_)
         pac_->observe(pa);
     if (wac_)
@@ -29,6 +45,18 @@ CxlController::observe(Addr pa, bool is_write, Tick now)
         hpt_->observe(pa, now);
     if (hwt_)
         hwt_->observe(pa, now);
+}
+
+void
+CxlController::attachTenantAttribution(std::size_t tenants,
+                                       std::function<TenantId(Pfn)> resolve)
+{
+    m5_assert(tenants > 0, "tenant attribution needs tenants");
+    m5_assert(tenant_reads_.empty(), "tenant attribution already armed");
+    tenant_resolve_ = std::move(resolve);
+    tenant_reads_.assign(tenants, 0);
+    tenant_writes_.assign(tenants, 0);
+    tenant_wac_observed_.assign(tenants, 0);
 }
 
 MemObserver
@@ -73,6 +101,16 @@ CxlController::registerStats(StatRegistry &reg, bool faults_active) const
     reg.addCounter("cxl.ctrl.snooped", &snooped_);
     if (faults_active)
         reg.addCounter("cxl.ctrl.mmio_timeouts", &mmio_timeouts_);
+    // Attribution rows exist only for multi-tenant runs, so a
+    // single-tenant run's telemetry JSONL stays byte-identical
+    // (docs/MULTITENANT.md).
+    for (std::size_t t = 0; t < tenant_reads_.size(); ++t) {
+        const std::string p = "tenant." + std::to_string(t) + ".cxl.";
+        reg.addCounter(p + "reads", &tenant_reads_[t]);
+        reg.addCounter(p + "writes", &tenant_writes_[t]);
+        if (wac_)
+            reg.addCounter(p + "wac_observed", &tenant_wac_observed_[t]);
+    }
     if (pac_)
         pac_->registerStats(reg);
     if (wac_)

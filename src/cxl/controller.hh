@@ -10,8 +10,10 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/types.hh"
 #include "cxl/hpt.hh"
@@ -68,6 +70,34 @@ class CxlController
     std::uint64_t mmioTimeouts() const { return mmio_timeouts_; }
 
     /**
+     * Arm per-tenant attribution (multi-tenant colocation,
+     * docs/MULTITENANT.md): every snooped access is charged to
+     * `resolve(pfn)`'s PAC-style read/write counters, plus a WAC-window
+     * counter when the WAC would have counted the word.  The resolver
+     * returns kNoTenant for frames not mapped to any tenant (e.g. a
+     * frame mid-migration); those stay unattributed.  Must precede
+     * registerStats — the `tenant.<id>.cxl.*` rows only exist for
+     * attributed runs, keeping single-tenant telemetry byte-identical.
+     */
+    void attachTenantAttribution(std::size_t tenants,
+                                 std::function<TenantId(Pfn)> resolve);
+
+    /** True when per-tenant attribution is armed. */
+    bool tenantAttributionActive() const { return !tenant_reads_.empty(); }
+
+    /** @{ Per-tenant attributed counters (zero-filled until attach). */
+    std::uint64_t tenantReads(TenantId t) const { return tenant_reads_[t]; }
+    std::uint64_t tenantWrites(TenantId t) const
+    {
+        return tenant_writes_[t];
+    }
+    std::uint64_t tenantWacObserved(TenantId t) const
+    {
+        return tenant_wac_observed_[t];
+    }
+    /** @} */
+
+    /**
      * Register `cxl.ctrl.snooped` plus every configured unit's stats;
      * the MMIO timeout counter only under fault injection.
      */
@@ -80,6 +110,11 @@ class CxlController
     std::unique_ptr<HwtUnit> hwt_;
     std::uint64_t snooped_ = 0;
     std::uint64_t mmio_timeouts_ = 0;
+    //! Per-tenant attribution state; empty until attachTenantAttribution.
+    std::function<TenantId(Pfn)> tenant_resolve_;
+    std::vector<std::uint64_t> tenant_reads_;
+    std::vector<std::uint64_t> tenant_writes_;
+    std::vector<std::uint64_t> tenant_wac_observed_;
 };
 
 } // namespace m5

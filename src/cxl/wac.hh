@@ -72,6 +72,16 @@ class WacUnit
     /** Current window base address. */
     Addr windowBase() const { return win_base_; }
 
+    /** True when the address falls inside the current window (i.e.
+     *  observe(pa) would count it) — per-tenant WAC attribution asks
+     *  this without disturbing the counters. */
+    bool
+    inWindow(Addr pa) const
+    {
+        return pa >= win_base_ &&
+               pa < win_base_ + counters_.size() * kWordBytes;
+    }
+
     /** In-window accesses observed across all windows. */
     std::uint64_t observed() const { return observed_; }
 

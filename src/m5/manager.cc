@@ -115,6 +115,8 @@ M5Manager::wake(Tick now)
     }
     if (decision.migrate && cfg_.migrate && !degraded_noop) {
         auto candidates = nominator_.nominate(cfg_.migrate_batch, now);
+        if (tenants_)
+            candidates = applyTenantQuota(std::move(candidates));
         const PromoteRound round =
             promoter_.promote(candidates, now + elapsed);
         elapsed += round.busy;
@@ -135,10 +137,47 @@ M5Manager::wake(Tick now)
     return elapsed;
 }
 
+std::vector<Vpn>
+M5Manager::applyTenantQuota(std::vector<Vpn> candidates)
+{
+    // Fair election context (docs/MULTITENANT.md): tenant t may take at
+    // most ceil(batch * share_t / total_share) slots of this batch, in
+    // nominator rank order.  Overflow candidates are deferred, not
+    // dropped — they stay hot and the trackers renominate them — so the
+    // quota shapes *which batch* a page rides, never whether it moves.
+    std::uint64_t total_share = 0;
+    for (std::size_t t = 0; t < tenants_->count(); ++t)
+        total_share += tenants_->entry(t).share;
+    std::vector<std::size_t> taken(tenants_->count(), 0);
+    std::vector<Vpn> kept;
+    kept.reserve(candidates.size());
+    for (Vpn vpn : candidates) {
+        const TenantId t = tenants_->tenantOf(vpn);
+        const std::size_t quota = static_cast<std::size_t>(
+            (cfg_.migrate_batch * tenants_->entry(t).share +
+             total_share - 1) / total_share);
+        if (taken[t] >= quota) {
+            ++quota_deferrals_;
+            tenants_->counters(t).quota_deferred += 1;
+            continue;
+        }
+        ++taken[t];
+        tenants_->counters(t).nominated += 1;
+        kept.push_back(vpn);
+    }
+    return kept;
+}
+
 void
 M5Manager::registerStats(StatRegistry &reg) const
 {
     reg.addCounter("m5.manager.wakeups", &wakeups_);
+    // Gated like the fault counters: the quota only exists for
+    // multi-tenant runs, whose telemetry carries the row; single-tenant
+    // JSONL stays byte-identical (docs/MULTITENANT.md).
+    if (tenants_)
+        reg.addCounter("m5.manager.tenant_quota_deferrals",
+                       &quota_deferrals_);
     nominator_.registerStats(reg);
     elector_.registerStats(reg, faults_ != nullptr);
     promoter_.registerStats(reg);

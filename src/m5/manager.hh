@@ -29,6 +29,7 @@
 #include "os/daemon.hh"
 #include "os/kernel_ledger.hh"
 #include "os/migration.hh"
+#include "os/tenant.hh"
 
 namespace m5 {
 
@@ -74,15 +75,31 @@ class M5Manager : public PolicyDaemon
      */
     void attachFaults(FaultInjector *faults) { faults_ = faults; }
 
+    /**
+     * Attach the tenant table (nullptr detaches): each wakeup's
+     * migration batch is then budgeted per tenant in proportion to its
+     * share (fair election context, docs/MULTITENANT.md), so one
+     * tenant's hot streak cannot monopolize every batch.  Deferred
+     * candidates stay hot and are renominated later.  Must precede
+     * registerStats so the quota counter is gated consistently.
+     */
+    void attachTenants(TenantTable *tenants) { tenants_ = tenants; }
+
     /** Register `m5.manager.wakeups` plus all sub-component stats. */
     void registerStats(StatRegistry &reg) const;
 
   private:
+    /** Apply the per-tenant batch quota to nominated candidates. */
+    std::vector<Vpn> applyTenantQuota(std::vector<Vpn> candidates);
+
     M5Config cfg_;
     CxlController &ctrl_;
     Monitor &monitor_;
     KernelLedger &ledger_;
     FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
+    TenantTable *tenants_ = nullptr;  //!< Not owned; may be null.
+    std::uint64_t quota_deferrals_ = 0; //!< Candidates pushed to later
+                                        //!< batches by the tenant quota.
 
     Nominator nominator_;
     Elector elector_;

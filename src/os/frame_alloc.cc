@@ -62,4 +62,76 @@ FrameAllocator::totalFrames(NodeId node) const
     return nodes_[node].total;
 }
 
+void
+FrameAllocator::enableTenantCaps(NodeId node, std::vector<std::size_t> caps)
+{
+    m5_assert(node < nodes_.size(), "no node %u", node);
+    m5_assert(!tenantCapsEnabled(), "tenant caps already enabled");
+    m5_assert(!caps.empty(), "tenant caps need at least one tenant");
+    cap_node_ = node;
+    tenant_caps_ = std::move(caps);
+    tenant_used_.assign(tenant_caps_.size(), 0);
+}
+
+std::optional<Pfn>
+FrameAllocator::allocateFor(NodeId node, TenantId tenant)
+{
+    m5_assert(tenantCapsEnabled(), "allocateFor without tenant caps");
+    m5_assert(tenant < tenant_caps_.size(), "no tenant %u", tenant);
+    if (node != cap_node_)
+        return allocate(node);
+    // The per-tenant cap is checked before the node's free list: a
+    // tenant at its budget must demote its own victim even when the
+    // node still has room (cgroup semantics, docs/MULTITENANT.md).
+    if (tenant_used_[tenant] >= tenant_caps_[tenant])
+        return std::nullopt;
+    auto pfn = allocate(node);
+    if (pfn)
+        ++tenant_used_[tenant];
+    return pfn;
+}
+
+void
+FrameAllocator::freeFor(NodeId node, Pfn pfn, TenantId tenant)
+{
+    m5_assert(tenantCapsEnabled(), "freeFor without tenant caps");
+    m5_assert(tenant < tenant_caps_.size(), "no tenant %u", tenant);
+    free(node, pfn);
+    if (node == cap_node_) {
+        m5_assert(tenant_used_[tenant] > 0,
+                  "tenant %u frees a cap-node frame it never charged",
+                  tenant);
+        --tenant_used_[tenant];
+    }
+}
+
+void
+FrameAllocator::transferCapCharge(TenantId from, TenantId to)
+{
+    m5_assert(tenantCapsEnabled(), "transferCapCharge without tenant caps");
+    m5_assert(from < tenant_caps_.size() && to < tenant_caps_.size(),
+              "bad tenant %u -> %u", from, to);
+    if (from == to)
+        return;
+    m5_assert(tenant_used_[from] > 0,
+              "tenant %u transfers a cap-node frame it never charged",
+              from);
+    --tenant_used_[from];
+    ++tenant_used_[to];
+}
+
+std::size_t
+FrameAllocator::tenantUsed(TenantId tenant) const
+{
+    m5_assert(tenant < tenant_used_.size(), "no tenant %u", tenant);
+    return tenant_used_[tenant];
+}
+
+std::size_t
+FrameAllocator::tenantCap(TenantId tenant) const
+{
+    m5_assert(tenant < tenant_caps_.size(), "no tenant %u", tenant);
+    return tenant_caps_[tenant];
+}
+
 } // namespace m5

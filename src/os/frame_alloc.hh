@@ -6,6 +6,14 @@
  * (3GB out of an 8GB footprint, §6), so allocator exhaustion on the DDR
  * node *is* the cgroup bound: promotion beyond it requires demoting a
  * victim first.
+ *
+ * Multi-tenant colocation (docs/MULTITENANT.md) adds per-tenant caps on
+ * one node: enableTenantCaps() arms per-tenant frame accounting on the
+ * top tier, after which allocateFor()/freeFor() charge the owning
+ * tenant and an allocation beyond the tenant's cap fails exactly like
+ * node exhaustion — the migration engine then demotes a same-tenant
+ * victim first.  Untenanted runs never call the *For variants and are
+ * byte-identical to builds without tenant accounting.
  */
 
 #pragma once
@@ -41,6 +49,61 @@ class FrameAllocator
     /** Total frames on a node. */
     std::size_t totalFrames(NodeId node) const;
 
+    /** @{ Per-tenant cap accounting (multi-tenant runs only). */
+
+    /**
+     * Arm per-tenant frame accounting on `node` (the top tier).  Each
+     * tenant starts with zero frames charged; `caps[t]` is tenant t's
+     * budget.  Must be called before any allocateFor on that node.
+     */
+    void enableTenantCaps(NodeId node, std::vector<std::size_t> caps);
+
+    /** True once enableTenantCaps has armed accounting. */
+    bool tenantCapsEnabled() const { return cap_node_ != kNoCapNode; }
+
+    /** The node tenant caps apply to. */
+    NodeId capNode() const { return cap_node_; }
+
+    /**
+     * Allocate one frame on a node for a tenant.  On the cap node the
+     * allocation fails (nullopt) when the tenant is at its cap, even if
+     * the node itself still has free frames; elsewhere this is plain
+     * allocate().
+     */
+    std::optional<Pfn> allocateFor(NodeId node, TenantId tenant);
+
+    /** Return a tenant's frame; uncharges it on the cap node. */
+    void freeFor(NodeId node, Pfn pfn, TenantId tenant);
+
+    /**
+     * Move one cap-node frame charge between tenants without touching
+     * the free lists — the accounting half of an atomic page exchange
+     * whose top-tier frame changed owners.
+     */
+    void transferCapCharge(TenantId from, TenantId to);
+
+    /** Frames tenant t currently holds on the cap node. */
+    std::size_t tenantUsed(TenantId tenant) const;
+
+    /** Tenant t's cap-node frame budget. */
+    std::size_t tenantCap(TenantId tenant) const;
+
+    /** The whole per-tenant occupancy vector — stable storage for the
+     *  `tenant.<id>.ddr_frames` gauges (TenantTable::registerStats). */
+    const std::vector<std::size_t> &tenantUsedAll() const
+    {
+        return tenant_used_;
+    }
+
+    /** True when the tenant cannot take another cap-node frame. */
+    bool
+    tenantAtCap(TenantId tenant) const
+    {
+        return tenantUsed(tenant) >= tenantCap(tenant);
+    }
+
+    /** @} */
+
   private:
     struct NodeState
     {
@@ -48,7 +111,12 @@ class FrameAllocator
         std::size_t total = 0;
     };
 
+    static constexpr NodeId kNoCapNode = static_cast<NodeId>(-1);
+
     std::vector<NodeState> nodes_;
+    NodeId cap_node_ = kNoCapNode;
+    std::vector<std::size_t> tenant_caps_;
+    std::vector<std::size_t> tenant_used_;
 };
 
 } // namespace m5

@@ -155,6 +155,41 @@ MgLru::peekVictim() const
     return std::nullopt;
 }
 
+std::optional<Vpn>
+MgLru::peekVictimWhere(const std::function<bool(Vpn)> &pred) const
+{
+    // Same slot walk as peekVictim, tails first, youngest slot last;
+    // within a slot walk tail -> head so the coldest match wins.
+    for (unsigned d = num_gens_ - 1; d >= 1; --d) {
+        const unsigned slot = (youngest_slot_ + num_gens_ - d) % num_gens_;
+        const std::size_t s = sentinel(slot);
+        for (std::size_t node = prev_[s]; node != s; node = prev_[node]) {
+            if (pred(static_cast<Vpn>(node)))
+                return static_cast<Vpn>(node);
+        }
+        if (d == 1)
+            break;
+    }
+    const std::size_t sy = sentinel(youngest_slot_);
+    for (std::size_t node = prev_[sy]; node != sy; node = prev_[node]) {
+        if (pred(static_cast<Vpn>(node)))
+            return static_cast<Vpn>(node);
+    }
+    return std::nullopt;
+}
+
+std::optional<Vpn>
+MgLru::pickVictimWhere(const std::function<bool(Vpn)> &pred)
+{
+    const auto victim = peekVictimWhere(pred);
+    if (victim) {
+        unlink(*victim);
+        gen_[*victim] = kNotTracked;
+        --size_;
+    }
+    return victim;
+}
+
 bool
 MgLru::contains(Vpn vpn) const
 {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -57,6 +58,21 @@ class MgLru
      * swap leaves the LRU untouched (docs/TOPOLOGY.md).
      */
     std::optional<Vpn> peekVictim() const;
+
+    /**
+     * Pop the coldest page satisfying `pred`, preserving LRU order among
+     * the rest; nullopt when no tracked page qualifies.  Per-tenant DDR
+     * caps demote a *same-tenant* victim (docs/MULTITENANT.md), so the
+     * victim scan must be filterable.  O(tracked pages) worst case — in
+     * practice the oldest generations are scanned first and the filter
+     * matches early.
+     */
+    std::optional<Vpn>
+    pickVictimWhere(const std::function<bool(Vpn)> &pred);
+
+    /** The page pickVictimWhere(pred) would pop, without removing it. */
+    std::optional<Vpn>
+    peekVictimWhere(const std::function<bool(Vpn)> &pred) const;
 
     /** True if the page is tracked. */
     bool contains(Vpn vpn) const;

@@ -75,7 +75,13 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
     const NodeId src_node = e.node;
     const Pfn src_pfn = e.pfn;
 
-    auto dst = alloc_.allocate(dst_node);
+    // With tenants attached, top-tier frames are charged to the page's
+    // owner; promote() guarantees the owner is under its cap by the time
+    // the move commits, so a nullopt here is a bug either way.
+    const TenantId owner =
+        tenants_ ? tenants_->tenantOf(vpn) : kNoTenant;
+    auto dst = tenants_ ? alloc_.allocateFor(dst_node, owner)
+                        : alloc_.allocate(dst_node);
     m5_assert(dst.has_value(), "moveTo without a free frame on node %u",
               dst_node);
 
@@ -106,10 +112,19 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
 
     lrus_.remove(vpn, src_node);
     pt_.remap(vpn, *dst, dst_node);
-    alloc_.free(src_node, src_pfn);
+    if (tenants_)
+        alloc_.freeFor(src_node, src_pfn, owner);
+    else
+        alloc_.free(src_node, src_pfn);
     lrus_.insert(vpn, dst_node);
     ++moved_out_[src_node];
     ++moved_in_[dst_node];
+    if (tenants_) {
+        if (dst_node == topo_.top())
+            tenants_->counters(owner).promoted += 1;
+        else if (src_node == topo_.top())
+            tenants_->counters(owner).demoted += 1;
+    }
 
     ledger_.charge(KernelWork::Migration, costs_.software_per_page);
     elapsed += cyclesToNs(costs_.software_per_page);
@@ -153,6 +168,12 @@ MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
     if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
         return transientFail(vpn, now, MigrateOutcome::TransientBusy);
     if (alloc_.freeFrames(dst) == 0)
+        return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
+    // A tenant at its cap cannot take another cap-node frame even while
+    // the node has room; the general move() does not demote on the
+    // caller's behalf, so the failure is transient like exhaustion.
+    if (tenants_ && dst == alloc_.capNode() &&
+        alloc_.tenantAtCap(tenants_->tenantOf(vpn)))
         return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
 
     const NodeId src = e.node;
@@ -254,6 +275,23 @@ MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
     ++moved_in_[cold_node];
     ++moved_out_[cold_node];
     ++moved_in_[hot_node];
+    // The frames trade owners; when one endpoint is the cap node the
+    // frame charge follows the frame (the free lists never change, only
+    // the books).  exchangeWithVictim keeps a capped tenant honest by
+    // picking a same-tenant victim first.
+    if (tenants_ && alloc_.tenantCapsEnabled()) {
+        const TenantId th = tenants_->tenantOf(hot);
+        const TenantId tc = tenants_->tenantOf(cold);
+        if (cold_node == alloc_.capNode()) {
+            alloc_.transferCapCharge(tc, th);
+            tenants_->counters(th).promoted += 1;
+            tenants_->counters(tc).demoted += 1;
+        } else if (hot_node == alloc_.capNode()) {
+            alloc_.transferCapCharge(th, tc);
+            tenants_->counters(tc).promoted += 1;
+            tenants_->counters(th).demoted += 1;
+        }
+    }
 
     ledger_.charge(KernelWork::Migration, 2 * costs_.software_per_page);
     elapsed += cyclesToNs(2 * costs_.software_per_page);
@@ -278,8 +316,18 @@ std::optional<MigrateResult>
 MigrationEngine::exchangeWithVictim(Vpn vpn, Tick now)
 {
     // Peek, don't pick: an aborted exchange must leave the victim in
-    // its LRU slot (atomicity); exchange() does its own LRU fixup.
-    const auto victim = lrus_.top().peekVictim();
+    // its LRU slot (atomicity); exchange() does its own LRU fixup.  A
+    // tenant at its cap must swap against its *own* coldest page — any
+    // other victim would push it one frame over budget.
+    std::optional<Vpn> victim;
+    if (tenants_ && alloc_.tenantCapsEnabled() &&
+        alloc_.tenantAtCap(tenants_->tenantOf(vpn))) {
+        const TenantId t = tenants_->tenantOf(vpn);
+        victim = lrus_.top().peekVictimWhere(
+            [&](Vpn v) { return tenants_->tenantOf(v) == t; });
+    } else {
+        victim = lrus_.top().peekVictim();
+    }
     if (!victim || pt_.pte(*victim).pinned) {
         ++stats_.exchange_failed;
         return std::nullopt;
@@ -330,6 +378,31 @@ MigrationEngine::promote(Vpn vpn, Tick now)
 
     const NodeId top = topo_.top();
     Tick elapsed = 0;
+    // Per-tenant cgroup bound (docs/MULTITENANT.md): a tenant at its
+    // DDR cap recycles its *own* coldest page, exactly like node
+    // exhaustion but scoped to the tenant — one tenant's hot streak can
+    // never evict another tenant's resident pages.
+    if (tenants_ && top == alloc_.capNode()) {
+        const TenantId t = tenants_->tenantOf(vpn);
+        if (alloc_.tenantAtCap(t)) {
+            const auto victim = lrus_.top().pickVictimWhere(
+                [&](Vpn v) {
+                    return tenants_->tenantOf(v) == t &&
+                           !pt_.pte(v).pinned;
+                });
+            if (!victim) {
+                tenants_->counters(t).cap_rejects += 1;
+                ++stats_.failed_capacity;
+                TRACE_EVENT(TraceCat::Migrate, now, "migration.reject",
+                            TraceArgs().u("page", vpn)
+                                       .u("tenant", t)
+                                       .s("reason", "tenant_cap"));
+                return {MigrateOutcome::FailedCapacity, 0};
+            }
+            tenants_->counters(t).cap_demotions += 1;
+            elapsed += demote(*victim, now).busy;
+        }
+    }
     if (alloc_.freeFrames(top) == 0) {
         // Conservative promotion: demote an MGLRU victim to make room.
         auto victims = lrus_.top().pickVictims(1);

@@ -46,6 +46,7 @@
 #include "os/kernel_ledger.hh"
 #include "os/mglru.hh"
 #include "os/page_table.hh"
+#include "os/tenant.hh"
 #include "fault/fault.hh"
 #include "telemetry/registry.hh"
 
@@ -246,6 +247,21 @@ class MigrationEngine
      */
     void attachFaults(FaultInjector *faults) { faults_ = faults; }
 
+    /**
+     * Attach the tenant table (nullptr detaches).  With tenants
+     * attached, top-tier frames are charged per tenant through the
+     * allocator's cap accounting: a promotion for a tenant at its cap
+     * first demotes the coldest *same-tenant* victim (cap_demotions) or
+     * fails FailedCapacity when that tenant has no demotable page
+     * (cap_rejects), and an atomic exchange moves the frame charge
+     * between the two owners.  Untenanted runs take none of these
+     * branches and stay byte-identical (docs/MULTITENANT.md).
+     */
+    void attachTenants(TenantTable *tenants) { tenants_ = tenants; }
+
+    /** True when a tenant table is attached. */
+    bool tenantsActive() const { return tenants_ != nullptr; }
+
     /** True when a fault injector is attached. */
     bool faultsActive() const { return faults_ != nullptr; }
 
@@ -297,6 +313,7 @@ class MigrationEngine
     //! Pages departed per tier via migration.
     std::vector<std::uint64_t> moved_out_;
     FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
+    TenantTable *tenants_ = nullptr;  //!< Not owned; may be null.
     bool exchange_enabled_ = true;
     StatHistogram batch_hist_{{1, 2, 4, 8, 16, 32, 64, 128}};
 };

@@ -1,0 +1,163 @@
+#include "os/tenant.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace m5 {
+
+namespace {
+
+/** Split `s` on `sep`, keeping empty fields (they are spec errors the
+ *  caller diagnoses). */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+double
+parseNumber(const std::string &field, const std::string &value)
+{
+    const std::optional<double> v = parseDouble(value);
+    if (!v) {
+        m5_fatal("tenant spec: bad %s value '%s'", field.c_str(),
+                 value.c_str());
+    }
+    return *v;
+}
+
+} // namespace
+
+std::vector<TenantSpec>
+TenantSpec::parseList(const std::string &spec)
+{
+    if (spec.empty())
+        m5_fatal("empty tenant spec");
+    std::vector<TenantSpec> tenants;
+    for (const std::string &field : split(spec, ',')) {
+        const std::vector<std::string> parts = split(field, ':');
+        if (parts[0].empty()) {
+            m5_fatal("tenant spec '%s': missing benchmark",
+                     field.c_str());
+        }
+        TenantSpec t;
+        t.benchmark = parts[0];
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            const std::size_t eq = parts[i].find('=');
+            if (eq == std::string::npos) {
+                m5_fatal("tenant spec '%s': option '%s' is not key=value",
+                         field.c_str(), parts[i].c_str());
+            }
+            const std::string key = parts[i].substr(0, eq);
+            const std::string value = parts[i].substr(eq + 1);
+            if (key == "cap") {
+                t.ddr_cap = parseNumber(key, value);
+                // cap=0 means "no DDR ever": the tenant could never be
+                // promoted and the spec is certainly a typo — reject it
+                // here rather than let the run limp along.
+                if (t.ddr_cap <= 0.0 || t.ddr_cap > 1.0) {
+                    m5_fatal("tenant spec '%s': cap must be in (0, 1], "
+                             "got %s",
+                             field.c_str(), value.c_str());
+                }
+            } else if (key == "share") {
+                const double share = parseNumber(key, value);
+                if (share < 1.0 ||
+                    share != static_cast<double>(
+                        static_cast<unsigned>(share))) {
+                    m5_fatal("tenant spec '%s': share must be an integer "
+                             ">= 1, got %s",
+                             field.c_str(), value.c_str());
+                }
+                t.share = static_cast<unsigned>(share);
+            } else {
+                m5_fatal("tenant spec '%s': unknown option '%s'",
+                         field.c_str(), key.c_str());
+            }
+        }
+        tenants.push_back(std::move(t));
+    }
+    return tenants;
+}
+
+std::string
+TenantSpec::describe() const
+{
+    std::string out = benchmark;
+    if (ddr_cap < 1.0)
+        out += strprintf(":cap=%g", ddr_cap);
+    if (share != 1)
+        out += strprintf(":share=%u", share);
+    return out;
+}
+
+TenantTable::TenantTable(std::vector<Entry> entries)
+    : entries_(std::move(entries)), counters_(entries_.size())
+{
+    m5_assert(!entries_.empty(), "TenantTable needs tenants");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        m5_assert(entries_[i].vpn_base == total_pages_,
+                  "tenant %zu range is not contiguous", i);
+        m5_assert(entries_[i].pages > 0, "tenant %zu has no pages", i);
+        total_pages_ += entries_[i].pages;
+    }
+}
+
+TenantId
+TenantTable::tenantOf(Vpn vpn) const
+{
+    if (vpn >= total_pages_) {
+        m5_fatal("vpn %lu outside all tenant ranges",
+                 static_cast<unsigned long>(vpn));
+    }
+    // Tenant ranges are contiguous and sorted; upper_bound on the bases
+    // finds the owner in O(log n) of a handful of tenants.
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), vpn,
+        [](Vpn v, const Entry &e) { return v < e.vpn_base; });
+    return static_cast<TenantId>(it - entries_.begin() - 1);
+}
+
+void
+TenantTable::registerStats(StatRegistry &reg,
+                           const std::vector<std::size_t> &ddr_used) const
+{
+    // Stat names must be lowercase [a-z0-9_.-]; benchmark names are not
+    // (cactuBSSN_r), so tenants register under their numeric id and the
+    // report section maps ids back to names.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const std::string p = "tenant." + std::to_string(i) + ".";
+        const TenantCounters &c = counters_[i];
+        reg.addCounter(p + "accesses", &c.accesses);
+        reg.addCounter(p + "ddr_hits", &c.ddr_hits);
+        reg.addCounter(p + "lower_hits", &c.lower_hits);
+        reg.addCounter(p + "promoted", &c.promoted);
+        reg.addCounter(p + "demoted", &c.demoted);
+        reg.addCounter(p + "cap_demotions", &c.cap_demotions);
+        reg.addCounter(p + "cap_rejects", &c.cap_rejects);
+        reg.addCounter(p + "nominated", &c.nominated);
+        reg.addCounter(p + "quota_deferred", &c.quota_deferred);
+        reg.addCounter(p + "access_time", &c.access_time);
+        reg.addHistogram(p + "access_latency", &c.access_latency);
+        reg.addGauge(p + "ddr_frames", [&ddr_used, i]() {
+            return static_cast<double>(ddr_used[i]);
+        });
+        reg.addGauge(p + "ddr_cap", [this, i]() {
+            return static_cast<double>(entries_[i].cap_frames);
+        });
+    }
+}
+
+} // namespace m5

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The kernel-side tenant model for multi-tenant colocation
+ * (docs/MULTITENANT.md).
+ *
+ * A tenant is one colocated workload with its own contiguous VPN range
+ * and a cgroup-style cap on the top-tier (DDR) frames it may occupy —
+ * the per-cgroup variant of the paper's §6 DDR bound.  TenantTable is
+ * the OS-layer ground truth the frame allocator, the migration engine
+ * and the M5 manager share: VPN -> tenant resolution, cap bookkeeping,
+ * and the per-tenant outcome counters behind the `tenant.<id>.*`
+ * telemetry namespace.
+ *
+ * The table lives in the os layer (below cxl/m5/sim in the layering
+ * DAG) so every consumer can reach it; the workload-facing half of the
+ * tenant model — spec parsing against the benchmark registry and the
+ * deterministic access interleaver — is TenantSet in src/sim/tenants.hh.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+/**
+ * One tenant's declaration, parsed from the colon-keyed spec grammar
+ * (docs/MULTITENANT.md):
+ *
+ *     bench[:cap=F][:share=N]
+ *
+ * comma-separated per tenant, e.g. `redis:cap=0.25,mcf_r:cap=0.5:share=2`.
+ * `cap` is the tenant's DDR budget as a fraction of its own footprint in
+ * (0, 1]; `cap=0` is rejected at parse time — a tenant with no DDR at
+ * all cannot make progress and is always a spec bug.  `share` >= 1 is
+ * the tenant's weight in the deterministic round-robin interleave.
+ */
+struct TenantSpec
+{
+    std::string benchmark;
+    double ddr_cap = 1.0;
+    unsigned share = 1;
+
+    /** Parse a comma-separated tenant list; fatal on malformed specs. */
+    static std::vector<TenantSpec> parseList(const std::string &spec);
+
+    /** Canonical spec string (round-trips through parseList). */
+    std::string describe() const;
+};
+
+/** Per-tenant outcome counters (registered as `tenant.<id>.*`). */
+struct TenantCounters
+{
+    std::uint64_t accesses = 0;       //!< Post-L2 accesses issued.
+    std::uint64_t ddr_hits = 0;       //!< LLC fills served by the top tier.
+    std::uint64_t lower_hits = 0;     //!< LLC fills served by lower tiers.
+    std::uint64_t promoted = 0;       //!< Pages arrived on the top tier.
+    std::uint64_t demoted = 0;        //!< Pages departed the top tier.
+    std::uint64_t cap_demotions = 0;  //!< Demotions forced by the cap.
+    std::uint64_t cap_rejects = 0;    //!< Promotions refused at the cap.
+    std::uint64_t nominated = 0;      //!< Candidates elected for promotion.
+    std::uint64_t quota_deferred = 0; //!< Candidates deferred by the quota.
+    Tick access_time = 0;             //!< Summed post-L2 access latency.
+    //! Post-L2 access latency distribution (ns); p99 is the tenant's
+    //! interference-sensitive latency metric.
+    StatHistogram access_latency{
+        {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}};
+};
+
+/**
+ * The OS view of the colocated tenants: contiguous VPN ranges, DDR frame
+ * caps, and shared counters.  Built once at system construction; the
+ * ranges never change (tenant address spaces are static).
+ */
+class TenantTable
+{
+  public:
+    /** One tenant's extent and budget. */
+    struct Entry
+    {
+        std::string name;        //!< Benchmark name (reports only).
+        Vpn vpn_base = 0;        //!< First VPN of the tenant's range.
+        std::size_t pages = 0;   //!< Footprint in pages.
+        std::size_t cap_frames = 0; //!< Top-tier frame budget.
+        unsigned share = 1;      //!< Round-robin weight.
+    };
+
+    explicit TenantTable(std::vector<Entry> entries);
+
+    /** Number of tenants. */
+    std::size_t count() const { return entries_.size(); }
+
+    /** Tenant owning a VPN (fatal for out-of-range VPNs). */
+    TenantId tenantOf(Vpn vpn) const;
+
+    /** A tenant's static entry. */
+    const Entry &entry(TenantId t) const { return entries_[t]; }
+
+    /** A tenant's mutable counters. */
+    TenantCounters &counters(TenantId t) { return counters_[t]; }
+    const TenantCounters &counters(TenantId t) const { return counters_[t]; }
+
+    /** Total pages across all tenants. */
+    std::size_t totalPages() const { return total_pages_; }
+
+    /**
+     * Register every tenant's counters under `tenant.<id>.*` plus a
+     * `ddr_frames` gauge fed by `ddr_used` (the frame allocator's
+     * per-tenant occupancy, wired by TieredSystem).  Only called for
+     * multi-tenant runs, so single-tenant telemetry stays byte-identical.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::vector<std::size_t> &ddr_used) const;
+
+  private:
+    std::vector<Entry> entries_;
+    std::vector<TenantCounters> counters_;
+    std::size_t total_pages_ = 0;
+};
+
+} // namespace m5

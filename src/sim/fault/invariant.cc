@@ -7,6 +7,7 @@
 #include "os/frame_alloc.hh"
 #include "os/mglru.hh"
 #include "os/page_table.hh"
+#include "os/tenant.hh"
 
 namespace m5 {
 
@@ -97,7 +98,33 @@ InvariantChecker::check(Tick now)
                            node, lru.size(), resident));
     }
 
-    // 4. Kernel ledger: books balance and never run backwards.
+    // 4. Per-tenant cgroup books (multi-tenant runs): the allocator's
+    //    per-tenant cap-node charges match a page-table recount of each
+    //    tenant's resident pages, and nobody exceeds its cap — the
+    //    isolation guarantee colocation sells (docs/MULTITENANT.md).
+    if (tenants_ && alloc_.tenantCapsEnabled()) {
+        const NodeId cap_node = alloc_.capNode();
+        std::vector<std::size_t> resident(tenants_->count(), 0);
+        for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
+            const Pte &e = pt_.pte(vpn);
+            if (e.valid && e.node == cap_node)
+                ++resident[tenants_->tenantOf(vpn)];
+        }
+        for (std::size_t t = 0; t < tenants_->count(); ++t) {
+            const auto tid = static_cast<TenantId>(t);
+            if (alloc_.tenantUsed(tid) != resident[t])
+                fail(strprintf("tenant %zu: allocator charges %zu "
+                               "cap-node frames but %zu pages are "
+                               "resident",
+                               t, alloc_.tenantUsed(tid), resident[t]));
+            if (resident[t] > alloc_.tenantCap(tid))
+                fail(strprintf("tenant %zu: %zu resident cap-node pages "
+                               "exceed the cap of %zu",
+                               t, resident[t], alloc_.tenantCap(tid)));
+        }
+    }
+
+    // 5. Kernel ledger: books balance and never run backwards.
     Cycles sum = 0;
     for (unsigned c = 0;
          c < static_cast<unsigned>(KernelWork::NumCategories); ++c) {

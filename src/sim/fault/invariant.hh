@@ -32,6 +32,7 @@ class PageTable;
 class FrameAllocator;
 class MemorySystem;
 class TierLrus;
+class TenantTable;
 
 /** Per-epoch cross-layer consistency checker. */
 class InvariantChecker
@@ -56,12 +57,22 @@ class InvariantChecker
     /** Register `sim.invariant.checks` / `.violations` counters. */
     void registerStats(StatRegistry &reg) const;
 
+    /**
+     * Attach the tenant table (multi-tenant runs): every sweep then
+     * also cross-checks the allocator's per-tenant cap books against a
+     * page-table recount and the caps themselves — a tenant over its
+     * cgroup budget is exactly the corruption colocation must never
+     * leak (docs/MULTITENANT.md).
+     */
+    void attachTenants(const TenantTable *tenants) { tenants_ = tenants; }
+
   private:
     const PageTable &pt_;
     const FrameAllocator &alloc_;
     const MemorySystem &mem_;
     const TierLrus &lrus_;
     const KernelLedger &ledger_;
+    const TenantTable *tenants_ = nullptr; //!< Not owned; may be null.
 
     std::uint64_t checks_ = 0;
     std::uint64_t violations_ = 0;

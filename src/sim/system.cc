@@ -37,19 +37,62 @@ isM5(PolicyKind kind)
            kind == PolicyKind::M5HptDriven;
 }
 
+namespace {
+
+std::unique_ptr<Workload>
+buildWorkload(const SystemConfig &cfg)
+{
+    if (!cfg.tenants.empty()) {
+        m5_assert(cfg.colocated_benchmarks.empty() && cfg.instances == 1,
+                  "tenants spec excludes colocated_benchmarks/instances");
+        return std::make_unique<TenantSet>(
+            TenantSpec::parseList(cfg.tenants), cfg.scale, cfg.seed);
+    }
+    if (!cfg.colocated_benchmarks.empty())
+        return makeMixedWorkload(cfg.colocated_benchmarks, cfg.scale,
+                                 cfg.seed);
+    return makeMultiWorkload(cfg.benchmark, cfg.instances, cfg.scale,
+                             cfg.seed);
+}
+
+} // namespace
+
 TieredSystem::TieredSystem(const SystemConfig &cfg)
     : cfg_(cfg),
-      workload_(cfg.colocated_benchmarks.empty()
-          ? makeMultiWorkload(cfg.benchmark, cfg.instances, cfg.scale,
-                              cfg.seed)
-          : makeMixedWorkload(cfg.colocated_benchmarks, cfg.scale,
-                              cfg.seed)),
+      workload_(buildWorkload(cfg)),
       core_(workload_->accessesPerRequest())
 {
+    if (!cfg_.tenants.empty())
+        tenant_table_ = &static_cast<TenantSet &>(*workload_).table();
     buildMemory();
+    // Arm per-tenant DDR caps before any frame is handed out, so initial
+    // placement is charged like every later migration.
+    if (tenant_table_) {
+        std::vector<std::size_t> caps;
+        for (std::size_t t = 0; t < tenant_table_->count(); ++t)
+            caps.push_back(tenant_table_->entry(
+                static_cast<TenantId>(t)).cap_frames);
+        alloc_->enableTenantCaps(topo_->top(), std::move(caps));
+    }
     placePages();
     buildController();
+    if (tenant_table_) {
+        // PFN -> tenant via the page table's reverse map: a frame freed
+        // mid-flight (stale writeback) resolves to "no tenant" and goes
+        // unattributed rather than charged to the wrong owner.
+        ctrl_->attachTenantAttribution(
+            tenant_table_->count(), [this](Pfn pfn) {
+                const Vpn vpn = pt_->vpnOfPfn(pfn);
+                return vpn < pt_->numPages() ? tenant_table_->tenantOf(vpn)
+                                             : kNoTenant;
+            });
+    }
     buildPolicy();
+    if (tenant_table_) {
+        engine_->attachTenants(tenant_table_);
+        if (m5_)
+            m5_->attachTenants(tenant_table_);
+    }
     // Fault injection (docs/FAULTS.md): the injector and the invariant
     // checker exist only when some rule can actually fire, so an empty
     // or all-zero spec leaves the system — including its telemetry
@@ -64,6 +107,17 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
             invariants_ = std::make_unique<InvariantChecker>(
                 *pt_, *alloc_, *mem_, *lrus_, ledger_);
         }
+    }
+    // Multi-tenant runs always carry the invariant checker: the
+    // per-tenant cap books are new cross-layer state, and colocation's
+    // isolation promise is only as good as its verification
+    // (docs/MULTITENANT.md).  Fault-specific stats stay gated on faults_.
+    if (tenant_table_) {
+        if (!invariants_) {
+            invariants_ = std::make_unique<InvariantChecker>(
+                *pt_, *alloc_, *mem_, *lrus_, ledger_);
+        }
+        invariants_->attachTenants(tenant_table_);
     }
     // The tracer exists only when tracing is on, so a tracing-disabled
     // run's telemetry carries no telemetry.trace.* rows and stays
@@ -89,10 +143,12 @@ TieredSystem::registerStats()
     engine_->registerStats(stats_);
     ledger_.registerStats(stats_);
     monitor_->registerStats(stats_, faults_ != nullptr);
-    if (faults_) {
+    if (faults_)
         faults_->registerStats(stats_);
+    if (invariants_)
         invariants_->registerStats(stats_);
-    }
+    if (tenant_table_)
+        tenant_table_->registerStats(stats_, alloc_->tenantUsedAll());
     if (anb_)
         anb_->registerStats(stats_);
     if (damon_)
@@ -131,6 +187,15 @@ TieredSystem::buildMemory()
         llc_bytes = std::max(llc_bytes,
                              benchmarkLlcBytes(tenant, cfg_.scale));
     }
+    if (tenant_table_) {
+        for (std::size_t t = 0; t < tenant_table_->count(); ++t) {
+            llc_bytes = std::max(
+                llc_bytes,
+                benchmarkLlcBytes(
+                    tenant_table_->entry(static_cast<TenantId>(t)).name,
+                    cfg_.scale));
+        }
+    }
     llc_cfg.size_bytes = cfg_.llc_bytes_override
         ? *cfg_.llc_bytes_override : llc_bytes;
     llc_ = std::make_unique<SetAssocCache>(llc_cfg);
@@ -153,7 +218,16 @@ TieredSystem::placePages()
             alloc_->freeFrames(topo_->top()) > 0) {
             node = topo_->top();
         }
-        auto pfn = alloc_->allocate(node);
+        // Tenant runs charge initial placement against the owner's cap;
+        // a tenant already at its cap spills instead (cgroup semantics
+        // from the very first frame).
+        auto pfn = tenant_table_
+            ? alloc_->allocateFor(node, tenant_table_->tenantOf(vpn))
+            : alloc_->allocate(node);
+        if (tenant_table_ && !pfn && node == topo_->top()) {
+            node = topo_->spill();
+            pfn = alloc_->allocateFor(node, tenant_table_->tenantOf(vpn));
+        }
         m5_assert(pfn.has_value(), "out of frames on node %u", node);
         pt_->map(vpn, *pfn, node);
         if (cfg_.pinned_fraction > 0.0 &&
@@ -394,6 +468,7 @@ TieredSystem::issueAccess(const AccessEvent &ev)
     const Addr pa = pageBase(pfn) | (ev.va & (kPageBytes - 1));
     const CacheResult res = llc_->access(pa, ev.is_write);
     Tick lat = cfg_.think_per_access;
+    bool lower_fill = false;
     if (!res.hit) {
         // PEBS samples LLC-miss addresses (Sec 2.1 Solution 3); a full
         // buffer raises the processing interrupt here, in the app's path.
@@ -409,8 +484,20 @@ TieredSystem::issueAccess(const AccessEvent &ev)
         // which is why Monitor only needs read bandwidth (§5.2).
         lat += mem_->access(pa, false, core_.now());
         lrus_->touch(vpn, pt_->pte(vpn).node);
+        lower_fill = pt_->pte(vpn).node != topo_->top();
         if (cfg_.record_trace)
             trace_.push(pa, core_.now(), ev.is_write);
+    }
+    // Per-tenant books (docs/MULTITENANT.md): where each access was
+    // served and what it cost — the inputs to the fairness telemetry.
+    if (tenant_table_) {
+        TenantCounters &c =
+            tenant_table_->counters(tenant_table_->tenantOf(vpn));
+        c.accesses += 1;
+        c.access_time += lat;
+        c.access_latency.add(lat);
+        if (!res.hit)
+            (lower_fill ? c.lower_hits : c.ddr_hits) += 1;
     }
     core_.advanceApp(lat);
     core_.onAccessRetired();
@@ -492,7 +579,7 @@ TieredSystem::run(std::uint64_t num_accesses)
                        cfg_.baseline_kernel_fraction));
 
     RunResult r;
-    r.benchmark = cfg_.colocated_benchmarks.empty()
+    r.benchmark = cfg_.colocated_benchmarks.empty() && !tenant_table_
         ? cfg_.benchmark : workload_->name();
     r.policy = policyKindName(cfg_.policy);
     r.accesses = num_accesses;
@@ -533,6 +620,32 @@ TieredSystem::run(std::uint64_t num_accesses)
     r.baseline_cycles = ledger_.category(KernelWork::Baseline);
     if (daemon_)
         r.hot_pages = daemon_->hotPages().pages();
+    if (tenant_table_) {
+        for (std::size_t t = 0; t < tenant_table_->count(); ++t) {
+            const auto tid = static_cast<TenantId>(t);
+            const TenantCounters &c = tenant_table_->counters(tid);
+            TenantResult tr;
+            tr.name = tenant_table_->entry(tid).name;
+            tr.accesses = c.accesses;
+            tr.ddr_hits = c.ddr_hits;
+            tr.lower_hits = c.lower_hits;
+            tr.promoted = c.promoted;
+            tr.demoted = c.demoted;
+            tr.cap_demotions = c.cap_demotions;
+            tr.cap_rejects = c.cap_rejects;
+            tr.mean_access_ns = c.accesses
+                ? static_cast<double>(c.access_time) /
+                  static_cast<double>(c.accesses)
+                : 0.0;
+            tr.p99_access_ns =
+                static_cast<double>(c.access_latency.percentile(99.0));
+            tr.ddr_frames = alloc_->tenantUsed(tid);
+            tr.cap_frames = alloc_->tenantCap(tid);
+            tr.cxl_reads = ctrl_->tenantReads(tid);
+            tr.cxl_writes = ctrl_->tenantWrites(tid);
+            r.tenants.push_back(std::move(tr));
+        }
+    }
     // Close the open trace epoch span before the final telemetry sample
     // so telemetry.trace.emitted is settled in the rollup, then export.
     if (tracer_) {

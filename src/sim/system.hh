@@ -33,6 +33,7 @@
 #include "os/page_table.hh"
 #include "sim/core.hh"
 #include "sim/engine.hh"
+#include "sim/tenants.hh"
 #include "fault/fault.hh"
 #include "sim/fault/invariant.hh"
 #include "telemetry/registry.hh"
@@ -68,6 +69,14 @@ struct SystemConfig
     //! Non-empty = colocate these benchmarks (round-robin interleaved,
     //! disjoint address ranges) instead of running `benchmark` alone.
     std::vector<std::string> colocated_benchmarks;
+    //! Multi-tenant colocation spec (docs/MULTITENANT.md), e.g.
+    //! "redis:cap=0.25,mcf_r:cap=0.5:share=2".  Non-empty replaces
+    //! `benchmark`/`colocated_benchmarks` with a TenantSet: per-tenant
+    //! DDR frame caps in the allocator, per-tenant CXL attribution, fair
+    //! M5 election, always-on invariants, and `tenant.<id>.*` telemetry.
+    //! Empty leaves every result, telemetry row and trace event
+    //! byte-identical to a build without the tenant model.
+    std::string tenants;
     double scale = kDefaultScale;
     std::size_t instances = 1;
     std::uint64_t seed = 1;
@@ -157,6 +166,25 @@ struct SystemConfig
     std::string faults;
 };
 
+/** One tenant's slice of a multi-tenant run (docs/MULTITENANT.md). */
+struct TenantResult
+{
+    std::string name;
+    std::uint64_t accesses = 0;
+    std::uint64_t ddr_hits = 0;       //!< LLC fills served by DDR.
+    std::uint64_t lower_hits = 0;     //!< LLC fills served below DDR.
+    std::uint64_t promoted = 0;
+    std::uint64_t demoted = 0;
+    std::uint64_t cap_demotions = 0;  //!< Demotions forced by the cap.
+    std::uint64_t cap_rejects = 0;    //!< Promotions refused at the cap.
+    double mean_access_ns = 0.0;      //!< Mean post-L2 access latency.
+    double p99_access_ns = 0.0;       //!< p99 post-L2 access latency.
+    std::size_t ddr_frames = 0;       //!< DDR frames held at run end.
+    std::size_t cap_frames = 0;       //!< DDR frame budget.
+    std::uint64_t cxl_reads = 0;      //!< Attributed lower-tier reads.
+    std::uint64_t cxl_writes = 0;     //!< Attributed lower-tier writes.
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -182,6 +210,8 @@ struct RunResult
     Cycles kernel_total_cycles = 0;
     Cycles baseline_cycles = 0;
     std::vector<Pfn> hot_pages; //!< Identified hot pages (record mode).
+    //! Per-tenant breakdown; empty unless `cfg.tenants` was set.
+    std::vector<TenantResult> tenants;
 };
 
 /** The simulated tiered-memory machine. */
@@ -219,6 +249,8 @@ class TieredSystem
     const InvariantChecker *invariants() const { return invariants_.get(); }
     //! The M5 manager daemon; nullptr for non-M5 policies.
     M5Manager *m5Manager() { return m5_.get(); }
+    //! The tenant table; nullptr unless `cfg.tenants` was set.
+    const TenantTable *tenants() const { return tenant_table_; }
     /** @} */
 
   private:
@@ -237,6 +269,8 @@ class TieredSystem
 
     SystemConfig cfg_;
     std::unique_ptr<Workload> workload_;
+    //! Owned by workload_ when it is a TenantSet; null otherwise.
+    TenantTable *tenant_table_ = nullptr;
     std::unique_ptr<TierTopology> topo_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<SetAssocCache> llc_;

@@ -1,0 +1,73 @@
+#include "sim/tenants.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace m5 {
+
+TenantSet::TenantSet(const std::vector<TenantSpec> &specs, double scale,
+                     std::uint64_t seed)
+{
+    m5_assert(!specs.empty(), "TenantSet needs at least one tenant");
+    std::vector<TenantTable::Entry> entries;
+    std::size_t base = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const TenantSpec &s = specs[i];
+        tenants_.push_back(std::make_unique<SyntheticWorkload>(
+            benchmarkParams(s.benchmark, scale),
+            seed + 0x51edULL * (i + 1)));
+
+        TenantTable::Entry e;
+        e.name = s.benchmark;
+        e.vpn_base = base;
+        e.pages = tenants_.back()->footprintPages();
+        // The cap is a fraction of the tenant's own footprint, rounded
+        // up so cap=epsilon still grants one frame; cap=1.0 equals the
+        // footprint, which can never be exceeded — i.e. uncapped.
+        e.cap_frames = static_cast<std::size_t>(
+            std::ceil(s.ddr_cap * static_cast<double>(e.pages)));
+        e.share = s.share;
+        base += e.pages;
+        entries.push_back(std::move(e));
+
+        if (i)
+            name_ += '+';
+        name_ += s.describe();
+        wrr_credit_.push_back(0);
+        share_total_ += s.share;
+    }
+    name_ = "tenants(" + name_ + ")";
+    table_ = std::make_unique<TenantTable>(std::move(entries));
+}
+
+AccessEvent
+TenantSet::next()
+{
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        wrr_credit_[i] +=
+            static_cast<std::int64_t>(table_->entry(
+                static_cast<TenantId>(i)).share);
+        if (wrr_credit_[i] > wrr_credit_[pick])
+            pick = i;
+    }
+    wrr_credit_[pick] -= share_total_;
+
+    AccessEvent ev = tenants_[pick]->next();
+    ev.va += static_cast<VAddr>(
+                 table_->entry(static_cast<TenantId>(pick)).vpn_base)
+             << kPageShift;
+    return ev;
+}
+
+unsigned
+TenantSet::accessesPerRequest() const
+{
+    // MultiWorkload convention: the first instance decides whether the
+    // run replays request latencies.
+    return tenants_[0]->accessesPerRequest();
+}
+
+} // namespace m5

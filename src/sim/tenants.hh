@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TenantSet: the workload-facing half of the multi-tenant colocation
+ * model (docs/MULTITENANT.md).
+ *
+ * A TenantSet builds one SyntheticWorkload per tenant from the benchmark
+ * registry, places each in its own contiguous VPN range, and interleaves
+ * their access streams with a deterministic smooth weighted round-robin
+ * over the tenants' `share` weights — so an N-tenant run is byte-
+ * reproducible across reruns and sweep worker counts, exactly like the
+ * single-tenant simulator.  It owns the os-layer TenantTable (VPN
+ * ranges, DDR caps, counters) that TieredSystem wires into the frame
+ * allocator, the migration engine, the CXL controller and the M5
+ * manager.
+ *
+ * This class lives in src/sim because it depends on the workload
+ * registry, which the os layer (home of TenantTable) must not reach.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/tenant.hh"
+#include "workloads/workload.hh"
+
+namespace m5 {
+
+/** Deterministic interleaver over N colocated tenant workloads. */
+class TenantSet : public Workload
+{
+  public:
+    /**
+     * @param specs Parsed tenant declarations (TenantSpec::parseList).
+     * @param scale Footprint scale, applied per tenant like the
+     *              single-benchmark path.
+     * @param seed Base seed; tenant i streams from seed + 0x51ed*(i+1),
+     *             the makeMixedWorkload convention.
+     */
+    TenantSet(const std::vector<TenantSpec> &specs, double scale,
+              std::uint64_t seed);
+
+    AccessEvent next() override;
+    const std::string &name() const override { return name_; }
+    std::size_t footprintPages() const override
+    {
+        return table_->totalPages();
+    }
+    unsigned accessesPerRequest() const override;
+
+    /** The shared OS-layer tenant table. @{ */
+    TenantTable &table() { return *table_; }
+    const TenantTable &table() const { return *table_; }
+    /** @} */
+
+    /** Number of tenants. */
+    std::size_t count() const { return tenants_.size(); }
+
+    /** Tenant i's underlying generator (tests, analysis). */
+    const SyntheticWorkload &tenantWorkload(std::size_t i) const
+    {
+        return *tenants_[i];
+    }
+
+  private:
+    std::vector<std::unique_ptr<SyntheticWorkload>> tenants_;
+    std::unique_ptr<TenantTable> table_;
+    std::string name_;
+    //! Smooth weighted round-robin credit per tenant: each next() adds
+    //! every tenant's share, picks the largest credit (lowest index on
+    //! ties), and debits the picked tenant by the share total.  Spreads
+    //! a 3:1 share mix as ABAA ABAA, never AAAB.
+    std::vector<std::int64_t> wrr_credit_;
+    std::int64_t share_total_ = 0;
+};
+
+} // namespace m5

@@ -1134,6 +1134,122 @@ TEST(LintDeadStat, GaugeLambdaExposureCountsAsRegistered)
     EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
 }
 
+TEST(LintDeadStat, ChainedRegistrationThroughLocalRefIsNotDead)
+{
+    // The tenant.<id>.* pattern: registerStats loops over a vector of
+    // counter structs and registers `&c.accesses` through a loop-local
+    // ref.  The root `c` never mutates anywhere; the member does, in a
+    // sibling file.  Matching only the chain root used to flag this as
+    // a dead stat.
+    const auto model = project({
+        {"src/os/tt.hh",
+         "#pragma once\n"
+         "struct Counters {\n"
+         "    std::uint64_t accesses = 0;\n"
+         "    StatHistogram latency;\n"
+         "};\n"
+         "struct Table {\n"
+         "    void registerStats(StatRegistry &reg) const;\n"
+         "    std::vector<Counters> counters_;\n"
+         "};\n"},
+        {"src/os/tt.cc",
+         "#include \"os/tt.hh\"\n"
+         "void\n"
+         "Table::registerStats(StatRegistry &reg) const\n"
+         "{\n"
+         "    for (const Counters &c : counters_) {\n"
+         "        reg.addCounter(\"tenant.0.accesses\", &c.accesses);\n"
+         "        reg.addHistogram(\"tenant.0.latency\", &c.latency);\n"
+         "    }\n"
+         "}\n"},
+        {"src/os/use.cc",
+         "#include \"os/tt.hh\"\n"
+         "void touch(Counters &tc, Tick t)\n"
+         "{\n"
+         "    tc.accesses++;\n"
+         "    tc.latency.add(t);\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
+}
+
+TEST(LintDeadStat, ChainedRegistrationWithNoMutationStillFires)
+{
+    // The chain fix must not blanket-suppress: the same loop-local-ref
+    // shape with a member nothing ever touches is still a dead stat,
+    // reported under its full chain name.
+    const auto model = project({
+        {"src/os/tt.hh",
+         "#pragma once\n"
+         "struct Counters {\n"
+         "    std::uint64_t orphaned = 0;\n"
+         "};\n"
+         "struct Table {\n"
+         "    void registerStats(StatRegistry &reg) const;\n"
+         "    std::vector<Counters> counters_;\n"
+         "};\n"},
+        {"src/os/tt.cc",
+         "#include \"os/tt.hh\"\n"
+         "void\n"
+         "Table::registerStats(StatRegistry &reg) const\n"
+         "{\n"
+         "    for (const Counters &c : counters_) {\n"
+         "        reg.addCounter(\"tenant.0.orphaned\", &c.orphaned);\n"
+         "    }\n"
+         "}\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "dead-stat"), 1u);
+    EXPECT_NE(d[0].msg.find("c.orphaned"), std::string::npos);
+}
+
+TEST(LintDeadStat, MemberChainMutationKeepsRootRegistrationLive)
+{
+    // Registration takes the root's address but the hot path mutates
+    // through a member chain (`slots_[i].count++`): stepping the chain
+    // must recognise that as an update of the registered object.
+    const auto model = project({
+        {"src/os/ledger.hh",
+         "#pragma once\n"
+         "struct Ledger {\n"
+         "    void registerStats(StatRegistry &reg)\n"
+         "    {\n"
+         "        reg.addCounter(\"os.slots\", &slots_);\n"
+         "    }\n"
+         "    std::array<Slot, 4> slots_{};\n"
+         "};\n"},
+        {"src/os/ledger.cc",
+         "#include \"os/ledger.hh\"\n"
+         "void Ledger::charge(unsigned i)\n"
+         "{\n"
+         "    slots_[i].count++;\n"
+         "}\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 0u);
+}
+
+TEST(LintDeadStat, ChainedMethodCallIsAReadNotAMutation)
+{
+    // `q_.size()` and friends must not count as mutations of q_ — the
+    // chain step stops at call shapes, so a registered stat that is
+    // only ever *read* through members still fires.
+    const auto model = project({
+        {"src/os/q.hh",
+         "#pragma once\n"
+         "struct Q {\n"
+         "    void registerStats(StatRegistry &reg)\n"
+         "    {\n"
+         "        reg.addCounter(\"os.depth\", &depth_);\n"
+         "    }\n"
+         "    std::uint64_t depth_ = 0;\n"
+         "};\n"},
+        {"src/os/q.cc",
+         "#include \"os/q.hh\"\n"
+         "bool Q::empty() const { return depth_.load() == 0; }\n"},
+    });
+    EXPECT_EQ(countRule(runProject(model), "dead-stat"), 1u);
+}
+
 TEST(LintDeadStat, ScopeIsInstrumentedLayersOnly)
 {
     // workloads/ is not an instrumented layer; same fixture, no diag.

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the multi-tenant colocation model (docs/MULTITENANT.md):
+ * tenant spec grammar (including rejected specs), TenantTable VPN
+ * resolution, the deterministic weighted interleave, per-tenant DDR cap
+ * enforcement in the frame allocator and the migration engine (a cap
+ * below the working set forces same-tenant demotions, never an
+ * over-cap tenant), per-tenant telemetry registration and CXL
+ * attribution, Jain fairness math, rerun and 1-vs-4-worker
+ * byte-identity of tenant runs — and the golden single-tenant identity:
+ * an untenanted run must stay byte-identical (results, telemetry and
+ * trace) to the pre-tenant-model simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "os/frame_alloc.hh"
+#include "os/tenant.hh"
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "sim/tenants.hh"
+
+namespace m5 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        path_ = fs::temp_directory_path() /
+                ("m5_tenants_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Byte-stable serialization of a run's per-tenant counters. */
+std::string
+tenantSig(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.runtime << ':' << r.app_time << ':' << r.kernel_time;
+    for (const TenantResult &t : r.tenants) {
+        os << '|' << t.name << ',' << t.accesses << ',' << t.ddr_hits
+           << ',' << t.lower_hits << ',' << t.promoted << ',' << t.demoted
+           << ',' << t.cap_demotions << ',' << t.cap_rejects << ','
+           << t.ddr_frames << ',' << t.cxl_reads << ',' << t.cxl_writes;
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------
+
+TEST(TenantSpecTest, ParsesGrammar)
+{
+    const auto specs =
+        TenantSpec::parseList("redis:cap=0.25,mcf_r:cap=0.5:share=2,bc");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].benchmark, "redis");
+    EXPECT_DOUBLE_EQ(specs[0].ddr_cap, 0.25);
+    EXPECT_EQ(specs[0].share, 1u);
+    EXPECT_EQ(specs[1].benchmark, "mcf_r");
+    EXPECT_DOUBLE_EQ(specs[1].ddr_cap, 0.5);
+    EXPECT_EQ(specs[1].share, 2u);
+    EXPECT_EQ(specs[2].benchmark, "bc");
+    EXPECT_DOUBLE_EQ(specs[2].ddr_cap, 1.0);
+    EXPECT_EQ(specs[2].share, 1u);
+}
+
+TEST(TenantSpecTest, DescribeRoundTrips)
+{
+    const std::string spec = "redis:cap=0.25,mcf_r:cap=0.5:share=2,bc";
+    const auto specs = TenantSpec::parseList(spec);
+    std::string described;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i)
+            described += ',';
+        described += specs[i].describe();
+    }
+    EXPECT_EQ(described, spec);
+}
+
+TEST(TenantSpecTest, MalformedSpecsAreFatal)
+{
+    FatalCaptureScope capture;
+    EXPECT_THROW(TenantSpec::parseList(""), FatalError);
+    EXPECT_THROW(TenantSpec::parseList(",redis"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList(":cap=0.5"), FatalError);
+    // cap=0 is rejected at parse time: a tenant with no DDR budget at
+    // all can never promote and is always a spec bug.
+    EXPECT_THROW(TenantSpec::parseList("redis:cap=0"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:cap=-0.5"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:cap=1.5"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:cap=abc"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:share=0"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:share=1.5"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:cap"), FatalError);
+    EXPECT_THROW(TenantSpec::parseList("redis:bogus=1"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// TenantTable
+// ---------------------------------------------------------------------
+
+TEST(TenantTableTest, ResolvesContiguousRanges)
+{
+    std::vector<TenantTable::Entry> entries(2);
+    entries[0] = {"a", 0, 100, 40, 1};
+    entries[1] = {"b", 100, 50, 50, 2};
+    TenantTable table(std::move(entries));
+
+    EXPECT_EQ(table.count(), 2u);
+    EXPECT_EQ(table.totalPages(), 150u);
+    EXPECT_EQ(table.tenantOf(0), 0u);
+    EXPECT_EQ(table.tenantOf(99), 0u);
+    EXPECT_EQ(table.tenantOf(100), 1u);
+    EXPECT_EQ(table.tenantOf(149), 1u);
+
+    FatalCaptureScope capture;
+    EXPECT_THROW(table.tenantOf(150), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Frame-allocator caps
+// ---------------------------------------------------------------------
+
+TEST(TenantCapsTest, AllocatorEnforcesCapBeforeFreeList)
+{
+    SystemConfig cfg;
+    cfg.benchmark = "mcf_r";
+    cfg.scale = 1.0 / 256.0;
+    TieredSystem sys(cfg);
+    FrameAllocator alloc(sys.memory());
+
+    alloc.enableTenantCaps(kNodeDdr, {2, 1});
+    ASSERT_TRUE(alloc.tenantCapsEnabled());
+    EXPECT_EQ(alloc.capNode(), kNodeDdr);
+
+    const auto a0 = alloc.allocateFor(kNodeDdr, 0);
+    const auto a1 = alloc.allocateFor(kNodeDdr, 0);
+    ASSERT_TRUE(a0 && a1);
+    EXPECT_EQ(alloc.tenantUsed(0), 2u);
+    EXPECT_TRUE(alloc.tenantAtCap(0));
+    // The node still has free frames; the *cap* refuses the third.
+    ASSERT_GT(alloc.freeFrames(kNodeDdr), 0u);
+    EXPECT_FALSE(alloc.allocateFor(kNodeDdr, 0).has_value());
+    // Another tenant is unaffected.
+    EXPECT_TRUE(alloc.allocateFor(kNodeDdr, 1).has_value());
+
+    // Freeing uncharges; the tenant can allocate again.
+    alloc.freeFor(kNodeDdr, *a0, 0);
+    EXPECT_EQ(alloc.tenantUsed(0), 1u);
+    EXPECT_TRUE(alloc.allocateFor(kNodeDdr, 0).has_value());
+
+    // Exchange accounting moves a charge without touching free lists.
+    const std::size_t free_before = alloc.freeFrames(kNodeDdr);
+    alloc.transferCapCharge(0, 1);
+    EXPECT_EQ(alloc.tenantUsed(0), 1u);
+    EXPECT_EQ(alloc.tenantUsed(1), 2u);
+    EXPECT_EQ(alloc.freeFrames(kNodeDdr), free_before);
+
+    // Off-cap nodes ignore tenant accounting entirely.
+    const std::size_t used1 = alloc.tenantUsed(1);
+    EXPECT_TRUE(alloc.allocateFor(kNodeCxl, 1).has_value());
+    EXPECT_EQ(alloc.tenantUsed(1), used1);
+}
+
+// ---------------------------------------------------------------------
+// TenantSet interleave
+// ---------------------------------------------------------------------
+
+TEST(TenantSetTest, WeightedInterleaveIsExactAndDeterministic)
+{
+    const auto specs = TenantSpec::parseList("mcf_r:share=2,roms_r");
+    TenantSet a(specs, 1.0 / 256.0, 7);
+    TenantSet b(specs, 1.0 / 256.0, 7);
+
+    std::size_t first = 0;
+    const std::size_t n = 3000;
+    for (std::size_t i = 0; i < n; ++i) {
+        const AccessEvent ea = a.next();
+        const AccessEvent eb = b.next();
+        EXPECT_EQ(ea.va, eb.va) << "same seed, same stream";
+        EXPECT_EQ(ea.is_write, eb.is_write);
+        if (a.table().tenantOf(vpnOf(ea.va)) == 0)
+            ++first;
+    }
+    // Smooth weighted round-robin: a 2:1 share mix yields exactly 2/3 of
+    // the stream from tenant 0.
+    EXPECT_EQ(first, 2 * n / 3);
+}
+
+TEST(TenantSetTest, TenantsOccupyDisjointRanges)
+{
+    const auto specs = TenantSpec::parseList("mcf_r,roms_r");
+    TenantSet set(specs, 1.0 / 256.0, 7);
+    const TenantTable &table = set.table();
+    ASSERT_EQ(table.count(), 2u);
+    EXPECT_EQ(table.entry(0).vpn_base, 0u);
+    EXPECT_EQ(table.entry(1).vpn_base, table.entry(0).pages);
+    EXPECT_EQ(set.footprintPages(),
+              table.entry(0).pages + table.entry(1).pages);
+    for (int i = 0; i < 1000; ++i) {
+        const Vpn vpn = vpnOf(set.next().va);
+        ASSERT_LT(vpn, set.footprintPages());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jain fairness
+// ---------------------------------------------------------------------
+
+TEST(JainIndexTest, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({5.0, 5.0, 5.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 0.0, 0.0, 0.0}), 0.25);
+    // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 2.0, 3.0}), 36.0 / 42.0);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end tenant runs
+// ---------------------------------------------------------------------
+
+SystemConfig
+tenantConfig(const std::string &tenants, std::uint64_t seed = 7)
+{
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, seed);
+    cfg.tenants = tenants;
+    return cfg;
+}
+
+TEST(TenantSystemTest, CapBelowWorkingSetForcesDemotionNeverOverCap)
+{
+    // Tenant 0's DDR budget (2% of its footprint) is far below its hot
+    // set: promotions must demote same-tenant victims to stay under the
+    // cap, and the run must end with every tenant within budget.
+    TieredSystem sys(tenantConfig("mcf_r:cap=0.02,mcf_r"));
+    const RunResult r = sys.run(100000);
+
+    ASSERT_EQ(r.tenants.size(), 2u);
+    const TenantResult &capped = r.tenants[0];
+    EXPECT_LE(capped.ddr_frames, capped.cap_frames);
+    EXPECT_LE(r.tenants[1].ddr_frames, r.tenants[1].cap_frames);
+    EXPECT_GT(capped.cap_demotions + capped.cap_rejects, 0u)
+        << "a cap below the working set must exercise the cap machinery";
+    EXPECT_GT(capped.promoted, 0u)
+        << "cap demotions make room: promotion still proceeds";
+
+    // Tenant runs always carry the invariant checker, and it must be
+    // clean — the allocator books, page table and caps agree.
+    ASSERT_NE(sys.invariants(), nullptr);
+    EXPECT_GT(sys.invariants()->checks(), 0u);
+    EXPECT_EQ(sys.invariants()->violations(), 0u);
+}
+
+TEST(TenantSystemTest, RegistersTenantTelemetryAndAttribution)
+{
+    TieredSystem sys(tenantConfig("mcf_r:cap=0.5,roms_r:share=2"));
+    const RunResult r = sys.run(60000);
+
+    const StatRegistry &reg = sys.stats();
+    for (const char *name :
+         {"tenant.0.accesses", "tenant.0.ddr_hits", "tenant.0.promoted",
+          "tenant.0.cap_demotions", "tenant.0.ddr_frames",
+          "tenant.0.ddr_cap", "tenant.0.access_latency",
+          "tenant.0.cxl.reads", "tenant.1.accesses",
+          "tenant.1.cxl.writes", "m5.manager.tenant_quota_deferrals"}) {
+        EXPECT_TRUE(reg.has(name)) << name;
+    }
+
+    // Both tenants issued accesses and were attributed CXL traffic.
+    ASSERT_EQ(r.tenants.size(), 2u);
+    for (const TenantResult &t : r.tenants) {
+        EXPECT_GT(t.accesses, 0u);
+        EXPECT_GT(t.ddr_hits + t.lower_hits, 0u);
+        EXPECT_GT(t.cxl_reads + t.cxl_writes, 0u);
+    }
+    // share=2 gives tenant 1 exactly twice the access stream.
+    EXPECT_EQ(r.tenants[1].accesses, 2 * r.tenants[0].accesses);
+    EXPECT_TRUE(sys.controller().tenantAttributionActive());
+}
+
+TEST(TenantSystemTest, UntenantedRunsCarryNoTenantSurface)
+{
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 7);
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(20000);
+
+    EXPECT_TRUE(r.tenants.empty());
+    EXPECT_EQ(sys.tenants(), nullptr);
+    EXPECT_FALSE(sys.controller().tenantAttributionActive());
+    EXPECT_EQ(sys.invariants(), nullptr)
+        << "without tenants or faults the checker is not even built";
+    for (const auto &s : sys.stats().sample())
+        EXPECT_NE(s.name.rfind("tenant.", 0), 0u) << s.name;
+}
+
+TEST(TenantSystemTest, TenantRunsAreRerunByteIdentical)
+{
+    TempDir dir("rerun");
+    auto once = [&](const std::string &tag) {
+        SystemConfig cfg = tenantConfig("mcf_r:cap=0.25,roms_r");
+        cfg.telemetry.path = (dir.path() / (tag + ".jsonl")).string();
+        TieredSystem sys(cfg);
+        const RunResult r = sys.run(60000);
+        return tenantSig(r);
+    };
+    EXPECT_EQ(once("a"), once("b"));
+    EXPECT_EQ(slurp(dir.path() / "a.jsonl"), slurp(dir.path() / "b.jsonl"));
+}
+
+TEST(TenantSystemTest, SweepIsWorkerCountInvariant)
+{
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policy(PolicyKind::M5HptDriven)
+        .scale(1.0 / 128.0)
+        .budgetOverride(40000)
+        .axis({{"t2", [](SystemConfig &cfg) {
+                    cfg.tenants = "mcf_r:cap=0.25,roms_r:share=2";
+                }},
+               {"t3", [](SystemConfig &cfg) {
+                    cfg.tenants = "mcf_r:cap=0.5,roms_r,redis:cap=0.25";
+                }}});
+    const auto jobs = grid.expand();
+
+    auto sigs = [&](unsigned workers) {
+        ExperimentRunner runner({.jobs = workers, .progress = 0});
+        const auto results = runner.map(jobs, [](const SweepJob &job) {
+            TieredSystem sys(job.config);
+            return tenantSig(sys.run(job.budget));
+        });
+        std::vector<std::string> out;
+        for (const auto &r : results) {
+            EXPECT_TRUE(r.ok) << r.error;
+            out.push_back(r.value);
+        }
+        return out;
+    };
+    EXPECT_EQ(sigs(1), sigs(4));
+}
+
+// ---------------------------------------------------------------------
+// Single-tenant golden identity
+// ---------------------------------------------------------------------
+
+TEST(TenantSystemTest, SingleTenantRunMatchesPreTenantGoldens)
+{
+    // Captured from the simulator immediately before the tenant model
+    // landed (same config, budget and hash function): an untenanted run
+    // must reproduce results, telemetry and trace bytes exactly.
+    TempDir dir("golden");
+    SystemConfig cfg =
+        makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 7);
+    cfg.telemetry.path = (dir.path() / "telem.jsonl").string();
+    cfg.trace.path = (dir.path() / "trace.json").string();
+    cfg.trace.categories = 0xffffffffu;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(60000);
+
+    EXPECT_EQ(r.runtime, 19669510u);
+    EXPECT_EQ(r.app_time, 13701610u);
+    EXPECT_EQ(r.kernel_time, 5967900u);
+    EXPECT_EQ(r.migration.promoted, 3136u);
+    EXPECT_EQ(r.migration.demoted, 0u);
+    EXPECT_EQ(r.llc.misses, 59861u);
+    EXPECT_EQ(r.ddr_read_bytes, 1589376u);
+    EXPECT_EQ(r.cxl_read_bytes, 15086784u);
+    EXPECT_EQ(fnv1a(slurp(cfg.telemetry.path)), 3194142581152799404ULL);
+    EXPECT_EQ(fnv1a(slurp(cfg.trace.path)), 1126355910619151284ULL);
+}
+
+} // namespace
+} // namespace m5

@@ -19,6 +19,11 @@
 #          exchange counters move, invariants stay clean, and a rerun
 #          is byte-identical; artifacts kept in
 #          <build-dir>/topology-smoke for CI upload (docs/TOPOLOGY.md)
+#   colocation  3-tenant m5sim --tenants campaign: per-tenant DDR caps
+#          are enforced (cap demotions fire, no tenant over budget),
+#          fairness telemetry moves, invariants stay clean, and a rerun
+#          is byte-identical; artifacts kept in
+#          <build-dir>/colocation-smoke for CI upload (docs/MULTITENANT.md)
 #   tsan   ThreadSanitizer build + runner determinism tests
 #   asan   AddressSanitizer build + full ctest (leaks on)
 #   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
@@ -51,7 +56,7 @@ while [ $# -gt 0 ]; do
             shift 2
             ;;
         --help|-h)
-            sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,39p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         -*)
@@ -64,14 +69,14 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology colocation tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|smoke|trace|faults|topology|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|trace|faults|topology|colocation|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|smoke|trace|faults|topology|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|trace|faults|topology|colocation|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
@@ -234,6 +239,61 @@ stage_topology() {
             }
             printf "topology stage: OK (%d exchanges, %d invariant checks clean)\n",
                    swapped, checks
+        }' "$_out/report.txt"
+}
+
+stage_colocation() {
+    echo "== colocation: 3-tenant --tenants campaign with DDR caps =="
+    if [ ! -x "$BUILD/tools/m5sim" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim || return 1
+    fi
+    _out="$BUILD/colocation-smoke"
+    # mcf_r's cap is deliberately below its hot set so the allocator has
+    # to demote-within-tenant; redis's cap is roomy and must never trip.
+    _spec='mcf_r:cap=0.1,roms_r:share=2,redis:cap=0.25'
+    rm -rf "$_out" && mkdir -p "$_out" &&
+    "$BUILD/tools/m5sim" --tenants "$_spec" --policy m5 --scale 128 \
+        --seed 7 --accesses 80000 > "$_out/report.txt" &&
+    "$BUILD/tools/m5sim" --tenants "$_spec" --policy m5 --scale 128 \
+        --seed 7 --accesses 80000 > "$_out/report2.txt" || return 1
+    # Same seed, same spec -> byte-identical report (docs/MULTITENANT.md).
+    cmp -s "$_out/report.txt" "$_out/report2.txt" || {
+        echo "colocation stage: rerun is not byte-identical" >&2
+        diff "$_out/report.txt" "$_out/report2.txt" >&2
+        return 1
+    }
+    grep -q '^tenants: *3 colocated' "$_out/report.txt" || {
+        echo "colocation stage: report is missing the 3-tenant summary" >&2
+        return 1
+    }
+    grep -q '^  caps: OK' "$_out/report.txt" || {
+        echo "colocation stage: a tenant exceeded its DDR cap" >&2
+        return 1
+    }
+    # Caps actually bit (cap demotions fired), the weighted share gave
+    # roms_r twice the accesses, fairness telemetry is live, and the
+    # per-tenant invariant checker ran clean.
+    awk '
+        /^  tenant\.0 /  { cap_demoted = $7; sub(/\(/, "", cap_demoted) }
+        /^  tenant\.0 /  { t0_acc = $3 }
+        /^  tenant\.1 /  { t1_acc = $3 }
+        /^  fairness:/   { jain = $3 }
+        /^  invariants:/ { checks = $2; violations = $4 }
+        END {
+            if (cap_demoted + 0 == 0) { print "cap never bit (no cap demotions)"; exit 1 }
+            if (t1_acc + 0 != 2 * t0_acc) {
+                print "share=2 tenant did not get 2x accesses"; exit 1
+            }
+            if (jain + 0 <= 0 || jain + 0 > 1) {
+                print "jain fairness index out of (0, 1]: " jain; exit 1
+            }
+            if (checks + 0 == 0)    { print "invariant checker never ran"; exit 1 }
+            if (violations + 0 != 0) {
+                print "invariant violations: " violations; exit 1
+            }
+            printf "colocation stage: OK (%d cap demotions, jain %.3f, %d invariant checks clean)\n",
+                   cap_demoted, jain, checks
         }' "$_out/report.txt"
 }
 

@@ -311,9 +311,64 @@ instrumentedLayer(const std::string &path)
 
 struct Registration
 {
-    std::string name;  //!< registered member identifier
+    std::string name;  //!< registered member identifier (chain root)
+    std::string chain; //!< last member of `&root.a.b` (empty: no chain)
     int line = 0;      //!< line of the `&member` argument
 };
+
+/** Step `pos` over a `.ident` / `->ident` member chain (subscripts
+ *  allowed after each member); returns the index just past the chain
+ *  and, via `last`, the final member identifier.  `pos` itself must
+ *  already sit just past an identifier. */
+std::size_t
+stepMemberChain(const std::string &s, std::size_t pos, std::string *last)
+{
+    while (true) {
+        std::size_t m = pos;
+        while (m < s.size() && s[m] == ' ')
+            ++m;
+        if (m < s.size() && s[m] == '.') {
+            ++m;
+        } else if (m + 1 < s.size() && s[m] == '-' && s[m + 1] == '>') {
+            m += 2;
+        } else {
+            return pos;
+        }
+        while (m < s.size() && s[m] == ' ')
+            ++m;
+        // Member access, not a floating literal or operator soup.
+        if (m >= s.size() || !isIdentChar(s[m]) ||
+            (s[m] >= '0' && s[m] <= '9'))
+            return pos;
+        const std::size_t mb = m;
+        while (m < s.size() && isIdentChar(s[m]))
+            ++m;
+        // `x.add(` is a method call, not a deeper member — stop before
+        // it so callers can still see the call shape at `pos`.
+        std::size_t after = m;
+        while (after < s.size() && s[after] == ' ')
+            ++after;
+        if (after < s.size() && s[after] == '(')
+            return pos;
+        if (last)
+            *last = s.substr(mb, m - mb);
+        // Step a subscript on the member: `c.cycles[i]`.
+        if (after < s.size() && s[after] == '[') {
+            int depth = 0;
+            while (after < s.size()) {
+                if (s[after] == '[')
+                    ++depth;
+                else if (s[after] == ']' && --depth == 0) {
+                    ++after;
+                    break;
+                }
+                ++after;
+            }
+            m = after;
+        }
+        pos = m;
+    }
+}
 
 /** registerStats() definitions in a file: `&ident` registrations plus
  *  the set of every identifier its bodies mention (gauge lambdas pull
@@ -340,13 +395,30 @@ registerStatsInfo(const FileModel &fm, std::vector<Registration> &regs,
                     ++j;
                 const std::string ident = s.substr(i, j - i);
                 exposed.insert(ident);
-                // Registration: `&ident` (not `&&`).
+                // Registration: `&ident` (not `&&`).  The ident may be
+                // a chain root (`&c.accesses` registers the counter of
+                // a loop-local ref); record the chain's last member too
+                // so liveness can match either end.
                 std::size_t k = i;
                 while (k > 0 && s[k - 1] == ' ')
                     --k;
                 if (k > 0 && s[k - 1] == '&' &&
-                    !(k > 1 && s[k - 2] == '&'))
-                    regs.push_back({ident, ln});
+                    !(k > 1 && s[k - 2] == '&')) {
+                    // `Counters &c : counters_` / `auto &e = ...` are
+                    // reference declarations, not address-of: a type
+                    // (identifier or closing template `>`) sits left
+                    // of the `&`.
+                    std::size_t t = k - 1;
+                    while (t > 0 && s[t - 1] == ' ')
+                        --t;
+                    const bool ref_decl =
+                        t > 0 && (isIdentChar(s[t - 1]) || s[t - 1] == '>');
+                    if (!ref_decl) {
+                        std::string chain;
+                        stepMemberChain(s, j, &chain);
+                        regs.push_back({ident, chain, ln});
+                    }
+                }
                 i = j;
             }
         }
@@ -429,6 +501,28 @@ mutatesIdent(const FileModel &fm, const std::string &name,
                         return true;
                 }
             }
+            // Mutation through a member chain: `hits_[i].count++` or
+            // `stats_.promoted += n` mutates the root object too.
+            // Re-run the postfix shapes at the end of the chain; the
+            // call-shape stop in stepMemberChain keeps `x.size()`-style
+            // reads from matching.
+            const std::size_t ce = stepMemberChain(s, a, nullptr);
+            if (ce != a) {
+                std::size_t c = ce;
+                while (c < s.size() && s[c] == ' ')
+                    ++c;
+                if (c + 1 < s.size() &&
+                    ((s[c] == '+' && s[c + 1] == '+') ||
+                     (s[c] == '-' && s[c + 1] == '-')))
+                    return true;
+                if (c + 1 < s.size() && s[c + 1] == '=' &&
+                    (s[c] == '+' || s[c] == '-' || s[c] == '|' ||
+                     s[c] == '&' || s[c] == '^'))
+                    return true;
+                if (c < s.size() && s[c] == '=' &&
+                    !(c + 1 < s.size() && s[c + 1] == '='))
+                    return true;
+            }
         }
     }
     return false;
@@ -457,25 +551,33 @@ checkDeadStat(const ProjectModel &model, std::vector<Diag> &out)
 
         const auto &neighbors = by_dir[dirOf(fm.path)];
 
-        // Direction 1: registered but never incremented.
+        // Direction 1: registered but never incremented.  A chained
+        // registration (`&c.accesses` through a loop-local ref, the
+        // dynamically-named `tenant.<id>.*` pattern) is live when
+        // EITHER end of the chain mutates: the root is often a
+        // never-reassigned local, while the member is what the hot
+        // path actually increments.
         std::set<std::string> seen;
         for (const auto &r : regs) {
-            if (!seen.insert(r.name).second)
+            if (!seen.insert(r.name + "." + r.chain).second)
                 continue;
             bool live = false;
             for (const FileModel *nb : neighbors) {
                 const auto skip = nb == &fm
                                       ? bodies
                                       : std::vector<std::pair<int, int>>{};
-                if (mutatesIdent(*nb, r.name, skip)) {
+                if (mutatesIdent(*nb, r.name, skip) ||
+                    (!r.chain.empty() && mutatesIdent(*nb, r.chain, skip))) {
                     live = true;
                     break;
                 }
             }
+            const std::string shown =
+                r.chain.empty() ? r.name : r.name + "." + r.chain;
             if (!live)
                 out.push_back(
                     {fm.path, r.line, rule,
-                     "stat '" + r.name + "' is registered here but "
+                     "stat '" + shown + "' is registered here but "
                      "nothing in " + dirOf(fm.path) + "/ ever updates "
                      "it; it will report 0 forever — wire it up or "
                      "delete the registration"});

@@ -4,9 +4,9 @@
  *
  *   m5sim [--bench NAME] [--policy NAME] [--scale DENOM] [--seed N]
  *         [--accesses N] [--instances N] [--record-only] [--wac]
- *         [--ddr-frac F] [--telemetry FILE] [--telemetry-every N]
- *         [--trace FILE] [--trace-cats CSV] [--faults SPEC] [--csv]
- *         [--list]
+ *         [--ddr-frac F] [--tenants SPEC] [--telemetry FILE]
+ *         [--telemetry-every N] [--trace FILE] [--trace-cats CSV]
+ *         [--faults SPEC] [--csv] [--list]
  *
  * Runs one experiment and prints a full report: timing, tier traffic,
  * migration and TLB statistics, the kernel-cycle breakdown, request
@@ -18,7 +18,10 @@
  * loadable in Perfetto or chrome://tracing (docs/TRACING.md).
  * --faults arms the deterministic fault injector with a spec like
  * "migrate_busy:p=0.05,mmio_stale:after=2ms" and appends a resilience
- * section to the report (docs/FAULTS.md).
+ * section to the report (docs/FAULTS.md).  --tenants colocates several
+ * workloads with per-tenant DDR caps and interleave shares, e.g.
+ * "redis:cap=0.25,mcf_r:cap=0.5:share=2", and appends a per-tenant
+ * fairness section (docs/MULTITENANT.md).
  */
 
 #include <cstdio>
@@ -30,6 +33,7 @@
 #include "analysis/ratio.hh"
 #include "analysis/report.hh"
 #include "common/env.hh"
+#include "common/stats.hh"
 #include "common/logging.hh"
 #include "os/costs.hh"
 #include "sim/experiment.hh"
@@ -84,6 +88,7 @@ struct Options
     bool record_only = false;
     bool wac = false;
     double ddr_frac = -1.0;
+    std::string tenants;
     std::string tiers;
     bool exchange = true;
     bool csv = false;
@@ -127,6 +132,10 @@ usage()
         "  --accesses N      post-L2 access budget (default: auto)\n"
         "  --instances N     co-running instances (default 1)\n"
         "  --ddr-frac F      DDR capacity / footprint (default 0.375)\n"
+        "  --tenants SPEC    colocate tenants with DDR caps and shares,\n"
+        "                    e.g. redis:cap=0.25,mcf_r:cap=0.5:share=2\n"
+        "                    (replaces --bench/--instances;\n"
+        "                    docs/MULTITENANT.md)\n"
         "  --tiers SPEC      N-tier topology, e.g.\n"
         "                    ddr:100,cxl:270:0.5,far:400 — tiers fastest\n"
         "                    first, last tier is the spill tier; optional\n"
@@ -178,6 +187,8 @@ parseArgs(int argc, char **argv)
             opt.instances = argU64(arg, next());
         } else if (arg == "--ddr-frac") {
             opt.ddr_frac = argDouble(arg, next());
+        } else if (arg == "--tenants") {
+            opt.tenants = next();
         } else if (arg == "--tiers") {
             opt.tiers = next();
         } else if (arg == "--no-exchange") {
@@ -234,6 +245,7 @@ main(int argc, char **argv)
     cfg.enable_wac = opt.wac;
     if (opt.ddr_frac > 0.0)
         cfg.ddr_capacity_fraction = opt.ddr_frac;
+    cfg.tenants = opt.tenants;
     cfg.tiers = opt.tiers;
     cfg.exchange = opt.exchange;
     cfg.telemetry.path = opt.telemetry;
@@ -411,6 +423,43 @@ main(int argc, char **argv)
         std::printf("  invariants: %lu checks, %lu violations\n",
                     static_cast<unsigned long>(inv->checks()),
                     static_cast<unsigned long>(inv->violations()));
+    }
+    if (!r.tenants.empty()) {
+        // Colocation section (docs/MULTITENANT.md).  check.sh's
+        // colocation stage greps the `caps:` and `invariants:` lines, so
+        // keep the key names stable.
+        std::printf("tenants:       %zu colocated, spec '%s'\n",
+                    r.tenants.size(), opt.tenants.c_str());
+        std::vector<double> promoted, ddr_frames;
+        bool capped = true;
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const TenantResult &tr = r.tenants[t];
+            std::printf("  tenant.%zu %-12s %10lu accesses, %lu promoted "
+                        "(%lu cap-demoted, %lu cap-rejected), "
+                        "ddr %zu/%zu frames, p99 %.0f ns\n",
+                        t, tr.name.c_str(),
+                        static_cast<unsigned long>(tr.accesses),
+                        static_cast<unsigned long>(tr.promoted),
+                        static_cast<unsigned long>(tr.cap_demotions),
+                        static_cast<unsigned long>(tr.cap_rejects),
+                        tr.ddr_frames, tr.cap_frames, tr.p99_access_ns);
+            promoted.push_back(dbl(tr.promoted));
+            ddr_frames.push_back(static_cast<double>(tr.ddr_frames));
+            capped = capped && tr.ddr_frames <= tr.cap_frames;
+        }
+        std::printf("  fairness: jain(promoted) %.3f, jain(ddr_frames) "
+                    "%.3f\n",
+                    jainIndex(promoted), jainIndex(ddr_frames));
+        std::printf("  caps: %s\n",
+                    capped ? "OK (every tenant within its DDR budget)"
+                           : "EXCEEDED");
+        if (!sys.faults()) {
+            // With faults the invariants line above already covers it.
+            const InvariantChecker *inv = sys.invariants();
+            std::printf("  invariants: %lu checks, %lu violations\n",
+                        static_cast<unsigned long>(inv->checks()),
+                        static_cast<unsigned long>(inv->violations()));
+        }
     }
     return 0;
 }

@@ -1,0 +1,78 @@
+#!/bin/sh
+# CI perf-regression gate: re-measure the host's single-thread
+# simulation rate with tools/bench_wallclock.sh and compare it against
+# the sim_accesses_per_second recorded in the committed
+# BENCH_runner.json.  A drop of more than M5_PERF_THRESHOLD_PCT
+# (default 15%) fails the gate; a faster run just updates nothing.
+#
+# The committed baseline and the fresh measurement come from the SAME
+# fixed m5sim run (mcf_r, scale 1/128, 2M accesses), so the comparison
+# tracks simulator throughput, not benchmark-suite drift.  The fresh
+# measurement is always kept at <build-dir>/perf-gate/BENCH_runner.json
+# so CI can upload it as an artifact on every run — pass or fail —
+# giving a per-commit history of the sim rate.  The committed baseline
+# file is restored afterwards so the gate never dirties the tree.
+#
+# When the committed baseline predates the sim-rate field (or records
+# 0 because m5sim was missing at capture time), the gate degrades to a
+# warning and exits 0: a missing baseline is a reason to regenerate it,
+# not to block unrelated changes.
+#
+# Usage: tools/perf_gate.sh [build-dir]   (default: build)
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BASELINE="BENCH_runner.json"
+THRESHOLD="${M5_PERF_THRESHOLD_PCT:-15}"
+
+json_field() {
+    sed -n "s/.*\"$2\": *\([0-9][0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+if [ ! -f "$BASELINE" ]; then
+    echo "perf gate: SKIPPED ($BASELINE not committed — run" \
+         "tools/bench_wallclock.sh and commit the result)" >&2
+    exit 0
+fi
+BASE_APS="$(json_field "$BASELINE" sim_accesses_per_second)"
+if [ -z "$BASE_APS" ] || [ "$BASE_APS" -eq 0 ]; then
+    echo "perf gate: SKIPPED (baseline lacks a usable" \
+         "sim_accesses_per_second — regenerate $BASELINE)" >&2
+    exit 0
+fi
+
+# bench_wallclock.sh writes its result over $BASELINE in the repo root;
+# stash the committed baseline so the gate leaves the tree clean.
+SAVED="$(mktemp)"
+cp "$BASELINE" "$SAVED"
+trap 'cp "$SAVED" "$BASELINE"; rm -f "$SAVED"' EXIT
+
+echo "perf gate: baseline $BASE_APS accesses/s, threshold -$THRESHOLD%"
+tools/bench_wallclock.sh "$BUILD" || exit 1
+
+NEW_APS="$(json_field "$BASELINE" sim_accesses_per_second)"
+mkdir -p "$BUILD/perf-gate"
+cp "$BASELINE" "$BUILD/perf-gate/BENCH_runner.json"
+
+if [ -z "$NEW_APS" ] || [ "$NEW_APS" -eq 0 ]; then
+    echo "perf gate: FAILED (fresh run recorded no sim rate — is" \
+         "$BUILD/tools/m5sim built?)" >&2
+    exit 1
+fi
+
+# Integer math: fail when new * 100 < base * (100 - threshold).
+FLOOR=$((BASE_APS * (100 - THRESHOLD)))
+SCALED=$((NEW_APS * 100))
+DELTA_PCT="$(echo "$NEW_APS $BASE_APS" | \
+    awk '{printf "%+.1f", ($1 - $2) * 100.0 / $2}')"
+
+echo "perf gate: measured $NEW_APS accesses/s (${DELTA_PCT}% vs baseline)"
+if [ "$SCALED" -lt "$FLOOR" ]; then
+    echo "perf gate: FAILED — sim rate regressed more than $THRESHOLD%" \
+         "(baseline $BASE_APS, measured $NEW_APS)" >&2
+    echo "perf gate: if the slowdown is intentional, regenerate the" \
+         "baseline with tools/bench_wallclock.sh and commit it" >&2
+    exit 1
+fi
+echo "perf gate: OK (within $THRESHOLD% of baseline)"
