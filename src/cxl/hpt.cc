@@ -1,5 +1,7 @@
 #include "cxl/hpt.hh"
 
+#include "telemetry/prof.hh"
+
 namespace m5 {
 
 HptUnit::HptUnit(const TrackerConfig &cfg)
@@ -10,6 +12,7 @@ HptUnit::HptUnit(const TrackerConfig &cfg)
 std::vector<TopKEntry>
 HptUnit::queryAndReset()
 {
+    PROF_SCOPE("cxl.hpt.query");
     auto top = tracker_->query();
     tracker_->reset();
     observed_ = 0;

@@ -1,5 +1,7 @@
 #include "cxl/hwt.hh"
 
+#include "telemetry/prof.hh"
+
 namespace m5 {
 
 HwtUnit::HwtUnit(const TrackerConfig &cfg)
@@ -10,6 +12,7 @@ HwtUnit::HwtUnit(const TrackerConfig &cfg)
 std::vector<TopKEntry>
 HwtUnit::queryAndReset()
 {
+    PROF_SCOPE("cxl.hwt.query");
     auto top = tracker_->query();
     tracker_->reset();
     observed_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "telemetry/prof.hh"
 
 namespace m5 {
 
@@ -33,6 +34,7 @@ Elector::Elector(const ElectorConfig &cfg, FScale fscale)
 ElectorDecision
 Elector::evaluate(const Monitor &monitor)
 {
+    PROF_SCOPE("m5.elector.evaluate");
     // Line 2: T = 1 / (fscale(bw_den(CXL)/bw_den(DDR)) * f_default).
     // "CXL" aggregates every tier below the top in an N-tier topology.
     const double den_ddr = monitor.bwDen(kNodeDdr);

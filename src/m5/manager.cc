@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "os/costs.hh"
+#include "telemetry/prof.hh"
 #include "telemetry/trace.hh"
 
 namespace m5 {
@@ -30,6 +31,9 @@ M5Manager::name() const
 Tick
 M5Manager::wake(Tick now)
 {
+    // One wake per epoch of the decision pipeline: the scope's call
+    // count doubles as the per-epoch phase marker (docs/PROFILING.md).
+    PROF_SCOPE("m5.manager.wake");
     ++wakeups_;
     Cycles cycles = cost::kElectorEvaluate;
 
@@ -147,7 +151,7 @@ M5Manager::applyTenantQuota(std::vector<Vpn> candidates)
     // quota shapes *which batch* a page rides, never whether it moves.
     std::uint64_t total_share = 0;
     for (std::size_t t = 0; t < tenants_->count(); ++t)
-        total_share += tenants_->entry(t).share;
+        total_share += tenants_->entry(static_cast<TenantId>(t)).share;
     std::vector<std::size_t> taken(tenants_->count(), 0);
     std::vector<Vpn> kept;
     kept.reserve(candidates.size());

@@ -1,6 +1,7 @@
 #include "m5/monitor.hh"
 
 #include "common/logging.hh"
+#include "telemetry/prof.hh"
 #include "telemetry/trace.hh"
 
 namespace m5 {
@@ -26,6 +27,7 @@ Monitor::Monitor(const MemorySystem &mem, const PageTable &pt)
 void
 Monitor::sample(Tick now)
 {
+    PROF_SCOPE("m5.monitor.sample");
     const Tick elapsed = now > last_sample_ ? now - last_sample_ : 0;
     for (std::size_t n = 0; n < mem_.tiers(); ++n) {
         const std::uint64_t bytes =

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "telemetry/prof.hh"
 #include "telemetry/trace.hh"
 
 namespace m5 {
@@ -107,6 +108,7 @@ Nominator::updateFromHwt(const std::vector<TopKEntry> &hot_words, Tick now)
 std::vector<Vpn>
 Nominator::nominate(std::size_t max_pages, Tick now)
 {
+    PROF_SCOPE("m5.nominator.nominate");
     std::vector<HpaEntry> ranked;
     ranked.reserve(hpa_.size());
     for (const auto &[pfn, e] : hpa_)

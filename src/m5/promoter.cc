@@ -1,5 +1,6 @@
 #include "m5/promoter.hh"
 
+#include "telemetry/prof.hh"
 #include "telemetry/trace.hh"
 
 namespace m5 {
@@ -39,6 +40,7 @@ Promoter::noteTransient(Vpn vpn, std::uint64_t attempts, Tick now)
 PromoteRound
 Promoter::promote(const std::vector<Vpn> &vpns, Tick now)
 {
+    PROF_SCOPE("m5.promoter.promote");
     PromoteRound round;
     std::size_t issued = 0;
     std::size_t rejected = 0;

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "os/costs.hh"
+#include "telemetry/prof.hh"
 #include "telemetry/trace.hh"
 
 namespace m5 {
@@ -151,6 +152,7 @@ MigrationEngine::transientFail(Vpn vpn, Tick now, MigrateOutcome outcome)
 MigrateResult
 MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
 {
+    PROF_SCOPE("os.migration.move");
     m5_assert(dst < topo_.numTiers(), "move to unknown tier %u", dst);
     const Pte &e = pt_.pte(vpn);
     if (!e.valid || e.node == dst) {
@@ -209,6 +211,7 @@ MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
 MigrateResult
 MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
 {
+    PROF_SCOPE("os.migration.exchange");
     const Pte &eh = pt_.pte(hot);
     const Pte &ec = pt_.pte(cold);
     if (!eh.valid || !ec.valid || eh.node == ec.node) {
@@ -347,6 +350,7 @@ MigrationEngine::exchangeWithVictim(Vpn vpn, Tick now)
 MigrateResult
 MigrationEngine::promote(Vpn vpn, Tick now)
 {
+    PROF_SCOPE("os.migration.promote");
     const Pte &e = pt_.pte(vpn);
     if (!e.valid || !topo_.isLower(e.node)) {
         ++stats_.rejected_not_cxl;
@@ -477,6 +481,7 @@ MigrationEngine::promoteBatch(const std::vector<Vpn> &vpns, Tick now)
 MigrateResult
 MigrationEngine::demote(Vpn vpn, Tick now)
 {
+    PROF_SCOPE("os.migration.demote");
     const Pte &e = pt_.pte(vpn);
     m5_assert(e.valid && e.node != topo_.spill(),
               "demote of vpn %lu already on the spill tier",

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "telemetry/prof.hh"
+
 namespace m5 {
 
 void
@@ -23,6 +25,7 @@ EventQueue::runDue(Tick &now)
 {
     Tick busy_total = 0;
     while (!heap_.empty() && heap_.top().when <= now) {
+        PROF_SCOPE("sim.events.dispatch");
         EventFn fn = heap_.top().fn;
         heap_.pop();
         ++executed_;

@@ -175,6 +175,16 @@ runJob(const SweepJob &job)
         if (const auto spec = benchFaultsSpec())
             cfg.faults = *spec;
     }
+    if (cfg.prof.base.empty()) {
+        // Host-time profiles, also keyed by the cell label: the .prof
+        // artifact set is per cell whatever the worker count, and each
+        // cell's Profiler binds to whichever worker runs it
+        // (docs/PROFILING.md).
+        if (const auto dir = benchProfDir()) {
+            std::filesystem::create_directories(*dir);
+            cfg.prof.base = artifactPathForLabel(*dir, job.label(), "");
+        }
+    }
     TieredSystem sys(cfg);
     return sys.run(job.budget);
 }
@@ -298,6 +308,15 @@ benchFaultsSpec()
     if (spec && spec->empty())
         return std::nullopt;
     return spec;
+}
+
+std::optional<std::string>
+benchProfDir()
+{
+    auto dir = envString("M5_BENCH_PROF");
+    if (dir && dir->empty())
+        return std::nullopt;
+    return dir;
 }
 
 std::string

@@ -161,6 +161,11 @@ std::optional<std::string> benchTraceDir();
  *  not set one; M5_BENCH_FAULTS holds a docs/FAULTS.md spec string
  *  (e.g. "migrate_busy:p=0.05").  nullopt when unset. */
 std::optional<std::string> benchFaultsSpec();
+
+/** Per-cell profile directory; M5_BENCH_PROF names a directory that
+ *  runJob fills with one `<cell-label>.prof.json` + `.folded` pair per
+ *  sweep cell (docs/PROFILING.md).  nullopt when unset. */
+std::optional<std::string> benchProfDir();
 /** @} */
 
 /** Deterministic artifact path for a sweep-cell label: the label with

@@ -124,6 +124,12 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
     // byte-identical to a run built before tracing existed.
     if (cfg_.trace.enabled())
         tracer_ = std::make_unique<Tracer>(cfg_.trace);
+    // The profiler follows the same existence gate: a disabled profile
+    // constructs nothing, registers nothing, and leaves every artifact
+    // byte-identical.  It never touches the StatRegistry — host time
+    // must not leak into the result domain (docs/PROFILING.md).
+    if (cfg_.prof.enabled())
+        prof_ = std::make_unique<Profiler>(cfg_.prof);
     registerStats();
     if (!cfg_.telemetry.path.empty())
         telem_ = std::make_unique<EpochSnapshotter>(stats_, cfg_.telemetry);
@@ -376,7 +382,10 @@ TieredSystem::daemonTick(Tick now)
     }
     // Daemon work runs in a kernel thread: it becomes preemptible debt
     // drained between application accesses, not an atomic time jump.
-    kernel_debt_ += daemon_->wake(now);
+    {
+        PROF_SCOPE("sim.daemon.tick");
+        kernel_debt_ += daemon_->wake(now);
+    }
     events_.schedule(std::max(daemon_->nextWake(), now + 1),
                      [this](Tick t) { return daemonTick(t); });
     return 0;
@@ -420,6 +429,7 @@ TieredSystem::scheduleTelemetry(Tick when)
     // Telemetry only reads registered stats and consumes zero simulated
     // time, so enabling it never changes simulation results.
     events_.schedule(when, [this](Tick now) -> Tick {
+        PROF_MARK("sim.telemetry.epoch");
         telem_->epoch(now);
         scheduleTelemetry(now + cfg_.telemetry.epoch_period);
         return 0;
@@ -447,10 +457,12 @@ TieredSystem::scheduleTraceEpoch(Tick when)
 Tick
 TieredSystem::issueAccess(const AccessEvent &ev)
 {
+    PROF_SCOPE("sim.access");
     const Vpn vpn = vpnOf(ev.va);
     TRACE_PAGE_ACCESS(vpn, core_.now());
     Pfn pfn;
     if (!tlb_->lookup(vpn, pfn)) {
+        PROF_SCOPE("sim.access.pt_walk");
         Pte &e = pt_->pte(vpn);
         if (!e.present) {
             // NUMA hinting fault: the page was unmapped by ANB's scan.
@@ -466,10 +478,15 @@ TieredSystem::issueAccess(const AccessEvent &ev)
     }
 
     const Addr pa = pageBase(pfn) | (ev.va & (kPageBytes - 1));
-    const CacheResult res = llc_->access(pa, ev.is_write);
+    CacheResult res;
+    {
+        PROF_SCOPE("sim.access.llc");
+        res = llc_->access(pa, ev.is_write);
+    }
     Tick lat = cfg_.think_per_access;
     bool lower_fill = false;
     if (!res.hit) {
+        PROF_SCOPE("sim.access.fill");
         // PEBS samples LLC-miss addresses (Sec 2.1 Solution 3); a full
         // buffer raises the processing interrupt here, in the app's path.
         if (memtis_) {
@@ -512,6 +529,10 @@ TieredSystem::run(std::uint64_t num_accesses)
     // tracer, which keeps per-cell traces byte-identical across pool
     // sizes.
     const TraceBinding trace_binding(tracer_.get());
+    // Same per-thread binding for the host profiler; the root scope
+    // covers the whole run so every annotation nests under sim.run.
+    const ProfBinding prof_binding(prof_.get());
+    ProfScope run_scope("sim.run");
 
     monitor_->sample(core_.now());
 
@@ -543,6 +564,7 @@ TieredSystem::run(std::uint64_t num_accesses)
     for (std::uint64_t i = 0; i < num_accesses; ++i) {
         Tick now = core_.now();
         if (events_.nextTime() <= now) {
+            PROF_SCOPE("sim.events.run");
             events_.runDue(now);
             core_.syncTo(now, true);
         }
@@ -665,6 +687,11 @@ TieredSystem::run(std::uint64_t num_accesses)
         telem_->finish(core_.now());
     if (tracer_)
         tracer_->save();
+    // Close the root scope before exporting so sim.run's total covers
+    // the run and nothing else; the artifact write itself is untimed.
+    run_scope.close();
+    if (prof_)
+        prof_->save();
     return r;
 }
 

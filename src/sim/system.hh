@@ -36,6 +36,7 @@
 #include "sim/tenants.hh"
 #include "fault/fault.hh"
 #include "sim/fault/invariant.hh"
+#include "telemetry/prof.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/snapshot.hh"
 #include "telemetry/trace.hh"
@@ -158,6 +159,11 @@ struct SystemConfig
     //! `trace.enabled()`.  Tracing only observes — results and telemetry
     //! are byte-identical with it off.
     TraceConfig trace;
+    //! Host-time profiling (docs/PROFILING.md); disabled unless
+    //! `prof.enabled()`.  The profiler observes only the host clock,
+    //! never the simulation: results, telemetry and traces are
+    //! byte-identical with it on or off.
+    ProfConfig prof;
     //! Fault-injection spec (docs/FAULTS.md), e.g.
     //! "migrate_busy:p=0.05,ddr_alloc:burst=100@5ms".  Empty — or a spec
     //! whose rules can never fire — leaves results, telemetry, and
@@ -243,6 +249,8 @@ class TieredSystem
     const StatRegistry &stats() const { return stats_; }
     EpochSnapshotter *telemetry() { return telem_.get(); }
     Tracer *tracer() { return tracer_.get(); }
+    //! The host profiler; nullptr unless `cfg.prof` enables it.
+    Profiler *profiler() { return prof_.get(); }
     //! The fault injector; nullptr when no (effective) spec is set.
     FaultInjector *faults() { return faults_.get(); }
     //! The invariant checker; constructed only alongside the injector.
@@ -299,6 +307,7 @@ class TieredSystem
     StatRegistry stats_;
     std::unique_ptr<EpochSnapshotter> telem_;
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<Profiler> prof_;
     Tick trace_epoch_start_ = 0;     //!< Start of the open epoch span.
     std::uint64_t trace_epoch_idx_ = 0;
 };

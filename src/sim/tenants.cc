@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "telemetry/prof.hh"
 #include "workloads/registry.hh"
 
 namespace m5 {
@@ -45,6 +46,7 @@ TenantSet::TenantSet(const std::vector<TenantSpec> &specs, double scale,
 AccessEvent
 TenantSet::next()
 {
+    PROF_SCOPE("sim.tenants.wrr");
     std::size_t pick = 0;
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
         wrr_credit_[i] +=

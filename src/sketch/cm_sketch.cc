@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "telemetry/prof.hh"
 
 namespace m5 {
 
@@ -22,6 +23,7 @@ CmSketch::CmSketch(unsigned rows, std::uint64_t cols, std::uint64_t seed,
 std::uint64_t
 CmSketch::update(std::uint64_t key)
 {
+    PROF_SCOPE("sketch.cm.update");
     std::uint64_t min_val = std::numeric_limits<std::uint64_t>::max();
     for (unsigned r = 0; r < rows_; ++r) {
         std::uint64_t &c =

@@ -1,0 +1,246 @@
+#include "telemetry/prof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace m5 {
+namespace {
+
+thread_local ProfThreadState *t_prof_state = nullptr;
+
+/** Sum `src` into `dst`, recursing over children by name. */
+void
+mergeInto(ProfNode &dst, const ProfNode &src)
+{
+    dst.self_ns += src.self_ns;
+    dst.total_ns += src.total_ns;
+    dst.calls += src.calls;
+    for (const auto &[name, child] : src.children) {
+        auto &slot = dst.children[name];
+        if (!slot)
+            slot = std::make_unique<ProfNode>();
+        mergeInto(*slot, *child);
+    }
+}
+
+/** Depth-first flatten, children in (deterministic) name order. */
+void
+flatten(const ProfNode &node, const std::string &prefix, unsigned depth,
+        std::vector<ProfEntry> &out)
+{
+    for (const auto &[name, child] : node.children) {
+        ProfEntry e;
+        e.path = prefix.empty() ? name : prefix + ";" + name;
+        e.depth = depth;
+        e.self_ns = child->self_ns;
+        e.total_ns = child->total_ns;
+        e.calls = child->calls;
+        out.push_back(e);
+        // Recurse on the local copy of the path: `out` reallocates as
+        // it grows, so a reference into it would dangle.
+        flatten(*child, e.path, depth + 1, out);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+ProfClock::nowNs()
+{
+    // The one sanctioned steady_clock read in the tree: host time never
+    // leaves this module except through the profile artifacts.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ProfThreadState::ProfThreadState(const Profiler &owner)
+    : owner_(owner)
+{
+    // The virtual root frame: depth-0 scopes are its children.  Its
+    // timestamps are never read, so zeros are fine.
+    stack_.push_back({&root_, 0, 0});
+}
+
+ProfNode *
+ProfThreadState::child(const char *name)
+{
+    auto &slot = stack_.back().node->children[name];
+    if (!slot)
+        slot = std::make_unique<ProfNode>();
+    return slot.get();
+}
+
+void
+ProfThreadState::enter(const char *name)
+{
+    ProfNode *node = child(name);
+    stack_.push_back({node, owner_.nowNs(), 0});
+}
+
+void
+ProfThreadState::exit()
+{
+    m5_assert(stack_.size() > 1, "PROF_SCOPE exit without matching enter");
+    const Frame f = stack_.back();
+    stack_.pop_back();
+    const std::uint64_t now = owner_.nowNs();
+    const std::uint64_t elapsed = now >= f.start_ns ? now - f.start_ns : 0;
+    const std::uint64_t self =
+        elapsed >= f.child_ns ? elapsed - f.child_ns : 0;
+    f.node->self_ns += self;
+    f.node->total_ns += elapsed;
+    f.node->calls += 1;
+    stack_.back().child_ns += elapsed;
+}
+
+void
+ProfThreadState::mark(const char *name)
+{
+    child(name)->calls += 1;
+}
+
+Profiler::Profiler(ProfConfig cfg)
+    : cfg_(std::move(cfg))
+{
+}
+
+std::uint64_t
+Profiler::nowNs() const
+{
+    return cfg_.clock ? cfg_.clock() : ProfClock::nowNs();
+}
+
+ProfThreadState *
+Profiler::bindThread()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    states_.push_back(std::make_unique<ProfThreadState>(*this));
+    return states_.back().get();
+}
+
+ProfNode
+Profiler::merged() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ProfNode out;
+    for (const auto &state : states_)
+        mergeInto(out, state->root());
+    return out;
+}
+
+std::vector<ProfEntry>
+Profiler::entries() const
+{
+    const ProfNode root = merged();
+    std::vector<ProfEntry> out;
+    flatten(root, "", 0, out);
+    return out;
+}
+
+std::vector<ProfEntry>
+Profiler::rollup(std::size_t n) const
+{
+    std::vector<ProfEntry> all = entries();
+    std::sort(all.begin(), all.end(),
+              [](const ProfEntry &a, const ProfEntry &b) {
+                  if (a.self_ns != b.self_ns)
+                      return a.self_ns > b.self_ns;
+                  return a.path < b.path;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+std::uint64_t
+Profiler::wallNs() const
+{
+    std::uint64_t wall = 0;
+    for (const auto &e : entries())
+        if (e.depth == 0)
+            wall += e.total_ns;
+    return wall;
+}
+
+std::size_t
+Profiler::scopeCount() const
+{
+    return entries().size();
+}
+
+void
+Profiler::exportJson(std::ostream &os) const
+{
+    // One node object per line, deterministic depth-first order: the
+    // m5prof parser and the format pin in tests/test_prof.cc rely on
+    // this exact shape (docs/PROFILING.md).
+    const std::vector<ProfEntry> all = entries();
+    os << "{\n";
+    os << "  \"version\": 1,\n";
+    os << "  \"wall_ns\": " << wallNs() << ",\n";
+    os << "  \"scopes\": " << all.size() << ",\n";
+    os << "  \"nodes\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const ProfEntry &e = all[i];
+        os << "    {\"path\": \"" << e.path << "\", \"depth\": " << e.depth
+           << ", \"self_ns\": " << e.self_ns
+           << ", \"total_ns\": " << e.total_ns
+           << ", \"calls\": " << e.calls << "}"
+           << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void
+Profiler::exportFolded(std::ostream &os) const
+{
+    // Collapsed-stack lines weighted by self time; zero-self nodes
+    // (pure parents, untimed marks) carry no flame area and are
+    // omitted, as flamegraph.pl expects.
+    for (const auto &e : entries())
+        if (e.self_ns > 0)
+            os << e.path << " " << e.self_ns << "\n";
+}
+
+void
+Profiler::save() const
+{
+    if (cfg_.base.empty())
+        return;
+    const std::string json_path = cfg_.base + ".prof.json";
+    std::ofstream json(json_path, std::ios::trunc);
+    if (!json)
+        m5_fatal("cannot open profile output '%s'", json_path.c_str());
+    exportJson(json);
+    const std::string folded_path = cfg_.base + ".folded";
+    std::ofstream folded(folded_path, std::ios::trunc);
+    if (!folded)
+        m5_fatal("cannot open flamegraph output '%s'",
+                 folded_path.c_str());
+    exportFolded(folded);
+}
+
+ProfThreadState *
+profCurrent()
+{
+    return t_prof_state;
+}
+
+ProfBinding::ProfBinding(Profiler *prof)
+    : prev_(t_prof_state)
+{
+    t_prof_state = prof ? prof->bindThread() : nullptr;
+}
+
+ProfBinding::~ProfBinding()
+{
+    t_prof_state = prev_;
+}
+
+} // namespace m5

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Host-side profiler: per-component wall-time attribution
+ * (docs/PROFILING.md).
+ *
+ * The StatRegistry counts what the *simulated* machine did and the
+ * Tracer explains why; neither may touch the host clock, because both
+ * feed result artifacts that must be byte-identical across reruns.
+ * This module is the one sanctioned home of host time: components wrap
+ * their hot paths in PROF_SCOPE("layer.component.phase") annotations,
+ * and the profiler aggregates self/total host-nanoseconds and call
+ * counts per node of the dynamic scope tree.
+ *
+ * Determinism contract:
+ *  - steady_clock is read only inside this module, behind ProfClock
+ *    (m5lint rule no-raw-clock-outside-prof enforces the boundary).
+ *  - A disabled profile (ProfConfig::enabled() false) constructs no
+ *    Profiler at all; PROF_SCOPE then costs one thread-local load, and
+ *    results, telemetry and traces stay byte-identical to a build
+ *    without profiling (tests/test_prof.cc pins this down).
+ *  - Host times are exported only to the profile artifacts
+ *    (<base>.prof.json and the collapsed-stack <base>.folded), which
+ *    are excluded from every determinism comparison.  Call counts and
+ *    node paths ARE deterministic and rerun-identical.
+ *
+ * Aggregation is per-thread: ProfBinding registers a thread-local
+ * accumulator tree with the run's Profiler (one mutex acquisition at
+ * bind time, none per scope), and exporters merge the per-thread trees
+ * at report time — the runner's worker pool stays contention-free.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace m5 {
+
+/**
+ * The sanctioned host-clock wrapper: the only place in the tree that
+ * may read std::chrono::steady_clock (docs/PROFILING.md).
+ */
+struct ProfClock
+{
+    /** Monotonic host nanoseconds since an arbitrary epoch. */
+    static std::uint64_t nowNs();
+};
+
+/** Profiling knobs (part of SystemConfig); disabled by default. */
+struct ProfConfig
+{
+    //! Artifact base path: <base>.prof.json and <base>.folded are
+    //! written by Profiler::save().  Empty = no files.
+    std::string base;
+    //! Keep the aggregate in memory without writing files (tests).
+    bool collect = false;
+    //! Test-only clock override; empty uses ProfClock::nowNs().  Lets
+    //! tests pin the self/total accounting with a deterministic clock.
+    std::function<std::uint64_t()> clock;
+
+    /** True when any sink wants samples. */
+    bool
+    enabled() const
+    {
+        return !base.empty() || collect;
+    }
+};
+
+/** One node of the dynamic scope tree (per-thread, then merged). */
+struct ProfNode
+{
+    std::uint64_t self_ns = 0;  //!< Time in this scope minus children.
+    std::uint64_t total_ns = 0; //!< Inclusive time.
+    std::uint64_t calls = 0;    //!< Scope entries (and PROF_MARK hits).
+    //! Children keyed by scope name; ordered so every export walks the
+    //! tree in the same deterministic order.
+    std::map<std::string, std::unique_ptr<ProfNode>> children;
+};
+
+/** One merged, flattened scope for reports and tests.  `path` joins
+ *  the scope names root-first with ';' (the collapsed-stack idiom —
+ *  scope names themselves contain dots). */
+struct ProfEntry
+{
+    std::string path;
+    unsigned depth = 0;
+    std::uint64_t self_ns = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t calls = 0;
+};
+
+class Profiler;
+
+/**
+ * Per-thread accumulator: the scope stack and its private node tree.
+ * Created by ProfBinding, owned by the Profiler, touched by exactly
+ * one thread between bind and merge.
+ */
+class ProfThreadState
+{
+  public:
+    explicit ProfThreadState(const Profiler &owner);
+
+    /** Open a scope named `name` under the current stack top. */
+    void enter(const char *name);
+
+    /** Close the innermost scope and charge self/total time. */
+    void exit();
+
+    /** Count one occurrence of `name` under the current stack top
+     *  without timing it (phase markers). */
+    void mark(const char *name);
+
+    /** The private tree (merged by the Profiler at report time). */
+    const ProfNode &root() const { return root_; }
+
+  private:
+    struct Frame
+    {
+        ProfNode *node;
+        std::uint64_t start_ns;
+        std::uint64_t child_ns;
+    };
+
+    ProfNode *child(const char *name);
+
+    const Profiler &owner_;
+    ProfNode root_;
+    std::vector<Frame> stack_; //!< Parallel to the open PROF_SCOPEs.
+};
+
+/**
+ * The per-run aggregate: owns one ProfThreadState per binding thread
+ * and merges them for export.  One Profiler per TieredSystem; bound to
+ * the executing thread via ProfBinding, exactly like the Tracer.
+ */
+class Profiler
+{
+  public:
+    explicit Profiler(ProfConfig cfg);
+
+    /** Host nanoseconds via the config clock (test override aware). */
+    std::uint64_t nowNs() const;
+
+    /** Register (and return) this thread's accumulator.  Called by
+     *  ProfBinding; the only mutex acquisition on the profiling path. */
+    ProfThreadState *bindThread();
+
+    /** Per-thread trees merged into one, children in name order. */
+    ProfNode merged() const;
+
+    /** Depth-first flatten of merged(), deterministic order. */
+    std::vector<ProfEntry> entries() const;
+
+    /** Top `n` scopes by self time, descending (ties by path). */
+    std::vector<ProfEntry> rollup(std::size_t n) const;
+
+    /** Sum of depth-0 total_ns: the profiled wall time. */
+    std::uint64_t wallNs() const;
+
+    /** Scopes with at least one call. */
+    std::size_t scopeCount() const;
+
+    /** Machine-readable export (docs/PROFILING.md pins the format). */
+    void exportJson(std::ostream &os) const;
+
+    /** Collapsed-stack export: `a;b;c <self_ns>` per line, loadable by
+     *  speedscope and flamegraph.pl. */
+    void exportFolded(std::ostream &os) const;
+
+    /** Write <base>.prof.json and <base>.folded (no-op when base is
+     *  empty; fatal on I/O error). */
+    void save() const;
+
+    /** The configuration in use. */
+    const ProfConfig &config() const { return cfg_; }
+
+  private:
+    ProfConfig cfg_;
+    mutable std::mutex mutex_; //!< Guards states_ (bind/merge only).
+    std::vector<std::unique_ptr<ProfThreadState>> states_;
+};
+
+/** This thread's bound accumulator (nullptr = profiling off). */
+ProfThreadState *profCurrent();
+
+/**
+ * RAII binding of a Profiler to the current thread for the duration of
+ * a TieredSystem::run().  Per-thread, like TraceBinding, so parallel
+ * sweep workers each feed their own cell's profiler.
+ */
+class ProfBinding
+{
+  public:
+    explicit ProfBinding(Profiler *prof);
+    ~ProfBinding();
+
+    ProfBinding(const ProfBinding &) = delete;
+    ProfBinding &operator=(const ProfBinding &) = delete;
+
+  private:
+    ProfThreadState *prev_;
+};
+
+/**
+ * RAII scope: charges [construction, destruction) of host time to the
+ * node named `name` under the innermost open scope.  `name` must be a
+ * string literal (it keys the aggregate).  close() ends the timing
+ * early (idempotent) for scopes that must exclude their tail.
+ */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const char *name)
+        : state_(profCurrent())
+    {
+        if (state_)
+            state_->enter(name);
+    }
+
+    ~ProfScope() { close(); }
+
+    void
+    close()
+    {
+        if (state_) {
+            state_->exit();
+            state_ = nullptr;
+        }
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    ProfThreadState *state_;
+};
+
+} // namespace m5
+
+/**
+ * Annotation macros.  Disabled profiling (no ProfBinding on this
+ * thread) costs one thread-local load per site; no clock is read, no
+ * node is created, and no simulated state is touched either way — the
+ * profiler observes the host, never the simulation.
+ */
+#define M5_PROF_CONCAT2(a, b) a##b
+#define M5_PROF_CONCAT(a, b) M5_PROF_CONCAT2(a, b)
+
+/** Time the rest of the enclosing block as scope `name`. */
+#define PROF_SCOPE(name)                                                   \
+    const ::m5::ProfScope M5_PROF_CONCAT(m5_prof_scope_, __LINE__)(name)
+
+/** Count one occurrence of `name` (untimed phase marker). */
+#define PROF_MARK(name)                                                    \
+    do {                                                                   \
+        if (::m5::ProfThreadState *m5_ps_ = ::m5::profCurrent())           \
+            m5_ps_->mark(name);                                            \
+    } while (0)

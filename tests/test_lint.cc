@@ -408,12 +408,13 @@ TEST_F(LintFilesTest, AllowFileParsesEntriesAndRejectsUnknownRules)
     EXPECT_NE(errors[0].find("not-a-rule"), std::string::npos);
 }
 
-TEST(LintRules, CatalogueListsAllFourteenRules)
+TEST(LintRules, CatalogueListsAllFifteenRules)
 {
     const auto &rules = m5lint::allRules();
-    EXPECT_EQ(rules.size(), 14u);
+    EXPECT_EQ(rules.size(), 15u);
     for (const char *r :
-         {"no-wallclock", "no-wallclock-trace", "no-unseeded-rng",
+         {"no-wallclock", "no-wallclock-trace",
+          "no-raw-clock-outside-prof", "no-unseeded-rng",
           "no-unordered-result-iteration", "no-raw-parse", "no-raw-output",
           "no-naked-new", "header-hygiene", "no-untracked-stat",
           "no-unchecked-migrate-result", "layering",
@@ -425,6 +426,46 @@ TEST(LintRules, CatalogueListsAllFourteenRules)
     for (const auto &r : rules)
         EXPECT_FALSE(m5lint::ruleHelp(r).empty()) << r;
     EXPECT_TRUE(m5lint::ruleHelp("no-such-rule").empty());
+}
+
+// ---------------------------------------------------------------------
+// no-raw-clock-outside-prof
+// ---------------------------------------------------------------------
+
+TEST(LintRawClock, FiresOnMonotonicClocksOutsideProf)
+{
+    const auto d1 = run("src/m5/foo.cc",
+                        "auto t0 = std::chrono::steady_clock::now();\n");
+    EXPECT_EQ(countRule(d1, "no-raw-clock-outside-prof"), 1u);
+
+    const auto d2 = run(
+        "src/sim/engine.cc",
+        "auto t = std::chrono::high_resolution_clock::now();\n");
+    EXPECT_EQ(countRule(d2, "no-raw-clock-outside-prof"), 1u);
+}
+
+TEST(LintRawClock, SilentInsideProfModuleAndInStrings)
+{
+    // src/telemetry/prof is the sanctioned home of host time: the one
+    // place ProfClock::nowNs() may read steady_clock.
+    EXPECT_EQ(countRule(run("src/telemetry/prof.cc",
+                            "auto t = std::chrono::steady_clock::now();\n"),
+                        "no-raw-clock-outside-prof"), 0u);
+    // Clock tokens in string literals and comments are lexer-stripped.
+    EXPECT_EQ(countRule(run("src/m5/foo.cc",
+                            "const char *m = \"steady_clock is banned\";\n"
+                            "// mentions high_resolution_clock only\n"),
+                        "no-raw-clock-outside-prof"), 0u);
+}
+
+TEST(LintRawClock, SuppressedByAllowlistEntry)
+{
+    Config cfg;
+    cfg.allow.push_back({"no-raw-clock-outside-prof", "src/sim/runner.cc"});
+    EXPECT_EQ(countRule(run("src/sim/runner.cc",
+                            "auto t0 = std::chrono::steady_clock::now();\n",
+                            cfg),
+                        "no-raw-clock-outside-prof"), 0u);
 }
 
 // ---------------------------------------------------------------------

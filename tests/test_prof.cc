@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the host-side profiler (src/telemetry/prof): nested-scope
+ * self/total accounting under a deterministic test clock, the pinned
+ * .prof.json and collapsed-stack export formats, and the end-to-end
+ * guarantees — a disabled profiler constructs nothing and changes no
+ * result or telemetry byte, call counts and scope paths are identical
+ * across reruns, and an M5_BENCH_PROF sweep writes one artifact pair
+ * per cell whatever the worker count (docs/PROFILING.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "telemetry/prof.hh"
+
+namespace m5 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** setenv/unsetenv wrapper that restores the old value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        path_ = fs::temp_directory_path() /
+                ("m5_prof_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Config whose clock advances 10 ns per read: every enter/exit
+ *  timestamp is deterministic, so self/total values are exact.  The
+ *  counter lives in the closure, so each Profiler starts at zero. */
+ProfConfig
+fakeClockConfig()
+{
+    ProfConfig cfg;
+    cfg.collect = true;
+    cfg.clock = [t = std::uint64_t(0)]() mutable { return t += 10; };
+    return cfg;
+}
+
+const ProfEntry &
+entryAt(const std::vector<ProfEntry> &entries, const std::string &path)
+{
+    const auto it =
+        std::find_if(entries.begin(), entries.end(),
+                     [&](const ProfEntry &e) { return e.path == path; });
+    EXPECT_NE(it, entries.end()) << "missing scope " << path;
+    return *it;
+}
+
+SystemConfig
+smallConfig()
+{
+    return makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 1);
+}
+
+// ---------------------------------------------------------------------
+// Scope accounting under a deterministic clock
+// ---------------------------------------------------------------------
+
+TEST(ProfAccountingTest, NestedScopesSplitSelfAndTotal)
+{
+    Profiler prof(fakeClockConfig());
+    {
+        const ProfBinding binding(&prof);
+        PROF_SCOPE("outer");              // enter: t=10
+        {
+            PROF_SCOPE("inner");          // enter: t=20
+        }                                 // exit:  t=30
+        PROF_MARK("epoch");
+    }                                     // outer exit: t=40
+
+    const auto entries = prof.entries();
+    ASSERT_EQ(entries.size(), 3u);
+
+    const ProfEntry &outer = entryAt(entries, "outer");
+    EXPECT_EQ(outer.depth, 0u);
+    EXPECT_EQ(outer.total_ns, 30u);  // 40 - 10
+    EXPECT_EQ(outer.self_ns, 20u);   // minus inner's 10
+    EXPECT_EQ(outer.calls, 1u);
+
+    const ProfEntry &inner = entryAt(entries, "outer;inner");
+    EXPECT_EQ(inner.depth, 1u);
+    EXPECT_EQ(inner.total_ns, 10u);
+    EXPECT_EQ(inner.self_ns, 10u);
+    EXPECT_EQ(inner.calls, 1u);
+
+    // Marks count occurrences but never read the clock.
+    const ProfEntry &mark = entryAt(entries, "outer;epoch");
+    EXPECT_EQ(mark.calls, 1u);
+    EXPECT_EQ(mark.total_ns, 0u);
+
+    EXPECT_EQ(prof.wallNs(), 30u);
+    EXPECT_EQ(prof.scopeCount(), 3u);
+}
+
+TEST(ProfAccountingTest, RepeatedScopesAccumulateAndRollupSorts)
+{
+    Profiler prof(fakeClockConfig());
+    {
+        const ProfBinding binding(&prof);
+        for (int i = 0; i < 3; ++i) {
+            PROF_SCOPE("hot");            // 10 ns each pass
+        }
+    }
+
+    const auto top = prof.rollup(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].path, "hot");
+    EXPECT_EQ(top[0].calls, 3u);
+    EXPECT_EQ(top[0].self_ns, 30u);
+}
+
+TEST(ProfAccountingTest, MacrosAreInertWithoutABinding)
+{
+    // No ProfBinding on this thread: scopes and marks must do nothing.
+    EXPECT_EQ(profCurrent(), nullptr);
+    PROF_SCOPE("ignored");
+    PROF_MARK("ignored.too");
+    EXPECT_EQ(profCurrent(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Export format pins (docs/PROFILING.md)
+// ---------------------------------------------------------------------
+
+TEST(ProfExportTest, JsonAndFoldedMatchThePinnedFormats)
+{
+    Profiler prof(fakeClockConfig());
+    {
+        const ProfBinding binding(&prof);
+        PROF_SCOPE("a");                  // t=10
+        {
+            PROF_SCOPE("b");              // t=20..30
+        }
+    }                                     // t=40
+
+    std::ostringstream json;
+    prof.exportJson(json);
+    EXPECT_EQ(json.str(),
+              "{\n"
+              "  \"version\": 1,\n"
+              "  \"wall_ns\": 30,\n"
+              "  \"scopes\": 2,\n"
+              "  \"nodes\": [\n"
+              "    {\"path\": \"a\", \"depth\": 0, \"self_ns\": 20, "
+              "\"total_ns\": 30, \"calls\": 1},\n"
+              "    {\"path\": \"a;b\", \"depth\": 1, \"self_ns\": 10, "
+              "\"total_ns\": 10, \"calls\": 1}\n"
+              "  ]\n"
+              "}\n");
+
+    std::ostringstream folded;
+    prof.exportFolded(folded);
+    EXPECT_EQ(folded.str(),
+              "a 20\n"
+              "a;b 10\n");
+}
+
+TEST(ProfExportTest, SaveWritesTheArtifactPair)
+{
+    TempDir dir("save");
+    ProfConfig cfg = fakeClockConfig();
+    cfg.base = (dir.path() / "cell").string();
+    Profiler prof(std::move(cfg));
+    {
+        const ProfBinding binding(&prof);
+        PROF_SCOPE("sim.run");
+    }
+    prof.save();
+    const std::string json = slurp(dir.path() / "cell.prof.json");
+    const std::string folded = slurp(dir.path() / "cell.folded");
+    EXPECT_NE(json.find("\"path\": \"sim.run\""), std::string::npos);
+    EXPECT_EQ(folded, "sim.run 10\n");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: observation must not perturb the simulation
+// ---------------------------------------------------------------------
+
+TEST(ProfSystemTest, DisabledProfilerConstructsNothingAndChangesNothing)
+{
+    TempDir dir("inert");
+    RunResult plain, profiled;
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.telemetry.path = (dir.path() / "plain.jsonl").string();
+        cfg.trace.path = (dir.path() / "plain.trace.json").string();
+        TieredSystem sys(cfg);
+        plain = sys.run(20000);
+        EXPECT_EQ(sys.profiler(), nullptr);
+    }
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.telemetry.path = (dir.path() / "prof.jsonl").string();
+        cfg.trace.path = (dir.path() / "prof.trace.json").string();
+        cfg.prof.base = (dir.path() / "prof").string();
+        TieredSystem sys(cfg);
+        profiled = sys.run(20000);
+        ASSERT_NE(sys.profiler(), nullptr);
+        EXPECT_GT(sys.profiler()->scopeCount(), 0u);
+    }
+    // Simulated results are identical: host-time observation never
+    // leaks into the Tick domain.
+    EXPECT_EQ(plain.runtime, profiled.runtime);
+    EXPECT_EQ(plain.accesses, profiled.accesses);
+    EXPECT_EQ(plain.migration.promoted, profiled.migration.promoted);
+    EXPECT_EQ(plain.migration.demoted, profiled.migration.demoted);
+    EXPECT_EQ(plain.llc.hits, profiled.llc.hits);
+    EXPECT_EQ(plain.llc.misses, profiled.llc.misses);
+    EXPECT_EQ(plain.steady_ddr_read_bytes, profiled.steady_ddr_read_bytes);
+
+    // The profiler registers no stats and emits no trace events, so
+    // telemetry and trace artifacts are byte-identical either way —
+    // the profile artifacts are the only new files.
+    EXPECT_EQ(slurp(dir.path() / "plain.jsonl"),
+              slurp(dir.path() / "prof.jsonl"));
+    EXPECT_EQ(slurp(dir.path() / "plain.trace.json"),
+              slurp(dir.path() / "prof.trace.json"));
+    EXPECT_TRUE(fs::exists(dir.path() / "prof.prof.json"));
+    EXPECT_TRUE(fs::exists(dir.path() / "prof.folded"));
+}
+
+/** path -> calls of every scope, the deterministic profile columns. */
+std::vector<std::pair<std::string, std::uint64_t>>
+callCounts(const Profiler &prof)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const ProfEntry &e : prof.entries())
+        out.emplace_back(e.path, e.calls);
+    return out;
+}
+
+TEST(ProfSystemTest, CallCountsAndPathsAreRerunIdentical)
+{
+    TempDir dir("rerun");
+    auto once = [&](const char *name) {
+        SystemConfig cfg = smallConfig();
+        // Telemetry on, so the per-epoch PROF_MARK fires too.
+        cfg.telemetry.path = (dir.path() / name).string();
+        cfg.prof.collect = true;
+        TieredSystem sys(cfg);
+        sys.run(20000);
+        return callCounts(*sys.profiler());
+    };
+    const auto a = once("a.jsonl");
+    const auto b = once("b.jsonl");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+
+    // The annotated pipeline shows up under the run root.
+    std::vector<std::string> paths;
+    for (const auto &[path, calls] : a)
+        paths.push_back(path);
+    for (const char *want :
+         {"sim.run", "sim.run;sim.access",
+          "sim.run;sim.events.run;sim.events.dispatch",
+          // The telemetry epoch marker fires inside the event queue's
+          // dispatch scope, so it nests under it.
+          "sim.run;sim.events.run;sim.events.dispatch;"
+          "sim.telemetry.epoch"}) {
+        EXPECT_NE(std::find(paths.begin(), paths.end(), want), paths.end())
+            << "missing scope " << want;
+    }
+    const auto has_wake =
+        std::find_if(paths.begin(), paths.end(), [](const std::string &p) {
+            return p.find("m5.manager.wake") != std::string::npos;
+        });
+    EXPECT_NE(has_wake, paths.end());
+}
+
+// ---------------------------------------------------------------------
+// Sweep integration: one artifact pair per cell, any worker count
+// ---------------------------------------------------------------------
+
+/** The deterministic columns of a .prof.json: every line's path and
+ *  calls fields, in file order. */
+std::string
+deterministicColumns(const fs::path &p)
+{
+    std::istringstream in(slurp(p));
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto path_pos = line.find("\"path\": \"");
+        if (path_pos == std::string::npos)
+            continue;
+        const auto calls_pos = line.find("\"calls\": ");
+        out << line.substr(path_pos, line.find('"', path_pos + 9) -
+                                         path_pos + 1)
+            << " " << line.substr(calls_pos) << "\n";
+    }
+    return out.str();
+}
+
+TEST(ProfRunnerTest, WorkerCountDoesNotChangeArtifactSetOrCallCounts)
+{
+    TempDir dir1("sweep1");
+    TempDir dir4("sweep4");
+    SweepGrid grid;
+    grid.benchmark("mcf_r")
+        .policies({PolicyKind::M5HptDriven, PolicyKind::Anb})
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(20000);
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+
+    auto sweep = [&](const TempDir &dir, unsigned workers) {
+        ScopedEnv prof_env("M5_BENCH_PROF", dir.path().c_str());
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        for (const auto &outcome : runner.run(jobs))
+            EXPECT_TRUE(outcome.ok) << outcome.error;
+    };
+    sweep(dir1, 1);
+    sweep(dir4, 4);
+
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir1.path()))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    // One .prof.json + one .folded per cell.
+    ASSERT_EQ(names.size(), 2 * jobs.size());
+
+    for (const auto &name : names) {
+        ASSERT_TRUE(fs::exists(dir4.path() / name))
+            << name << " missing from the 4-worker sweep";
+        if (name.find(".prof.json") == std::string::npos)
+            continue;
+        // Host nanoseconds differ run to run; the scope tree and its
+        // call counts must not.
+        EXPECT_EQ(deterministicColumns(dir1.path() / name),
+                  deterministicColumns(dir4.path() / name))
+            << name << " columns differ between 1 and 4 workers";
+        EXPECT_NE(slurp(dir1.path() / name).find("sim.run"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace m5

@@ -6,6 +6,18 @@
 # the host's single-thread simulation rate (simulated accesses per
 # wall-clock second, measured with a fixed m5sim run).
 #
+# The rate is measured best-of-N (M5_BENCH_RATE_RUNS, default 3): the
+# per-run rates land in "sim_rate_runs" and the best one becomes
+# "sim_accesses_per_second", which is what tools/perf_gate.sh compares.
+# Best-of damps scheduler noise on shared CI hosts; a regression has to
+# slow down every run to slip past it.
+#
+# A final profiled run of the same cell attributes the host time to
+# components (docs/PROFILING.md): it writes BENCH_runner.prof.json and
+# BENCH_runner.folded next to BENCH_runner.json and embeds the top-5
+# self-time components as "profile_top" so a rate regression comes with
+# its own first-level explanation.
+#
 # Usage: tools/bench_wallclock.sh [build-dir]   (default: build)
 set -eu
 
@@ -13,6 +25,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 BIN="$BUILD/bench/fig09_end2end"
 SIM="$BUILD/tools/m5sim"
+PROF="$BUILD/tools/m5prof"
 OUT="BENCH_runner.json"
 
 # A coarse footprint keeps a timing run to a few minutes; the worker
@@ -21,6 +34,7 @@ SCALE="${M5_BENCH_SCALE:-64}"
 SEEDS="${M5_BENCH_SEEDS:-1}"
 CORES="$(nproc 2>/dev/null || echo 1)"
 NJOBS="${M5_BENCH_JOBS:-$CORES}"
+RATE_RUNS="${M5_BENCH_RATE_RUNS:-3}"
 
 [ -x "$BIN" ] || { echo "missing $BIN — build first" >&2; exit 1; }
 
@@ -44,20 +58,48 @@ echo "  ${TN}s"
 
 SPEEDUP="$(echo "$T1 $TN" | awk '{printf "%.2f", $1 / $2}')"
 
-# Single-thread simulation rate: one fixed m5sim run, accesses / wall.
+# Single-thread simulation rate: a fixed m5sim run, accesses / wall,
+# best of $RATE_RUNS attempts.
 SIM_ACCESSES=2000000
-echo "  simulation rate ($SIM_ACCESSES accesses, 1 thread) ..."
+SIM_CELL="--bench mcf_r --policy m5 --scale 128 --seed 7"
+echo "  simulation rate ($SIM_ACCESSES accesses, 1 thread," \
+     "best of $RATE_RUNS) ..."
 if [ -x "$SIM" ]; then
-    S0="$(date +%s.%N)"
-    "$SIM" --bench mcf_r --policy m5 --scale 128 --seed 7 \
-        --accesses "$SIM_ACCESSES" > /dev/null
-    S1="$(date +%s.%N)"
-    TS="$(echo "$S0 $S1" | awk '{printf "%.3f", $2 - $1}')"
-    APS="$(echo "$SIM_ACCESSES $TS" | awk '{printf "%.0f", $1 / $2}')"
-    echo "  ${TS}s -> ${APS} accesses/s"
+    TS=0; APS=0; RUNS_JSON=""
+    i=1
+    while [ "$i" -le "$RATE_RUNS" ]; do
+        S0="$(date +%s.%N)"
+        # shellcheck disable=SC2086
+        "$SIM" $SIM_CELL --accesses "$SIM_ACCESSES" > /dev/null
+        S1="$(date +%s.%N)"
+        TS_I="$(echo "$S0 $S1" | awk '{printf "%.3f", $2 - $1}')"
+        APS_I="$(echo "$SIM_ACCESSES $TS_I" | awk '{printf "%.0f", $1 / $2}')"
+        echo "    run $i/$RATE_RUNS: ${TS_I}s -> ${APS_I} accesses/s"
+        RUNS_JSON="${RUNS_JSON}${RUNS_JSON:+, }$APS_I"
+        if [ "$APS_I" -gt "$APS" ]; then
+            APS="$APS_I"; TS="$TS_I"
+        fi
+        i=$((i + 1))
+    done
+    echo "  best: ${TS}s -> ${APS} accesses/s"
 else
     echo "  missing $SIM — skipping (rate recorded as 0)"
-    TS=0; APS=0
+    TS=0; APS=0; RUNS_JSON=""
+fi
+
+# Host-time attribution: rerun the rate cell once with --profile so the
+# recorded rate ships with its component breakdown.  The profiled run is
+# never timed — PROF_SCOPE overhead stays out of the rate above.
+PROFILE_TOP="[]"
+if [ -x "$SIM" ] && [ -x "$PROF" ]; then
+    echo "  profiled run (host-time attribution) ..."
+    # shellcheck disable=SC2086
+    "$SIM" $SIM_CELL --accesses "$SIM_ACCESSES" \
+        --profile BENCH_runner > /dev/null
+    PROFILE_TOP="$("$PROF" top BENCH_runner.prof.json --n 5 --json)"
+    echo "  top components -> BENCH_runner.prof.json, BENCH_runner.folded"
+else
+    echo "  missing $SIM or $PROF — skipping profile (profile_top empty)"
 fi
 
 cat > "$OUT" <<EOF
@@ -72,7 +114,10 @@ cat > "$OUT" <<EOF
   "speedup": $SPEEDUP,
   "sim_rate_accesses": $SIM_ACCESSES,
   "sim_rate_seconds": $TS,
+  "sim_rate_best_of": $RATE_RUNS,
+  "sim_rate_runs": [$RUNS_JSON],
   "sim_accesses_per_second": $APS,
+  "profile_top": $PROFILE_TOP,
   "note": "speedup is bounded by machine_cores; on a single-core host the two runs are expected to tie"
 }
 EOF

@@ -24,6 +24,12 @@
 #          fairness telemetry moves, invariants stay clean, and a rerun
 #          is byte-identical; artifacts kept in
 #          <build-dir>/colocation-smoke for CI upload (docs/MULTITENANT.md)
+#   profile  host-time attribution end-to-end: m5sim --profile writes a
+#          parseable .prof.json + .folded flamegraph with a non-empty
+#          top frame, call counts are rerun-identical, and a profiled
+#          report minus its profile section is byte-identical to a
+#          plain run; artifacts kept in <build-dir>/profile-smoke for
+#          CI upload (docs/PROFILING.md)
 #   tsan   ThreadSanitizer build + runner determinism tests
 #   asan   AddressSanitizer build + full ctest (leaks on)
 #   ubsan  UndefinedBehaviorSanitizer build + full ctest (halt on error)
@@ -56,7 +62,7 @@ while [ $# -gt 0 ]; do
             shift 2
             ;;
         --help|-h)
-            sed -n '2,39p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,45p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
             ;;
         -*)
@@ -69,14 +75,14 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology colocation tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology colocation profile tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|smoke|trace|faults|topology|colocation|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|trace|faults|topology|colocation|profile|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|smoke|trace|faults|topology|colocation|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|trace|faults|topology|colocation|profile|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
@@ -295,6 +301,57 @@ stage_colocation() {
             printf "colocation stage: OK (%d cap demotions, jain %.3f, %d invariant checks clean)\n",
                    cap_demoted, jain, checks
         }' "$_out/report.txt"
+}
+
+stage_profile() {
+    echo "== profile: host-time attribution end-to-end =="
+    if [ ! -x "$BUILD/tools/m5sim" ] || [ ! -x "$BUILD/tools/m5prof" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim m5prof || return 1
+    fi
+    _out="$BUILD/profile-smoke"
+    _cell="--bench mcf_r --policy m5 --scale 128 --seed 7 --accesses 60000"
+    rm -rf "$_out" && mkdir -p "$_out" &&
+    "$BUILD/tools/m5sim" $_cell > "$_out/plain.txt" &&
+    "$BUILD/tools/m5sim" $_cell --profile "$_out/a" > "$_out/report_a.txt" &&
+    "$BUILD/tools/m5sim" $_cell --profile "$_out/b" > "$_out/report_b.txt" \
+        || return 1
+    # Host time never leaks into the result domain: with its profile
+    # section stripped, a profiled report is byte-identical to a plain
+    # run (docs/PROFILING.md).
+    sed '/^profile:/d; /^  prof\./d' "$_out/report_a.txt" \
+        > "$_out/report_a_stripped.txt"
+    cmp -s "$_out/plain.txt" "$_out/report_a_stripped.txt" || {
+        echo "profile stage: --profile perturbed the report outside its own section" >&2
+        diff "$_out/plain.txt" "$_out/report_a_stripped.txt" >&2
+        return 1
+    }
+    # Both artifacts exist and the rollup names a real top component.
+    [ -s "$_out/a.prof.json" ] && [ -s "$_out/a.folded" ] || {
+        echo "profile stage: missing .prof.json/.folded artifacts" >&2
+        return 1
+    }
+    _top="$("$BUILD/tools/m5prof" top "$_out/a.prof.json" --n 1 \
+        | awk '{print $1}')"
+    [ -n "$_top" ] || {
+        echo "profile stage: m5prof top returned an empty frame" >&2
+        return 1
+    }
+    # Scope paths and call counts are deterministic across reruns even
+    # though host nanoseconds are not.
+    "$BUILD/tools/m5prof" report "$_out/a.prof.json" --calls-only \
+        > "$_out/calls_a.txt" &&
+    "$BUILD/tools/m5prof" report "$_out/b.prof.json" --calls-only \
+        > "$_out/calls_b.txt" || return 1
+    cmp -s "$_out/calls_a.txt" "$_out/calls_b.txt" || {
+        echo "profile stage: call counts differ between reruns" >&2
+        diff "$_out/calls_a.txt" "$_out/calls_b.txt" >&2
+        return 1
+    }
+    # The regression explainer runs over the pair.
+    "$BUILD/tools/m5prof" diff "$_out/a.prof.json" "$_out/b.prof.json" \
+        --top 3 > "$_out/diff.txt" || return 1
+    echo "profile stage: OK (top component $_top, call counts rerun-identical)"
 }
 
 stage_tsan() {

@@ -484,6 +484,38 @@ checkWallclock(const std::string &path, const std::vector<Line> &lines,
 }
 
 void
+checkRawClock(const std::string &path, const std::vector<Line> &lines,
+              std::vector<Diag> &out)
+{
+    // Monotonic clocks are determinism-safe, but host time must still
+    // be *attributed*: every steady_clock read outside the profiler
+    // bypasses the per-component accounting in src/telemetry/prof
+    // (docs/PROFILING.md).  ProfClock::nowNs() is the sanctioned read,
+    // so the prof module itself is exempt by path; the progress
+    // display's repaint throttle is exempt via tools/m5lint.allow.
+    if (path.find("src/telemetry/prof") != std::string::npos)
+        return;
+    const std::string rule = "no-raw-clock-outside-prof";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &s = lines[i].stripped;
+        if (isPreprocessor(s))
+            continue;
+        const int ln = static_cast<int>(i + 1);
+        for (const char *clock : {"steady_clock", "high_resolution_clock"}) {
+            for (auto pos : findTokens(s, clock)) {
+                (void)pos;
+                out.push_back({path, ln, rule,
+                               std::string(clock) +
+                                   " read outside src/telemetry/prof; "
+                                   "host time belongs to the profiler — "
+                                   "use ProfClock/PROF_SCOPE "
+                                   "(docs/PROFILING.md)"});
+            }
+        }
+    }
+}
+
+void
 checkUnseededRng(const std::string &path, const std::vector<Line> &lines,
                  std::vector<Diag> &out)
 {
@@ -919,6 +951,7 @@ allRules()
     static const std::vector<std::string> rules = {
         "no-wallclock",
         "no-wallclock-trace",
+        "no-raw-clock-outside-prof",
         "no-unseeded-rng",
         "no-unordered-result-iteration",
         "no-raw-parse",
@@ -943,6 +976,9 @@ ruleHelp(const std::string &rule)
          "wall-clock read; results must not depend on real time"},
         {"no-wallclock-trace",
          "wall-clock value inside a TRACE_* argument list"},
+        {"no-raw-clock-outside-prof",
+         "monotonic-clock read outside src/telemetry/prof; use "
+         "ProfClock/PROF_SCOPE"},
         {"no-unseeded-rng",
          "non-deterministic randomness; use m5::Rng with an explicit seed"},
         {"no-unordered-result-iteration",
@@ -983,6 +1019,7 @@ rawLintSource(const std::string &path, const std::vector<Line> &lines)
     std::vector<Diag> diags;
     checkWallclock(path, lines, diags);
     checkWallclockTrace(path, lines, diags);
+    checkRawClock(path, lines, diags);
     checkUnseededRng(path, lines, diags);
     checkUnorderedIteration(path, lines, diags);
     checkRawParse(path, lines, diags);

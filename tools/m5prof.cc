@@ -1,0 +1,339 @@
+/**
+ * @file
+ * m5prof — inspect and compare host-time profiles (docs/PROFILING.md).
+ *
+ *   m5prof report FILE [--top N] [--calls-only]
+ *   m5prof top    FILE [--n N] [--json]
+ *   m5prof diff   A B  [--top N]
+ *
+ * FILE is a `.prof.json` written by `m5sim --profile` (or a sweep run
+ * under M5_BENCH_PROF).  `report` prints the per-component rollup
+ * sorted by self time; with --calls-only it prints only the
+ * deterministic columns (path and call count), which rerun-identical
+ * profiles must reproduce byte-for-byte.  `top` emits the N hottest
+ * components by self time — `--json` shapes them for embedding in
+ * BENCH_runner.json (tools/bench_wallclock.sh).  `diff` is the
+ * perf-regression explainer: it joins two profiles by scope path and
+ * prints the components whose self time moved the most, normalized to
+ * each run's attributed wall time; tools/perf_gate.sh runs it when the
+ * throughput gate fails.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+using namespace m5;
+
+namespace {
+
+struct ProfRow
+{
+    std::string path;
+    std::uint64_t depth = 0;
+    std::uint64_t self_ns = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t calls = 0;
+};
+
+struct ProfFile
+{
+    std::uint64_t wall_ns = 0;
+    std::vector<ProfRow> rows; //!< In the file's depth-first order.
+};
+
+const char *
+findArg(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+argU64(const char *flag, const char *value)
+{
+    const auto v = parseU64(value);
+    if (!v)
+        m5_fatal("%s wants a non-negative integer, got '%s'", flag, value);
+    return *v;
+}
+
+/** Value of `"key": <digits>` in `line`; fatal when absent. */
+std::uint64_t
+jsonU64(const std::string &line, const char *key, const char *path)
+{
+    const std::string needle = std::string("\"") + key + "\": ";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        m5_fatal("%s: missing field '%s' in line: %s", path, key,
+                 line.c_str());
+    std::size_t end = pos + needle.size();
+    while (end < line.size() && line[end] >= '0' && line[end] <= '9')
+        ++end;
+    const auto v = parseU64(
+        line.substr(pos + needle.size(), end - pos - needle.size()));
+    if (!v)
+        m5_fatal("%s: bad value for '%s' in line: %s", path, key,
+                 line.c_str());
+    return *v;
+}
+
+/** Value of `"key": "<string>"` in `line`; fatal when absent. */
+std::string
+jsonString(const std::string &line, const char *key, const char *path)
+{
+    const std::string needle = std::string("\"") + key + "\": \"";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        m5_fatal("%s: missing field '%s' in line: %s", path, key,
+                 line.c_str());
+    const auto start = pos + needle.size();
+    const auto end = line.find('"', start);
+    if (end == std::string::npos)
+        m5_fatal("%s: unterminated string for '%s'", path, key);
+    return line.substr(start, end - start);
+}
+
+/** Load a .prof.json (the pinned one-node-per-line shape written by
+ *  Profiler::exportJson; anything else is fatal, not guessed at). */
+ProfFile
+load(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        m5_fatal("cannot open profile '%s'", path);
+    ProfFile pf;
+    bool saw_wall = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"wall_ns\":") != std::string::npos) {
+            pf.wall_ns = jsonU64(line, "wall_ns", path);
+            saw_wall = true;
+        } else if (line.find("\"path\":") != std::string::npos) {
+            ProfRow r;
+            r.path = jsonString(line, "path", path);
+            r.depth = jsonU64(line, "depth", path);
+            r.self_ns = jsonU64(line, "self_ns", path);
+            r.total_ns = jsonU64(line, "total_ns", path);
+            r.calls = jsonU64(line, "calls", path);
+            pf.rows.push_back(std::move(r));
+        }
+    }
+    if (!saw_wall)
+        m5_fatal("'%s' is not a .prof.json (no wall_ns field)", path);
+    return pf;
+}
+
+/** Rows sorted by self time descending, path ascending on ties — the
+ *  same order Profiler::rollup uses. */
+std::vector<ProfRow>
+bySelf(const ProfFile &pf)
+{
+    std::vector<ProfRow> rows = pf.rows;
+    std::sort(rows.begin(), rows.end(),
+              [](const ProfRow &a, const ProfRow &b) {
+                  if (a.self_ns != b.self_ns)
+                      return a.self_ns > b.self_ns;
+                  return a.path < b.path;
+              });
+    return rows;
+}
+
+double
+pctOf(std::uint64_t part, std::uint64_t whole)
+{
+    return 100.0 * static_cast<double>(part) /
+           static_cast<double>(std::max<std::uint64_t>(1, whole));
+}
+
+int
+cmdReport(int argc, char **argv)
+{
+    if (argc < 3)
+        m5_fatal("usage: m5prof report FILE [--top N] [--calls-only]");
+    const char *path = argv[2];
+    const ProfFile pf = load(path);
+    if (hasFlag(argc, argv, "--calls-only")) {
+        // Only the deterministic columns, in the file's depth-first
+        // order: two profiles of the same run must print identically
+        // even though their host nanoseconds differ (check.sh pins
+        // this in its profile stage).
+        for (const ProfRow &r : pf.rows)
+            std::printf("%s %lu\n", r.path.c_str(),
+                        static_cast<unsigned long>(r.calls));
+        return 0;
+    }
+    std::size_t top = pf.rows.size();
+    if (const char *n = findArg(argc, argv, "--top"))
+        top = argU64("--top", n);
+    std::printf("%s: %zu scopes, %.2f ms attributed\n", path,
+                pf.rows.size(), static_cast<double>(pf.wall_ns) / 1e6);
+    std::printf("%-52s %12s %6s %12s %10s\n", "path", "self_ms", "self%",
+                "total_ms", "calls");
+    const std::vector<ProfRow> rows = bySelf(pf);
+    for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+        const ProfRow &r = rows[i];
+        std::printf("%-52s %12.3f %6.1f %12.3f %10lu\n", r.path.c_str(),
+                    static_cast<double>(r.self_ns) / 1e6,
+                    pctOf(r.self_ns, pf.wall_ns),
+                    static_cast<double>(r.total_ns) / 1e6,
+                    static_cast<unsigned long>(r.calls));
+    }
+    return 0;
+}
+
+int
+cmdTop(int argc, char **argv)
+{
+    if (argc < 3)
+        m5_fatal("usage: m5prof top FILE [--n N] [--json]");
+    const ProfFile pf = load(argv[2]);
+    std::size_t n = 5;
+    if (const char *v = findArg(argc, argv, "--n"))
+        n = argU64("--n", v);
+    const std::vector<ProfRow> rows = bySelf(pf);
+    const std::size_t count = std::min(n, rows.size());
+    if (hasFlag(argc, argv, "--json")) {
+        // One line, ready to splice into BENCH_runner.json as the
+        // value of "profile_top" (tools/bench_wallclock.sh).
+        std::printf("[");
+        for (std::size_t i = 0; i < count; ++i) {
+            std::printf("%s{\"name\": \"%s\", \"self_pct\": %.1f}",
+                        i ? ", " : "", rows[i].path.c_str(),
+                        pctOf(rows[i].self_ns, pf.wall_ns));
+        }
+        std::printf("]\n");
+        return 0;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        std::printf("%-52s %5.1f%%\n", rows[i].path.c_str(),
+                    pctOf(rows[i].self_ns, pf.wall_ns));
+    return 0;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    if (argc < 4)
+        m5_fatal("usage: m5prof diff A B [--top N]");
+    const char *path_a = argv[2];
+    const char *path_b = argv[3];
+    const ProfFile a = load(path_a);
+    const ProfFile b = load(path_b);
+    std::size_t top = 10;
+    if (const char *n = findArg(argc, argv, "--top"))
+        top = argU64("--top", n);
+
+    // Join by scope path.  Self percentages are normalized to each
+    // run's own attributed wall time, so the diff explains a *shift in
+    // where the time goes* even when the two runs' absolute wall times
+    // differ (the usual case for a perf regression).
+    struct Delta
+    {
+        std::string path;
+        double self_ms_a = 0.0;
+        double self_ms_b = 0.0;
+        double pct_a = 0.0;
+        double pct_b = 0.0;
+    };
+    std::vector<Delta> deltas;
+    for (const ProfRow &ra : a.rows) {
+        Delta d;
+        d.path = ra.path;
+        d.self_ms_a = static_cast<double>(ra.self_ns) / 1e6;
+        d.pct_a = pctOf(ra.self_ns, a.wall_ns);
+        deltas.push_back(std::move(d));
+    }
+    for (const ProfRow &rb : b.rows) {
+        auto it = std::find_if(deltas.begin(), deltas.end(),
+                               [&](const Delta &d) {
+                                   return d.path == rb.path;
+                               });
+        if (it == deltas.end()) {
+            Delta d;
+            d.path = rb.path;
+            deltas.push_back(std::move(d));
+            it = deltas.end() - 1;
+        }
+        it->self_ms_b = static_cast<double>(rb.self_ns) / 1e6;
+        it->pct_b = pctOf(rb.self_ns, b.wall_ns);
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const Delta &x, const Delta &y) {
+                  const double dx = std::abs(x.self_ms_b - x.self_ms_a);
+                  const double dy = std::abs(y.self_ms_b - y.self_ms_a);
+                  if (dx != dy)
+                      return dx > dy;
+                  return x.path < y.path;
+              });
+
+    std::printf("profile diff: %s (%.2f ms) -> %s (%.2f ms)\n", path_a,
+                static_cast<double>(a.wall_ns) / 1e6, path_b,
+                static_cast<double>(b.wall_ns) / 1e6);
+    std::printf("%-52s %10s %10s %9s %7s\n", "path", "a_self_ms",
+                "b_self_ms", "delta_ms", "d_pct");
+    for (std::size_t i = 0; i < deltas.size() && i < top; ++i) {
+        const Delta &d = deltas[i];
+        std::printf("%-52s %10.3f %10.3f %+9.3f %+6.1fpp\n",
+                    d.path.c_str(), d.self_ms_a, d.self_ms_b,
+                    d.self_ms_b - d.self_ms_a, d.pct_b - d.pct_a);
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: m5prof <verb> ...\n"
+        "  report FILE [--top N] [--calls-only]   per-component rollup\n"
+        "  top    FILE [--n N] [--json]           hottest components\n"
+        "  diff   A B  [--top N]                  regression explainer\n"
+        "FILE is a .prof.json from `m5sim --profile` "
+        "(docs/PROFILING.md)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string verb = argv[1];
+    if (verb == "report")
+        return cmdReport(argc, argv);
+    if (verb == "top")
+        return cmdTop(argc, argv);
+    if (verb == "diff")
+        return cmdDiff(argc, argv);
+    if (verb == "--help" || verb == "-h") {
+        usage();
+        return 0;
+    }
+    usage();
+    m5_fatal("unknown verb '%s'", verb.c_str());
+}

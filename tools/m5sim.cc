@@ -6,7 +6,7 @@
  *         [--accesses N] [--instances N] [--record-only] [--wac]
  *         [--ddr-frac F] [--tenants SPEC] [--telemetry FILE]
  *         [--telemetry-every N] [--trace FILE] [--trace-cats CSV]
- *         [--faults SPEC] [--csv] [--list]
+ *         [--profile BASE] [--faults SPEC] [--csv] [--list]
  *
  * Runs one experiment and prints a full report: timing, tier traffic,
  * migration and TLB statistics, the kernel-cycle breakdown, request
@@ -16,6 +16,9 @@
  * end-of-run rollup to the report (docs/TELEMETRY.md).  --trace writes
  * a Chrome trace_event JSON of migration-decision spans and instants,
  * loadable in Perfetto or chrome://tracing (docs/TRACING.md).
+ * --profile attributes host wall time to simulator components and
+ * writes BASE.prof.json plus a collapsed-stack flamegraph BASE.folded,
+ * appending a self-time rollup to the report (docs/PROFILING.md).
  * --faults arms the deterministic fault injector with a spec like
  * "migrate_busy:p=0.05,mmio_stale:after=2ms" and appends a resilience
  * section to the report (docs/FAULTS.md).  --tenants colocates several
@@ -96,6 +99,7 @@ struct Options
     std::uint64_t telemetry_every = 1;
     std::string trace;
     std::uint32_t trace_cats = kTraceDefaultCats;
+    std::string profile;
     std::string faults;
 };
 
@@ -152,6 +156,9 @@ usage()
         "                    spans and instants (docs/TRACING.md)\n"
         "  --trace-cats CSV  categories to record (sim,monitor,nominate,\n"
         "                    elect,promote,migrate,cxl,access,default,all)\n"
+        "  --profile BASE    attribute host time to components; writes\n"
+        "                    BASE.prof.json and BASE.folded flamegraph\n"
+        "                    (docs/PROFILING.md)\n"
         "  --faults SPEC     deterministic fault plan, e.g.\n"
         "                    migrate_busy:p=0.05,mmio_stale:after=2ms\n"
         "                    (docs/FAULTS.md)\n"
@@ -203,6 +210,8 @@ parseArgs(int argc, char **argv)
             opt.trace = next();
         } else if (arg == "--trace-cats") {
             opt.trace_cats = parseTraceCats(next());
+        } else if (arg == "--profile") {
+            opt.profile = next();
         } else if (arg == "--faults") {
             opt.faults = next();
         } else if (arg == "--record-only") {
@@ -252,6 +261,7 @@ main(int argc, char **argv)
     cfg.telemetry.every = opt.telemetry_every;
     cfg.trace.path = opt.trace;
     cfg.trace.categories = opt.trace_cats;
+    cfg.prof.base = opt.profile;
     cfg.faults = opt.faults;
 
     TieredSystem sys(cfg);
@@ -380,6 +390,28 @@ main(int argc, char **argv)
         // The rollup is the final JSONL line rendered as a table; the
         // smoke test diffs the two, so emit it verbatim.
         emitTable(std::cout, telem->rollupTable(), "telemetry rollup");
+    }
+    if (const Profiler *prof = sys.profiler()) {
+        // Host-time attribution (docs/PROFILING.md).  Host nanoseconds
+        // are nondeterministic by nature, so this section — like the
+        // .prof.json and .folded artifacts — is excluded from every
+        // determinism comparison; everything above stays byte-identical
+        // with or without --profile.  check.sh's profile stage strips
+        // lines matching '^profile:' and '^  prof\.' to verify that.
+        const std::uint64_t wall = prof->wallNs();
+        std::printf("profile:       %zu scopes, %.2f ms attributed -> "
+                    "%s.prof.json\n",
+                    prof->scopeCount(), dbl(wall) / 1e6,
+                    opt.profile.c_str());
+        for (const ProfEntry &e : prof->rollup(5)) {
+            std::printf("  prof.%-42s %9.3f ms self (%5.1f%%) "
+                        "%9.3f ms total, %lu calls\n",
+                        e.path.c_str(), dbl(e.self_ns) / 1e6,
+                        100.0 * dbl(e.self_ns) /
+                            dbl(std::max<std::uint64_t>(1, wall)),
+                        dbl(e.total_ns) / 1e6,
+                        static_cast<unsigned long>(e.calls));
+        }
     }
     if (const FaultInjector *faults = sys.faults()) {
         // Resilience section (docs/FAULTS.md).  check.sh's faults stage

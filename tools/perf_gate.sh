@@ -7,11 +7,19 @@
 #
 # The committed baseline and the fresh measurement come from the SAME
 # fixed m5sim run (mcf_r, scale 1/128, 2M accesses), so the comparison
-# tracks simulator throughput, not benchmark-suite drift.  The fresh
-# measurement is always kept at <build-dir>/perf-gate/BENCH_runner.json
-# so CI can upload it as an artifact on every run — pass or fail —
-# giving a per-commit history of the sim rate.  The committed baseline
-# file is restored afterwards so the gate never dirties the tree.
+# tracks simulator throughput, not benchmark-suite drift.  Both sides
+# are best-of-N (see bench_wallclock.sh), which damps scheduler noise.
+# The fresh measurement — BENCH_runner.json plus the profile artifacts
+# BENCH_runner.prof.json / BENCH_runner.folded — is always kept at
+# <build-dir>/perf-gate/ so CI can upload it as an artifact on every
+# run, pass or fail, giving a per-commit history of the sim rate and
+# its component breakdown.  The committed files are restored afterwards
+# so the gate never dirties the tree.
+#
+# On failure the gate doesn't just report the drop: it runs
+#   m5prof diff <baseline>.prof.json <fresh>.prof.json --top 3
+# to name the components whose share of the run moved most
+# (docs/PROFILING.md), turning "15% slower" into "promote got slower".
 #
 # When the committed baseline predates the sim-rate field (or records
 # 0 because m5sim was missing at capture time), the gate degrades to a
@@ -24,6 +32,8 @@ set -u
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 BASELINE="BENCH_runner.json"
+BASELINE_PROF="BENCH_runner.prof.json"
+BASELINE_FOLDED="BENCH_runner.folded"
 THRESHOLD="${M5_PERF_THRESHOLD_PCT:-15}"
 
 json_field() {
@@ -42,11 +52,26 @@ if [ -z "$BASE_APS" ] || [ "$BASE_APS" -eq 0 ]; then
     exit 0
 fi
 
-# bench_wallclock.sh writes its result over $BASELINE in the repo root;
-# stash the committed baseline so the gate leaves the tree clean.
-SAVED="$(mktemp)"
-cp "$BASELINE" "$SAVED"
-trap 'cp "$SAVED" "$BASELINE"; rm -f "$SAVED"' EXIT
+# bench_wallclock.sh writes its results over the committed files in the
+# repo root; stash them so the gate leaves the tree clean.  The profile
+# pair may be absent in older baselines — stash what exists.
+SAVED_DIR="$(mktemp -d)"
+cp "$BASELINE" "$SAVED_DIR/"
+for f in "$BASELINE_PROF" "$BASELINE_FOLDED"; do
+    [ -f "$f" ] && cp "$f" "$SAVED_DIR/"
+done
+restore() {
+    cp "$SAVED_DIR/$BASELINE" "$BASELINE"
+    for f in "$BASELINE_PROF" "$BASELINE_FOLDED"; do
+        if [ -f "$SAVED_DIR/$f" ]; then
+            cp "$SAVED_DIR/$f" "$f"
+        else
+            rm -f "$f"
+        fi
+    done
+    rm -rf "$SAVED_DIR"
+}
+trap restore EXIT
 
 echo "perf gate: baseline $BASE_APS accesses/s, threshold -$THRESHOLD%"
 tools/bench_wallclock.sh "$BUILD" || exit 1
@@ -54,6 +79,9 @@ tools/bench_wallclock.sh "$BUILD" || exit 1
 NEW_APS="$(json_field "$BASELINE" sim_accesses_per_second)"
 mkdir -p "$BUILD/perf-gate"
 cp "$BASELINE" "$BUILD/perf-gate/BENCH_runner.json"
+for f in "$BASELINE_PROF" "$BASELINE_FOLDED"; do
+    [ -f "$f" ] && cp "$f" "$BUILD/perf-gate/"
+done
 
 if [ -z "$NEW_APS" ] || [ "$NEW_APS" -eq 0 ]; then
     echo "perf gate: FAILED (fresh run recorded no sim rate — is" \
@@ -71,6 +99,13 @@ echo "perf gate: measured $NEW_APS accesses/s (${DELTA_PCT}% vs baseline)"
 if [ "$SCALED" -lt "$FLOOR" ]; then
     echo "perf gate: FAILED — sim rate regressed more than $THRESHOLD%" \
          "(baseline $BASE_APS, measured $NEW_APS)" >&2
+    if [ -x "$BUILD/tools/m5prof" ] && \
+       [ -f "$SAVED_DIR/$BASELINE_PROF" ] && \
+       [ -f "$BUILD/perf-gate/$BASELINE_PROF" ]; then
+        echo "perf gate: components whose share of the run moved most:" >&2
+        "$BUILD/tools/m5prof" diff "$SAVED_DIR/$BASELINE_PROF" \
+            "$BUILD/perf-gate/$BASELINE_PROF" --top 3 >&2 || true
+    fi
     echo "perf gate: if the slowdown is intentional, regenerate the" \
          "baseline with tools/bench_wallclock.sh and commit it" >&2
     exit 1
