@@ -55,6 +55,19 @@ struct StormResult
     std::uint64_t invariant_violations = 0;
 };
 
+/** One cell of the txn-vs-legacy comparison under a copy_race storm. */
+struct TxnCell
+{
+    std::string bench;   //!< Read-heavy (pr) or write-heavy (redis).
+    bool txn;            //!< Transactional migration on or off.
+};
+
+struct TxnCellResult
+{
+    RunResult run;
+    std::uint64_t invariant_violations = 0;
+};
+
 } // namespace
 
 int
@@ -199,5 +212,78 @@ main()
                 conversion * 100.0,
                 conversion >= 0.5 ? "ok" : "SHORT");
 
-    return (clean && storm_clean && conversion >= 0.5) ? 0 : 1;
+    // Transactional migration under a write-race storm
+    // (docs/MIGRATION.md): migrate_busy EBUSY noise plus injected
+    // copy_race stores inside the copy window.  Two workloads bracket
+    // the design space — pr is read-heavy (shadows survive, demotions
+    // go free), redis is the write-heavy antagonist (YCSB-A stores
+    // invalidate shadows and race copies).  Each txn cell is normalized
+    // to its own legacy (txn-off) cell; the storm must produce both
+    // commits and aborts on the txn side, and nobody corrupts state.
+    const std::string race_spec = "migrate_busy:p=0.02,copy_race:p=0.1";
+    std::vector<TxnCell> txn_cells = {
+        {"pr", false}, {"pr", true}, {"redis", false}, {"redis", true}};
+    const auto txn_results =
+        runner.mapItems(txn_cells, [&](const TxnCell &cell) {
+            SystemConfig cfg =
+                makeConfig(cell.bench, PolicyKind::M5HptDriven, scale);
+            cfg.faults = race_spec;
+            cfg.txn_migrate = cell.txn;
+            // Shrink DDR so demotion pressure exercises the zero-copy
+            // (shadow) demote path, not just promotion.
+            cfg.ddr_capacity_fraction = 0.15;
+            TieredSystem sys(cfg);
+            TxnCellResult out;
+            out.run = sys.run(budget);
+            out.invariant_violations = sys.invariants()->violations();
+            return out;
+        });
+
+    TextTable txn_table({"bench", "txn", "commits", "aborts", "commit%",
+                         "degraded", "free_demote%", "shadow_drops",
+                         "norm perf", "inv viol"});
+    bool txn_clean = true;
+    bool txn_exercised = true;
+    for (std::size_t i = 0; i < txn_results.size(); ++i) {
+        const auto &r = txn_results[i];
+        if (!r.ok)
+            m5_fatal("txn cell failed: %s", r.error.c_str());
+        // Legacy cells precede their txn sibling: i - 1 is the baseline.
+        const double legacy = txn_cells[i].txn
+            ? txn_results[i - 1].value.run.steady_throughput
+            : r.value.run.steady_throughput;
+        const TxnStats &ts = r.value.run.txn;
+        const std::uint64_t attempts = ts.commits + ts.aborts;
+        const std::uint64_t demoted = r.value.run.migration.demoted;
+        if (r.value.invariant_violations > 0)
+            txn_clean = false;
+        if (txn_cells[i].txn && (ts.commits == 0 || ts.aborts == 0))
+            txn_exercised = false;
+        txn_table.addRow(
+            {txn_cells[i].bench, txn_cells[i].txn ? "on" : "off",
+             std::to_string(ts.commits), std::to_string(ts.aborts),
+             attempts ? TextTable::num(
+                            100.0 * static_cast<double>(ts.commits) /
+                                static_cast<double>(attempts), 1)
+                      : "-",
+             std::to_string(ts.degraded_pages),
+             demoted ? TextTable::num(
+                           100.0 * static_cast<double>(ts.demoted_free) /
+                               static_cast<double>(demoted), 1)
+                     : "-",
+             std::to_string(ts.shadow_invalidated + ts.shadow_reclaimed),
+             TextTable::num(r.value.run.steady_throughput / legacy, 3),
+             std::to_string(r.value.invariant_violations)});
+    }
+    std::printf("\ncopy_race storm ('%s', M5, txn on vs off, ddr=15%%):\n",
+                race_spec.c_str());
+    emitTable(std::cout, txn_table, "resil_fault_sweep_txn");
+    std::printf("\ntxn migration: %s, %s\n",
+                txn_exercised
+                    ? "storm exercised both commits and aborts"
+                    : "storm MISSED a commit/abort path",
+                txn_clean ? "invariants clean" : "invariants VIOLATED");
+
+    return (clean && storm_clean && conversion >= 0.5 && txn_clean &&
+            txn_exercised) ? 0 : 1;
 }

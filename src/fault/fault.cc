@@ -39,6 +39,7 @@ faultPointName(FaultPoint pt)
       case FaultPoint::MmioStale: return "mmio_stale";
       case FaultPoint::WakeDelay: return "wake_delay";
       case FaultPoint::WakeDrop: return "wake_drop";
+      case FaultPoint::CopyRace: return "copy_race";
       default: m5_panic("bad FaultPoint %u", static_cast<unsigned>(pt));
     }
 }

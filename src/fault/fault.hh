@@ -39,6 +39,9 @@ enum class FaultPoint : unsigned
     MmioStale,       //!< HPT/HWT MMIO snapshot arrives stale / times out.
     WakeDelay,       //!< Manager wakeup delayed by the rule's `delay`.
     WakeDrop,        //!< Manager wakeup dropped; retried after `delay`.
+    CopyRace,        //!< A store races the transactional page copy: the
+                     //!< page's write generation is bumped inside the
+                     //!< copy window, so validation aborts the txn.
     NumPoints,
 };
 
@@ -72,7 +75,7 @@ struct FaultRule
  *
  * Grammar (comma-separated clauses, each `point:param=value`):
  *   point  := migrate_busy | ddr_alloc | mmio_stale | wake_delay
- *             | wake_drop
+ *             | wake_drop | copy_race
  *   param  := p=<prob 0..1> | burst=<count>@<time> | after=<time>
  *             | delay=<time>
  *   time   := <number>[ns|us|ms|s]   (default ns)

@@ -64,6 +64,15 @@ inline constexpr Cycles kMigratePageSoftware = 64000;
  *  full migration but not free — the kernel still walked the page. */
 inline constexpr Cycles kMigrateAbort = 8000;
 
+/** Demoting a still-clean shadowed page (non-exclusive tiering): the
+ *  CXL copy is already in place, so the kernel only pays the rmap walk,
+ *  PTE flip and LRU bookkeeping — no copy traffic at all. */
+inline constexpr Cycles kDemoteFreeSoftware = 6000;
+
+/** Releasing one retained shadow frame (allocator free + ledger/LRU
+ *  bookkeeping), paid on invalidation or lazy reclaim. */
+inline constexpr Cycles kShadowRelease = 600;
+
 /** DAMOS: examining one candidate page of a hot region for migration
  *  (vma/rmap validation), paid whether or not the page actually moves —
  *  the cost DAMON keeps paying at equilibrium (§7.2, Redis). */

@@ -19,6 +19,7 @@ MigrateResult::reason() const
       case MigrateOutcome::FailedCapacity: return "failed_capacity";
       case MigrateOutcome::ExchangedInstead: return "exchanged";
       case MigrateOutcome::PlacedLowerTier: return "placed_lower";
+      case MigrateOutcome::AbortedRace: return "copy_race";
       default:
         m5_panic("bad MigrateOutcome %u",
                  static_cast<unsigned>(outcome));
@@ -44,6 +45,22 @@ std::size_t
 MigrationEngine::ddrFreeFrames() const
 {
     return alloc_.freeFrames(topo_.top());
+}
+
+void
+MigrationEngine::setTxnEnabled(bool on)
+{
+    if (!on) {
+        txn_.reset();
+        return;
+    }
+    if (txn_)
+        return;
+    txn_ = std::make_unique<TransactionalMigrator>(
+        topo_, pt_, alloc_, mem_, llc_, tlb_, ledger_, lrus_,
+        costs_.software_per_page, moved_in_, moved_out_);
+    txn_->attachFaults(faults_);
+    txn_->attachTenants(tenants_);
 }
 
 bool
@@ -89,6 +106,11 @@ MigrationEngine::moveTo(Vpn vpn, NodeId dst_node, Tick now)
     // Flush the page's cached lines; dirty data returns to the source
     // frame before the copy (posted writes — bandwidth, not latency).
     Tick elapsed = 0;
+    // A degraded/legacy move off the top tier may still carry a shadow
+    // from an earlier transactional promotion; drop it before the page
+    // leaves (the shadow would otherwise go stale silently).
+    if (txn_ && src_node == topo_.top())
+        elapsed += txn_->invalidateShadow(vpn, now);
     for (Addr wb : llc_.invalidatePage(src_pfn))
         mem_.access(wb, true, now);
 
@@ -169,7 +191,18 @@ MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
     }
     if (faults_ && faults_->fires(FaultPoint::MigrateBusy, now))
         return transientFail(vpn, now, MigrateOutcome::TransientBusy);
-    if (alloc_.freeFrames(dst) == 0)
+    // Moving a shadowed page back onto its shadow's tier IS a clean
+    // demotion: take the zero-copy PTE flip (no frame needed).
+    if (txn_ && txn_->hasShadow(vpn) && txn_->shadowNode(vpn) == dst) {
+        const Tick elapsed = txn_->freeDemote(vpn, now);
+        stats_.busy_time += elapsed;
+        ++stats_.demoted;
+        return {MigrateOutcome::Done, elapsed};
+    }
+    // Under tier pressure, live shadows are the lazily reclaimable
+    // slack: drop the oldest one before declaring exhaustion.
+    if (alloc_.freeFrames(dst) == 0 &&
+        !(txn_ && txn_->reclaimOne(dst, now)))
         return transientFail(vpn, now, MigrateOutcome::TransientNoFrame);
     // A tenant at its cap cannot take another cap-node frame even while
     // the node has room; the general move() does not demote on the
@@ -180,7 +213,21 @@ MigrationEngine::move(Vpn vpn, NodeId dst, Tick now)
 
     const NodeId src = e.node;
     const Pfn src_pfn = e.pfn;
-    const Tick elapsed = moveTo(vpn, dst, now);
+    Tick elapsed;
+    if (txn_ && !txn_->degraded(vpn)) {
+        const TxnMoveResult tr = txn_->moveTxn(vpn, dst, now);
+        stats_.busy_time += tr.busy;
+        if (!tr.committed) {
+            ++stats_.transient_fail;
+            TRACE_EVENT(TraceCat::Migrate, now + tr.busy,
+                        "migration.transient",
+                        TraceArgs().u("page", vpn).s("reason", "copy_race"));
+            return {MigrateOutcome::AbortedRace, tr.busy};
+        }
+        elapsed = tr.busy;
+    } else {
+        elapsed = moveTo(vpn, dst, now);
+    }
     if (dst == topo_.top()) {
         ++stats_.promoted;
         TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.promote",
@@ -237,6 +284,13 @@ MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
     const Pfn hot_pfn = eh.pfn;
     const Pfn cold_pfn = ec.pfn;
 
+    // Transactional exchange: both pages stay mapped while the bounce
+    // copy streams; each copy records its write generation and either
+    // raced copy aborts the whole swap before any mapping changes.
+    const bool txn = txn_ && !txn_->degraded(hot) && !txn_->degraded(cold);
+    const std::uint32_t hot_gen = txn ? pt_.writeGen(hot) : 0;
+    const std::uint32_t cold_gen = txn ? pt_.writeGen(cold) : 0;
+
     // Flush both pages' cached lines before the frames trade contents.
     Tick elapsed = 0;
     for (Addr wb : llc_.invalidatePage(hot_pfn))
@@ -244,11 +298,14 @@ MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
     for (Addr wb : llc_.invalidatePage(cold_pfn))
         mem_.access(wb, true, now);
 
-    // Both mappings are torn down during the swap.
-    tlb_.shootdown(static_cast<Vpn>(hot));
-    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
-    tlb_.shootdown(static_cast<Vpn>(cold));
-    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+    // Legacy path: both mappings are torn down before the copy.  The
+    // transactional path defers the shootdowns until after validation.
+    if (!txn) {
+        tlb_.shootdown(static_cast<Vpn>(hot));
+        ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+        tlb_.shootdown(static_cast<Vpn>(cold));
+        ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+    }
 
     // The kernel exchanges pages through a bounce buffer: each page is
     // read once and each frame written once.  Issued per word so the
@@ -269,9 +326,43 @@ MigrationEngine::exchange(Vpn hot, Vpn cold, Tick now)
     elapsed += topo_.edge(hot_node, cold_node).pageCopyTime();
     elapsed += topo_.edge(cold_node, hot_node).pageCopyTime();
 
+    if (txn) {
+        // One injection opportunity per copied page, then validate both
+        // generations.  Either race unwinds the whole swap atomically.
+        (void)txn_->injectRace(hot, now + elapsed);
+        (void)txn_->injectRace(cold, now + elapsed);
+        const bool hot_raced = !txn_->validate(hot, hot_gen);
+        const bool cold_raced = !txn_->validate(cold, cold_gen);
+        if (hot_raced || cold_raced) {
+            // The racing store is a real write: a shadowed partner's
+            // shadow is stale from this instant and must drop now, or
+            // the books would carry a shadow newer writes never see.
+            if (cold_raced)
+                elapsed += txn_->invalidateShadow(cold, now + elapsed);
+            // The abort is charged against the promoting page — it is
+            // the one the Promoter retries and degrades.
+            elapsed += txn_->noteAbort(hot, !hot_raced && cold_raced);
+            stats_.busy_time += elapsed;
+            ++stats_.transient_fail;
+            TRACE_EVENT(TraceCat::Migrate, now + elapsed,
+                        "migration.transient",
+                        TraceArgs().u("page", hot)
+                                   .s("reason", "copy_race"));
+            return {MigrateOutcome::AbortedRace, elapsed};
+        }
+        tlb_.shootdown(static_cast<Vpn>(hot));
+        ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+        tlb_.shootdown(static_cast<Vpn>(cold));
+        ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+    }
+
     lrus_.remove(hot, hot_node);
     lrus_.remove(cold, cold_node);
     pt_.swapFrames(hot, cold);
+    // The cold page left the top tier; its shadow (if it was promoted
+    // transactionally earlier) is now stale — drop it.
+    if (txn_)
+        elapsed += txn_->invalidateShadow(cold, now + elapsed);
     lrus_.insert(hot, cold_node);
     lrus_.insert(cold, hot_node);
     ++moved_out_[hot_node];
@@ -446,7 +537,23 @@ MigrationEngine::promote(Vpn vpn, Tick now)
     }
 
     const Pfn src_pfn = e.pfn;
-    elapsed += moveTo(vpn, top, now + elapsed);
+    // Transactional promotion (docs/MIGRATION.md): copy while mapped,
+    // validate, retry through the Promoter on a write race.  A page
+    // past the abort ladder stays on the legacy stop-the-world path.
+    if (txn_ && !txn_->degraded(vpn)) {
+        const TxnMoveResult tr = txn_->moveTxn(vpn, top, now + elapsed);
+        stats_.busy_time += tr.busy;
+        elapsed += tr.busy;
+        if (!tr.committed) {
+            ++stats_.transient_fail;
+            TRACE_EVENT(TraceCat::Migrate, now + elapsed,
+                        "migration.transient",
+                        TraceArgs().u("page", vpn).s("reason", "copy_race"));
+            return {MigrateOutcome::AbortedRace, elapsed};
+        }
+    } else {
+        elapsed += moveTo(vpn, top, now + elapsed);
+    }
     ++stats_.promoted;
     TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.promote",
                 TraceArgs().u("page", vpn)
@@ -486,11 +593,23 @@ MigrationEngine::demote(Vpn vpn, Tick now)
     m5_assert(e.valid && e.node != topo_.spill(),
               "demote of vpn %lu already on the spill tier",
               static_cast<unsigned long>(vpn));
+    // Non-exclusive tiering: a still-clean shadowed page demotes by
+    // flipping its PTE back onto the retained shadow frame — zero copy
+    // traffic (docs/MIGRATION.md).
+    if (txn_ && txn_->hasShadow(vpn)) {
+        const Tick elapsed = txn_->freeDemote(vpn, now);
+        stats_.busy_time += elapsed;
+        ++stats_.demoted;
+        return {MigrateOutcome::Done, elapsed};
+    }
     // Next slower tier with a free frame; the spill tier always has one
-    // (it is sized to the footprint plus slack).
+    // (it is sized to the footprint plus slack).  A tier whose frames
+    // are tied up in shadows reclaims the oldest one instead of being
+    // skipped — shadows are slack, not occupancy.
     NodeId dst = topo_.spill();
     for (NodeId n = e.node + 1; n < topo_.numTiers(); ++n) {
-        if (alloc_.freeFrames(n) > 0) {
+        if (alloc_.freeFrames(n) > 0 ||
+            (txn_ && txn_->reclaimOne(n, now))) {
             dst = n;
             break;
         }
@@ -543,6 +662,11 @@ MigrationEngine::registerStats(StatRegistry &reg) const
             reg.addCounter("os.migration.out." + tier, &moved_out_[n]);
         }
     }
+    // Transaction/shadow counters exist only when the mode is armed, so
+    // a --no-txn-migrate run's telemetry stays byte-identical to the
+    // pre-transactional simulator (docs/MIGRATION.md).
+    if (txn_)
+        txn_->registerStats(reg);
 }
 
 } // namespace m5

@@ -19,6 +19,11 @@
  *  - conservative/opportunistic promotion: with >= 3 tiers, a promotion
  *    that cannot reach the full top tier (no victim either) falls back
  *    to the best-fit intermediate tier instead of failing on capacity.
+ *  - transactional mode (setTxnEnabled, docs/MIGRATION.md): the copy
+ *    streams while the page stays mapped, a write-generation check
+ *    decides commit vs abort (AbortedRace retries via the Promoter,
+ *    degrading per page after K aborts), and committed promotions
+ *    retain a shadow frame so clean demotions are zero-copy PTE flips.
  *
  * Each migrated page costs:
  *  - software overhead (rmap walk, PTE update, TLB shootdown, LRU upkeep),
@@ -33,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -47,6 +53,7 @@
 #include "os/mglru.hh"
 #include "os/page_table.hh"
 #include "os/tenant.hh"
+#include "os/txn_migrate.hh"
 #include "fault/fault.hh"
 #include "telemetry/registry.hh"
 
@@ -108,6 +115,9 @@ enum class MigrateOutcome : std::uint8_t
                       //!< with a cold top-tier victim (success).
     PlacedLowerTier,  //!< Promotion landed on a best-fit intermediate
                       //!< tier instead of the full top tier (success).
+    AbortedRace,      //!< A store raced the transactional copy window;
+                      //!< the transaction unwound and the page stays at
+                      //!< its source — retryable (docs/MIGRATION.md).
 };
 
 /**
@@ -137,12 +147,13 @@ struct [[nodiscard]] MigrateResult
     transient() const
     {
         return outcome == MigrateOutcome::TransientBusy ||
-               outcome == MigrateOutcome::TransientNoFrame;
+               outcome == MigrateOutcome::TransientNoFrame ||
+               outcome == MigrateOutcome::AbortedRace;
     }
 
     /** Stable reason string ("ok", "busy", "no_frame", "pinned",
-     *  "not_cxl", "failed_capacity", "exchanged", "placed_lower") —
-     *  shared by traces and reports. */
+     *  "not_cxl", "failed_capacity", "exchanged", "placed_lower",
+     *  "copy_race") — shared by traces and reports. */
     const char *reason() const;
 };
 
@@ -225,6 +236,36 @@ class MigrationEngine
     /** True when the exchange fallback is armed. */
     bool exchangeEnabled() const { return exchange_enabled_; }
 
+    /**
+     * Enable/disable transactional migration (docs/MIGRATION.md): the
+     * copy streams while the page stays mapped, a write-generation
+     * check decides commit vs abort, and committed promotions retain a
+     * shadow frame on the source tier so clean demotions are free.
+     * Off, the engine takes the legacy stop-the-world path everywhere
+     * and is byte-identical to the pre-transactional simulator.  Toggle
+     * at construction time only — disabling with live shadows would
+     * leak their frames.
+     */
+    void setTxnEnabled(bool on);
+
+    /** True when transactional migration is armed. */
+    bool txnEnabled() const { return txn_ != nullptr; }
+
+    /** The transactional migrator (nullptr when disabled). */
+    const TransactionalMigrator *txn() const { return txn_.get(); }
+    TransactionalMigrator *txn() { return txn_.get(); }
+
+    /**
+     * A store retired against `vpn` (hot path; the system only calls
+     * this when transactional mode is on).  Bumps the page's write
+     * generation and invalidates its shadow; returns kernel busy time.
+     */
+    Tick
+    noteWrite(Vpn vpn, Tick now)
+    {
+        return txn_ ? txn_->noteWrite(vpn, now) : 0;
+    }
+
     /** Record one promotion batch of `pages` pages in the batch-size
      *  histogram.  Policies that loop promote() themselves (ANB, DAMON,
      *  PEBS, Promoter) call this once per wake; promoteBatch does it
@@ -245,7 +286,13 @@ class MigrationEngine
      * published when faults are in play, so fault-free telemetry stays
      * byte-identical (docs/FAULTS.md).
      */
-    void attachFaults(FaultInjector *faults) { faults_ = faults; }
+    void
+    attachFaults(FaultInjector *faults)
+    {
+        faults_ = faults;
+        if (txn_)
+            txn_->attachFaults(faults);
+    }
 
     /**
      * Attach the tenant table (nullptr detaches).  With tenants
@@ -257,7 +304,13 @@ class MigrationEngine
      * between the two owners.  Untenanted runs take none of these
      * branches and stay byte-identical (docs/MULTITENANT.md).
      */
-    void attachTenants(TenantTable *tenants) { tenants_ = tenants; }
+    void
+    attachTenants(TenantTable *tenants)
+    {
+        tenants_ = tenants;
+        if (txn_)
+            txn_->attachTenants(tenants);
+    }
 
     /** True when a tenant table is attached. */
     bool tenantsActive() const { return tenants_ != nullptr; }
@@ -315,6 +368,9 @@ class MigrationEngine
     FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
     TenantTable *tenants_ = nullptr;  //!< Not owned; may be null.
     bool exchange_enabled_ = true;
+    //! Transactional mode (off by default at the engine level; the
+    //! system arms it from SystemConfig::txn_migrate).
+    std::unique_ptr<TransactionalMigrator> txn_;
     StatHistogram batch_hist_{{1, 2, 4, 8, 16, 32, 64, 128}};
 };
 

@@ -72,11 +72,35 @@ class PageTable
     /** Count of valid pages currently on the given node. */
     std::size_t pagesOnNode(NodeId node) const;
 
+    /**
+     * Record a store to a page.  The write generation is the
+     * transactional migrator's race detector: a copy records the
+     * generation when it starts, and any bump before validation means
+     * a write raced the copy (docs/MIGRATION.md).  Lazily allocated so
+     * non-transactional runs never touch the array.
+     */
+    void
+    noteWrite(Vpn vpn)
+    {
+        if (write_gen_.empty())
+            write_gen_.assign(ptes_.size(), 0);
+        ++write_gen_[vpn];
+    }
+
+    /** Current write generation of a page (0 until first noteWrite). */
+    std::uint32_t
+    writeGen(Vpn vpn) const
+    {
+        return write_gen_.empty() ? 0 : write_gen_[vpn];
+    }
+
   private:
     std::vector<Pte> ptes_;
     std::unordered_map<Pfn, Vpn> rmap_;
     //! Cached per-node residency counts, maintained by map/remap.
     std::vector<std::size_t> node_pages_;
+    //! Per-page store counters for transactional-copy validation.
+    std::vector<std::uint32_t> write_gen_;
 };
 
 } // namespace m5

@@ -1,0 +1,260 @@
+#include "os/txn_migrate.hh"
+
+#include "common/logging.hh"
+#include "telemetry/prof.hh"
+#include "telemetry/trace.hh"
+
+namespace m5 {
+
+TransactionalMigrator::TransactionalMigrator(
+    const TierTopology &topo, PageTable &pt, FrameAllocator &alloc,
+    MemorySystem &mem, SetAssocCache &llc, Tlb &tlb, KernelLedger &ledger,
+    TierLrus &lrus, Cycles software_per_page,
+    std::vector<std::uint64_t> &moved_in,
+    std::vector<std::uint64_t> &moved_out)
+    : topo_(topo), pt_(pt), alloc_(alloc), mem_(mem), llc_(llc), tlb_(tlb),
+      ledger_(ledger), lrus_(lrus), software_per_page_(software_per_page),
+      moved_in_(moved_in), moved_out_(moved_out),
+      shadow_pfn_(pt.numPages(), kNoShadowPfn),
+      shadow_node_(pt.numPages(), 0), shadow_gen_(pt.numPages(), 0),
+      abort_count_(pt.numPages(), 0), shadow_count_(topo.numTiers(), 0),
+      reclaim_q_(topo.numTiers())
+{
+}
+
+bool
+TransactionalMigrator::validate(Vpn vpn, std::uint32_t copy_start_gen) const
+{
+    PROF_SCOPE("os.migration.txn_validate");
+    return pt_.writeGen(vpn) == copy_start_gen;
+}
+
+Tick
+TransactionalMigrator::noteAbort(Vpn vpn, bool partner_raced)
+{
+    // The unwind walked the rmap and dropped the extra refcount, like a
+    // legacy EBUSY abort; the copy traffic itself was already issued
+    // (that is the transactional gamble — wasted bandwidth, not a
+    // stalled application).
+    ledger_.charge(KernelWork::Migration, cost::kMigrateAbort);
+    ++stats_.aborts;
+    if (partner_raced)
+        ++stats_.abort_partner_race;
+    else
+        ++stats_.abort_src_race;
+    if (abort_count_[vpn] < kDegradeAborts) {
+        if (++abort_count_[vpn] == kDegradeAborts)
+            ++stats_.degraded_pages;
+    }
+    return cyclesToNs(cost::kMigrateAbort);
+}
+
+TxnMoveResult
+TransactionalMigrator::moveTxn(Vpn vpn, NodeId dst_node, Tick now)
+{
+    Pte &e = pt_.pte(vpn);
+    const NodeId src_node = e.node;
+    const Pfn src_pfn = e.pfn;
+    const std::uint32_t copy_gen = pt_.writeGen(vpn);
+
+    const TenantId owner = tenants_ ? tenants_->tenantOf(vpn) : kNoTenant;
+    auto dst = tenants_ ? alloc_.allocateFor(dst_node, owner)
+                        : alloc_.allocate(dst_node);
+    m5_assert(dst.has_value(), "moveTxn without a free frame on node %u",
+              dst_node);
+
+    // Flush cached lines so the copy below reads current data.  The
+    // page STAYS mapped: no shootdown yet — that is the transaction's
+    // whole point (the application keeps hitting the source frame).
+    Tick elapsed = 0;
+    for (Addr wb : llc_.invalidatePage(src_pfn))
+        mem_.access(wb, true, now);
+
+    // Same streamed 64-word copy as the legacy path, so tier counters
+    // and the CXL controller observe identical traffic.
+    const Addr src_base = pageBase(src_pfn);
+    const Addr dst_base = pageBase(*dst);
+    for (unsigned w = 0; w < kWordsPerPage; ++w) {
+        const Addr off = static_cast<Addr>(w) * kWordBytes;
+        mem_.access(src_base + off, false, now + elapsed);
+        mem_.access(dst_base + off, true, now + elapsed);
+    }
+    elapsed += topo_.edge(src_node, dst_node).pageCopyTime();
+
+    // An injected `copy_race` is a store landing inside the copy
+    // window; validation sees the generation bump just like a real one.
+    (void)injectRace(vpn, now + elapsed);
+
+    if (!validate(vpn, copy_gen)) {
+        // Abort: the copied bytes are stale.  Unwind the destination
+        // frame; the page never left its source, nothing to roll back.
+        // The racing store also kills any live shadow — the page's
+        // content just diverged from it (only possible when the source
+        // is the top tier, where shadowed pages live).
+        if (tenants_)
+            alloc_.freeFor(dst_node, *dst, owner);
+        else
+            alloc_.free(dst_node, *dst);
+        elapsed += invalidateShadow(vpn, now + elapsed);
+        elapsed += noteAbort(vpn, /*partner_raced=*/false);
+        TRACE_SPAN(TraceCat::Migrate, now, elapsed, "migration.txn",
+                   TraceArgs().u("page", vpn).s("result", "abort"));
+        return {false, elapsed};
+    }
+
+    // Commit: unmap only now.  The shootdown the legacy path pays
+    // before the copy moves after validation.
+    tlb_.shootdown(static_cast<Vpn>(vpn));
+    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+
+    // A shadowed page leaving the top tier through the general move
+    // path invalidates its (now duplicated) shadow first.
+    if (src_node == topo_.top())
+        elapsed += invalidateShadow(vpn, now + elapsed);
+
+    lrus_.remove(vpn, src_node);
+    pt_.remap(vpn, *dst, dst_node);
+    if (dst_node == topo_.top() && src_node != topo_.top()) {
+        // Non-exclusive tiering: the source frame stays allocated as a
+        // shadow so a still-clean demotion is a PTE flip (freeDemote).
+        shadow_pfn_[vpn] = src_pfn;
+        shadow_node_[vpn] = src_node;
+        shadow_gen_[vpn] = pt_.writeGen(vpn);
+        ++shadow_count_[src_node];
+        reclaim_q_[src_node].emplace_back(vpn, src_pfn);
+        ++stats_.shadow_retained;
+    } else {
+        if (tenants_)
+            alloc_.freeFor(src_node, src_pfn, owner);
+        else
+            alloc_.free(src_node, src_pfn);
+    }
+    lrus_.insert(vpn, dst_node);
+    ++moved_out_[src_node];
+    ++moved_in_[dst_node];
+    if (tenants_) {
+        if (dst_node == topo_.top())
+            tenants_->counters(owner).promoted += 1;
+        else if (src_node == topo_.top())
+            tenants_->counters(owner).demoted += 1;
+    }
+
+    ledger_.charge(KernelWork::Migration, software_per_page_);
+    elapsed += cyclesToNs(software_per_page_);
+    ++stats_.commits;
+    TRACE_SPAN(TraceCat::Migrate, now, elapsed, "migration.txn",
+               TraceArgs().u("page", vpn)
+                          .s("result", "commit")
+                          .u("src_pfn", src_pfn)
+                          .u("dst_pfn", *dst));
+    return {true, elapsed};
+}
+
+Tick
+TransactionalMigrator::freeDemote(Vpn vpn, Tick now)
+{
+    const Pte &e = pt_.pte(vpn);
+    m5_assert(hasShadow(vpn) && e.node == topo_.top(),
+              "freeDemote of vpn %lu without a live shadow",
+              static_cast<unsigned long>(vpn));
+    m5_assert(shadow_gen_[vpn] == pt_.writeGen(vpn),
+              "freeDemote of vpn %lu with a stale shadow",
+              static_cast<unsigned long>(vpn));
+    const NodeId src_node = e.node;
+    const Pfn src_pfn = e.pfn;
+    const NodeId dst_node = shadow_node_[vpn];
+    const Pfn dst_pfn = shadow_pfn_[vpn];
+
+    // The page is clean by construction (a store would have invalidated
+    // the shadow), so the flush writes nothing back; the lines still
+    // leave the cache because the physical address changes.
+    for (Addr wb : llc_.invalidatePage(src_pfn))
+        mem_.access(wb, true, now);
+
+    tlb_.shootdown(static_cast<Vpn>(vpn));
+    ledger_.charge(KernelWork::TlbShootdown, cost::kTlbShootdown);
+
+    lrus_.remove(vpn, src_node);
+    pt_.remap(vpn, dst_pfn, dst_node);
+    const TenantId owner = tenants_ ? tenants_->tenantOf(vpn) : kNoTenant;
+    if (tenants_)
+        alloc_.freeFor(src_node, src_pfn, owner);
+    else
+        alloc_.free(src_node, src_pfn);
+    lrus_.insert(vpn, dst_node);
+    // The shadow became the primary copy.
+    shadow_pfn_[vpn] = kNoShadowPfn;
+    --shadow_count_[dst_node];
+    ++moved_out_[src_node];
+    ++moved_in_[dst_node];
+    if (tenants_)
+        tenants_->counters(owner).demoted += 1;
+
+    // Zero copy traffic, zero edge time: only the PTE-flip software
+    // cost — the non-exclusive-tiering payoff.
+    ledger_.charge(KernelWork::Migration, cost::kDemoteFreeSoftware);
+    const Tick elapsed = cyclesToNs(cost::kDemoteFreeSoftware);
+    ++stats_.demoted_free;
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.demote_free",
+                TraceArgs().u("page", vpn)
+                           .u("src_pfn", src_pfn)
+                           .u("dst_pfn", dst_pfn)
+                           .u("busy", elapsed));
+    return elapsed;
+}
+
+Tick
+TransactionalMigrator::releaseShadow(Vpn vpn, Tick now, bool reclaimed)
+{
+    const NodeId node = shadow_node_[vpn];
+    alloc_.free(node, shadow_pfn_[vpn]);
+    shadow_pfn_[vpn] = kNoShadowPfn;
+    --shadow_count_[node];
+    if (reclaimed)
+        ++stats_.shadow_reclaimed;
+    else
+        ++stats_.shadow_invalidated;
+    ledger_.charge(KernelWork::Migration, cost::kShadowRelease);
+    const Tick elapsed = cyclesToNs(cost::kShadowRelease);
+    TRACE_EVENT(TraceCat::Migrate, now + elapsed, "migration.shadow_drop",
+                TraceArgs().u("page", vpn)
+                           .s("reason", reclaimed ? "reclaim" : "write"));
+    return elapsed;
+}
+
+bool
+TransactionalMigrator::reclaimOne(NodeId node, Tick now)
+{
+    auto &q = reclaim_q_[node];
+    while (!q.empty()) {
+        const auto [vpn, pfn] = q.front();
+        q.pop_front();
+        // Lazy skip: the shadow this entry named was invalidated (or
+        // already reclaimed, or replaced by a newer retention).
+        if (shadow_pfn_[vpn] != pfn)
+            continue;
+        (void)releaseShadow(vpn, now, /*reclaimed=*/true);
+        return true;
+    }
+    return false;
+}
+
+void
+TransactionalMigrator::registerStats(StatRegistry &reg) const
+{
+    reg.addCounter("os.migration.txn_commits", &stats_.commits);
+    reg.addCounter("os.migration.txn_aborts", &stats_.aborts);
+    reg.addCounter("os.migration.txn_abort_src_race",
+                   &stats_.abort_src_race);
+    reg.addCounter("os.migration.txn_abort_partner_race",
+                   &stats_.abort_partner_race);
+    reg.addCounter("os.migration.txn_degraded", &stats_.degraded_pages);
+    reg.addCounter("os.migration.shadow_retained", &stats_.shadow_retained);
+    reg.addCounter("os.migration.shadow_invalidated",
+                   &stats_.shadow_invalidated);
+    reg.addCounter("os.migration.shadow_reclaimed",
+                   &stats_.shadow_reclaimed);
+    reg.addCounter("os.migration.demoted_free", &stats_.demoted_free);
+}
+
+} // namespace m5

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Transactional page migration with shadow copies (docs/MIGRATION.md).
+ *
+ * The legacy migration path is stop-the-world: the page is unmapped
+ * (TLB shootdown) before the copy starts, so the application eats the
+ * full copy latency on any touch, and every demotion pays a full page
+ * copy.  Nomad ("Non-Exclusive Memory Tiering via Transactional Page
+ * Migration") shows both costs are avoidable:
+ *
+ *  - Transactional copy: the page stays mapped at its source while the
+ *    copy streams.  A per-page write generation (PageTable::writeGen)
+ *    is recorded when the copy starts; any store inside the copy window
+ *    bumps it, and validation compares generations before anything is
+ *    remapped.  A mismatch aborts the transaction — the destination
+ *    frame is unwound, the page never moved, and the caller retries
+ *    through the Promoter's bounded-backoff queue.
+ *
+ *  - Graceful degradation: a page that keeps aborting (K = 2) is
+ *    write-hot enough that copying it while mapped is hopeless; it
+ *    degrades, per page, to the legacy stop-the-world path — the same
+ *    ladder shape Monitor uses for stale MMIO.
+ *
+ *  - Non-exclusive tiering: a committed promotion keeps its source
+ *    frame allocated as a *shadow*.  Demoting the page while it is
+ *    still clean is then a PTE flip back onto the shadow frame — zero
+ *    copy traffic (freeDemote).  A store to the shadowed page
+ *    invalidates the shadow eagerly; tier pressure reclaims shadows
+ *    lazily, oldest first (reclaimOne).
+ *
+ * The migrator is engine-private state: MigrationEngine routes
+ * promote()/move()/exchange() through it when transactional mode is on
+ * (SystemConfig::txn_migrate, --no-txn-migrate) and the page has not
+ * degraded.  With the mode off the engine never constructs one and
+ * every byte of the simulation matches the pre-transactional code.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/types.hh"
+#include "fault/fault.hh"
+#include "mem/memsys.hh"
+#include "mem/topology.hh"
+#include "os/costs.hh"
+#include "os/frame_alloc.hh"
+#include "os/kernel_ledger.hh"
+#include "os/mglru.hh"
+#include "os/page_table.hh"
+#include "os/tenant.hh"
+#include "telemetry/registry.hh"
+
+namespace m5 {
+
+/** Transaction / shadow lifecycle counters (`os.migration.txn_*`). */
+struct TxnStats
+{
+    std::uint64_t commits = 0; //!< Transactions validated and remapped.
+    std::uint64_t aborts = 0;  //!< Write-raced copies unwound.
+    //! Abort reasons: the migrating page itself raced, or (exchange
+    //! only) the top-tier partner page raced.
+    std::uint64_t abort_src_race = 0;
+    std::uint64_t abort_partner_race = 0;
+    //! Pages that crossed the abort ladder (K aborts) and fell back to
+    //! the legacy stop-the-world path for good.
+    std::uint64_t degraded_pages = 0;
+    std::uint64_t shadow_retained = 0;    //!< Shadows created by commits.
+    std::uint64_t shadow_invalidated = 0; //!< Dropped by a store.
+    std::uint64_t shadow_reclaimed = 0;   //!< Dropped by tier pressure.
+    std::uint64_t demoted_free = 0;       //!< Zero-copy PTE-flip demotions.
+};
+
+/**
+ * Result of one transactional move.  [[nodiscard]] for the same reason
+ * MigrateResult is: an unread abort is a silently lost page placement
+ * (m5lint's no-unchecked-migrate-result rule seeds on this type too).
+ */
+struct [[nodiscard]] TxnMoveResult
+{
+    bool committed = false;
+    Tick busy = 0; //!< Time consumed (copy + validate, or copy + unwind).
+};
+
+/** The transactional-migration and shadow-frame state machine. */
+class TransactionalMigrator
+{
+  public:
+    /** Aborts after which a page degrades to the legacy path. */
+    static constexpr unsigned kDegradeAborts = 2;
+
+    /**
+     * @param software_per_page Per-page kernel overhead charged on
+     *        commit (the engine's MigrationCosts value).
+     * @param moved_in,moved_out The engine's per-tier migration
+     *        counters; committed transactions keep them balanced.
+     */
+    TransactionalMigrator(const TierTopology &topo, PageTable &pt,
+                          FrameAllocator &alloc, MemorySystem &mem,
+                          SetAssocCache &llc, Tlb &tlb,
+                          KernelLedger &ledger, TierLrus &lrus,
+                          Cycles software_per_page,
+                          std::vector<std::uint64_t> &moved_in,
+                          std::vector<std::uint64_t> &moved_out);
+
+    /** Fault injector for `copy_race` draws (nullptr detaches). */
+    void attachFaults(FaultInjector *faults) { faults_ = faults; }
+
+    /** Tenant table for cap-node frame accounting (nullptr detaches). */
+    void attachTenants(TenantTable *tenants) { tenants_ = tenants; }
+
+    /**
+     * One transactional page move: copy while mapped, validate the
+     * write generation, then commit (shootdown + remap, retaining a
+     * shadow when the move is a promotion from a lower tier) or abort
+     * (unwind the destination frame; the page never moved).  The caller
+     * guarantees the page is valid/unpinned and a frame is available.
+     */
+    TxnMoveResult moveTxn(Vpn vpn, NodeId dst_node, Tick now);
+
+    /**
+     * Zero-copy demotion of a still-clean shadowed page: PTE flip back
+     * onto the shadow frame, free the top-tier frame.  Returns the time
+     * consumed (no copy traffic at all).  Caller guarantees hasShadow.
+     */
+    Tick freeDemote(Vpn vpn, Tick now);
+
+    /**
+     * A store retired against this page: bump the write generation
+     * (racing any in-flight copy window) and invalidate its shadow if
+     * one is live.  Returns kernel busy time (0 on the common path).
+     */
+    Tick
+    noteWrite(Vpn vpn, Tick now)
+    {
+        pt_.noteWrite(vpn);
+        if (shadow_pfn_[vpn] == kNoShadowPfn)
+            return 0;
+        return releaseShadow(vpn, now, /*reclaimed=*/false);
+    }
+
+    /** Drop this page's shadow if one is live (page left the top tier
+     *  via a legacy copy/exchange).  Returns kernel busy time. */
+    Tick
+    invalidateShadow(Vpn vpn, Tick now)
+    {
+        if (shadow_pfn_[vpn] == kNoShadowPfn)
+            return 0;
+        return releaseShadow(vpn, now, /*reclaimed=*/false);
+    }
+
+    /**
+     * Tier pressure: reclaim the oldest live shadow on `node`, freeing
+     * its frame.  Returns false when the node holds no shadows.
+     */
+    bool reclaimOne(NodeId node, Tick now);
+
+    /** Injected write race (FaultPoint::CopyRace): the racing store
+     *  lands via PageTable::noteWrite, so validation sees it. */
+    bool
+    injectRace(Vpn vpn, Tick now)
+    {
+        if (faults_ && faults_->fires(FaultPoint::CopyRace, now)) {
+            pt_.noteWrite(vpn);
+            return true;
+        }
+        return false;
+    }
+
+    /** Write-generation comparison — the commit/abort decision. */
+    bool validate(Vpn vpn, std::uint32_t copy_start_gen) const;
+
+    /**
+     * Account one abort: unwind charge, reason + ladder bookkeeping.
+     * Returns the time consumed by the unwind.
+     */
+    Tick noteAbort(Vpn vpn, bool partner_raced);
+
+    /** True once the page crossed the abort ladder (legacy path only). */
+    bool
+    degraded(Vpn vpn) const
+    {
+        return abort_count_[vpn] >= kDegradeAborts;
+    }
+
+    /** True when the page holds a live shadow frame. */
+    bool hasShadow(Vpn vpn) const { return shadow_pfn_[vpn] != kNoShadowPfn; }
+
+    /** @{ Shadow bookkeeping, cross-checked by InvariantChecker. */
+    static constexpr Pfn kNoShadowPfn = static_cast<Pfn>(-1);
+    Pfn shadowPfn(Vpn vpn) const { return shadow_pfn_[vpn]; }
+    NodeId shadowNode(Vpn vpn) const { return shadow_node_[vpn]; }
+    std::uint32_t shadowGen(Vpn vpn) const { return shadow_gen_[vpn]; }
+    /** Live shadow frames held on one node. */
+    std::size_t
+    shadowFrames(NodeId node) const
+    {
+        return node < shadow_count_.size() ? shadow_count_[node] : 0;
+    }
+    /** @} */
+
+    /** Lifecycle counters. */
+    const TxnStats &stats() const { return stats_; }
+
+    /** Register `os.migration.txn_*` / shadow counters. */
+    void registerStats(StatRegistry &reg) const;
+
+  private:
+    /** Free a live shadow frame and count it as invalidated/reclaimed. */
+    Tick releaseShadow(Vpn vpn, Tick now, bool reclaimed);
+
+    const TierTopology &topo_;
+    PageTable &pt_;
+    FrameAllocator &alloc_;
+    MemorySystem &mem_;
+    SetAssocCache &llc_;
+    Tlb &tlb_;
+    KernelLedger &ledger_;
+    TierLrus &lrus_;
+    Cycles software_per_page_;
+    std::vector<std::uint64_t> &moved_in_;
+    std::vector<std::uint64_t> &moved_out_;
+    FaultInjector *faults_ = nullptr; //!< Not owned; may be null.
+    TenantTable *tenants_ = nullptr;  //!< Not owned; may be null.
+
+    TxnStats stats_;
+    std::vector<Pfn> shadow_pfn_;           //!< Per-vpn shadow frame.
+    std::vector<NodeId> shadow_node_;       //!< Tier holding the shadow.
+    std::vector<std::uint32_t> shadow_gen_; //!< writeGen at retention.
+    std::vector<std::uint8_t> abort_count_; //!< Degradation ladder.
+    std::vector<std::size_t> shadow_count_; //!< Live shadows per node.
+    //! Per-node FIFO reclaim order; entries whose (vpn, pfn) no longer
+    //! match a live shadow are skipped lazily.
+    std::vector<std::deque<std::pair<Vpn, Pfn>>> reclaim_q_;
+};
+
+} // namespace m5

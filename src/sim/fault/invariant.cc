@@ -8,6 +8,7 @@
 #include "os/mglru.hh"
 #include "os/page_table.hh"
 #include "os/tenant.hh"
+#include "os/txn_migrate.hh"
 
 namespace m5 {
 
@@ -58,15 +59,19 @@ InvariantChecker::check(Tick now)
     }
 
     // 2. Tier occupancy: the page table's cached per-node counts match
-    //    the recount, and the frame allocator's books balance.
+    //    the recount, and the frame allocator's books balance.  With
+    //    transactional migration, retained shadow frames are allocated
+    //    but unmapped, so the balance widens to mapped + shadows.
     for (NodeId node = 0; node < mem_.tiers(); ++node) {
         if (pt_.pagesOnNode(node) != on_node[node])
             fail(strprintf("node %u: pagesOnNode cache %zu != recount %zu",
                            node, pt_.pagesOnNode(node), on_node[node]));
-        if (alloc_.usedFrames(node) != on_node[node])
+        const std::size_t shadows = txn_ ? txn_->shadowFrames(node) : 0;
+        if (alloc_.usedFrames(node) != on_node[node] + shadows)
             fail(strprintf("node %u: allocator has %zu used frames but "
-                           "%zu pages are mapped",
-                           node, alloc_.usedFrames(node), on_node[node]));
+                           "%zu pages are mapped (+%zu shadows)",
+                           node, alloc_.usedFrames(node), on_node[node],
+                           shadows));
         if (alloc_.freeFrames(node) + alloc_.usedFrames(node) !=
             alloc_.totalFrames(node))
             fail(strprintf("node %u: free %zu + used %zu != total %zu",
@@ -124,7 +129,63 @@ InvariantChecker::check(Tick now)
         }
     }
 
-    // 5. Kernel ledger: books balance and never run backwards.
+    // 5. Shadow-frame books (transactional migration): every live
+    //    shadow must back a valid page resident on the top tier (node
+    //    0), be clean (its retention-time write generation still
+    //    current — a stale shadow means a store skipped invalidation),
+    //    and hold a unique frame that is unmapped, homed on the
+    //    recorded node, and distinct from every mapped frame; the
+    //    per-node shadow counts must match a recount
+    //    (docs/MIGRATION.md).
+    if (txn_) {
+        std::vector<std::size_t> shadow_recount(mem_.tiers(), 0);
+        std::unordered_set<Pfn> shadow_frames;
+        for (Vpn vpn = 0; vpn < pt_.numPages(); ++vpn) {
+            if (!txn_->hasShadow(vpn))
+                continue;
+            const Pfn spfn = txn_->shadowPfn(vpn);
+            const NodeId snode = txn_->shadowNode(vpn);
+            const Pte &e = pt_.pte(vpn);
+            if (!e.valid || e.node != 0)
+                fail(strprintf("vpn %lu: shadow on node %u but the page "
+                               "is %s the top tier",
+                               vpn, snode,
+                               e.valid ? "not on" : "unmapped, let alone"));
+            if (txn_->shadowGen(vpn) != pt_.writeGen(vpn))
+                fail(strprintf("vpn %lu: stale shadow (retained at write "
+                               "gen %u, page now at gen %u)",
+                               vpn, txn_->shadowGen(vpn),
+                               pt_.writeGen(vpn)));
+            if (snode >= mem_.tiers() || snode == 0) {
+                fail(strprintf("vpn %lu: shadow on bad node %u", vpn,
+                               snode));
+                continue;
+            }
+            ++shadow_recount[snode];
+            if (mem_.nodeOf(pageBase(spfn)) != snode)
+                fail(strprintf("vpn %lu: shadow pfn %lu lives on node %u "
+                               "but the books say node %u",
+                               vpn, spfn, mem_.nodeOf(pageBase(spfn)),
+                               snode));
+            if (pt_.vpnOfPfn(spfn) != pt_.numPages())
+                fail(strprintf("vpn %lu: shadow pfn %lu is also mapped "
+                               "by vpn %lu — double-accounted frame",
+                               vpn, spfn, pt_.vpnOfPfn(spfn)));
+            if (frames.count(spfn) ||
+                !shadow_frames.insert(spfn).second)
+                fail(strprintf("vpn %lu: shadow pfn %lu backs more than "
+                               "one page",
+                               vpn, spfn));
+        }
+        for (NodeId node = 0; node < mem_.tiers(); ++node) {
+            if (txn_->shadowFrames(node) != shadow_recount[node])
+                fail(strprintf("node %u: shadow count %zu != recount %zu",
+                               node, txn_->shadowFrames(node),
+                               shadow_recount[node]));
+        }
+    }
+
+    // 6. Kernel ledger: books balance and never run backwards.
     Cycles sum = 0;
     for (unsigned c = 0;
          c < static_cast<unsigned>(KernelWork::NumCategories); ++c) {

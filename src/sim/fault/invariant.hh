@@ -33,6 +33,7 @@ class FrameAllocator;
 class MemorySystem;
 class TierLrus;
 class TenantTable;
+class TransactionalMigrator;
 
 /** Per-epoch cross-layer consistency checker. */
 class InvariantChecker
@@ -66,6 +67,20 @@ class InvariantChecker
      */
     void attachTenants(const TenantTable *tenants) { tenants_ = tenants; }
 
+    /**
+     * Attach the transactional migrator (txn-migrate runs): every sweep
+     * then cross-checks the shadow-frame books — each live shadow must
+     * back a clean top-tier page with an unmapped, correctly-homed,
+     * unique frame, the per-node shadow counts must match a recount,
+     * and the allocator balance check widens to used == mapped +
+     * shadows (docs/MIGRATION.md).
+     */
+    void
+    attachTxn(const TransactionalMigrator *txn)
+    {
+        txn_ = txn;
+    }
+
   private:
     const PageTable &pt_;
     const FrameAllocator &alloc_;
@@ -73,6 +88,8 @@ class InvariantChecker
     const TierLrus &lrus_;
     const KernelLedger &ledger_;
     const TenantTable *tenants_ = nullptr; //!< Not owned; may be null.
+    //! Not owned; may be null (transactional migration off).
+    const TransactionalMigrator *txn_ = nullptr;
 
     std::uint64_t checks_ = 0;
     std::uint64_t violations_ = 0;

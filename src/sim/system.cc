@@ -119,6 +119,12 @@ TieredSystem::TieredSystem(const SystemConfig &cfg)
         }
         invariants_->attachTenants(tenant_table_);
     }
+    // Transactional runs retain shadow frames — allocated but unmapped.
+    // The checker must see them or its allocator-balance rule would
+    // misfire; attaching also arms the shadow-specific sweep
+    // (docs/MIGRATION.md).
+    if (invariants_)
+        invariants_->attachTxn(engine_->txn());
     // The tracer exists only when tracing is on, so a tracing-disabled
     // run's telemetry carries no telemetry.trace.* rows and stays
     // byte-identical to a run built before tracing existed.
@@ -300,6 +306,7 @@ TieredSystem::buildPolicy()
                                                 *mem_, *llc_, *tlb_,
                                                 ledger_, *lrus_, costs);
     engine_->setExchangeEnabled(cfg_.exchange);
+    engine_->setTxnEnabled(cfg_.txn_migrate);
     monitor_ = std::make_unique<Monitor>(*mem_, *pt_);
 
     const auto hot_cap = std::max<std::size_t>(512,
@@ -505,6 +512,15 @@ TieredSystem::issueAccess(const AccessEvent &ev)
         if (cfg_.record_trace)
             trace_.push(pa, core_.now(), ev.is_write);
     }
+    // A retired store bumps the page's write generation (racing any
+    // in-flight transactional copy) and invalidates its shadow frame —
+    // the shadow invalidation runs in the faulting store's context,
+    // like a CoW break (docs/MIGRATION.md).
+    if (ev.is_write && engine_->txnEnabled()) {
+        const Tick busy = engine_->noteWrite(vpn, core_.now());
+        if (busy)
+            core_.advanceKernel(busy);
+    }
     // Per-tenant books (docs/MULTITENANT.md): where each access was
     // served and what it cost — the inputs to the fairness telemetry.
     if (tenant_table_) {
@@ -635,6 +651,8 @@ TieredSystem::run(std::uint64_t num_accesses)
     r.llc = llc_->stats();
     r.tlb = tlb_->stats();
     r.migration = engine_->stats();
+    if (const TransactionalMigrator *txn = engine_->txn())
+        r.txn = txn->stats();
     r.ddr_read_bytes = mem_->tier(kNodeDdr).counters().read_bytes;
     r.cxl_read_bytes = lower_reads;
     r.kernel_ident_cycles = ledger_.identificationCycles();

@@ -149,6 +149,14 @@ struct SystemConfig
     //! allocations (docs/TOPOLOGY.md); only observable under `ddr_alloc`
     //! fault injection, so default runs are unaffected either way.
     bool exchange = true;
+    //! Transactional page migration with shadow copies
+    //! (docs/MIGRATION.md, `--no-txn-migrate`): pages are copied while
+    //! still mapped and validated against their write generation before
+    //! the remap; committed promotions retain a shadow frame in the
+    //! source tier so a still-clean demotion is a zero-copy PTE flip.
+    //! Off restores the stop-the-world path, byte-identical to the
+    //! pre-transactional simulator.
+    bool txn_migrate = true;
     std::optional<std::uint64_t> llc_bytes_override;
     TlbConfig tlb_cfg;
     //! Per-epoch telemetry export (docs/TELEMETRY.md); disabled while
@@ -210,6 +218,9 @@ struct RunResult
     CacheStats llc;
     TlbStats tlb;
     MigrationStats migration;
+    //! Transaction/shadow lifecycle counters; all-zero when
+    //! `txn_migrate` is off.
+    TxnStats txn;
     std::uint64_t ddr_read_bytes = 0;
     std::uint64_t cxl_read_bytes = 0;
     Cycles kernel_ident_cycles = 0;

@@ -108,6 +108,24 @@ TEST(FaultPlanTest, ParsesTheDocumentedExampleSpec)
     EXPECT_FALSE(plan.rule(FaultPoint::WakeDrop).active());
 }
 
+TEST(FaultPlanTest, ParsesCopyRaceClauses)
+{
+    // The 6th fault point (docs/MIGRATION.md): a store racing the
+    // transactional copy window.  Same grammar as every other point.
+    const auto p = FaultPlan::parse("copy_race:p=0.25");
+    EXPECT_FALSE(p.inert());
+    EXPECT_DOUBLE_EQ(p.rule(FaultPoint::CopyRace).p, 0.25);
+
+    const auto burst = FaultPlan::parse("copy_race:burst=8@2ms");
+    EXPECT_FALSE(burst.inert());
+    EXPECT_EQ(burst.rule(FaultPoint::CopyRace).burst_count, 8u);
+    EXPECT_EQ(burst.rule(FaultPoint::CopyRace).burst_at, msToTicks(2.0));
+
+    EXPECT_TRUE(FaultPlan::parse("copy_race:p=0").inert());
+    FatalCaptureScope capture;
+    EXPECT_THROW(FaultPlan::parse("copy_race:bogus=1"), FatalError);
+}
+
 TEST(FaultPlanTest, MergesRepeatedClausesForOnePoint)
 {
     const auto plan =
@@ -593,7 +611,8 @@ TEST(FaultSystemTest, InertSpecIsByteIdenticalToNoSpec)
         return r;
     };
     const RunResult off = once("", "off");
-    const RunResult p0 = once("migrate_busy:p=0,mmio_stale:p=0", "p0");
+    const RunResult p0 =
+        once("migrate_busy:p=0,mmio_stale:p=0,copy_race:p=0", "p0");
 
     EXPECT_EQ(off.runtime, p0.runtime);
     EXPECT_EQ(off.accesses, p0.accesses);
@@ -701,6 +720,58 @@ TEST(FaultRunnerTest, CampaignIsByteIdenticalAcrossWorkerCounts)
     TieredSystem sys(cfg);
     const RunResult r = sys.run(jobs[0].budget);
     EXPECT_GT(r.migration.transient_fail, 0u);
+}
+
+TEST(FaultRunnerTest, TxnCampaignIsByteIdenticalAcrossWorkerCounts)
+{
+    // Same determinism pin for the transactional pipeline: a copy_race
+    // storm over a write-heavy workload drives commits, aborts, shadow
+    // invalidations and free demotions, and none of it may depend on
+    // the worker-pool size (docs/MIGRATION.md).
+    ScopedEnv faults_env("M5_BENCH_FAULTS",
+                         "migrate_busy:p=0.1,copy_race:p=0.2");
+    SweepGrid grid;
+    grid.benchmark("redis")
+        .policies({PolicyKind::M5HptDriven})
+        .seeds(2)
+        .scale(1.0 / 128.0)
+        .budgetOverride(20000);
+    const auto jobs = grid.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+
+    auto sweep = [&](unsigned workers) {
+        RunnerOptions opts;
+        opts.jobs = workers;
+        opts.progress = 0;
+        ExperimentRunner runner(opts);
+        std::vector<std::vector<std::string>> rows;
+        const auto outcomes = runner.run(jobs);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+            rows.push_back(runResultCsvRow(jobs[i], outcomes[i].value));
+        }
+        return rows;
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    EXPECT_EQ(serial, parallel);
+
+    // A direct rerun of one cell reproduces the exact txn counters and
+    // the storm really exercised both commit and abort arms.
+    auto cell = [&] {
+        SystemConfig cfg = jobs[0].config;
+        cfg.faults = "migrate_busy:p=0.1,copy_race:p=0.2";
+        TieredSystem sys(cfg);
+        return sys.run(jobs[0].budget);
+    };
+    const RunResult a = cell(), b = cell();
+    EXPECT_GT(a.txn.commits, 0u);
+    EXPECT_GT(a.txn.aborts, 0u);
+    EXPECT_EQ(a.txn.commits, b.txn.commits);
+    EXPECT_EQ(a.txn.aborts, b.txn.aborts);
+    EXPECT_EQ(a.txn.degraded_pages, b.txn.degraded_pages);
+    EXPECT_EQ(a.txn.demoted_free, b.txn.demoted_free);
+    EXPECT_EQ(a.runtime, b.runtime);
 }
 
 } // namespace

@@ -662,6 +662,29 @@ TEST(LintMigrateResult, SilentOnConsumedMoveExchangeAndStdMove)
     EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
 }
 
+TEST(LintMigrateResult, FiresOnDiscardedTransactionalEntryPoints)
+{
+    // The transactional path (docs/MIGRATION.md) has the same contract:
+    // a dropped TxnMoveResult is a silently lost commit/abort outcome.
+    const auto d = run("src/os/migration.cc",
+                       "txn_->moveTxn(vpn, dst, now);\n"
+                       "txn.moveTxn(vpn, dst, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 2u);
+    EXPECT_EQ(d[0].line, 1);
+    EXPECT_EQ(d[1].line, 2);
+}
+
+TEST(LintMigrateResult, SilentOnConsumedTransactionalResult)
+{
+    const auto d = run(
+        "src/os/migration.cc",
+        "const TxnMoveResult tr = txn_->moveTxn(vpn, dst, now);\n"
+        "if (!txn_->moveTxn(vpn, dst, now).committed) ++aborts;\n"
+        "return txn_->moveTxn(vpn, dst, now);\n"
+        "(void)txn_->moveTxn(vpn, dst, now);\n");
+    EXPECT_EQ(countRule(d, "no-unchecked-migrate-result"), 0u);
+}
+
 // =====================================================================
 // Project-wide analysis (m5lint_model.cc + m5lint_project.cc).
 // =====================================================================
@@ -955,6 +978,28 @@ TEST(LintTaint, TaintPropagatesThroughReturningWrappers)
     EXPECT_EQ(d[0].line, 7);
     EXPECT_NE(d[0].msg.find("taint chain"), std::string::npos);
     EXPECT_NE(d[0].msg.find("wrapBatch -> runBatch"), std::string::npos);
+}
+
+TEST(LintTaint, TxnMoveResultSeedsTheTaint)
+{
+    // The transactional path's result type taints wrappers the same way
+    // MigrateResult does (docs/MIGRATION.md).
+    const auto model = project({
+        {"src/os/txn_retry.hh",
+         "#pragma once\n"
+         "TxnMoveResult tryTxnMove(Vpn v, Tick t);\n"},
+        {"src/m5/driver.cc",
+         "#include \"os/txn_retry.hh\"\n"
+         "void Driver::tick(Vpn v, Tick t)\n"
+         "{\n"
+         "    tryTxnMove(v, t);\n"
+         "    auto r = tryTxnMove(v, t);\n"
+         "}\n"},
+    });
+    const auto d = runProject(model);
+    ASSERT_EQ(countRule(d, "transitive-unchecked-migrate-result"), 1u);
+    EXPECT_EQ(d[0].line, 4);
+    EXPECT_NE(d[0].msg.find("tryTxnMove"), std::string::npos);
 }
 
 TEST(LintTaint, SilentWhenResultIsConsumedOrVoidCast)

@@ -394,10 +394,14 @@ TEST(TenantSystemTest, SingleTenantRunMatchesPreTenantGoldens)
 {
     // Captured from the simulator immediately before the tenant model
     // landed (same config, budget and hash function): an untenanted run
-    // must reproduce results, telemetry and trace bytes exactly.
+    // must reproduce results, telemetry and trace bytes exactly.  The
+    // pins double as the `--no-txn-migrate` golden: with transactional
+    // migration off, a build carrying the txn path must still produce
+    // these exact bytes (docs/MIGRATION.md).
     TempDir dir("golden");
     SystemConfig cfg =
         makeConfig("mcf_r", PolicyKind::M5HptDriven, 1.0 / 128.0, 7);
+    cfg.txn_migrate = false;
     cfg.telemetry.path = (dir.path() / "telem.jsonl").string();
     cfg.trace.path = (dir.path() / "trace.json").string();
     cfg.trace.categories = 0xffffffffu;

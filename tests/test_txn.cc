@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests for transactional page migration (docs/MIGRATION.md): the
+ * commit/abort/validate state machine, the per-page degradation ladder,
+ * shadow retention / invalidation / reclaim, zero-copy free demotion,
+ * the Promoter retry integration ("retried-then-committed or cleanly
+ * degraded"), atomic exchange aborts, the shadow invariant sweep against
+ * deliberately corrupted state, and the full-system campaign guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "m5/promoter.hh"
+#include "os/costs.hh"
+#include "os/txn_migrate.hh"
+#include "sim/experiment.hh"
+#include "sim/fault/invariant.hh"
+#include "sim/system.hh"
+
+namespace m5 {
+namespace {
+
+/**
+ * 4-frame DDR, 16-frame CXL, 12 pages (the first `ddr_mapped` start on
+ * DDR, the rest on CXL), transactional mode on.
+ */
+class TxnEngineTest : public ::testing::Test
+{
+  protected:
+    explicit TxnEngineTest(std::uint64_t cxl_frames = 16,
+                           Vpn ddr_mapped = 0)
+    {
+        TieredMemoryParams p;
+        p.ddr_bytes = 4 * kPageBytes;
+        p.cxl_bytes = cxl_frames * kPageBytes;
+        topo = std::make_unique<TierTopology>(TierTopology::pair(p));
+        mem = topo->buildMemory();
+        llc = std::make_unique<SetAssocCache>(CacheConfig{64 * 1024, 4});
+        tlb = std::make_unique<Tlb>(TlbConfig{64, 4});
+        pt = std::make_unique<PageTable>(12);
+        alloc = std::make_unique<FrameAllocator>(*mem);
+        lrus = std::make_unique<TierLrus>(12, topo->numTiers());
+        engine = std::make_unique<MigrationEngine>(*topo, *pt, *alloc,
+                                                   *mem, *llc, *tlb,
+                                                   ledger, *lrus);
+        engine->setTxnEnabled(true);
+        for (Vpn v = 0; v < 12; ++v) {
+            const NodeId n = v < ddr_mapped ? kNodeDdr : kNodeCxl;
+            pt->map(v, *alloc->allocate(n), n);
+        }
+    }
+
+    void
+    arm(const std::string &spec)
+    {
+        faults = std::make_unique<FaultInjector>(FaultPlan::parse(spec), 1);
+        engine->attachFaults(faults.get());
+    }
+
+    /** Bytes moved through a tier in both directions. */
+    std::uint64_t
+    traffic(NodeId node) const
+    {
+        const auto &c = mem->tier(node).counters();
+        return c.read_bytes + c.write_bytes;
+    }
+
+    const TransactionalMigrator &
+    txn() const
+    {
+        return *engine->txn();
+    }
+
+    std::unique_ptr<TierTopology> topo;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<SetAssocCache> llc;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<PageTable> pt;
+    std::unique_ptr<FrameAllocator> alloc;
+    std::unique_ptr<TierLrus> lrus;
+    KernelLedger ledger;
+    std::unique_ptr<MigrationEngine> engine;
+    std::unique_ptr<FaultInjector> faults;
+};
+
+// ---------------------------------------------------------------------
+// Commit: shadow retention and non-exclusive tiering
+// ---------------------------------------------------------------------
+
+TEST_F(TxnEngineTest, CommittedPromotionRetainsShadowFrame)
+{
+    const Pfn cxl_pfn = pt->pte(0).pfn;
+    const MigrateResult res = engine->promote(0, 0);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+
+    // Non-exclusive tiering: the CXL frame stays allocated as a shadow.
+    EXPECT_TRUE(txn().hasShadow(0));
+    EXPECT_EQ(txn().shadowPfn(0), cxl_pfn);
+    EXPECT_EQ(txn().shadowNode(0), kNodeCxl);
+    EXPECT_EQ(txn().shadowFrames(kNodeCxl), 1u);
+    EXPECT_EQ(alloc->usedFrames(kNodeCxl), 12u)
+        << "11 mapped pages + 1 shadow";
+    EXPECT_EQ(txn().stats().commits, 1u);
+    EXPECT_EQ(txn().stats().shadow_retained, 1u);
+    EXPECT_EQ(txn().stats().aborts, 0u);
+}
+
+TEST_F(TxnEngineTest, FreeDemoteIsZeroCopyPteFlip)
+{
+    const Pfn cxl_pfn = pt->pte(0).pfn;
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+
+    const std::uint64_t ddr_before = traffic(kNodeDdr);
+    const std::uint64_t cxl_before = traffic(kNodeCxl);
+    const MigrateResult res = engine->demote(0, 1000);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Done);
+
+    // The page flipped back onto its original CXL frame with zero copy
+    // traffic and only the PTE-flip software cost.
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_EQ(pt->pte(0).pfn, cxl_pfn);
+    EXPECT_EQ(traffic(kNodeDdr), ddr_before) << "no bytes moved";
+    EXPECT_EQ(traffic(kNodeCxl), cxl_before) << "no bytes moved";
+    EXPECT_EQ(res.busy, cyclesToNs(cost::kDemoteFreeSoftware));
+    EXPECT_FALSE(txn().hasShadow(0));
+    EXPECT_EQ(txn().shadowFrames(kNodeCxl), 0u);
+    EXPECT_EQ(alloc->usedFrames(kNodeDdr), 0u) << "DDR frame freed";
+    EXPECT_EQ(txn().stats().demoted_free, 1u);
+    EXPECT_EQ(engine->stats().demoted, 1u);
+}
+
+TEST_F(TxnEngineTest, MoveOntoShadowTierTakesTheFreeDemote)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    const MigrateResult res = engine->move(0, kNodeCxl, 1000);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(res.busy, cyclesToNs(cost::kDemoteFreeSoftware));
+    EXPECT_EQ(txn().stats().demoted_free, 1u);
+}
+
+TEST_F(TxnEngineTest, WriteInvalidatesShadowAndDemotionCopiesAgain)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    ASSERT_TRUE(txn().hasShadow(0));
+
+    // A retired store diverges the page from its shadow: the shadow
+    // drops eagerly, in the store's own context.
+    const Tick busy = engine->noteWrite(0, 500);
+    EXPECT_EQ(busy, cyclesToNs(cost::kShadowRelease));
+    EXPECT_FALSE(txn().hasShadow(0));
+    EXPECT_EQ(txn().stats().shadow_invalidated, 1u);
+    EXPECT_EQ(alloc->usedFrames(kNodeCxl), 11u) << "shadow frame freed";
+
+    // Demotion now pays the full copy again.
+    const std::uint64_t cxl_before = traffic(kNodeCxl);
+    ASSERT_TRUE(engine->demote(0, 1000).ok());
+    EXPECT_GT(traffic(kNodeCxl), cxl_before);
+    EXPECT_EQ(txn().stats().demoted_free, 0u);
+}
+
+TEST_F(TxnEngineTest, WriteToUnshadowedPageIsFree)
+{
+    EXPECT_EQ(engine->noteWrite(3, 0), 0u);
+    EXPECT_EQ(txn().stats().shadow_invalidated, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Abort: injected copy races and the degradation ladder
+// ---------------------------------------------------------------------
+
+TEST_F(TxnEngineTest, InjectedRaceAbortsAndLeavesPageAtSource)
+{
+    arm("copy_race:p=1");
+    const Pfn cxl_pfn = pt->pte(0).pfn;
+    const MigrateResult res = engine->promote(0, 0);
+
+    EXPECT_EQ(res.outcome, MigrateOutcome::AbortedRace);
+    EXPECT_TRUE(res.transient()) << "aborts retry like EBUSY";
+    EXPECT_STREQ(res.reason(), "copy_race");
+    EXPECT_GT(res.busy, 0u) << "the wasted copy still costs time";
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl) << "page never moved";
+    EXPECT_EQ(pt->pte(0).pfn, cxl_pfn);
+    EXPECT_EQ(alloc->usedFrames(kNodeDdr), 0u) << "dst frame unwound";
+    EXPECT_FALSE(txn().hasShadow(0));
+    EXPECT_EQ(txn().stats().aborts, 1u);
+    EXPECT_EQ(txn().stats().abort_src_race, 1u);
+    EXPECT_EQ(txn().stats().commits, 0u);
+    EXPECT_EQ(engine->stats().transient_fail, 1u);
+    EXPECT_EQ(engine->stats().promoted, 0u);
+}
+
+TEST_F(TxnEngineTest, LadderDegradesToLegacyPathAfterTwoAborts)
+{
+    arm("copy_race:p=1");
+    EXPECT_EQ(engine->promote(0, 0).outcome, MigrateOutcome::AbortedRace);
+    EXPECT_FALSE(txn().degraded(0)) << "one abort is not a pattern";
+    EXPECT_EQ(engine->promote(0, 1000).outcome,
+              MigrateOutcome::AbortedRace);
+    EXPECT_TRUE(txn().degraded(0));
+    EXPECT_EQ(txn().stats().degraded_pages, 1u);
+
+    // The third attempt takes the legacy stop-the-world path, which an
+    // injected copy race cannot touch: the write-hot page still lands.
+    const MigrateResult res = engine->promote(0, 2000);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_FALSE(txn().hasShadow(0))
+        << "the legacy path retains no shadow";
+    EXPECT_EQ(txn().stats().aborts, 2u);
+
+    // Other pages still migrate transactionally... and keep aborting
+    // under p=1, proving the degradation is per page.
+    EXPECT_EQ(engine->promote(1, 3000).outcome,
+              MigrateOutcome::AbortedRace);
+}
+
+TEST_F(TxnEngineTest, PromoterRetriesAbortedTxnUntilCommit)
+{
+    arm("copy_race:burst=1@0"); // exactly the first copy races
+    RetryConfig retry;
+    retry.backoff_base = usToTicks(200);
+    Promoter prom(*pt, *engine, retry);
+
+    const PromoteRound r1 = prom.promote({0}, 0);
+    EXPECT_EQ(r1.failed, 1u);
+    EXPECT_EQ(prom.pendingRetries(), 1u);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+
+    // The retry re-runs the transaction; no second race, so it commits
+    // — the "retried-then-committed" arm of the guarantee.
+    const PromoteRound r2 = prom.promote({}, r1.busy + usToTicks(200));
+    EXPECT_EQ(r2.attempted, 1u);
+    EXPECT_EQ(r2.failed, 0u);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_TRUE(txn().hasShadow(0));
+    EXPECT_EQ(prom.stats().retry_succeeded, 1u);
+    EXPECT_EQ(txn().stats().commits, 1u);
+    EXPECT_EQ(txn().stats().aborts, 1u);
+}
+
+TEST_F(TxnEngineTest, PromoterDegradesAPersistentRacerCleanly)
+{
+    arm("copy_race:p=1");
+    RetryConfig retry;
+    retry.backoff_base = usToTicks(200);
+    Promoter prom(*pt, *engine, retry);
+
+    // Attempt 1 and retry 1 abort (K = 2 -> degraded); retry 2, the
+    // last of max_attempts = 3, goes stop-the-world and commits — the
+    // "cleanly degraded" arm.
+    const PromoteRound r1 = prom.promote({0}, 0);
+    EXPECT_EQ(r1.failed, 1u);
+    const Tick t2 = r1.busy + usToTicks(200);
+    const PromoteRound r2 = prom.promote({}, t2);
+    EXPECT_EQ(r2.failed, 1u);
+    EXPECT_TRUE(txn().degraded(0));
+    const PromoteRound r3 = prom.promote({}, t2 + r2.busy + usToTicks(400));
+    EXPECT_EQ(r3.attempted, 1u);
+    EXPECT_EQ(r3.failed, 0u);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_EQ(prom.stats().dropped, 0u);
+    EXPECT_EQ(txn().stats().degraded_pages, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Exchange: atomic two-page transactions
+// ---------------------------------------------------------------------
+
+TEST_F(TxnEngineTest, ExchangeCommitDropsTheDemotedPartnersShadow)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    ASSERT_TRUE(txn().hasShadow(0));
+    const MigrateResult res = engine->exchange(1, 0, 1000);
+    EXPECT_EQ(res.outcome, MigrateOutcome::ExchangedInstead);
+    EXPECT_EQ(pt->pte(1).node, kNodeDdr);
+    EXPECT_EQ(pt->pte(0).node, kNodeCxl);
+    EXPECT_FALSE(txn().hasShadow(0))
+        << "the demoted page's content left its shadow frame behind";
+    EXPECT_EQ(txn().stats().shadow_invalidated, 1u);
+}
+
+TEST_F(TxnEngineTest, ExchangeAbortsAtomicallyOnInjectedRace)
+{
+    ASSERT_TRUE(engine->promote(0, 0).ok());
+    arm("copy_race:p=1");
+    const Pfn hot_pfn = pt->pte(1).pfn;
+    const Pfn cold_pfn = pt->pte(0).pfn;
+    const MigrateResult res = engine->exchange(1, 0, 1000);
+
+    EXPECT_EQ(res.outcome, MigrateOutcome::AbortedRace);
+    EXPECT_TRUE(res.transient());
+    // Neither mapping changed: the abort is atomic across both pages.
+    EXPECT_EQ(pt->pte(1).node, kNodeCxl);
+    EXPECT_EQ(pt->pte(1).pfn, hot_pfn);
+    EXPECT_EQ(pt->pte(0).node, kNodeDdr);
+    EXPECT_EQ(pt->pte(0).pfn, cold_pfn);
+    // The racing store hit the shadowed partner too: its shadow is
+    // stale and must be gone, not silently carried.
+    EXPECT_FALSE(txn().hasShadow(0));
+    EXPECT_EQ(engine->stats().exchanged, 0u);
+    EXPECT_EQ(txn().stats().aborts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Shadow reclaim under tier pressure
+// ---------------------------------------------------------------------
+
+/**
+ * 11-frame CXL with pages 0-3 born on DDR: demote/promote churn can
+ * fill CXL until live shadows are the only reclaimable slack.
+ */
+class TxnPressureTest : public TxnEngineTest
+{
+  protected:
+    TxnPressureTest() : TxnEngineTest(11, 4) {}
+};
+
+TEST_F(TxnPressureTest, TierPressureReclaimsOldestShadowFirst)
+{
+    // Churn: demote a DDR-born page (full copy, consumes a CXL frame),
+    // promote a CXL page into the hole (retains a shadow, consumes
+    // nothing back).  Three rounds leave CXL with zero free frames and
+    // three live shadows as the only slack.
+    Tick t = 0;
+    for (Vpn v = 0; v < 3; ++v) {
+        ASSERT_TRUE(engine->move(v, kNodeCxl, t += 1000).ok());
+        ASSERT_TRUE(engine->promote(4 + v, t += 1000).ok());
+    }
+    ASSERT_EQ(alloc->freeFrames(kNodeCxl), 0u);
+    ASSERT_EQ(txn().shadowFrames(kNodeCxl), 3u);
+
+    // Page 3 was born on DDR and never promoted, so it has no shadow:
+    // demoting it needs a real CXL frame.  The oldest shadow (vpn 4's)
+    // is reclaimed to provide one instead of failing the migration.
+    const MigrateResult res = engine->move(3, kNodeCxl, t += 1000);
+    EXPECT_EQ(res.outcome, MigrateOutcome::Done);
+    EXPECT_EQ(pt->pte(3).node, kNodeCxl);
+    EXPECT_FALSE(txn().hasShadow(4)) << "oldest shadow reclaimed";
+    EXPECT_TRUE(txn().hasShadow(5)) << "newer shadows survive";
+    EXPECT_TRUE(txn().hasShadow(6));
+    EXPECT_EQ(txn().stats().shadow_reclaimed, 1u);
+    EXPECT_EQ(txn().shadowFrames(kNodeCxl), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Invariant sweep vs deliberately corrupted shadow state
+// ---------------------------------------------------------------------
+
+class TxnInvariantTest : public TxnEngineTest
+{
+  protected:
+    TxnInvariantTest()
+    {
+        EXPECT_TRUE(engine->promote(0, 0).ok());
+        inv = std::make_unique<InvariantChecker>(*pt, *alloc, *mem, *lrus,
+                                                 ledger);
+        inv->attachTxn(engine->txn());
+    }
+
+    bool
+    anyMentions(const std::vector<std::string> &bad, const char *needle)
+    {
+        for (const auto &s : bad)
+            if (s.find(needle) != std::string::npos)
+                return true;
+        return false;
+    }
+
+    std::unique_ptr<InvariantChecker> inv;
+};
+
+TEST_F(TxnInvariantTest, CleanShadowStatePasses)
+{
+    EXPECT_TRUE(inv->check(0).empty());
+    EXPECT_EQ(inv->violations(), 0u);
+}
+
+TEST_F(TxnInvariantTest, LeakedShadowFrameIsCaught)
+{
+    // Corruption: the shadow frame is freed behind the migrator's back,
+    // so the allocator's books no longer balance against mapped+shadows.
+    alloc->free(kNodeCxl, engine->txn()->shadowPfn(0));
+    const auto bad = inv->check(0);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_TRUE(anyMentions(bad, "shadows"));
+}
+
+TEST_F(TxnInvariantTest, StaleShadowAfterWriteIsCaught)
+{
+    // Corruption: a store bumps the write generation without the shadow
+    // invalidation that must accompany it.
+    pt->noteWrite(0);
+    const auto bad = inv->check(0);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_TRUE(anyMentions(bad, "stale shadow"));
+}
+
+TEST_F(TxnInvariantTest, DoubleAccountedShadowFrameIsCaught)
+{
+    // Corruption: another page is remapped onto the live shadow frame,
+    // so one frame backs two pages' worth of state.
+    pt->remap(1, engine->txn()->shadowPfn(0), kNodeCxl);
+    const auto bad = inv->check(0);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_TRUE(anyMentions(bad, "double-accounted"));
+}
+
+TEST_F(TxnInvariantTest, DetachedCheckerStillBalancesWithoutShadows)
+{
+    // Without attachTxn the widened balance rule must flag the retained
+    // shadow as an unexplained allocated frame — proving the rule is
+    // load-bearing, not vacuously green.
+    InvariantChecker blind(*pt, *alloc, *mem, *lrus, ledger);
+    const auto bad = blind.check(0);
+    ASSERT_FALSE(bad.empty());
+    EXPECT_TRUE(anyMentions(bad, "used frames"));
+}
+
+// ---------------------------------------------------------------------
+// Full system
+// ---------------------------------------------------------------------
+
+TEST(TxnSystemTest, CampaignCommitsAbortsFreeDemotesAndStaysClean)
+{
+    SystemConfig cfg = makeConfig("redis", PolicyKind::M5HptDriven,
+                                  1.0 / 128.0, 7);
+    cfg.ddr_capacity_fraction = 0.15;
+    cfg.faults = "migrate_busy:p=0.02,copy_race:p=0.1";
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(60000);
+
+    EXPECT_GT(r.txn.commits, 0u);
+    EXPECT_GT(r.txn.aborts, 0u) << "the storm must exercise aborts";
+    EXPECT_GT(r.txn.shadow_retained, 0u);
+    EXPECT_GT(r.txn.demoted_free, 0u)
+        << "tier pressure must hit the zero-copy demote path";
+    ASSERT_NE(sys.invariants(), nullptr);
+    EXPECT_GT(sys.invariants()->checks(), 0u);
+    EXPECT_EQ(sys.invariants()->violations(), 0u)
+        << "races must abort or commit, never corrupt";
+}
+
+TEST(TxnSystemTest, DisabledModeConstructsNothing)
+{
+    SystemConfig cfg = makeConfig("redis", PolicyKind::M5HptDriven,
+                                  1.0 / 128.0, 7);
+    cfg.txn_migrate = false;
+    TieredSystem sys(cfg);
+    const RunResult r = sys.run(30000);
+    EXPECT_FALSE(sys.migrationEngine().txnEnabled());
+    EXPECT_EQ(sys.migrationEngine().txn(), nullptr);
+    EXPECT_EQ(r.txn.commits + r.txn.aborts + r.txn.demoted_free, 0u);
+}
+
+} // namespace
+} // namespace m5

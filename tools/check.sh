@@ -15,6 +15,12 @@
 #          the retry/breaker counters move, invariants stay clean, and
 #          a rerun is byte-identical; artifacts kept in
 #          <build-dir>/faults-smoke for CI upload (docs/FAULTS.md)
+#   txn    transactional-migration campaign: m5sim under a seeded
+#          copy_race storm commits and aborts transactions, demotes
+#          shadowed pages for free, invariants stay clean, a rerun is
+#          byte-identical, and --no-txn-migrate really disarms the
+#          path; artifacts kept in <build-dir>/txn-smoke for CI upload
+#          (docs/MIGRATION.md)
 #   topology  3-tier m5sim --tiers smoke under a ddr_alloc storm: the
 #          exchange counters move, invariants stay clean, and a rerun
 #          is byte-identical; artifacts kept in
@@ -75,14 +81,14 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
-[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults topology colocation profile tsan asan ubsan"
+[ -n "$STAGES" ] || STAGES="tier1 lint tidy smoke trace faults txn topology colocation profile tsan asan ubsan"
 
 for s in $STAGES; do
     case "$s" in
-        tier1|lint|tidy|smoke|trace|faults|topology|colocation|profile|tsan|asan|ubsan) ;;
+        tier1|lint|tidy|smoke|trace|faults|txn|topology|colocation|profile|tsan|asan|ubsan) ;;
         *)
             echo "check.sh: unknown stage '$s'" \
-                 "(want tier1|lint|tidy|smoke|trace|faults|topology|colocation|profile|tsan|asan|ubsan)" >&2
+                 "(want tier1|lint|tidy|smoke|trace|faults|txn|topology|colocation|profile|tsan|asan|ubsan)" >&2
             exit 2
             ;;
     esac
@@ -204,6 +210,58 @@ stage_faults() {
             printf "faults stage: OK (%d injected, %d retries, %d invariant checks clean)\n",
                    injected, retries, checks
         }' "$_out/report.txt"
+}
+
+stage_txn() {
+    echo "== txn: transactional migration under a copy_race storm =="
+    if [ ! -x "$BUILD/tools/m5sim" ]; then
+        cmake -B "$BUILD" -S . &&
+        cmake --build "$BUILD" -j "$JOBS" --target m5sim || return 1
+    fi
+    _out="$BUILD/txn-smoke"
+    # redis is write-heavy (YCSB-A, 40% stores), so shadows get
+    # invalidated and the abort ladder is exercised for real; the tight
+    # DDR fraction forces demotions so free (zero-copy) demotes fire.
+    _spec='migrate_busy:p=0.02,copy_race:p=0.1'
+    rm -rf "$_out" && mkdir -p "$_out" &&
+    "$BUILD/tools/m5sim" --bench redis --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --ddr-frac 0.15 --faults "$_spec" \
+        > "$_out/report.txt" &&
+    "$BUILD/tools/m5sim" --bench redis --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --ddr-frac 0.15 --faults "$_spec" \
+        > "$_out/report2.txt" &&
+    "$BUILD/tools/m5sim" --bench redis --policy m5 --scale 128 --seed 7 \
+        --accesses 60000 --ddr-frac 0.15 --faults "$_spec" \
+        --no-txn-migrate > "$_out/report-off.txt" || return 1
+    # Same seed, same plan -> byte-identical report (docs/MIGRATION.md).
+    cmp -s "$_out/report.txt" "$_out/report2.txt" || {
+        echo "txn stage: rerun is not byte-identical" >&2
+        diff "$_out/report.txt" "$_out/report2.txt" >&2
+        return 1
+    }
+    # The storm produced commits AND aborts (the validation check really
+    # decides), shadowed pages were demoted for free, and the shadow
+    # invariant sweep ran without finding corruption.
+    awk '
+        /^  txn:/        { commits = $2; aborts = $4; free = $8 }
+        /^  invariants:/ { checks = $2; violations = $4 }
+        END {
+            if (commits + 0 == 0) { print "no transactions committed"; exit 1 }
+            if (aborts + 0 == 0)  { print "no transactions aborted"; exit 1 }
+            if (free + 0 == 0)    { print "no zero-copy (free) demotions"; exit 1 }
+            if (checks + 0 == 0)  { print "invariant checker never ran"; exit 1 }
+            if (violations + 0 != 0) {
+                print "invariant violations: " violations; exit 1
+            }
+            printf "txn stage: OK (%d commits, %d aborts, %d free demotes, %d invariant checks clean)\n",
+                   commits, aborts, free, checks
+        }' "$_out/report.txt" || return 1
+    # The kill switch really disarms the path: no transactions at all.
+    grep -q '^  txn: 0 commits, 0 aborts, 0 degraded, 0 free_demote (disabled)' \
+        "$_out/report-off.txt" || {
+        echo "txn stage: --no-txn-migrate did not disable transactions" >&2
+        return 1
+    }
 }
 
 stage_topology() {

@@ -893,10 +893,11 @@ checkUntrackedStat(const std::string &path, const std::vector<Line> &lines,
 
 /**
  * no-unchecked-migrate-result: a member call to promote()/promoteBatch()/
- * move()/exchange()/demote() whose result is discarded.  MigrateResult/
- * BatchResult/PromoteRound carry the per-page outcome (transient vs
- * permanent failure) that the retry pipeline runs on; dropping one
- * silently swallows failures.
+ * move()/exchange()/demote()/moveTxn() whose result is discarded.
+ * MigrateResult/BatchResult/PromoteRound/TxnMoveResult carry the
+ * per-page outcome (transient vs permanent failure, commit vs abort)
+ * that the retry pipeline runs on; dropping one silently swallows
+ * failures.
  * `[[nodiscard]]` + -DM5_WERROR is the compile-time enforcement — this
  * is the greppable complement that also covers unbuilt configurations.
  * An explicit `(void)` cast marks a deliberate discard and passes.
@@ -914,7 +915,8 @@ checkUncheckedMigrateResult(const std::string &path,
         if (isPreprocessor(s))
             continue;
         for (const char *fn :
-             {"promote", "promoteBatch", "move", "exchange", "demote"}) {
+             {"promote", "promoteBatch", "move", "exchange", "demote",
+              "moveTxn"}) {
             for (auto pos : findTokens(s, fn)) {
                 if (!isMemberAccess(s, pos) ||
                     !followedByParen(s, pos + std::string(fn).size()))
@@ -927,9 +929,10 @@ checkUncheckedMigrateResult(const std::string &path,
                     {path, static_cast<int>(i + 1), rule,
                      std::string(fn) +
                          "() result discarded; MigrateResult/"
-                         "BatchResult/PromoteRound carry the per-page "
-                         "failure outcome the retry pipeline needs — "
-                         "check it or cast to (void) deliberately"});
+                         "BatchResult/PromoteRound/TxnMoveResult carry "
+                         "the per-page failure outcome the retry "
+                         "pipeline needs — check it or cast to (void) "
+                         "deliberately"});
             }
         }
     }

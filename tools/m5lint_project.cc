@@ -7,8 +7,8 @@
  *    tools/m5lint.layers, plus include-cycle detection;
  *  - transitive-unchecked-migrate-result: call-graph taint — a
  *    discarded call to anything that (transitively) returns a
- *    MigrateResult/BatchResult/PromoteRound, and wrapped seed return
- *    types missing [[nodiscard]];
+ *    MigrateResult/BatchResult/PromoteRound/TxnMoveResult, and wrapped
+ *    seed return types missing [[nodiscard]];
  *  - dead-stat: stats registered in registerStats() but never
  *    incremented, and counter-shaped members never registered;
  *  - stale-suppression: allow() comments, allowlist entries and layer
@@ -153,11 +153,12 @@ checkLayering(const ProjectModel &model, const LayersFile &layers,
 // transitive-unchecked-migrate-result
 // ---------------------------------------------------------------------
 
-const char *kSeedTypes[] = {"MigrateResult", "BatchResult", "PromoteRound"};
+const char *kSeedTypes[] = {"MigrateResult", "BatchResult", "PromoteRound",
+                            "TxnMoveResult"};
 
 // Method names so common (std::move!) that only member calls count.
 const char *kAmbiguous[] = {"promote", "promoteBatch", "move", "exchange",
-                            "demote"};
+                            "demote", "moveTxn"};
 
 bool
 isAmbiguousName(const std::string &name)

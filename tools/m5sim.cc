@@ -94,6 +94,7 @@ struct Options
     std::string tenants;
     std::string tiers;
     bool exchange = true;
+    bool txn = true;
     bool csv = false;
     std::string telemetry;
     std::uint64_t telemetry_every = 1;
@@ -147,6 +148,9 @@ usage()
         "                    (docs/TOPOLOGY.md)\n"
         "  --no-exchange     disable the atomic page-exchange fallback\n"
         "                    for failed top-tier allocations\n"
+        "  --no-txn-migrate  disable transactional migration (shadow\n"
+        "                    copies, abort/retry) and restore the legacy\n"
+        "                    stop-the-world path (docs/MIGRATION.md)\n"
         "  --record-only     identify hot pages without migrating\n"
         "  --wac             enable word-access counting\n"
         "  --telemetry FILE  stream per-epoch stat snapshots to FILE "
@@ -200,6 +204,8 @@ parseArgs(int argc, char **argv)
             opt.tiers = next();
         } else if (arg == "--no-exchange") {
             opt.exchange = false;
+        } else if (arg == "--no-txn-migrate") {
+            opt.txn = false;
         } else if (arg == "--telemetry") {
             opt.telemetry = next();
         } else if (arg == "--telemetry-every") {
@@ -257,6 +263,7 @@ main(int argc, char **argv)
     cfg.tenants = opt.tenants;
     cfg.tiers = opt.tiers;
     cfg.exchange = opt.exchange;
+    cfg.txn_migrate = opt.txn;
     cfg.telemetry.path = opt.telemetry;
     cfg.telemetry.every = opt.telemetry_every;
     cfg.trace.path = opt.trace;
@@ -438,6 +445,14 @@ main(int argc, char **argv)
                     static_cast<unsigned long>(r.migration.exchange_failed),
                     sys.migrationEngine().exchangeEnabled() ? "enabled"
                                                             : "disabled");
+        std::printf("  txn: %lu commits, %lu aborts, %lu degraded, "
+                    "%lu free_demote (%s)\n",
+                    static_cast<unsigned long>(r.txn.commits),
+                    static_cast<unsigned long>(r.txn.aborts),
+                    static_cast<unsigned long>(r.txn.degraded_pages),
+                    static_cast<unsigned long>(r.txn.demoted_free),
+                    sys.migrationEngine().txnEnabled() ? "enabled"
+                                                       : "disabled");
         std::printf("  mmio: %lu timeouts, degrade %s\n",
                     static_cast<unsigned long>(
                         sys.controller().mmioTimeouts()),
